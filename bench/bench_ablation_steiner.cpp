@@ -1,0 +1,46 @@
+// §4.2 check: "we expect that the results presented in this paper are
+// also applicable to the cost-minimizing multicast routing protocols".
+// This bench swaps the SPF baseline for the Takahashi–Matsuyama Steiner
+// heuristic and re-runs the headline comparison.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "eval/scenario.hpp"
+#include "eval/table.hpp"
+
+int main() {
+  using namespace smrp;
+  bench::banner("ablation-steiner",
+                "SMRP vs SPF baseline and vs cost-minimising (Steiner) "
+                "baseline (N=100, N_G=30, alpha=0.2, D_thresh=0.3)",
+                bench::kDefaultSeed);
+
+  eval::Table table({"baseline", "RD_rel weight", "RD_rel links",
+                     "Delay_rel", "Cost_rel"});
+  for (const auto kind :
+       {eval::BaselineKind::kSpf, eval::BaselineKind::kSteiner}) {
+    eval::ScenarioParams params;
+    params.smrp.d_thresh = 0.3;
+    params.baseline = kind;
+    const eval::SweepCell cell =
+        eval::run_sweep(params, 10, 10, bench::kDefaultSeed);
+    table.add_row(
+        {kind == eval::BaselineKind::kSpf ? "SPF (MOSPF/PIM)"
+                                          : "Steiner (Takahashi-Matsuyama)",
+         eval::Table::percent_with_ci(cell.rd_relative.mean,
+                                      cell.rd_relative.ci95_half),
+         eval::Table::percent_with_ci(cell.rd_relative_hops.mean,
+                                      cell.rd_relative_hops.ci95_half),
+         eval::Table::percent_with_ci(cell.delay_relative.mean,
+                                      cell.delay_relative.ci95_half),
+         eval::Table::percent_with_ci(cell.cost_relative.mean,
+                                      cell.cost_relative.ci95_half)});
+  }
+  std::cout << table.render()
+            << "\nexpected (paper's §4.2 claim): SMRP's recovery-distance "
+               "advantage persists against the cost-minimising tree;\nthe "
+               "cost penalty grows (the Steiner tree is cheaper to begin "
+               "with) and the delay penalty grows (Steiner paths are "
+               "longer).\n\n";
+  return 0;
+}

@@ -1,0 +1,22 @@
+// Shared helpers for the figure-reproduction bench binaries.
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+#include <string_view>
+
+namespace smrp::bench {
+
+/// Every bench announces what it reproduces and under which seed, so a run
+/// is self-describing and replayable.
+inline void banner(std::string_view experiment_id, std::string_view title,
+                   std::uint64_t seed) {
+  std::cout << "==================================================================\n"
+            << experiment_id << ": " << title << "\n"
+            << "seed=" << seed << "\n"
+            << "==================================================================\n";
+}
+
+inline constexpr std::uint64_t kDefaultSeed = 20050628;  // DSN 2005 week
+
+}  // namespace smrp::bench

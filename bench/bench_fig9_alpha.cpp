@@ -1,0 +1,59 @@
+// Reproduces Figure 9: the effect of the Waxman edge-density parameter α
+// (i.e. of the average node degree) on SMRP's relative performance.
+//
+// Paper setup (§4.3.3): N=100, N_G=30, D_thresh=0.3; α swept over
+// {0.15, 0.2, 0.25, 0.3}; 100 scenarios per point; the average node degree
+// realised by each α is reported under the axis.
+//
+// Paper's reported shape: the improvement diminishes slightly as the node
+// degree grows (low-connectivity SPF trees concentrate members on few
+// links, so SMRP has more to fix); ≈12% reduction is retained even around
+// degree 10.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "eval/scenario.hpp"
+#include "eval/table.hpp"
+
+int main() {
+  using namespace smrp;
+  bench::banner("fig9", "Effect of alpha / node degree (N=100, N_G=30, "
+                        "D_thresh=0.3)",
+                bench::kDefaultSeed);
+
+  const double kAlphas[] = {0.15, 0.2, 0.25, 0.3};
+  eval::Table table({"alpha", "avg degree", "RD_rel weight (95% CI)",
+                     "RD_rel links (95% CI)", "Delay_rel (95% CI)",
+                     "Cost_rel (95% CI)", "scenarios"});
+
+  for (const double alpha : kAlphas) {
+    eval::ScenarioParams params;
+    params.node_count = 100;
+    params.group_size = 30;
+    params.alpha = alpha;
+    params.smrp.d_thresh = 0.3;
+
+    const eval::SweepCell cell =
+        eval::run_sweep(params, /*topologies=*/10, /*member_sets=*/10,
+                        bench::kDefaultSeed);
+
+    table.add_row(
+        {eval::Table::fixed(alpha, 2), eval::Table::fixed(cell.avg_degree, 2),
+         eval::Table::percent_with_ci(cell.rd_relative.mean,
+                                      cell.rd_relative.ci95_half),
+         eval::Table::percent_with_ci(cell.rd_relative_hops.mean,
+                                      cell.rd_relative_hops.ci95_half),
+         eval::Table::percent_with_ci(cell.delay_relative.mean,
+                                      cell.delay_relative.ci95_half),
+         eval::Table::percent_with_ci(cell.cost_relative.mean,
+                                      cell.cost_relative.ci95_half),
+         std::to_string(cell.scenarios)});
+  }
+  std::cout << table.render()
+            << "\npaper: improvement diminishes slightly as the degree "
+               "grows; ≈12% reduction retained near degree 10\n"
+               "(the link-count RD column tracks that trend; the weight "
+               "column instead grows because geometric\n density shortens "
+               "local detours — see EXPERIMENTS.md).\n\n";
+  return 0;
+}

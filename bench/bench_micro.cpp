@@ -1,0 +1,146 @@
+// Google-benchmark microbenchmarks of the hot paths: SPF, candidate
+// enumeration + selection, tree mutation with SHR maintenance, recovery
+// searches, and the event core.
+#include <benchmark/benchmark.h>
+
+#include "eval/scenario.hpp"
+#include "net/waxman.hpp"
+#include "sim/simulator.hpp"
+#include "smrp/path_selection.hpp"
+#include "smrp/recovery.hpp"
+#include "smrp/tree_builder.hpp"
+#include "spf/spf_tree_builder.hpp"
+
+namespace {
+
+using namespace smrp;
+
+net::Graph make_graph(int nodes, std::uint64_t seed = 42) {
+  net::Rng rng(seed);
+  net::WaxmanParams params;
+  params.node_count = nodes;
+  return net::waxman_graph(params, rng);
+}
+
+void BM_Dijkstra(benchmark::State& state) {
+  const net::Graph g = make_graph(static_cast<int>(state.range(0)));
+  net::NodeId src = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::dijkstra(g, src));
+    src = (src + 1) % g.node_count();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Dijkstra)->Arg(50)->Arg(100)->Arg(200)->Arg(400);
+
+void BM_SmrpJoin(benchmark::State& state) {
+  const net::Graph g = make_graph(static_cast<int>(state.range(0)));
+  net::Rng rng(7);
+  for (auto _ : state) {
+    state.PauseTiming();
+    proto::SmrpTreeBuilder builder(g, 0);
+    std::vector<net::NodeId> members;
+    while (members.size() < 20) {
+      const auto m =
+          static_cast<net::NodeId>(1 + rng.below(g.node_count() - 1));
+      if (std::find(members.begin(), members.end(), m) == members.end()) {
+        members.push_back(m);
+      }
+    }
+    state.ResumeTiming();
+    for (const net::NodeId m : members) builder.join(m);
+    benchmark::DoNotOptimize(builder.tree().total_cost());
+  }
+  state.SetItemsProcessed(state.iterations() * 20);
+}
+BENCHMARK(BM_SmrpJoin)->Arg(100)->Arg(200);
+
+void BM_SpfJoin(benchmark::State& state) {
+  const net::Graph g = make_graph(static_cast<int>(state.range(0)));
+  net::Rng rng(7);
+  for (auto _ : state) {
+    state.PauseTiming();
+    baseline::SpfTreeBuilder builder(g, 0);
+    std::vector<net::NodeId> members;
+    while (members.size() < 20) {
+      const auto m =
+          static_cast<net::NodeId>(1 + rng.below(g.node_count() - 1));
+      if (std::find(members.begin(), members.end(), m) == members.end()) {
+        members.push_back(m);
+      }
+    }
+    state.ResumeTiming();
+    for (const net::NodeId m : members) builder.join(m);
+    benchmark::DoNotOptimize(builder.tree().total_cost());
+  }
+  state.SetItemsProcessed(state.iterations() * 20);
+}
+BENCHMARK(BM_SpfJoin)->Arg(100)->Arg(200);
+
+void BM_CandidateEnumeration(benchmark::State& state) {
+  const net::Graph g = make_graph(100);
+  proto::SmrpTreeBuilder builder(g, 0);
+  for (net::NodeId m = 2; m < 60; m += 2) builder.join(m);
+  const proto::SmrpConfig config;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(proto::enumerate_candidates(
+        g, builder.tree(), 61, builder.spf_delay(61), config));
+  }
+}
+BENCHMARK(BM_CandidateEnumeration);
+
+void BM_LocalDetour(benchmark::State& state) {
+  const net::Graph g = make_graph(100);
+  proto::SmrpTreeBuilder builder(g, 0);
+  for (net::NodeId m = 2; m < 60; m += 2) builder.join(m);
+  const net::NodeId victim = 58;
+  const net::LinkId failed =
+      proto::worst_case_failure_link(builder.tree(), victim);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        proto::local_detour_recovery(g, builder.tree(), victim, failed));
+  }
+}
+BENCHMARK(BM_LocalDetour);
+
+void BM_GlobalDetour(benchmark::State& state) {
+  const net::Graph g = make_graph(100);
+  baseline::SpfTreeBuilder builder(g, 0);
+  for (net::NodeId m = 2; m < 60; m += 2) builder.join(m);
+  const net::NodeId victim = 58;
+  const net::LinkId failed =
+      proto::worst_case_failure_link(builder.tree(), victim);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        proto::global_detour_recovery(g, builder.tree(), victim, failed));
+  }
+}
+BENCHMARK(BM_GlobalDetour);
+
+void BM_EventQueue(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator s;
+    for (int i = 0; i < 1000; ++i) {
+      s.schedule((i * 37) % 1000, [] {});
+    }
+    benchmark::DoNotOptimize(s.run_all());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueue);
+
+void BM_FullScenario(benchmark::State& state) {
+  eval::ScenarioParams params;
+  params.node_count = 100;
+  params.group_size = 30;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    net::Rng rng(seed++);
+    benchmark::DoNotOptimize(eval::run_scenario(params, rng));
+  }
+}
+BENCHMARK(BM_FullScenario)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

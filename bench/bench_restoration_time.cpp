@@ -1,0 +1,157 @@
+// Restoration *time*, measured end-to-end in the packet-level simulator:
+// SMRP's expanding-ring local repair versus the PIM-style global detour
+// that must wait for the link-state unicast routing to reconverge. This
+// reproduces the paper's motivating observation (§1, citing Wang et al.,
+// ICNP 2000) that PIM recovery time is dominated by unicast
+// re-stabilisation, and quantifies how much of it the local detour saves.
+//
+// Setup: Waxman N=60, N_G=12; a session is built and allowed to settle;
+// the worst-case link (the source's incident tree link carrying the most
+// members) is cut; we record, per disconnected member, the time from the
+// cut to the first payload delivered again.
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "eval/stats.hpp"
+#include "eval/table.hpp"
+#include "net/waxman.hpp"
+#include "smrp/harness.hpp"
+
+namespace {
+
+using namespace smrp;
+
+struct RunResult {
+  std::vector<double> restoration_ms;  ///< per disconnected member
+  int unrestored = 0;
+};
+
+RunResult run_once(const net::Graph& g, const std::vector<net::NodeId>& members,
+                   proto::SessionConfig::Mode mode) {
+  // Timer asymmetry modelled on deployed networks (and on the paper's
+  // premise): multicast failure detection is data-driven and fast, while
+  // the unicast IGP uses conservative hello/dead timers and an SPF
+  // hold-down (classic OSPF defaults are 10s/40s — here scaled to keep
+  // runs short while preserving the ~20:1 ratio).
+  proto::SessionConfig config;
+  config.mode = mode;
+  config.data_interval = 25.0;
+  config.refresh_interval = 50.0;
+  config.upstream_timeout = 100.0;
+  config.state_timeout = 400.0;
+  config.repair_retry = 40.0;
+  routing::RoutingConfig routing_config;
+  routing_config.hello_interval = 500.0;
+  routing_config.dead_interval = 2000.0;
+  routing_config.spf_delay = 100.0;
+  proto::SimulationHarness h(g, /*source=*/0, config, routing_config);
+  h.start();
+  for (const net::NodeId m : members) h.session().join(m);
+  const sim::Time settle = 3000.0;
+  h.simulator().run_until(settle);
+
+  // Cut the source's incident tree link carrying the most downstream
+  // members (the paper's worst case, applied to the live session).
+  const auto snapshot = h.session().snapshot_tree();
+  RunResult result;
+  if (!snapshot) return result;
+  net::LinkId victim_link = net::kNoLink;
+  int worst = -1;
+  for (const net::NodeId child : snapshot->children(0)) {
+    const net::LinkId candidate = snapshot->parent_link(child);
+    // Skip bridges: a member with no physical alternative cannot recover
+    // under either protocol, so it tells us nothing about the comparison.
+    if (!g.connected_without(candidate)) continue;
+    if (snapshot->subtree_members(child) > worst) {
+      worst = snapshot->subtree_members(child);
+      victim_link = candidate;
+    }
+  }
+  if (victim_link == net::kNoLink) return result;
+  const auto survivors = snapshot->surviving_after_link(victim_link);
+  h.network().set_link_up(victim_link, false);
+  const sim::Time fail_at = h.simulator().now();
+
+  std::vector<net::NodeId> victims;
+  for (const net::NodeId m : members) {
+    if (!survivors[static_cast<std::size_t>(m)]) victims.push_back(m);
+  }
+  std::vector<char> restored(victims.size(), 0);
+  sim::Time horizon = fail_at;
+  std::size_t done = 0;
+  while (done < victims.size() && horizon < fail_at + 30000.0) {
+    horizon += 25.0;
+    h.simulator().run_until(horizon);
+    for (std::size_t i = 0; i < victims.size(); ++i) {
+      if (restored[i]) continue;
+      if (h.session().last_data_at(victims[i]) > fail_at) {
+        restored[i] = 1;
+        result.restoration_ms.push_back(
+            h.session().last_data_at(victims[i]) - fail_at);
+        ++done;
+      }
+    }
+  }
+  result.unrestored = static_cast<int>(victims.size() - done);
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  using namespace smrp;
+  bench::banner("restoration-time",
+                "Service restoration time, SMRP local repair vs PIM/OSPF "
+                "global detour (DES, N=60, N_G=12, 8 topologies)",
+                bench::kDefaultSeed);
+
+  net::Rng root(bench::kDefaultSeed);
+  eval::RunningStats smrp_times;
+  eval::RunningStats pim_times;
+  int smrp_unrestored = 0;
+  int pim_unrestored = 0;
+
+  for (int t = 0; t < 8; ++t) {
+    net::Rng rng = root.fork();
+    net::WaxmanParams wax;
+    wax.node_count = 60;
+    const net::Graph g = net::waxman_graph(wax, rng);
+    std::vector<net::NodeId> members;
+    while (members.size() < 12) {
+      const auto m = static_cast<net::NodeId>(1 + rng.below(59));
+      if (std::find(members.begin(), members.end(), m) == members.end()) {
+        members.push_back(m);
+      }
+    }
+    const RunResult smrp =
+        run_once(g, members, proto::SessionConfig::Mode::kSmrp);
+    const RunResult pim =
+        run_once(g, members, proto::SessionConfig::Mode::kPimSpf);
+    for (const double x : smrp.restoration_ms) smrp_times.add(x);
+    for (const double x : pim.restoration_ms) pim_times.add(x);
+    smrp_unrestored += smrp.unrestored;
+    pim_unrestored += pim.unrestored;
+  }
+
+  eval::Table table({"protocol", "restored members", "mean (ms)",
+                     "min (ms)", "max (ms)", "unrestored"});
+  const eval::Summary s = smrp_times.summary();
+  const eval::Summary p = pim_times.summary();
+  table.add_row({"SMRP local repair", std::to_string(s.count),
+                 eval::Table::with_ci(s.mean, s.ci95_half, 1),
+                 eval::Table::fixed(s.min, 1), eval::Table::fixed(s.max, 1),
+                 std::to_string(smrp_unrestored)});
+  table.add_row({"PIM over OSPF-lite", std::to_string(p.count),
+                 eval::Table::with_ci(p.mean, p.ci95_half, 1),
+                 eval::Table::fixed(p.min, 1), eval::Table::fixed(p.max, 1),
+                 std::to_string(pim_unrestored)});
+  std::cout << table.render();
+  if (s.count > 0 && p.count > 0 && s.mean > 0.0) {
+    std::cout << "\nspeedup (mean PIM / mean SMRP): "
+              << eval::Table::fixed(p.mean / s.mean, 2) << "x\n";
+  }
+  std::cout << "\npaper/[25]: PIM recovery is dominated by unicast routing "
+               "re-stabilisation; SMRP's local detour avoids that wait.\n\n";
+  return 0;
+}

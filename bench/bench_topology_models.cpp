@@ -1,0 +1,53 @@
+// Future-work extension (paper §5: "we are collecting Internet's topology
+// to evaluate SMRP's applicability to real networks"): does SMRP's
+// advantage survive on graph families other than Waxman? We match the
+// mean degree across models so only the *structure* differs.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "eval/scenario.hpp"
+#include "eval/table.hpp"
+
+int main() {
+  using namespace smrp;
+  bench::banner("topology-models",
+                "SMRP vs SPF across graph families (N=100, N_G=30, "
+                "D_thresh=0.3, matched mean degree ≈7)",
+                bench::kDefaultSeed);
+
+  struct Row {
+    const char* label;
+    eval::TopologyModel model;
+  };
+  const Row rows[] = {
+      {"Waxman (paper's model)", eval::TopologyModel::kWaxman},
+      {"Erdos-Renyi G(n,p)", eval::TopologyModel::kErdosRenyi},
+      {"Barabasi-Albert (power law)", eval::TopologyModel::kBarabasiAlbert},
+  };
+
+  eval::Table table({"model", "avg degree", "RD_rel weight", "RD_rel links",
+                     "Delay_rel", "Cost_rel"});
+  for (const Row& row : rows) {
+    eval::ScenarioParams params;
+    params.topology = row.model;
+    params.smrp.d_thresh = 0.3;
+    params.target_degree = 7.0;
+    const eval::SweepCell cell =
+        eval::run_sweep(params, 10, 10, bench::kDefaultSeed);
+    table.add_row(
+        {row.label, eval::Table::fixed(cell.avg_degree, 2),
+         eval::Table::percent_with_ci(cell.rd_relative.mean,
+                                      cell.rd_relative.ci95_half),
+         eval::Table::percent_with_ci(cell.rd_relative_hops.mean,
+                                      cell.rd_relative_hops.ci95_half),
+         eval::Table::percent_with_ci(cell.delay_relative.mean,
+                                      cell.delay_relative.ci95_half),
+         eval::Table::percent_with_ci(cell.cost_relative.mean,
+                                      cell.cost_relative.ci95_half)});
+  }
+  std::cout << table.render()
+            << "\nexpected: the local-detour advantage is structural, not "
+               "a Waxman artefact; power-law hubs concentrate\nsharing, so "
+               "SMRP has headroom there too.\n\n";
+  return 0;
+}

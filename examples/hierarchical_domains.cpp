@@ -1,0 +1,72 @@
+// Hierarchical recovery architecture demo (§3.3.3): a transit-stub
+// network with per-domain SMRP instances. Receivers live in stub domains;
+// failures are repaired inside the recovery domain that owns them, and
+// the output shows the confinement.
+//
+//   $ ./build/examples/hierarchical_domains
+#include <iostream>
+
+#include "eval/table.hpp"
+#include "hier/hierarchical.hpp"
+#include "net/transit_stub.hpp"
+
+int main() {
+  using namespace smrp;
+  net::Rng rng(7);
+
+  net::TransitStubParams params;
+  params.transit_nodes = 5;
+  params.stubs_per_transit = 2;
+  params.stub_size = 4;
+  const net::TransitStubTopology topo =
+      net::generate_transit_stub(params, rng);
+  std::cout << "transit-stub network: " << topo.graph.node_count()
+            << " nodes, " << topo.domain_count() - 1
+            << " stub domains around a " << params.transit_nodes
+            << "-node core\n";
+
+  hier::HierarchicalSession session(topo, /*source=*/0);
+  // Two receivers in each of the first four stub domains.
+  for (net::DomainId d = 1; d <= 4; ++d) {
+    const auto& nodes = topo.nodes_of_domain[static_cast<std::size_t>(d)];
+    session.join(nodes[nodes.size() - 1]);
+    session.join(nodes[nodes.size() - 2]);
+  }
+  std::cout << session.member_count() << " receivers joined across 4 domains; "
+            << "level-2 tree connects "
+            << session.transit_tree().tree().member_count() << " agents\n\n";
+
+  eval::Table delays({"receiver", "domain", "end-to-end delay"});
+  for (net::NodeId n = 0; n < topo.graph.node_count(); ++n) {
+    if (!session.is_member(n)) continue;
+    delays.add_row(
+        {std::to_string(n),
+         std::to_string(topo.domain_of_node[static_cast<std::size_t>(n)]),
+         eval::Table::fixed(session.delay_to_source(n), 1)});
+  }
+  std::cout << delays.render() << "\n";
+
+  // Fail every link of the level-2 tree and every link of domain 1's tree;
+  // show which recovery domain handles each and who is affected.
+  eval::Table drills({"failed link", "owning domain", "members hit",
+                      "members untouched", "repair distance"});
+  int shown = 0;
+  for (net::LinkId l = 0; l < topo.graph.link_count() && shown < 10; ++l) {
+    const hier::HierRecoveryOutcome out = session.recover(l);
+    if (!out.link_on_tree) continue;
+    ++shown;
+    const net::Link& link = topo.graph.link(l);
+    drills.add_row(
+        {std::to_string(link.a) + "-" + std::to_string(link.b),
+         out.domain == net::kTransitDomain ? "transit core"
+                                           : "stub " + std::to_string(out.domain),
+         std::to_string(out.disconnected_members),
+         std::to_string(out.unaffected_members),
+         out.recovered ? eval::Table::fixed(out.recovery_distance, 1)
+                       : "unrecoverable"});
+  }
+  std::cout << drills.render()
+            << "\nevery repair stays inside the domain that owns the failed "
+               "link; other domains never reconfigure.\n";
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Multi-failure endurance experiment (an extension in the spirit of the
+// paper's "ongoing work" section): a session survives a *sequence* of
+// persistent failures, each repaired before the next strikes. The SMRP
+// tree repairs via local detours; the SPF baseline re-joins via global
+// detours — both against the same accumulated damage.
+#pragma once
+
+#include "eval/scenario.hpp"
+
+namespace smrp::eval {
+
+struct FailureSequenceParams {
+  ScenarioParams scenario;  ///< topology / group / protocol knobs
+  int failures = 5;         ///< successive persistent link failures
+};
+
+struct FailureStep {
+  net::LinkId failed_link = net::kNoLink;
+  int lost_smrp = 0;            ///< members disconnected on the SMRP tree
+  int lost_spf = 0;
+  double rd_smrp = 0.0;         ///< total repair distance this step
+  double rd_spf = 0.0;
+  int unrecoverable_smrp = 0;   ///< members permanently cut off
+  int unrecoverable_spf = 0;
+  double mean_delay_smrp = 0.0; ///< member delay after the repair
+  double mean_delay_spf = 0.0;
+};
+
+struct FailureSequenceResult {
+  std::vector<FailureStep> steps;
+  int final_members_smrp = 0;
+  int final_members_spf = 0;
+  double total_rd_smrp = 0.0;
+  double total_rd_spf = 0.0;
+};
+
+/// Build both trees, then inject `failures` successive link failures
+/// (each drawn uniformly from the links currently carrying either
+/// session), repairing both trees after each. All failed links stay down.
+[[nodiscard]] FailureSequenceResult run_failure_sequence(
+    const FailureSequenceParams& params, net::Rng& rng);
+
+}  // namespace smrp::eval

@@ -1,0 +1,270 @@
+#include "eval/script.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "net/random_graphs.hpp"
+#include "net/waxman.hpp"
+#include "smrp/harness.hpp"
+
+namespace smrp::eval {
+
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& what) {
+  throw std::invalid_argument("scenario line " + std::to_string(line) + ": " +
+                              what);
+}
+
+/// Parse "key=value" settings after a topology keyword.
+std::map<std::string, double> parse_settings(std::istringstream& in,
+                                             int line) {
+  std::map<std::string, double> out;
+  std::string token;
+  while (in >> token) {
+    const auto eq = token.find('=');
+    if (eq == std::string::npos) fail(line, "expected key=value: " + token);
+    try {
+      out[token.substr(0, eq)] = std::stod(token.substr(eq + 1));
+    } catch (const std::exception&) {
+      fail(line, "bad numeric value in " + token);
+    }
+  }
+  return out;
+}
+
+double take(std::map<std::string, double>& settings, const std::string& key,
+            double fallback) {
+  const auto it = settings.find(key);
+  if (it == settings.end()) return fallback;
+  const double v = it->second;
+  settings.erase(it);
+  return v;
+}
+
+}  // namespace
+
+ScenarioScript ScenarioScript::parse(std::istream& in) {
+  ScenarioScript script;
+  bool saw_run = false;
+  std::string raw;
+  int line = 0;
+  while (std::getline(in, raw)) {
+    ++line;
+    const auto hash = raw.find('#');
+    if (hash != std::string::npos) raw.erase(hash);
+    std::istringstream tokens(raw);
+    std::string command;
+    if (!(tokens >> command)) continue;  // blank/comment line
+
+    if (command == "topology") {
+      std::string model;
+      if (!(tokens >> model)) fail(line, "topology needs a model");
+      auto settings = parse_settings(tokens, line);
+      script.node_count_ = static_cast<int>(take(settings, "n", 60));
+      script.seed_ = static_cast<std::uint64_t>(take(settings, "seed", 1));
+      if (model == "waxman") {
+        script.topology_ = Topology::kWaxman;
+        script.alpha_ = take(settings, "alpha", 0.2);
+        script.beta_ = take(settings, "beta", 0.3);
+      } else if (model == "erdos") {
+        script.topology_ = Topology::kErdosRenyi;
+        script.degree_ = take(settings, "degree", 6.0);
+      } else if (model == "ba") {
+        script.topology_ = Topology::kBarabasiAlbert;
+        script.ba_m_ = static_cast<int>(take(settings, "m", 2));
+      } else {
+        fail(line, "unknown topology model: " + model);
+      }
+      if (!settings.empty()) {
+        fail(line, "unknown setting: " + settings.begin()->first);
+      }
+    } else if (command == "mode") {
+      std::string mode;
+      if (!(tokens >> mode)) fail(line, "mode needs smrp|pim");
+      if (mode == "smrp") {
+        script.session_.mode = proto::SessionConfig::Mode::kSmrp;
+      } else if (mode == "pim") {
+        script.session_.mode = proto::SessionConfig::Mode::kPimSpf;
+      } else {
+        fail(line, "unknown mode: " + mode);
+      }
+    } else if (command == "dthresh") {
+      if (!(tokens >> script.session_.smrp.d_thresh)) {
+        fail(line, "dthresh needs a number");
+      }
+    } else if (command == "source") {
+      if (!(tokens >> script.source_)) fail(line, "source needs a node id");
+    } else if (command == "at") {
+      ScriptEvent event;
+      std::string action;
+      if (!(tokens >> event.at >> action)) {
+        fail(line, "at needs a time and an action");
+      }
+      if (event.at < 0) fail(line, "negative time");
+      if (action == "join" || action == "leave" || action == "fail-node" ||
+          action == "restore-node") {
+        if (!(tokens >> event.a)) fail(line, action + " needs a node id");
+        event.kind = action == "join"        ? ScriptEvent::Kind::kJoin
+                     : action == "leave"     ? ScriptEvent::Kind::kLeave
+                     : action == "fail-node" ? ScriptEvent::Kind::kFailNode
+                                             : ScriptEvent::Kind::kRestoreNode;
+      } else if (action == "fail-link" || action == "restore-link") {
+        if (!(tokens >> event.a >> event.b)) {
+          fail(line, action + " needs two node ids");
+        }
+        event.kind = action == "fail-link" ? ScriptEvent::Kind::kFailLink
+                                           : ScriptEvent::Kind::kRestoreLink;
+      } else if (action == "report") {
+        event.kind = ScriptEvent::Kind::kReport;
+      } else {
+        fail(line, "unknown action: " + action);
+      }
+      script.events_.push_back(event);
+    } else if (command == "run") {
+      if (!(tokens >> script.run_until_)) fail(line, "run needs a duration");
+      saw_run = true;
+    } else {
+      fail(line, "unknown command: " + command);
+    }
+  }
+  if (!saw_run) {
+    throw std::invalid_argument("scenario: missing final `run <ms>`");
+  }
+  for (const ScriptEvent& e : script.events_) {
+    if (e.at > script.run_until_) {
+      throw std::invalid_argument("scenario: event after the run horizon");
+    }
+  }
+  std::stable_sort(
+      script.events_.begin(), script.events_.end(),
+      [](const ScriptEvent& x, const ScriptEvent& y) { return x.at < y.at; });
+  return script;
+}
+
+ScenarioScript ScenarioScript::parse_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse(in);
+}
+
+ScenarioScript::RunReport ScenarioScript::execute() const {
+  net::Rng rng(seed_);
+  net::Graph graph;
+  switch (topology_) {
+    case Topology::kWaxman: {
+      net::WaxmanParams p;
+      p.node_count = node_count_;
+      p.alpha = alpha_;
+      p.beta = beta_;
+      graph = net::waxman_graph(p, rng);
+      break;
+    }
+    case Topology::kErdosRenyi: {
+      net::ErdosRenyiParams p;
+      p.node_count = node_count_;
+      p.edge_probability = degree_ / static_cast<double>(node_count_ - 1);
+      graph = net::erdos_renyi_graph(p, rng);
+      break;
+    }
+    case Topology::kBarabasiAlbert: {
+      net::BarabasiAlbertParams p;
+      p.node_count = node_count_;
+      p.edges_per_node = ba_m_;
+      graph = net::barabasi_albert_graph(p, rng);
+      break;
+    }
+  }
+  if (!graph.valid_node(source_)) {
+    throw std::invalid_argument("scenario: source outside the topology");
+  }
+
+  proto::SimulationHarness harness(graph, source_, session_);
+  harness.start();
+
+  RunReport report;
+  std::vector<net::NodeId> members;
+  const auto log = [&](sim::Time at, const std::string& text) {
+    std::ostringstream line;
+    line << "t=" << at << "ms: " << text;
+    report.log.push_back(line.str());
+  };
+
+  const auto resolve_link = [&](const ScriptEvent& e) {
+    const auto link = graph.link_between(e.a, e.b);
+    if (!link) {
+      throw std::invalid_argument("scenario: no link " + std::to_string(e.a) +
+                                  "-" + std::to_string(e.b));
+    }
+    return *link;
+  };
+
+  for (const ScriptEvent& e : events_) {
+    harness.simulator().run_until(e.at);
+    switch (e.kind) {
+      case ScriptEvent::Kind::kJoin:
+        harness.session().join(e.a);
+        members.push_back(e.a);
+        log(e.at, "join " + std::to_string(e.a));
+        break;
+      case ScriptEvent::Kind::kLeave:
+        harness.session().leave(e.a);
+        members.erase(std::remove(members.begin(), members.end(), e.a),
+                      members.end());
+        log(e.at, "leave " + std::to_string(e.a));
+        break;
+      case ScriptEvent::Kind::kFailLink:
+        harness.network().set_link_up(resolve_link(e), false);
+        log(e.at, "fail-link " + std::to_string(e.a) + "-" +
+                      std::to_string(e.b));
+        break;
+      case ScriptEvent::Kind::kRestoreLink:
+        harness.network().set_link_up(resolve_link(e), true);
+        log(e.at, "restore-link " + std::to_string(e.a) + "-" +
+                      std::to_string(e.b));
+        break;
+      case ScriptEvent::Kind::kFailNode:
+        harness.network().set_node_up(e.a, false);
+        log(e.at, "fail-node " + std::to_string(e.a));
+        break;
+      case ScriptEvent::Kind::kRestoreNode:
+        harness.network().set_node_up(e.a, true);
+        log(e.at, "restore-node " + std::to_string(e.a));
+        break;
+      case ScriptEvent::Kind::kReport: {
+        for (const net::NodeId m : members) {
+          std::ostringstream text;
+          text << "member " << m << " ";
+          if (!harness.network().node_up(m)) {
+            text << "is down";
+          } else {
+            const sim::Time last = harness.session().last_data_at(m);
+            if (last < 0) {
+              text << "never served";
+            } else {
+              text << "last data " << (e.at - last) << "ms ago";
+            }
+          }
+          log(e.at, text.str());
+        }
+        break;
+      }
+    }
+  }
+  harness.simulator().run_until(run_until_);
+
+  report.members_at_end = static_cast<int>(members.size());
+  for (const net::NodeId m : members) {
+    if (!harness.network().node_up(m)) continue;  // dead, not starved
+    const sim::Time last = harness.session().last_data_at(m);
+    const bool starved =
+        last < 0 || run_until_ - last > 4 * session_.data_interval +
+                                            2 * session_.refresh_interval;
+    if (starved) ++report.starved_members_at_end;
+  }
+  report.repairs_completed = harness.session().repairs_completed();
+  return report;
+}
+
+}  // namespace smrp::eval

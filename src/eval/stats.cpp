@@ -1,0 +1,75 @@
+#include "eval/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace smrp::eval {
+
+double t_critical_95(int dof) {
+  // Two-sided 95% quantiles; exact for the listed dof, interpolated in
+  // between, 1.96 asymptotically.
+  struct Entry {
+    int dof;
+    double t;
+  };
+  static constexpr Entry kTable[] = {
+      {1, 12.706}, {2, 4.303}, {3, 3.182}, {4, 2.776}, {5, 2.571},
+      {6, 2.447},  {7, 2.365}, {8, 2.306}, {9, 2.262}, {10, 2.228},
+      {12, 2.179}, {15, 2.131}, {20, 2.086}, {25, 2.060}, {30, 2.042},
+      {40, 2.021}, {60, 2.000}, {80, 1.990}, {100, 1.984}, {120, 1.980},
+  };
+  if (dof < 1) return 0.0;
+  const Entry* prev = &kTable[0];
+  for (const Entry& e : kTable) {
+    if (dof == e.dof) return e.t;
+    if (dof < e.dof) {
+      // Linear interpolation in 1/dof, the natural scale for t quantiles.
+      const double x0 = 1.0 / prev->dof;
+      const double x1 = 1.0 / e.dof;
+      const double x = 1.0 / dof;
+      const double w = (x - x0) / (x1 - x0);
+      return prev->t + w * (e.t - prev->t);
+    }
+    prev = &e;
+  }
+  // dof > 120: interpolate toward the normal quantile.
+  const double w = 120.0 / dof;
+  return 1.96 + w * (1.980 - 1.96);
+}
+
+void RunningStats::add(double x) noexcept {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / count_;
+  m2_ += delta * (x - mean_);
+}
+
+Summary RunningStats::summary() const noexcept {
+  Summary s;
+  s.count = count_;
+  if (count_ == 0) return s;
+  s.mean = mean_;
+  s.min = min_;
+  s.max = max_;
+  if (count_ > 1) {
+    s.stddev = std::sqrt(m2_ / (count_ - 1));
+    s.ci95_half = t_critical_95(count_ - 1) * s.stddev /
+                  std::sqrt(static_cast<double>(count_));
+  }
+  return s;
+}
+
+Summary summarize(std::span<const double> samples) {
+  RunningStats acc;
+  for (const double x : samples) acc.add(x);
+  return acc.summary();
+}
+
+}  // namespace smrp::eval

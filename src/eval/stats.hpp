@@ -1,0 +1,43 @@
+// Small statistics toolkit for the benches: summary statistics and the 95%
+// confidence intervals the paper draws as error bars (Figs. 8–10).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace smrp::eval {
+
+struct Summary {
+  int count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;     ///< sample standard deviation (n-1 denominator)
+  double ci95_half = 0.0;  ///< half-width of the 95% CI on the mean
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Single-pass (Welford) summary of the samples. Empty input yields a
+/// zeroed Summary with count 0.
+[[nodiscard]] Summary summarize(std::span<const double> samples);
+
+/// Two-sided 95% critical value of Student's t with `dof` degrees of
+/// freedom (dof ≥ 1; large dof converges to 1.96).
+[[nodiscard]] double t_critical_95(int dof);
+
+/// Accumulator for streaming use.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  [[nodiscard]] Summary summary() const noexcept;
+  [[nodiscard]] int count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+
+ private:
+  int count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace smrp::eval

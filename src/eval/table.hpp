@@ -1,0 +1,32 @@
+// Fixed-width ASCII table rendering for the bench binaries, so every
+// figure's data prints as the same kind of self-describing block.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace smrp::eval {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append one row; cell count must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with aligned columns, a header rule, and a trailing newline.
+  [[nodiscard]] std::string render() const;
+
+  /// Format helpers used by the benches.
+  static std::string fixed(double value, int decimals = 3);
+  static std::string percent(double fraction, int decimals = 1);
+  static std::string with_ci(double mean, double ci_half, int decimals = 3);
+  static std::string percent_with_ci(double mean, double ci_half,
+                                     int decimals = 1);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace smrp::eval

@@ -1,0 +1,226 @@
+#include "hier/hierarchical.hpp"
+
+#include <stdexcept>
+
+namespace smrp::hier {
+
+HierarchicalSession::HierarchicalSession(const TransitStubTopology& topology,
+                                         net::NodeId source,
+                                         HierConfig config)
+    : topology_(&topology),
+      config_(config),
+      source_(source),
+      source_domain_(topology.domain_of_node.at(
+          static_cast<std::size_t>(source))),
+      domains_(static_cast<std::size_t>(topology.domain_count())),
+      member_flags_(static_cast<std::size_t>(topology.graph.node_count()), 0) {
+  // Level-2 view: the transit core plus every stub domain's agent, so the
+  // level-2 tree can terminate at agents (the paper's RD0 with A1..A4).
+  std::vector<net::NodeId> level2_nodes = topology.nodes_of_domain[0];
+  for (DomainId d = 1; d < topology.domain_count(); ++d) {
+    level2_nodes.push_back(agent_of_domain(d));
+  }
+  transit_view_ = std::make_unique<SubgraphView>(topology.graph,
+                                                 std::move(level2_nodes));
+  const net::NodeId transit_root =
+      source_domain_ == net::kTransitDomain
+          ? transit_view_->to_local(source)
+          : transit_view_->to_local(agent_of_domain(source_domain_));
+  transit_builder_ = std::make_unique<proto::SmrpTreeBuilder>(
+      transit_view_->graph(), transit_root, config_.smrp);
+
+  if (source_domain_ != net::kTransitDomain) {
+    // The source's own domain instance exists from the start; its agent
+    // joins as a member to relay packets out (paper's A1 exception).
+    DomainInstance& instance = ensure_domain(source_domain_);
+    const net::NodeId agent = agent_of_domain(source_domain_);
+    if (agent != source) {
+      instance.builder->join(instance.view->to_local(agent));
+    }
+  }
+}
+
+net::NodeId HierarchicalSession::agent_of_domain(DomainId d) const {
+  if (d <= 0 || d >= topology_->domain_count()) {
+    throw std::out_of_range("bad stub domain");
+  }
+  // The stub generator wires the access link gateway → first patch node.
+  return topology_->nodes_of_domain[static_cast<std::size_t>(d)].front();
+}
+
+HierarchicalSession::DomainInstance& HierarchicalSession::ensure_domain(
+    DomainId d) {
+  DomainInstance& instance = domains_[static_cast<std::size_t>(d)];
+  if (instance.builder) return instance;
+  instance.view = std::make_unique<SubgraphView>(
+      topology_->graph, topology_->nodes_of_domain[static_cast<std::size_t>(d)]);
+  const net::NodeId root =
+      (d == source_domain_) ? source_ : agent_of_domain(d);
+  instance.builder = std::make_unique<proto::SmrpTreeBuilder>(
+      instance.view->graph(), instance.view->to_local(root), config_.smrp);
+  if (d != source_domain_ && d != net::kTransitDomain) {
+    // First use of this domain: pull its agent into the level-2 tree.
+    transit_builder_->join(transit_view_->to_local(agent_of_domain(d)));
+  }
+  return instance;
+}
+
+void HierarchicalSession::join(net::NodeId member) {
+  if (member == source_) {
+    throw std::invalid_argument("source cannot join its own session");
+  }
+  if (member_flags_[static_cast<std::size_t>(member)]) return;
+  const DomainId d =
+      topology_->domain_of_node[static_cast<std::size_t>(member)];
+  if (d == net::kTransitDomain) {
+    transit_builder_->join(transit_view_->to_local(member));
+  } else {
+    DomainInstance& instance = ensure_domain(d);
+    const net::NodeId local = instance.view->to_local(member);
+    // The domain root (agent or source) cannot also be a receiver here.
+    if (local == instance.builder->tree().source()) {
+      throw std::invalid_argument("domain agent cannot join as receiver");
+    }
+    instance.builder->join(local);
+  }
+  member_flags_[static_cast<std::size_t>(member)] = 1;
+  ++member_count_;
+}
+
+bool HierarchicalSession::is_member(net::NodeId n) const {
+  return member_flags_[static_cast<std::size_t>(n)] != 0;
+}
+
+const proto::SmrpTreeBuilder* HierarchicalSession::domain_tree(
+    DomainId d) const {
+  return domains_[static_cast<std::size_t>(d)].builder.get();
+}
+
+double HierarchicalSession::delay_to_source(net::NodeId member) const {
+  if (!is_member(member)) throw std::invalid_argument("not a member");
+  const DomainId d =
+      topology_->domain_of_node[static_cast<std::size_t>(member)];
+
+  // Source-side delay: source → its agent (zero if the source is transit
+  // or the member shares the source's domain).
+  double source_side = 0.0;
+  if (source_domain_ != net::kTransitDomain && d != source_domain_) {
+    const DomainInstance& src_instance =
+        domains_[static_cast<std::size_t>(source_domain_)];
+    const net::NodeId agent = agent_of_domain(source_domain_);
+    if (agent != source_) {
+      source_side = src_instance.builder->tree().delay_to_source(
+          src_instance.view->to_local(agent));
+    }
+  }
+
+  if (d == net::kTransitDomain) {
+    return source_side + transit_builder_->tree().delay_to_source(
+                             transit_view_->to_local(member));
+  }
+  const DomainInstance& instance = domains_[static_cast<std::size_t>(d)];
+  const double intra = instance.builder->tree().delay_to_source(
+      instance.view->to_local(member));
+  if (d == source_domain_) return intra;  // rooted at the source directly
+  const double transit = transit_builder_->tree().delay_to_source(
+      transit_view_->to_local(agent_of_domain(d)));
+  return source_side + transit + intra;
+}
+
+double HierarchicalSession::total_cost() const {
+  double total = transit_builder_->tree().total_cost();
+  for (const DomainInstance& instance : domains_) {
+    if (instance.builder) total += instance.builder->tree().total_cost();
+  }
+  return total;
+}
+
+DomainId HierarchicalSession::domain_of_link(net::LinkId link) const {
+  const net::Link& l = topology_->graph.link(link);
+  const DomainId da = topology_->domain_of_node[static_cast<std::size_t>(l.a)];
+  const DomainId db = topology_->domain_of_node[static_cast<std::size_t>(l.b)];
+  // Intra-stub links belong to the stub; everything else (core links and
+  // gateway↔agent access links) is repaired at level 2.
+  return (da == db) ? da : net::kTransitDomain;
+}
+
+HierRecoveryOutcome HierarchicalSession::recover(net::LinkId failed) const {
+  HierRecoveryOutcome out;
+  out.domain = domain_of_link(failed);
+
+  const bool transit_level = out.domain == net::kTransitDomain;
+  const SubgraphView* view = transit_level
+                                 ? transit_view_.get()
+                                 : domains_[static_cast<std::size_t>(out.domain)]
+                                       .view.get();
+  const proto::SmrpTreeBuilder* builder =
+      transit_level
+          ? transit_builder_.get()
+          : domains_[static_cast<std::size_t>(out.domain)].builder.get();
+  if (view == nullptr || builder == nullptr) {
+    out.unaffected_members = member_count_;
+    return out;  // failure in a domain without session state
+  }
+  const auto local_link = view->link_to_local(failed);
+  if (!local_link) {
+    out.unaffected_members = member_count_;
+    return out;
+  }
+  const mcast::MulticastTree& tree = builder->tree();
+  const auto survivors = tree.surviving_after_link(*local_link);
+
+  // Which of this tree's members lost service?
+  std::vector<net::NodeId> victims;
+  for (const net::NodeId m : tree.members()) {
+    if (!survivors[static_cast<std::size_t>(m)]) victims.push_back(m);
+  }
+  if (victims.empty()) {
+    out.unaffected_members = member_count_;
+    return out;
+  }
+  out.link_on_tree = true;
+  out.recovered = true;
+  for (const net::NodeId victim : victims) {
+    const proto::RecoveryOutcome rec = proto::local_detour_recovery(
+        view->graph(), tree, victim, *local_link);
+    if (!rec.recovered) {
+      out.recovered = false;
+      continue;
+    }
+    out.recovery_distance += rec.recovery_distance;
+    out.recovery_hops += rec.recovery_hops;
+  }
+
+  // Receivers that actually lost data, network-wide.
+  int receivers_lost = 0;
+  if (transit_level) {
+    for (const net::NodeId local_victim : victims) {
+      const net::NodeId global = view->to_global(local_victim);
+      const DomainId gd =
+          topology_->domain_of_node[static_cast<std::size_t>(global)];
+      if (gd == net::kTransitDomain) {
+        // A transit-resident receiver.
+        if (is_member(global)) ++receivers_lost;
+      } else {
+        // A disconnected agent starves its whole domain.
+        const auto* dt = domain_tree(gd);
+        if (dt != nullptr) receivers_lost += dt->tree().member_count();
+        // Subtract the agent itself when it is a relay member, not a
+        // receiver (the source-domain agent case).
+        if (gd == source_domain_ && agent_of_domain(gd) != source_ &&
+            !is_member(agent_of_domain(gd))) {
+          --receivers_lost;
+        }
+      }
+    }
+  } else {
+    for (const net::NodeId local_victim : victims) {
+      if (is_member(view->to_global(local_victim))) ++receivers_lost;
+    }
+  }
+  out.disconnected_members = receivers_lost;
+  out.unaffected_members = member_count_ - receivers_lost;
+  return out;
+}
+
+}  // namespace smrp::hier

@@ -1,0 +1,112 @@
+// Hierarchical recovery architecture (§3.3.3): sub-multicast trees per
+// recovery domain on a transit-stub topology. Each stub domain with
+// receivers runs its own SMRP instance rooted at the domain's *agent*
+// (its gateway-side attachment); the transit core runs a level-2 SMRP
+// instance connecting the agents of member domains to the source side.
+// A link failure is repaired entirely inside the recovery domain that
+// contains the link, so reconfiguration never spills across domains.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "hier/subgraph.hpp"
+#include "net/transit_stub.hpp"
+#include "smrp/recovery.hpp"
+#include "smrp/tree_builder.hpp"
+
+namespace smrp::hier {
+
+using net::DomainId;
+using net::TransitStubTopology;
+
+struct HierConfig {
+  proto::SmrpConfig smrp;  ///< settings shared by every domain instance
+};
+
+/// Outcome of repairing one failed link under the hierarchical scheme.
+struct HierRecoveryOutcome {
+  bool link_on_tree = false;   ///< failure touched the session at all
+  DomainId domain = -1;        ///< recovery domain that owns the failure
+  bool recovered = false;
+  double recovery_distance = 0.0;  ///< Σ RD over the domain's repairs
+  int recovery_hops = 0;
+  int disconnected_members = 0;  ///< receivers (or agents) that lost service
+  /// Members of *other* domains whose service survived untouched — the
+  /// confinement benefit of the architecture.
+  int unaffected_members = 0;
+};
+
+class HierarchicalSession {
+ public:
+  /// `source` may be any node; if it lives in a stub domain, that domain's
+  /// agent relays traffic to the level-2 tree (paper's A1 case).
+  HierarchicalSession(const TransitStubTopology& topology,
+                      net::NodeId source, HierConfig config = {});
+
+  /// Join a receiver (it must live in a stub domain). Lazily instantiates
+  /// the domain's SMRP instance and pulls the domain's agent into the
+  /// level-2 tree.
+  void join(net::NodeId member);
+
+  [[nodiscard]] bool is_member(net::NodeId n) const;
+
+  /// End-to-end delay source → member across the domain trees.
+  [[nodiscard]] double delay_to_source(net::NodeId member) const;
+
+  /// Total cost across every domain tree.
+  [[nodiscard]] double total_cost() const;
+
+  /// Repair the session after `failed_link` dies: the owning domain's
+  /// instance performs local-detour recovery for each receiver (or agent)
+  /// it lost. Reports the confinement statistics.
+  [[nodiscard]] HierRecoveryOutcome recover(net::LinkId failed_link) const;
+
+  /// Domain that owns a link (a stub domain owns its access link).
+  [[nodiscard]] DomainId domain_of_link(net::LinkId link) const;
+
+  [[nodiscard]] const TransitStubTopology& topology() const noexcept {
+    return *topology_;
+  }
+  /// The level-2 (transit) SMRP instance.
+  [[nodiscard]] const proto::SmrpTreeBuilder& transit_tree() const {
+    return *transit_builder_;
+  }
+  /// The per-domain instance, if instantiated.
+  [[nodiscard]] const proto::SmrpTreeBuilder* domain_tree(DomainId d) const;
+
+  /// Id-translation view of a stub domain (nullptr if not instantiated).
+  [[nodiscard]] const SubgraphView* domain_view(DomainId d) const {
+    return domains_[static_cast<std::size_t>(d)].view.get();
+  }
+  [[nodiscard]] const SubgraphView& level2_view() const {
+    return *transit_view_;
+  }
+
+  /// Agent node of a stub domain: the stub-side endpoint of its access
+  /// link (the node the gateway connects into).
+  [[nodiscard]] net::NodeId agent_of_domain(DomainId d) const;
+
+  [[nodiscard]] int member_count() const noexcept { return member_count_; }
+
+ private:
+  struct DomainInstance {
+    std::unique_ptr<SubgraphView> view;
+    std::unique_ptr<proto::SmrpTreeBuilder> builder;
+  };
+
+  DomainInstance& ensure_domain(DomainId d);
+
+  const TransitStubTopology* topology_;
+  HierConfig config_;
+  net::NodeId source_;
+  DomainId source_domain_;
+  std::unique_ptr<SubgraphView> transit_view_;
+  std::unique_ptr<proto::SmrpTreeBuilder> transit_builder_;
+  std::vector<DomainInstance> domains_;
+  std::vector<char> member_flags_;
+  int member_count_ = 0;
+};
+
+}  // namespace smrp::hier

@@ -1,0 +1,43 @@
+// Node-induced subgraph with id translation, used to confine per-domain
+// protocol instances (§3.3.3) to their recovery domain.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "net/graph.hpp"
+
+namespace smrp::hier {
+
+using net::Graph;
+using net::LinkId;
+using net::NodeId;
+
+class SubgraphView {
+ public:
+  /// Build the subgraph induced by `global_nodes` (links kept iff both
+  /// endpoints are inside). Node order defines the local id mapping.
+  SubgraphView(const Graph& parent, std::vector<NodeId> global_nodes);
+
+  [[nodiscard]] const Graph& graph() const noexcept { return graph_; }
+
+  [[nodiscard]] bool contains_global(NodeId global) const {
+    return to_local_.count(global) > 0;
+  }
+  [[nodiscard]] NodeId to_local(NodeId global) const;
+  [[nodiscard]] NodeId to_global(NodeId local) const;
+
+  /// Local link corresponding to a parent-graph link, if both endpoints
+  /// are inside the view.
+  [[nodiscard]] std::optional<LinkId> link_to_local(LinkId global) const;
+  [[nodiscard]] LinkId link_to_global(LinkId local) const;
+
+ private:
+  Graph graph_;
+  std::vector<NodeId> to_global_nodes_;
+  std::unordered_map<NodeId, NodeId> to_local_;
+  std::vector<LinkId> to_global_links_;
+  std::unordered_map<LinkId, LinkId> link_to_local_;
+};
+
+}  // namespace smrp::hier

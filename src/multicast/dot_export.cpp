@@ -1,0 +1,90 @@
+#include "multicast/dot_export.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace smrp::mcast {
+
+namespace {
+
+void emit_header(std::ostream& out, const DotOptions& options) {
+  out << "graph " << options.graph_name << " {\n"
+      << "  layout=neato;\n  overlap=false;\n  node [shape=circle];\n";
+}
+
+void emit_link(std::ostream& out, const net::Link& link, bool on_tree,
+               const DotOptions& options) {
+  out << "  " << link.a << " -- " << link.b << " [";
+  if (options.include_weights) {
+    out << "label=\"" << std::setprecision(3) << link.weight << "\"";
+  }
+  if (on_tree) {
+    out << (options.include_weights ? ", " : "")
+        << "penwidth=2.5, color=\"#1f78b4\"";
+  } else {
+    out << (options.include_weights ? ", " : "") << "color=\"#bbbbbb\"";
+  }
+  out << "];\n";
+}
+
+}  // namespace
+
+void to_dot(const net::Graph& graph, std::ostream& out,
+            const DotOptions& options) {
+  emit_header(out, options);
+  for (net::NodeId n = 0; n < graph.node_count(); ++n) {
+    out << "  " << n << ";\n";
+  }
+  for (const net::Link& link : graph.links()) {
+    emit_link(out, link, false, options);
+  }
+  out << "}\n";
+}
+
+void to_dot(const MulticastTree& tree, std::ostream& out,
+            const DotOptions& options) {
+  const net::Graph& graph = tree.graph();
+  emit_header(out, options);
+
+  for (net::NodeId n = 0; n < graph.node_count(); ++n) {
+    if (!options.include_off_tree && !tree.on_tree(n)) continue;
+    out << "  " << n << " [";
+    if (n == tree.source()) {
+      out << "shape=doublecircle, style=filled, fillcolor=\"#ffd92f\"";
+    } else if (tree.is_member(n)) {
+      out << "style=filled, fillcolor=\"#a6d854\"";
+    } else if (tree.on_tree(n)) {
+      out << "style=filled, fillcolor=\"#e5f5e0\"";
+    } else {
+      out << "color=\"#cccccc\", fontcolor=\"#999999\"";
+    }
+    out << "];\n";
+  }
+
+  // Mark tree links once for O(1) lookup.
+  std::vector<char> on_tree_link(
+      static_cast<std::size_t>(graph.link_count()), 0);
+  for (const net::LinkId l : tree.tree_links()) {
+    on_tree_link[static_cast<std::size_t>(l)] = 1;
+  }
+  for (net::LinkId l = 0; l < graph.link_count(); ++l) {
+    const bool on_tree = on_tree_link[static_cast<std::size_t>(l)] != 0;
+    if (!options.include_off_tree && !on_tree) continue;
+    const net::Link& link = graph.link(l);
+    if (!options.include_off_tree &&
+        (!tree.on_tree(link.a) || !tree.on_tree(link.b))) {
+      continue;
+    }
+    emit_link(out, link, on_tree, options);
+  }
+  out << "}\n";
+}
+
+std::string to_dot_string(const MulticastTree& tree,
+                          const DotOptions& options) {
+  std::ostringstream out;
+  to_dot(tree, out, options);
+  return out.str();
+}
+
+}  // namespace smrp::mcast

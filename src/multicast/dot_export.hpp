@@ -1,0 +1,31 @@
+// Graphviz (DOT) rendering of topologies and multicast trees, for
+// debugging and for figures: tree links are drawn bold, members filled,
+// the source double-circled. Pipe through `dot -Tsvg` to visualise.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "multicast/tree.hpp"
+
+namespace smrp::mcast {
+
+struct DotOptions {
+  bool include_weights = true;     ///< label links with their weights
+  bool include_off_tree = true;    ///< draw nodes/links outside the tree
+  std::string graph_name = "smrp";
+};
+
+/// Render the bare topology.
+void to_dot(const net::Graph& graph, std::ostream& out,
+            const DotOptions& options = {});
+
+/// Render the topology with the session overlaid.
+void to_dot(const MulticastTree& tree, std::ostream& out,
+            const DotOptions& options = {});
+
+/// Convenience: DOT text as a string.
+[[nodiscard]] std::string to_dot_string(const MulticastTree& tree,
+                                        const DotOptions& options = {});
+
+}  // namespace smrp::mcast

@@ -1,0 +1,53 @@
+#include "multicast/metrics.hpp"
+
+#include <algorithm>
+
+namespace smrp::mcast {
+
+std::vector<std::pair<LinkId, int>> link_sharing(const MulticastTree& tree) {
+  std::vector<std::pair<LinkId, int>> out;
+  for (const NodeId n : tree.on_tree_nodes()) {
+    if (n == tree.source()) continue;
+    // N_L of the link toward the upstream equals N_R of the downstream node.
+    out.emplace_back(tree.parent_link(n), tree.subtree_members(n));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TreeMetrics measure(const MulticastTree& tree) {
+  TreeMetrics m;
+  m.total_cost = tree.total_cost();
+
+  const std::vector<NodeId> members = tree.members();
+  double delay_sum = 0.0;
+  double hop_sum = 0.0;
+  double shr_sum = 0.0;
+  for (const NodeId r : members) {
+    const double d = tree.delay_to_source(r);
+    delay_sum += d;
+    hop_sum += tree.hops_to_source(r);
+    shr_sum += tree.shr(r);
+    m.max_member_delay = std::max(m.max_member_delay, d);
+  }
+  if (!members.empty()) {
+    const auto count = static_cast<double>(members.size());
+    m.mean_member_delay = delay_sum / count;
+    m.mean_member_hops = hop_sum / count;
+    m.mean_member_shr = shr_sum / count;
+  }
+
+  const auto sharing = link_sharing(tree);
+  m.tree_link_count = static_cast<int>(sharing.size());
+  double share_sum = 0.0;
+  for (const auto& [link, n_l] : sharing) {
+    share_sum += n_l;
+    m.max_link_sharing = std::max(m.max_link_sharing, n_l);
+  }
+  if (!sharing.empty()) {
+    m.mean_link_sharing = share_sum / static_cast<double>(sharing.size());
+  }
+  return m;
+}
+
+}  // namespace smrp::mcast

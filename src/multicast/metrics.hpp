@@ -1,0 +1,31 @@
+// Whole-tree measurements used by the evaluation harness and the examples:
+// the paper's tree cost and end-to-end delay metrics (§4.2) plus sharing
+// statistics that make the SMRP-vs-SPF structural difference visible.
+#pragma once
+
+#include <vector>
+
+#include "multicast/tree.hpp"
+
+namespace smrp::mcast {
+
+struct TreeMetrics {
+  double total_cost = 0.0;       ///< Cost_T: Σ link weights on the tree
+  int tree_link_count = 0;       ///< number of links carrying the session
+  double mean_member_delay = 0;  ///< mean D(S,R) over members
+  double max_member_delay = 0;   ///< max D(S,R) over members
+  double mean_member_hops = 0;   ///< mean hop count over members
+  double mean_member_shr = 0;    ///< mean SHR(S,R) over members
+  int max_link_sharing = 0;      ///< max N_L over tree links
+  double mean_link_sharing = 0;  ///< mean N_L over tree links
+};
+
+/// Compute all metrics in one pass over the tree.
+[[nodiscard]] TreeMetrics measure(const MulticastTree& tree);
+
+/// N_L for every tree link (the per-link member count of Eq. 1), as pairs
+/// (link id, N_L), ascending by link id.
+[[nodiscard]] std::vector<std::pair<LinkId, int>> link_sharing(
+    const MulticastTree& tree);
+
+}  // namespace smrp::mcast

@@ -1,0 +1,483 @@
+#include "multicast/tree.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace smrp::mcast {
+
+MulticastTree::MulticastTree(const Graph& graph, NodeId source)
+    : graph_(&graph), source_(source) {
+  if (!graph.valid_node(source)) throw std::out_of_range("bad source");
+  nodes_.resize(static_cast<std::size_t>(graph.node_count()));
+  NodeState& s = state(source_);
+  s.role = NodeRole::kRelay;  // the source forwards but is not a receiver
+  on_tree_count_ = 1;
+}
+
+MulticastTree::NodeState& MulticastTree::state(NodeId n) {
+  if (!graph_->valid_node(n)) throw std::out_of_range("bad node id");
+  return nodes_[static_cast<std::size_t>(n)];
+}
+
+const MulticastTree::NodeState& MulticastTree::state(NodeId n) const {
+  if (!graph_->valid_node(n)) throw std::out_of_range("bad node id");
+  return nodes_[static_cast<std::size_t>(n)];
+}
+
+NodeRole MulticastTree::role(NodeId n) const { return state(n).role; }
+
+NodeId MulticastTree::parent(NodeId n) const { return state(n).parent; }
+
+LinkId MulticastTree::parent_link(NodeId n) const {
+  return state(n).parent_link;
+}
+
+const std::vector<NodeId>& MulticastTree::children(NodeId n) const {
+  return state(n).children;
+}
+
+int MulticastTree::subtree_members(NodeId n) const { return state(n).n_members; }
+
+int MulticastTree::shr(NodeId n) const {
+  const NodeState& s = state(n);
+  if (s.role == NodeRole::kOffTree) {
+    throw std::invalid_argument("SHR queried for off-tree node");
+  }
+  return s.shr;
+}
+
+std::vector<NodeId> MulticastTree::members() const {
+  std::vector<NodeId> out;
+  out.reserve(static_cast<std::size_t>(member_count_));
+  for (NodeId n = 0; n < graph_->node_count(); ++n) {
+    if (is_member(n)) out.push_back(n);
+  }
+  return out;
+}
+
+std::vector<NodeId> MulticastTree::on_tree_nodes() const {
+  std::vector<NodeId> out;
+  out.reserve(static_cast<std::size_t>(on_tree_count_));
+  for (NodeId n = 0; n < graph_->node_count(); ++n) {
+    if (on_tree(n)) out.push_back(n);
+  }
+  return out;
+}
+
+std::vector<NodeId> MulticastTree::path_to_source(NodeId n) const {
+  std::vector<NodeId> out;
+  if (!on_tree(n)) return out;
+  for (NodeId cur = n; cur != kNoNode; cur = state(cur).parent) {
+    out.push_back(cur);
+  }
+  return out;
+}
+
+double MulticastTree::delay_to_source(NodeId n) const {
+  if (!on_tree(n)) throw std::invalid_argument("off-tree node has no delay");
+  double total = 0.0;
+  for (NodeId cur = n; cur != source_; cur = state(cur).parent) {
+    total += graph_->link(state(cur).parent_link).weight;
+  }
+  return total;
+}
+
+int MulticastTree::hops_to_source(NodeId n) const {
+  if (!on_tree(n)) throw std::invalid_argument("off-tree node has no path");
+  int hops = 0;
+  for (NodeId cur = n; cur != source_; cur = state(cur).parent) ++hops;
+  return hops;
+}
+
+bool MulticastTree::is_ancestor_or_self(NodeId ancestor, NodeId n) const {
+  if (!on_tree(n) || !on_tree(ancestor)) return false;
+  for (NodeId cur = n; cur != kNoNode; cur = state(cur).parent) {
+    if (cur == ancestor) return true;
+  }
+  return false;
+}
+
+int MulticastTree::shr_excluding_subtree(NodeId merge_candidate,
+                                         NodeId member) const {
+  if (!on_tree(merge_candidate)) {
+    throw std::invalid_argument("merge candidate must be on-tree");
+  }
+  const int moving = subtree_members(member);
+  int total = 0;
+  for (NodeId cur = merge_candidate; cur != source_; cur = state(cur).parent) {
+    int contribution = state(cur).n_members;
+    // Nodes that currently serve `member`'s subtree would lose its members
+    // once the subtree moves away; discount them (§3.2.3 adjustment).
+    if (is_ancestor_or_self(cur, member)) contribution -= moving;
+    total += contribution;
+  }
+  return total;
+}
+
+std::vector<LinkId> MulticastTree::tree_links() const {
+  std::vector<LinkId> out;
+  for (NodeId n = 0; n < graph_->node_count(); ++n) {
+    if (on_tree(n) && n != source_) out.push_back(state(n).parent_link);
+  }
+  return out;
+}
+
+double MulticastTree::total_cost() const {
+  double total = 0.0;
+  for (const LinkId link : tree_links()) total += graph_->link(link).weight;
+  return total;
+}
+
+std::vector<char> MulticastTree::surviving_after_link(LinkId failed_link) const {
+  std::vector<char> alive(static_cast<std::size_t>(graph_->node_count()), 0);
+  // BFS downward from the source, stopping at the failed link.
+  std::vector<NodeId> stack{source_};
+  alive[static_cast<std::size_t>(source_)] = 1;
+  while (!stack.empty()) {
+    const NodeId n = stack.back();
+    stack.pop_back();
+    for (const NodeId child : state(n).children) {
+      if (state(child).parent_link == failed_link) continue;
+      alive[static_cast<std::size_t>(child)] = 1;
+      stack.push_back(child);
+    }
+  }
+  return alive;
+}
+
+std::vector<char> MulticastTree::surviving_after_node(NodeId failed_node) const {
+  std::vector<char> alive(static_cast<std::size_t>(graph_->node_count()), 0);
+  if (failed_node == source_) return alive;  // source loss kills the session
+  std::vector<NodeId> stack{source_};
+  alive[static_cast<std::size_t>(source_)] = 1;
+  while (!stack.empty()) {
+    const NodeId n = stack.back();
+    stack.pop_back();
+    for (const NodeId child : state(n).children) {
+      if (child == failed_node) continue;
+      alive[static_cast<std::size_t>(child)] = 1;
+      stack.push_back(child);
+    }
+  }
+  return alive;
+}
+
+void MulticastTree::add_member_count_upward(NodeId from, int delta) {
+  for (NodeId cur = from; cur != kNoNode; cur = state(cur).parent) {
+    state(cur).n_members += delta;
+  }
+}
+
+void MulticastTree::recompute_shr() {
+  // Top-down pass: SHR(S,S)=0; SHR(S,R)=SHR(S,R_u)+N_R (Eq. 2).
+  state(source_).shr = 0;
+  std::vector<NodeId> stack{source_};
+  while (!stack.empty()) {
+    const NodeId n = stack.back();
+    stack.pop_back();
+    for (const NodeId child : state(n).children) {
+      state(child).shr = state(n).shr + state(child).n_members;
+      stack.push_back(child);
+    }
+  }
+}
+
+void MulticastTree::graft(NodeId member, const std::vector<NodeId>& path) {
+  if (path.empty() || path.front() != member) {
+    throw std::invalid_argument("graft path must start at the joining member");
+  }
+  const NodeId merge = path.back();
+  if (!on_tree(merge)) {
+    throw std::invalid_argument("graft path must end at an on-tree node");
+  }
+  if (path.size() == 1) {
+    // Member is already an on-tree node (relay or the source); it simply
+    // becomes a receiver as well.
+    NodeState& s = state(member);
+    if (member == source_) {
+      throw std::invalid_argument("source cannot join as a member");
+    }
+    if (s.role == NodeRole::kMember) return;  // idempotent
+    s.role = NodeRole::kMember;
+    ++member_count_;
+    add_member_count_upward(member, +1);
+    recompute_shr();
+    return;
+  }
+  // Intermediate nodes (everything but the merge node) must be off-tree,
+  // adjacent pairwise, and free of duplicates.
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    if (on_tree(path[i])) {
+      throw std::invalid_argument("graft path crosses the tree early");
+    }
+    if (!graph_->link_between(path[i], path[i + 1])) {
+      throw std::invalid_argument("graft path has non-adjacent hop");
+    }
+  }
+  // Wire up parent pointers from the member toward the merge node.
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    NodeState& s = state(path[i]);
+    s.role = (path[i] == member) ? NodeRole::kMember : NodeRole::kRelay;
+    s.parent = path[i + 1];
+    s.parent_link = *graph_->link_between(path[i], path[i + 1]);
+    s.n_members = 1;  // exactly the new member below (or at) this node
+    state(path[i + 1]).children.push_back(path[i]);
+    ++on_tree_count_;
+  }
+  ++member_count_;
+  add_member_count_upward(merge, +1);
+  recompute_shr();
+}
+
+void MulticastTree::detach_from_parent(NodeId n) {
+  NodeState& s = state(n);
+  if (s.parent == kNoNode) return;
+  auto& siblings = state(s.parent).children;
+  siblings.erase(std::remove(siblings.begin(), siblings.end(), n),
+                 siblings.end());
+  s.parent = kNoNode;
+  s.parent_link = kNoLink;
+}
+
+void MulticastTree::prune_upward_from(NodeId n) {
+  // Remove now-useless relays: nodes with no members beneath and no
+  // children, walking upward until a still-useful node (or the source).
+  NodeId cur = n;
+  while (cur != source_ && cur != kNoNode) {
+    NodeState& s = state(cur);
+    if (s.n_members > 0 || !s.children.empty() ||
+        s.role == NodeRole::kMember) {
+      break;
+    }
+    const NodeId up = s.parent;
+    detach_from_parent(cur);
+    s.role = NodeRole::kOffTree;
+    s.n_members = 0;
+    s.shr = 0;
+    --on_tree_count_;
+    cur = up;
+  }
+}
+
+void MulticastTree::leave(NodeId member) {
+  NodeState& s = state(member);
+  if (s.role != NodeRole::kMember) {
+    throw std::invalid_argument("leave() by a non-member");
+  }
+  s.role = NodeRole::kRelay;
+  --member_count_;
+  add_member_count_upward(member, -1);
+  prune_upward_from(member);
+  recompute_shr();
+}
+
+void MulticastTree::move_subtree(NodeId node,
+                                 const std::vector<NodeId>& path) {
+  if (!on_tree(node) || node == source_) {
+    throw std::invalid_argument("can only move an on-tree non-source node");
+  }
+  if (path.empty() || path.front() != node) {
+    throw std::invalid_argument("move path must start at the moving node");
+  }
+  const NodeId merge = path.back();
+  if (!on_tree(merge)) {
+    throw std::invalid_argument("move path must end at an on-tree node");
+  }
+  if (is_ancestor_or_self(node, merge)) {
+    throw std::invalid_argument("cannot merge into the moving subtree");
+  }
+  for (std::size_t i = 1; i + 1 < path.size(); ++i) {
+    if (on_tree(path[i])) {
+      throw std::invalid_argument("move path crosses the tree early");
+    }
+  }
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    if (!graph_->link_between(path[i], path[i + 1])) {
+      throw std::invalid_argument("move path has non-adjacent hop");
+    }
+  }
+
+  const int moving_members = state(node).n_members;
+
+  // 1. Detach from the old upstream and retire its contribution. Pruning
+  //    of the old chain is deferred until the new path is in place (§3.2.3
+  //    sets up the new path before releasing the old one) — otherwise an
+  //    old-chain ancestor that is also the new merge node could be pruned
+  //    out from under the re-attachment.
+  const NodeId old_parent = state(node).parent;
+  add_member_count_upward(node, -moving_members);
+  state(node).n_members = moving_members;  // restore own count
+  detach_from_parent(node);
+
+  // 2. Re-attach along the new path.
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    NodeState& s = state(path[i]);
+    if (i > 0) {
+      s.role = NodeRole::kRelay;
+      ++on_tree_count_;
+    }
+    s.parent = path[i + 1];
+    s.parent_link = *graph_->link_between(path[i], path[i + 1]);
+    if (i > 0) s.n_members = moving_members;
+    state(path[i + 1]).children.push_back(path[i]);
+  }
+  add_member_count_upward(merge, +moving_members);
+
+  // 3. Release the old path.
+  if (old_parent != kNoNode) prune_upward_from(old_parent);
+  recompute_shr();
+}
+
+std::vector<NodeId> MulticastTree::sever(LinkId failed_link) {
+  std::vector<NodeId> lost_members;
+  // Locate the downstream endpoint: the on-tree node whose parent link is
+  // the failed one.
+  NodeId downstream = kNoNode;
+  for (NodeId n = 0; n < graph_->node_count(); ++n) {
+    if (on_tree(n) && state(n).parent_link == failed_link) {
+      downstream = n;
+      break;
+    }
+  }
+  if (downstream == kNoNode) return lost_members;
+
+  const NodeId upstream = state(downstream).parent;
+  const int dropped_members = state(downstream).n_members;
+
+  // Collect and clear the disconnected component (subtree of `downstream`).
+  std::vector<NodeId> stack{downstream};
+  detach_from_parent(downstream);
+  while (!stack.empty()) {
+    const NodeId n = stack.back();
+    stack.pop_back();
+    NodeState& s = state(n);
+    if (s.role == NodeRole::kMember) {
+      lost_members.push_back(n);
+      --member_count_;
+    }
+    for (const NodeId child : s.children) stack.push_back(child);
+    s = NodeState{};  // off-tree, no parent, no children
+    --on_tree_count_;
+  }
+
+  // Retire the dropped members' contribution upstream, prune any relay
+  // chain left dangling, and refresh SHR.
+  if (upstream != kNoNode) {
+    add_member_count_upward(upstream, -dropped_members);
+    prune_upward_from(upstream);
+  }
+  recompute_shr();
+  std::sort(lost_members.begin(), lost_members.end());
+  return lost_members;
+}
+
+std::vector<NodeId> MulticastTree::sever_node(NodeId failed_node) {
+  std::vector<NodeId> lost_members;
+  if (!on_tree(failed_node)) return lost_members;
+
+  const NodeId upstream = state(failed_node).parent;
+  const int dropped_members = state(failed_node).n_members;
+
+  std::vector<NodeId> stack{failed_node};
+  detach_from_parent(failed_node);
+  while (!stack.empty()) {
+    const NodeId n = stack.back();
+    stack.pop_back();
+    NodeState& s = state(n);
+    if (s.role == NodeRole::kMember) {
+      if (n != failed_node) lost_members.push_back(n);
+      --member_count_;
+    }
+    for (const NodeId child : s.children) stack.push_back(child);
+    s = NodeState{};
+    --on_tree_count_;
+  }
+
+  if (failed_node == source_) return lost_members;  // session is gone
+  if (upstream != kNoNode) {
+    add_member_count_upward(upstream, -dropped_members);
+    prune_upward_from(upstream);
+  }
+  recompute_shr();
+  std::sort(lost_members.begin(), lost_members.end());
+  return lost_members;
+}
+
+void MulticastTree::validate() const {
+  const int n_nodes = graph_->node_count();
+  int members_seen = 0;
+  int on_tree_seen = 0;
+
+  // Reachability from the source via children links.
+  std::vector<char> reached(static_cast<std::size_t>(n_nodes), 0);
+  std::vector<NodeId> stack{source_};
+  reached[static_cast<std::size_t>(source_)] = 1;
+  while (!stack.empty()) {
+    const NodeId n = stack.back();
+    stack.pop_back();
+    for (const NodeId child : state(n).children) {
+      if (state(child).parent != n) {
+        throw std::logic_error("child/parent pointer mismatch");
+      }
+      const LinkId link = state(child).parent_link;
+      const auto expect = graph_->link_between(child, n);
+      if (!expect || *expect != link) {
+        throw std::logic_error("parent_link does not match the graph");
+      }
+      if (reached[static_cast<std::size_t>(child)]) {
+        throw std::logic_error("cycle or duplicate child in tree");
+      }
+      reached[static_cast<std::size_t>(child)] = 1;
+      stack.push_back(child);
+    }
+  }
+
+  // Per-node recomputation of N_R from scratch.
+  std::vector<int> derived_members(static_cast<std::size_t>(n_nodes), 0);
+  // Post-order accumulation: iterate nodes, push each member/leaf count up.
+  for (NodeId n = 0; n < n_nodes; ++n) {
+    const NodeState& s = state(n);
+    if (s.role == NodeRole::kOffTree) {
+      if (s.parent != kNoNode || !s.children.empty() || s.n_members != 0) {
+        throw std::logic_error("off-tree node carries tree state");
+      }
+      continue;
+    }
+    ++on_tree_seen;
+    if (!reached[static_cast<std::size_t>(n)]) {
+      throw std::logic_error("on-tree node unreachable from source");
+    }
+    if (s.role == NodeRole::kMember) {
+      ++members_seen;
+      for (NodeId cur = n; cur != kNoNode; cur = state(cur).parent) {
+        ++derived_members[static_cast<std::size_t>(cur)];
+      }
+    }
+    if (n != source_ && s.role == NodeRole::kRelay && s.children.empty()) {
+      throw std::logic_error("useless leaf relay was not pruned");
+    }
+  }
+  if (members_seen != member_count_) {
+    throw std::logic_error("member_count_ out of sync");
+  }
+  if (on_tree_seen != on_tree_count_) {
+    throw std::logic_error("on_tree_count_ out of sync");
+  }
+  for (NodeId n = 0; n < n_nodes; ++n) {
+    const NodeState& s = state(n);
+    if (s.role == NodeRole::kOffTree) continue;
+    if (s.n_members != derived_members[static_cast<std::size_t>(n)]) {
+      throw std::logic_error("N_R out of sync with membership");
+    }
+    // SHR via Eq. 1 directly: sum of N over path nodes except the source.
+    int direct = 0;
+    for (NodeId cur = n; cur != source_; cur = state(cur).parent) {
+      direct += derived_members[static_cast<std::size_t>(cur)];
+    }
+    if (s.shr != direct) {
+      throw std::logic_error("SHR out of sync with Eq. 1");
+    }
+  }
+}
+
+}  // namespace smrp::mcast

@@ -1,0 +1,163 @@
+// Multicast delivery-tree state shared by SMRP and the SPF baseline.
+//
+// The tree is rooted at the source S. Every on-tree node R carries the
+// paper's per-node data structure (§3.2.1):
+//   * N_R        — number of members in the subtree rooted at R,
+//   * SHR(S,R)   — the sharing metric, maintained via Eq. 2:
+//                  SHR(S,R) = SHR(S,R_u) + N_R, with SHR(S,S) = 0.
+// Because N_{L(R,R_u)} = N_R (all members below R use the link to R's
+// upstream), Eq. 2 is equivalent to the link-sum definition of Eq. 1; the
+// test suite checks that equivalence as an invariant.
+#pragma once
+
+#include <vector>
+
+#include "net/graph.hpp"
+
+namespace smrp::mcast {
+
+using net::Graph;
+using net::LinkId;
+using net::NodeId;
+using net::kNoLink;
+using net::kNoNode;
+
+/// Role of a node with respect to one multicast session.
+enum class NodeRole : unsigned char {
+  kOffTree,  ///< not part of the session
+  kRelay,    ///< forwards traffic but is not itself a receiver
+  kMember,   ///< a receiver (may also forward to children)
+};
+
+/// Rooted multicast tree over a fixed substrate graph.
+///
+/// Mutations (`graft`, `leave`, `move_subtree`) keep N_R and SHR(S,R)
+/// consistent incrementally; `validate()` re-derives everything from first
+/// principles and throws on any mismatch, which the property tests exploit.
+class MulticastTree {
+ public:
+  MulticastTree(const Graph& graph, NodeId source);
+
+  [[nodiscard]] NodeId source() const noexcept { return source_; }
+  [[nodiscard]] const Graph& graph() const noexcept { return *graph_; }
+
+  // -- Queries ------------------------------------------------------------
+
+  [[nodiscard]] bool on_tree(NodeId n) const {
+    return role(n) != NodeRole::kOffTree;
+  }
+  [[nodiscard]] bool is_member(NodeId n) const {
+    return role(n) == NodeRole::kMember;
+  }
+  [[nodiscard]] NodeRole role(NodeId n) const;
+
+  /// Upstream (toward-source) neighbor; kNoNode for the source / off-tree.
+  [[nodiscard]] NodeId parent(NodeId n) const;
+  [[nodiscard]] LinkId parent_link(NodeId n) const;
+  [[nodiscard]] const std::vector<NodeId>& children(NodeId n) const;
+
+  /// N_R: members in the subtree rooted at `n` (counting `n` itself if it
+  /// is a member). 0 for off-tree nodes.
+  [[nodiscard]] int subtree_members(NodeId n) const;
+
+  /// SHR(S,R) per Eq. 2. 0 for the source; throws for off-tree nodes.
+  [[nodiscard]] int shr(NodeId n) const;
+
+  /// SHR(S,`merge_candidate`) as it would read if the members currently in
+  /// `member`'s subtree were removed from `member`'s present path — the
+  /// adjustment §3.2.3 requires before comparing paths during reshaping.
+  [[nodiscard]] int shr_excluding_subtree(NodeId merge_candidate,
+                                          NodeId member) const;
+
+  /// All current members, ascending by id.
+  [[nodiscard]] std::vector<NodeId> members() const;
+  [[nodiscard]] int member_count() const noexcept { return member_count_; }
+
+  /// All on-tree nodes, ascending by id (includes the source).
+  [[nodiscard]] std::vector<NodeId> on_tree_nodes() const;
+  [[nodiscard]] int on_tree_count() const noexcept { return on_tree_count_; }
+
+  /// On-tree node sequence n → … → source. Empty if off-tree.
+  [[nodiscard]] std::vector<NodeId> path_to_source(NodeId n) const;
+
+  /// Sum of link weights along the on-tree path n → source (the paper's
+  /// end-to-end delay D(S,R)). Throws if off-tree.
+  [[nodiscard]] double delay_to_source(NodeId n) const;
+  [[nodiscard]] int hops_to_source(NodeId n) const;
+
+  /// True iff `ancestor` lies on `n`'s path to the source (or equals `n`).
+  [[nodiscard]] bool is_ancestor_or_self(NodeId ancestor, NodeId n) const;
+
+  /// Links currently carrying the session.
+  [[nodiscard]] std::vector<LinkId> tree_links() const;
+
+  /// Total tree cost: Σ link weights over tree links (paper's Cost_T).
+  [[nodiscard]] double total_cost() const;
+
+  /// Per-node survival flags after `failed_link` dies: flag[n] is true iff
+  /// n is on-tree and its on-tree path to the source avoids the link.
+  [[nodiscard]] std::vector<char> surviving_after_link(LinkId failed_link) const;
+
+  /// Same for a failed node (the node itself does not survive).
+  [[nodiscard]] std::vector<char> surviving_after_node(NodeId failed_node) const;
+
+  // -- Mutations ----------------------------------------------------------
+
+  /// Join `member` along `path_to_merge`: node sequence
+  /// member → … → merge-node, whose last element must already be on-tree
+  /// and all others off-tree (a join of an already-on-tree node passes the
+  /// single-element path {member}). Consecutive nodes must be adjacent.
+  void graft(NodeId member, const std::vector<NodeId>& path_to_merge);
+
+  /// Leave: clears the member flag, prunes now-useless relay chains.
+  void leave(NodeId member);
+
+  /// Reshaping support: detach the subtree rooted at `node` from its old
+  /// upstream path and re-attach it along `path_to_merge`
+  /// (node → … → merge-node; same contract as graft(), except intermediate
+  /// nodes must also be outside `node`'s own subtree). Keeps all of
+  /// `node`'s descendants attached below it.
+  void move_subtree(NodeId node, const std::vector<NodeId>& path_to_merge);
+
+  /// Persistent-failure surgery: drop the entire component disconnected by
+  /// `failed_link` from the tree (its nodes become off-tree; in the real
+  /// protocol their soft state times out). Returns the members that lost
+  /// service, ascending by id. No-op (empty result) if the link is not a
+  /// tree link.
+  std::vector<NodeId> sever(LinkId failed_link);
+
+  /// Same for an incapacitated node: the node and its whole subtree leave
+  /// the tree. Returns the members that lost service and can still seek
+  /// recovery — i.e. excluding the dead node itself. No-op for off-tree
+  /// nodes; severing the source clears the entire session.
+  std::vector<NodeId> sever_node(NodeId failed_node);
+
+  /// Full invariant re-derivation; throws std::logic_error on any breakage.
+  void validate() const;
+
+ private:
+  struct NodeState {
+    NodeRole role = NodeRole::kOffTree;
+    NodeId parent = kNoNode;
+    LinkId parent_link = kNoLink;
+    int n_members = 0;  ///< N_R
+    int shr = 0;        ///< SHR(S,R)
+    std::vector<NodeId> children;
+  };
+
+  [[nodiscard]] NodeState& state(NodeId n);
+  [[nodiscard]] const NodeState& state(NodeId n) const;
+
+  void add_member_count_upward(NodeId from, int delta);
+  void prune_upward_from(NodeId n);
+  void detach_from_parent(NodeId n);
+  void recompute_shr();
+
+  const Graph* graph_;
+  NodeId source_;
+  int member_count_ = 0;
+  int on_tree_count_ = 0;
+  std::vector<NodeState> nodes_;
+};
+
+}  // namespace smrp::mcast

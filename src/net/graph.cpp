@@ -1,0 +1,104 @@
+#include "net/graph.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace smrp::net {
+
+double euclidean(const Point& p, const Point& q) noexcept {
+  const double dx = p.x - q.x;
+  const double dy = p.y - q.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+Graph::Graph(int node_count) {
+  if (node_count < 0) throw std::invalid_argument("negative node count");
+  adjacency_.resize(static_cast<std::size_t>(node_count));
+}
+
+NodeId Graph::add_nodes(int count) {
+  if (count <= 0) throw std::invalid_argument("node count must be positive");
+  const NodeId first = node_count();
+  adjacency_.resize(adjacency_.size() + static_cast<std::size_t>(count));
+  return first;
+}
+
+LinkId Graph::add_link(NodeId a, NodeId b, double weight) {
+  if (!valid_node(a) || !valid_node(b)) {
+    throw std::out_of_range("link endpoint out of range");
+  }
+  if (a == b) throw std::invalid_argument("self-loop rejected");
+  if (!(weight > 0.0)) throw std::invalid_argument("weight must be positive");
+  if (link_between(a, b)) throw std::invalid_argument("parallel link rejected");
+
+  const LinkId id = link_count();
+  links_.push_back(Link{a, b, weight});
+  adjacency_[static_cast<std::size_t>(a)].push_back(Adjacency{b, id});
+  adjacency_[static_cast<std::size_t>(b)].push_back(Adjacency{a, id});
+  return id;
+}
+
+std::optional<LinkId> Graph::link_between(NodeId u, NodeId v) const {
+  if (!valid_node(u) || !valid_node(v)) return std::nullopt;
+  // Scan the smaller adjacency list.
+  const NodeId base = degree(u) <= degree(v) ? u : v;
+  const NodeId target = base == u ? v : u;
+  for (const Adjacency& adj : neighbors(base)) {
+    if (adj.neighbor == target) return adj.link;
+  }
+  return std::nullopt;
+}
+
+double Graph::average_degree() const noexcept {
+  if (node_count() == 0) return 0.0;
+  return 2.0 * link_count() / node_count();
+}
+
+bool Graph::reachable_count_from(NodeId start, LinkId banned_link) const {
+  if (node_count() == 0) return true;
+  std::vector<char> seen(static_cast<std::size_t>(node_count()), 0);
+  std::vector<NodeId> stack{start};
+  seen[static_cast<std::size_t>(start)] = 1;
+  int reached = 1;
+  while (!stack.empty()) {
+    const NodeId n = stack.back();
+    stack.pop_back();
+    for (const Adjacency& adj : neighbors(n)) {
+      if (adj.link == banned_link) continue;
+      if (!seen[static_cast<std::size_t>(adj.neighbor)]) {
+        seen[static_cast<std::size_t>(adj.neighbor)] = 1;
+        ++reached;
+        stack.push_back(adj.neighbor);
+      }
+    }
+  }
+  return reached == node_count();
+}
+
+bool Graph::connected() const { return reachable_count_from(0, kNoLink); }
+
+bool Graph::connected_without(LinkId failed_link) const {
+  return reachable_count_from(0, failed_link);
+}
+
+void Graph::set_positions(std::vector<Point> positions) {
+  if (static_cast<int>(positions.size()) != node_count()) {
+    throw std::invalid_argument("position count != node count");
+  }
+  positions_ = std::move(positions);
+}
+
+std::string Graph::to_string() const {
+  std::ostringstream out;
+  out << "Graph{nodes=" << node_count() << ", links=" << link_count()
+      << ", avg_degree=" << average_degree() << "}\n";
+  for (LinkId id = 0; id < link_count(); ++id) {
+    const Link& l = link(id);
+    out << "  L" << id << ": " << l.a << " -- " << l.b << " (w=" << l.weight
+        << ")\n";
+  }
+  return out.str();
+}
+
+}  // namespace smrp::net

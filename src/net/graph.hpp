@@ -1,0 +1,123 @@
+// Undirected weighted graph used as the network substrate.
+//
+// Nodes are dense integer ids [0, node_count). Links are undirected with a
+// positive weight which this codebase interprets both as propagation delay
+// (the paper's Figure 1 annotates links with delays) and as link cost for
+// the tree-cost metric, matching the paper's SPF-on-delay evaluation.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace smrp::net {
+
+using NodeId = std::int32_t;
+using LinkId = std::int32_t;
+
+inline constexpr NodeId kNoNode = -1;
+inline constexpr LinkId kNoLink = -1;
+
+/// One undirected link between nodes `a` and `b`.
+struct Link {
+  NodeId a = kNoNode;
+  NodeId b = kNoNode;
+  double weight = 1.0;
+
+  /// The endpoint opposite to `from`; `from` must be an endpoint.
+  [[nodiscard]] NodeId other(NodeId from) const noexcept {
+    assert(from == a || from == b);
+    return from == a ? b : a;
+  }
+};
+
+/// Adjacency entry: neighbor node plus the link leading to it.
+struct Adjacency {
+  NodeId neighbor = kNoNode;
+  LinkId link = kNoLink;
+};
+
+/// Optional 2-D coordinates attached to nodes (used by Waxman generation
+/// and by benches that report geometric properties).
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+[[nodiscard]] double euclidean(const Point& p, const Point& q) noexcept;
+
+/// Undirected weighted multigraph-free graph. Self-loops and parallel links
+/// are rejected; weights must be strictly positive.
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(int node_count);
+
+  /// Append `count` fresh isolated nodes; returns the id of the first one.
+  NodeId add_nodes(int count);
+
+  /// Insert an undirected link; returns its id. Precondition: a != b, both
+  /// valid, weight > 0, and no link between a and b exists yet.
+  LinkId add_link(NodeId a, NodeId b, double weight);
+
+  [[nodiscard]] int node_count() const noexcept {
+    return static_cast<int>(adjacency_.size());
+  }
+  [[nodiscard]] int link_count() const noexcept {
+    return static_cast<int>(links_.size());
+  }
+
+  [[nodiscard]] const Link& link(LinkId id) const {
+    assert(id >= 0 && id < link_count());
+    return links_[static_cast<std::size_t>(id)];
+  }
+
+  [[nodiscard]] std::span<const Link> links() const noexcept { return links_; }
+
+  [[nodiscard]] std::span<const Adjacency> neighbors(NodeId n) const {
+    assert(valid_node(n));
+    return adjacency_[static_cast<std::size_t>(n)];
+  }
+
+  [[nodiscard]] int degree(NodeId n) const {
+    return static_cast<int>(neighbors(n).size());
+  }
+
+  /// Link between u and v if one exists.
+  [[nodiscard]] std::optional<LinkId> link_between(NodeId u, NodeId v) const;
+
+  [[nodiscard]] bool valid_node(NodeId n) const noexcept {
+    return n >= 0 && n < node_count();
+  }
+
+  /// Mean node degree, 2·|E|/|V| (reported under the α axis in Fig. 9).
+  [[nodiscard]] double average_degree() const noexcept;
+
+  /// True iff every node can reach every other node.
+  [[nodiscard]] bool connected() const;
+
+  /// True iff the graph stays connected after removing `failed_link`.
+  [[nodiscard]] bool connected_without(LinkId failed_link) const;
+
+  /// Node coordinates; empty unless a generator attached them.
+  [[nodiscard]] std::span<const Point> positions() const noexcept {
+    return positions_;
+  }
+  void set_positions(std::vector<Point> positions);
+
+  /// Human-readable dump, for examples and debugging.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  [[nodiscard]] bool reachable_count_from(NodeId start,
+                                          LinkId banned_link) const;
+
+  std::vector<Link> links_;
+  std::vector<std::vector<Adjacency>> adjacency_;
+  std::vector<Point> positions_;
+};
+
+}  // namespace smrp::net

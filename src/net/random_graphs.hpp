@@ -1,0 +1,51 @@
+// Additional random-graph families beyond Waxman, addressing the paper's
+// future-work question of how SMRP behaves on more Internet-like
+// topologies:
+//  * Erdős–Rényi  G(n, p): no locality at all — a control model,
+//  * Barabási–Albert preferential attachment: heavy-tailed degrees like
+//    real AS-level graphs (a handful of hubs carry most paths, so hub
+//    adjacency dominates sharing).
+#pragma once
+
+#include "net/graph.hpp"
+#include "net/rng.hpp"
+
+namespace smrp::net {
+
+struct ErdosRenyiParams {
+  int node_count = 100;
+  /// Edge probability. Pick ~target_degree / (n-1).
+  double edge_probability = 0.06;
+  /// Link weights drawn uniformly from [min_weight, max_weight).
+  double min_weight = 1.0;
+  double max_weight = 10.0;
+  int max_resample_attempts = 50;
+};
+
+struct ErdosRenyiResult {
+  Graph graph;
+  int resamples = 0;
+  int patched_links = 0;  ///< connectivity-patch links added
+};
+
+/// Connected G(n, p); disconnected samples are retried and finally patched
+/// by bridging components with random links (counted in the result).
+[[nodiscard]] ErdosRenyiResult generate_erdos_renyi(
+    const ErdosRenyiParams& params, Rng& rng);
+[[nodiscard]] Graph erdos_renyi_graph(const ErdosRenyiParams& params,
+                                      Rng& rng);
+
+struct BarabasiAlbertParams {
+  int node_count = 100;
+  /// Edges each newcomer attaches with (also the seed-clique size).
+  /// Average degree converges to ≈ 2·edges_per_node.
+  int edges_per_node = 2;
+  double min_weight = 1.0;
+  double max_weight = 10.0;
+};
+
+/// Preferential-attachment graph (always connected by construction).
+[[nodiscard]] Graph barabasi_albert_graph(const BarabasiAlbertParams& params,
+                                          Rng& rng);
+
+}  // namespace smrp::net

@@ -1,0 +1,145 @@
+#include "net/shortest_path.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace smrp::net {
+
+std::vector<NodeId> ShortestPathTree::path_to_source(NodeId target) const {
+  std::vector<NodeId> out;
+  if (!reachable(target)) return out;
+  for (NodeId n = target; n != kNoNode;
+       n = parent[static_cast<std::size_t>(n)]) {
+    out.push_back(n);
+  }
+  return out;
+}
+
+std::vector<NodeId> ShortestPathTree::path_from_source(NodeId target) const {
+  std::vector<NodeId> out = path_to_source(target);
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::vector<LinkId> ShortestPathTree::link_path_from_source(
+    NodeId target) const {
+  std::vector<LinkId> out;
+  if (!reachable(target)) return out;
+  for (NodeId n = target; parent[static_cast<std::size_t>(n)] != kNoNode;
+       n = parent[static_cast<std::size_t>(n)]) {
+    out.push_back(parent_link[static_cast<std::size_t>(n)]);
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+namespace {
+
+struct QueueEntry {
+  double dist;
+  NodeId node;
+  // Deterministic order: lower distance first, then lower node id, so a
+  // rebuilt binary can replay an experiment bit-for-bit.
+  bool operator>(const QueueEntry& other) const noexcept {
+    if (dist != other.dist) return dist > other.dist;
+    return node > other.node;
+  }
+};
+
+}  // namespace
+
+namespace {
+
+ShortestPathTree dijkstra_impl(const Graph& g, NodeId source,
+                               const ExclusionSet& excluded,
+                               const std::vector<char>* absorbing);
+
+}  // namespace
+
+ShortestPathTree dijkstra(const Graph& g, NodeId source,
+                          const ExclusionSet& excluded) {
+  return dijkstra_impl(g, source, excluded, nullptr);
+}
+
+ShortestPathTree dijkstra(const Graph& g, NodeId source) {
+  return dijkstra(g, source, ExclusionSet{});
+}
+
+ShortestPathTree dijkstra_absorbing(const Graph& g, NodeId source,
+                                    const std::vector<char>& absorbing,
+                                    const ExclusionSet& excluded) {
+  if (absorbing.size() != static_cast<std::size_t>(g.node_count())) {
+    throw std::invalid_argument("absorbing flags sized incorrectly");
+  }
+  if (g.valid_node(source) && absorbing[static_cast<std::size_t>(source)]) {
+    throw std::invalid_argument("source must not be absorbing");
+  }
+  return dijkstra_impl(g, source, excluded, &absorbing);
+}
+
+namespace {
+
+ShortestPathTree dijkstra_impl(const Graph& g, NodeId source,
+                               const ExclusionSet& excluded,
+                               const std::vector<char>* absorbing) {
+  if (!g.valid_node(source)) throw std::out_of_range("bad source node");
+  if (excluded.node_banned(source)) {
+    throw std::invalid_argument("source node is banned");
+  }
+
+  const auto n = static_cast<std::size_t>(g.node_count());
+  ShortestPathTree tree;
+  tree.source = source;
+  tree.dist.assign(n, kInfinity);
+  tree.parent.assign(n, kNoNode);
+  tree.parent_link.assign(n, kNoLink);
+  tree.hops.assign(n, -1);
+
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                      std::greater<QueueEntry>>
+      queue;
+  tree.dist[static_cast<std::size_t>(source)] = 0.0;
+  tree.hops[static_cast<std::size_t>(source)] = 0;
+  queue.push({0.0, source});
+
+  std::vector<char> settled(n, 0);
+  while (!queue.empty()) {
+    const QueueEntry top = queue.top();
+    queue.pop();
+    const auto u = static_cast<std::size_t>(top.node);
+    if (settled[u]) continue;
+    settled[u] = 1;
+    // Absorbing nodes are valid destinations but never relay further.
+    if (absorbing != nullptr && (*absorbing)[u] != 0) continue;
+
+    for (const Adjacency& adj : g.neighbors(top.node)) {
+      if (excluded.link_banned(adj.link) || excluded.node_banned(adj.neighbor))
+        continue;
+      const auto v = static_cast<std::size_t>(adj.neighbor);
+      if (settled[v]) continue;
+      const double candidate = tree.dist[u] + g.link(adj.link).weight;
+      // Equal-cost ties prefer fewer hops (an expanding-ring search finds
+      // the closer-by-hops node first), then the lower predecessor id for
+      // determinism.
+      const int candidate_hops = tree.hops[u] + 1;
+      const bool better =
+          candidate < tree.dist[v] ||
+          (candidate == tree.dist[v] &&
+           (candidate_hops < tree.hops[v] ||
+            (candidate_hops == tree.hops[v] && top.node < tree.parent[v])));
+      if (better) {
+        tree.dist[v] = candidate;
+        tree.parent[v] = top.node;
+        tree.parent_link[v] = adj.link;
+        tree.hops[v] = tree.hops[u] + 1;
+        queue.push({candidate, adj.neighbor});
+      }
+    }
+  }
+  return tree;
+}
+
+}  // namespace
+
+}  // namespace smrp::net

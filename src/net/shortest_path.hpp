@@ -1,0 +1,100 @@
+// Single-source shortest paths (Dijkstra) with optional exclusion of failed
+// or forbidden links/nodes. This is the SPF engine underlying both the
+// baseline multicast protocol and SMRP's candidate-path enumeration.
+#pragma once
+
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "net/graph.hpp"
+
+namespace smrp::net {
+
+inline constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+/// Set of banned nodes and links, e.g. failed components or — during SMRP
+/// graft enumeration — the on-tree nodes a candidate must not cross.
+class ExclusionSet {
+ public:
+  ExclusionSet() = default;
+  explicit ExclusionSet(const Graph& g)
+      : nodes_(static_cast<std::size_t>(g.node_count()), 0),
+        links_(static_cast<std::size_t>(g.link_count()), 0) {}
+
+  void ban_node(NodeId n) { at(nodes_, n) = 1; }
+  void allow_node(NodeId n) { at(nodes_, n) = 0; }
+  void ban_link(LinkId l) { at(links_, l) = 1; }
+  void allow_link(LinkId l) { at(links_, l) = 0; }
+
+  [[nodiscard]] bool node_banned(NodeId n) const {
+    return n >= 0 && n < static_cast<NodeId>(nodes_.size()) &&
+           nodes_[static_cast<std::size_t>(n)] != 0;
+  }
+  [[nodiscard]] bool link_banned(LinkId l) const {
+    return l >= 0 && l < static_cast<LinkId>(links_.size()) &&
+           links_[static_cast<std::size_t>(l)] != 0;
+  }
+
+  [[nodiscard]] bool empty() const noexcept {
+    return nodes_.empty() && links_.empty();
+  }
+
+ private:
+  template <typename Vec, typename Id>
+  static char& at(Vec& v, Id id) {
+    if (id < 0) throw std::out_of_range("negative id");
+    if (static_cast<std::size_t>(id) >= v.size()) {
+      v.resize(static_cast<std::size_t>(id) + 1, 0);
+    }
+    return v[static_cast<std::size_t>(id)];
+  }
+
+  std::vector<char> nodes_;
+  std::vector<char> links_;
+};
+
+/// Result of one Dijkstra run: per-node distance and predecessor data.
+struct ShortestPathTree {
+  NodeId source = kNoNode;
+  std::vector<double> dist;         ///< kInfinity if unreachable
+  std::vector<NodeId> parent;       ///< predecessor toward the source
+  std::vector<LinkId> parent_link;  ///< link to the predecessor
+  std::vector<int> hops;            ///< hop count from the source
+
+  [[nodiscard]] bool reachable(NodeId n) const {
+    return n >= 0 && static_cast<std::size_t>(n) < dist.size() &&
+           dist[static_cast<std::size_t>(n)] < kInfinity;
+  }
+
+  /// Node sequence source → … → target (empty if unreachable).
+  [[nodiscard]] std::vector<NodeId> path_from_source(NodeId target) const;
+
+  /// Node sequence target → … → source (empty if unreachable).
+  [[nodiscard]] std::vector<NodeId> path_to_source(NodeId target) const;
+
+  /// Link sequence along source → … → target (empty if unreachable).
+  [[nodiscard]] std::vector<LinkId> link_path_from_source(NodeId target) const;
+};
+
+/// Dijkstra over the whole graph.
+[[nodiscard]] ShortestPathTree dijkstra(const Graph& g, NodeId source);
+
+/// Dijkstra avoiding the given banned nodes/links. The source itself must
+/// not be banned. Banned nodes are never relaxed or expanded.
+[[nodiscard]] ShortestPathTree dijkstra(const Graph& g, NodeId source,
+                                        const ExclusionSet& excluded);
+
+/// Dijkstra where nodes flagged in `absorbing` can be *reached* but never
+/// *expanded*. For every absorbing node A this yields the shortest
+/// source→A path whose intermediate nodes are all non-absorbing — exactly
+/// the "graft that touches the multicast tree only at its merge node"
+/// needed by SMRP's candidate enumeration (one run covers all merge
+/// candidates). `excluded` is applied on top (e.g. failed links).
+/// `absorbing` must be sized to the node count; the source must not be
+/// absorbing or banned.
+[[nodiscard]] ShortestPathTree dijkstra_absorbing(
+    const Graph& g, NodeId source, const std::vector<char>& absorbing,
+    const ExclusionSet& excluded = ExclusionSet{});
+
+}  // namespace smrp::net

@@ -1,0 +1,54 @@
+// Transit-stub topology generation, the 2-level Internet-like structure the
+// paper's hierarchical recovery architecture (§3.3.3) maps onto: a small,
+// well-connected transit core with stub domains hanging off transit nodes.
+#pragma once
+
+#include <vector>
+
+#include "net/graph.hpp"
+#include "net/rng.hpp"
+#include "net/waxman.hpp"
+
+namespace smrp::net {
+
+struct TransitStubParams {
+  int transit_nodes = 8;        ///< nodes in the (single) transit domain
+  int stubs_per_transit = 3;    ///< stub domains attached to each transit node
+  int stub_size = 4;            ///< nodes per stub domain
+  // Dense defaults: recovery domains need internal path redundancy for
+  // intra-domain repair to be possible at all (a tree-shaped domain makes
+  // every failure a bridge).
+  double transit_alpha = 0.9;   ///< Waxman α inside the transit core
+  double stub_alpha = 0.9;      ///< Waxman α inside each stub
+  double beta = 0.8;            ///< shared Waxman β
+  double plane_size = 1000.0;   ///< transit plane; stubs occupy local patches
+  double stub_patch_size = 120.0;
+  LinkWeightMode weight_mode = LinkWeightMode::kEuclidean;
+};
+
+/// Domain identifier: 0 is the transit core, 1.. are stub domains.
+using DomainId = int;
+inline constexpr DomainId kTransitDomain = 0;
+
+struct TransitStubTopology {
+  Graph graph;
+  /// Domain each node belongs to (kTransitDomain for core nodes).
+  std::vector<DomainId> domain_of_node;
+  /// The transit node each stub domain attaches to, indexed by DomainId
+  /// (entry 0 is unused / kNoNode).
+  std::vector<NodeId> gateway_of_domain;
+  /// All node ids per domain, indexed by DomainId.
+  std::vector<std::vector<NodeId>> nodes_of_domain;
+
+  [[nodiscard]] int domain_count() const noexcept {
+    return static_cast<int>(nodes_of_domain.size());
+  }
+};
+
+/// Generate a connected 2-level transit-stub topology. Each stub is an
+/// internally connected Waxman patch joined to its gateway transit node by
+/// one access link; the transit core is itself a connected Waxman graph.
+[[nodiscard]] TransitStubTopology generate_transit_stub(
+    const TransitStubParams& params, Rng& rng);
+
+}  // namespace smrp::net

@@ -1,0 +1,117 @@
+#include "net/waxman.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numbers>
+#include <stdexcept>
+#include <vector>
+
+namespace smrp::net {
+
+namespace {
+
+double link_weight(LinkWeightMode mode, double distance, Rng& rng) {
+  switch (mode) {
+    case LinkWeightMode::kEuclidean:
+      // Clamp away from zero so co-located nodes cannot create zero-weight
+      // links (Dijkstra assumes strictly positive weights).
+      return std::max(distance, 1e-6);
+    case LinkWeightMode::kUnit:
+      return 1.0;
+    case LinkWeightMode::kUniformRandom:
+      return rng.uniform(1.0, 10.0);
+  }
+  throw std::logic_error("unknown weight mode");
+}
+
+Graph sample_once(const WaxmanParams& p, Rng& rng) {
+  Graph g(p.node_count);
+  std::vector<Point> pos(static_cast<std::size_t>(p.node_count));
+  for (auto& point : pos) {
+    point = Point{rng.uniform(0.0, p.plane_size), rng.uniform(0.0, p.plane_size)};
+  }
+  const double diagonal = p.plane_size * std::numbers::sqrt2;
+  for (NodeId u = 0; u < p.node_count; ++u) {
+    for (NodeId v = u + 1; v < p.node_count; ++v) {
+      const double d = euclidean(pos[static_cast<std::size_t>(u)],
+                                 pos[static_cast<std::size_t>(v)]);
+      const double probability = p.alpha * std::exp(-d / (p.beta * diagonal));
+      if (rng.uniform() < probability) {
+        g.add_link(u, v, link_weight(p.weight_mode, d, rng));
+      }
+    }
+  }
+  g.set_positions(std::move(pos));
+  return g;
+}
+
+/// Connect all components by repeatedly adding the geometrically shortest
+/// link between the component containing node 0 and the rest.
+int patch_connectivity(Graph& g, LinkWeightMode mode, Rng& rng) {
+  int added = 0;
+  const auto positions = g.positions();
+  for (;;) {
+    // Label the component of node 0.
+    std::vector<char> in_main(static_cast<std::size_t>(g.node_count()), 0);
+    std::vector<NodeId> stack{0};
+    in_main[0] = 1;
+    while (!stack.empty()) {
+      const NodeId n = stack.back();
+      stack.pop_back();
+      for (const Adjacency& adj : g.neighbors(n)) {
+        if (!in_main[static_cast<std::size_t>(adj.neighbor)]) {
+          in_main[static_cast<std::size_t>(adj.neighbor)] = 1;
+          stack.push_back(adj.neighbor);
+        }
+      }
+    }
+    NodeId best_u = kNoNode;
+    NodeId best_v = kNoNode;
+    double best_d = std::numeric_limits<double>::infinity();
+    for (NodeId u = 0; u < g.node_count(); ++u) {
+      if (!in_main[static_cast<std::size_t>(u)]) continue;
+      for (NodeId v = 0; v < g.node_count(); ++v) {
+        if (in_main[static_cast<std::size_t>(v)]) continue;
+        const double d = euclidean(positions[static_cast<std::size_t>(u)],
+                                   positions[static_cast<std::size_t>(v)]);
+        if (d < best_d) {
+          best_d = d;
+          best_u = u;
+          best_v = v;
+        }
+      }
+    }
+    if (best_u == kNoNode) return added;  // already connected
+    g.add_link(best_u, best_v, link_weight(mode, best_d, rng));
+    ++added;
+  }
+}
+
+}  // namespace
+
+WaxmanResult generate_waxman(const WaxmanParams& p, Rng& rng) {
+  if (p.node_count < 2) throw std::invalid_argument("need >= 2 nodes");
+  if (p.alpha <= 0.0 || p.alpha > 1.0) {
+    throw std::invalid_argument("alpha must be in (0, 1]");
+  }
+  if (p.beta <= 0.0 || p.beta > 1.0) {
+    throw std::invalid_argument("beta must be in (0, 1]");
+  }
+  WaxmanResult result;
+  for (int attempt = 0;; ++attempt) {
+    result.graph = sample_once(p, rng);
+    if (result.graph.connected()) return result;
+    if (attempt >= p.max_resample_attempts) break;
+    ++result.resamples;
+  }
+  result.patched_links =
+      patch_connectivity(result.graph, p.weight_mode, rng);
+  return result;
+}
+
+Graph waxman_graph(const WaxmanParams& params, Rng& rng) {
+  return generate_waxman(params, rng).graph;
+}
+
+}  // namespace smrp::net

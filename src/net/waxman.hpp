@@ -1,0 +1,48 @@
+// Waxman random-graph topology generation (the model GT-ITM uses and the
+// paper's §4.1 describes): nodes scattered uniformly on a plane, link
+// probability P(u,v) = α · exp(−d(u,v) / (β·L)) with L the plane diagonal.
+//
+// α tunes edge density (swept in Fig. 9); β tunes the prevalence of long
+// links and is held fixed, following the paper (citing Zegura et al. that a
+// target node degree is reachable by tuning α alone).
+#pragma once
+
+#include "net/graph.hpp"
+#include "net/rng.hpp"
+
+namespace smrp::net {
+
+/// How the generator assigns link weights (delays).
+enum class LinkWeightMode {
+  kEuclidean,      ///< weight = geometric distance (default; delays ∝ length)
+  kUnit,           ///< weight = 1 (pure hop-count experiments)
+  kUniformRandom,  ///< weight ~ U[1, 10] (stress non-geometric metrics)
+};
+
+struct WaxmanParams {
+  int node_count = 100;
+  double alpha = 0.2;
+  double beta = 0.3;
+  double plane_size = 1000.0;  ///< nodes placed uniformly in [0, size)²
+  LinkWeightMode weight_mode = LinkWeightMode::kEuclidean;
+  /// Full resample attempts before patching connectivity (see generate()).
+  int max_resample_attempts = 50;
+};
+
+/// Generate one connected Waxman graph. If `max_resample_attempts` samples
+/// all come out disconnected (likely for very low α), the last sample is
+/// patched by linking nearest nodes of distinct components; the patch count
+/// is available via `WaxmanResult::patched_links`.
+struct WaxmanResult {
+  Graph graph;
+  int resamples = 0;      ///< extra full resamples that were needed
+  int patched_links = 0;  ///< connectivity-patch links added
+};
+
+[[nodiscard]] WaxmanResult generate_waxman(const WaxmanParams& params,
+                                           Rng& rng);
+
+/// Convenience: just the graph.
+[[nodiscard]] Graph waxman_graph(const WaxmanParams& params, Rng& rng);
+
+}  // namespace smrp::net

@@ -1,0 +1,242 @@
+#include "routing/link_state.hpp"
+
+#include <limits>
+#include <queue>
+
+#include "net/shortest_path.hpp"
+#include <stdexcept>
+
+namespace smrp::routing {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+LinkStateRouting::LinkStateRouting(sim::Simulator& simulator,
+                                   sim::SimNetwork& network,
+                                   RoutingConfig config)
+    : simulator_(&simulator), network_(&network), config_(config) {
+  agents_.resize(static_cast<std::size_t>(network.graph().node_count()));
+}
+
+std::vector<std::pair<NodeId, double>> LinkStateRouting::alive_adjacencies(
+    NodeId n) const {
+  const AgentState& agent = agents_[static_cast<std::size_t>(n)];
+  std::vector<std::pair<NodeId, double>> out;
+  for (const net::Adjacency& adj : network_->graph().neighbors(n)) {
+    const auto it = agent.neighbor_up.find(adj.neighbor);
+    if (it != agent.neighbor_up.end() && it->second) {
+      out.emplace_back(adj.neighbor,
+                       network_->graph().link(adj.link).weight);
+    }
+  }
+  return out;
+}
+
+void LinkStateRouting::start() {
+  if (started_) throw std::logic_error("routing already started");
+  started_ = true;
+  const net::Graph& g = network_->graph();
+  const Time now = simulator_->now();
+
+  // Pre-converged bootstrap: every node believes all of its physical
+  // neighbors are alive and holds everyone's initial LSA.
+  std::vector<sim::LsaMsg> initial;
+  initial.reserve(static_cast<std::size_t>(g.node_count()));
+  for (NodeId n = 0; n < g.node_count(); ++n) {
+    AgentState& agent = agents_[static_cast<std::size_t>(n)];
+    for (const net::Adjacency& adj : g.neighbors(n)) {
+      agent.last_hello[adj.neighbor] = now;
+      agent.neighbor_up[adj.neighbor] = true;
+    }
+    sim::LsaMsg lsa;
+    lsa.origin = n;
+    lsa.seq = 1;
+    lsa.adjacencies = alive_adjacencies(n);
+    initial.push_back(std::move(lsa));
+  }
+  for (NodeId n = 0; n < g.node_count(); ++n) {
+    AgentState& agent = agents_[static_cast<std::size_t>(n)];
+    for (const sim::LsaMsg& lsa : initial) agent.lsdb[lsa.origin] = lsa;
+    run_spf(n);
+    // Stagger periodic ticks so the fleet does not fire in lockstep.
+    const Time phase =
+        config_.hello_interval * (0.1 + 0.8 * (n % 13) / 13.0);
+    simulator_->schedule(phase, [this, n] { tick(n); });
+  }
+  last_table_change_ = now;
+}
+
+void LinkStateRouting::tick(NodeId n) {
+  if (!network_->node_up(n)) {
+    // A down node neither probes nor ages; re-check later (it may heal).
+    simulator_->schedule(config_.hello_interval, [this, n] { tick(n); });
+    return;
+  }
+  AgentState& agent = agents_[static_cast<std::size_t>(n)];
+  const Time now = simulator_->now();
+
+  // Probe every physical adjacency (down links just lose the HELLO).
+  network_->broadcast(n, sim::HelloMsg{});
+
+  // Liveness verdicts.
+  bool changed = false;
+  for (auto& [neighbor, up] : agent.neighbor_up) {
+    const bool fresh = now - agent.last_hello[neighbor] <= config_.dead_interval;
+    if (up != fresh) {
+      up = fresh;
+      changed = true;
+    }
+  }
+  if (changed) originate_lsa(n);
+
+  simulator_->schedule(config_.hello_interval, [this, n] { tick(n); });
+}
+
+void LinkStateRouting::originate_lsa(NodeId n) {
+  AgentState& agent = agents_[static_cast<std::size_t>(n)];
+  sim::LsaMsg lsa;
+  lsa.origin = n;
+  lsa.seq = ++agent.own_seq;
+  lsa.adjacencies = alive_adjacencies(n);
+  agent.lsdb[n] = lsa;
+  schedule_spf(n);
+  flood(n, lsa, net::kNoNode);
+}
+
+void LinkStateRouting::flood(NodeId at, const sim::LsaMsg& lsa,
+                             NodeId except) {
+  ++floods_;
+  for (const net::Adjacency& adj : network_->graph().neighbors(at)) {
+    if (adj.neighbor == except) continue;
+    network_->send(at, adj.neighbor, lsa);
+  }
+}
+
+bool LinkStateRouting::handle(NodeId at, NodeId from, const Message& message) {
+  if (std::holds_alternative<sim::HelloMsg>(message)) {
+    AgentState& agent = agents_[static_cast<std::size_t>(at)];
+    agent.last_hello[from] = simulator_->now();
+    // A HELLO from a neighbor believed dead revives it immediately.
+    auto it = agent.neighbor_up.find(from);
+    if (it != agent.neighbor_up.end() && !it->second) {
+      it->second = true;
+      originate_lsa(at);
+    }
+    return true;
+  }
+  if (const auto* lsa = std::get_if<sim::LsaMsg>(&message)) {
+    AgentState& agent = agents_[static_cast<std::size_t>(at)];
+    const auto it = agent.lsdb.find(lsa->origin);
+    if (it != agent.lsdb.end() && it->second.seq >= lsa->seq) {
+      return true;  // stale or duplicate: do not re-flood
+    }
+    agent.lsdb[lsa->origin] = *lsa;
+    schedule_spf(at);
+    flood(at, *lsa, from);
+    return true;
+  }
+  return false;
+}
+
+void LinkStateRouting::schedule_spf(NodeId n) {
+  AgentState& agent = agents_[static_cast<std::size_t>(n)];
+  if (agent.spf_pending) return;
+  agent.spf_pending = true;
+  simulator_->schedule(config_.spf_delay, [this, n] {
+    agents_[static_cast<std::size_t>(n)].spf_pending = false;
+    run_spf(n);
+  });
+}
+
+void LinkStateRouting::run_spf(NodeId n) {
+  const net::Graph& g = network_->graph();
+  const auto count = static_cast<std::size_t>(g.node_count());
+  AgentState& agent = agents_[static_cast<std::size_t>(n)];
+
+  // Build the LSDB view: a directed edge u→v holds iff u's LSA lists v;
+  // the SPF uses it only when v's LSA also lists u (two-way check).
+  const auto lists = [&](NodeId u, NodeId v) -> double {
+    const auto it = agent.lsdb.find(u);
+    if (it == agent.lsdb.end()) return kInf;
+    for (const auto& [neighbor, weight] : it->second.adjacencies) {
+      if (neighbor == v) return weight;
+    }
+    return kInf;
+  };
+
+  std::vector<double> dist(count, kInf);
+  std::vector<NodeId> first_hop(count, net::kNoNode);
+  using Entry = std::pair<double, NodeId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue;
+  dist[static_cast<std::size_t>(n)] = 0.0;
+  queue.push({0.0, n});
+  std::vector<char> settled(count, 0);
+  while (!queue.empty()) {
+    const auto [d, u] = queue.top();
+    queue.pop();
+    if (settled[static_cast<std::size_t>(u)]) continue;
+    settled[static_cast<std::size_t>(u)] = 1;
+    const auto lsa_it = agent.lsdb.find(u);
+    if (lsa_it == agent.lsdb.end()) continue;
+    for (const auto& [v, w] : lsa_it->second.adjacencies) {
+      if (lists(v, u) == kInf) continue;  // not bidirectional
+      const double candidate = d + w;
+      if (candidate < dist[static_cast<std::size_t>(v)]) {
+        dist[static_cast<std::size_t>(v)] = candidate;
+        first_hop[static_cast<std::size_t>(v)] =
+            (u == n) ? v : first_hop[static_cast<std::size_t>(u)];
+        queue.push({candidate, v});
+      }
+    }
+  }
+
+  if (agent.table != first_hop) {
+    agent.table = std::move(first_hop);
+    last_table_change_ = simulator_->now();
+  }
+}
+
+NodeId LinkStateRouting::next_hop(NodeId at, NodeId dst) const {
+  if (!network_->graph().valid_node(at) || !network_->graph().valid_node(dst)) {
+    return net::kNoNode;
+  }
+  if (at == dst) return at;
+  const AgentState& agent = agents_[static_cast<std::size_t>(at)];
+  if (agent.table.empty()) return net::kNoNode;
+  return agent.table[static_cast<std::size_t>(dst)];
+}
+
+bool LinkStateRouting::converged() const {
+  const net::Graph& g = network_->graph();
+  // Ground truth: distances over currently-up links and nodes.
+  net::ExclusionSet excluded(g);
+  for (LinkId l = 0; l < g.link_count(); ++l) {
+    if (!network_->link_up(l)) excluded.ban_link(l);
+  }
+  for (NodeId n = 0; n < g.node_count(); ++n) {
+    if (!network_->node_up(n)) excluded.ban_node(n);
+  }
+  for (NodeId src = 0; src < g.node_count(); ++src) {
+    if (!network_->node_up(src)) continue;
+    const net::ShortestPathTree truth = net::dijkstra(g, src, excluded);
+    for (NodeId dst = 0; dst < g.node_count(); ++dst) {
+      if (dst == src || !network_->node_up(dst)) continue;
+      if (!truth.reachable(dst)) continue;
+      // Follow the next-hop chain; it must reach dst over up links within
+      // node_count() hops.
+      NodeId cur = src;
+      int hops = 0;
+      while (cur != dst) {
+        const NodeId hop = next_hop(cur, dst);
+        if (hop == net::kNoNode || ++hops > g.node_count()) return false;
+        const auto link = g.link_between(cur, hop);
+        if (!link || !network_->link_up(*link)) return false;
+        cur = hop;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace smrp::routing

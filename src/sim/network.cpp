@@ -1,0 +1,105 @@
+#include "sim/network.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace smrp::sim {
+
+SimNetwork::SimNetwork(Simulator& simulator, const net::Graph& graph,
+                       NetworkConfig config)
+    : simulator_(&simulator),
+      graph_(&graph),
+      config_(config),
+      handlers_(static_cast<std::size_t>(graph.node_count())),
+      link_up_(static_cast<std::size_t>(graph.link_count()), 1),
+      node_up_(static_cast<std::size_t>(graph.node_count()), 1),
+      loss_rng_(config.loss_seed) {
+  if (config_.propagation_per_weight < 0.0 || config_.hop_overhead < 0.0) {
+    throw std::invalid_argument("negative latency parameters");
+  }
+  if (config_.loss_probability < 0.0 || config_.loss_probability >= 1.0) {
+    throw std::invalid_argument("loss probability must be in [0, 1)");
+  }
+}
+
+void SimNetwork::set_handler(NodeId node, Handler handler) {
+  if (!graph_->valid_node(node)) throw std::out_of_range("bad node");
+  handlers_[static_cast<std::size_t>(node)] = std::move(handler);
+}
+
+Time SimNetwork::link_latency(LinkId link) const {
+  return config_.hop_overhead +
+         config_.propagation_per_weight * graph_->link(link).weight;
+}
+
+bool SimNetwork::send(NodeId from, NodeId to, Message message) {
+  const auto trace = [this, from, to](TraceKind kind, const Message& m) {
+    if (tracer_ != nullptr) {
+      tracer_->record(
+          TraceEvent{simulator_->now(), kind, from, to, message_name(m)});
+    }
+  };
+  const auto link = graph_->link_between(from, to);
+  if (!link || !node_up(from)) {
+    ++dropped_;
+    trace(TraceKind::kDrop, message);
+    return false;
+  }
+  ++sent_;
+  trace(TraceKind::kSend, message);
+  if (config_.loss_probability > 0.0 &&
+      loss_rng_.uniform() < config_.loss_probability) {
+    ++dropped_;  // transient loss: vanishes on the wire
+    trace(TraceKind::kDrop, message);
+    return true;
+  }
+  const LinkId l = *link;
+  simulator_->schedule(
+      link_latency(l),
+      [this, from, to, l, trace, msg = std::move(message)]() {
+        // Persistent failures kill in-flight traffic too: the message is
+        // lost unless the link and both endpoints are up on arrival.
+        if (!link_up(l) || !node_up(from) || !node_up(to) ||
+            !handlers_[static_cast<std::size_t>(to)]) {
+          ++dropped_;
+          trace(TraceKind::kDrop, msg);
+          return;
+        }
+        ++delivered_;
+        trace(TraceKind::kDeliver, msg);
+        handlers_[static_cast<std::size_t>(to)](from, msg);
+      });
+  return true;
+}
+
+int SimNetwork::broadcast(NodeId from, const Message& message) {
+  int admitted = 0;
+  for (const net::Adjacency& adj : graph_->neighbors(from)) {
+    if (send(from, adj.neighbor, message)) ++admitted;
+  }
+  return admitted;
+}
+
+void SimNetwork::set_link_up(LinkId link, bool up) {
+  if (link < 0 || link >= graph_->link_count()) {
+    throw std::out_of_range("bad link");
+  }
+  link_up_[static_cast<std::size_t>(link)] = up ? 1 : 0;
+}
+
+bool SimNetwork::link_up(LinkId link) const {
+  return link >= 0 && link < graph_->link_count() &&
+         link_up_[static_cast<std::size_t>(link)] != 0;
+}
+
+void SimNetwork::set_node_up(NodeId node, bool up) {
+  if (!graph_->valid_node(node)) throw std::out_of_range("bad node");
+  node_up_[static_cast<std::size_t>(node)] = up ? 1 : 0;
+}
+
+bool SimNetwork::node_up(NodeId node) const {
+  return graph_->valid_node(node) &&
+         node_up_[static_cast<std::size_t>(node)] != 0;
+}
+
+}  // namespace smrp::sim

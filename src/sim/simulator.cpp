@@ -1,0 +1,68 @@
+#include "sim/simulator.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace smrp::sim {
+
+EventId Simulator::schedule(Time delay, std::function<void()> action) {
+  if (delay < 0.0) throw std::invalid_argument("negative delay");
+  return schedule_at(now_ + delay, std::move(action));
+}
+
+EventId Simulator::schedule_at(Time when, std::function<void()> action) {
+  if (when < now_) throw std::invalid_argument("cannot schedule in the past");
+  if (!action) throw std::invalid_argument("empty action");
+  const EventId id = next_id_++;
+  queue_.push(Entry{when, id, std::move(action)});
+  pending_ids_.insert(id);
+  ++live_pending_;
+  return id;
+}
+
+void Simulator::cancel(EventId id) {
+  const auto it = pending_ids_.find(id);
+  if (it == pending_ids_.end()) return;  // fired, cancelled, or unknown
+  pending_ids_.erase(it);
+  cancelled_.insert(id);
+  --live_pending_;
+}
+
+bool Simulator::fire_next(Time limit) {
+  while (!queue_.empty()) {
+    const Entry& top = queue_.top();
+    if (top.when > limit) return false;
+    if (cancelled_.erase(top.id) > 0) {
+      queue_.pop();  // skip cancelled without advancing the clock
+      continue;
+    }
+    // Move out before popping so the action may schedule/cancel freely.
+    Entry entry = std::move(const_cast<Entry&>(top));
+    queue_.pop();
+    pending_ids_.erase(entry.id);
+    now_ = entry.when;
+    --live_pending_;
+    ++processed_;
+    entry.action();
+    return true;
+  }
+  return false;
+}
+
+std::size_t Simulator::run_until(Time until) {
+  std::size_t fired = 0;
+  while (fire_next(until)) ++fired;
+  if (now_ < until) now_ = until;
+  return fired;
+}
+
+std::size_t Simulator::run_all(std::size_t max_events) {
+  std::size_t fired = 0;
+  while (fired < max_events &&
+         fire_next(std::numeric_limits<Time>::infinity())) {
+    ++fired;
+  }
+  return fired;
+}
+
+}  // namespace smrp::sim

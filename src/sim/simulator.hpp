@@ -1,0 +1,68 @@
+// Discrete-event simulation core (the ns-2 stand-in): a clock plus an
+// ordered event queue. Events fire in (time, insertion-order) order, so a
+// run is fully deterministic for a given schedule of calls.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <unordered_set>
+
+namespace smrp::sim {
+
+/// Simulated time in milliseconds.
+using Time = double;
+
+using EventId = std::uint64_t;
+inline constexpr EventId kNoEvent = 0;
+
+class Simulator {
+ public:
+  [[nodiscard]] Time now() const noexcept { return now_; }
+
+  /// Schedule `action` to run `delay` ms from now (delay ≥ 0).
+  EventId schedule(Time delay, std::function<void()> action);
+
+  /// Schedule `action` at absolute time `when` (≥ now).
+  EventId schedule_at(Time when, std::function<void()> action);
+
+  /// Cancel a pending event; cancelling an already-fired or unknown id is
+  /// a harmless no-op.
+  void cancel(EventId id);
+
+  /// Run events until the queue empties or the clock passes `until`.
+  /// Events scheduled exactly at `until` still run. Returns the number of
+  /// events processed by this call.
+  std::size_t run_until(Time until);
+
+  /// Run everything (with a safety cap to catch runaway schedules).
+  std::size_t run_all(std::size_t max_events = 10'000'000);
+
+  [[nodiscard]] bool idle() const noexcept { return live_pending_ == 0; }
+  [[nodiscard]] std::size_t processed() const noexcept { return processed_; }
+  [[nodiscard]] std::size_t pending() const noexcept { return live_pending_; }
+
+ private:
+  struct Entry {
+    Time when;
+    EventId id;
+    std::function<void()> action;
+    bool operator>(const Entry& other) const noexcept {
+      if (when != other.when) return when > other.when;
+      return id > other.id;  // FIFO among simultaneous events
+    }
+  };
+
+  bool fire_next(Time limit);
+
+  Time now_ = 0.0;
+  EventId next_id_ = 1;
+  std::size_t processed_ = 0;
+  std::size_t live_pending_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue_;
+  std::unordered_set<EventId> pending_ids_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace smrp::sim

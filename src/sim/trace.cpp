@@ -1,0 +1,63 @@
+#include "sim/trace.hpp"
+
+namespace smrp::sim {
+
+std::string_view message_name(const Message& message) {
+  struct Visitor {
+    std::string_view operator()(const HelloMsg&) const { return "HELLO"; }
+    std::string_view operator()(const LsaMsg&) const { return "LSA"; }
+    std::string_view operator()(const JoinReqMsg&) const { return "JOIN_REQ"; }
+    std::string_view operator()(const JoinAckMsg&) const { return "JOIN_ACK"; }
+    std::string_view operator()(const LeaveReqMsg&) const {
+      return "LEAVE_REQ";
+    }
+    std::string_view operator()(const StateRefreshMsg&) const {
+      return "STATE_REFRESH";
+    }
+    std::string_view operator()(const ShrUpdateMsg&) const {
+      return "SHR_UPDATE";
+    }
+    std::string_view operator()(const DataMsg&) const { return "DATA"; }
+    std::string_view operator()(const RepairQueryMsg&) const {
+      return "REPAIR_QUERY";
+    }
+    std::string_view operator()(const RepairRespMsg&) const {
+      return "REPAIR_RESP";
+    }
+  };
+  return std::visit(Visitor{}, message);
+}
+
+namespace {
+
+const char* kind_name(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kSend:
+      return "send";
+    case TraceKind::kDeliver:
+      return "recv";
+    case TraceKind::kDrop:
+      return "drop";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void Tracer::print(std::ostream& out) const {
+  for (const TraceEvent& e : events_) {
+    out << e.at << "ms " << kind_name(e.kind) << " " << e.from << "->" << e.to
+        << " " << e.message << "\n";
+  }
+}
+
+std::size_t Tracer::count_retained(std::string_view name,
+                                   TraceKind kind) const {
+  std::size_t n = 0;
+  for (const TraceEvent& e : events_) {
+    if (e.kind == kind && e.message == name) ++n;
+  }
+  return n;
+}
+
+}  // namespace smrp::sim

@@ -1,0 +1,65 @@
+// Observability for the simulated network: a tracer receives one event
+// per transmission outcome, with a bounded in-memory log and stream
+// rendering. Used by the examples' verbose modes and by tests asserting
+// on protocol message flow.
+#pragma once
+
+#include <deque>
+#include <ostream>
+#include <string_view>
+
+#include "sim/messages.hpp"
+#include "sim/simulator.hpp"
+
+namespace smrp::sim {
+
+/// Human-readable tag of a wire message.
+[[nodiscard]] std::string_view message_name(const Message& message);
+
+enum class TraceKind : unsigned char {
+  kSend,     ///< admitted into the network
+  kDeliver,  ///< handed to the receiver
+  kDrop,     ///< lost (down component, transient loss, or no handler)
+};
+
+struct TraceEvent {
+  Time at = 0.0;
+  TraceKind kind = TraceKind::kSend;
+  NodeId from = net::kNoNode;
+  NodeId to = net::kNoNode;
+  std::string_view message;  ///< message_name() of the payload
+};
+
+/// Bounded event log. Attach with SimNetwork::set_tracer().
+class Tracer {
+ public:
+  explicit Tracer(std::size_t capacity = 4096) : capacity_(capacity) {}
+
+  void record(const TraceEvent& event) {
+    ++counts_[static_cast<std::size_t>(event.kind)];
+    events_.push_back(event);
+    if (events_.size() > capacity_) events_.pop_front();
+  }
+
+  [[nodiscard]] const std::deque<TraceEvent>& events() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] std::uint64_t count(TraceKind kind) const noexcept {
+    return counts_[static_cast<std::size_t>(kind)];
+  }
+  void clear() noexcept { events_.clear(); }
+
+  /// Render the retained window, one event per line.
+  void print(std::ostream& out) const;
+
+  /// Number of retained events whose message tag equals `name`.
+  [[nodiscard]] std::size_t count_retained(std::string_view name,
+                                           TraceKind kind) const;
+
+ private:
+  std::size_t capacity_;
+  std::deque<TraceEvent> events_;
+  std::uint64_t counts_[3] = {0, 0, 0};
+};
+
+}  // namespace smrp::sim

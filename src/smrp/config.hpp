@@ -1,0 +1,49 @@
+// Tunables of the Survivable Multicast Routing Protocol.
+#pragma once
+
+namespace smrp::proto {
+
+/// How join-candidate grafts are generated (paper footnote 4 only says
+/// "the shortest one"; the two readings below differ in candidate-set
+/// size and are compared by bench_ablation_graft_mode).
+enum class GraftMode {
+  /// For each on-tree node R, the shortest graft that touches the tree
+  /// only at R (other on-tree nodes excluded from the graft's interior).
+  /// This is what the paper's Figure-4 walkthrough enumerates (e.g. the
+  /// G→B→S candidate merging at the source) and is the default.
+  kAvoidTree,
+  /// For each on-tree node R, the plain shortest path NR→R; R is a valid
+  /// merge only if that path meets the tree first at R. Smaller candidate
+  /// set — a path crossing the tree early really merges at the earlier
+  /// node. Less dispersal, lower cost/delay penalty.
+  kFirstHit,
+};
+
+struct SmrpConfig {
+  /// Candidate-graft generation strategy.
+  GraftMode graft_mode = GraftMode::kAvoidTree;
+
+  /// The paper's D_thresh: a candidate path is admissible iff its delay is
+  /// at most (1 + d_thresh) × the SPF delay from the source (§3.2.2).
+  double d_thresh = 0.3;
+
+  /// Reshaping Condition I (§3.2.3): a node whose SHR grew by at least this
+  /// much since its last (re)join attempts a new path selection. The
+  /// paper's Figure 5 walkthrough triggers on a growth of 2.
+  int reshape_shr_delta = 2;
+
+  /// Master switch for reshaping (Conditions I and II); the ablation bench
+  /// turns it off.
+  bool enable_reshaping = true;
+
+  /// Upper bound on cascading Condition-I reshapes processed after one
+  /// membership event, guarding against oscillation.
+  int max_reshapes_per_event = 8;
+
+  /// If no candidate satisfies the D_thresh bound (possible on sparse
+  /// graphs), fall back to the minimum-delay candidate instead of refusing
+  /// the join. Fallbacks are counted in the join statistics.
+  bool fallback_when_infeasible = true;
+};
+
+}  // namespace smrp::proto

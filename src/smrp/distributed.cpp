@@ -1,0 +1,579 @@
+#include "smrp/distributed.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "smrp/path_selection.hpp"
+
+namespace smrp::proto {
+
+DistributedSession::DistributedSession(sim::Simulator& simulator,
+                                       sim::SimNetwork& network,
+                                       routing::LinkStateRouting& routing,
+                                       net::NodeId source,
+                                       SessionConfig config)
+    : simulator_(&simulator),
+      network_(&network),
+      routing_(&routing),
+      source_(source),
+      config_(config) {
+  if (!network.graph().valid_node(source)) {
+    throw std::out_of_range("bad source");
+  }
+  agents_.resize(static_cast<std::size_t>(network.graph().node_count()));
+}
+
+DistributedSession::AgentState& DistributedSession::agent(net::NodeId n) {
+  return agents_[static_cast<std::size_t>(n)];
+}
+
+const DistributedSession::AgentState& DistributedSession::agent(
+    net::NodeId n) const {
+  return agents_[static_cast<std::size_t>(n)];
+}
+
+bool DistributedSession::is_member(net::NodeId n) const {
+  return agent(n).is_member;
+}
+
+bool DistributedSession::on_tree(net::NodeId n) const {
+  return agent(n).on_tree;
+}
+
+net::NodeId DistributedSession::parent_of(net::NodeId n) const {
+  return agent(n).parent;
+}
+
+Time DistributedSession::last_data_at(net::NodeId n) const {
+  return agent(n).last_data;
+}
+
+int DistributedSession::local_member_count(const AgentState& s) const {
+  int n = s.is_member ? 1 : 0;
+  for (const auto& [child, info] : s.children) n += info.subtree_members;
+  return n;
+}
+
+int DistributedSession::believed_shr(net::NodeId n) const {
+  const AgentState& s = agent(n);
+  if (n == source_) return 0;
+  return s.shr_upstream + local_member_count(s);
+}
+
+bool DistributedSession::upstream_alive(net::NodeId n) const {
+  if (n == source_) return true;
+  const AgentState& s = agent(n);
+  if (!s.on_tree) return false;
+  return s.last_data >= 0.0 &&
+         simulator_->now() - s.last_data <= config_.upstream_timeout;
+}
+
+net::ExclusionSet DistributedSession::down_components() const {
+  net::ExclusionSet down(network_->graph());
+  for (net::LinkId l = 0; l < network_->graph().link_count(); ++l) {
+    if (!network_->link_up(l)) down.ban_link(l);
+  }
+  for (net::NodeId v = 0; v < network_->graph().node_count(); ++v) {
+    if (!network_->node_up(v)) down.ban_node(v);
+  }
+  return down;
+}
+
+void DistributedSession::start() {
+  if (started_) throw std::logic_error("session already started");
+  started_ = true;
+  agent(source_).on_tree = true;
+  pump_data();
+  // Stagger per-node maintenance so timers do not fire in lockstep.
+  for (net::NodeId n = 0; n < network_->graph().node_count(); ++n) {
+    const Time phase =
+        config_.refresh_interval * (0.1 + 0.8 * (n % 17) / 17.0);
+    simulator_->schedule(phase, [this, n] { maintenance(n); });
+  }
+}
+
+void DistributedSession::pump_data() {
+  AgentState& s = agent(source_);
+  sim::DataMsg data;
+  data.seq = ++data_seq_;
+  s.last_data = simulator_->now();
+  s.last_seq = data.seq;
+  for (const auto& [child, info] : s.children) {
+    network_->send(source_, child, data);
+  }
+  simulator_->schedule(config_.data_interval, [this] { pump_data(); });
+}
+
+void DistributedSession::join(net::NodeId member) {
+  if (member == source_) {
+    throw std::invalid_argument("source cannot join its own session");
+  }
+  AgentState& s = agent(member);
+  if (s.is_member) return;
+  s.is_member = true;
+  if (s.on_tree) return;  // relay upgrading in place
+
+  if (config_.mode == SessionConfig::Mode::kPimSpf) {
+    s.on_tree = true;
+    send_routed_join(member);
+    return;
+  }
+
+  // SMRP join: the member (assumed to know the topology, §3.2.2) runs the
+  // selection criterion against the *distributed* tree state — merge
+  // nodes' SHR values as the protocol currently believes them — over the
+  // live topology (failed components excluded).
+  const auto snapshot = snapshot_tree();
+  const net::ExclusionSet down = down_components();
+  if (down.node_banned(source_) || down.node_banned(member)) {
+    s.on_tree = true;
+    send_routed_join(member);  // nothing to compute against a dead source
+    return;
+  }
+  const net::ShortestPathTree spf =
+      net::dijkstra(network_->graph(), source_, down);
+  const double spf_delay =
+      spf.dist[static_cast<std::size_t>(member)];
+  if (!snapshot || spf_delay == net::kInfinity) {
+    // Degenerate fallback: routed join (also used mid-churn).
+    s.on_tree = true;
+    send_routed_join(member);
+    return;
+  }
+  const auto selection = select_path(
+      enumerate_candidates(network_->graph(), *snapshot, member, spf_delay,
+                           config_.smrp, std::nullopt, &down),
+      spf_delay, config_.smrp);
+  s.on_tree = true;
+  if (!selection) {
+    send_routed_join(member);
+    return;
+  }
+  send_join_along(member, selection->chosen.graft);
+}
+
+void DistributedSession::send_join_along(net::NodeId member,
+                                         const std::vector<net::NodeId>& path) {
+  if (path.size() < 2) return;  // joined in place
+  AgentState& s = agent(member);
+  s.parent = path[1];
+  sim::JoinReqMsg msg;
+  msg.member = member;
+  msg.path = path;
+  msg.hop_index = 0;
+  network_->send(member, path[1], msg);
+}
+
+void DistributedSession::send_routed_join(net::NodeId from_member) {
+  const net::NodeId hop = routing_->next_hop(from_member, source_);
+  if (hop == net::kNoNode) return;  // retried by maintenance
+  agent(from_member).parent = hop;
+  sim::JoinReqMsg msg;
+  msg.member = from_member;
+  msg.hop_index = static_cast<std::size_t>(config_.join_ttl);
+  network_->send(from_member, hop, msg);
+}
+
+void DistributedSession::leave(net::NodeId member) {
+  AgentState& s = agent(member);
+  if (!s.is_member) return;
+  s.is_member = false;
+  prune_self_if_useless(member);
+}
+
+void DistributedSession::prune_self_if_useless(net::NodeId n) {
+  AgentState& s = agent(n);
+  if (n == source_ || !s.on_tree) return;
+  if (s.is_member || !s.children.empty()) return;
+  const net::NodeId up = s.parent;
+  s.on_tree = false;
+  s.parent = net::kNoNode;
+  s.shr_upstream = 0;
+  s.last_upstream = -1.0;
+  s.last_data = -1.0;
+  s.repairing = false;
+  s.shr_baseline = -1;
+  s.ticks_since_reshape_check = 0;
+  if (up != net::kNoNode) {
+    network_->send(n, up, sim::LeaveReqMsg{n});
+  }
+}
+
+void DistributedSession::maintenance(net::NodeId n) {
+  simulator_->schedule(config_.refresh_interval,
+                       [this, n] { maintenance(n); });
+  if (!network_->node_up(n)) return;
+  AgentState& s = agent(n);
+  const Time now = simulator_->now();
+
+  // Expire silent children.
+  for (auto it = s.children.begin(); it != s.children.end();) {
+    if (now - it->second.last_refresh > config_.state_timeout) {
+      it = s.children.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  if (!s.on_tree) return;
+
+  // Parent-facing soft state + liveness.
+  if (n != source_ && s.parent != net::kNoNode) {
+    network_->send(n, s.parent,
+                   sim::StateRefreshMsg{local_member_count(s)});
+    const bool upstream_dead =
+        s.last_upstream >= 0.0
+            ? now - s.last_upstream > config_.upstream_timeout
+            : false;
+    const bool data_dead =
+        s.last_data >= 0.0 && now - s.last_data > config_.upstream_timeout;
+    if (upstream_dead || data_dead) {
+      if (config_.mode == SessionConfig::Mode::kSmrp) {
+        start_repair(n);
+      } else if (s.is_member || !s.children.empty()) {
+        send_routed_join(n);  // PIM: keep re-joining toward the source
+      }
+    }
+  }
+
+  // Child-facing SHR propagation (Eq. 2 downstream push).
+  const int own_shr = believed_shr(n);
+  for (const auto& [child, info] : s.children) {
+    network_->send(n, child, sim::ShrUpdateMsg{own_shr});
+  }
+
+  // Tree reshaping (§3.2.3), members only, while service is healthy.
+  if (config_.mode == SessionConfig::Mode::kSmrp &&
+      config_.smrp.enable_reshaping && s.is_member && upstream_alive(n) &&
+      n != source_ && !s.repairing) {
+    if (s.shr_baseline < 0) s.shr_baseline = believed_shr(n);
+    const bool condition_one =
+        believed_shr(n) - s.shr_baseline >= config_.smrp.reshape_shr_delta;
+    const bool condition_two =
+        ++s.ticks_since_reshape_check >= config_.reshape_every_ticks;
+    if (condition_one || condition_two) {
+      s.ticks_since_reshape_check = 0;
+      if (!attempt_reshape(n)) {
+        // Selection declined: re-anchor the Condition-I reference so the
+        // same growth does not retrigger every tick.
+        s.shr_baseline = believed_shr(n);
+      }
+    }
+  }
+
+  prune_self_if_useless(n);
+}
+
+bool DistributedSession::attempt_reshape(net::NodeId n) {
+  AgentState& s = agent(n);
+  const auto snapshot = snapshot_tree();
+  if (!snapshot || !snapshot->is_member(n)) return false;
+  const net::NodeId up = snapshot->parent(n);
+  if (up == net::kNoNode) return false;
+
+  // Reshaping decisions respect the live topology: failed links/nodes
+  // (known network-wide once the IGP has flooded them) are unusable.
+  const net::ExclusionSet down = down_components();
+  if (down.node_banned(n) || down.node_banned(source_)) return false;
+
+  const net::ShortestPathTree spf =
+      net::dijkstra(network_->graph(), source_, down);
+  const double spf_delay = spf.dist[static_cast<std::size_t>(n)];
+  if (spf_delay == net::kInfinity) return false;
+
+  const std::vector<JoinCandidate> candidates = enumerate_candidates(
+      network_->graph(), *snapshot, n, spf_delay, config_.smrp, n, &down);
+  const int current_shr = snapshot->shr_excluding_subtree(up, n);
+  const double current_delay = snapshot->delay_to_source(n);
+
+  const JoinCandidate* best = nullptr;
+  for (const JoinCandidate& c : candidates) {
+    if (!c.within_bound) continue;
+    if (best == nullptr || c.shr < best->shr ||
+        (c.shr == best->shr && c.total_delay < best->total_delay)) {
+      best = &c;
+    }
+  }
+  if (best == nullptr) return false;
+  const bool better =
+      best->shr < current_shr ||
+      (best->shr == current_shr && best->total_delay + 1e-9 < current_delay);
+  if (!better) return false;
+  if (best->merge_node == up && best->graft.size() == 2) return false;
+  // Guard against stale relays: the snapshot may omit soft-state remnants
+  // that are still on-tree in reality; routing the new branch through one
+  // could close a cycle. Decline and let soft state clean up first.
+  for (std::size_t i = 1; i + 1 < best->graft.size(); ++i) {
+    if (agent(best->graft[i]).on_tree) return false;
+  }
+
+  // Make-before-break: install the new branch, then release the old one.
+  const net::NodeId old_parent = s.parent;
+  send_join_along(n, best->graft);
+  if (old_parent != net::kNoNode && old_parent != s.parent) {
+    network_->send(n, old_parent, sim::LeaveReqMsg{n});
+  }
+  s.shr_baseline = -1;  // re-anchor once the new SHR propagates
+  ++reshapes_performed_;
+  return true;
+}
+
+void DistributedSession::start_repair(net::NodeId n) {
+  AgentState& s = agent(n);
+  if (s.repairing) return;
+  s.repairing = true;
+  s.repair_ttl = 1;
+  ++repairs_started_;
+  fire_repair_ring(n);
+}
+
+void DistributedSession::fire_repair_ring(net::NodeId n) {
+  AgentState& s = agent(n);
+  if (!s.repairing) return;
+  if (s.repair_ttl > config_.max_repair_ttl) {
+    s.repairing = false;  // give up; maintenance may restart later
+    return;
+  }
+  sim::RepairQueryMsg query;
+  query.initiator = n;
+  query.nonce = ++nonce_counter_;
+  query.ttl = s.repair_ttl;
+  query.visited = {n};
+  s.repair_nonce = query.nonce;
+  network_->broadcast(n, query);
+  s.repair_ttl *= 2;
+  simulator_->schedule(config_.repair_retry,
+                       [this, n] { fire_repair_ring(n); });
+}
+
+bool DistributedSession::handle(net::NodeId at, net::NodeId from,
+                                const sim::Message& message) {
+  if (const auto* join_msg = std::get_if<sim::JoinReqMsg>(&message)) {
+    on_join(at, from, *join_msg);
+    return true;
+  }
+  if (std::holds_alternative<sim::LeaveReqMsg>(message)) {
+    on_leave(at, from);
+    return true;
+  }
+  if (const auto* refresh = std::get_if<sim::StateRefreshMsg>(&message)) {
+    on_refresh(at, from, *refresh);
+    return true;
+  }
+  if (const auto* shr = std::get_if<sim::ShrUpdateMsg>(&message)) {
+    on_shr_update(at, from, *shr);
+    return true;
+  }
+  if (const auto* data = std::get_if<sim::DataMsg>(&message)) {
+    on_data(at, from, *data);
+    return true;
+  }
+  if (const auto* query = std::get_if<sim::RepairQueryMsg>(&message)) {
+    on_repair_query(at, from, *query);
+    return true;
+  }
+  if (const auto* resp = std::get_if<sim::RepairRespMsg>(&message)) {
+    on_repair_resp(at, from, *resp);
+    return true;
+  }
+  return false;
+}
+
+void DistributedSession::on_join(net::NodeId at, net::NodeId from,
+                                 const sim::JoinReqMsg& msg) {
+  AgentState& s = agent(at);
+  // Register the sender as a child (idempotent refresh).
+  ChildInfo& child = s.children[from];
+  child.last_refresh = simulator_->now();
+  child.subtree_members = std::max(child.subtree_members, 1);
+
+  if (!msg.path.empty()) {
+    // Explicit graft travelling member → … → merge node.
+    const auto it = std::find(msg.path.begin(), msg.path.end(), at);
+    if (it == msg.path.end()) return;  // stray
+    const auto index = static_cast<std::size_t>(it - msg.path.begin());
+    if (s.on_tree || index + 1 >= msg.path.size()) {
+      // Merge point reached (or the graft hit the tree early): stop.
+      return;
+    }
+    s.on_tree = true;
+    s.parent = msg.path[index + 1];
+    sim::JoinReqMsg forward = msg;
+    forward.hop_index = index;
+    network_->send(at, s.parent, forward);
+    return;
+  }
+
+  // Routed (PIM-style) join toward the source.
+  if (at == source_) return;
+  if (s.on_tree && upstream_alive(at)) return;  // already served
+  const auto ttl = msg.hop_index;
+  if (ttl == 0) return;
+  const net::NodeId hop = routing_->next_hop(at, source_);
+  if (hop == net::kNoNode || hop == from) return;
+  if (s.on_tree && s.parent != hop && s.parent != net::kNoNode) {
+    // Unicast routing moved: switch upstream, prune the old branch.
+    network_->send(at, s.parent, sim::LeaveReqMsg{at});
+  }
+  s.on_tree = true;
+  s.parent = hop;
+  sim::JoinReqMsg forward = msg;
+  forward.hop_index = ttl - 1;
+  network_->send(at, hop, forward);
+}
+
+void DistributedSession::on_leave(net::NodeId at, net::NodeId from) {
+  AgentState& s = agent(at);
+  s.children.erase(from);
+  prune_self_if_useless(at);
+}
+
+void DistributedSession::on_refresh(net::NodeId at, net::NodeId from,
+                                    const sim::StateRefreshMsg& msg) {
+  AgentState& s = agent(at);
+  const auto it = s.children.find(from);
+  if (it == s.children.end()) {
+    // Refresh from an unknown child re-adopts it (soft state recovers
+    // from message loss).
+    if (s.on_tree) {
+      s.children[from] = ChildInfo{simulator_->now(), msg.subtree_members};
+    }
+    return;
+  }
+  it->second.last_refresh = simulator_->now();
+  it->second.subtree_members = msg.subtree_members;
+}
+
+void DistributedSession::on_shr_update(net::NodeId at, net::NodeId from,
+                                       const sim::ShrUpdateMsg& msg) {
+  AgentState& s = agent(at);
+  if (s.parent != from) return;  // stale upstream
+  s.shr_upstream = msg.shr_upstream;
+  s.last_upstream = simulator_->now();
+}
+
+void DistributedSession::on_data(net::NodeId at, net::NodeId from,
+                                 const sim::DataMsg& msg) {
+  AgentState& s = agent(at);
+  if (!s.on_tree || s.parent != from) return;  // not my upstream
+  if (msg.seq <= s.last_seq) return;           // duplicate suppression
+  s.last_seq = msg.seq;
+  s.last_data = simulator_->now();
+  s.last_upstream = simulator_->now();
+  if (s.repairing) {
+    // Service is back (e.g. upstream healed itself): stop repairing.
+    s.repairing = false;
+    ++repairs_completed_;
+  }
+  for (const auto& [child, info] : s.children) {
+    if (child != from) network_->send(at, child, msg);
+  }
+}
+
+void DistributedSession::on_repair_query(net::NodeId at, net::NodeId from,
+                                         sim::RepairQueryMsg msg) {
+  AgentState& s = agent(at);
+  if (!s.seen_nonces.insert(msg.nonce).second) return;  // duplicate
+  if (std::find(msg.visited.begin(), msg.visited.end(), at) !=
+      msg.visited.end()) {
+    return;
+  }
+
+  const bool can_serve = s.on_tree && upstream_alive(at) &&
+                         at != msg.initiator;
+  if (can_serve) {
+    sim::RepairRespMsg resp;
+    resp.responder = at;
+    resp.nonce = msg.nonce;
+    resp.shr = believed_shr(at);
+    resp.path = msg.visited;
+    resp.path.push_back(at);
+    resp.hop_index = resp.path.size() - 1;
+    // Retrace toward the initiator.
+    network_->send(at, resp.path[resp.hop_index - 1], resp);
+    return;
+  }
+  if (msg.ttl <= 1) return;
+  msg.ttl -= 1;
+  msg.visited.push_back(at);
+  for (const net::Adjacency& adj : network_->graph().neighbors(at)) {
+    if (adj.neighbor == from) continue;
+    network_->send(at, adj.neighbor, msg);
+  }
+}
+
+void DistributedSession::on_repair_resp(net::NodeId at,
+                                        net::NodeId /*from*/,
+                                        const sim::RepairRespMsg& msg) {
+  if (msg.path.empty()) return;
+  if (at != msg.path.front()) {
+    // Relay hop: keep retracing toward the initiator.
+    const auto it = std::find(msg.path.begin(), msg.path.end(), at);
+    if (it == msg.path.end() || it == msg.path.begin()) return;
+    const auto index = static_cast<std::size_t>(it - msg.path.begin());
+    sim::RepairRespMsg forward = msg;
+    forward.hop_index = index;
+    network_->send(at, msg.path[index - 1], forward);
+    return;
+  }
+  // Initiator: adopt the first response (nearest ring).
+  AgentState& s = agent(at);
+  if (!s.repairing || msg.nonce != s.repair_nonce) return;
+  s.repairing = false;
+  ++repairs_completed_;
+  // Install the graft at → … → responder. JoinReq along the path wires
+  // the interior and registers us at the responder.
+  send_join_along(at, msg.path);
+  // Optimistically mark upstream fresh so we do not instantly re-repair
+  // while the graft settles.
+  s.last_upstream = simulator_->now();
+  s.last_data = simulator_->now();
+}
+
+std::optional<mcast::MulticastTree> DistributedSession::snapshot_tree() const {
+  const net::Graph& g = network_->graph();
+  mcast::MulticastTree tree(g, source_);
+  std::vector<net::NodeId> members;
+  for (net::NodeId n = 0; n < g.node_count(); ++n) {
+    if (agent(n).is_member) members.push_back(n);
+  }
+  // Graft shorter chains first so later ones can stop at existing nodes.
+  std::vector<std::vector<net::NodeId>> chains;
+  for (const net::NodeId m : members) {
+    std::vector<net::NodeId> chain;
+    net::NodeId cur = m;
+    int guard = 0;
+    while (cur != net::kNoNode && cur != source_) {
+      chain.push_back(cur);
+      cur = agent(cur).parent;
+      if (++guard > g.node_count()) return std::nullopt;  // cycle mid-churn
+    }
+    if (cur == net::kNoNode) return std::nullopt;  // orphaned member
+    chain.push_back(source_);
+    chains.push_back(std::move(chain));
+  }
+  std::sort(chains.begin(), chains.end(),
+            [](const auto& a, const auto& b) { return a.size() < b.size(); });
+  for (const auto& chain : chains) {
+    const net::NodeId m = chain.front();
+    if (tree.on_tree(m)) {
+      tree.graft(m, {m});
+      continue;
+    }
+    std::vector<net::NodeId> graft;
+    for (const net::NodeId n : chain) {
+      graft.push_back(n);
+      if (tree.on_tree(n)) break;
+    }
+    // Adjacent-hop validation happens inside graft(); inconsistent chains
+    // (e.g. parent pointers across down links mid-repair) abort.
+    try {
+      tree.graft(m, graft);
+    } catch (const std::exception&) {
+      return std::nullopt;
+    }
+  }
+  return tree;
+}
+
+}  // namespace smrp::proto

@@ -1,0 +1,167 @@
+// Distributed, message-passing realisation of the multicast session on the
+// discrete-event simulator: soft-state join/prune, SHR maintenance via
+// periodic parent/child exchanges (§3.2.1), data forwarding, failure
+// detection, and the two recovery styles under comparison —
+//   * SMRP mode: expanding-ring local repair to the nearest on-tree node
+//     that still receives data (the local detour),
+//   * PIM mode: periodic routed joins toward the source that can only heal
+//     after the unicast link-state routing reconverges (the global
+//     detour), reproducing the ICNP'00 observation the paper builds on.
+//
+// The centralised engine (`SmrpTreeBuilder`) is the reference; tests check
+// that, in a quiescent network, the distributed protocol converges to a
+// tree whose member service (delay, structure) matches a valid tree and
+// that its SHR values agree with Eq. 2.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "multicast/tree.hpp"
+#include "net/shortest_path.hpp"
+#include "routing/link_state.hpp"
+#include "sim/network.hpp"
+#include "smrp/config.hpp"
+
+namespace smrp::proto {
+
+using sim::Time;
+
+struct SessionConfig {
+  SmrpConfig smrp;                  ///< path-selection knobs (SMRP mode)
+  Time refresh_interval = 100.0;    ///< soft-state + SHR exchange cadence (ms)
+  Time state_timeout = 350.0;       ///< child state expires after this silence
+  Time upstream_timeout = 350.0;    ///< upstream declared dead after this
+  Time data_interval = 25.0;        ///< source payload cadence
+  Time repair_retry = 80.0;         ///< expanding-ring pacing (SMRP repair)
+  int max_repair_ttl = 16;          ///< ring search cap
+  int join_ttl = 64;                ///< hop budget for routed (PIM) joins
+  /// Condition II cadence: a member re-runs path selection every this
+  /// many maintenance ticks (§3.2.3's periodic timer). Condition I fires
+  /// on SHR growth per SmrpConfig::reshape_shr_delta. Both honour
+  /// smrp.enable_reshaping.
+  int reshape_every_ticks = 10;
+  enum class Mode { kSmrp, kPimSpf } mode = Mode::kSmrp;
+};
+
+/// One multicast session: hosts the per-node protocol agents.
+class DistributedSession {
+ public:
+  DistributedSession(sim::Simulator& simulator, sim::SimNetwork& network,
+                     routing::LinkStateRouting& routing, net::NodeId source,
+                     SessionConfig config = {});
+
+  /// Bring the source online and start the data pump + maintenance timers.
+  void start();
+
+  /// Issue a join for `member` now (protocol messages flow from here on).
+  void join(net::NodeId member);
+
+  /// Issue a leave for `member` now.
+  void leave(net::NodeId member);
+
+  /// Demux entry point; returns true if the message belonged to this
+  /// session (routing messages return false).
+  bool handle(net::NodeId at, net::NodeId from, const sim::Message& message);
+
+  // -- Observability ---------------------------------------------------------
+
+  [[nodiscard]] net::NodeId source() const noexcept { return source_; }
+  [[nodiscard]] bool is_member(net::NodeId n) const;
+  [[nodiscard]] bool on_tree(net::NodeId n) const;
+  [[nodiscard]] net::NodeId parent_of(net::NodeId n) const;
+  /// Time of the last payload seen at `n` (< 0 if none yet).
+  [[nodiscard]] Time last_data_at(net::NodeId n) const;
+  /// SHR(S, n) as the distributed state currently believes.
+  [[nodiscard]] int believed_shr(net::NodeId n) const;
+
+  /// Build an analytic MulticastTree from the distributed state (members'
+  /// parent chains). Returns nullopt while the state is inconsistent
+  /// (mid-churn cycles or orphaned members).
+  [[nodiscard]] std::optional<mcast::MulticastTree> snapshot_tree() const;
+
+  [[nodiscard]] int repairs_started() const noexcept { return repairs_started_; }
+  [[nodiscard]] int repairs_completed() const noexcept {
+    return repairs_completed_;
+  }
+  [[nodiscard]] int reshapes_performed() const noexcept {
+    return reshapes_performed_;
+  }
+
+ private:
+  struct ChildInfo {
+    Time last_refresh = 0.0;
+    int subtree_members = 0;
+  };
+
+  struct AgentState {
+    bool is_member = false;
+    bool on_tree = false;
+    net::NodeId parent = net::kNoNode;
+    std::map<net::NodeId, ChildInfo> children;
+    int shr_upstream = 0;       ///< SHR(S, parent) learned from ShrUpdate
+    Time last_upstream = -1.0;  ///< last ShrUpdate from the parent
+    Time last_data = -1.0;      ///< last payload forwarded/consumed here
+    std::uint64_t last_seq = 0;
+    // SMRP repair machinery.
+    bool repairing = false;
+    std::uint64_t repair_nonce = 0;
+    int repair_ttl = 1;
+    std::set<std::uint64_t> seen_nonces;
+    // Reshaping state (§3.2.3).
+    int shr_baseline = -1;  ///< SHR at last (re)join; Condition I reference
+    int ticks_since_reshape_check = 0;
+  };
+
+  [[nodiscard]] AgentState& agent(net::NodeId n);
+  [[nodiscard]] const AgentState& agent(net::NodeId n) const;
+
+  /// Members in the subtree rooted here, per current child reports.
+  [[nodiscard]] int local_member_count(const AgentState& s) const;
+
+  /// "Connected to the source" in the data-plane sense.
+  [[nodiscard]] bool upstream_alive(net::NodeId n) const;
+
+  void pump_data();
+  void maintenance(net::NodeId n);
+  void send_join_along(net::NodeId member, const std::vector<net::NodeId>& path);
+  void send_routed_join(net::NodeId from_member);
+  void start_repair(net::NodeId n);
+  void fire_repair_ring(net::NodeId n);
+  /// Re-run path selection for member `n` against the current distributed
+  /// state; switch upstream (make-before-break) when strictly better.
+  bool attempt_reshape(net::NodeId n);
+  /// Currently failed links/nodes as an exclusion set (IGP knowledge).
+  [[nodiscard]] net::ExclusionSet down_components() const;
+  void prune_self_if_useless(net::NodeId n);
+
+  void on_join(net::NodeId at, net::NodeId from, const sim::JoinReqMsg& msg);
+  void on_leave(net::NodeId at, net::NodeId from);
+  void on_refresh(net::NodeId at, net::NodeId from,
+                  const sim::StateRefreshMsg& msg);
+  void on_shr_update(net::NodeId at, net::NodeId from,
+                     const sim::ShrUpdateMsg& msg);
+  void on_data(net::NodeId at, net::NodeId from, const sim::DataMsg& msg);
+  void on_repair_query(net::NodeId at, net::NodeId from,
+                       sim::RepairQueryMsg msg);
+  void on_repair_resp(net::NodeId at, net::NodeId from,
+                      const sim::RepairRespMsg& msg);
+
+  sim::Simulator* simulator_;
+  sim::SimNetwork* network_;
+  routing::LinkStateRouting* routing_;
+  net::NodeId source_;
+  SessionConfig config_;
+  std::vector<AgentState> agents_;
+  std::uint64_t data_seq_ = 0;
+  std::uint64_t nonce_counter_ = 0;
+  int repairs_started_ = 0;
+  int repairs_completed_ = 0;
+  int reshapes_performed_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace smrp::proto

@@ -1,0 +1,68 @@
+// Convenience wiring for full-stack simulations: event core + network +
+// link-state unicast routing + one multicast session, with the standard
+// demux order (routing first, session second). Used by the integration
+// tests, the restoration-time bench, and the failure-drill example.
+#pragma once
+
+#include <memory>
+
+#include "routing/link_state.hpp"
+#include "smrp/distributed.hpp"
+
+namespace smrp::proto {
+
+class SimulationHarness {
+ public:
+  SimulationHarness(const net::Graph& graph, net::NodeId source,
+                    SessionConfig session_config = {},
+                    routing::RoutingConfig routing_config = {},
+                    sim::NetworkConfig network_config = {})
+      : simulator_(std::make_unique<sim::Simulator>()),
+        network_(std::make_unique<sim::SimNetwork>(*simulator_, graph,
+                                                   network_config)),
+        routing_(std::make_unique<routing::LinkStateRouting>(
+            *simulator_, *network_, routing_config)),
+        session_(std::make_unique<DistributedSession>(
+            *simulator_, *network_, *routing_, source, session_config)) {
+    for (net::NodeId n = 0; n < graph.node_count(); ++n) {
+      network_->set_handler(n, [this, n](net::NodeId from,
+                                         const sim::Message& message) {
+        if (routing_->handle(n, from, message)) return;
+        session_->handle(n, from, message);
+      });
+    }
+  }
+
+  /// Start routing (pre-converged) and the session data pump.
+  void start() {
+    routing_->start();
+    session_->start();
+  }
+
+  /// Schedule a persistent link failure at absolute time `when`.
+  void fail_link_at(net::LinkId link, sim::Time when) {
+    simulator_->schedule_at(when,
+                            [this, link] { network_->set_link_up(link, false); });
+  }
+
+  /// Schedule a link repair at absolute time `when`.
+  void restore_link_at(net::LinkId link, sim::Time when) {
+    simulator_->schedule_at(when,
+                            [this, link] { network_->set_link_up(link, true); });
+  }
+
+  [[nodiscard]] sim::Simulator& simulator() noexcept { return *simulator_; }
+  [[nodiscard]] sim::SimNetwork& network() noexcept { return *network_; }
+  [[nodiscard]] routing::LinkStateRouting& routing() noexcept {
+    return *routing_;
+  }
+  [[nodiscard]] DistributedSession& session() noexcept { return *session_; }
+
+ private:
+  std::unique_ptr<sim::Simulator> simulator_;
+  std::unique_ptr<sim::SimNetwork> network_;
+  std::unique_ptr<routing::LinkStateRouting> routing_;
+  std::unique_ptr<DistributedSession> session_;
+};
+
+}  // namespace smrp::proto

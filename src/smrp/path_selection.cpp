@@ -1,0 +1,146 @@
+#include "smrp/path_selection.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace smrp::proto {
+
+std::vector<JoinCandidate> enumerate_candidates(
+    const Graph& g, const MulticastTree& tree, NodeId joiner,
+    double spf_delay, const SmrpConfig& config,
+    std::optional<NodeId> reshaping_member,
+    const net::ExclusionSet* unusable) {
+  std::vector<JoinCandidate> out;
+  const double d_thresh = config.d_thresh;
+
+  const bool reshaping = reshaping_member.has_value();
+  if (reshaping && *reshaping_member != joiner) {
+    throw std::invalid_argument("reshaping joiner must be the member itself");
+  }
+
+  if (!reshaping && tree.on_tree(joiner)) {
+    // A relay (or other on-tree node) becoming a receiver joins in place:
+    // it already has an on-tree path to the source.
+    JoinCandidate self;
+    self.merge_node = joiner;
+    self.graft = {joiner};
+    self.graft_delay = 0.0;
+    self.total_delay = tree.delay_to_source(joiner);
+    self.shr = tree.shr(joiner);
+    self.within_bound =
+        self.total_delay <= (1.0 + d_thresh) * spf_delay + 1e-9;
+    out.push_back(std::move(self));
+    return out;
+  }
+
+  // During reshaping, the member's own subtree is banned outright —
+  // merging below itself would create a cycle, and descendants move along
+  // with the member.
+  net::ExclusionSet excluded = unusable != nullptr ? *unusable
+                                                   : net::ExclusionSet(g);
+  std::vector<char> merge_allowed(static_cast<std::size_t>(g.node_count()), 0);
+  for (const NodeId n : tree.on_tree_nodes()) {
+    if (reshaping && tree.is_ancestor_or_self(joiner, n)) {
+      if (n != joiner) excluded.ban_node(n);
+      continue;
+    }
+    merge_allowed[static_cast<std::size_t>(n)] = 1;
+  }
+
+  const auto bound_check = [&](double total) {
+    return total <= (1.0 + d_thresh) * spf_delay + 1e-9;
+  };
+  const auto push_candidate = [&](NodeId merge,
+                                  const net::ShortestPathTree& search) {
+    JoinCandidate c;
+    c.merge_node = merge;
+    // The Dijkstra source is the joiner, so this runs joiner → … → merge.
+    c.graft = search.path_from_source(merge);
+    c.graft_delay = search.dist[static_cast<std::size_t>(merge)];
+    c.total_delay = c.graft_delay + tree.delay_to_source(merge);
+    c.shr = reshaping ? tree.shr_excluding_subtree(merge, joiner)
+                      : tree.shr(merge);
+    c.within_bound = bound_check(c.total_delay);
+    out.push_back(std::move(c));
+  };
+
+  if (config.graft_mode == GraftMode::kAvoidTree) {
+    // Every admissible merge node absorbs the search, so each reached one
+    // gets the shortest graft that meets the tree only there.
+    const net::ShortestPathTree grafts =
+        net::dijkstra_absorbing(g, joiner, merge_allowed, excluded);
+    for (const NodeId merge : tree.on_tree_nodes()) {
+      if (!merge_allowed[static_cast<std::size_t>(merge)]) continue;
+      if (!grafts.reachable(merge)) continue;
+      push_candidate(merge, grafts);
+    }
+  } else {
+    // kFirstHit: plain shortest paths from the joiner; an on-tree node is
+    // a valid merge only if the joiner's shortest path to it meets the
+    // tree there first (otherwise the path would really merge earlier).
+    const net::ShortestPathTree spf = net::dijkstra(g, joiner, excluded);
+    for (const NodeId merge : tree.on_tree_nodes()) {
+      if (!merge_allowed[static_cast<std::size_t>(merge)]) continue;
+      if (!spf.reachable(merge)) continue;
+      bool first_hit = true;
+      for (NodeId cur = spf.parent[static_cast<std::size_t>(merge)];
+           cur != net::kNoNode && cur != joiner;
+           cur = spf.parent[static_cast<std::size_t>(cur)]) {
+        if (tree.on_tree(cur)) {
+          first_hit = false;
+          break;
+        }
+      }
+      if (first_hit) push_candidate(merge, spf);
+    }
+  }
+  return out;
+}
+
+std::optional<Selection> select_path(std::vector<JoinCandidate> candidates,
+                                     double spf_delay,
+                                     const SmrpConfig& config) {
+  if (candidates.empty()) return std::nullopt;
+
+  const auto better_within = [](const JoinCandidate& a,
+                                const JoinCandidate& b) {
+    if (a.shr != b.shr) return a.shr < b.shr;
+    if (a.total_delay != b.total_delay) return a.total_delay < b.total_delay;
+    return a.merge_node < b.merge_node;
+  };
+  const auto better_fallback = [](const JoinCandidate& a,
+                                  const JoinCandidate& b) {
+    if (a.total_delay != b.total_delay) return a.total_delay < b.total_delay;
+    return a.merge_node < b.merge_node;
+  };
+
+  Selection sel;
+  sel.candidate_count = static_cast<int>(candidates.size());
+  sel.spf_delay = spf_delay;
+
+  const JoinCandidate* best = nullptr;
+  for (const JoinCandidate& c : candidates) {
+    if (!c.within_bound) continue;
+    if (best == nullptr || better_within(c, *best)) best = &c;
+  }
+  if (best == nullptr) {
+    if (!config.fallback_when_infeasible) return std::nullopt;
+    for (const JoinCandidate& c : candidates) {
+      if (best == nullptr || better_fallback(c, *best)) best = &c;
+    }
+    sel.used_fallback = true;
+  }
+  sel.chosen = *best;
+  return sel;
+}
+
+std::optional<Selection> select_join_path(const Graph& g,
+                                          const MulticastTree& tree,
+                                          NodeId joiner, double spf_delay,
+                                          const SmrpConfig& config) {
+  return select_path(
+      enumerate_candidates(g, tree, joiner, spf_delay, config),
+      spf_delay, config);
+}
+
+}  // namespace smrp::proto

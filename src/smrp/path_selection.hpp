@@ -1,0 +1,65 @@
+// SMRP path selection (§3.2.2): enumerate one candidate per possible merge
+// node and apply the Path Selection Criterion —
+//   minimise SHR(S, merge) subject to D(S,NR) ≤ (1 + D_thresh)·D_SPF(S,NR),
+// ties broken by the shorter path.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "multicast/tree.hpp"
+#include "net/shortest_path.hpp"
+#include "smrp/config.hpp"
+
+namespace smrp::proto {
+
+using mcast::MulticastTree;
+using net::Graph;
+using net::LinkId;
+using net::NodeId;
+
+/// One admissible way for a joining/reshaping node to reach the tree.
+struct JoinCandidate {
+  NodeId merge_node = net::kNoNode;
+  /// Graft node sequence: joining node → … → merge node (merge included).
+  std::vector<NodeId> graft;
+  double graft_delay = 0.0;  ///< weight of the graft only
+  double total_delay = 0.0;  ///< graft + on-tree delay of the merge node
+  int shr = 0;               ///< SHR(S, merge), adjusted during reshaping
+  bool within_bound = false; ///< satisfies the D_thresh constraint
+};
+
+/// Outcome of running the selection criterion.
+struct Selection {
+  JoinCandidate chosen;
+  bool used_fallback = false;    ///< no candidate met the bound
+  int candidate_count = 0;       ///< candidates enumerated (all, even inadmissible)
+  double spf_delay = 0.0;        ///< D_SPF(S, NR), the bound's baseline
+};
+
+/// Enumerate candidates for `joiner` per `config.graft_mode` (one per
+/// admissible on-tree merge node; a graft never crosses the tree before
+/// its merge node). If `reshaping_member` is set, candidates are computed
+/// for moving that member's subtree: its descendants are banned from
+/// grafts and from the merge set, and SHR values are adjusted per §3.2.3.
+/// `unusable` optionally carries failed links/nodes that grafts must
+/// avoid (e.g. from the unicast routing's link-state database).
+[[nodiscard]] std::vector<JoinCandidate> enumerate_candidates(
+    const Graph& g, const MulticastTree& tree, NodeId joiner,
+    double spf_delay, const SmrpConfig& config,
+    std::optional<NodeId> reshaping_member = std::nullopt,
+    const net::ExclusionSet* unusable = nullptr);
+
+/// Apply the Path Selection Criterion to `candidates`. Returns nullopt when
+/// the candidate list is empty or (with fallback disabled) nothing meets
+/// the delay bound.
+[[nodiscard]] std::optional<Selection> select_path(
+    std::vector<JoinCandidate> candidates, double spf_delay,
+    const SmrpConfig& config);
+
+/// Convenience: enumerate + select for a fresh join of `joiner`.
+[[nodiscard]] std::optional<Selection> select_join_path(
+    const Graph& g, const MulticastTree& tree, NodeId joiner,
+    double spf_delay, const SmrpConfig& config);
+
+}  // namespace smrp::proto

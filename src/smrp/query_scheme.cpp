@@ -1,0 +1,82 @@
+#include "smrp/query_scheme.hpp"
+
+#include <algorithm>
+
+#include "net/paths.hpp"
+
+namespace smrp::proto {
+
+std::vector<JoinCandidate> enumerate_query_candidates(
+    const Graph& g, const MulticastTree& tree, NodeId joiner,
+    double spf_delay, double d_thresh) {
+  std::vector<JoinCandidate> out;
+  if (tree.on_tree(joiner)) {
+    JoinCandidate self;
+    self.merge_node = joiner;
+    self.graft = {joiner};
+    self.total_delay = tree.delay_to_source(joiner);
+    self.shr = tree.shr(joiner);
+    self.within_bound =
+        self.total_delay <= (1.0 + d_thresh) * spf_delay + 1e-9;
+    out.push_back(std::move(self));
+    return out;
+  }
+
+  for (const net::Adjacency& adj : g.neighbors(joiner)) {
+    const NodeId relay = adj.neighbor;
+    std::vector<NodeId> graft{joiner};
+    double graft_delay = g.link(adj.link).weight;
+
+    if (!tree.on_tree(relay)) {
+      // The relay forwards the query along its own shortest path to the
+      // source until the first on-tree node answers.
+      const net::ShortestPathTree relay_spf = net::dijkstra(g, relay);
+      if (!relay_spf.reachable(tree.source())) continue;
+      const std::vector<NodeId> to_source =
+          relay_spf.path_from_source(tree.source());  // relay → … → source
+      bool usable = true;
+      for (const NodeId hop : to_source) {
+        if (hop == joiner) {  // query looped back through the member
+          usable = false;
+          break;
+        }
+        graft.push_back(hop);
+        if (tree.on_tree(hop)) break;  // first on-tree node answers
+      }
+      if (!usable || !tree.on_tree(graft.back())) continue;
+      graft_delay = net::path_weight(g, graft);
+    } else {
+      graft.push_back(relay);
+    }
+
+    // Intermediate hops must be off-tree (they are: the walk stops at the
+    // first on-tree node), and the graft must be loop-free.
+    std::vector<NodeId> sorted = graft;
+    std::sort(sorted.begin(), sorted.end());
+    if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+      continue;
+    }
+
+    JoinCandidate c;
+    c.merge_node = graft.back();
+    c.graft_delay = graft_delay;
+    c.total_delay = graft_delay + tree.delay_to_source(c.merge_node);
+    c.shr = tree.shr(c.merge_node);
+    c.within_bound = c.total_delay <= (1.0 + d_thresh) * spf_delay + 1e-9;
+    c.graft = std::move(graft);
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+std::optional<Selection> select_join_path_via_query(const Graph& g,
+                                                    const MulticastTree& tree,
+                                                    NodeId joiner,
+                                                    double spf_delay,
+                                                    const SmrpConfig& config) {
+  return select_path(
+      enumerate_query_candidates(g, tree, joiner, spf_delay, config.d_thresh),
+      spf_delay, config);
+}
+
+}  // namespace smrp::proto

@@ -1,0 +1,28 @@
+// §3.3.1 query scheme: joining without global topology knowledge.
+//
+// The new member asks each physical neighbor to relay a query along that
+// neighbor's shortest path toward the source; the first on-tree node the
+// query meets answers with its SHR. The member then applies the normal
+// selection criterion over this (reduced) candidate set. The paper notes
+// the scheme "does not guarantee to obtain SHR for all on-tree nodes and
+// the selected multicast path may not be optimal" — bench_ablation_query
+// quantifies that degradation.
+#pragma once
+
+#include <optional>
+
+#include "smrp/path_selection.hpp"
+
+namespace smrp::proto {
+
+/// Candidates discoverable through one round of neighbor-relayed queries.
+[[nodiscard]] std::vector<JoinCandidate> enumerate_query_candidates(
+    const Graph& g, const MulticastTree& tree, NodeId joiner,
+    double spf_delay, double d_thresh);
+
+/// Join selection restricted to query-discovered candidates.
+[[nodiscard]] std::optional<Selection> select_join_path_via_query(
+    const Graph& g, const MulticastTree& tree, NodeId joiner,
+    double spf_delay, const SmrpConfig& config);
+
+}  // namespace smrp::proto

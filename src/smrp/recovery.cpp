@@ -1,0 +1,310 @@
+#include "smrp/recovery.hpp"
+
+#include <stdexcept>
+
+namespace smrp::proto {
+
+LinkId worst_case_failure_link(const MulticastTree& tree, NodeId member) {
+  const std::vector<NodeId> path = tree.path_to_source(member);
+  if (path.size() < 2) {
+    throw std::invalid_argument(
+        "worst-case failure needs an on-tree non-source member");
+  }
+  // path runs member → … → child-of-source → source; the incident link of
+  // the source is the parent link of the penultimate entry.
+  return tree.parent_link(path[path.size() - 2]);
+}
+
+NodeId worst_case_failure_node(const MulticastTree& tree, NodeId member) {
+  const std::vector<NodeId> path = tree.path_to_source(member);
+  if (path.size() < 2) {
+    throw std::invalid_argument(
+        "worst-case failure needs an on-tree non-source member");
+  }
+  return path[path.size() - 2];  // the source's child on the member's path
+}
+
+namespace {
+
+std::vector<char> survivors_after(const MulticastTree& tree,
+                                  const Failure& failure) {
+  return failure.kind == Failure::Kind::kLink
+             ? tree.surviving_after_link(failure.link)
+             : tree.surviving_after_node(failure.node);
+}
+
+net::ExclusionSet exclusion_for(const net::Graph& g, const Failure& failure) {
+  net::ExclusionSet excluded(g);
+  if (failure.kind == Failure::Kind::kLink) {
+    excluded.ban_link(failure.link);
+  } else {
+    excluded.ban_node(failure.node);
+  }
+  return excluded;
+}
+
+RecoveryOutcome init_outcome(const MulticastTree& tree, NodeId member,
+                             const Failure& failure,
+                             const std::vector<char>& survivors) {
+  RecoveryOutcome out;
+  out.member = member;
+  out.failed_link = failure.link;
+  out.failed_node = failure.node;
+  if (!tree.is_member(member)) {
+    throw std::invalid_argument("recovery is initiated by a member");
+  }
+  if (failure.kind == Failure::Kind::kNode && failure.node == member) {
+    throw std::invalid_argument("the failed node cannot recover itself");
+  }
+  if (survivors[static_cast<std::size_t>(member)] != 0) {
+    // The failure did not touch this member's path.
+    out.disconnected = false;
+    out.recovered = true;
+    out.reattach_node = member;
+    out.new_delay = tree.delay_to_source(member);
+    return out;
+  }
+  out.disconnected = true;
+  return out;
+}
+
+}  // namespace
+
+RecoveryOutcome local_detour_recovery(const Graph& g,
+                                      const MulticastTree& tree,
+                                      NodeId member, const Failure& failure) {
+  const std::vector<char> survivors = survivors_after(tree, failure);
+  RecoveryOutcome out = init_outcome(tree, member, failure, survivors);
+  if (!out.disconnected) return out;
+
+  const net::ExclusionSet excluded = exclusion_for(g, failure);
+  // Survivors absorb the search: a restoration path never crosses one
+  // surviving node on the way to another, so the path it yields is exactly
+  // the set of new links brought into the tree.
+  const net::ShortestPathTree search =
+      net::dijkstra_absorbing(g, member, survivors, excluded);
+
+  NodeId best = net::kNoNode;
+  for (NodeId n = 0; n < g.node_count(); ++n) {
+    if (survivors[static_cast<std::size_t>(n)] == 0) continue;
+    if (!search.reachable(n)) continue;
+    if (best == net::kNoNode ||
+        search.dist[static_cast<std::size_t>(n)] <
+            search.dist[static_cast<std::size_t>(best)]) {
+      best = n;
+    }
+  }
+  if (best == net::kNoNode) return out;  // recovered stays false
+
+  out.recovered = true;
+  out.reattach_node = best;
+  out.restoration_path = search.path_from_source(best);  // member → … → best
+  out.recovery_distance = search.dist[static_cast<std::size_t>(best)];
+  out.recovery_hops = search.hops[static_cast<std::size_t>(best)];
+  out.new_delay = out.recovery_distance + tree.delay_to_source(best);
+  return out;
+}
+
+RecoveryOutcome local_detour_recovery(const Graph& g,
+                                      const MulticastTree& tree,
+                                      NodeId member, LinkId failed_link) {
+  return local_detour_recovery(g, tree, member, Failure::of_link(failed_link));
+}
+
+RecoveryOutcome global_detour_recovery(const Graph& g,
+                                       const MulticastTree& tree,
+                                       NodeId member, const Failure& failure) {
+  const std::vector<char> survivors = survivors_after(tree, failure);
+  RecoveryOutcome out = init_outcome(tree, member, failure, survivors);
+  if (!out.disconnected) return out;
+
+  const net::ExclusionSet excluded = exclusion_for(g, failure);
+  // The reconverged unicast routing gives the member a new shortest path
+  // toward the source; a PIM-style join travels along it and grafts at the
+  // first router that is already on the surviving tree.
+  const net::ShortestPathTree spf = net::dijkstra(g, member, excluded);
+  if (!spf.reachable(tree.source())) return out;
+
+  const std::vector<NodeId> path = spf.path_from_source(tree.source());
+  double distance = 0.0;
+  int hops = 0;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    const NodeId next = path[i + 1];
+    distance += g.link(*g.link_between(path[i], next)).weight;
+    ++hops;
+    out.restoration_path.push_back(path[i]);
+    if (survivors[static_cast<std::size_t>(next)] != 0) {
+      out.restoration_path.push_back(next);
+      out.recovered = true;
+      out.reattach_node = next;
+      out.recovery_distance = distance;
+      out.recovery_hops = hops;
+      out.new_delay = distance + tree.delay_to_source(next);
+      return out;
+    }
+  }
+  // The walk always terminates at the source, which survives by definition,
+  // so reaching here means the path list was empty.
+  out.restoration_path.clear();
+  return out;
+}
+
+RecoveryOutcome global_detour_recovery(const Graph& g,
+                                       const MulticastTree& tree,
+                                       NodeId member, LinkId failed_link) {
+  return global_detour_recovery(g, tree, member,
+                                Failure::of_link(failed_link));
+}
+
+SessionRepairReport repair_session(const Graph& g, MulticastTree& tree,
+                                   const Failure& failure,
+                                   DetourPolicy policy,
+                                   const net::ExclusionSet* already_failed) {
+  SessionRepairReport report;
+  std::vector<NodeId> lost =
+      failure.kind == Failure::Kind::kLink
+          ? tree.sever(failure.link)
+          : tree.sever_node(failure.node);
+  report.disconnected_members = static_cast<int>(lost.size());
+
+  const auto recover_one = [&](NodeId member) {
+    // Temporarily mark the node a member of the current tree? No — after
+    // sever it is off-tree; run the detour search directly against the
+    // surviving tree: every on-tree node survives by construction now.
+    net::ExclusionSet excluded = [&] {
+      net::ExclusionSet e =
+          already_failed != nullptr ? *already_failed : net::ExclusionSet(g);
+      if (failure.kind == Failure::Kind::kLink) {
+        e.ban_link(failure.link);
+      } else {
+        e.ban_node(failure.node);
+      }
+      return e;
+    }();
+    std::vector<char> on_tree(static_cast<std::size_t>(g.node_count()), 0);
+    for (const NodeId n : tree.on_tree_nodes()) {
+      on_tree[static_cast<std::size_t>(n)] = 1;
+    }
+    RecoveryOutcome out;
+    out.member = member;
+    out.failed_link = failure.link;
+    out.failed_node = failure.node;
+    out.disconnected = true;
+    if (policy == DetourPolicy::kLocal) {
+      const net::ShortestPathTree search =
+          net::dijkstra_absorbing(g, member, on_tree, excluded);
+      NodeId best = net::kNoNode;
+      for (const NodeId n : tree.on_tree_nodes()) {
+        if (!search.reachable(n)) continue;
+        if (best == net::kNoNode ||
+            search.dist[static_cast<std::size_t>(n)] <
+                search.dist[static_cast<std::size_t>(best)]) {
+          best = n;
+        }
+      }
+      if (best == net::kNoNode) return out;
+      out.recovered = true;
+      out.reattach_node = best;
+      out.restoration_path = search.path_from_source(best);
+      out.recovery_distance = search.dist[static_cast<std::size_t>(best)];
+      out.recovery_hops = search.hops[static_cast<std::size_t>(best)];
+    } else {
+      const net::ShortestPathTree spf = net::dijkstra(g, member, excluded);
+      if (!spf.reachable(tree.source())) return out;
+      const std::vector<NodeId> path = spf.path_from_source(tree.source());
+      double distance = 0.0;
+      int hops = 0;
+      for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        distance += g.link(*g.link_between(path[i], path[i + 1])).weight;
+        ++hops;
+        out.restoration_path.push_back(path[i]);
+        if (on_tree[static_cast<std::size_t>(path[i + 1])] != 0) {
+          out.restoration_path.push_back(path[i + 1]);
+          out.recovered = true;
+          out.reattach_node = path[i + 1];
+          out.recovery_distance = distance;
+          out.recovery_hops = hops;
+          break;
+        }
+      }
+      if (!out.recovered) out.restoration_path.clear();
+    }
+    if (out.recovered) {
+      out.new_delay =
+          out.recovery_distance + tree.delay_to_source(out.reattach_node);
+    }
+    return out;
+  };
+
+  // Nearest-first repair: shorter detours finish first and then assist.
+  std::vector<char> pending(static_cast<std::size_t>(g.node_count()), 0);
+  for (const NodeId m : lost) pending[static_cast<std::size_t>(m)] = 1;
+  int remaining = report.disconnected_members;
+  while (remaining > 0) {
+    // Pre-pass: members whose node a previous repair already pulled back
+    // on-tree simply rejoin in place.
+    for (const NodeId m : lost) {
+      if (!pending[static_cast<std::size_t>(m)]) continue;
+      if (tree.on_tree(m)) {
+        tree.graft(m, {m});
+        pending[static_cast<std::size_t>(m)] = 0;
+        --remaining;
+        ++report.repaired_members;
+      }
+    }
+    if (remaining == 0) break;
+
+    RecoveryOutcome best;
+    bool found = false;
+    for (const NodeId m : lost) {
+      if (!pending[static_cast<std::size_t>(m)]) continue;
+      RecoveryOutcome out = recover_one(m);
+      if (!out.recovered) continue;
+      if (!found || out.recovery_distance < best.recovery_distance) {
+        best = std::move(out);
+        found = true;
+      }
+    }
+    if (!found) {
+      // Whoever is left is physically cut off.
+      report.unrecoverable_members = remaining;
+      break;
+    }
+    apply_recovery(tree, best);
+    pending[static_cast<std::size_t>(best.member)] = 0;
+    --remaining;
+    ++report.repaired_members;
+    report.total_recovery_distance += best.recovery_distance;
+    report.total_recovery_hops += best.recovery_hops;
+    report.outcomes.push_back(std::move(best));
+  }
+  return report;
+}
+
+void apply_recovery(MulticastTree& tree, const RecoveryOutcome& outcome) {
+  if (!outcome.recovered) {
+    throw std::invalid_argument("cannot apply an unsuccessful recovery");
+  }
+  if (!outcome.disconnected) return;  // nothing to change
+  if (outcome.restoration_path.empty()) {
+    throw std::logic_error("apply_recovery: empty restoration path");
+  }
+  // A previous member's repair may already have pulled part of this
+  // member's restoration path back onto the tree (neighbor-assisted
+  // recovery); graft only up to the first node that is on-tree by now.
+  if (tree.on_tree(outcome.member)) {
+    tree.graft(outcome.member, {outcome.member});
+    return;
+  }
+  std::vector<NodeId> graft;
+  for (const NodeId n : outcome.restoration_path) {
+    graft.push_back(n);
+    if (tree.on_tree(n)) break;
+  }
+  if (!tree.on_tree(graft.back())) {
+    throw std::logic_error("restoration path never reaches the tree");
+  }
+  tree.graft(outcome.member, graft);
+}
+
+}  // namespace smrp::proto

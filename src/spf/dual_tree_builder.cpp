@@ -1,0 +1,104 @@
+#include "spf/dual_tree_builder.hpp"
+
+#include <stdexcept>
+
+#include "net/paths.hpp"
+
+namespace smrp::baseline {
+
+DualTreeBuilder::DualTreeBuilder(const Graph& g, NodeId source)
+    : g_(&g),
+      blue_(g, source),
+      red_(g, source),
+      spf_from_source_(net::dijkstra(g, source)),
+      protected_(static_cast<std::size_t>(g.node_count()), 0) {}
+
+bool DualTreeBuilder::join(NodeId member) {
+  if (member == blue_.source()) {
+    throw std::invalid_argument("the source cannot join its own session");
+  }
+  if (blue_.is_member(member)) return true;
+  if (!spf_from_source_.reachable(member)) return false;
+
+  // Blue: plain SPF join (PIM semantics along the source-rooted SPF tree).
+  if (blue_.on_tree(member)) {
+    blue_.graft(member, {member});
+  } else {
+    std::vector<NodeId> graft;
+    for (NodeId cur = member;;
+         cur = spf_from_source_.parent[static_cast<std::size_t>(cur)]) {
+      graft.push_back(cur);
+      if (blue_.on_tree(cur)) break;
+    }
+    blue_.graft(member, graft);
+  }
+
+  // Red: shortest path to the source avoiding the member's blue path
+  // (links and interior nodes), grafted onto the red tree at its first
+  // intersection. Falls back to the unconstrained path when the graph is
+  // not 2-connected around this member.
+  const std::vector<NodeId> blue_path = blue_.path_to_source(member);
+  net::ExclusionSet excluded(*g_);
+  for (std::size_t i = 1; i + 1 < blue_path.size(); ++i) {
+    excluded.ban_node(blue_path[i]);
+  }
+  for (std::size_t i = 0; i + 1 < blue_path.size(); ++i) {
+    if (const auto link = g_->link_between(blue_path[i], blue_path[i + 1])) {
+      excluded.ban_link(*link);
+    }
+  }
+  net::ShortestPathTree red_search = net::dijkstra(*g_, member, excluded);
+  if (!red_search.reachable(blue_.source())) {
+    red_search = net::dijkstra(*g_, member);
+  }
+
+  if (!red_.is_member(member)) {
+    if (red_.on_tree(member)) {
+      red_.graft(member, {member});
+    } else {
+      const std::vector<NodeId> to_source =
+          red_search.path_from_source(blue_.source());
+      std::vector<NodeId> graft;
+      for (const NodeId hop : to_source) {
+        graft.push_back(hop);
+        if (red_.on_tree(hop)) break;
+      }
+      red_.graft(member, graft);
+    }
+  }
+
+  // Protection is judged on the *realised* trees: grafting onto existing
+  // red branches (shared with other members) can reintroduce overlap, so
+  // the computed disjoint path alone is not a guarantee.
+  const auto blue_links = net::path_links(*g_, blue_path);
+  const auto red_links =
+      net::path_links(*g_, red_.path_to_source(member));
+  bool disjoint = true;
+  for (const LinkId bl : blue_links) {
+    for (const LinkId rl : red_links) {
+      if (bl == rl) {
+        disjoint = false;
+        break;
+      }
+    }
+    if (!disjoint) break;
+  }
+  protected_[static_cast<std::size_t>(member)] = disjoint ? 1 : 0;
+  return true;
+}
+
+bool DualTreeBuilder::is_protected(NodeId member) const {
+  return protected_[static_cast<std::size_t>(member)] != 0;
+}
+
+bool DualTreeBuilder::survives_link(NodeId member, LinkId failed_link) const {
+  if (!blue_.is_member(member)) {
+    throw std::invalid_argument("not a member");
+  }
+  const auto blue_alive = blue_.surviving_after_link(failed_link);
+  if (blue_alive[static_cast<std::size_t>(member)]) return true;
+  const auto red_alive = red_.surviving_after_link(failed_link);
+  return red_alive[static_cast<std::size_t>(member)] != 0;
+}
+
+}  // namespace smrp::baseline

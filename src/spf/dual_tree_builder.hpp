@@ -1,0 +1,58 @@
+// Proactive-protection comparator inspired by Médard et al. [16]
+// ("Redundant Trees for Preplanned Recovery …"): every member maintains a
+// working (blue) SPF path plus a protection (red) path that is
+// link-and-interior-node disjoint from its blue path whenever the graph
+// permits. On a failure hitting the blue path, the member switches to the
+// red tree instantly — zero recovery distance — at roughly double the
+// resource cost, the trade-off the paper's related-work section contrasts
+// SMRP against.
+//
+// This is a per-member disjoint-path heuristic, not Médard's full
+// vertex-redundant construction (which needs global 2-connectivity
+// analysis; the paper itself calls it impractical for large networks).
+// Members whose red path cannot be made disjoint are reported unprotected.
+#pragma once
+
+#include "multicast/tree.hpp"
+#include "net/shortest_path.hpp"
+
+namespace smrp::baseline {
+
+using mcast::MulticastTree;
+using net::Graph;
+using net::LinkId;
+using net::NodeId;
+
+class DualTreeBuilder {
+ public:
+  DualTreeBuilder(const Graph& g, NodeId source);
+
+  /// Join both trees. Returns false only if the member is unreachable.
+  bool join(NodeId member);
+
+  [[nodiscard]] const MulticastTree& blue() const noexcept { return blue_; }
+  [[nodiscard]] const MulticastTree& red() const noexcept { return red_; }
+
+  /// True when the member's *realised* red tree path is link-disjoint
+  /// from its blue tree path — which guarantees the member survives any
+  /// single link failure via an instant switch.
+  [[nodiscard]] bool is_protected(NodeId member) const;
+
+  /// True when `member` still reaches the source on the blue or the red
+  /// tree after `failed_link` dies.
+  [[nodiscard]] bool survives_link(NodeId member, LinkId failed_link) const;
+
+  /// Combined resource usage of both trees.
+  [[nodiscard]] double combined_cost() const {
+    return blue_.total_cost() + red_.total_cost();
+  }
+
+ private:
+  const Graph* g_;
+  MulticastTree blue_;
+  MulticastTree red_;
+  net::ShortestPathTree spf_from_source_;
+  std::vector<char> protected_;
+};
+
+}  // namespace smrp::baseline

@@ -1,0 +1,41 @@
+#include "spf/spf_tree_builder.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace smrp::baseline {
+
+SpfTreeBuilder::SpfTreeBuilder(const Graph& g, NodeId source)
+    : g_(&g), tree_(g, source), spf_from_source_(net::dijkstra(g, source)) {}
+
+double SpfTreeBuilder::spf_delay(NodeId n) const {
+  if (!g_->valid_node(n)) throw std::out_of_range("bad node");
+  return spf_from_source_.dist[static_cast<std::size_t>(n)];
+}
+
+bool SpfTreeBuilder::join(NodeId member) {
+  if (member == tree_.source()) {
+    throw std::invalid_argument("the source cannot join its own session");
+  }
+  if (tree_.is_member(member)) return true;
+  if (!spf_from_source_.reachable(member)) return false;
+
+  if (tree_.on_tree(member)) {
+    tree_.graft(member, {member});
+    return true;
+  }
+  // Walk from the member toward the source along the SPF tree; the join
+  // stops at the first on-tree router.
+  std::vector<NodeId> graft;
+  for (NodeId cur = member;;
+       cur = spf_from_source_.parent[static_cast<std::size_t>(cur)]) {
+    graft.push_back(cur);
+    if (tree_.on_tree(cur)) break;
+  }
+  tree_.graft(member, graft);
+  return true;
+}
+
+void SpfTreeBuilder::leave(NodeId member) { tree_.leave(member); }
+
+}  // namespace smrp::baseline

@@ -1,0 +1,42 @@
+// Baseline SPF-based multicast tree construction, modelling what MOSPF /
+// PIM build on top of the unicast routing protocol: every member is
+// connected along the shortest path between itself and the source, joins
+// travelling hop-by-hop toward the source and grafting at the first router
+// that is already on the tree (RFC 2362 semantics).
+#pragma once
+
+#include "multicast/tree.hpp"
+#include "net/shortest_path.hpp"
+
+namespace smrp::baseline {
+
+using mcast::MulticastTree;
+using net::Graph;
+using net::NodeId;
+
+class SpfTreeBuilder {
+ public:
+  SpfTreeBuilder(const Graph& g, NodeId source);
+
+  /// Join along the member's shortest path toward the source. Returns
+  /// false only if the member is unreachable.
+  bool join(NodeId member);
+
+  void leave(NodeId member);
+
+  [[nodiscard]] const MulticastTree& tree() const noexcept { return tree_; }
+  [[nodiscard]] const Graph& graph() const noexcept { return *g_; }
+
+  /// D_SPF(S, n), the paper's denominator for the delay-bound criterion.
+  [[nodiscard]] double spf_delay(NodeId n) const;
+
+ private:
+  const Graph* g_;
+  MulticastTree tree_;
+  // One consistent SPF tree rooted at the source: all joins follow it, so
+  // the union of member paths is loop-free by construction (as with a
+  // converged link-state unicast routing underlay).
+  net::ShortestPathTree spf_from_source_;
+};
+
+}  // namespace smrp::baseline

@@ -1,0 +1,43 @@
+#include "spf/steiner_tree_builder.hpp"
+
+#include <stdexcept>
+
+namespace smrp::baseline {
+
+SteinerTreeBuilder::SteinerTreeBuilder(const Graph& g, NodeId source)
+    : g_(&g), tree_(g, source) {}
+
+bool SteinerTreeBuilder::join(NodeId member) {
+  if (member == tree_.source()) {
+    throw std::invalid_argument("the source cannot join its own session");
+  }
+  if (tree_.is_member(member)) return true;
+  if (tree_.on_tree(member)) {
+    tree_.graft(member, {member});
+    return true;
+  }
+  // Nearest point of the current tree (Takahashi–Matsuyama step): run an
+  // absorbing search so the graft touches the tree exactly once.
+  std::vector<char> absorbing(static_cast<std::size_t>(g_->node_count()), 0);
+  for (const NodeId n : tree_.on_tree_nodes()) {
+    absorbing[static_cast<std::size_t>(n)] = 1;
+  }
+  const net::ShortestPathTree search =
+      net::dijkstra_absorbing(*g_, member, absorbing);
+  NodeId best = net::kNoNode;
+  for (const NodeId n : tree_.on_tree_nodes()) {
+    if (!search.reachable(n)) continue;
+    if (best == net::kNoNode ||
+        search.dist[static_cast<std::size_t>(n)] <
+            search.dist[static_cast<std::size_t>(best)]) {
+      best = n;
+    }
+  }
+  if (best == net::kNoNode) return false;
+  tree_.graft(member, search.path_from_source(best));
+  return true;
+}
+
+void SteinerTreeBuilder::leave(NodeId member) { tree_.leave(member); }
+
+}  // namespace smrp::baseline

@@ -1,0 +1,36 @@
+// Cost-minimising multicast baseline: the incremental Takahashi–Matsuyama
+// Steiner-tree heuristic — each joining member grafts along the shortest
+// path to the *nearest point of the existing tree* rather than toward the
+// source. The paper (§4.2, citing Wei & Estrin) expects its conclusions to
+// carry over to such cost-minimising protocols; bench_ablation_steiner
+// checks that claim on this implementation.
+#pragma once
+
+#include "multicast/tree.hpp"
+#include "net/shortest_path.hpp"
+
+namespace smrp::baseline {
+
+using mcast::MulticastTree;
+using net::Graph;
+using net::NodeId;
+
+class SteinerTreeBuilder {
+ public:
+  SteinerTreeBuilder(const Graph& g, NodeId source);
+
+  /// Graft along the member's shortest path to the nearest on-tree node.
+  /// Returns false only if the member cannot reach the tree.
+  bool join(NodeId member);
+
+  void leave(NodeId member);
+
+  [[nodiscard]] const MulticastTree& tree() const noexcept { return tree_; }
+  [[nodiscard]] const Graph& graph() const noexcept { return *g_; }
+
+ private:
+  const Graph* g_;
+  MulticastTree tree_;
+};
+
+}  // namespace smrp::baseline

@@ -1,0 +1,149 @@
+#include "eval/script.hpp"
+
+#include <gtest/gtest.h>
+
+namespace smrp::eval {
+namespace {
+
+constexpr const char* kBasicScenario = R"(
+# A small drill on the deterministic seed-7 Waxman graph.
+topology waxman n=40 alpha=0.25 seed=7
+mode smrp
+dthresh 0.3
+source 0
+at 0    join 5
+at 0    join 9
+at 100  join 17
+at 2500 report
+run 4000
+)";
+
+TEST(ScenarioScript, ParsesBasicScenario) {
+  const ScenarioScript script = ScenarioScript::parse_string(kBasicScenario);
+  EXPECT_EQ(script.source(), 0);
+  EXPECT_DOUBLE_EQ(script.run_until(), 4000.0);
+  ASSERT_EQ(script.events().size(), 4u);
+  EXPECT_EQ(script.events()[0].kind, ScriptEvent::Kind::kJoin);
+  EXPECT_EQ(script.events()[3].kind, ScriptEvent::Kind::kReport);
+}
+
+TEST(ScenarioScript, EventsSortedByTime) {
+  const ScenarioScript script = ScenarioScript::parse_string(R"(
+topology waxman n=30 seed=1
+at 500 join 3
+at 100 join 4
+run 1000
+)");
+  ASSERT_EQ(script.events().size(), 2u);
+  EXPECT_EQ(script.events()[0].a, 4);
+  EXPECT_EQ(script.events()[1].a, 3);
+}
+
+TEST(ScenarioScript, ExecutesAndServesMembers) {
+  const ScenarioScript script = ScenarioScript::parse_string(kBasicScenario);
+  const auto report = script.execute();
+  EXPECT_EQ(report.members_at_end, 3);
+  EXPECT_EQ(report.starved_members_at_end, 0);
+  // The report directive logged one line per member plus the join lines.
+  EXPECT_GE(report.log.size(), 6u);
+}
+
+TEST(ScenarioScript, FailureAndRepairScenario) {
+  // Join on the Fig-1-like 5-node graph is too small for Waxman; use a
+  // modest graph and cut a link on some member's path, then verify the
+  // protocol kept everyone served by the end.
+  const ScenarioScript script = ScenarioScript::parse_string(R"(
+topology waxman n=40 alpha=0.3 seed=11
+mode smrp
+source 0
+at 0    join 7
+at 0    join 13
+at 0    join 22
+at 3000 fail-node 0   # dead source: everyone must starve...
+at 4500 restore-node 0
+run 9000
+)");
+  const auto report = script.execute();
+  EXPECT_EQ(report.members_at_end, 3);
+  // After the source comes back and soft state refreshes, members recover.
+  EXPECT_EQ(report.starved_members_at_end, 0);
+}
+
+TEST(ScenarioScript, DeterministicExecution) {
+  const ScenarioScript script = ScenarioScript::parse_string(kBasicScenario);
+  const auto a = script.execute();
+  const auto b = script.execute();
+  EXPECT_EQ(a.log, b.log);
+  EXPECT_EQ(a.starved_members_at_end, b.starved_members_at_end);
+}
+
+TEST(ScenarioScript, ParseErrorsCarryLineNumbers) {
+  try {
+    ScenarioScript::parse_string("topology waxman n=30\nbogus 1\nrun 100\n");
+    FAIL() << "expected parse error";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(ScenarioScript, RejectsMissingRun) {
+  EXPECT_THROW(ScenarioScript::parse_string("topology waxman n=30\n"),
+               std::invalid_argument);
+}
+
+TEST(ScenarioScript, RejectsUnknownSettings) {
+  EXPECT_THROW(
+      ScenarioScript::parse_string("topology waxman n=30 bananas=1\nrun 10\n"),
+      std::invalid_argument);
+}
+
+TEST(ScenarioScript, RejectsEventsPastHorizon) {
+  EXPECT_THROW(ScenarioScript::parse_string(R"(
+topology waxman n=30
+at 500 join 3
+run 100
+)"),
+               std::invalid_argument);
+}
+
+TEST(ScenarioScript, RejectsUnknownLink) {
+  const ScenarioScript script = ScenarioScript::parse_string(R"(
+topology ba n=30 m=2 seed=3
+at 10 fail-link 0 29
+run 100
+)");
+  // Node 29 attaches preferentially; a 0–29 link may or may not exist.
+  // Either the script runs, or it reports the missing link cleanly.
+  try {
+    (void)script.execute();
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("no link"), std::string::npos);
+  }
+}
+
+TEST(ScenarioScript, SupportsAllTopologyModels) {
+  for (const char* line :
+       {"topology waxman n=30 alpha=0.3 seed=2",
+        "topology erdos n=30 degree=6 seed=2", "topology ba n=30 m=2 seed=2"}) {
+    const std::string text = std::string(line) +
+                             "\nsource 0\nat 0 join 5\nrun 1500\n";
+    const auto report = ScenarioScript::parse_string(text).execute();
+    EXPECT_EQ(report.members_at_end, 1) << line;
+    EXPECT_EQ(report.starved_members_at_end, 0) << line;
+  }
+}
+
+TEST(ScenarioScript, PimModeRuns) {
+  const auto report = ScenarioScript::parse_string(R"(
+topology waxman n=40 seed=5
+mode pim
+source 0
+at 0 join 11
+run 2500
+)").execute();
+  EXPECT_EQ(report.members_at_end, 1);
+  EXPECT_EQ(report.starved_members_at_end, 0);
+}
+
+}  // namespace
+}  // namespace smrp::eval

@@ -1,0 +1,90 @@
+#include "eval/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace smrp::eval {
+namespace {
+
+TEST(Stats, EmptyInput) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+  EXPECT_DOUBLE_EQ(s.ci95_half, 0.0);
+}
+
+TEST(Stats, SingleSample) {
+  const std::vector<double> xs{3.5};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 1);
+  EXPECT_DOUBLE_EQ(s.mean, 3.5);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.ci95_half, 0.0);
+  EXPECT_DOUBLE_EQ(s.min, 3.5);
+  EXPECT_DOUBLE_EQ(s.max, 3.5);
+}
+
+TEST(Stats, KnownSmallSample) {
+  // {2, 4, 4, 4, 5, 5, 7, 9}: mean 5, sample stddev sqrt(32/7).
+  const std::vector<double> xs{2, 4, 4, 4, 5, 5, 7, 9};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 8);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(32.0 / 7.0), 1e-12);
+  // CI half-width = t(7) * sd / sqrt(8), t(7) = 2.365.
+  EXPECT_NEAR(s.ci95_half, 2.365 * s.stddev / std::sqrt(8.0), 1e-9);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+}
+
+TEST(Stats, ConstantSamplesHaveZeroSpread) {
+  const std::vector<double> xs(100, 1.25);
+  const Summary s = summarize(xs);
+  EXPECT_DOUBLE_EQ(s.mean, 1.25);
+  EXPECT_NEAR(s.stddev, 0.0, 1e-12);
+  EXPECT_NEAR(s.ci95_half, 0.0, 1e-12);
+}
+
+TEST(Stats, TCriticalValuesExactAtTableEntries) {
+  EXPECT_DOUBLE_EQ(t_critical_95(1), 12.706);
+  EXPECT_DOUBLE_EQ(t_critical_95(5), 2.571);
+  EXPECT_DOUBLE_EQ(t_critical_95(30), 2.042);
+  EXPECT_DOUBLE_EQ(t_critical_95(120), 1.980);
+}
+
+TEST(Stats, TCriticalMonotoneDecreasing) {
+  double prev = t_critical_95(1);
+  for (int dof = 2; dof <= 200; ++dof) {
+    const double t = t_critical_95(dof);
+    EXPECT_LE(t, prev + 1e-12) << "dof " << dof;
+    prev = t;
+  }
+  EXPECT_NEAR(t_critical_95(100000), 1.96, 1e-2);
+}
+
+TEST(Stats, TCriticalHandlesDegenerateDof) {
+  EXPECT_DOUBLE_EQ(t_critical_95(0), 0.0);
+  EXPECT_DOUBLE_EQ(t_critical_95(-3), 0.0);
+}
+
+TEST(Stats, RunningMatchesBatch) {
+  std::vector<double> xs;
+  RunningStats acc;
+  double v = 0.1;
+  for (int i = 0; i < 500; ++i) {
+    v = v * 1.1 - static_cast<double>(i % 7);
+    xs.push_back(v);
+    acc.add(v);
+    v = std::fmod(v, 50.0);
+  }
+  const Summary batch = summarize(xs);
+  const Summary streaming = acc.summary();
+  EXPECT_EQ(batch.count, streaming.count);
+  EXPECT_NEAR(batch.mean, streaming.mean, 1e-9);
+  EXPECT_NEAR(batch.stddev, streaming.stddev, 1e-9);
+}
+
+}  // namespace
+}  // namespace smrp::eval

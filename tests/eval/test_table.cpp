@@ -1,0 +1,44 @@
+#include "eval/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace smrp::eval {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "2.5"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(out.find("| longer | 2.5   |"), std::string::npos);
+  EXPECT_NE(out.find("|--------|-------|"), std::string::npos);
+}
+
+TEST(Table, RejectsMismatchedRow) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, RejectsEmptyHeaders) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, FixedFormatting) {
+  EXPECT_EQ(Table::fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::fixed(-1.0, 0), "-1");
+  EXPECT_EQ(Table::fixed(2.0, 3), "2.000");
+}
+
+TEST(Table, PercentFormatting) {
+  EXPECT_EQ(Table::percent(0.2, 1), "20.0%");
+  EXPECT_EQ(Table::percent(-0.055, 1), "-5.5%");
+}
+
+TEST(Table, CiFormatting) {
+  EXPECT_EQ(Table::with_ci(1.5, 0.25, 2), "1.50 ± 0.25");
+  EXPECT_EQ(Table::percent_with_ci(0.2, 0.01, 1), "20.0% ± 1.0%");
+}
+
+}  // namespace
+}  // namespace smrp::eval

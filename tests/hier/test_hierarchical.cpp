@@ -1,0 +1,179 @@
+#include "hier/hierarchical.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/rng.hpp"
+
+namespace smrp::hier {
+namespace {
+
+net::TransitStubTopology make_topology(std::uint64_t seed = 7) {
+  net::Rng rng(seed);
+  net::TransitStubParams p;
+  p.transit_nodes = 4;
+  p.stubs_per_transit = 2;
+  p.stub_size = 4;
+  return net::generate_transit_stub(p, rng);
+}
+
+/// A receiver inside some stub domain other than `not_in`, plus its domain.
+std::pair<net::NodeId, DomainId> pick_member(
+    const net::TransitStubTopology& topo, DomainId not_in, int skip = 0) {
+  for (DomainId d = 1; d < topo.domain_count(); ++d) {
+    if (d == not_in) continue;
+    if (skip-- > 0) continue;
+    // Any non-agent node of the domain.
+    return {topo.nodes_of_domain[static_cast<std::size_t>(d)].back(), d};
+  }
+  throw std::logic_error("no domain available");
+}
+
+TEST(HierarchicalSession, TransitSourceServesStubMembers) {
+  const auto topo = make_topology();
+  HierarchicalSession session(topo, /*source=*/0);  // transit node
+  const auto [m1, d1] = pick_member(topo, net::kTransitDomain, 0);
+  const auto [m2, d2] = pick_member(topo, net::kTransitDomain, 3);
+  session.join(m1);
+  session.join(m2);
+  EXPECT_TRUE(session.is_member(m1));
+  EXPECT_TRUE(session.is_member(m2));
+  EXPECT_EQ(session.member_count(), 2);
+  EXPECT_GT(session.delay_to_source(m1), 0.0);
+  EXPECT_GT(session.delay_to_source(m2), 0.0);
+  EXPECT_GT(session.total_cost(), 0.0);
+  // The level-2 tree pulled in both domains' agents.
+  EXPECT_EQ(session.transit_tree().tree().member_count(), 2);
+  session.transit_tree().tree().validate();
+}
+
+TEST(HierarchicalSession, StubSourceUsesAgentRelay) {
+  const auto topo = make_topology();
+  // Source inside stub domain 1 (a non-agent node).
+  const net::NodeId source = topo.nodes_of_domain[1].back();
+  HierarchicalSession session(topo, source);
+  const auto [member, d] = pick_member(topo, 1);
+  session.join(member);
+  EXPECT_GT(session.delay_to_source(member), 0.0);
+  // Intra-domain member of the source's own domain: delay uses that tree
+  // directly.
+  const auto& dom1 = topo.nodes_of_domain[1];
+  for (const net::NodeId n : dom1) {
+    if (n == source || n == dom1.front()) continue;
+    session.join(n);
+    EXPECT_GT(session.delay_to_source(n), 0.0);
+    break;
+  }
+}
+
+TEST(HierarchicalSession, MembersInSameDomainShareOneInstance) {
+  const auto topo = make_topology();
+  HierarchicalSession session(topo, 0);
+  const auto& dom2 = topo.nodes_of_domain[2];
+  // Two non-agent receivers in domain 2.
+  session.join(dom2[1]);
+  session.join(dom2[2]);
+  const auto* tree = session.domain_tree(2);
+  ASSERT_NE(tree, nullptr);
+  EXPECT_EQ(tree->tree().member_count(), 2);
+  // Only one agent entered the level-2 tree.
+  EXPECT_EQ(session.transit_tree().tree().member_count(), 1);
+}
+
+TEST(HierarchicalSession, DomainOfLinkOwnership) {
+  const auto topo = make_topology();
+  HierarchicalSession session(topo, 0);
+  for (net::LinkId l = 0; l < topo.graph.link_count(); ++l) {
+    const net::Link& link = topo.graph.link(l);
+    const DomainId da = topo.domain_of_node[static_cast<std::size_t>(link.a)];
+    const DomainId db = topo.domain_of_node[static_cast<std::size_t>(link.b)];
+    const DomainId owner = session.domain_of_link(l);
+    if (da == db) {
+      EXPECT_EQ(owner, da);
+    } else {
+      EXPECT_EQ(owner, net::kTransitDomain);
+    }
+  }
+}
+
+TEST(HierarchicalSession, IntraStubFailureIsConfined) {
+  const auto topo = make_topology();
+  HierarchicalSession session(topo, 0);
+  // Fill several domains with receivers.
+  for (DomainId d = 1; d <= 4; ++d) {
+    const auto& nodes = topo.nodes_of_domain[static_cast<std::size_t>(d)];
+    for (std::size_t i = 1; i < nodes.size(); ++i) session.join(nodes[i]);
+  }
+  const int total = session.member_count();
+  ASSERT_GT(total, 6);
+
+  // Fail a tree link inside domain 1.
+  const auto* dom = session.domain_tree(1);
+  ASSERT_NE(dom, nullptr);
+  // Find the worst-case link for some member of domain 1 (local ids).
+  const auto members = dom->tree().members();
+  ASSERT_FALSE(members.empty());
+  const net::LinkId local_failed =
+      proto::worst_case_failure_link(dom->tree(), members.front());
+  const net::LinkId global_failed =
+      session.domain_view(1)->link_to_global(local_failed);
+
+  const HierRecoveryOutcome out = session.recover(global_failed);
+  EXPECT_EQ(out.domain, 1);
+  if (out.link_on_tree) {
+    // Every other domain's receivers kept their service.
+    EXPECT_GE(out.unaffected_members, total - static_cast<int>(
+        topo.nodes_of_domain[1].size()));
+    EXPECT_GT(out.disconnected_members, 0);
+  }
+}
+
+TEST(HierarchicalSession, TransitFailureRepairsAtLevelTwo) {
+  const auto topo = make_topology();
+  HierarchicalSession session(topo, 0);
+  for (DomainId d = 1; d <= 3; ++d) {
+    const auto& nodes = topo.nodes_of_domain[static_cast<std::size_t>(d)];
+    session.join(nodes.back());
+  }
+  // Fail every transit-owned link in turn; recovery must never touch a
+  // stub instance and must report a consistent confinement count.
+  for (net::LinkId l = 0; l < topo.graph.link_count(); ++l) {
+    if (session.domain_of_link(l) != net::kTransitDomain) continue;
+    const HierRecoveryOutcome out = session.recover(l);
+    EXPECT_EQ(out.domain, net::kTransitDomain);
+    EXPECT_EQ(out.disconnected_members + out.unaffected_members,
+              session.member_count());
+  }
+}
+
+TEST(HierarchicalSession, NonTreeFailureLeavesEveryoneUnaffected) {
+  const auto topo = make_topology();
+  HierarchicalSession session(topo, 0);
+  const auto [m, d] = pick_member(topo, net::kTransitDomain);
+  session.join(m);
+  // A link inside a domain with no session state.
+  net::LinkId idle_link = net::kNoLink;
+  for (net::LinkId l = 0; l < topo.graph.link_count(); ++l) {
+    const DomainId owner = session.domain_of_link(l);
+    if (owner != net::kTransitDomain && owner != d &&
+        session.domain_tree(owner) == nullptr) {
+      idle_link = l;
+      break;
+    }
+  }
+  ASSERT_NE(idle_link, net::kNoLink);
+  const HierRecoveryOutcome out = session.recover(idle_link);
+  EXPECT_FALSE(out.link_on_tree);
+  EXPECT_EQ(out.unaffected_members, 1);
+}
+
+TEST(HierarchicalSession, RejectsBadJoins) {
+  const auto topo = make_topology();
+  HierarchicalSession session(topo, 0);
+  EXPECT_THROW(session.join(0), std::invalid_argument);  // the source
+  // A stub agent cannot be a receiver (it is the domain root).
+  EXPECT_THROW(session.join(topo.nodes_of_domain[1].front()),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace smrp::hier

@@ -1,0 +1,57 @@
+#include "hier/subgraph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testing_topologies.hpp"
+
+namespace smrp::hier {
+namespace {
+
+TEST(SubgraphView, InducedLinksOnly) {
+  const net::Graph g = testing::grid3x3();
+  // Top row + middle-left: links 0-1, 1-2, 0-3 survive; 1-4, 3-4, 2-5 do not.
+  SubgraphView view(g, {0, 1, 2, 3});
+  EXPECT_EQ(view.graph().node_count(), 4);
+  EXPECT_EQ(view.graph().link_count(), 3);
+}
+
+TEST(SubgraphView, IdRoundTrip) {
+  const net::Graph g = testing::grid3x3();
+  SubgraphView view(g, {4, 7, 8});
+  for (net::NodeId local = 0; local < 3; ++local) {
+    EXPECT_EQ(view.to_local(view.to_global(local)), local);
+  }
+  EXPECT_TRUE(view.contains_global(7));
+  EXPECT_FALSE(view.contains_global(0));
+  EXPECT_THROW(static_cast<void>(view.to_local(0)), std::out_of_range);
+  EXPECT_THROW(static_cast<void>(view.to_global(9)), std::out_of_range);
+}
+
+TEST(SubgraphView, LinkMappingRoundTrip) {
+  const net::Graph g = testing::grid3x3();
+  SubgraphView view(g, {0, 1, 3, 4});
+  const net::LinkId global01 = g.link_between(0, 1).value();
+  const auto local01 = view.link_to_local(global01);
+  ASSERT_TRUE(local01.has_value());
+  EXPECT_EQ(view.link_to_global(*local01), global01);
+  // A link leaving the view has no local image.
+  EXPECT_FALSE(view.link_to_local(g.link_between(1, 2).value()).has_value());
+}
+
+TEST(SubgraphView, WeightsPreserved) {
+  const testing::Fig1Topology fig;
+  SubgraphView view(fig.graph, {fig.S, fig.A, fig.D});
+  const auto local = view.link_to_local(fig.AD);
+  ASSERT_TRUE(local.has_value());
+  EXPECT_DOUBLE_EQ(view.graph().link(*local).weight,
+                   fig.graph.link(fig.AD).weight);
+}
+
+TEST(SubgraphView, RejectsDuplicates) {
+  const net::Graph g = testing::grid3x3();
+  EXPECT_THROW(SubgraphView(g, {0, 0}), std::invalid_argument);
+  EXPECT_THROW(SubgraphView(g, {0, 99}), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace smrp::hier

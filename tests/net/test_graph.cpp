@@ -1,0 +1,129 @@
+#include "net/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testing_topologies.hpp"
+
+namespace smrp::net {
+namespace {
+
+TEST(Graph, StartsEmpty) {
+  Graph g;
+  EXPECT_EQ(g.node_count(), 0);
+  EXPECT_EQ(g.link_count(), 0);
+  EXPECT_EQ(g.average_degree(), 0.0);
+}
+
+TEST(Graph, AddNodesReturnsFirstId) {
+  Graph g;
+  EXPECT_EQ(g.add_nodes(3), 0);
+  EXPECT_EQ(g.add_nodes(2), 3);
+  EXPECT_EQ(g.node_count(), 5);
+}
+
+TEST(Graph, AddLinkWiresBothDirections) {
+  Graph g(3);
+  const LinkId l = g.add_link(0, 2, 2.5);
+  EXPECT_EQ(g.link(l).weight, 2.5);
+  ASSERT_EQ(g.neighbors(0).size(), 1u);
+  ASSERT_EQ(g.neighbors(2).size(), 1u);
+  EXPECT_EQ(g.neighbors(0)[0].neighbor, 2);
+  EXPECT_EQ(g.neighbors(2)[0].neighbor, 0);
+  EXPECT_EQ(g.neighbors(0)[0].link, l);
+}
+
+TEST(Graph, LinkOtherEndpoint) {
+  Graph g(2);
+  const LinkId l = g.add_link(0, 1, 1.0);
+  EXPECT_EQ(g.link(l).other(0), 1);
+  EXPECT_EQ(g.link(l).other(1), 0);
+}
+
+TEST(Graph, RejectsSelfLoop) {
+  Graph g(2);
+  EXPECT_THROW(g.add_link(1, 1, 1.0), std::invalid_argument);
+}
+
+TEST(Graph, RejectsParallelLink) {
+  Graph g(2);
+  g.add_link(0, 1, 1.0);
+  EXPECT_THROW(g.add_link(1, 0, 2.0), std::invalid_argument);
+}
+
+TEST(Graph, RejectsNonPositiveWeight) {
+  Graph g(2);
+  EXPECT_THROW(g.add_link(0, 1, 0.0), std::invalid_argument);
+  EXPECT_THROW(g.add_link(0, 1, -1.0), std::invalid_argument);
+}
+
+TEST(Graph, RejectsOutOfRangeEndpoints) {
+  Graph g(2);
+  EXPECT_THROW(g.add_link(0, 2, 1.0), std::out_of_range);
+  EXPECT_THROW(g.add_link(-1, 1, 1.0), std::out_of_range);
+}
+
+TEST(Graph, LinkBetweenFindsEitherOrientation) {
+  Graph g(3);
+  const LinkId l = g.add_link(0, 1, 1.0);
+  EXPECT_EQ(g.link_between(0, 1), l);
+  EXPECT_EQ(g.link_between(1, 0), l);
+  EXPECT_EQ(g.link_between(0, 2), std::nullopt);
+  EXPECT_EQ(g.link_between(0, 99), std::nullopt);
+}
+
+TEST(Graph, AverageDegree) {
+  const testing::Fig1Topology fig;
+  // 5 nodes, 6 links → 2*6/5.
+  EXPECT_DOUBLE_EQ(fig.graph.average_degree(), 12.0 / 5.0);
+}
+
+TEST(Graph, ConnectivityDetectsIsolation) {
+  Graph g(3);
+  g.add_link(0, 1, 1.0);
+  EXPECT_FALSE(g.connected());
+  g.add_link(1, 2, 1.0);
+  EXPECT_TRUE(g.connected());
+}
+
+TEST(Graph, ConnectedWithoutBridgeLink) {
+  Graph g(4);
+  g.add_link(0, 1, 1.0);
+  g.add_link(1, 2, 1.0);
+  const LinkId bridge = g.add_link(2, 3, 1.0);
+  g.add_link(0, 2, 1.0);
+  EXPECT_TRUE(g.connected());
+  EXPECT_FALSE(g.connected_without(bridge));
+  EXPECT_TRUE(g.connected_without(g.link_between(0, 1).value()));
+}
+
+TEST(Graph, PositionsRoundTrip) {
+  Graph g(2);
+  g.set_positions({{0.0, 0.0}, {3.0, 4.0}});
+  ASSERT_EQ(g.positions().size(), 2u);
+  EXPECT_DOUBLE_EQ(euclidean(g.positions()[0], g.positions()[1]), 5.0);
+}
+
+TEST(Graph, PositionCountMustMatch) {
+  Graph g(2);
+  EXPECT_THROW(g.set_positions({{0, 0}}), std::invalid_argument);
+}
+
+TEST(Graph, GridHasExpectedShape) {
+  const Graph g = testing::grid3x3();
+  EXPECT_EQ(g.node_count(), 9);
+  EXPECT_EQ(g.link_count(), 12);
+  EXPECT_EQ(g.degree(4), 4);  // center
+  EXPECT_EQ(g.degree(0), 2);  // corner
+  EXPECT_TRUE(g.connected());
+}
+
+TEST(Graph, ToStringMentionsEveryLink) {
+  Graph g(2);
+  g.add_link(0, 1, 1.5);
+  const std::string s = g.to_string();
+  EXPECT_NE(s.find("nodes=2"), std::string::npos);
+  EXPECT_NE(s.find("0 -- 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace smrp::net

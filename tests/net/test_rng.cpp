@@ -1,0 +1,106 @@
+#include "net/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace smrp::net {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LE(same, 1);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  double lo = 1.0;
+  double hi = 0.0;
+  double sum = 0.0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) {
+    const double x = rng.uniform();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    lo = std::min(lo, x);
+    hi = std::max(hi, x);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / kSamples, 0.5, 0.01);
+  EXPECT_LT(lo, 0.01);
+  EXPECT_GT(hi, 0.99);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform(-5.0, 3.0);
+    ASSERT_GE(x, -5.0);
+    ASSERT_LT(x, 3.0);
+  }
+}
+
+TEST(Rng, BelowStaysBelowBound) {
+  Rng rng(11);
+  for (std::uint64_t bound : {1ULL, 2ULL, 7ULL, 100ULL, 1000000007ULL}) {
+    for (int i = 0; i < 1000; ++i) ASSERT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowZeroBoundYieldsZero) {
+  Rng rng(13);
+  EXPECT_EQ(rng.below(0), 0u);
+}
+
+TEST(Rng, BelowCoversSmallRange) {
+  Rng rng(17);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.below(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(21);
+  Rng child = parent.fork();
+  // The child stream must not be a shifted copy of the parent's.
+  std::vector<std::uint64_t> parent_vals;
+  std::vector<std::uint64_t> child_vals;
+  for (int i = 0; i < 100; ++i) {
+    parent_vals.push_back(parent());
+    child_vals.push_back(child());
+  }
+  EXPECT_NE(parent_vals, child_vals);
+}
+
+TEST(Rng, ForkIsDeterministic) {
+  Rng a(33);
+  Rng b(33);
+  Rng ca = a.fork();
+  Rng cb = b.fork();
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(ca(), cb());
+}
+
+TEST(Rng, SplitMixKnownSequenceIsStable) {
+  // Regression pin: changing the seeding scheme silently changes every
+  // experiment; this freezes it.
+  std::uint64_t s = 0;
+  const std::uint64_t first = splitmix64(s);
+  const std::uint64_t second = splitmix64(s);
+  EXPECT_EQ(first, 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(second, 0x6e789e6aa1b965f4ULL);
+}
+
+}  // namespace
+}  // namespace smrp::net

@@ -1,0 +1,188 @@
+#include "net/shortest_path.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/waxman.hpp"
+#include "testing_topologies.hpp"
+
+namespace smrp::net {
+namespace {
+
+TEST(Dijkstra, GridDistancesAreManhattan) {
+  const Graph g = testing::grid3x3();
+  const ShortestPathTree t = dijkstra(g, 0);
+  EXPECT_DOUBLE_EQ(t.dist[8], 4.0);
+  EXPECT_DOUBLE_EQ(t.dist[4], 2.0);
+  EXPECT_DOUBLE_EQ(t.dist[0], 0.0);
+  EXPECT_EQ(t.hops[8], 4);
+}
+
+TEST(Dijkstra, PathReconstructionEndsAtTarget) {
+  const Graph g = testing::grid3x3();
+  const ShortestPathTree t = dijkstra(g, 0);
+  const std::vector<NodeId> path = t.path_from_source(8);
+  ASSERT_FALSE(path.empty());
+  EXPECT_EQ(path.front(), 0);
+  EXPECT_EQ(path.back(), 8);
+  EXPECT_EQ(path.size(), 5u);
+  const std::vector<LinkId> links = t.link_path_from_source(8);
+  EXPECT_EQ(links.size(), 4u);
+}
+
+TEST(Dijkstra, PathToSourceIsReversed) {
+  const Graph g = testing::grid3x3();
+  const ShortestPathTree t = dijkstra(g, 0);
+  const auto fwd = t.path_from_source(8);
+  auto bwd = t.path_to_source(8);
+  std::reverse(bwd.begin(), bwd.end());
+  EXPECT_EQ(fwd, bwd);
+}
+
+TEST(Dijkstra, RespectsWeights) {
+  const testing::Fig1Topology fig;
+  const ShortestPathTree t = dijkstra(fig.graph, fig.S);
+  EXPECT_DOUBLE_EQ(t.dist[fig.D], 2.0);  // S–A–D, not S–B–D (3)
+  EXPECT_EQ(t.path_from_source(fig.D),
+            (std::vector<NodeId>{fig.S, fig.A, fig.D}));
+}
+
+TEST(Dijkstra, UnreachableNodesReportInfinity) {
+  Graph g(3);
+  g.add_link(0, 1, 1.0);
+  const ShortestPathTree t = dijkstra(g, 0);
+  EXPECT_FALSE(t.reachable(2));
+  EXPECT_EQ(t.dist[2], kInfinity);
+  EXPECT_TRUE(t.path_from_source(2).empty());
+  EXPECT_TRUE(t.link_path_from_source(2).empty());
+}
+
+TEST(Dijkstra, BannedLinkForcesDetour) {
+  const testing::Fig1Topology fig;
+  ExclusionSet excl(fig.graph);
+  excl.ban_link(fig.AD);
+  const ShortestPathTree t = dijkstra(fig.graph, fig.S, excl);
+  EXPECT_DOUBLE_EQ(t.dist[fig.D], 3.0);  // S–B–D
+  EXPECT_EQ(t.path_from_source(fig.D),
+            (std::vector<NodeId>{fig.S, fig.B, fig.D}));
+}
+
+TEST(Dijkstra, BannedNodeIsNeverTraversed) {
+  const testing::Fig1Topology fig;
+  ExclusionSet excl(fig.graph);
+  excl.ban_node(fig.A);
+  const ShortestPathTree t = dijkstra(fig.graph, fig.S, excl);
+  EXPECT_FALSE(t.reachable(fig.A));
+  EXPECT_DOUBLE_EQ(t.dist[fig.C], 5.0);  // S–B–D–C
+}
+
+TEST(Dijkstra, BannedSourceThrows) {
+  const Graph g = testing::grid3x3();
+  ExclusionSet excl(g);
+  excl.ban_node(0);
+  EXPECT_THROW(dijkstra(g, 0, excl), std::invalid_argument);
+}
+
+TEST(Dijkstra, InvalidSourceThrows) {
+  const Graph g = testing::grid3x3();
+  EXPECT_THROW(dijkstra(g, 99), std::out_of_range);
+}
+
+TEST(DijkstraAbsorbing, AbsorbingNodesDoNotRelay) {
+  // 0 –1– 1 –1– 2, plus a long direct 0–2 of weight 10: with 1 absorbing,
+  // node 2 must be reached via the direct link.
+  Graph g(3);
+  g.add_link(0, 1, 1.0);
+  g.add_link(1, 2, 1.0);
+  g.add_link(0, 2, 10.0);
+  std::vector<char> absorbing{0, 1, 0};
+  const ShortestPathTree t = dijkstra_absorbing(g, 0, absorbing);
+  EXPECT_DOUBLE_EQ(t.dist[1], 1.0);   // reachable as a destination
+  EXPECT_DOUBLE_EQ(t.dist[2], 10.0);  // but never expanded
+}
+
+TEST(DijkstraAbsorbing, SizesMustMatch) {
+  const Graph g = testing::grid3x3();
+  EXPECT_THROW(dijkstra_absorbing(g, 0, std::vector<char>(3, 0)),
+               std::invalid_argument);
+}
+
+TEST(DijkstraAbsorbing, AbsorbingSourceThrows) {
+  const Graph g = testing::grid3x3();
+  std::vector<char> absorbing(9, 0);
+  absorbing[0] = 1;
+  EXPECT_THROW(dijkstra_absorbing(g, 0, absorbing), std::invalid_argument);
+}
+
+// ---- Property-style sweeps over random graphs -----------------------------
+
+class DijkstraProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DijkstraProperty, TriangleInequalityOverEveryLink) {
+  Rng rng(GetParam());
+  WaxmanParams params;
+  params.node_count = 60;
+  const Graph g = waxman_graph(params, rng);
+  const ShortestPathTree t = dijkstra(g, 0);
+  for (const Link& l : g.links()) {
+    ASSERT_LE(t.dist[l.a], t.dist[l.b] + l.weight + 1e-9);
+    ASSERT_LE(t.dist[l.b], t.dist[l.a] + l.weight + 1e-9);
+  }
+}
+
+TEST_P(DijkstraProperty, ParentEdgeIsTight) {
+  Rng rng(GetParam());
+  WaxmanParams params;
+  params.node_count = 60;
+  const Graph g = waxman_graph(params, rng);
+  const ShortestPathTree t = dijkstra(g, 0);
+  for (NodeId n = 1; n < g.node_count(); ++n) {
+    ASSERT_TRUE(t.reachable(n));
+    const NodeId p = t.parent[static_cast<std::size_t>(n)];
+    const LinkId pl = t.parent_link[static_cast<std::size_t>(n)];
+    ASSERT_NE(p, kNoNode);
+    ASSERT_NEAR(t.dist[static_cast<std::size_t>(n)],
+                t.dist[static_cast<std::size_t>(p)] + g.link(pl).weight,
+                1e-9);
+  }
+}
+
+TEST_P(DijkstraProperty, PathWeightMatchesDistance) {
+  Rng rng(GetParam() ^ 0x9e37ULL);
+  WaxmanParams params;
+  params.node_count = 40;
+  const Graph g = waxman_graph(params, rng);
+  const ShortestPathTree t = dijkstra(g, 3 % g.node_count());
+  for (NodeId n = 0; n < g.node_count(); ++n) {
+    const auto path = t.path_from_source(n);
+    double w = 0.0;
+    for (std::size_t i = 1; i < path.size(); ++i) {
+      w += g.link(*g.link_between(path[i - 1], path[i])).weight;
+    }
+    ASSERT_NEAR(w, t.dist[static_cast<std::size_t>(n)], 1e-9);
+  }
+}
+
+TEST_P(DijkstraProperty, AbsorbingDistancesNeverBeatPlain) {
+  Rng rng(GetParam() ^ 0xabcdULL);
+  WaxmanParams params;
+  params.node_count = 50;
+  const Graph g = waxman_graph(params, rng);
+  std::vector<char> absorbing(static_cast<std::size_t>(g.node_count()), 0);
+  // Absorb every 5th node (but not the source).
+  for (NodeId n = 1; n < g.node_count(); n += 5) {
+    absorbing[static_cast<std::size_t>(n)] = 1;
+  }
+  const ShortestPathTree plain = dijkstra(g, 0);
+  const ShortestPathTree absorbed = dijkstra_absorbing(g, 0, absorbing);
+  for (NodeId n = 0; n < g.node_count(); ++n) {
+    if (!absorbed.reachable(n)) continue;
+    ASSERT_GE(absorbed.dist[static_cast<std::size_t>(n)],
+              plain.dist[static_cast<std::size_t>(n)] - 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DijkstraProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace smrp::net

@@ -1,0 +1,118 @@
+#include "net/transit_stub.hpp"
+
+#include <gtest/gtest.h>
+
+namespace smrp::net {
+namespace {
+
+TransitStubTopology make_default(std::uint64_t seed = 42) {
+  Rng rng(seed);
+  TransitStubParams p;
+  return generate_transit_stub(p, rng);
+}
+
+TEST(TransitStub, NodeCountMatchesShape) {
+  const TransitStubTopology topo = make_default();
+  const TransitStubParams p;
+  const int expected =
+      p.transit_nodes + p.transit_nodes * p.stubs_per_transit * p.stub_size;
+  EXPECT_EQ(topo.graph.node_count(), expected);
+  EXPECT_EQ(static_cast<int>(topo.domain_of_node.size()), expected);
+}
+
+TEST(TransitStub, Connected) {
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    EXPECT_TRUE(make_default(seed).graph.connected());
+  }
+}
+
+TEST(TransitStub, DomainsPartitionNodes) {
+  const TransitStubTopology topo = make_default();
+  std::vector<int> counted(static_cast<std::size_t>(topo.domain_count()), 0);
+  for (const DomainId d : topo.domain_of_node) {
+    ASSERT_GE(d, 0);
+    ASSERT_LT(d, topo.domain_count());
+    ++counted[static_cast<std::size_t>(d)];
+  }
+  for (DomainId d = 0; d < topo.domain_count(); ++d) {
+    EXPECT_EQ(counted[static_cast<std::size_t>(d)],
+              static_cast<int>(topo.nodes_of_domain[static_cast<std::size_t>(d)].size()));
+    for (const NodeId n : topo.nodes_of_domain[static_cast<std::size_t>(d)]) {
+      EXPECT_EQ(topo.domain_of_node[static_cast<std::size_t>(n)], d);
+    }
+  }
+}
+
+TEST(TransitStub, TransitDomainHoldsTheCore) {
+  const TransitStubTopology topo = make_default();
+  const TransitStubParams p;
+  EXPECT_EQ(static_cast<int>(topo.nodes_of_domain[0].size()),
+            p.transit_nodes);
+  for (const NodeId n : topo.nodes_of_domain[0]) {
+    EXPECT_LT(n, p.transit_nodes);
+  }
+}
+
+TEST(TransitStub, GatewaysAreTransitNodes) {
+  const TransitStubTopology topo = make_default();
+  const TransitStubParams p;
+  EXPECT_EQ(topo.gateway_of_domain[0], kNoNode);
+  for (DomainId d = 1; d < topo.domain_count(); ++d) {
+    const NodeId gw = topo.gateway_of_domain[static_cast<std::size_t>(d)];
+    ASSERT_GE(gw, 0);
+    ASSERT_LT(gw, p.transit_nodes);
+    // The gateway has a direct link into its stub domain.
+    bool touches = false;
+    for (const NodeId n : topo.nodes_of_domain[static_cast<std::size_t>(d)]) {
+      if (topo.graph.link_between(gw, n)) touches = true;
+    }
+    EXPECT_TRUE(touches) << "domain " << d;
+  }
+}
+
+TEST(TransitStub, StubDomainsAreInternallyReachableViaGateway) {
+  // Every stub node must reach its gateway without leaving
+  // {stub nodes} ∪ {gateway} — the property the hierarchical recovery
+  // architecture (§3.3.3) depends on for intra-domain repair.
+  const TransitStubTopology topo = make_default();
+  for (DomainId d = 1; d < topo.domain_count(); ++d) {
+    const auto& nodes = topo.nodes_of_domain[static_cast<std::size_t>(d)];
+    std::vector<char> allowed(
+        static_cast<std::size_t>(topo.graph.node_count()), 0);
+    for (const NodeId n : nodes) allowed[static_cast<std::size_t>(n)] = 1;
+    const NodeId gw = topo.gateway_of_domain[static_cast<std::size_t>(d)];
+    allowed[static_cast<std::size_t>(gw)] = 1;
+    // BFS within the allowed set from the gateway.
+    std::vector<char> seen(allowed.size(), 0);
+    std::vector<NodeId> stack{gw};
+    seen[static_cast<std::size_t>(gw)] = 1;
+    while (!stack.empty()) {
+      const NodeId n = stack.back();
+      stack.pop_back();
+      for (const Adjacency& adj : topo.graph.neighbors(n)) {
+        if (!allowed[static_cast<std::size_t>(adj.neighbor)]) continue;
+        if (!seen[static_cast<std::size_t>(adj.neighbor)]) {
+          seen[static_cast<std::size_t>(adj.neighbor)] = 1;
+          stack.push_back(adj.neighbor);
+        }
+      }
+    }
+    for (const NodeId n : nodes) {
+      EXPECT_TRUE(seen[static_cast<std::size_t>(n)])
+          << "stub node " << n << " cut off inside domain " << d;
+    }
+  }
+}
+
+TEST(TransitStub, RejectsBadShape) {
+  Rng rng(1);
+  TransitStubParams p;
+  p.transit_nodes = 1;
+  EXPECT_THROW(generate_transit_stub(p, rng), std::invalid_argument);
+  p.transit_nodes = 4;
+  p.stub_size = 0;
+  EXPECT_THROW(generate_transit_stub(p, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace smrp::net

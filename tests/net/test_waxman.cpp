@@ -1,0 +1,122 @@
+#include "net/waxman.hpp"
+
+#include <gtest/gtest.h>
+
+namespace smrp::net {
+namespace {
+
+TEST(Waxman, ProducesRequestedNodeCount) {
+  Rng rng(1);
+  WaxmanParams p;
+  p.node_count = 64;
+  const Graph g = waxman_graph(p, rng);
+  EXPECT_EQ(g.node_count(), 64);
+  EXPECT_EQ(g.positions().size(), 64u);
+}
+
+TEST(Waxman, AlwaysConnected) {
+  Rng rng(2);
+  WaxmanParams p;
+  p.node_count = 100;
+  p.alpha = 0.1;  // sparse — may need patching
+  for (int i = 0; i < 5; ++i) {
+    const Graph g = waxman_graph(p, rng);
+    EXPECT_TRUE(g.connected());
+  }
+}
+
+TEST(Waxman, DeterministicPerSeed) {
+  WaxmanParams p;
+  p.node_count = 50;
+  Rng a(77);
+  Rng b(77);
+  const Graph ga = waxman_graph(p, a);
+  const Graph gb = waxman_graph(p, b);
+  ASSERT_EQ(ga.link_count(), gb.link_count());
+  for (LinkId l = 0; l < ga.link_count(); ++l) {
+    EXPECT_EQ(ga.link(l).a, gb.link(l).a);
+    EXPECT_EQ(ga.link(l).b, gb.link(l).b);
+    EXPECT_DOUBLE_EQ(ga.link(l).weight, gb.link(l).weight);
+  }
+}
+
+TEST(Waxman, AlphaIncreasesDensity) {
+  WaxmanParams lo;
+  lo.node_count = 100;
+  lo.alpha = 0.15;
+  WaxmanParams hi = lo;
+  hi.alpha = 0.3;
+  double lo_deg = 0.0;
+  double hi_deg = 0.0;
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    Rng r1(seed);
+    Rng r2(seed);
+    lo_deg += waxman_graph(lo, r1).average_degree();
+    hi_deg += waxman_graph(hi, r2).average_degree();
+  }
+  EXPECT_GT(hi_deg, lo_deg * 1.5);
+}
+
+TEST(Waxman, EuclideanWeightsMatchGeometry) {
+  Rng rng(5);
+  WaxmanParams p;
+  p.node_count = 60;
+  const Graph g = waxman_graph(p, rng);
+  const auto pos = g.positions();
+  int geometric = 0;
+  for (const Link& l : g.links()) {
+    const double d = euclidean(pos[static_cast<std::size_t>(l.a)],
+                               pos[static_cast<std::size_t>(l.b)]);
+    if (std::abs(d - l.weight) < 1e-6) ++geometric;
+  }
+  // Patch links also use geometric distance, so all links must match.
+  EXPECT_EQ(geometric, g.link_count());
+}
+
+TEST(Waxman, UnitWeights) {
+  Rng rng(6);
+  WaxmanParams p;
+  p.node_count = 60;
+  p.weight_mode = LinkWeightMode::kUnit;
+  const Graph g = waxman_graph(p, rng);
+  for (const Link& l : g.links()) EXPECT_DOUBLE_EQ(l.weight, 1.0);
+}
+
+TEST(Waxman, UniformRandomWeightsInRange) {
+  Rng rng(7);
+  WaxmanParams p;
+  p.node_count = 60;
+  p.weight_mode = LinkWeightMode::kUniformRandom;
+  const Graph g = waxman_graph(p, rng);
+  for (const Link& l : g.links()) {
+    EXPECT_GE(l.weight, 1.0);
+    EXPECT_LT(l.weight, 10.0);
+  }
+}
+
+TEST(Waxman, ReportsPatchingWhenItHappens) {
+  Rng rng(8);
+  WaxmanParams p;
+  p.node_count = 100;
+  p.alpha = 0.02;  // far below the connectivity threshold
+  p.max_resample_attempts = 2;
+  const WaxmanResult result = generate_waxman(p, rng);
+  EXPECT_TRUE(result.graph.connected());
+  EXPECT_GT(result.patched_links, 0);
+}
+
+TEST(Waxman, RejectsBadParameters) {
+  Rng rng(9);
+  WaxmanParams p;
+  p.node_count = 1;
+  EXPECT_THROW(waxman_graph(p, rng), std::invalid_argument);
+  p.node_count = 10;
+  p.alpha = 0.0;
+  EXPECT_THROW(waxman_graph(p, rng), std::invalid_argument);
+  p.alpha = 0.2;
+  p.beta = 1.5;
+  EXPECT_THROW(waxman_graph(p, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace smrp::net

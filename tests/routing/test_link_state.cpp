@@ -1,0 +1,123 @@
+#include "routing/link_state.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/waxman.hpp"
+#include "testing_topologies.hpp"
+
+namespace smrp::routing {
+namespace {
+
+struct Stack {
+  net::Graph graph;
+  sim::Simulator simulator;
+  sim::SimNetwork network;
+  LinkStateRouting routing;
+
+  explicit Stack(net::Graph g, RoutingConfig config = {})
+      : graph(std::move(g)),
+        network(simulator, graph),
+        routing(simulator, network, config) {
+    for (NodeId n = 0; n < graph.node_count(); ++n) {
+      network.set_handler(n, [this, n](NodeId from, const sim::Message& m) {
+        routing.handle(n, from, m);
+      });
+    }
+  }
+};
+
+TEST(LinkStateRouting, BootstrapsConverged) {
+  Stack s(testing::grid3x3());
+  s.routing.start();
+  EXPECT_TRUE(s.routing.converged());
+  // Corner to corner in the grid: next hop must be a neighbor on a
+  // shortest path.
+  const NodeId hop = s.routing.next_hop(0, 8);
+  EXPECT_TRUE(hop == 1 || hop == 3);
+  EXPECT_EQ(s.routing.next_hop(4, 4), 4);
+}
+
+TEST(LinkStateRouting, StaysConvergedWhileQuiescent) {
+  Stack s(testing::grid3x3());
+  s.routing.start();
+  s.simulator.run_until(5000.0);
+  EXPECT_TRUE(s.routing.converged());
+}
+
+TEST(LinkStateRouting, ReconvergesAfterLinkFailure) {
+  Stack s(testing::grid3x3());
+  s.routing.start();
+  s.simulator.run_until(500.0);
+  const net::LinkId cut = s.graph.link_between(0, 1).value();
+  s.network.set_link_up(cut, false);
+  EXPECT_FALSE(s.routing.converged());  // tables still point over the cut
+  s.simulator.run_until(3000.0);
+  EXPECT_TRUE(s.routing.converged());
+  // 0's route to 1 must now detour via 3.
+  EXPECT_EQ(s.routing.next_hop(0, 1), 3);
+}
+
+TEST(LinkStateRouting, ConvergenceTakesDetectionPlusFloodTime) {
+  RoutingConfig config;
+  Stack s(testing::grid3x3(), config);
+  s.routing.start();
+  s.simulator.run_until(500.0);
+  const net::LinkId cut = s.graph.link_between(0, 1).value();
+  const sim::Time fail_at = s.simulator.now();
+  s.network.set_link_up(cut, false);
+  s.simulator.run_until(fail_at + 10000.0);
+  ASSERT_TRUE(s.routing.converged());
+  const sim::Time took = s.routing.last_table_change() - fail_at;
+  // Detection needs at least the dead interval; the whole process must
+  // finish well before our run horizon.
+  EXPECT_GE(took, config.dead_interval * 0.9);
+  EXPECT_LE(took, 4000.0);
+}
+
+TEST(LinkStateRouting, ReconvergesAfterNodeFailure) {
+  Stack s(testing::grid3x3());
+  s.routing.start();
+  s.simulator.run_until(500.0);
+  s.network.set_node_up(4, false);  // kill the grid centre
+  s.simulator.run_until(5000.0);
+  EXPECT_TRUE(s.routing.converged());
+  // Routes must now go around the perimeter.
+  const NodeId hop = s.routing.next_hop(1, 7);
+  EXPECT_TRUE(hop == 0 || hop == 2);
+}
+
+TEST(LinkStateRouting, HealsAfterLinkRestoration) {
+  Stack s(testing::grid3x3());
+  s.routing.start();
+  s.simulator.run_until(500.0);
+  const net::LinkId cut = s.graph.link_between(0, 1).value();
+  s.network.set_link_up(cut, false);
+  s.simulator.run_until(3000.0);
+  ASSERT_TRUE(s.routing.converged());
+  s.network.set_link_up(cut, true);
+  s.simulator.run_until(6000.0);
+  EXPECT_TRUE(s.routing.converged());
+  EXPECT_EQ(s.routing.next_hop(0, 1), 1);  // direct again
+}
+
+TEST(LinkStateRouting, WorksOnRandomTopologies) {
+  for (const std::uint64_t seed : {3ULL, 17ULL}) {
+    net::Rng rng(seed);
+    net::WaxmanParams wax;
+    wax.node_count = 40;
+    Stack s(net::waxman_graph(wax, rng));
+    s.routing.start();
+    s.simulator.run_until(300.0);
+    ASSERT_TRUE(s.routing.converged()) << "seed " << seed;
+    // Cut the first link on some shortest path and verify reconvergence
+    // whenever the graph stays connected.
+    const net::LinkId cut = 0;
+    if (!s.graph.connected_without(cut)) continue;
+    s.network.set_link_up(cut, false);
+    s.simulator.run_until(8000.0);
+    ASSERT_TRUE(s.routing.converged()) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace smrp::routing

@@ -1,0 +1,127 @@
+#include "sim/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testing_topologies.hpp"
+
+namespace smrp::sim {
+namespace {
+
+struct Received {
+  Time at;
+  NodeId from;
+  Message message;
+};
+
+struct Fixture {
+  net::Graph graph = testing::grid3x3();
+  Simulator simulator;
+  SimNetwork network{simulator, graph};
+  std::vector<std::vector<Received>> inbox;
+
+  Fixture() {
+    inbox.resize(static_cast<std::size_t>(graph.node_count()));
+    for (NodeId n = 0; n < graph.node_count(); ++n) {
+      network.set_handler(n, [this, n](NodeId from, const Message& m) {
+        inbox[static_cast<std::size_t>(n)].push_back(
+            Received{simulator.now(), from, m});
+      });
+    }
+  }
+};
+
+TEST(SimNetwork, DeliversToAdjacentNode) {
+  Fixture f;
+  ASSERT_TRUE(f.network.send(0, 1, DataMsg{7}));
+  f.simulator.run_all();
+  ASSERT_EQ(f.inbox[1].size(), 1u);
+  EXPECT_EQ(f.inbox[1][0].from, 0);
+  EXPECT_EQ(std::get<DataMsg>(f.inbox[1][0].message).seq, 7u);
+}
+
+TEST(SimNetwork, DeliveryLatencyMatchesConfig) {
+  Fixture f;
+  const net::LinkId link = f.graph.link_between(0, 1).value();
+  f.network.send(0, 1, HelloMsg{});
+  f.simulator.run_all();
+  ASSERT_EQ(f.inbox[1].size(), 1u);
+  EXPECT_DOUBLE_EQ(f.inbox[1][0].at, f.network.link_latency(link));
+}
+
+TEST(SimNetwork, RefusesNonAdjacentSend) {
+  Fixture f;
+  EXPECT_FALSE(f.network.send(0, 8, HelloMsg{}));  // opposite corners
+  f.simulator.run_all();
+  EXPECT_TRUE(f.inbox[8].empty());
+  EXPECT_EQ(f.network.messages_dropped(), 1u);
+}
+
+TEST(SimNetwork, DownLinkLosesInFlightMessage) {
+  Fixture f;
+  const net::LinkId link = f.graph.link_between(0, 1).value();
+  f.network.send(0, 1, HelloMsg{});
+  // Cut the link before the message lands.
+  f.simulator.schedule(f.network.link_latency(link) / 2,
+                       [&] { f.network.set_link_up(link, false); });
+  f.simulator.run_all();
+  EXPECT_TRUE(f.inbox[1].empty());
+  EXPECT_EQ(f.network.messages_delivered(), 0u);
+  EXPECT_EQ(f.network.messages_dropped(), 1u);
+}
+
+TEST(SimNetwork, DownLinkStillDownAtSendTimeDropsAtDelivery) {
+  Fixture f;
+  const net::LinkId link = f.graph.link_between(0, 1).value();
+  f.network.set_link_up(link, false);
+  EXPECT_TRUE(f.network.send(0, 1, HelloMsg{}));  // sender can't know yet
+  f.simulator.run_all();
+  EXPECT_TRUE(f.inbox[1].empty());
+}
+
+TEST(SimNetwork, DownReceiverLosesMessage) {
+  Fixture f;
+  f.network.set_node_up(1, false);
+  f.network.send(0, 1, HelloMsg{});
+  f.simulator.run_all();
+  EXPECT_TRUE(f.inbox[1].empty());
+}
+
+TEST(SimNetwork, DownSenderCannotSend) {
+  Fixture f;
+  f.network.set_node_up(0, false);
+  EXPECT_FALSE(f.network.send(0, 1, HelloMsg{}));
+}
+
+TEST(SimNetwork, RestoredLinkCarriesTrafficAgain) {
+  Fixture f;
+  const net::LinkId link = f.graph.link_between(0, 1).value();
+  f.network.set_link_up(link, false);
+  f.network.set_link_up(link, true);
+  f.network.send(0, 1, HelloMsg{});
+  f.simulator.run_all();
+  EXPECT_EQ(f.inbox[1].size(), 1u);
+}
+
+TEST(SimNetwork, BroadcastReachesAllNeighbors) {
+  Fixture f;
+  EXPECT_EQ(f.network.broadcast(4, HelloMsg{}), 4);  // grid centre
+  f.simulator.run_all();
+  for (const NodeId n : {1, 3, 5, 7}) {
+    EXPECT_EQ(f.inbox[static_cast<std::size_t>(n)].size(), 1u);
+  }
+  EXPECT_TRUE(f.inbox[0].empty());
+}
+
+TEST(SimNetwork, StatsAreConsistent) {
+  Fixture f;
+  f.network.send(0, 1, HelloMsg{});
+  f.network.send(1, 2, HelloMsg{});
+  f.network.send(0, 8, HelloMsg{});  // refused
+  f.simulator.run_all();
+  EXPECT_EQ(f.network.messages_sent(), 2u);
+  EXPECT_EQ(f.network.messages_delivered(), 2u);
+  EXPECT_EQ(f.network.messages_dropped(), 1u);
+}
+
+}  // namespace
+}  // namespace smrp::sim

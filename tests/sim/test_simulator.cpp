@@ -1,0 +1,123 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace smrp::sim {
+namespace {
+
+TEST(Simulator, StartsAtZeroAndIdle) {
+  Simulator s;
+  EXPECT_DOUBLE_EQ(s.now(), 0.0);
+  EXPECT_TRUE(s.idle());
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST(Simulator, EventsFireInTimeOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.schedule(30.0, [&] { order.push_back(3); });
+  s.schedule(10.0, [&] { order.push_back(1); });
+  s.schedule(20.0, [&] { order.push_back(2); });
+  s.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(s.now(), 30.0);
+}
+
+TEST(Simulator, SimultaneousEventsFifo) {
+  Simulator s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    s.schedule(5.0, [&order, i] { order.push_back(i); });
+  }
+  s.run_all();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+  Simulator s;
+  int fired = 0;
+  s.schedule(10.0, [&] { ++fired; });
+  s.schedule(20.0, [&] { ++fired; });
+  s.schedule(30.0, [&] { ++fired; });
+  EXPECT_EQ(s.run_until(20.0), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(s.now(), 20.0);
+  EXPECT_EQ(s.pending(), 1u);
+  s.run_until(100.0);
+  EXPECT_EQ(fired, 3);
+  EXPECT_DOUBLE_EQ(s.now(), 100.0);  // clock advances to the horizon
+}
+
+TEST(Simulator, HandlersCanScheduleMoreEvents) {
+  Simulator s;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 5) s.schedule(1.0, chain);
+  };
+  s.schedule(1.0, chain);
+  s.run_all();
+  EXPECT_EQ(depth, 5);
+  EXPECT_DOUBLE_EQ(s.now(), 5.0);
+}
+
+TEST(Simulator, CancelPreventsFiring) {
+  Simulator s;
+  bool fired = false;
+  const EventId id = s.schedule(10.0, [&] { fired = true; });
+  s.cancel(id);
+  s.run_all();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST(Simulator, CancelIsIdempotentAndIgnoresUnknownIds) {
+  Simulator s;
+  const EventId id = s.schedule(1.0, [] {});
+  s.cancel(id);
+  s.cancel(id);
+  s.cancel(424242);
+  EXPECT_EQ(s.pending(), 0u);
+  s.run_all();
+}
+
+TEST(Simulator, CancelAfterFiringIsNoOp) {
+  Simulator s;
+  const EventId id = s.schedule(1.0, [] {});
+  s.run_all();
+  s.cancel(id);
+  EXPECT_EQ(s.pending(), 0u);
+  // A new event must still work.
+  bool fired = false;
+  s.schedule(1.0, [&] { fired = true; });
+  s.run_all();
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, RejectsPastAndNegative) {
+  Simulator s;
+  s.schedule(5.0, [] {});
+  s.run_all();
+  EXPECT_THROW(s.schedule(-1.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(s.schedule_at(1.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(s.schedule(1.0, {}), std::invalid_argument);
+}
+
+TEST(Simulator, RunAllHonoursEventCap) {
+  Simulator s;
+  std::function<void()> forever = [&] { s.schedule(1.0, forever); };
+  s.schedule(1.0, forever);
+  const std::size_t fired = s.run_all(1000);
+  EXPECT_EQ(fired, 1000u);
+}
+
+TEST(Simulator, ProcessedCountsFiredEvents) {
+  Simulator s;
+  for (int i = 0; i < 7; ++i) s.schedule(i, [] {});
+  s.run_all();
+  EXPECT_EQ(s.processed(), 7u);
+}
+
+}  // namespace
+}  // namespace smrp::sim

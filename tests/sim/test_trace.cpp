@@ -1,0 +1,90 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/network.hpp"
+#include "testing_topologies.hpp"
+
+namespace smrp::sim {
+namespace {
+
+TEST(Trace, MessageNamesCoverEveryAlternative) {
+  EXPECT_EQ(message_name(HelloMsg{}), "HELLO");
+  EXPECT_EQ(message_name(LsaMsg{}), "LSA");
+  EXPECT_EQ(message_name(JoinReqMsg{}), "JOIN_REQ");
+  EXPECT_EQ(message_name(JoinAckMsg{}), "JOIN_ACK");
+  EXPECT_EQ(message_name(LeaveReqMsg{}), "LEAVE_REQ");
+  EXPECT_EQ(message_name(StateRefreshMsg{}), "STATE_REFRESH");
+  EXPECT_EQ(message_name(ShrUpdateMsg{}), "SHR_UPDATE");
+  EXPECT_EQ(message_name(DataMsg{}), "DATA");
+  EXPECT_EQ(message_name(RepairQueryMsg{}), "REPAIR_QUERY");
+  EXPECT_EQ(message_name(RepairRespMsg{}), "REPAIR_RESP");
+}
+
+TEST(Trace, RecordsSendAndDeliver) {
+  const net::Graph g = testing::grid3x3();
+  Simulator simulator;
+  SimNetwork network(simulator, g);
+  network.set_handler(1, [](NodeId, const Message&) {});
+  Tracer tracer;
+  network.set_tracer(&tracer);
+
+  network.send(0, 1, DataMsg{1});
+  simulator.run_all();
+  EXPECT_EQ(tracer.count(TraceKind::kSend), 1u);
+  EXPECT_EQ(tracer.count(TraceKind::kDeliver), 1u);
+  EXPECT_EQ(tracer.count(TraceKind::kDrop), 0u);
+  ASSERT_EQ(tracer.events().size(), 2u);
+  EXPECT_EQ(tracer.events()[0].message, "DATA");
+  EXPECT_EQ(tracer.events()[1].kind, TraceKind::kDeliver);
+}
+
+TEST(Trace, RecordsDropsOnDownLink) {
+  const net::Graph g = testing::grid3x3();
+  Simulator simulator;
+  SimNetwork network(simulator, g);
+  network.set_handler(1, [](NodeId, const Message&) {});
+  Tracer tracer;
+  network.set_tracer(&tracer);
+
+  network.set_link_up(g.link_between(0, 1).value(), false);
+  network.send(0, 1, HelloMsg{});
+  simulator.run_all();
+  EXPECT_EQ(tracer.count(TraceKind::kSend), 1u);
+  EXPECT_EQ(tracer.count(TraceKind::kDrop), 1u);
+  EXPECT_EQ(tracer.count(TraceKind::kDeliver), 0u);
+}
+
+TEST(Trace, BoundedRetention) {
+  Tracer tracer(/*capacity=*/3);
+  for (int i = 0; i < 10; ++i) {
+    tracer.record(TraceEvent{static_cast<Time>(i), TraceKind::kSend, 0, 1,
+                             "DATA"});
+  }
+  EXPECT_EQ(tracer.events().size(), 3u);
+  EXPECT_EQ(tracer.count(TraceKind::kSend), 10u);  // totals keep counting
+  EXPECT_DOUBLE_EQ(tracer.events().front().at, 7.0);
+}
+
+TEST(Trace, CountRetainedFiltersByNameAndKind) {
+  Tracer tracer;
+  tracer.record(TraceEvent{0, TraceKind::kSend, 0, 1, "DATA"});
+  tracer.record(TraceEvent{1, TraceKind::kDeliver, 0, 1, "DATA"});
+  tracer.record(TraceEvent{2, TraceKind::kSend, 0, 1, "HELLO"});
+  EXPECT_EQ(tracer.count_retained("DATA", TraceKind::kSend), 1u);
+  EXPECT_EQ(tracer.count_retained("DATA", TraceKind::kDeliver), 1u);
+  EXPECT_EQ(tracer.count_retained("LSA", TraceKind::kSend), 0u);
+}
+
+TEST(Trace, PrintsOneLinePerEvent) {
+  Tracer tracer;
+  tracer.record(TraceEvent{5.0, TraceKind::kSend, 2, 3, "JOIN_REQ"});
+  std::ostringstream out;
+  tracer.print(out);
+  EXPECT_EQ(out.str(), "5ms send 2->3 JOIN_REQ\n");
+}
+
+}  // namespace
+}  // namespace smrp::sim

@@ -1,0 +1,168 @@
+// Hardening tests for the distributed stack: tree reshaping in the
+// message-passing protocol, transient message loss, router (node)
+// failures, and membership churn while the session is live.
+#include <gtest/gtest.h>
+
+#include "net/waxman.hpp"
+#include "smrp/harness.hpp"
+#include "testing_topologies.hpp"
+
+namespace smrp::proto {
+namespace {
+
+using testing::Fig4Topology;
+
+TEST(DistributedReshaping, ReproducesFigure5InTheProtocol) {
+  // The paper's Fig.-5 story, but executed by message-passing agents: E
+  // joins via D; after F's arrival raises SHR(S,D), E's Condition-I
+  // reshape must move it to E→C→A→S.
+  const Fig4Topology fig;
+  SessionConfig config;
+  config.smrp.d_thresh = 0.3;
+  config.smrp.reshape_shr_delta = 2;
+  SimulationHarness h(fig.graph, fig.S, config);
+  h.start();
+  h.session().join(fig.E);
+  h.simulator().run_until(1500.0);
+  EXPECT_EQ(h.session().parent_of(fig.E), fig.D);
+
+  h.session().join(fig.G);
+  h.simulator().run_until(3000.0);
+  h.session().join(fig.F);
+  h.simulator().run_until(8000.0);
+
+  EXPECT_GE(h.session().reshapes_performed(), 1);
+  EXPECT_EQ(h.session().parent_of(fig.E), fig.C);
+  EXPECT_EQ(h.session().parent_of(fig.C), fig.A);
+  // Everyone still receives data after the switch.
+  for (const net::NodeId m : {fig.E, fig.F, fig.G}) {
+    EXPECT_LE(8000.0 - h.session().last_data_at(m), 150.0) << "member " << m;
+  }
+  const auto snapshot = h.session().snapshot_tree();
+  ASSERT_TRUE(snapshot.has_value());
+  ASSERT_NO_THROW(snapshot->validate());
+}
+
+TEST(DistributedReshaping, DisabledMeansNoSwitches) {
+  const Fig4Topology fig;
+  SessionConfig config;
+  config.smrp.enable_reshaping = false;
+  SimulationHarness h(fig.graph, fig.S, config);
+  h.start();
+  h.session().join(fig.E);
+  h.session().join(fig.G);
+  h.session().join(fig.F);
+  h.simulator().run_until(8000.0);
+  EXPECT_EQ(h.session().reshapes_performed(), 0);
+  EXPECT_EQ(h.session().parent_of(fig.E), fig.D);
+}
+
+TEST(DistributedRobustness, SurvivesTransientMessageLoss) {
+  net::Rng rng(11);
+  net::WaxmanParams wax;
+  wax.node_count = 40;
+  const net::Graph g = net::waxman_graph(wax, rng);
+  sim::NetworkConfig lossy;
+  lossy.loss_probability = 0.05;  // 5% of every transmission vanishes
+  SimulationHarness h(g, 0, SessionConfig{}, routing::RoutingConfig{}, lossy);
+  h.start();
+  std::vector<net::NodeId> members;
+  for (int i = 0; i < 8; ++i) {
+    const auto m = static_cast<net::NodeId>(1 + rng.below(39));
+    if (std::find(members.begin(), members.end(), m) == members.end()) {
+      h.session().join(m);
+      members.push_back(m);
+    }
+  }
+  h.simulator().run_until(6000.0);
+  // Soft state + periodic refreshes must keep everyone served despite the
+  // loss (individual gaps may exceed one data interval).
+  for (const net::NodeId m : members) {
+    ASSERT_GE(h.session().last_data_at(m), 0.0) << "member " << m;
+    EXPECT_LE(6000.0 - h.session().last_data_at(m), 500.0) << "member " << m;
+  }
+  EXPECT_GT(h.network().messages_dropped(), 0u);
+}
+
+TEST(DistributedRobustness, RepairsAroundDeadRouter) {
+  const testing::Fig1Topology fig;
+  SimulationHarness h(fig.graph, fig.S);
+  h.start();
+  h.session().join(fig.C);
+  h.session().join(fig.D);
+  h.simulator().run_until(2000.0);
+  ASSERT_EQ(h.session().parent_of(fig.C), fig.A);
+  ASSERT_EQ(h.session().parent_of(fig.D), fig.A);
+
+  h.network().set_node_up(fig.A, false);  // the shared router dies
+  h.simulator().run_until(8000.0);
+  for (const net::NodeId m : {fig.C, fig.D}) {
+    EXPECT_LE(8000.0 - h.session().last_data_at(m), 200.0)
+        << "member " << m << " not restored after node failure";
+    // The restored path cannot run through the dead router.
+    net::NodeId cur = m;
+    int guard = 0;
+    while (cur != fig.S && cur != net::kNoNode && ++guard < 10) {
+      EXPECT_NE(cur, fig.A);
+      cur = h.session().parent_of(cur);
+    }
+  }
+}
+
+TEST(DistributedRobustness, ChurnWhileRunning) {
+  net::Rng rng(23);
+  net::WaxmanParams wax;
+  wax.node_count = 40;
+  const net::Graph g = net::waxman_graph(wax, rng);
+  SimulationHarness h(g, 0);
+  h.start();
+
+  std::vector<net::NodeId> present;
+  sim::Time t = 0.0;
+  for (int event = 0; event < 30; ++event) {
+    t += 200.0;
+    h.simulator().run_until(t);
+    if (present.size() < 3 || rng.uniform() < 0.6) {
+      const auto m = static_cast<net::NodeId>(1 + rng.below(39));
+      if (std::find(present.begin(), present.end(), m) != present.end()) {
+        continue;
+      }
+      h.session().join(m);
+      present.push_back(m);
+    } else {
+      const std::size_t idx = rng.below(present.size());
+      h.session().leave(present[idx]);
+      present.erase(present.begin() + static_cast<std::ptrdiff_t>(idx));
+    }
+  }
+  h.simulator().run_until(t + 3000.0);
+  for (const net::NodeId m : present) {
+    EXPECT_TRUE(h.session().is_member(m));
+    EXPECT_LE((t + 3000.0) - h.session().last_data_at(m), 200.0)
+        << "member " << m;
+  }
+  const auto snapshot = h.session().snapshot_tree();
+  ASSERT_TRUE(snapshot.has_value());
+  ASSERT_NO_THROW(snapshot->validate());
+  EXPECT_EQ(snapshot->member_count(), static_cast<int>(present.size()));
+}
+
+TEST(DistributedRobustness, LinkFlapHeals) {
+  const testing::Fig1Topology fig;
+  SimulationHarness h(fig.graph, fig.S);
+  h.start();
+  h.session().join(fig.D);
+  h.simulator().run_until(1500.0);
+  // Flap the on-tree link a few times; the session must end up healthy.
+  for (int flap = 0; flap < 3; ++flap) {
+    h.network().set_link_up(fig.AD, false);
+    h.simulator().run_until(h.simulator().now() + 1200.0);
+    h.network().set_link_up(fig.AD, true);
+    h.simulator().run_until(h.simulator().now() + 1200.0);
+  }
+  const sim::Time now = h.simulator().now();
+  EXPECT_LE(now - h.session().last_data_at(fig.D), 200.0);
+}
+
+}  // namespace
+}  // namespace smrp::proto

@@ -1,0 +1,142 @@
+// Node-failure recovery (§1 includes incapacitated nodes in the failure
+// model): worst-case node selection and both detour policies around a
+// dead router.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "net/paths.hpp"
+#include "net/waxman.hpp"
+#include "smrp/recovery.hpp"
+#include "smrp/tree_builder.hpp"
+#include "testing_topologies.hpp"
+
+namespace smrp::proto {
+namespace {
+
+using testing::Fig1Topology;
+
+mcast::MulticastTree fig1_tree(const Fig1Topology& fig) {
+  mcast::MulticastTree tree(fig.graph, fig.S);
+  tree.graft(fig.C, {fig.C, fig.A, fig.S});
+  tree.graft(fig.D, {fig.D, fig.A});
+  return tree;
+}
+
+TEST(NodeFailure, WorstCaseNodeIsSourcesChild) {
+  const Fig1Topology fig;
+  const mcast::MulticastTree tree = fig1_tree(fig);
+  EXPECT_EQ(worst_case_failure_node(tree, fig.C), fig.A);
+  EXPECT_EQ(worst_case_failure_node(tree, fig.D), fig.A);
+}
+
+TEST(NodeFailure, LocalDetourRoutesAroundDeadRouter) {
+  const Fig1Topology fig;
+  const mcast::MulticastTree tree = fig1_tree(fig);
+  // A dies: C and D both lose service; survivors = {S}. D's detour must
+  // not touch A.
+  const RecoveryOutcome out =
+      local_detour_recovery(fig.graph, tree, fig.D, Failure::of_node(fig.A));
+  ASSERT_TRUE(out.disconnected);
+  ASSERT_TRUE(out.recovered);
+  EXPECT_EQ(out.reattach_node, fig.S);
+  EXPECT_EQ(out.restoration_path,
+            (std::vector<net::NodeId>{fig.D, fig.B, fig.S}));
+  for (const net::NodeId hop : out.restoration_path) EXPECT_NE(hop, fig.A);
+}
+
+TEST(NodeFailure, GlobalDetourAvoidsDeadRouter) {
+  const Fig1Topology fig;
+  const mcast::MulticastTree tree = fig1_tree(fig);
+  const RecoveryOutcome out =
+      global_detour_recovery(fig.graph, tree, fig.C, Failure::of_node(fig.A));
+  ASSERT_TRUE(out.recovered);
+  for (const net::NodeId hop : out.restoration_path) EXPECT_NE(hop, fig.A);
+  // C's only A-free route runs C–D–B–S; it grafts at the source.
+  EXPECT_EQ(out.reattach_node, fig.S);
+}
+
+TEST(NodeFailure, FailedNodeCannotRecoverItself) {
+  const Fig1Topology fig;
+  const mcast::MulticastTree tree = fig1_tree(fig);
+  EXPECT_THROW(
+      local_detour_recovery(fig.graph, tree, fig.C, Failure::of_node(fig.C)),
+      std::invalid_argument);
+}
+
+TEST(NodeFailure, UnaffectedMemberStaysPut) {
+  const Fig1Topology fig;
+  mcast::MulticastTree tree(fig.graph, fig.S);
+  tree.graft(fig.C, {fig.C, fig.A, fig.S});
+  tree.graft(fig.D, {fig.D, fig.B, fig.S});
+  const RecoveryOutcome out =
+      local_detour_recovery(fig.graph, tree, fig.D, Failure::of_node(fig.A));
+  EXPECT_FALSE(out.disconnected);
+  EXPECT_TRUE(out.recovered);
+}
+
+class NodeFailureProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(NodeFailureProperty, RestorationAvoidsTheDeadNode) {
+  net::Rng rng(GetParam());
+  net::WaxmanParams wax;
+  wax.node_count = 60;
+  auto g = std::make_unique<net::Graph>(net::waxman_graph(wax, rng));
+  SmrpTreeBuilder builder(*g, 0);
+  std::vector<net::NodeId> members;
+  for (int i = 0; i < 15; ++i) {
+    const auto m = static_cast<net::NodeId>(1 + rng.below(59));
+    if (builder.tree().is_member(m)) continue;
+    builder.join(m);
+    members.push_back(m);
+  }
+  for (const net::NodeId m : members) {
+    const net::NodeId dead = worst_case_failure_node(builder.tree(), m);
+    if (dead == m) continue;
+    const auto survivors = builder.tree().surviving_after_node(dead);
+    for (const bool local : {true, false}) {
+      const Failure failure = Failure::of_node(dead);
+      const RecoveryOutcome out =
+          local ? local_detour_recovery(*g, builder.tree(), m, failure)
+                : global_detour_recovery(*g, builder.tree(), m, failure);
+      ASSERT_TRUE(out.disconnected);
+      if (!out.recovered) continue;
+      for (const net::NodeId hop : out.restoration_path) {
+        ASSERT_NE(hop, dead);
+      }
+      ASSERT_TRUE(survivors[static_cast<std::size_t>(out.reattach_node)]);
+      ASSERT_NEAR(out.recovery_distance,
+                  net::path_weight(*g, out.restoration_path), 1e-9);
+    }
+  }
+}
+
+TEST_P(NodeFailureProperty, NodeFailureDisconnectsAtLeastAsMuchAsItsLinks) {
+  net::Rng rng(GetParam() ^ 0x77);
+  net::WaxmanParams wax;
+  wax.node_count = 50;
+  auto g = std::make_unique<net::Graph>(net::waxman_graph(wax, rng));
+  SmrpTreeBuilder builder(*g, 0);
+  for (int i = 0; i < 12; ++i) {
+    builder.join(static_cast<net::NodeId>(1 + rng.below(49)));
+  }
+  const auto& tree = builder.tree();
+  for (const net::NodeId n : tree.on_tree_nodes()) {
+    if (n == tree.source()) continue;
+    const auto by_node = tree.surviving_after_node(n);
+    const auto by_link = tree.surviving_after_link(tree.parent_link(n));
+    for (net::NodeId v = 0; v < g->node_count(); ++v) {
+      // Everything the parent-link cut kills, the node failure kills too.
+      if (!by_link[static_cast<std::size_t>(v)]) {
+        ASSERT_FALSE(by_node[static_cast<std::size_t>(v)] && v != n)
+            << "node " << n << " victim " << v;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NodeFailureProperty,
+                         ::testing::Values(3, 6, 9, 12, 15));
+
+}  // namespace
+}  // namespace smrp::proto

@@ -1,0 +1,172 @@
+#include "smrp/path_selection.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/paths.hpp"
+#include "net/waxman.hpp"
+#include "smrp/tree_builder.hpp"
+#include "testing_topologies.hpp"
+
+namespace smrp::proto {
+namespace {
+
+using testing::Fig1Topology;
+using testing::Fig4Topology;
+
+mcast::MulticastTree fig1_tree(const Fig1Topology& fig) {
+  mcast::MulticastTree tree(fig.graph, fig.S);
+  tree.graft(fig.C, {fig.C, fig.A, fig.S});
+  tree.graft(fig.D, {fig.D, fig.A});
+  return tree;
+}
+
+TEST(EnumerateCandidates, OneCandidatePerReachableMergeNode) {
+  const Fig1Topology fig;
+  const mcast::MulticastTree tree = fig1_tree(fig);
+  SmrpConfig config;
+  const double spf = 2.0;  // S–B = 1 then B... B joins: SPF(S,B) = 1
+  const auto candidates =
+      enumerate_candidates(fig.graph, tree, fig.B, 1.0, config);
+  // B can reach S directly and D directly; A and C only through other
+  // on-tree nodes (avoid-tree mode forbids that).
+  ASSERT_EQ(candidates.size(), 2u);
+  (void)spf;
+  for (const auto& c : candidates) {
+    EXPECT_TRUE(c.merge_node == fig.S || c.merge_node == fig.D);
+    EXPECT_EQ(c.graft.front(), fig.B);
+    EXPECT_EQ(c.graft.back(), c.merge_node);
+  }
+}
+
+TEST(EnumerateCandidates, GraftNeverCrossesTreeEarly) {
+  const Fig4Topology fig;
+  mcast::MulticastTree tree(fig.graph, fig.S);
+  tree.graft(fig.E, {fig.E, fig.D, fig.A, fig.S});
+  SmrpConfig config;
+  const auto candidates =
+      enumerate_candidates(fig.graph, tree, fig.G, 5.0, config);
+  for (const auto& c : candidates) {
+    for (std::size_t i = 0; i + 1 < c.graft.size(); ++i) {
+      EXPECT_FALSE(tree.on_tree(c.graft[i]) && c.graft[i] != fig.G)
+          << "graft to " << c.merge_node << " crosses the tree early";
+    }
+    EXPECT_NEAR(net::path_weight(fig.graph, c.graft), c.graft_delay, 1e-9);
+    EXPECT_NEAR(c.total_delay,
+                c.graft_delay + tree.delay_to_source(c.merge_node), 1e-9);
+  }
+}
+
+TEST(EnumerateCandidates, OnTreeJoinerJoinsInPlace) {
+  const Fig1Topology fig;
+  const mcast::MulticastTree tree = fig1_tree(fig);
+  SmrpConfig config;
+  const auto candidates =
+      enumerate_candidates(fig.graph, tree, fig.A, 1.0, config);
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0].merge_node, fig.A);
+  EXPECT_EQ(candidates[0].graft, (std::vector<net::NodeId>{fig.A}));
+  EXPECT_DOUBLE_EQ(candidates[0].graft_delay, 0.0);
+}
+
+TEST(SelectPath, PicksMinimumShr) {
+  SmrpConfig config;
+  std::vector<JoinCandidate> candidates(2);
+  candidates[0].merge_node = 1;
+  candidates[0].shr = 5;
+  candidates[0].total_delay = 1.0;
+  candidates[0].within_bound = true;
+  candidates[1].merge_node = 2;
+  candidates[1].shr = 2;
+  candidates[1].total_delay = 3.0;
+  candidates[1].within_bound = true;
+  const auto sel = select_path(candidates, 10.0, config);
+  ASSERT_TRUE(sel.has_value());
+  EXPECT_EQ(sel->chosen.merge_node, 2);
+  EXPECT_FALSE(sel->used_fallback);
+}
+
+TEST(SelectPath, BreaksShrTiesByDelay) {
+  SmrpConfig config;
+  std::vector<JoinCandidate> candidates(2);
+  candidates[0].merge_node = 1;
+  candidates[0].shr = 2;
+  candidates[0].total_delay = 4.0;
+  candidates[0].within_bound = true;
+  candidates[1].merge_node = 2;
+  candidates[1].shr = 2;
+  candidates[1].total_delay = 3.0;
+  candidates[1].within_bound = true;
+  const auto sel = select_path(candidates, 10.0, config);
+  ASSERT_TRUE(sel.has_value());
+  EXPECT_EQ(sel->chosen.merge_node, 2);
+}
+
+TEST(SelectPath, FallsBackToMinDelayWhenNothingFits) {
+  SmrpConfig config;
+  std::vector<JoinCandidate> candidates(2);
+  candidates[0].merge_node = 1;
+  candidates[0].shr = 0;
+  candidates[0].total_delay = 9.0;
+  candidates[0].within_bound = false;
+  candidates[1].merge_node = 2;
+  candidates[1].shr = 7;
+  candidates[1].total_delay = 8.0;
+  candidates[1].within_bound = false;
+  const auto sel = select_path(candidates, 1.0, config);
+  ASSERT_TRUE(sel.has_value());
+  EXPECT_TRUE(sel->used_fallback);
+  EXPECT_EQ(sel->chosen.merge_node, 2);  // min delay, SHR ignored
+}
+
+TEST(SelectPath, FallbackCanBeDisabled) {
+  SmrpConfig config;
+  config.fallback_when_infeasible = false;
+  std::vector<JoinCandidate> candidates(1);
+  candidates[0].within_bound = false;
+  EXPECT_FALSE(select_path(candidates, 1.0, config).has_value());
+  EXPECT_FALSE(select_path({}, 1.0, config).has_value());
+}
+
+TEST(SelectPath, EmptyCandidateListYieldsNothing) {
+  SmrpConfig config;
+  EXPECT_FALSE(select_path({}, 1.0, config).has_value());
+}
+
+// The criterion as a whole, on random instances: the chosen merge node
+// must have minimal SHR among bound-satisfying candidates.
+class SelectionProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SelectionProperty, ChosenMergeMinimisesShrWithinBound) {
+  net::Rng rng(GetParam());
+  net::WaxmanParams wax;
+  wax.node_count = 40;
+  const net::Graph g = net::waxman_graph(wax, rng);
+  SmrpConfig config;
+  SmrpTreeBuilder builder(g, 0, config);
+  for (int i = 0; i < 12; ++i) {
+    const auto member = static_cast<net::NodeId>(1 + rng.below(39));
+    if (builder.tree().is_member(member)) continue;
+
+    const auto candidates = enumerate_candidates(
+        g, builder.tree(), member, builder.spf_delay(member), config);
+    const auto sel =
+        select_path(candidates, builder.spf_delay(member), config);
+    ASSERT_TRUE(sel.has_value());
+    if (!sel->used_fallback) {
+      for (const auto& c : candidates) {
+        if (!c.within_bound) continue;
+        ASSERT_GE(c.shr, sel->chosen.shr);
+      }
+      ASSERT_LE(sel->chosen.total_delay,
+                (1.0 + config.d_thresh) * builder.spf_delay(member) + 1e-6);
+    }
+    builder.join(member);
+    builder.tree().validate();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SelectionProperty,
+                         ::testing::Values(7, 14, 21, 28, 35));
+
+}  // namespace
+}  // namespace smrp::proto

@@ -1,0 +1,217 @@
+// Whole-session repair (repair_session) and multi-failure sequences.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "eval/failure_sequence.hpp"
+#include "net/waxman.hpp"
+#include "smrp/recovery.hpp"
+#include "smrp/tree_builder.hpp"
+#include "testing_topologies.hpp"
+
+namespace smrp::proto {
+namespace {
+
+using testing::Fig1Topology;
+
+mcast::MulticastTree fig1_tree(const Fig1Topology& fig) {
+  mcast::MulticastTree tree(fig.graph, fig.S);
+  tree.graft(fig.C, {fig.C, fig.A, fig.S});
+  tree.graft(fig.D, {fig.D, fig.A});
+  return tree;
+}
+
+TEST(RepairSession, RepairsEveryVictimOfAWorstCaseCut) {
+  const Fig1Topology fig;
+  mcast::MulticastTree tree = fig1_tree(fig);
+  const SessionRepairReport report = repair_session(
+      fig.graph, tree, Failure::of_link(fig.SA), DetourPolicy::kLocal);
+  EXPECT_EQ(report.disconnected_members, 2);
+  EXPECT_EQ(report.repaired_members, 2);
+  EXPECT_EQ(report.unrecoverable_members, 0);
+  tree.validate();
+  EXPECT_TRUE(tree.is_member(fig.C));
+  EXPECT_TRUE(tree.is_member(fig.D));
+  for (const net::LinkId l : tree.tree_links()) EXPECT_NE(l, fig.SA);
+}
+
+TEST(RepairSession, NearestFirstOrderAndNeighborAssist) {
+  const Fig1Topology fig;
+  mcast::MulticastTree tree = fig1_tree(fig);
+  const SessionRepairReport report = repair_session(
+      fig.graph, tree, Failure::of_link(fig.SA), DetourPolicy::kLocal);
+  // Round 1: with L_SA dead, C's best detour costs 5 (C–D–B–S) while D's
+  // costs 3 (D–B–S), so D repairs first. Round 2: D's restored branch
+  // assists C, whose repair is now just C–D at cost 2 — cheaper than any
+  // option it had alone. This is the neighbor-assisted recovery of §1.
+  ASSERT_EQ(report.outcomes.size(), 2u);
+  EXPECT_EQ(report.outcomes[0].member, fig.D);
+  EXPECT_DOUBLE_EQ(report.outcomes[0].recovery_distance, 3.0);
+  EXPECT_EQ(report.outcomes[1].member, fig.C);
+  EXPECT_DOUBLE_EQ(report.outcomes[1].recovery_distance, 2.0);
+  EXPECT_EQ(report.outcomes[1].reattach_node, fig.D);
+}
+
+TEST(RepairSession, GlobalPolicyAlsoHeals) {
+  const Fig1Topology fig;
+  mcast::MulticastTree tree = fig1_tree(fig);
+  const SessionRepairReport report = repair_session(
+      fig.graph, tree, Failure::of_link(fig.SA), DetourPolicy::kGlobal);
+  EXPECT_EQ(report.repaired_members, 2);
+  tree.validate();
+}
+
+TEST(RepairSession, NodeFailureRepair) {
+  const Fig1Topology fig;
+  mcast::MulticastTree tree = fig1_tree(fig);
+  const SessionRepairReport report = repair_session(
+      fig.graph, tree, Failure::of_node(fig.A), DetourPolicy::kLocal);
+  EXPECT_EQ(report.disconnected_members, 2);
+  EXPECT_EQ(report.repaired_members, 2);
+  tree.validate();
+  // Nothing may route through the dead router A.
+  EXPECT_FALSE(tree.on_tree(fig.A));
+  for (const net::NodeId m : {fig.C, fig.D}) {
+    for (const net::NodeId hop : tree.path_to_source(m)) {
+      EXPECT_NE(hop, fig.A);
+    }
+  }
+}
+
+TEST(RepairSession, CountsUnrecoverableMembers) {
+  // Chain 0–1–2: cutting 1–2 strands member 2 permanently.
+  net::Graph g(3);
+  g.add_link(0, 1, 1.0);
+  const net::LinkId last = g.add_link(1, 2, 1.0);
+  mcast::MulticastTree tree(g, 0);
+  tree.graft(2, {2, 1, 0});
+  const SessionRepairReport report =
+      repair_session(g, tree, Failure::of_link(last));
+  EXPECT_EQ(report.disconnected_members, 1);
+  EXPECT_EQ(report.repaired_members, 0);
+  EXPECT_EQ(report.unrecoverable_members, 1);
+  tree.validate();
+  EXPECT_EQ(tree.member_count(), 0);
+}
+
+TEST(RepairSession, RespectsPreviouslyFailedLinks) {
+  const Fig1Topology fig;
+  mcast::MulticastTree tree = fig1_tree(fig);
+  // With C–D already dead, D's local detour after losing A–D cannot use
+  // it and must fall back to D–B–S.
+  net::ExclusionSet dead(fig.graph);
+  dead.ban_link(fig.CD);
+  const SessionRepairReport report = repair_session(
+      fig.graph, tree, Failure::of_link(fig.AD), DetourPolicy::kLocal, &dead);
+  ASSERT_EQ(report.repaired_members, 1);
+  EXPECT_EQ(report.outcomes[0].restoration_path,
+            (std::vector<net::NodeId>{fig.D, fig.B, fig.S}));
+}
+
+TEST(SeverNode, DropsSubtreeAndReportsRecoverableMembers) {
+  const Fig1Topology fig;
+  mcast::MulticastTree tree = fig1_tree(fig);
+  const auto lost = tree.sever_node(fig.A);
+  tree.validate();
+  EXPECT_EQ(lost, (std::vector<net::NodeId>{fig.C, fig.D}));
+  EXPECT_FALSE(tree.on_tree(fig.A));
+  EXPECT_EQ(tree.member_count(), 0);
+}
+
+TEST(SeverNode, DeadMemberIsNotListedForRecovery) {
+  const Fig1Topology fig;
+  mcast::MulticastTree tree = fig1_tree(fig);
+  const auto lost = tree.sever_node(fig.C);  // a member dies itself
+  tree.validate();
+  EXPECT_TRUE(lost.empty());
+  EXPECT_EQ(tree.member_count(), 1);  // D keeps its service
+  EXPECT_TRUE(tree.is_member(fig.D));
+}
+
+TEST(SeverNode, OffTreeNodeIsNoOp) {
+  const Fig1Topology fig;
+  mcast::MulticastTree tree = fig1_tree(fig);
+  EXPECT_TRUE(tree.sever_node(fig.B).empty());
+  EXPECT_EQ(tree.member_count(), 2);
+}
+
+class RepairSessionProperty : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(RepairSessionProperty, TreeValidAndFailureFreeAfterEveryRepair) {
+  net::Rng rng(GetParam());
+  net::WaxmanParams wax;
+  wax.node_count = 60;
+  auto g = std::make_unique<net::Graph>(net::waxman_graph(wax, rng));
+  SmrpTreeBuilder builder(*g, 0);
+  for (int i = 0; i < 15; ++i) {
+    builder.join(static_cast<net::NodeId>(1 + rng.below(59)));
+  }
+  mcast::MulticastTree tree = builder.tree();
+  const int members_before = tree.member_count();
+
+  // Fail the busiest source-incident link.
+  net::LinkId victim = net::kNoLink;
+  int worst = -1;
+  for (const net::NodeId child : tree.children(0)) {
+    if (tree.subtree_members(child) > worst) {
+      worst = tree.subtree_members(child);
+      victim = tree.parent_link(child);
+    }
+  }
+  ASSERT_NE(victim, net::kNoLink);
+  const SessionRepairReport report =
+      repair_session(*g, tree, Failure::of_link(victim));
+  tree.validate();
+  EXPECT_EQ(report.disconnected_members,
+            report.repaired_members + report.unrecoverable_members);
+  EXPECT_EQ(tree.member_count(),
+            members_before - report.unrecoverable_members);
+  for (const net::LinkId l : tree.tree_links()) EXPECT_NE(l, victim);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RepairSessionProperty,
+                         ::testing::Values(10, 20, 30, 40));
+
+}  // namespace
+}  // namespace smrp::proto
+
+namespace smrp::eval {
+namespace {
+
+TEST(FailureSequence, RunsAndStaysConsistent) {
+  FailureSequenceParams params;
+  params.scenario.node_count = 60;
+  params.scenario.group_size = 12;
+  params.failures = 4;
+  net::Rng rng(99);
+  const FailureSequenceResult r = run_failure_sequence(params, rng);
+  EXPECT_LE(static_cast<int>(r.steps.size()), 4);
+  EXPECT_GE(r.final_members_smrp, 0);
+  double total = 0.0;
+  for (const FailureStep& s : r.steps) {
+    EXPECT_GE(s.rd_smrp, 0.0);
+    EXPECT_GE(s.lost_smrp, 0);
+    total += s.rd_smrp;
+  }
+  EXPECT_DOUBLE_EQ(total, r.total_rd_smrp);
+}
+
+TEST(FailureSequence, DeterministicUnderSeed) {
+  FailureSequenceParams params;
+  params.scenario.node_count = 50;
+  params.scenario.group_size = 10;
+  params.failures = 3;
+  net::Rng a(7);
+  net::Rng b(7);
+  const FailureSequenceResult ra = run_failure_sequence(params, a);
+  const FailureSequenceResult rb = run_failure_sequence(params, b);
+  ASSERT_EQ(ra.steps.size(), rb.steps.size());
+  for (std::size_t i = 0; i < ra.steps.size(); ++i) {
+    EXPECT_EQ(ra.steps[i].failed_link, rb.steps[i].failed_link);
+    EXPECT_DOUBLE_EQ(ra.steps[i].rd_smrp, rb.steps[i].rd_smrp);
+  }
+}
+
+}  // namespace
+}  // namespace smrp::eval

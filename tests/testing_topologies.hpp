@@ -1,0 +1,94 @@
+// Shared fixture topologies, including concrete realisations of the
+// paper's illustrative figures. Node letters map to dense ids.
+#pragma once
+
+#include "net/graph.hpp"
+
+namespace smrp::testing {
+
+using net::Graph;
+using net::NodeId;
+
+/// Figure 1/2 topology (5 nodes). Weights are chosen so that every claim
+/// the paper makes about the figure holds:
+///  * SPF multicast tree for members {C, D}: S–A–C and S–A–D,
+///  * SHR(S,C) = 3 on that tree (Eq. 1 example in §3.1),
+///  * after L_AD fails, D's local detour is D→C (RD = 2) and the
+///    SPF/global detour is D→B→S (RD = 3, longer),
+///  * the disjoint Figure-2 tree routes D via B.
+struct Fig1Topology {
+  static constexpr NodeId S = 0;
+  static constexpr NodeId A = 1;
+  static constexpr NodeId B = 2;
+  static constexpr NodeId C = 3;
+  static constexpr NodeId D = 4;
+
+  Graph graph{5};
+  net::LinkId SA, SB, AC, AD, BD, CD;
+
+  Fig1Topology() {
+    SA = graph.add_link(S, A, 1.0);
+    SB = graph.add_link(S, B, 1.0);
+    AC = graph.add_link(A, C, 1.0);
+    AD = graph.add_link(A, D, 1.0);
+    BD = graph.add_link(B, D, 2.0);
+    CD = graph.add_link(C, D, 2.0);
+  }
+};
+
+/// Figure 4/5 topology (8 nodes). Weights are chosen so that the paper's
+/// entire join-and-reshape walkthrough holds with D_thresh = 0.3:
+///  * E (first member) joins along its SPF path E→D→A→S; SHR(S,D) = 2,
+///  * G prefers merging at the source via G→B→S (SHR 0) even though
+///    G→F→D→A→S is shorter end-to-end,
+///  * F joins F→D→A→S; F→B→S and F→G→B→S break the delay bound;
+///    afterwards SHR(S,D) = 4,
+///  * E's Condition-I reshape then moves it to E→C→A→S (merge node A).
+struct Fig4Topology {
+  static constexpr NodeId S = 0;
+  static constexpr NodeId A = 1;
+  static constexpr NodeId B = 2;
+  static constexpr NodeId C = 3;
+  static constexpr NodeId D = 4;
+  static constexpr NodeId E = 5;
+  static constexpr NodeId F = 6;
+  static constexpr NodeId G = 7;
+
+  Graph graph{8};
+  net::LinkId SA, AD, DE, DF, FG, GB, BS, AC, CE, FB;
+
+  Fig4Topology() {
+    SA = graph.add_link(S, A, 2.0);
+    AD = graph.add_link(A, D, 1.0);
+    DE = graph.add_link(D, E, 1.0);
+    DF = graph.add_link(D, F, 1.0);
+    FG = graph.add_link(F, G, 1.0);
+    GB = graph.add_link(G, B, 3.0);
+    BS = graph.add_link(B, S, 3.0);
+    AC = graph.add_link(A, C, 1.0);
+    CE = graph.add_link(C, E, 1.2);
+    FB = graph.add_link(F, B, 4.0);
+  }
+};
+
+/// A 3x3 grid with unit weights: predictable shortest paths for exercising
+/// algorithms where hand-checking matters.
+///
+///   0 - 1 - 2
+///   |   |   |
+///   3 - 4 - 5
+///   |   |   |
+///   6 - 7 - 8
+inline Graph grid3x3() {
+  Graph g(9);
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      const NodeId n = r * 3 + c;
+      if (c < 2) g.add_link(n, n + 1, 1.0);
+      if (r < 2) g.add_link(n, n + 3, 1.0);
+    }
+  }
+  return g;
+}
+
+}  // namespace smrp::testing
