@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_graft_mode"
+  "../bench/bench_ablation_graft_mode.pdb"
+  "CMakeFiles/bench_ablation_graft_mode.dir/bench_ablation_graft_mode.cpp.o"
+  "CMakeFiles/bench_ablation_graft_mode.dir/bench_ablation_graft_mode.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_graft_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_local_on_spf"
+  "../bench/bench_ablation_local_on_spf.pdb"
+  "CMakeFiles/bench_ablation_local_on_spf.dir/bench_ablation_local_on_spf.cpp.o"
+  "CMakeFiles/bench_ablation_local_on_spf.dir/bench_ablation_local_on_spf.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_local_on_spf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_ablation_local_on_spf.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_query"
+  "../bench/bench_ablation_query.pdb"
+  "CMakeFiles/bench_ablation_query.dir/bench_ablation_query.cpp.o"
+  "CMakeFiles/bench_ablation_query.dir/bench_ablation_query.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

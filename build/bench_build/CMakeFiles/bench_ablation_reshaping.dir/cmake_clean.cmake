@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_reshaping"
+  "../bench/bench_ablation_reshaping.pdb"
+  "CMakeFiles/bench_ablation_reshaping.dir/bench_ablation_reshaping.cpp.o"
+  "CMakeFiles/bench_ablation_reshaping.dir/bench_ablation_reshaping.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_reshaping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

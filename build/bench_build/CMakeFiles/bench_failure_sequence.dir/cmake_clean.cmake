@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_failure_sequence"
+  "../bench/bench_failure_sequence.pdb"
+  "CMakeFiles/bench_failure_sequence.dir/bench_failure_sequence.cpp.o"
+  "CMakeFiles/bench_failure_sequence.dir/bench_failure_sequence.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_failure_sequence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_dthresh"
+  "../bench/bench_fig8_dthresh.pdb"
+  "CMakeFiles/bench_fig8_dthresh.dir/bench_fig8_dthresh.cpp.o"
+  "CMakeFiles/bench_fig8_dthresh.dir/bench_fig8_dthresh.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_dthresh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_node_failure"
+  "../bench/bench_node_failure.pdb"
+  "CMakeFiles/bench_node_failure.dir/bench_node_failure.cpp.o"
+  "CMakeFiles/bench_node_failure.dir/bench_node_failure.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_node_failure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_redundant_trees"
+  "../bench/bench_redundant_trees.pdb"
+  "CMakeFiles/bench_redundant_trees.dir/bench_redundant_trees.cpp.o"
+  "CMakeFiles/bench_redundant_trees.dir/bench_redundant_trees.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_redundant_trees.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_restoration_time"
+  "../bench/bench_restoration_time.pdb"
+  "CMakeFiles/bench_restoration_time.dir/bench_restoration_time.cpp.o"
+  "CMakeFiles/bench_restoration_time.dir/bench_restoration_time.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_restoration_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_topology_models"
+  "../bench/bench_topology_models.pdb"
+  "CMakeFiles/bench_topology_models.dir/bench_topology_models.cpp.o"
+  "CMakeFiles/bench_topology_models.dir/bench_topology_models.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_topology_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hierarchical_domains.dir/hierarchical_domains.cpp.o"
+  "CMakeFiles/hierarchical_domains.dir/hierarchical_domains.cpp.o.d"
+  "hierarchical_domains"
+  "hierarchical_domains.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hierarchical_domains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

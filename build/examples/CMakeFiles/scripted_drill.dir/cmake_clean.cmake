@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scripted_drill.dir/scripted_drill.cpp.o"
+  "CMakeFiles/scripted_drill.dir/scripted_drill.cpp.o.d"
+  "scripted_drill"
+  "scripted_drill.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scripted_drill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

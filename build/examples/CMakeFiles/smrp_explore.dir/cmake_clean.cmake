@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smrp_explore.dir/smrp_explore.cpp.o"
+  "CMakeFiles/smrp_explore.dir/smrp_explore.cpp.o.d"
+  "smrp_explore"
+  "smrp_explore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smrp_explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/video_conference.cpp" "examples/CMakeFiles/video_conference.dir/video_conference.cpp.o" "gcc" "examples/CMakeFiles/video_conference.dir/video_conference.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/smrp_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/smrp/CMakeFiles/smrp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/spf/CMakeFiles/smrp_spf.dir/DependInfo.cmake"
+  "/root/repo/build/src/hier/CMakeFiles/smrp_hier.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/smrp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/multicast/CMakeFiles/smrp_multicast.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/smrp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/smrp_routing.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

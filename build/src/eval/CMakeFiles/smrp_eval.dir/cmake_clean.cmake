@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smrp_eval.dir/failure_sequence.cpp.o"
+  "CMakeFiles/smrp_eval.dir/failure_sequence.cpp.o.d"
+  "CMakeFiles/smrp_eval.dir/scenario.cpp.o"
+  "CMakeFiles/smrp_eval.dir/scenario.cpp.o.d"
+  "CMakeFiles/smrp_eval.dir/script.cpp.o"
+  "CMakeFiles/smrp_eval.dir/script.cpp.o.d"
+  "CMakeFiles/smrp_eval.dir/stats.cpp.o"
+  "CMakeFiles/smrp_eval.dir/stats.cpp.o.d"
+  "CMakeFiles/smrp_eval.dir/table.cpp.o"
+  "CMakeFiles/smrp_eval.dir/table.cpp.o.d"
+  "libsmrp_eval.a"
+  "libsmrp_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smrp_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

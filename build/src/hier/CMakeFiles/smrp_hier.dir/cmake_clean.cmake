@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smrp_hier.dir/hierarchical.cpp.o"
+  "CMakeFiles/smrp_hier.dir/hierarchical.cpp.o.d"
+  "CMakeFiles/smrp_hier.dir/subgraph.cpp.o"
+  "CMakeFiles/smrp_hier.dir/subgraph.cpp.o.d"
+  "libsmrp_hier.a"
+  "libsmrp_hier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smrp_hier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/multicast/dot_export.cpp" "src/multicast/CMakeFiles/smrp_multicast.dir/dot_export.cpp.o" "gcc" "src/multicast/CMakeFiles/smrp_multicast.dir/dot_export.cpp.o.d"
+  "/root/repo/src/multicast/metrics.cpp" "src/multicast/CMakeFiles/smrp_multicast.dir/metrics.cpp.o" "gcc" "src/multicast/CMakeFiles/smrp_multicast.dir/metrics.cpp.o.d"
+  "/root/repo/src/multicast/tree.cpp" "src/multicast/CMakeFiles/smrp_multicast.dir/tree.cpp.o" "gcc" "src/multicast/CMakeFiles/smrp_multicast.dir/tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/smrp_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smrp_multicast.dir/dot_export.cpp.o"
+  "CMakeFiles/smrp_multicast.dir/dot_export.cpp.o.d"
+  "CMakeFiles/smrp_multicast.dir/metrics.cpp.o"
+  "CMakeFiles/smrp_multicast.dir/metrics.cpp.o.d"
+  "CMakeFiles/smrp_multicast.dir/tree.cpp.o"
+  "CMakeFiles/smrp_multicast.dir/tree.cpp.o.d"
+  "libsmrp_multicast.a"
+  "libsmrp_multicast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smrp_multicast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

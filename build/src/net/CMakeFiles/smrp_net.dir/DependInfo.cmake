@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/graph.cpp" "src/net/CMakeFiles/smrp_net.dir/graph.cpp.o" "gcc" "src/net/CMakeFiles/smrp_net.dir/graph.cpp.o.d"
+  "/root/repo/src/net/paths.cpp" "src/net/CMakeFiles/smrp_net.dir/paths.cpp.o" "gcc" "src/net/CMakeFiles/smrp_net.dir/paths.cpp.o.d"
+  "/root/repo/src/net/random_graphs.cpp" "src/net/CMakeFiles/smrp_net.dir/random_graphs.cpp.o" "gcc" "src/net/CMakeFiles/smrp_net.dir/random_graphs.cpp.o.d"
+  "/root/repo/src/net/shortest_path.cpp" "src/net/CMakeFiles/smrp_net.dir/shortest_path.cpp.o" "gcc" "src/net/CMakeFiles/smrp_net.dir/shortest_path.cpp.o.d"
+  "/root/repo/src/net/transit_stub.cpp" "src/net/CMakeFiles/smrp_net.dir/transit_stub.cpp.o" "gcc" "src/net/CMakeFiles/smrp_net.dir/transit_stub.cpp.o.d"
+  "/root/repo/src/net/waxman.cpp" "src/net/CMakeFiles/smrp_net.dir/waxman.cpp.o" "gcc" "src/net/CMakeFiles/smrp_net.dir/waxman.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smrp_net.dir/graph.cpp.o"
+  "CMakeFiles/smrp_net.dir/graph.cpp.o.d"
+  "CMakeFiles/smrp_net.dir/paths.cpp.o"
+  "CMakeFiles/smrp_net.dir/paths.cpp.o.d"
+  "CMakeFiles/smrp_net.dir/random_graphs.cpp.o"
+  "CMakeFiles/smrp_net.dir/random_graphs.cpp.o.d"
+  "CMakeFiles/smrp_net.dir/shortest_path.cpp.o"
+  "CMakeFiles/smrp_net.dir/shortest_path.cpp.o.d"
+  "CMakeFiles/smrp_net.dir/transit_stub.cpp.o"
+  "CMakeFiles/smrp_net.dir/transit_stub.cpp.o.d"
+  "CMakeFiles/smrp_net.dir/waxman.cpp.o"
+  "CMakeFiles/smrp_net.dir/waxman.cpp.o.d"
+  "libsmrp_net.a"
+  "libsmrp_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smrp_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

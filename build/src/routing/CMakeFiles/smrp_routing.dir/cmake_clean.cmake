@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smrp_routing.dir/link_state.cpp.o"
+  "CMakeFiles/smrp_routing.dir/link_state.cpp.o.d"
+  "libsmrp_routing.a"
+  "libsmrp_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smrp_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

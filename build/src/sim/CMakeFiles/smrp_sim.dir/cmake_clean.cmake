@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smrp_sim.dir/network.cpp.o"
+  "CMakeFiles/smrp_sim.dir/network.cpp.o.d"
+  "CMakeFiles/smrp_sim.dir/simulator.cpp.o"
+  "CMakeFiles/smrp_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/smrp_sim.dir/trace.cpp.o"
+  "CMakeFiles/smrp_sim.dir/trace.cpp.o.d"
+  "libsmrp_sim.a"
+  "libsmrp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smrp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

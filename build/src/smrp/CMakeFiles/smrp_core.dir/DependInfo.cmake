@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/smrp/distributed.cpp" "src/smrp/CMakeFiles/smrp_core.dir/distributed.cpp.o" "gcc" "src/smrp/CMakeFiles/smrp_core.dir/distributed.cpp.o.d"
+  "/root/repo/src/smrp/path_selection.cpp" "src/smrp/CMakeFiles/smrp_core.dir/path_selection.cpp.o" "gcc" "src/smrp/CMakeFiles/smrp_core.dir/path_selection.cpp.o.d"
+  "/root/repo/src/smrp/query_scheme.cpp" "src/smrp/CMakeFiles/smrp_core.dir/query_scheme.cpp.o" "gcc" "src/smrp/CMakeFiles/smrp_core.dir/query_scheme.cpp.o.d"
+  "/root/repo/src/smrp/recovery.cpp" "src/smrp/CMakeFiles/smrp_core.dir/recovery.cpp.o" "gcc" "src/smrp/CMakeFiles/smrp_core.dir/recovery.cpp.o.d"
+  "/root/repo/src/smrp/tree_builder.cpp" "src/smrp/CMakeFiles/smrp_core.dir/tree_builder.cpp.o" "gcc" "src/smrp/CMakeFiles/smrp_core.dir/tree_builder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/smrp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/multicast/CMakeFiles/smrp_multicast.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/smrp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/smrp_routing.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

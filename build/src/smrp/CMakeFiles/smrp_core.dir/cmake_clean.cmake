@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smrp_core.dir/distributed.cpp.o"
+  "CMakeFiles/smrp_core.dir/distributed.cpp.o.d"
+  "CMakeFiles/smrp_core.dir/path_selection.cpp.o"
+  "CMakeFiles/smrp_core.dir/path_selection.cpp.o.d"
+  "CMakeFiles/smrp_core.dir/query_scheme.cpp.o"
+  "CMakeFiles/smrp_core.dir/query_scheme.cpp.o.d"
+  "CMakeFiles/smrp_core.dir/recovery.cpp.o"
+  "CMakeFiles/smrp_core.dir/recovery.cpp.o.d"
+  "CMakeFiles/smrp_core.dir/tree_builder.cpp.o"
+  "CMakeFiles/smrp_core.dir/tree_builder.cpp.o.d"
+  "libsmrp_core.a"
+  "libsmrp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smrp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

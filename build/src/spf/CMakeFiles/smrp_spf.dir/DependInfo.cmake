@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spf/dual_tree_builder.cpp" "src/spf/CMakeFiles/smrp_spf.dir/dual_tree_builder.cpp.o" "gcc" "src/spf/CMakeFiles/smrp_spf.dir/dual_tree_builder.cpp.o.d"
+  "/root/repo/src/spf/spf_tree_builder.cpp" "src/spf/CMakeFiles/smrp_spf.dir/spf_tree_builder.cpp.o" "gcc" "src/spf/CMakeFiles/smrp_spf.dir/spf_tree_builder.cpp.o.d"
+  "/root/repo/src/spf/steiner_tree_builder.cpp" "src/spf/CMakeFiles/smrp_spf.dir/steiner_tree_builder.cpp.o" "gcc" "src/spf/CMakeFiles/smrp_spf.dir/steiner_tree_builder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/smrp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/multicast/CMakeFiles/smrp_multicast.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smrp_spf.dir/dual_tree_builder.cpp.o"
+  "CMakeFiles/smrp_spf.dir/dual_tree_builder.cpp.o.d"
+  "CMakeFiles/smrp_spf.dir/spf_tree_builder.cpp.o"
+  "CMakeFiles/smrp_spf.dir/spf_tree_builder.cpp.o.d"
+  "CMakeFiles/smrp_spf.dir/steiner_tree_builder.cpp.o"
+  "CMakeFiles/smrp_spf.dir/steiner_tree_builder.cpp.o.d"
+  "libsmrp_spf.a"
+  "libsmrp_spf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smrp_spf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsmrp_spf.a"
+)

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_eval.dir/eval/test_scenario.cpp.o"
+  "CMakeFiles/test_eval.dir/eval/test_scenario.cpp.o.d"
+  "CMakeFiles/test_eval.dir/eval/test_script.cpp.o"
+  "CMakeFiles/test_eval.dir/eval/test_script.cpp.o.d"
+  "CMakeFiles/test_eval.dir/eval/test_stats.cpp.o"
+  "CMakeFiles/test_eval.dir/eval/test_stats.cpp.o.d"
+  "CMakeFiles/test_eval.dir/eval/test_table.cpp.o"
+  "CMakeFiles/test_eval.dir/eval/test_table.cpp.o.d"
+  "test_eval"
+  "test_eval.pdb"
+  "test_eval[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hier.dir/hier/test_hierarchical.cpp.o"
+  "CMakeFiles/test_hier.dir/hier/test_hierarchical.cpp.o.d"
+  "CMakeFiles/test_hier.dir/hier/test_subgraph.cpp.o"
+  "CMakeFiles/test_hier.dir/hier/test_subgraph.cpp.o.d"
+  "test_hier"
+  "test_hier.pdb"
+  "test_hier[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

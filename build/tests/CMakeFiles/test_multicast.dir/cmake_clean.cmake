@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multicast.dir/multicast/test_dot_export.cpp.o"
+  "CMakeFiles/test_multicast.dir/multicast/test_dot_export.cpp.o.d"
+  "CMakeFiles/test_multicast.dir/multicast/test_metrics.cpp.o"
+  "CMakeFiles/test_multicast.dir/multicast/test_metrics.cpp.o.d"
+  "CMakeFiles/test_multicast.dir/multicast/test_tree.cpp.o"
+  "CMakeFiles/test_multicast.dir/multicast/test_tree.cpp.o.d"
+  "test_multicast"
+  "test_multicast.pdb"
+  "test_multicast[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multicast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net.dir/net/test_graph.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_graph.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_paths.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_paths.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_random_graphs.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_random_graphs.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_rng.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_rng.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_shortest_path.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_shortest_path.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_transit_stub.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_transit_stub.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_waxman.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_waxman.cpp.o.d"
+  "test_net"
+  "test_net.pdb"
+  "test_net[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

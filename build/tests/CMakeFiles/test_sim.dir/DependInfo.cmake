@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/test_network.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_network.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_network.cpp.o.d"
+  "/root/repo/tests/sim/test_simulator.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_simulator.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_simulator.cpp.o.d"
+  "/root/repo/tests/sim/test_trace.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_trace.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/smrp_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/smrp/CMakeFiles/smrp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/spf/CMakeFiles/smrp_spf.dir/DependInfo.cmake"
+  "/root/repo/build/src/hier/CMakeFiles/smrp_hier.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/smrp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/multicast/CMakeFiles/smrp_multicast.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/smrp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/smrp_routing.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_smrp.dir/smrp/test_node_failure.cpp.o"
+  "CMakeFiles/test_smrp.dir/smrp/test_node_failure.cpp.o.d"
+  "CMakeFiles/test_smrp.dir/smrp/test_paper_walkthrough.cpp.o"
+  "CMakeFiles/test_smrp.dir/smrp/test_paper_walkthrough.cpp.o.d"
+  "CMakeFiles/test_smrp.dir/smrp/test_path_selection.cpp.o"
+  "CMakeFiles/test_smrp.dir/smrp/test_path_selection.cpp.o.d"
+  "CMakeFiles/test_smrp.dir/smrp/test_query_scheme.cpp.o"
+  "CMakeFiles/test_smrp.dir/smrp/test_query_scheme.cpp.o.d"
+  "CMakeFiles/test_smrp.dir/smrp/test_recovery.cpp.o"
+  "CMakeFiles/test_smrp.dir/smrp/test_recovery.cpp.o.d"
+  "CMakeFiles/test_smrp.dir/smrp/test_session_repair.cpp.o"
+  "CMakeFiles/test_smrp.dir/smrp/test_session_repair.cpp.o.d"
+  "CMakeFiles/test_smrp.dir/smrp/test_tree_builder.cpp.o"
+  "CMakeFiles/test_smrp.dir/smrp/test_tree_builder.cpp.o.d"
+  "test_smrp"
+  "test_smrp.pdb"
+  "test_smrp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_smrp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
