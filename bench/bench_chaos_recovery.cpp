@@ -1,0 +1,168 @@
+// Service interruption under sustained chaos: the same seeded flap/crash
+// plan (link flaps + a node crash/restart + a loss burst) is replayed
+// against SMRP's hardened local repair and against the PIM-SPF global
+// detour, and we account every member data-silence gap the faults cause.
+// This extends the single-cut restoration-time bench (bench_restoration_
+// time.cpp) to the persistent-failure regime the paper targets (§1, §3.3):
+// under churn, PIM pays the unicast reconvergence wait on every fault,
+// while the local detour keeps most interruptions near the detection time.
+//
+// Metric: an interruption is a gap > 4 data intervals between consecutive
+// payloads at a member that is itself up. We report episode count, mean
+// and max gap, total starved member-time, and members still dark at the
+// end (after the plan has drained plus a settling margin).
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "eval/stats.hpp"
+#include "eval/table.hpp"
+#include "net/waxman.hpp"
+#include "sim/fault_injection.hpp"
+#include "smrp/harness.hpp"
+
+namespace {
+
+using namespace smrp;
+
+struct ChaosResult {
+  std::vector<double> gaps_ms;  ///< interruption episodes, all members
+  double starved_ms = 0.0;      ///< total member-time without service
+  int dark_members = 0;         ///< still starving once the plan drained
+};
+
+ChaosResult run_chaos(const net::Graph& g,
+                      const std::vector<net::NodeId>& members,
+                      proto::SessionConfig::Mode mode,
+                      const sim::FaultPlan& plan) {
+  // Same timer asymmetry as bench_restoration_time: data-driven multicast
+  // detection is fast, the unicast IGP keeps conservative hello/dead
+  // timers and an SPF hold-down.
+  proto::SessionConfig config;
+  config.mode = mode;
+  config.data_interval = 25.0;
+  config.refresh_interval = 50.0;
+  config.upstream_timeout = 100.0;
+  config.state_timeout = 400.0;
+  config.repair_retry = 40.0;
+  routing::RoutingConfig routing_config;
+  routing_config.hello_interval = 500.0;
+  routing_config.dead_interval = 2000.0;
+  routing_config.spf_delay = 100.0;
+  proto::SimulationHarness h(g, /*source=*/0, config, routing_config);
+
+  sim::ChaosController chaos(h.simulator(), h.network(), plan);
+  h.start();
+  for (const net::NodeId m : members) h.session().join(m);
+  chaos.arm();
+
+  const sim::Time settle = 1500.0;  // plans start after this (see main)
+  const double gap_threshold = 4.0 * config.data_interval;
+  const sim::Time end = plan.quiescent_time() + 15'000.0;
+
+  ChaosResult result;
+  std::vector<double> last_seen(members.size(), -1.0);
+  for (sim::Time horizon = settle; horizon <= end; horizon += 25.0) {
+    h.simulator().run_until(horizon);
+    const sim::Time now = h.simulator().now();
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      const sim::Time at = h.session().last_data_at(members[i]);
+      if (at > last_seen[i]) {
+        // A payload arrived; if it ended a long silence, record the gap.
+        if (last_seen[i] >= 0.0 && at - last_seen[i] > gap_threshold) {
+          result.gaps_ms.push_back(at - last_seen[i]);
+          result.starved_ms += at - last_seen[i];
+        }
+        last_seen[i] = at;
+      } else if (h.network().node_up(members[i]) &&
+                 now - std::max(last_seen[i], 0.0) > gap_threshold &&
+                 now + 25.0 > end) {
+        // Starving at the end of the run: an open-ended interruption.
+        ++result.dark_members;
+        result.starved_ms += now - std::max(last_seen[i], 0.0);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  using namespace smrp;
+  bench::banner("chaos-recovery",
+                "Service interruption under a seeded flap/crash plan, SMRP "
+                "local repair vs PIM over OSPF-lite (DES, N=50, N_G=10, "
+                "6 topologies x 10 faults)",
+                bench::kDefaultSeed);
+
+  net::Rng root(bench::kDefaultSeed);
+  eval::RunningStats smrp_gaps;
+  eval::RunningStats pim_gaps;
+  double smrp_starved = 0.0, pim_starved = 0.0;
+  int smrp_dark = 0, pim_dark = 0;
+
+  for (int t = 0; t < 6; ++t) {
+    net::Rng rng = root.fork();
+    net::WaxmanParams wax;
+    wax.node_count = 50;
+    const net::Graph g = net::waxman_graph(wax, rng);
+    std::vector<net::NodeId> members;
+    while (members.size() < 10) {
+      const auto m = static_cast<net::NodeId>(1 + rng.below(49));
+      if (std::find(members.begin(), members.end(), m) == members.end()) {
+        members.push_back(m);
+      }
+    }
+
+    // The standard drill: 8 link flaps, one node crash/restart, one loss
+    // burst, drawn once per topology — both protocols replay the exact
+    // same plan.
+    sim::FaultPlan::RandomParams params;
+    params.link_flaps = 8;
+    params.node_restarts = 1;
+    params.loss_bursts = 1;
+    params.start = 2'000.0;
+    params.window = 8'000.0;
+    params.protected_nodes = {0};
+    net::Rng plan_rng = rng.fork();
+    const sim::FaultPlan plan = sim::FaultPlan::randomized(g, params, plan_rng);
+
+    const ChaosResult smrp =
+        run_chaos(g, members, proto::SessionConfig::Mode::kSmrp, plan);
+    const ChaosResult pim =
+        run_chaos(g, members, proto::SessionConfig::Mode::kPimSpf, plan);
+    for (const double x : smrp.gaps_ms) smrp_gaps.add(x);
+    for (const double x : pim.gaps_ms) pim_gaps.add(x);
+    smrp_starved += smrp.starved_ms;
+    pim_starved += pim.starved_ms;
+    smrp_dark += smrp.dark_members;
+    pim_dark += pim.dark_members;
+  }
+
+  eval::Table table({"protocol", "interruptions", "mean gap (ms)",
+                     "max gap (ms)", "starved member-s", "dark at end"});
+  const eval::Summary s = smrp_gaps.summary();
+  const eval::Summary p = pim_gaps.summary();
+  table.add_row({"SMRP local repair", std::to_string(s.count),
+                 eval::Table::with_ci(s.mean, s.ci95_half, 1),
+                 eval::Table::fixed(s.max, 1),
+                 eval::Table::fixed(smrp_starved / 1000.0, 2),
+                 std::to_string(smrp_dark)});
+  table.add_row({"PIM over OSPF-lite", std::to_string(p.count),
+                 eval::Table::with_ci(p.mean, p.ci95_half, 1),
+                 eval::Table::fixed(p.max, 1),
+                 eval::Table::fixed(pim_starved / 1000.0, 2),
+                 std::to_string(pim_dark)});
+  std::cout << table.render();
+  if (s.count > 0 && p.count > 0 && s.mean > 0.0) {
+    std::cout << "\nmean-gap ratio (PIM / SMRP): "
+              << eval::Table::fixed(p.mean / s.mean, 2) << "x\n";
+  }
+  std::cout << "\npaper §1/§3.3: under persistent failures the local detour "
+               "repairs before the IGP reconverges, so each fault costs "
+               "roughly the detection time; the global detour pays the "
+               "unicast re-stabilisation wait every time.\n\n";
+  return 0;
+}

@@ -7,7 +7,9 @@
 
 #include "net/random_graphs.hpp"
 #include "net/waxman.hpp"
+#include "sim/fault_injection.hpp"
 #include "smrp/harness.hpp"
+#include "smrp/invariants.hpp"
 
 namespace smrp::eval {
 
@@ -117,6 +119,31 @@ ScenarioScript ScenarioScript::parse(std::istream& in) {
         }
         event.kind = action == "fail-link" ? ScriptEvent::Kind::kFailLink
                                            : ScriptEvent::Kind::kRestoreLink;
+      } else if (action == "flap-link") {
+        if (!(tokens >> event.a >> event.b >> event.hold)) {
+          fail(line, "flap-link needs two node ids and a hold time");
+        }
+        if (event.hold <= 0) fail(line, "flap-link hold must be positive");
+        event.kind = ScriptEvent::Kind::kFlapLink;
+      } else if (action == "crash-node") {
+        if (!(tokens >> event.a >> event.hold)) {
+          fail(line, "crash-node needs a node id and a downtime");
+        }
+        if (event.hold <= 0) fail(line, "crash-node downtime must be positive");
+        event.kind = ScriptEvent::Kind::kCrashRestart;
+      } else if (action == "loss-burst") {
+        if (!(tokens >> event.hold >> event.loss)) {
+          fail(line, "loss-burst needs a duration and a probability");
+        }
+        tokens >> event.base_loss;  // optional restore level
+        if (event.hold <= 0) fail(line, "loss-burst duration must be positive");
+        if (event.loss < 0 || event.loss > 1 || event.base_loss < 0 ||
+            event.base_loss > 1) {
+          fail(line, "loss probabilities must be in [0, 1]");
+        }
+        event.kind = ScriptEvent::Kind::kLossBurst;
+      } else if (action == "audit") {
+        event.kind = ScriptEvent::Kind::kAudit;
       } else if (action == "report") {
         event.kind = ScriptEvent::Kind::kReport;
       } else {
@@ -200,6 +227,32 @@ ScenarioScript::RunReport ScenarioScript::execute() const {
     return *link;
   };
 
+  // Chaos directives go through the fault-injection layer so the compound
+  // faults (flap, crash/restart, burst) expand and heal on their own; the
+  // controller must be armed before the clock moves.
+  sim::FaultPlan plan;
+  for (const ScriptEvent& e : events_) {
+    switch (e.kind) {
+      case ScriptEvent::Kind::kFlapLink:
+        plan.flap_link(e.at, resolve_link(e), e.hold);
+        break;
+      case ScriptEvent::Kind::kCrashRestart:
+        if (e.a == source_) {
+          throw std::invalid_argument("scenario: refusing to crash the source");
+        }
+        plan.crash_restart(e.at, e.a, e.hold);
+        break;
+      case ScriptEvent::Kind::kLossBurst:
+        plan.loss_burst(e.at, e.hold, e.loss, e.base_loss);
+        break;
+      default:
+        break;
+    }
+  }
+  sim::ChaosController chaos(harness.simulator(), harness.network(), plan);
+  if (!plan.actions().empty()) chaos.arm();
+  const proto::InvariantChecker checker(harness.session(), harness.network());
+
   for (const ScriptEvent& e : events_) {
     harness.simulator().run_until(e.at);
     switch (e.kind) {
@@ -232,6 +285,32 @@ ScenarioScript::RunReport ScenarioScript::execute() const {
         harness.network().set_node_up(e.a, true);
         log(e.at, "restore-node " + std::to_string(e.a));
         break;
+      case ScriptEvent::Kind::kFlapLink:
+        log(e.at, "flap-link " + std::to_string(e.a) + "-" +
+                      std::to_string(e.b) + " hold " + std::to_string(e.hold) +
+                      "ms");
+        break;
+      case ScriptEvent::Kind::kCrashRestart:
+        log(e.at, "crash-node " + std::to_string(e.a) + " downtime " +
+                      std::to_string(e.hold) + "ms");
+        break;
+      case ScriptEvent::Kind::kLossBurst:
+        log(e.at, "loss-burst " + std::to_string(e.loss) + " for " +
+                      std::to_string(e.hold) + "ms");
+        break;
+      case ScriptEvent::Kind::kAudit: {
+        const proto::InvariantReport audit = checker.audit();
+        if (audit.ok()) {
+          log(e.at, "audit: invariants ok");
+        } else {
+          report.invariant_violations +=
+              static_cast<int>(audit.violations.size());
+          for (const std::string& v : audit.violations) {
+            log(e.at, "audit: VIOLATION " + v);
+          }
+        }
+        break;
+      }
       case ScriptEvent::Kind::kReport: {
         for (const net::NodeId m : members) {
           std::ostringstream text;

@@ -14,6 +14,13 @@
 //   at 5000 restore-link 0 5
 //   run 8000
 //
+// Chaos directives (scheduled through the fault-injection layer):
+//
+//   at 1500 flap-link 0 5 400       # down, back up 400ms later
+//   at 2000 crash-node 7 600        # crash, restart 600ms later
+//   at 2500 loss-burst 1000 0.15    # 15% loss for 1s (optional base after)
+//   at 6000 audit                   # run the invariant checker, log result
+//
 // `topology` also accepts `erdos n=.. degree=.. seed=..` and
 // `ba n=.. m=.. seed=..`. Times are simulated milliseconds.
 #pragma once
@@ -37,11 +44,18 @@ struct ScriptEvent {
     kFailNode,
     kRestoreNode,
     kReport,
+    kFlapLink,      ///< transient link down, auto-heal after `hold`
+    kCrashRestart,  ///< node crash, auto-restart after `hold`
+    kLossBurst,     ///< loss probability `loss` for `hold` ms
+    kAudit,         ///< run the invariant checker, log the outcome
   };
   sim::Time at = 0.0;
   Kind kind = Kind::kReport;
   net::NodeId a = net::kNoNode;  ///< member / node / link endpoint
   net::NodeId b = net::kNoNode;  ///< second link endpoint
+  sim::Time hold = 0.0;          ///< flap hold / downtime / burst duration
+  double loss = 0.0;             ///< kLossBurst probability
+  double base_loss = 0.0;        ///< kLossBurst level restored afterwards
 };
 
 /// Parsed, validated scenario.
@@ -56,6 +70,7 @@ class ScenarioScript {
     int members_at_end = 0;
     int starved_members_at_end = 0;  ///< members without fresh data
     int repairs_completed = 0;
+    int invariant_violations = 0;  ///< total across `audit` directives
   };
 
   /// Build the stack and execute every directive. Deterministic.

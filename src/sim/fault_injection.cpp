@@ -1,0 +1,287 @@
+#include "sim/fault_injection.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <sstream>
+#include <stdexcept>
+
+namespace smrp::sim {
+
+namespace {
+
+void require_nonnegative(Time t, const char* what) {
+  if (t < 0.0) throw std::invalid_argument(std::string(what) + " must be >= 0");
+}
+
+}  // namespace
+
+FaultPlan& FaultPlan::add(FaultAction action) {
+  require_nonnegative(action.at, "fault time");
+  actions_.push_back(action);
+  return *this;
+}
+
+FaultPlan& FaultPlan::cut_link(Time at, net::LinkId link) {
+  ++faults_;
+  return add({at, FaultAction::Kind::kLinkDown, link, net::kNoNode, 0.0});
+}
+
+FaultPlan& FaultPlan::flap_link(Time at, net::LinkId link, Time hold) {
+  require_nonnegative(hold, "flap hold");
+  ++faults_;
+  add({at, FaultAction::Kind::kLinkDown, link, net::kNoNode, 0.0});
+  return add({at + hold, FaultAction::Kind::kLinkUp, link, net::kNoNode, 0.0});
+}
+
+FaultPlan& FaultPlan::crash_node(Time at, net::NodeId node) {
+  ++faults_;
+  return add({at, FaultAction::Kind::kNodeDown, net::kNoLink, node, 0.0});
+}
+
+FaultPlan& FaultPlan::crash_restart(Time at, net::NodeId node, Time downtime) {
+  require_nonnegative(downtime, "downtime");
+  ++faults_;
+  add({at, FaultAction::Kind::kNodeDown, net::kNoLink, node, 0.0});
+  return add({at + downtime, FaultAction::Kind::kNodeUp, net::kNoLink, node,
+              0.0});
+}
+
+FaultPlan& FaultPlan::loss_burst(Time at, Time duration, double probability,
+                                 double base_probability) {
+  require_nonnegative(duration, "burst duration");
+  if (probability < 0.0 || probability >= 1.0 || base_probability < 0.0 ||
+      base_probability >= 1.0) {
+    throw std::invalid_argument("loss probability must be in [0, 1)");
+  }
+  ++faults_;
+  add({at, FaultAction::Kind::kSetLoss, net::kNoLink, net::kNoNode,
+       probability});
+  return add({at + duration, FaultAction::Kind::kSetLoss, net::kNoLink,
+              net::kNoNode, base_probability});
+}
+
+FaultPlan& FaultPlan::partition(Time at, const std::vector<net::LinkId>& cut,
+                                Time heal_after) {
+  if (cut.empty()) throw std::invalid_argument("empty partition cut");
+  ++faults_;
+  for (const net::LinkId l : cut) {
+    add({at, FaultAction::Kind::kLinkDown, l, net::kNoNode, 0.0});
+  }
+  if (heal_after > 0.0) {
+    for (const net::LinkId l : cut) {
+      add({at + heal_after, FaultAction::Kind::kLinkUp, l, net::kNoNode, 0.0});
+    }
+  }
+  return *this;
+}
+
+Time FaultPlan::quiescent_time() const noexcept {
+  Time last = 0.0;
+  for (const FaultAction& a : actions_) last = std::max(last, a.at);
+  return last;
+}
+
+namespace {
+
+/// Connectivity of the graph with a set of links removed (cumulative cut
+/// feasibility for the randomized generator).
+bool connected_without_links(const net::Graph& g,
+                             const std::vector<char>& link_dead) {
+  if (g.node_count() == 0) return true;
+  std::vector<char> seen(static_cast<std::size_t>(g.node_count()), 0);
+  std::queue<net::NodeId> frontier;
+  frontier.push(0);
+  seen[0] = 1;
+  int reached = 1;
+  while (!frontier.empty()) {
+    const net::NodeId u = frontier.front();
+    frontier.pop();
+    for (const net::Adjacency& adj : g.neighbors(u)) {
+      if (link_dead[static_cast<std::size_t>(adj.link)] != 0) continue;
+      if (seen[static_cast<std::size_t>(adj.neighbor)] != 0) continue;
+      seen[static_cast<std::size_t>(adj.neighbor)] = 1;
+      ++reached;
+      frontier.push(adj.neighbor);
+    }
+  }
+  return reached == g.node_count();
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::randomized(const net::Graph& g,
+                                const RandomParams& params, net::Rng& rng) {
+  if (params.min_hold > params.max_hold) {
+    throw std::invalid_argument("min_hold exceeds max_hold");
+  }
+  if (g.link_count() == 0) throw std::invalid_argument("graph has no links");
+  FaultPlan plan;
+  const auto fault_time = [&] {
+    return params.start + rng.uniform() * params.window;
+  };
+  const auto hold_time = [&] {
+    return rng.uniform(params.min_hold, params.max_hold);
+  };
+
+  // Permanent cuts first, so later flaps can hit any link while the cut
+  // set alone keeps the graph connected.
+  std::vector<char> cut(static_cast<std::size_t>(g.link_count()), 0);
+  int placed_cuts = 0;
+  int attempts = 0;
+  while (placed_cuts < params.link_cuts && attempts < 64 * params.link_cuts) {
+    ++attempts;
+    const auto l = static_cast<net::LinkId>(
+        rng.below(static_cast<std::uint64_t>(g.link_count())));
+    if (cut[static_cast<std::size_t>(l)] != 0) continue;
+    cut[static_cast<std::size_t>(l)] = 1;
+    if (!connected_without_links(g, cut)) {
+      cut[static_cast<std::size_t>(l)] = 0;  // would strand someone
+      continue;
+    }
+    plan.cut_link(fault_time(), l);
+    ++placed_cuts;
+  }
+
+  for (int i = 0; i < params.link_flaps; ++i) {
+    const auto l = static_cast<net::LinkId>(
+        rng.below(static_cast<std::uint64_t>(g.link_count())));
+    plan.flap_link(fault_time(), l, hold_time());
+  }
+
+  std::vector<net::NodeId> crashable;
+  for (net::NodeId n = 0; n < g.node_count(); ++n) {
+    if (std::find(params.protected_nodes.begin(), params.protected_nodes.end(),
+                  n) == params.protected_nodes.end()) {
+      crashable.push_back(n);
+    }
+  }
+  if (params.node_restarts > 0 && crashable.empty()) {
+    throw std::invalid_argument("every node is protected from crashes");
+  }
+  for (int i = 0; i < params.node_restarts; ++i) {
+    const net::NodeId victim = crashable[rng.below(crashable.size())];
+    plan.crash_restart(fault_time(), victim, hold_time());
+  }
+
+  for (int i = 0; i < params.loss_bursts; ++i) {
+    plan.loss_burst(fault_time(), params.burst_duration, params.burst_loss,
+                    params.base_loss);
+  }
+  return plan;
+}
+
+std::vector<net::LinkId> boundary_links(const net::Graph& g,
+                                        const std::vector<net::NodeId>& side) {
+  std::vector<char> inside(static_cast<std::size_t>(g.node_count()), 0);
+  for (const net::NodeId n : side) {
+    if (!g.valid_node(n)) throw std::out_of_range("bad partition node");
+    inside[static_cast<std::size_t>(n)] = 1;
+  }
+  std::vector<net::LinkId> cut;
+  for (net::LinkId l = 0; l < g.link_count(); ++l) {
+    const net::Link& link = g.link(l);
+    if (inside[static_cast<std::size_t>(link.a)] !=
+        inside[static_cast<std::size_t>(link.b)]) {
+      cut.push_back(l);
+    }
+  }
+  return cut;
+}
+
+std::string FaultPlan::describe() const {
+  std::ostringstream out;
+  std::vector<FaultAction> ordered = actions_;
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const FaultAction& a, const FaultAction& b) {
+                     return a.at < b.at;
+                   });
+  for (const FaultAction& a : ordered) {
+    out << "t=" << a.at << "ms ";
+    switch (a.kind) {
+      case FaultAction::Kind::kLinkDown:
+        out << "link " << a.link << " down";
+        break;
+      case FaultAction::Kind::kLinkUp:
+        out << "link " << a.link << " up";
+        break;
+      case FaultAction::Kind::kNodeDown:
+        out << "node " << a.node << " down";
+        break;
+      case FaultAction::Kind::kNodeUp:
+        out << "node " << a.node << " up";
+        break;
+      case FaultAction::Kind::kSetLoss:
+        out << "loss probability -> " << a.loss_probability;
+        break;
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+ChaosController::ChaosController(Simulator& simulator, SimNetwork& network,
+                                 FaultPlan plan)
+    : simulator_(&simulator), network_(&network), plan_(std::move(plan)) {
+  // Validate ids eagerly so a bad plan fails at construction, not mid-run.
+  const net::Graph& g = network.graph();
+  for (const FaultAction& a : plan_.actions()) {
+    switch (a.kind) {
+      case FaultAction::Kind::kLinkDown:
+      case FaultAction::Kind::kLinkUp:
+        if (a.link < 0 || a.link >= g.link_count()) {
+          throw std::out_of_range("fault plan references a bad link");
+        }
+        break;
+      case FaultAction::Kind::kNodeDown:
+      case FaultAction::Kind::kNodeUp:
+        if (!g.valid_node(a.node)) {
+          throw std::out_of_range("fault plan references a bad node");
+        }
+        break;
+      case FaultAction::Kind::kSetLoss:
+        break;
+    }
+  }
+}
+
+void ChaosController::arm() {
+  if (armed_) throw std::logic_error("chaos plan already armed");
+  armed_ = true;
+  for (const FaultAction& action : plan_.actions()) {
+    if (action.at < simulator_->now()) {
+      throw std::logic_error("fault plan action is already in the past");
+    }
+    simulator_->schedule_at(action.at, [this, action] { apply(action); });
+  }
+}
+
+void ChaosController::apply(const FaultAction& action) {
+  std::ostringstream line;
+  line << "t=" << simulator_->now() << "ms ";
+  switch (action.kind) {
+    case FaultAction::Kind::kLinkDown:
+      network_->set_link_up(action.link, false);
+      line << "link " << action.link << " down";
+      break;
+    case FaultAction::Kind::kLinkUp:
+      network_->set_link_up(action.link, true);
+      line << "link " << action.link << " up";
+      break;
+    case FaultAction::Kind::kNodeDown:
+      network_->set_node_up(action.node, false);
+      line << "node " << action.node << " down";
+      break;
+    case FaultAction::Kind::kNodeUp:
+      network_->set_node_up(action.node, true);
+      line << "node " << action.node << " up";
+      break;
+    case FaultAction::Kind::kSetLoss:
+      network_->set_loss_probability(action.loss_probability);
+      line << "loss probability -> " << action.loss_probability;
+      break;
+  }
+  ++applied_;
+  log_.push_back(line.str());
+}
+
+}  // namespace smrp::sim

@@ -1,0 +1,155 @@
+// Deterministic chaos layer for the simulator: a FaultPlan is a seeded,
+// replayable schedule of failure processes — link flaps, permanent cuts,
+// node crash/restarts, transient-loss bursts, k-cut partitions — and a
+// ChaosController arms it against a SimNetwork. Scripted plans drive
+// repeatable drills (tests, benches); the randomized mode generates soak
+// scenarios from a single Rng so any run reproduces bit-for-bit from its
+// seed. The protocol layers never see the plan: faults manifest only as
+// the link/node/loss state changes the paper's failure model describes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/graph.hpp"
+#include "net/rng.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace smrp::sim {
+
+/// One primitive network-state change at a fixed simulated time. Compound
+/// faults (a flap, a crash/restart, a burst, a partition) expand into
+/// several actions at plan-build time, so the controller replays a flat,
+/// time-ordered list.
+struct FaultAction {
+  enum class Kind {
+    kLinkDown,
+    kLinkUp,
+    kNodeDown,
+    kNodeUp,
+    kSetLoss,
+  };
+  Time at = 0.0;
+  Kind kind = Kind::kLinkDown;
+  net::LinkId link = net::kNoLink;
+  net::NodeId node = net::kNoNode;
+  double loss_probability = 0.0;  ///< kSetLoss only
+};
+
+/// A deterministic fault schedule with a builder API for scripted drills
+/// and a randomized generator for soak tests.
+class FaultPlan {
+ public:
+  // -- Builder (scripted drills) ------------------------------------------
+
+  /// Permanent link cut at `at`.
+  FaultPlan& cut_link(Time at, net::LinkId link);
+
+  /// Link flap: down at `at`, back up after `hold` ms.
+  FaultPlan& flap_link(Time at, net::LinkId link, Time hold);
+
+  /// Permanent node crash at `at`.
+  FaultPlan& crash_node(Time at, net::NodeId node);
+
+  /// Node crash at `at`, restart after `downtime` ms.
+  FaultPlan& crash_restart(Time at, net::NodeId node, Time downtime);
+
+  /// Raise the transient-loss probability to `probability` over
+  /// [at, at + duration), then restore `base_probability`.
+  FaultPlan& loss_burst(Time at, Time duration, double probability,
+                        double base_probability = 0.0);
+
+  /// k-cut partition: every link in `cut` goes down at `at`; all heal
+  /// together after `heal_after` ms (`heal_after` <= 0 means permanent).
+  FaultPlan& partition(Time at, const std::vector<net::LinkId>& cut,
+                       Time heal_after);
+
+  // -- Randomized soak mode -----------------------------------------------
+
+  struct RandomParams {
+    int link_flaps = 20;       ///< transient link down/up pairs
+    int link_cuts = 0;         ///< permanent cuts (connectivity-preserving)
+    int node_restarts = 2;     ///< crash/restart pairs
+    int loss_bursts = 1;       ///< transient loss windows
+    Time start = 500.0;        ///< first fault no earlier than this
+    Time window = 10'000.0;    ///< faults uniform over [start, start+window)
+    Time min_hold = 200.0;     ///< shortest flap hold / node downtime
+    Time max_hold = 1'500.0;   ///< longest flap hold / node downtime
+    Time burst_duration = 1'000.0;
+    double burst_loss = 0.10;
+    double base_loss = 0.0;    ///< loss level restored after each burst
+    /// Nodes that must never crash (e.g. the multicast source).
+    std::vector<net::NodeId> protected_nodes;
+  };
+
+  /// Generate a soak plan. All randomness is drawn from `rng`, so the plan
+  /// is a pure function of (graph, params, seed). Permanent cuts are only
+  /// placed where the remaining graph stays connected; crash victims are
+  /// drawn from the non-protected nodes.
+  static FaultPlan randomized(const net::Graph& g, const RandomParams& params,
+                              net::Rng& rng);
+
+  // -- Introspection ------------------------------------------------------
+
+  [[nodiscard]] const std::vector<FaultAction>& actions() const noexcept {
+    return actions_;
+  }
+  /// Number of faults (compound events, not primitive actions).
+  [[nodiscard]] int fault_count() const noexcept { return faults_; }
+  /// Time of the last scheduled action: after this instant no further
+  /// injected state change occurs and every transient fault has healed.
+  [[nodiscard]] Time quiescent_time() const noexcept;
+  /// Human-readable drill listing (one line per fault), for logs/examples.
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  FaultPlan& add(FaultAction action);
+
+  std::vector<FaultAction> actions_;
+  int faults_ = 0;
+};
+
+/// Boundary links of a node set: the links with exactly one endpoint in
+/// `side`. Feeding them to FaultPlan::partition isolates `side` from the
+/// rest of the network (a k-cut).
+[[nodiscard]] std::vector<net::LinkId> boundary_links(
+    const net::Graph& g, const std::vector<net::NodeId>& side);
+
+/// Arms a FaultPlan against a SimNetwork: schedules every action on the
+/// simulator and records what was applied. The controller outlives the
+/// scheduled events, so keep it alive for the whole run.
+class ChaosController {
+ public:
+  ChaosController(Simulator& simulator, SimNetwork& network, FaultPlan plan);
+
+  /// Schedule every action. Call once, before the clock passes the first
+  /// action time.
+  void arm();
+
+  [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+  [[nodiscard]] int actions_applied() const noexcept { return applied_; }
+  /// True once every scheduled action has fired.
+  [[nodiscard]] bool quiescent() const noexcept {
+    return armed_ && applied_ == static_cast<int>(plan_.actions().size());
+  }
+  [[nodiscard]] Time quiescent_time() const noexcept {
+    return plan_.quiescent_time();
+  }
+  /// Chronological record of applied actions, human-readable.
+  [[nodiscard]] const std::vector<std::string>& log() const noexcept {
+    return log_;
+  }
+
+ private:
+  void apply(const FaultAction& action);
+
+  Simulator* simulator_;
+  SimNetwork* network_;
+  FaultPlan plan_;
+  bool armed_ = false;
+  int applied_ = 0;
+  std::vector<std::string> log_;
+};
+
+}  // namespace smrp::sim

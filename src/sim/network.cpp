@@ -80,6 +80,13 @@ int SimNetwork::broadcast(NodeId from, const Message& message) {
   return admitted;
 }
 
+void SimNetwork::set_loss_probability(double p) {
+  if (p < 0.0 || p >= 1.0) {
+    throw std::invalid_argument("loss probability must be in [0, 1)");
+  }
+  config_.loss_probability = p;
+}
+
 void SimNetwork::set_link_up(LinkId link, bool up) {
   if (link < 0 || link >= graph_->link_count()) {
     throw std::out_of_range("bad link");

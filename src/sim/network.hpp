@@ -53,6 +53,14 @@ class SimNetwork {
   void set_node_up(NodeId node, bool up);
   [[nodiscard]] bool node_up(NodeId node) const;
 
+  /// Change the transient-loss probability at runtime (loss bursts in
+  /// chaos plans). Must stay in [0, 1); the loss RNG stream is unaffected,
+  /// so a run remains deterministic for a given schedule of calls.
+  void set_loss_probability(double p);
+  [[nodiscard]] double loss_probability() const noexcept {
+    return config_.loss_probability;
+  }
+
   /// Delivery latency for one hop over `link`.
   [[nodiscard]] Time link_latency(LinkId link) const;
 

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 #include <utility>
+#include <vector>
 
 namespace smrp::sim {
 
@@ -24,16 +25,32 @@ void Simulator::cancel(EventId id) {
   const auto it = pending_ids_.find(id);
   if (it == pending_ids_.end()) return;  // fired, cancelled, or unknown
   pending_ids_.erase(it);
-  cancelled_.insert(id);
   --live_pending_;
+  // Cancelled entries stay in the heap (their id is simply no longer
+  // pending) and are skipped when popped. Without pruning, a workload that
+  // keeps scheduling-and-cancelling far-future events — timer wheels,
+  // retry backoff, chaos plans — grows the heap without bound, so compact
+  // once dead entries dominate.
+  if (queue_.size() > 64 && queue_.size() > 2 * live_pending_) compact();
+}
+
+void Simulator::compact() {
+  std::vector<Entry> live;
+  live.reserve(live_pending_);
+  while (!queue_.empty()) {
+    Entry entry = std::move(const_cast<Entry&>(queue_.top()));
+    queue_.pop();
+    if (pending_ids_.count(entry.id) > 0) live.push_back(std::move(entry));
+  }
+  queue_ = decltype(queue_)(std::greater<Entry>{}, std::move(live));
 }
 
 bool Simulator::fire_next(Time limit) {
   while (!queue_.empty()) {
     const Entry& top = queue_.top();
     if (top.when > limit) return false;
-    if (cancelled_.erase(top.id) > 0) {
-      queue_.pop();  // skip cancelled without advancing the clock
+    if (pending_ids_.find(top.id) == pending_ids_.end()) {
+      queue_.pop();  // cancelled: skip without advancing the clock
       continue;
     }
     // Move out before popping so the action may schedule/cancel freely.

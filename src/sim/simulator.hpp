@@ -43,6 +43,14 @@ class Simulator {
   [[nodiscard]] std::size_t processed() const noexcept { return processed_; }
   [[nodiscard]] std::size_t pending() const noexcept { return live_pending_; }
 
+  /// Heap entries currently held, live *and* cancelled-but-not-yet-pruned.
+  /// Compaction keeps this within a small factor of pending(), so memory
+  /// stays bounded even under schedule/cancel churn that never lets the
+  /// clock reach the cancelled events (long chaos runs do exactly that).
+  [[nodiscard]] std::size_t queue_depth() const noexcept {
+    return queue_.size();
+  }
+
  private:
   struct Entry {
     Time when;
@@ -55,6 +63,7 @@ class Simulator {
   };
 
   bool fire_next(Time limit);
+  void compact();
 
   Time now_ = 0.0;
   EventId next_id_ = 1;
@@ -62,7 +71,6 @@ class Simulator {
   std::size_t live_pending_ = 0;
   std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue_;
   std::unordered_set<EventId> pending_ids_;
-  std::unordered_set<EventId> cancelled_;
 };
 
 }  // namespace smrp::sim

@@ -16,7 +16,8 @@ DistributedSession::DistributedSession(sim::Simulator& simulator,
       network_(&network),
       routing_(&routing),
       source_(source),
-      config_(config) {
+      config_(config),
+      jitter_rng_(config.jitter_seed) {
   if (!network.graph().valid_node(source)) {
     throw std::out_of_range("bad source");
   }
@@ -42,6 +43,25 @@ bool DistributedSession::on_tree(net::NodeId n) const {
 
 net::NodeId DistributedSession::parent_of(net::NodeId n) const {
   return agent(n).parent;
+}
+
+std::vector<net::NodeId> DistributedSession::children_of(net::NodeId n) const {
+  std::vector<net::NodeId> out;
+  out.reserve(agent(n).children.size());
+  for (const auto& [child, info] : agent(n).children) out.push_back(child);
+  return out;
+}
+
+bool DistributedSession::is_repairing(net::NodeId n) const {
+  return agent(n).repairing;
+}
+
+bool DistributedSession::is_stranded(net::NodeId n) const {
+  return agent(n).stranded;
+}
+
+std::size_t DistributedSession::seen_nonce_count(net::NodeId n) const {
+  return agent(n).seen_nonces.size();
 }
 
 Time DistributedSession::last_data_at(net::NodeId n) const {
@@ -112,6 +132,12 @@ void DistributedSession::join(net::NodeId member) {
   if (s.is_member) return;
   s.is_member = true;
   if (s.on_tree) return;  // relay upgrading in place
+  initiate_join(member);
+}
+
+void DistributedSession::initiate_join(net::NodeId member) {
+  AgentState& s = agent(member);
+  s.stranded = false;
 
   if (config_.mode == SessionConfig::Mode::kPimSpf) {
     s.on_tree = true;
@@ -150,6 +176,18 @@ void DistributedSession::join(net::NodeId member) {
     return;
   }
   send_join_along(member, selection->chosen.graft);
+}
+
+void DistributedSession::restart_agent(net::NodeId n) {
+  AgentState& s = agent(n);
+  const bool was_member = s.is_member;
+  s = AgentState{};
+  s.is_member = was_member;
+  if (n == source_) {
+    s.on_tree = true;  // the source anchors the tree by definition
+    return;
+  }
+  if (was_member) initiate_join(n);
 }
 
 void DistributedSession::send_join_along(net::NodeId member,
@@ -192,6 +230,7 @@ void DistributedSession::prune_self_if_useless(net::NodeId n) {
   s.last_upstream = -1.0;
   s.last_data = -1.0;
   s.repairing = false;
+  s.stranded = false;
   s.shr_baseline = -1;
   s.ticks_since_reshape_check = 0;
   if (up != net::kNoNode) {
@@ -202,8 +241,20 @@ void DistributedSession::prune_self_if_useless(net::NodeId n) {
 void DistributedSession::maintenance(net::NodeId n) {
   simulator_->schedule(config_.refresh_interval,
                        [this, n] { maintenance(n); });
-  if (!network_->node_up(n)) return;
   AgentState& s = agent(n);
+  if (!network_->node_up(n)) {
+    s.observed_down = true;
+    return;
+  }
+  if (s.observed_down) {
+    s.observed_down = false;
+    if (config_.hardened) {
+      // First tick after a crash-restart: wipe and (if a member) rejoin
+      // rather than trusting pre-crash parent/children pointers.
+      restart_agent(n);
+      return;
+    }
+  }
   const Time now = simulator_->now();
 
   // Expire silent children.
@@ -227,12 +278,9 @@ void DistributedSession::maintenance(net::NodeId n) {
             : false;
     const bool data_dead =
         s.last_data >= 0.0 && now - s.last_data > config_.upstream_timeout;
-    if (upstream_dead || data_dead) {
-      if (config_.mode == SessionConfig::Mode::kSmrp) {
-        start_repair(n);
-      } else if (s.is_member || !s.children.empty()) {
-        send_routed_join(n);  // PIM: keep re-joining toward the source
-      }
+    const bool in_grace = config_.hardened && now <= s.repair_grace;
+    if ((upstream_dead || data_dead) && !in_grace) {
+      react_to_dead_upstream(n);
     }
   }
 
@@ -318,11 +366,63 @@ bool DistributedSession::attempt_reshape(net::NodeId n) {
   return true;
 }
 
+void DistributedSession::react_to_dead_upstream(net::NodeId n) {
+  AgentState& s = agent(n);
+  if (config_.mode == SessionConfig::Mode::kSmrp) {
+    if (config_.hardened && s.stranded) {
+      // Partition give-up: stop flooding repair rings into a dead
+      // partition; rejoin as soon as the IGP re-learns a route to the
+      // source (the heal signal).
+      if (routing_->has_route(n, source_)) {
+        s.stranded = false;
+        send_routed_join(n);
+      }
+    } else {
+      start_repair(n);
+    }
+  } else if (s.is_member || !s.children.empty()) {
+    send_routed_join(n);  // PIM: keep re-joining toward the source
+  }
+}
+
+Time DistributedSession::watchdog_window() const noexcept {
+  return std::max(config_.data_timeout, 3.0 * config_.data_interval);
+}
+
+void DistributedSession::data_watchdog(net::NodeId n) {
+  AgentState& s = agent(n);
+  s.watchdog_armed = false;
+  if (!config_.hardened || n == source_) return;
+  if (!network_->node_up(n) || !s.on_tree || s.parent == net::kNoNode) return;
+  if (s.last_data < 0.0) return;
+  const Time now = simulator_->now();
+  const Time silent = now - s.last_data;
+  if (silent + 1e-9 < watchdog_window()) {
+    // Data arrived since arming: sleep out the remainder of the window.
+    s.watchdog_armed = true;
+    simulator_->schedule(watchdog_window() - silent,
+                         [this, n] { data_watchdog(n); });
+    return;
+  }
+  // A served node has gone silent for several payload intervals: the
+  // upstream is dead in the data plane. React now instead of waiting for
+  // the (much longer) control-plane timeout — this is what makes the
+  // local detour fast relative to routed re-joins gated on IGP
+  // reconvergence. Re-armed by the next real payload.
+  if (now <= s.repair_grace || s.repairing || s.stranded) return;
+  react_to_dead_upstream(n);
+}
+
 void DistributedSession::start_repair(net::NodeId n) {
   AgentState& s = agent(n);
   if (s.repairing) return;
   s.repairing = true;
-  s.repair_ttl = 1;
+  // Hardened: the ring budget persists across failed episodes — only real
+  // data resets it — so a neighborhood where grafts keep "succeeding"
+  // without restoring service escalates to the routed fallback instead of
+  // re-flooding ring 1 forever. Legacy restarts every episode from 1.
+  if (!config_.hardened) s.repair_ttl = 1;
+  s.repair_ring = 0;
   ++repairs_started_;
   fire_repair_ring(n);
 }
@@ -331,7 +431,21 @@ void DistributedSession::fire_repair_ring(net::NodeId n) {
   AgentState& s = agent(n);
   if (!s.repairing) return;
   if (s.repair_ttl > config_.max_repair_ttl) {
-    s.repairing = false;  // give up; maintenance may restart later
+    s.repairing = false;
+    if (!config_.hardened) return;  // legacy: give up; maintenance retries
+    // Repair deadline hit: no on-tree node with live service inside the
+    // ring budget, so the detour — if one exists at all — is not local.
+    // Fall back to a routed (global) join; if even the IGP has no route,
+    // the source sits in another partition: go stranded and let
+    // maintenance rejoin once routing heals.
+    if (routing_->has_route(n, source_)) {
+      send_routed_join(n);
+      // Give the routed join one detection window to deliver data before
+      // maintenance opens another repair episode.
+      s.repair_grace = simulator_->now() + config_.upstream_timeout;
+    } else {
+      s.stranded = true;
+    }
     return;
   }
   sim::RepairQueryMsg query;
@@ -342,8 +456,18 @@ void DistributedSession::fire_repair_ring(net::NodeId n) {
   s.repair_nonce = query.nonce;
   network_->broadcast(n, query);
   s.repair_ttl *= 2;
-  simulator_->schedule(config_.repair_retry,
-                       [this, n] { fire_repair_ring(n); });
+  Time pacing = config_.repair_retry;
+  if (config_.hardened) {
+    // Exponential backoff gives ring k time proportional to its radius
+    // before the next (wider) flood; deterministic jitter decorrelates
+    // the retry storms of neighbors that lost the same upstream.
+    for (int ring = 0; ring < s.repair_ring; ++ring) {
+      pacing *= config_.repair_backoff;
+    }
+    pacing *= 1.0 + config_.repair_jitter * (2.0 * jitter_rng_.uniform() - 1.0);
+  }
+  ++s.repair_ring;
+  simulator_->schedule(pacing, [this, n] { fire_repair_ring(n); });
 }
 
 bool DistributedSession::handle(net::NodeId at, net::NodeId from,
@@ -392,9 +516,19 @@ void DistributedSession::on_join(net::NodeId at, net::NodeId from,
     const auto it = std::find(msg.path.begin(), msg.path.end(), at);
     if (it == msg.path.end()) return;  // stray
     const auto index = static_cast<std::size_t>(it - msg.path.begin());
-    if (s.on_tree || index + 1 >= msg.path.size()) {
-      // Merge point reached (or the graft hit the tree early): stop.
+    if (index + 1 >= msg.path.size()) return;  // merge point reached
+    if (s.on_tree && (!config_.hardened || upstream_alive(at))) {
+      // Graft hit served tree early: stop. The legacy protocol stops at
+      // ANY on-tree hop — anchoring branches at service-dead nodes, which
+      // can weld repair grafts into persistent parent cycles (the exact
+      // livelock the chaos soak reproduces). Hardened: only a hop with
+      // live service terminates the graft; a dead one falls through and
+      // re-anchors itself along the path toward the live responder.
       return;
+    }
+    if (s.on_tree && s.parent != net::kNoNode &&
+        s.parent != msg.path[index + 1]) {
+      network_->send(at, s.parent, sim::LeaveReqMsg{at});
     }
     s.on_tree = true;
     s.parent = msg.path[index + 1];
@@ -460,6 +594,14 @@ void DistributedSession::on_data(net::NodeId at, net::NodeId from,
   s.last_seq = msg.seq;
   s.last_data = simulator_->now();
   s.last_upstream = simulator_->now();
+  s.stranded = false;  // service is back; no longer cut off
+  s.repair_ttl = 1;    // genuine service resets the ring escalation
+  s.repair_ring = 0;
+  s.repair_grace = -1.0;
+  if (config_.hardened && !s.watchdog_armed) {
+    s.watchdog_armed = true;
+    simulator_->schedule(watchdog_window(), [this, at] { data_watchdog(at); });
+  }
   if (s.repairing) {
     // Service is back (e.g. upstream healed itself): stop repairing.
     s.repairing = false;
@@ -474,6 +616,14 @@ void DistributedSession::on_repair_query(net::NodeId at, net::NodeId from,
                                          sim::RepairQueryMsg msg) {
   AgentState& s = agent(at);
   if (!s.seen_nonces.insert(msg.nonce).second) return;  // duplicate
+  s.nonce_order.push_back(msg.nonce);
+  while (s.nonce_order.size() > kSeenNonceCap) {
+    // Duplicates of a nonce arrive within one ring's flood, so a FIFO
+    // window this deep dedupes everything that can still arrive while
+    // keeping per-node state bounded on long chaos runs.
+    s.seen_nonces.erase(s.nonce_order.front());
+    s.nonce_order.pop_front();
+  }
   if (std::find(msg.visited.begin(), msg.visited.end(), at) !=
       msg.visited.end()) {
     return;
@@ -524,10 +674,17 @@ void DistributedSession::on_repair_resp(net::NodeId at,
   // Install the graft at → … → responder. JoinReq along the path wires
   // the interior and registers us at the responder.
   send_join_along(at, msg.path);
-  // Optimistically mark upstream fresh so we do not instantly re-repair
-  // while the graft settles.
   s.last_upstream = simulator_->now();
-  s.last_data = simulator_->now();
+  if (config_.hardened) {
+    // Let the graft settle before re-declaring the upstream dead, but do
+    // NOT fake data freshness: a node that merely grafted must not serve
+    // other repairs as if it were receiving — that optimism lets two dead
+    // nodes resuscitate each other forever (zombie repair cycles, found
+    // by the chaos soak).
+    s.repair_grace = simulator_->now() + config_.upstream_timeout;
+  } else {
+    s.last_data = simulator_->now();  // legacy optimism
+  }
 }
 
 std::optional<mcast::MulticastTree> DistributedSession::snapshot_tree() const {

@@ -15,12 +15,14 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <optional>
 #include <set>
 #include <vector>
 
 #include "multicast/tree.hpp"
+#include "net/rng.hpp"
 #include "net/shortest_path.hpp"
 #include "routing/link_state.hpp"
 #include "sim/network.hpp"
@@ -36,9 +38,27 @@ struct SessionConfig {
   Time state_timeout = 350.0;       ///< child state expires after this silence
   Time upstream_timeout = 350.0;    ///< upstream declared dead after this
   Time data_interval = 25.0;        ///< source payload cadence
-  Time repair_retry = 80.0;         ///< expanding-ring pacing (SMRP repair)
+  Time repair_retry = 80.0;         ///< base expanding-ring pacing (SMRP)
   int max_repair_ttl = 16;          ///< ring search cap
   int join_ttl = 64;                ///< hop budget for routed (PIM) joins
+  /// Hardened repair path (chaos survival): exponential backoff with
+  /// jitter between repair rings, fallback from the exhausted ring search
+  /// to a routed (global) join, crash-restart re-join, and partition-aware
+  /// stranding with automatic rejoin once the IGP heals. `false` reverts
+  /// to the pre-hardening behaviour (fixed pacing, silent give-up) and
+  /// exists for A/B comparison in the chaos regression suite.
+  bool hardened = true;
+  double repair_backoff = 2.0;  ///< ring-pacing multiplier per ring
+  double repair_jitter = 0.25;  ///< ± fraction of pacing jitter per ring
+  std::uint64_t jitter_seed = 0xc4a05c4a05ULL;  ///< repair-jitter RNG seed
+  /// Hardened data-plane failure detection: payloads arrive every
+  /// data_interval, so this much silence on a previously served node
+  /// triggers repair immediately — well before the control-plane
+  /// upstream_timeout and (unlike the PIM detour) before unicast routing
+  /// reconverges. Clamped to at least 3 * data_interval so slow pumps do
+  /// not false-trigger; transient loss must kill that many consecutive
+  /// payloads to cause a spurious (and harmless) repair.
+  Time data_timeout = 150.0;
   /// Condition II cadence: a member re-runs path selection every this
   /// many maintenance ticks (§3.2.3's periodic timer). Condition I fires
   /// on SHR growth per SmrpConfig::reshape_shr_delta. Both honour
@@ -70,13 +90,27 @@ class DistributedSession {
   // -- Observability ---------------------------------------------------------
 
   [[nodiscard]] net::NodeId source() const noexcept { return source_; }
+  [[nodiscard]] const SessionConfig& config() const noexcept { return config_; }
   [[nodiscard]] bool is_member(net::NodeId n) const;
   [[nodiscard]] bool on_tree(net::NodeId n) const;
   [[nodiscard]] net::NodeId parent_of(net::NodeId n) const;
+  /// Children `n` currently believes it forwards to, ascending by id.
+  [[nodiscard]] std::vector<net::NodeId> children_of(net::NodeId n) const;
+  /// Whether `n` has an expanding-ring repair in flight.
+  [[nodiscard]] bool is_repairing(net::NodeId n) const;
+  /// Whether `n` gave up repairing because the source looks partitioned
+  /// away (it rejoins automatically once routing re-learns a path).
+  [[nodiscard]] bool is_stranded(net::NodeId n) const;
+  /// Repair-nonce dedup entries held at `n` (bounded by kSeenNonceCap).
+  [[nodiscard]] std::size_t seen_nonce_count(net::NodeId n) const;
   /// Time of the last payload seen at `n` (< 0 if none yet).
   [[nodiscard]] Time last_data_at(net::NodeId n) const;
   /// SHR(S, n) as the distributed state currently believes.
   [[nodiscard]] int believed_shr(net::NodeId n) const;
+
+  /// Cap on per-node repair-nonce dedup state. Without a cap, every repair
+  /// query ever seen stays resident — unbounded memory on long chaos runs.
+  static constexpr std::size_t kSeenNonceCap = 256;
 
   /// Build an analytic MulticastTree from the distributed state (members'
   /// parent chains). Returns nullopt while the state is inconsistent
@@ -110,7 +144,25 @@ class DistributedSession {
     bool repairing = false;
     std::uint64_t repair_nonce = 0;
     int repair_ttl = 1;
+    int repair_ring = 0;  ///< rings fired this repair; drives the backoff
+    /// Gave up on repair because the source is unreachable even by the
+    /// IGP; cleared when data returns or a route reappears.
+    bool stranded = false;
+    /// Set while the node is down so the first maintenance tick after a
+    /// restart can tell "just rebooted" from "always up".
+    bool observed_down = false;
+    /// Until this time, a freshly installed graft/fallback join is given
+    /// the benefit of the doubt: dead-upstream detection is suppressed so
+    /// the new branch can settle — WITHOUT faking data freshness, which
+    /// would let service-dead nodes answer repair queries and weld grafts
+    /// into zombie cycles.
+    Time repair_grace = -1.0;
+    /// A data-silence watchdog event is pending for this node.
+    bool watchdog_armed = false;
+    /// Recent repair nonces, dedup set + FIFO eviction order (bounded by
+    /// kSeenNonceCap; duplicates arrive close together in time).
     std::set<std::uint64_t> seen_nonces;
+    std::deque<std::uint64_t> nonce_order;
     // Reshaping state (§3.2.3).
     int shr_baseline = -1;  ///< SHR at last (re)join; Condition I reference
     int ticks_since_reshape_check = 0;
@@ -127,8 +179,25 @@ class DistributedSession {
 
   void pump_data();
   void maintenance(net::NodeId n);
+  /// Run the mode-appropriate join machinery for `member` (assumes the
+  /// member flag is already set); shared by join(), crash-restart re-join,
+  /// and the post-partition rejoin.
+  void initiate_join(net::NodeId member);
+  /// Crash semantics: wipe the agent's protocol soft state (a rebooted
+  /// router has lost its RAM), keep application-level membership, and
+  /// rejoin if the node was a member.
+  void restart_agent(net::NodeId n);
   void send_join_along(net::NodeId member, const std::vector<net::NodeId>& path);
   void send_routed_join(net::NodeId from_member);
+  /// Mode-appropriate reaction to a dead upstream: expanding-ring repair
+  /// or stranded-rejoin (SMRP), periodic routed re-join (PIM). Shared by
+  /// the maintenance tick and the data-silence watchdog.
+  void react_to_dead_upstream(net::NodeId n);
+  /// Hardened fast failure detection: fires data_timeout after the last
+  /// payload; silence on a served node starts repair without waiting for
+  /// the control-plane upstream_timeout.
+  void data_watchdog(net::NodeId n);
+  [[nodiscard]] Time watchdog_window() const noexcept;
   void start_repair(net::NodeId n);
   void fire_repair_ring(net::NodeId n);
   /// Re-run path selection for member `n` against the current distributed
@@ -155,6 +224,7 @@ class DistributedSession {
   routing::LinkStateRouting* routing_;
   net::NodeId source_;
   SessionConfig config_;
+  net::Rng jitter_rng_;
   std::vector<AgentState> agents_;
   std::uint64_t data_seq_ = 0;
   std::uint64_t nonce_counter_ = 0;

@@ -167,79 +167,117 @@ SessionRepairReport repair_session(const Graph& g, MulticastTree& tree,
           : tree.sever_node(failure.node);
   report.disconnected_members = static_cast<int>(lost.size());
 
-  const auto recover_one = [&](NodeId member) {
-    // Temporarily mark the node a member of the current tree? No — after
-    // sever it is off-tree; run the detour search directly against the
-    // surviving tree: every on-tree node survives by construction now.
-    net::ExclusionSet excluded = [&] {
-      net::ExclusionSet e =
-          already_failed != nullptr ? *already_failed : net::ExclusionSet(g);
-      if (failure.kind == Failure::Kind::kLink) {
-        e.ban_link(failure.link);
-      } else {
-        e.ban_node(failure.node);
+  net::ExclusionSet excluded =
+      already_failed != nullptr ? *already_failed : net::ExclusionSet(g);
+  if (failure.kind == Failure::Kind::kLink) {
+    excluded.ban_link(failure.link);
+  } else {
+    excluded.ban_node(failure.node);
+  }
+
+  // The surviving tree as flags, kept in lockstep with every graft below.
+  // After sever, every on-tree node survives by construction.
+  std::vector<char> on_tree(static_cast<std::size_t>(g.node_count()), 0);
+  for (const NodeId n : tree.on_tree_nodes()) {
+    on_tree[static_cast<std::size_t>(n)] = 1;
+  }
+
+  // One search per lost member for the whole repair, not one per member
+  // per round (the old O(lost² · Dijkstra) pattern). kLocal caches the
+  // absorbing search snapshot: when a repair grafts new nodes, a cached
+  // member only improves via one of those nodes — any path invalidated by
+  // the graft has a grafted node strictly earlier on it, which the delta
+  // scan considers — so updating against the delta is exact. kGlobal's
+  // SPF ignores the tree entirely: compute once, re-walk the cached path
+  // against the current on-tree flags each round.
+  struct Candidate {
+    bool computed = false;
+    net::ShortestPathTree search;
+    RecoveryOutcome outcome;
+  };
+  std::vector<Candidate> cache(lost.size());
+
+  const auto adopt_local = [&](Candidate& c, NodeId reattach) {
+    c.outcome.recovered = true;
+    c.outcome.reattach_node = reattach;
+    c.outcome.restoration_path = c.search.path_from_source(reattach);
+    c.outcome.recovery_distance =
+        c.search.dist[static_cast<std::size_t>(reattach)];
+    c.outcome.recovery_hops = c.search.hops[static_cast<std::size_t>(reattach)];
+    c.outcome.new_delay =
+        c.outcome.recovery_distance + tree.delay_to_source(reattach);
+  };
+
+  const auto walk_global = [&](Candidate& c) {
+    c.outcome.recovered = false;
+    c.outcome.restoration_path.clear();
+    if (!c.search.reachable(tree.source())) return;
+    const std::vector<NodeId> path = c.search.path_from_source(tree.source());
+    double distance = 0.0;
+    int hops = 0;
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      distance += g.link(*g.link_between(path[i], path[i + 1])).weight;
+      ++hops;
+      c.outcome.restoration_path.push_back(path[i]);
+      if (on_tree[static_cast<std::size_t>(path[i + 1])] != 0) {
+        c.outcome.restoration_path.push_back(path[i + 1]);
+        c.outcome.recovered = true;
+        c.outcome.reattach_node = path[i + 1];
+        c.outcome.recovery_distance = distance;
+        c.outcome.recovery_hops = hops;
+        c.outcome.new_delay = distance + tree.delay_to_source(path[i + 1]);
+        return;
       }
-      return e;
-    }();
-    std::vector<char> on_tree(static_cast<std::size_t>(g.node_count()), 0);
-    for (const NodeId n : tree.on_tree_nodes()) {
-      on_tree[static_cast<std::size_t>(n)] = 1;
     }
-    RecoveryOutcome out;
-    out.member = member;
-    out.failed_link = failure.link;
-    out.failed_node = failure.node;
-    out.disconnected = true;
+    c.outcome.restoration_path.clear();
+  };
+
+  const auto compute = [&](Candidate& c, NodeId member) {
+    c.computed = true;
+    c.outcome = RecoveryOutcome{};
+    c.outcome.member = member;
+    c.outcome.failed_link = failure.link;
+    c.outcome.failed_node = failure.node;
+    c.outcome.disconnected = true;
     if (policy == DetourPolicy::kLocal) {
-      const net::ShortestPathTree search =
-          net::dijkstra_absorbing(g, member, on_tree, excluded);
+      c.search = net::dijkstra_absorbing(g, member, on_tree, excluded);
       NodeId best = net::kNoNode;
-      for (const NodeId n : tree.on_tree_nodes()) {
-        if (!search.reachable(n)) continue;
+      for (NodeId n = 0; n < g.node_count(); ++n) {
+        if (on_tree[static_cast<std::size_t>(n)] == 0) continue;
+        if (!c.search.reachable(n)) continue;
         if (best == net::kNoNode ||
-            search.dist[static_cast<std::size_t>(n)] <
-                search.dist[static_cast<std::size_t>(best)]) {
+            c.search.dist[static_cast<std::size_t>(n)] <
+                c.search.dist[static_cast<std::size_t>(best)]) {
           best = n;
         }
       }
-      if (best == net::kNoNode) return out;
-      out.recovered = true;
-      out.reattach_node = best;
-      out.restoration_path = search.path_from_source(best);
-      out.recovery_distance = search.dist[static_cast<std::size_t>(best)];
-      out.recovery_hops = search.hops[static_cast<std::size_t>(best)];
+      if (best != net::kNoNode) adopt_local(c, best);
     } else {
-      const net::ShortestPathTree spf = net::dijkstra(g, member, excluded);
-      if (!spf.reachable(tree.source())) return out;
-      const std::vector<NodeId> path = spf.path_from_source(tree.source());
-      double distance = 0.0;
-      int hops = 0;
-      for (std::size_t i = 0; i + 1 < path.size(); ++i) {
-        distance += g.link(*g.link_between(path[i], path[i + 1])).weight;
-        ++hops;
-        out.restoration_path.push_back(path[i]);
-        if (on_tree[static_cast<std::size_t>(path[i + 1])] != 0) {
-          out.restoration_path.push_back(path[i + 1]);
-          out.recovered = true;
-          out.reattach_node = path[i + 1];
-          out.recovery_distance = distance;
-          out.recovery_hops = hops;
-          break;
-        }
-      }
-      if (!out.recovered) out.restoration_path.clear();
+      c.search = net::dijkstra(g, member, excluded);
+      walk_global(c);
     }
-    if (out.recovered) {
-      out.new_delay =
-          out.recovery_distance + tree.delay_to_source(out.reattach_node);
+  };
+
+  const auto refresh = [&](Candidate& c, const std::vector<NodeId>& delta) {
+    if (policy == DetourPolicy::kGlobal) {
+      walk_global(c);
+      return;
     }
-    return out;
+    for (const NodeId x : delta) {
+      if (!c.search.reachable(x)) continue;
+      const double d = c.search.dist[static_cast<std::size_t>(x)];
+      const bool better =
+          !c.outcome.recovered || d < c.outcome.recovery_distance ||
+          (d == c.outcome.recovery_distance && x < c.outcome.reattach_node);
+      if (better) adopt_local(c, x);
+    }
   };
 
   // Nearest-first repair: shorter detours finish first and then assist.
   std::vector<char> pending(static_cast<std::size_t>(g.node_count()), 0);
   for (const NodeId m : lost) pending[static_cast<std::size_t>(m)] = 1;
   int remaining = report.disconnected_members;
+  std::vector<NodeId> delta;  // nodes the last applied repair grafted
   while (remaining > 0) {
     // Pre-pass: members whose node a previous repair already pulled back
     // on-tree simply rejoin in place.
@@ -254,23 +292,35 @@ SessionRepairReport repair_session(const Graph& g, MulticastTree& tree,
     }
     if (remaining == 0) break;
 
-    RecoveryOutcome best;
-    bool found = false;
-    for (const NodeId m : lost) {
-      if (!pending[static_cast<std::size_t>(m)]) continue;
-      RecoveryOutcome out = recover_one(m);
-      if (!out.recovered) continue;
-      if (!found || out.recovery_distance < best.recovery_distance) {
-        best = std::move(out);
-        found = true;
+    std::size_t best_index = lost.size();
+    for (std::size_t i = 0; i < lost.size(); ++i) {
+      if (!pending[static_cast<std::size_t>(lost[i])]) continue;
+      Candidate& c = cache[i];
+      if (!c.computed) {
+        compute(c, lost[i]);
+      } else if (!delta.empty()) {
+        refresh(c, delta);
+      }
+      if (!c.outcome.recovered) continue;
+      if (best_index == lost.size() ||
+          c.outcome.recovery_distance <
+              cache[best_index].outcome.recovery_distance) {
+        best_index = i;
       }
     }
-    if (!found) {
+    if (best_index == lost.size()) {
       // Whoever is left is physically cut off.
       report.unrecoverable_members = remaining;
       break;
     }
+    RecoveryOutcome best = cache[best_index].outcome;
+    delta.clear();
+    for (const NodeId n : best.restoration_path) {
+      if (tree.on_tree(n)) break;
+      delta.push_back(n);
+    }
     apply_recovery(tree, best);
+    for (const NodeId n : delta) on_tree[static_cast<std::size_t>(n)] = 1;
     pending[static_cast<std::size_t>(best.member)] = 0;
     --remaining;
     ++report.repaired_members;

@@ -133,6 +133,65 @@ TEST(ScenarioScript, SupportsAllTopologyModels) {
   }
 }
 
+TEST(ScenarioScript, ChaosDirectivesParse) {
+  const ScenarioScript script = ScenarioScript::parse_string(R"(
+topology waxman n=40 seed=7
+source 0
+at 0    join 5
+at 1000 flap-link 0 5 400
+at 1500 crash-node 9 600
+at 2000 loss-burst 1000 0.15 0.01
+at 3500 audit
+run 5000
+)");
+  ASSERT_EQ(script.events().size(), 5u);
+  EXPECT_EQ(script.events()[1].kind, ScriptEvent::Kind::kFlapLink);
+  EXPECT_DOUBLE_EQ(script.events()[1].hold, 400.0);
+  EXPECT_EQ(script.events()[2].kind, ScriptEvent::Kind::kCrashRestart);
+  EXPECT_EQ(script.events()[3].kind, ScriptEvent::Kind::kLossBurst);
+  EXPECT_DOUBLE_EQ(script.events()[3].loss, 0.15);
+  EXPECT_DOUBLE_EQ(script.events()[3].base_loss, 0.01);
+  EXPECT_EQ(script.events()[4].kind, ScriptEvent::Kind::kAudit);
+}
+
+TEST(ScenarioScript, ChaosDrillRunsAndAuditsClean) {
+  // Flap a member's link, crash/restart another node, end with an audit:
+  // transient faults must heal on their own and leave the state clean.
+  const auto report = ScenarioScript::parse_string(R"(
+topology waxman n=40 alpha=0.3 seed=11
+mode smrp
+source 0
+at 0    join 7
+at 0    join 13
+at 2000 crash-node 22 500
+at 3000 loss-burst 800 0.10
+at 7000 audit
+at 7000 report
+run 8000
+)").execute();
+  EXPECT_EQ(report.members_at_end, 2);
+  EXPECT_EQ(report.starved_members_at_end, 0);
+  EXPECT_EQ(report.invariant_violations, 0);
+}
+
+TEST(ScenarioScript, ChaosDirectiveValidation) {
+  // Bad hold / probability values fail at parse time with line numbers.
+  EXPECT_THROW(ScenarioScript::parse_string(
+                   "topology waxman n=30\nat 10 flap-link 0 1 0\nrun 100\n"),
+               std::invalid_argument);
+  EXPECT_THROW(ScenarioScript::parse_string(
+                   "topology waxman n=30\nat 10 loss-burst 100 1.5\nrun 500\n"),
+               std::invalid_argument);
+  EXPECT_THROW(ScenarioScript::parse_string(
+                   "topology waxman n=30\nat 10 crash-node 4\nrun 100\n"),
+               std::invalid_argument);
+  // Crashing the source is refused at execute time.
+  const ScenarioScript script = ScenarioScript::parse_string(
+      "topology waxman n=30 seed=2\nsource 0\nat 10 crash-node 0 100\nrun "
+      "500\n");
+  EXPECT_THROW((void)script.execute(), std::invalid_argument);
+}
+
 TEST(ScenarioScript, PimModeRuns) {
   const auto report = ScenarioScript::parse_string(R"(
 topology waxman n=40 seed=5

@@ -1,0 +1,215 @@
+#include "sim/fault_injection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "net/rng.hpp"
+#include "testing_topologies.hpp"
+
+namespace smrp::sim {
+namespace {
+
+using testing::Fig1Topology;
+
+TEST(FaultPlanTest, BuilderExpandsCompoundFaults) {
+  FaultPlan plan;
+  plan.cut_link(100.0, 2)
+      .flap_link(200.0, 3, 50.0)
+      .crash_restart(300.0, 1, 400.0)
+      .loss_burst(500.0, 250.0, 0.2);
+  EXPECT_EQ(plan.fault_count(), 4);
+  // cut=1 action, flap=2, crash_restart=2, burst=2.
+  EXPECT_EQ(plan.actions().size(), 7u);
+  EXPECT_DOUBLE_EQ(plan.quiescent_time(), 750.0);
+
+  const auto& acts = plan.actions();
+  EXPECT_EQ(acts[0].kind, FaultAction::Kind::kLinkDown);
+  EXPECT_EQ(acts[1].kind, FaultAction::Kind::kLinkDown);
+  EXPECT_EQ(acts[2].kind, FaultAction::Kind::kLinkUp);
+  EXPECT_DOUBLE_EQ(acts[2].at, 250.0);
+  EXPECT_EQ(acts[3].kind, FaultAction::Kind::kNodeDown);
+  EXPECT_EQ(acts[4].kind, FaultAction::Kind::kNodeUp);
+  EXPECT_DOUBLE_EQ(acts[4].at, 700.0);
+  EXPECT_DOUBLE_EQ(acts[5].loss_probability, 0.2);
+  EXPECT_DOUBLE_EQ(acts[6].loss_probability, 0.0);
+}
+
+TEST(FaultPlanTest, RejectsBadArguments) {
+  FaultPlan plan;
+  EXPECT_THROW(plan.cut_link(-1.0, 0), std::invalid_argument);
+  EXPECT_THROW(plan.flap_link(0.0, 0, -5.0), std::invalid_argument);
+  EXPECT_THROW(plan.loss_burst(0.0, 10.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(plan.partition(0.0, {}, 10.0), std::invalid_argument);
+}
+
+TEST(FaultPlanTest, PartitionHealsEveryCutLink) {
+  FaultPlan plan;
+  plan.partition(1'000.0, {0, 1, 2}, 500.0);
+  EXPECT_EQ(plan.fault_count(), 1);
+  EXPECT_EQ(plan.actions().size(), 6u);
+  int downs = 0;
+  int ups = 0;
+  for (const FaultAction& a : plan.actions()) {
+    if (a.kind == FaultAction::Kind::kLinkDown) {
+      EXPECT_DOUBLE_EQ(a.at, 1'000.0);
+      ++downs;
+    } else if (a.kind == FaultAction::Kind::kLinkUp) {
+      EXPECT_DOUBLE_EQ(a.at, 1'500.0);
+      ++ups;
+    }
+  }
+  EXPECT_EQ(downs, 3);
+  EXPECT_EQ(ups, 3);
+}
+
+TEST(FaultPlanTest, BoundaryLinksIsolateTheSide) {
+  const Fig1Topology topo;
+  // {D} is cut off by AD, BD, CD.
+  const std::vector<net::LinkId> cut =
+      boundary_links(topo.graph, {Fig1Topology::D});
+  std::vector<net::LinkId> expected{topo.AD, topo.BD, topo.CD};
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(cut, expected);
+  // {S, A} boundary: SB, AC, AD.
+  const std::vector<net::LinkId> cut2 =
+      boundary_links(topo.graph, {Fig1Topology::S, Fig1Topology::A});
+  std::vector<net::LinkId> expected2{topo.SB, topo.AC, topo.AD};
+  std::sort(expected2.begin(), expected2.end());
+  EXPECT_EQ(cut2, expected2);
+}
+
+TEST(FaultPlanTest, RandomizedIsDeterministicInTheSeed) {
+  const Fig1Topology topo;
+  FaultPlan::RandomParams params;
+  params.link_flaps = 10;
+  params.link_cuts = 1;
+  params.node_restarts = 2;
+  params.protected_nodes = {Fig1Topology::S};
+
+  net::Rng rng_a(42);
+  net::Rng rng_b(42);
+  const FaultPlan a = FaultPlan::randomized(topo.graph, params, rng_a);
+  const FaultPlan b = FaultPlan::randomized(topo.graph, params, rng_b);
+  EXPECT_EQ(a.describe(), b.describe());
+  EXPECT_EQ(a.actions().size(), b.actions().size());
+
+  net::Rng rng_c(43);
+  const FaultPlan c = FaultPlan::randomized(topo.graph, params, rng_c);
+  EXPECT_NE(a.describe(), c.describe());
+}
+
+TEST(FaultPlanTest, RandomizedNeverCrashesProtectedNodes) {
+  const Fig1Topology topo;
+  FaultPlan::RandomParams params;
+  params.link_flaps = 0;
+  params.node_restarts = 8;
+  params.loss_bursts = 0;
+  params.protected_nodes = {Fig1Topology::S, Fig1Topology::A};
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    net::Rng rng(seed);
+    const FaultPlan plan = FaultPlan::randomized(topo.graph, params, rng);
+    for (const FaultAction& a : plan.actions()) {
+      if (a.kind == FaultAction::Kind::kNodeDown ||
+          a.kind == FaultAction::Kind::kNodeUp) {
+        EXPECT_NE(a.node, Fig1Topology::S);
+        EXPECT_NE(a.node, Fig1Topology::A);
+      }
+    }
+  }
+}
+
+TEST(FaultPlanTest, RandomizedCutsPreserveConnectivity) {
+  const Fig1Topology topo;
+  FaultPlan::RandomParams params;
+  params.link_flaps = 0;
+  params.node_restarts = 0;
+  params.loss_bursts = 0;
+  params.link_cuts = 2;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    net::Rng rng(seed);
+    const FaultPlan plan = FaultPlan::randomized(topo.graph, params, rng);
+    // Re-check: removing every permanently cut link keeps the graph whole.
+    std::vector<net::LinkId> cut;
+    for (const FaultAction& a : plan.actions()) {
+      if (a.kind == FaultAction::Kind::kLinkDown) cut.push_back(a.link);
+    }
+    // All cuts are permanent in this parameterisation.
+    for (const net::LinkId l : cut) {
+      EXPECT_TRUE(topo.graph.connected_without(l));
+    }
+  }
+}
+
+TEST(ChaosControllerTest, AppliesActionsAtTheirScheduledTimes) {
+  const Fig1Topology topo;
+  Simulator simulator;
+  SimNetwork network(simulator, topo.graph);
+
+  FaultPlan plan;
+  plan.flap_link(100.0, topo.AD, 150.0)
+      .crash_restart(120.0, Fig1Topology::B, 80.0)
+      .loss_burst(300.0, 100.0, 0.25);
+  ChaosController chaos(simulator, network, plan);
+  chaos.arm();
+
+  simulator.run_until(110.0);
+  EXPECT_FALSE(network.link_up(topo.AD));
+  EXPECT_TRUE(network.node_up(Fig1Topology::B));
+
+  simulator.run_until(150.0);
+  EXPECT_FALSE(network.node_up(Fig1Topology::B));
+
+  simulator.run_until(210.0);
+  EXPECT_TRUE(network.node_up(Fig1Topology::B));  // restarted at 200
+  EXPECT_FALSE(network.link_up(topo.AD));         // heals at 250
+
+  simulator.run_until(260.0);
+  EXPECT_TRUE(network.link_up(topo.AD));
+
+  simulator.run_until(350.0);
+  EXPECT_DOUBLE_EQ(network.loss_probability(), 0.25);
+  EXPECT_FALSE(chaos.quiescent());
+
+  simulator.run_until(500.0);
+  EXPECT_DOUBLE_EQ(network.loss_probability(), 0.0);
+  EXPECT_TRUE(chaos.quiescent());
+  EXPECT_EQ(chaos.actions_applied(), 6);
+  EXPECT_EQ(chaos.log().size(), 6u);
+}
+
+TEST(ChaosControllerTest, ValidatesPlanAgainstTopology) {
+  const Fig1Topology topo;
+  Simulator simulator;
+  SimNetwork network(simulator, topo.graph);
+
+  FaultPlan bad_link;
+  bad_link.cut_link(10.0, 99);
+  EXPECT_THROW(ChaosController(simulator, network, bad_link),
+               std::out_of_range);
+
+  FaultPlan bad_node;
+  bad_node.crash_node(10.0, 99);
+  EXPECT_THROW(ChaosController(simulator, network, bad_node),
+               std::out_of_range);
+}
+
+TEST(ChaosControllerTest, RefusesDoubleArmAndPastActions) {
+  const Fig1Topology topo;
+  Simulator simulator;
+  SimNetwork network(simulator, topo.graph);
+
+  FaultPlan plan;
+  plan.cut_link(50.0, topo.SA);
+  ChaosController chaos(simulator, network, plan);
+  chaos.arm();
+  EXPECT_THROW(chaos.arm(), std::logic_error);
+
+  simulator.run_until(100.0);
+  ChaosController late(simulator, network, plan);
+  EXPECT_THROW(late.arm(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace smrp::sim

@@ -112,6 +112,43 @@ TEST(Simulator, RunAllHonoursEventCap) {
   EXPECT_EQ(fired, 1000u);
 }
 
+TEST(Simulator, CancelledBacklogStaysBounded) {
+  // Regression: cancelled far-future events used to linger in the queue
+  // (and a side set) until the clock reached them. A 10k-event
+  // schedule/cancel churn — the pattern of retry timers under chaos —
+  // must keep the internal backlog within a small factor of the live
+  // event count.
+  Simulator s;
+  for (int i = 0; i < 10'000; ++i) {
+    const EventId id = s.schedule(1e9 + i, [] {});  // far future
+    s.cancel(id);
+    EXPECT_LE(s.queue_depth(), 2 * s.pending() + 64) << "iteration " << i;
+  }
+  EXPECT_EQ(s.pending(), 0u);
+  EXPECT_LE(s.queue_depth(), 64u);
+  // The simulator still works normally afterwards.
+  bool fired = false;
+  s.schedule(1.0, [&] { fired = true; });
+  s.run_until(2.0);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, CancelChurnWithLiveEventsStaysBounded) {
+  Simulator s;
+  int fired = 0;
+  for (int round = 0; round < 100; ++round) {
+    std::vector<EventId> ids;
+    for (int i = 0; i < 100; ++i) {
+      ids.push_back(s.schedule(1e6 + i, [] {}));
+    }
+    for (const EventId id : ids) s.cancel(id);
+    s.schedule(1.0, [&] { ++fired; });
+    s.run_until(s.now() + 2.0);
+    EXPECT_LE(s.queue_depth(), 2 * s.pending() + 64);
+  }
+  EXPECT_EQ(fired, 100);
+}
+
 TEST(Simulator, ProcessedCountsFiredEvents) {
   Simulator s;
   for (int i = 0; i < 7; ++i) s.schedule(i, [] {});

@@ -1,0 +1,152 @@
+// Invariant-checker tests: steady-state sessions audit clean, the
+// quiescent audit catches real protocol failures (legacy give-up leaving
+// a reachable member dark), and the hardened repair path fixes exactly
+// those failures (routed-join fallback, partition stranding + rejoin).
+#include "smrp/invariants.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/fault_injection.hpp"
+#include "smrp/harness.hpp"
+#include "testing_topologies.hpp"
+
+namespace smrp::proto {
+namespace {
+
+using testing::Fig1Topology;
+
+/// Unit-weight ring of `n` nodes: the one topology where a local detour
+/// can be arbitrarily far away (the long way around the ring).
+net::Graph ring_graph(int n) {
+  net::Graph g(n);
+  for (net::NodeId i = 0; i < n; ++i) {
+    g.add_link(i, (i + 1) % n, 1.0);
+  }
+  return g;
+}
+
+TEST(InvariantChecker, SteadyStateAuditsClean) {
+  const Fig1Topology fig;
+  SimulationHarness h(fig.graph, fig.S);
+  h.start();
+  h.session().join(fig.C);
+  h.session().join(fig.D);
+  h.simulator().run_until(3'000.0);
+
+  const InvariantChecker checker(h.session(), h.network());
+  const InvariantReport live = checker.audit();
+  EXPECT_TRUE(live.ok()) << live.to_string();
+  const InvariantReport quiescent = checker.audit_quiescent(0.0);
+  EXPECT_TRUE(quiescent.ok()) << quiescent.to_string();
+}
+
+TEST(InvariantChecker, LiveAuditToleratesChurn) {
+  const Fig1Topology fig;
+  SimulationHarness h(fig.graph, fig.S);
+  h.start();
+  h.session().join(fig.C);
+  h.session().join(fig.D);
+  h.fail_link_at(fig.AD, 2'000.0);
+  const InvariantChecker checker(h.session(), h.network());
+  // Audit every 50ms straight through failure detection and repair.
+  for (sim::Time t = 100.0; t <= 5'000.0; t += 50.0) {
+    h.simulator().run_until(t);
+    const InvariantReport report = checker.audit();
+    EXPECT_TRUE(report.ok()) << "t=" << t << ": " << report.to_string();
+  }
+}
+
+// The A/B pair at the heart of the hardening: a ring where the only
+// surviving detour is farther than max_repair_ttl hops. The legacy
+// protocol floods rings forever and never restores service — which the
+// quiescent audit reports — while the hardened protocol falls back to a
+// routed join and audits clean.
+class RingGiveUp : public ::testing::Test {
+ protected:
+  static constexpr net::NodeId kSource = 0;
+  static constexpr net::NodeId kMember = 5;
+  static constexpr sim::Time kCutAt = 2'000.0;
+
+  InvariantReport run(bool hardened) {
+    const net::Graph g = ring_graph(10);
+    SessionConfig config;
+    config.hardened = hardened;
+    config.max_repair_ttl = 4;  // the way around the ring is 5 hops
+    SimulationHarness h(g, kSource, config);
+    h.start();
+    h.session().join(kMember);
+    // Cut the member's upstream link 4–5: the nearest serving node the
+    // other way around (the source itself) is beyond the ring budget.
+    const auto link = g.link_between(4, 5);
+    h.fail_link_at(*link, kCutAt);
+
+    const sim::Time bound = service_restoration_bound(
+        h.session().config(), routing::RoutingConfig{}, g);
+    h.simulator().run_until(kCutAt + bound);
+    const InvariantChecker checker(h.session(), h.network());
+    return checker.audit_quiescent(kCutAt);
+  }
+};
+
+TEST_F(RingGiveUp, LegacyProtocolLeavesReachableMemberDark) {
+  const InvariantReport report = run(/*hardened=*/false);
+  EXPECT_FALSE(report.ok())
+      << "legacy give-up should strand the member beyond the ring budget";
+}
+
+TEST_F(RingGiveUp, HardenedProtocolFallsBackToRoutedJoin) {
+  const InvariantReport report = run(/*hardened=*/true);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(InvariantChecker, PartitionStrandsThenHealsMember) {
+  const Fig1Topology fig;
+  SessionConfig config;
+  config.max_repair_ttl = 2;  // exhaust the ring search quickly
+  SimulationHarness h(fig.graph, fig.S, config);
+  h.start();
+  h.session().join(fig.C);
+  h.session().join(fig.D);
+
+  // Isolate D completely from 2000ms to 5000ms.
+  const std::vector<net::LinkId> cut =
+      sim::boundary_links(fig.graph, {Fig1Topology::D});
+  for (const net::LinkId l : cut) {
+    h.fail_link_at(l, 2'000.0);
+    h.restore_link_at(l, 5'000.0);
+  }
+
+  h.simulator().run_until(4'500.0);
+  EXPECT_TRUE(h.session().is_stranded(fig.D))
+      << "D should give up flooding once the IGP confirms the partition";
+  // Stranded is not a violation while D really is cut off.
+  const InvariantChecker checker(h.session(), h.network());
+  EXPECT_TRUE(checker.audit().ok()) << checker.audit().to_string();
+
+  const sim::Time bound = service_restoration_bound(
+      h.session().config(), routing::RoutingConfig{}, fig.graph);
+  h.simulator().run_until(5'000.0 + bound);
+  EXPECT_FALSE(h.session().is_stranded(fig.D));
+  const InvariantReport report = checker.audit_quiescent(5'000.0);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(ServiceRestorationBound, IsFiniteAndScalesWithTheConfig) {
+  const Fig1Topology fig;
+  const SessionConfig config;
+  const routing::RoutingConfig routing;
+  const sim::Time bound =
+      service_restoration_bound(config, routing, fig.graph);
+  EXPECT_GT(bound, 0.0);
+  EXPECT_LT(bound, 60'000.0);  // stays practical for test budgets
+
+  SessionConfig deeper = config;
+  deeper.max_repair_ttl = config.max_repair_ttl * 4;
+  EXPECT_GT(service_restoration_bound(deeper, routing, fig.graph), bound);
+
+  const net::Graph bigger(4 * fig.graph.node_count());
+  EXPECT_GT(service_restoration_bound(config, routing, bigger), bound);
+}
+
+}  // namespace
+}  // namespace smrp::proto

@@ -75,6 +75,99 @@ TEST(NodeFailure, UnaffectedMemberStaysPut) {
   EXPECT_TRUE(out.recovered);
 }
 
+// --- Edge cases around whole-session node-failure repair --------------------
+
+TEST(NodeFailureEdge, MemberLosesItsDirectParent) {
+  // Figure-2 style disjoint tree: C under A, D under B. A — C's direct
+  // parent — dies; D's branch is untouched and C reattaches to it.
+  const Fig1Topology fig;
+  mcast::MulticastTree tree(fig.graph, fig.S);
+  tree.graft(fig.C, {fig.C, fig.A, fig.S});
+  tree.graft(fig.D, {fig.D, fig.B, fig.S});
+  const SessionRepairReport report = repair_session(
+      fig.graph, tree, Failure::of_node(fig.A), DetourPolicy::kLocal);
+  EXPECT_EQ(report.disconnected_members, 1);
+  EXPECT_EQ(report.repaired_members, 1);
+  tree.validate();
+  EXPECT_FALSE(tree.on_tree(fig.A));
+  ASSERT_EQ(report.outcomes.size(), 1u);
+  EXPECT_EQ(report.outcomes[0].member, fig.C);
+  EXPECT_EQ(report.outcomes[0].reattach_node, fig.D);
+  EXPECT_DOUBLE_EQ(report.outcomes[0].recovery_distance, 2.0);  // C–D
+  EXPECT_EQ(tree.path_to_source(fig.C),
+            (std::vector<net::NodeId>{fig.C, fig.D, fig.B, fig.S}));
+  // The survivor kept its branch exactly.
+  EXPECT_EQ(tree.path_to_source(fig.D),
+            (std::vector<net::NodeId>{fig.D, fig.B, fig.S}));
+}
+
+TEST(NodeFailureEdge, SourcesOnlyChildDies) {
+  // On the SPF tree S–A–{C,D}, A is the source's only child: its death
+  // takes the entire distribution structure down to just {S}. The session
+  // must rebuild from scratch through B — nearest victim (D, via D–B–S
+  // at 3) first, then C assisted by D's fresh branch (C–D at 2).
+  const Fig1Topology fig;
+  mcast::MulticastTree tree = fig1_tree(fig);
+  ASSERT_EQ(tree.children(fig.S), (std::vector<net::NodeId>{fig.A}));
+  const SessionRepairReport report = repair_session(
+      fig.graph, tree, Failure::of_node(fig.A), DetourPolicy::kLocal);
+  EXPECT_EQ(report.disconnected_members, 2);
+  EXPECT_EQ(report.repaired_members, 2);
+  tree.validate();
+  EXPECT_EQ(tree.children(fig.S), (std::vector<net::NodeId>{fig.B}));
+  ASSERT_EQ(report.outcomes.size(), 2u);
+  EXPECT_EQ(report.outcomes[0].member, fig.D);
+  EXPECT_DOUBLE_EQ(report.outcomes[0].recovery_distance, 3.0);
+  EXPECT_EQ(report.outcomes[1].member, fig.C);
+  EXPECT_DOUBLE_EQ(report.outcomes[1].recovery_distance, 2.0);
+  for (const net::NodeId m : {fig.C, fig.D}) {
+    for (const net::NodeId hop : tree.path_to_source(m)) {
+      EXPECT_NE(hop, fig.A);
+    }
+  }
+}
+
+TEST(NodeFailureEdge, AccumulatedFailuresNarrowTheDetourChoices) {
+  // Multi-failure accumulation: link C–D already failed earlier, then
+  // node A dies. D still detours via B, but C — whose only A-free escape
+  // was C–D — is now physically cut off.
+  const Fig1Topology fig;
+  mcast::MulticastTree tree = fig1_tree(fig);
+  net::ExclusionSet dead(fig.graph);
+  dead.ban_link(fig.CD);
+  const SessionRepairReport report = repair_session(
+      fig.graph, tree, Failure::of_node(fig.A), DetourPolicy::kLocal, &dead);
+  EXPECT_EQ(report.disconnected_members, 2);
+  EXPECT_EQ(report.repaired_members, 1);
+  EXPECT_EQ(report.unrecoverable_members, 1);
+  tree.validate();
+  ASSERT_EQ(report.outcomes.size(), 1u);
+  EXPECT_EQ(report.outcomes[0].member, fig.D);
+  EXPECT_EQ(report.outcomes[0].restoration_path,
+            (std::vector<net::NodeId>{fig.D, fig.B, fig.S}));
+  EXPECT_TRUE(tree.is_member(fig.D));
+  EXPECT_FALSE(tree.is_member(fig.C));
+}
+
+TEST(NodeFailureEdge, AccumulatedNodeFailuresCanStrandEveryone) {
+  // B died earlier, now A dies too: with both transit routers gone the
+  // members have no physical path left; the repair must report them
+  // unrecoverable and leave a valid (source-only) tree.
+  const Fig1Topology fig;
+  mcast::MulticastTree tree = fig1_tree(fig);
+  net::ExclusionSet dead(fig.graph);
+  dead.ban_node(fig.B);
+  const SessionRepairReport report = repair_session(
+      fig.graph, tree, Failure::of_node(fig.A), DetourPolicy::kLocal, &dead);
+  EXPECT_EQ(report.disconnected_members, 2);
+  EXPECT_EQ(report.repaired_members, 0);
+  EXPECT_EQ(report.unrecoverable_members, 2);
+  tree.validate();
+  EXPECT_EQ(tree.member_count(), 0);
+  EXPECT_TRUE(tree.on_tree_nodes() ==
+              std::vector<net::NodeId>{fig.S});
+}
+
 class NodeFailureProperty : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(NodeFailureProperty, RestorationAvoidsTheDeadNode) {

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "eval/failure_sequence.hpp"
+#include "net/shortest_path.hpp"
 #include "net/waxman.hpp"
 #include "smrp/recovery.hpp"
 #include "smrp/tree_builder.hpp"
@@ -168,6 +169,101 @@ TEST_P(RepairSessionProperty, TreeValidAndFailureFreeAfterEveryRepair) {
   EXPECT_EQ(tree.member_count(),
             members_before - report.unrecoverable_members);
   for (const net::LinkId l : tree.tree_links()) EXPECT_NE(l, victim);
+}
+
+// repair_session caches one absorbing search per lost member and updates
+// each cached candidate only against the nodes the latest repair grafted.
+// This replays the pre-optimization algorithm — a full recompute of every
+// pending member's detour before every round — and checks the optimized
+// pass picked the exact same nearest member, reattach point, and distance
+// each round.
+TEST_P(RepairSessionProperty, CachedRepairMatchesPerRoundFullRecompute) {
+  net::Rng rng(GetParam() + 1000);
+  net::WaxmanParams wax;
+  wax.node_count = 40;
+  auto g = std::make_unique<net::Graph>(net::waxman_graph(wax, rng));
+  SmrpTreeBuilder builder(*g, 0);
+  for (int i = 0; i < 12; ++i) {
+    builder.join(static_cast<net::NodeId>(1 + rng.below(39)));
+  }
+  const mcast::MulticastTree original = builder.tree();
+
+  net::LinkId victim = net::kNoLink;
+  int worst = -1;
+  for (const net::NodeId child : original.children(0)) {
+    if (original.subtree_members(child) > worst) {
+      worst = original.subtree_members(child);
+      victim = original.parent_link(child);
+    }
+  }
+  ASSERT_NE(victim, net::kNoLink);
+
+  mcast::MulticastTree fast = original;
+  const SessionRepairReport report = repair_session(
+      *g, fast, Failure::of_link(victim), DetourPolicy::kLocal);
+
+  mcast::MulticastTree ref = original;
+  const std::vector<net::NodeId> lost = ref.sever(victim);
+  std::vector<char> pending(static_cast<std::size_t>(g->node_count()), 0);
+  for (const net::NodeId m : lost) pending[static_cast<std::size_t>(m)] = 1;
+  net::ExclusionSet excluded(*g);
+  excluded.ban_link(victim);
+
+  const auto rejoin_in_place = [&] {
+    for (const net::NodeId m : lost) {
+      if (pending[static_cast<std::size_t>(m)] && ref.on_tree(m)) {
+        ref.graft(m, {m});
+        pending[static_cast<std::size_t>(m)] = 0;
+      }
+    }
+  };
+  const auto best_for = [&](net::NodeId member, double& dist,
+                            net::NodeId& reattach) {
+    std::vector<char> on_tree(static_cast<std::size_t>(g->node_count()), 0);
+    for (const net::NodeId n : ref.on_tree_nodes()) {
+      on_tree[static_cast<std::size_t>(n)] = 1;
+    }
+    const net::ShortestPathTree search =
+        net::dijkstra_absorbing(*g, member, on_tree, excluded);
+    reattach = net::kNoNode;
+    for (const net::NodeId n : ref.on_tree_nodes()) {
+      if (!search.reachable(n)) continue;
+      if (reattach == net::kNoNode ||
+          search.dist[static_cast<std::size_t>(n)] <
+              search.dist[static_cast<std::size_t>(reattach)]) {
+        reattach = n;
+      }
+    }
+    if (reattach == net::kNoNode) return false;
+    dist = search.dist[static_cast<std::size_t>(reattach)];
+    return true;
+  };
+
+  for (const RecoveryOutcome& out : report.outcomes) {
+    rejoin_in_place();
+    net::NodeId expect_member = net::kNoNode;
+    net::NodeId expect_at = net::kNoNode;
+    double expect_dist = 0.0;
+    for (const net::NodeId m : lost) {
+      if (!pending[static_cast<std::size_t>(m)]) continue;
+      double d = 0.0;
+      net::NodeId at = net::kNoNode;
+      if (!best_for(m, d, at)) continue;
+      if (expect_member == net::kNoNode || d < expect_dist) {
+        expect_member = m;
+        expect_dist = d;
+        expect_at = at;
+      }
+    }
+    ASSERT_NE(expect_member, net::kNoNode);
+    EXPECT_EQ(out.member, expect_member);
+    EXPECT_EQ(out.reattach_node, expect_at);
+    EXPECT_DOUBLE_EQ(out.recovery_distance, expect_dist);
+    apply_recovery(ref, out);
+    pending[static_cast<std::size_t>(out.member)] = 0;
+  }
+  rejoin_in_place();
+  EXPECT_EQ(fast.member_count(), ref.member_count());
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RepairSessionProperty,
