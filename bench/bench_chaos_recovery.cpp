@@ -35,7 +35,8 @@ struct ChaosResult {
 ChaosResult run_chaos(const net::Graph& g,
                       const std::vector<net::NodeId>& members,
                       proto::SessionConfig::Mode mode,
-                      const sim::FaultPlan& plan) {
+                      const sim::FaultPlan& plan,
+                      obs::Telemetry* telemetry) {
   // Same timer asymmetry as bench_restoration_time: data-driven multicast
   // detection is fast, the unicast IGP keeps conservative hello/dead
   // timers and an SPF hold-down.
@@ -51,6 +52,7 @@ ChaosResult run_chaos(const net::Graph& g,
   routing_config.dead_interval = 2000.0;
   routing_config.spf_delay = 100.0;
   proto::SimulationHarness h(g, /*source=*/0, config, routing_config);
+  if (telemetry != nullptr) h.attach_telemetry(telemetry);
 
   sim::ChaosController chaos(h.simulator(), h.network(), plan);
   h.start();
@@ -73,6 +75,13 @@ ChaosResult run_chaos(const net::Graph& g,
         if (last_seen[i] >= 0.0 && at - last_seen[i] > gap_threshold) {
           result.gaps_ms.push_back(at - last_seen[i]);
           result.starved_ms += at - last_seen[i];
+          if (telemetry != nullptr) {
+            // The bench's OWN gap measurement, exported next to the
+            // protocol's outage spans so trace_report can cross-check the
+            // two accountings of the same interruptions.
+            telemetry->metrics.histogram("smrp.bench.gap_ms")
+                .record(at - last_seen[i]);
+          }
         }
         last_seen[i] = at;
       } else if (h.network().node_up(members[i]) &&
@@ -89,8 +98,16 @@ ChaosResult run_chaos(const net::Graph& g,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace smrp;
+  bench::TelemetryExport trace_out;
+  try {
+    trace_out = bench::TelemetryExport::from_args(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "usage: bench_chaos_recovery [--telemetry <path>]\n"
+              << e.what() << "\n";
+    return 2;
+  }
   bench::banner("chaos-recovery",
                 "Service interruption under a seeded flap/crash plan, SMRP "
                 "local repair vs PIM over OSPF-lite (DES, N=50, N_G=10, "
@@ -129,10 +146,17 @@ int main() {
     net::Rng plan_rng = rng.fork();
     const sim::FaultPlan plan = sim::FaultPlan::randomized(g, params, plan_rng);
 
+    obs::Telemetry smrp_telemetry;
+    obs::Telemetry pim_telemetry;
     const ChaosResult smrp =
-        run_chaos(g, members, proto::SessionConfig::Mode::kSmrp, plan);
+        run_chaos(g, members, proto::SessionConfig::Mode::kSmrp, plan,
+                  trace_out.active() ? &smrp_telemetry : nullptr);
     const ChaosResult pim =
-        run_chaos(g, members, proto::SessionConfig::Mode::kPimSpf, plan);
+        run_chaos(g, members, proto::SessionConfig::Mode::kPimSpf, plan,
+                  trace_out.active() ? &pim_telemetry : nullptr);
+    const double run_end = plan.quiescent_time() + 15'000.0;
+    trace_out.add(smrp_telemetry, run_end, "smrp-topo" + std::to_string(t));
+    trace_out.add(pim_telemetry, run_end, "pim-topo" + std::to_string(t));
     for (const double x : smrp.gaps_ms) smrp_gaps.add(x);
     for (const double x : pim.gaps_ms) pim_gaps.add(x);
     smrp_starved += smrp.starved_ms;

@@ -2,8 +2,14 @@
 #pragma once
 
 #include <cstdint>
+#include <fstream>
 #include <iostream>
+#include <memory>
+#include <stdexcept>
+#include <string>
 #include <string_view>
+
+#include "obs/jsonl.hpp"
 
 namespace smrp::bench {
 
@@ -18,5 +24,59 @@ inline void banner(std::string_view experiment_id, std::string_view title,
 }
 
 inline constexpr std::uint64_t kDefaultSeed = 20050628;  // DSN 2005 week
+
+/// JSONL telemetry export for bench binaries, driven by the one flag the
+/// benches accept: `--telemetry <path>`. Inactive (every call a no-op)
+/// when the flag is absent, so instrumented benches run unchanged by
+/// default. Each instrumented run appends its own snapshot section
+/// (delimited by a `meta` line) to the same file; tools/trace_report
+/// renders them per run label.
+class TelemetryExport {
+ public:
+  /// Parse argv; throws std::invalid_argument on an unknown flag or a
+  /// missing path so typos fail loudly instead of silently benchmarking.
+  static TelemetryExport from_args(int argc, char** argv) {
+    TelemetryExport out;
+    for (int i = 1; i < argc; ++i) {
+      const std::string_view arg = argv[i];
+      if (arg == "--telemetry") {
+        if (i + 1 >= argc) {
+          throw std::invalid_argument("--telemetry needs a file path");
+        }
+        out.open(argv[++i]);
+      } else {
+        throw std::invalid_argument("unknown argument: " + std::string(arg));
+      }
+    }
+    return out;
+  }
+
+  [[nodiscard]] bool active() const noexcept { return sink_ != nullptr; }
+
+  /// Append one run's snapshot section. Closes still-open spans as
+  /// kUnclosed first (the run is over; anything open is a finding).
+  void add(obs::Telemetry& telemetry, double now, std::string_view run_label) {
+    if (sink_ == nullptr) return;
+    telemetry.finish(now);
+    sink_->write_snapshot(telemetry, now, run_label);
+    if (!*out_) {
+      throw std::runtime_error("failed writing telemetry output: " + path_);
+    }
+  }
+
+ private:
+  void open(std::string path) {
+    path_ = std::move(path);
+    out_ = std::make_unique<std::ofstream>(path_, std::ios::trunc);
+    if (!*out_) {
+      throw std::runtime_error("cannot open telemetry output: " + path_);
+    }
+    sink_ = std::make_unique<obs::JsonlSink>(*out_);
+  }
+
+  std::string path_;
+  std::unique_ptr<std::ofstream> out_;
+  std::unique_ptr<obs::JsonlSink> sink_;
+};
 
 }  // namespace smrp::bench

@@ -25,10 +25,12 @@ using namespace smrp;
 struct RunResult {
   std::vector<double> restoration_ms;  ///< per disconnected member
   int unrestored = 0;
+  sim::Time end_time = 0.0;  ///< sim clock when the run finished
 };
 
 RunResult run_once(const net::Graph& g, const std::vector<net::NodeId>& members,
-                   proto::SessionConfig::Mode mode) {
+                   proto::SessionConfig::Mode mode,
+                   obs::Telemetry* telemetry) {
   // Timer asymmetry modelled on deployed networks (and on the paper's
   // premise): multicast failure detection is data-driven and fast, while
   // the unicast IGP uses conservative hello/dead timers and an SPF
@@ -46,6 +48,7 @@ RunResult run_once(const net::Graph& g, const std::vector<net::NodeId>& members,
   routing_config.dead_interval = 2000.0;
   routing_config.spf_delay = 100.0;
   proto::SimulationHarness h(g, /*source=*/0, config, routing_config);
+  if (telemetry != nullptr) h.attach_telemetry(telemetry);
   h.start();
   for (const net::NodeId m : members) h.session().join(m);
   const sim::Time settle = 3000.0;
@@ -55,6 +58,7 @@ RunResult run_once(const net::Graph& g, const std::vector<net::NodeId>& members,
   // members (the paper's worst case, applied to the live session).
   const auto snapshot = h.session().snapshot_tree();
   RunResult result;
+  result.end_time = h.simulator().now();
   if (!snapshot) return result;
   net::LinkId victim_link = net::kNoLink;
   int worst = -1;
@@ -89,18 +93,33 @@ RunResult run_once(const net::Graph& g, const std::vector<net::NodeId>& members,
         restored[i] = 1;
         result.restoration_ms.push_back(
             h.session().last_data_at(victims[i]) - fail_at);
+        if (telemetry != nullptr) {
+          // The bench's own cut-to-first-payload measurement, exported
+          // next to the protocol's outage spans for cross-checking.
+          telemetry->metrics.histogram("smrp.bench.restoration_ms")
+              .record(result.restoration_ms.back());
+        }
         ++done;
       }
     }
   }
   result.unrestored = static_cast<int>(victims.size() - done);
+  result.end_time = h.simulator().now();
   return result;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace smrp;
+  bench::TelemetryExport trace_out;
+  try {
+    trace_out = bench::TelemetryExport::from_args(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "usage: bench_restoration_time [--telemetry <path>]\n"
+              << e.what() << "\n";
+    return 2;
+  }
   bench::banner("restoration-time",
                 "Service restoration time, SMRP local repair vs PIM/OSPF "
                 "global detour (DES, N=60, N_G=12, 8 topologies)",
@@ -124,10 +143,17 @@ int main() {
         members.push_back(m);
       }
     }
+    obs::Telemetry smrp_telemetry;
+    obs::Telemetry pim_telemetry;
     const RunResult smrp =
-        run_once(g, members, proto::SessionConfig::Mode::kSmrp);
+        run_once(g, members, proto::SessionConfig::Mode::kSmrp,
+                 trace_out.active() ? &smrp_telemetry : nullptr);
     const RunResult pim =
-        run_once(g, members, proto::SessionConfig::Mode::kPimSpf);
+        run_once(g, members, proto::SessionConfig::Mode::kPimSpf,
+                 trace_out.active() ? &pim_telemetry : nullptr);
+    trace_out.add(smrp_telemetry, smrp.end_time,
+                  "smrp-topo" + std::to_string(t));
+    trace_out.add(pim_telemetry, pim.end_time, "pim-topo" + std::to_string(t));
     for (const double x : smrp.restoration_ms) smrp_times.add(x);
     for (const double x : pim.restoration_ms) pim_times.add(x);
     smrp_unrestored += smrp.unrestored;

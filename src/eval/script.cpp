@@ -7,6 +7,7 @@
 
 #include "net/random_graphs.hpp"
 #include "net/waxman.hpp"
+#include "obs/jsonl.hpp"
 #include "sim/fault_injection.hpp"
 #include "smrp/harness.hpp"
 #include "smrp/invariants.hpp"
@@ -146,10 +147,16 @@ ScenarioScript ScenarioScript::parse(std::istream& in) {
         event.kind = ScriptEvent::Kind::kAudit;
       } else if (action == "report") {
         event.kind = ScriptEvent::Kind::kReport;
+      } else if (action == "stats") {
+        event.kind = ScriptEvent::Kind::kStats;
       } else {
         fail(line, "unknown action: " + action);
       }
       script.events_.push_back(event);
+    } else if (command == "trace-out") {
+      if (!(tokens >> script.trace_path_)) {
+        fail(line, "trace-out needs a file path");
+      }
     } else if (command == "run") {
       if (!(tokens >> script.run_until_)) fail(line, "run needs a duration");
       saw_run = true;
@@ -208,6 +215,15 @@ ScenarioScript::RunReport ScenarioScript::execute() const {
   }
 
   proto::SimulationHarness harness(graph, source_, session_);
+  // Telemetry is pure observation (attached runs are bit-identical to
+  // detached ones), so attach whenever any directive wants to read it.
+  const bool want_telemetry =
+      !trace_path_.empty() ||
+      std::any_of(events_.begin(), events_.end(), [](const ScriptEvent& e) {
+        return e.kind == ScriptEvent::Kind::kStats;
+      });
+  obs::Telemetry telemetry;
+  if (want_telemetry) harness.attach_telemetry(&telemetry);
   harness.start();
 
   RunReport report;
@@ -311,6 +327,28 @@ ScenarioScript::RunReport ScenarioScript::execute() const {
         }
         break;
       }
+      case ScriptEvent::Kind::kStats: {
+        const auto counter = [&](const std::string& name) {
+          const auto& counters = telemetry.metrics.counters();
+          const auto it = counters.find(name);
+          return it != counters.end() ? it->second.value() : std::uint64_t{0};
+        };
+        std::uint64_t tx = 0;
+        std::uint64_t drop = 0;
+        for (const auto& [name, c] : telemetry.metrics.counters()) {
+          if (name.rfind("smrp.sim.tx.", 0) == 0) tx += c.value();
+          if (name.rfind("smrp.sim.drop.", 0) == 0) drop += c.value();
+        }
+        std::ostringstream text;
+        text << "stats: events=" << counter("smrp.sim.events") << " tx=" << tx
+             << " drop=" << drop
+             << " repairs=" << counter("smrp.proto.repairs_started") << "/"
+             << counter("smrp.proto.repairs_completed")
+             << " spans=" << telemetry.spans.spans().size()
+             << " open=" << telemetry.spans.open_count();
+        log(e.at, text.str());
+        break;
+      }
       case ScriptEvent::Kind::kReport: {
         for (const net::NodeId m : members) {
           std::ostringstream text;
@@ -332,6 +370,10 @@ ScenarioScript::RunReport ScenarioScript::execute() const {
     }
   }
   harness.simulator().run_until(run_until_);
+  if (!trace_path_.empty()) {
+    telemetry.finish(run_until_);
+    obs::write_jsonl_file(telemetry, run_until_, trace_path_, "scenario");
+  }
 
   report.members_at_end = static_cast<int>(members.size());
   for (const net::NodeId m : members) {

@@ -21,6 +21,11 @@
 //   at 2500 loss-burst 1000 0.15    # 15% loss for 1s (optional base after)
 //   at 6000 audit                   # run the invariant checker, log result
 //
+// Telemetry directives (DESIGN.md §8):
+//
+//   trace-out drill.jsonl           # stream the telemetry snapshot at end
+//   at 4000 stats                   # log headline registry counters
+//
 // `topology` also accepts `erdos n=.. degree=.. seed=..` and
 // `ba n=.. m=.. seed=..`. Times are simulated milliseconds.
 #pragma once
@@ -48,6 +53,7 @@ struct ScriptEvent {
     kCrashRestart,  ///< node crash, auto-restart after `hold`
     kLossBurst,     ///< loss probability `loss` for `hold` ms
     kAudit,         ///< run the invariant checker, log the outcome
+    kStats,         ///< log headline telemetry counters at this instant
   };
   sim::Time at = 0.0;
   Kind kind = Kind::kReport;
@@ -81,6 +87,10 @@ class ScenarioScript {
   }
   [[nodiscard]] net::NodeId source() const noexcept { return source_; }
   [[nodiscard]] sim::Time run_until() const noexcept { return run_until_; }
+  /// JSONL telemetry destination (`trace-out`); empty when not requested.
+  [[nodiscard]] const std::string& trace_path() const noexcept {
+    return trace_path_;
+  }
 
  private:
   // Topology description (generated lazily at execute()).
@@ -96,6 +106,7 @@ class ScenarioScript {
   proto::SessionConfig session_;
   net::NodeId source_ = 0;
   sim::Time run_until_ = 5000.0;
+  std::string trace_path_;
   std::vector<ScriptEvent> events_;
 };
 

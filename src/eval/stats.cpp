@@ -37,31 +37,17 @@ double t_critical_95(int dof) {
   return 1.96 + w * (1.980 - 1.96);
 }
 
-void RunningStats::add(double x) noexcept {
-  if (count_ == 0) {
-    min_ = x;
-    max_ = x;
-  } else {
-    min_ = std::min(min_, x);
-    max_ = std::max(max_, x);
-  }
-  ++count_;
-  const double delta = x - mean_;
-  mean_ += delta / count_;
-  m2_ += delta * (x - mean_);
-}
-
 Summary RunningStats::summary() const noexcept {
   Summary s;
-  s.count = count_;
-  if (count_ == 0) return s;
-  s.mean = mean_;
-  s.min = min_;
-  s.max = max_;
-  if (count_ > 1) {
-    s.stddev = std::sqrt(m2_ / (count_ - 1));
-    s.ci95_half = t_critical_95(count_ - 1) * s.stddev /
-                  std::sqrt(static_cast<double>(count_));
+  s.count = static_cast<int>(hist_.count());
+  if (s.count == 0) return s;
+  s.mean = hist_.mean();
+  s.min = hist_.min();
+  s.max = hist_.max();
+  if (s.count > 1) {
+    s.stddev = hist_.stddev();
+    s.ci95_half = t_critical_95(s.count - 1) * s.stddev /
+                  std::sqrt(static_cast<double>(s.count));
   }
   return s;
 }

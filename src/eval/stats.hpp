@@ -1,9 +1,16 @@
 // Small statistics toolkit for the benches: summary statistics and the 95%
 // confidence intervals the paper draws as error bars (Figs. 8–10).
+//
+// The accumulation itself lives in obs::Histogram (the repository's single
+// Welford implementation and single percentile definition — see
+// DESIGN.md §8); this layer only adds the t-distribution confidence
+// interval the paper's figures need.
 #pragma once
 
 #include <span>
 #include <vector>
+
+#include "obs/metrics.hpp"
 
 namespace smrp::eval {
 
@@ -24,20 +31,22 @@ struct Summary {
 /// freedom (dof ≥ 1; large dof converges to 1.96).
 [[nodiscard]] double t_critical_95(int dof);
 
-/// Accumulator for streaming use.
+/// Accumulator for streaming use: obs::Histogram's moments plus the CI.
 class RunningStats {
  public:
-  void add(double x) noexcept;
+  void add(double x) noexcept { hist_.record(x); }
   [[nodiscard]] Summary summary() const noexcept;
-  [[nodiscard]] int count() const noexcept { return count_; }
-  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] int count() const noexcept {
+    return static_cast<int>(hist_.count());
+  }
+  [[nodiscard]] double mean() const noexcept { return hist_.mean(); }
+  /// The shared percentile definition, exposed for bench reporting.
+  [[nodiscard]] double percentile(double q) const noexcept {
+    return hist_.percentile(q);
+  }
 
  private:
-  int count_ = 0;
-  double mean_ = 0.0;
-  double m2_ = 0.0;
-  double min_ = 0.0;
-  double max_ = 0.0;
+  obs::Histogram hist_;
 };
 
 }  // namespace smrp::eval

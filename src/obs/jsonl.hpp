@@ -1,0 +1,48 @@
+// JSONL trace export: one flat JSON object per line, streamed to any
+// ostream. A snapshot section is
+//
+//   {"type":"meta","version":1,"run":"<label>","at":<ms>,...}
+//   {"type":"span","id":1,"parent":0,"kind":"outage","node":6,...}   × N
+//   {"type":"counter","name":"smrp.sim.tx.DATA","value":1234}        × N
+//   {"type":"gauge","name":"smrp.sim.queue_depth",...}               × N
+//   {"type":"hist","name":"smrp.proto.outage_ms","count":9,...}      × N
+//
+// Every value is a string or a number (span attributes are flattened into
+// the span line), so consumers need no recursive JSON parser. Doubles are
+// printed with round-trip precision: two exports of the same seeded run
+// diff bit-for-bit. The schema (DESIGN.md §8) is validated end-to-end by
+// tools/trace_report, which CI runs against a chaos soak.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "obs/telemetry.hpp"
+
+namespace smrp::obs {
+
+inline constexpr int kJsonlVersion = 1;
+
+/// Streams snapshot sections to an ostream it does not own.
+class JsonlSink {
+ public:
+  explicit JsonlSink(std::ostream& out) : out_(&out) {}
+
+  /// Append one full snapshot (meta + all spans + all metrics). `now` is
+  /// the sim time of the snapshot; `run_label` distinguishes sections when
+  /// several runs share a file (e.g. one bench, many topologies).
+  void write_snapshot(const Telemetry& telemetry, double now,
+                      std::string_view run_label = "run");
+
+ private:
+  std::ostream* out_;
+};
+
+/// One-shot convenience: write a single snapshot to `path` (truncating).
+/// Throws std::runtime_error when the file cannot be written.
+void write_jsonl_file(const Telemetry& telemetry, double now,
+                      const std::string& path,
+                      std::string_view run_label = "run");
+
+}  // namespace smrp::obs

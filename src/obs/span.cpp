@@ -1,0 +1,89 @@
+#include "obs/span.hpp"
+
+#include <utility>
+
+namespace smrp::obs {
+
+std::string_view span_status_name(SpanStatus status) {
+  switch (status) {
+    case SpanStatus::kOpen:
+      return "open";
+    case SpanStatus::kOk:
+      return "ok";
+    case SpanStatus::kFailed:
+      return "failed";
+    case SpanStatus::kSuperseded:
+      return "superseded";
+    case SpanStatus::kUnclosed:
+      return "unclosed";
+  }
+  return "?";
+}
+
+const double* Span::attr(std::string_view key) const noexcept {
+  for (const auto& [k, v] : attrs) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+SpanId SpanCollector::open(std::string kind, std::int64_t node, double now,
+                           SpanId parent) {
+  Span span;
+  span.id = static_cast<SpanId>(spans_.size()) + 1;
+  span.parent = parent;
+  span.kind = std::move(kind);
+  span.node = node;
+  span.start = now;
+  spans_.push_back(std::move(span));
+  ++open_;
+  return spans_.back().id;
+}
+
+void SpanCollector::attr(SpanId id, std::string key, double value) {
+  if (id == kNoSpan || id > spans_.size()) return;
+  Span& span = spans_[static_cast<std::size_t>(id - 1)];
+  for (auto& [k, v] : span.attrs) {
+    if (k == key) {
+      v = value;
+      return;
+    }
+  }
+  span.attrs.emplace_back(std::move(key), value);
+}
+
+void SpanCollector::close(SpanId id, double now, SpanStatus status) {
+  if (id == kNoSpan || id > spans_.size()) return;
+  Span& span = spans_[static_cast<std::size_t>(id - 1)];
+  if (!span.open()) {
+    ++double_closes_;
+    return;
+  }
+  span.end = now;
+  span.status = status == SpanStatus::kOpen ? SpanStatus::kOk : status;
+  --open_;
+}
+
+void SpanCollector::close_open(double now) {
+  for (Span& span : spans_) {
+    if (!span.open()) continue;
+    span.end = now;
+    span.status = SpanStatus::kUnclosed;
+    --open_;
+  }
+}
+
+const Span* SpanCollector::find(SpanId id) const noexcept {
+  if (id == kNoSpan || id > spans_.size()) return nullptr;
+  return &spans_[static_cast<std::size_t>(id - 1)];
+}
+
+std::size_t SpanCollector::count(std::string_view kind) const noexcept {
+  std::size_t n = 0;
+  for (const Span& span : spans_) {
+    if (span.kind == kind) ++n;
+  }
+  return n;
+}
+
+}  // namespace smrp::obs

@@ -1,0 +1,93 @@
+// Causal episode spans: the protocol layers open a span when an episode
+// begins (a service outage, a repair episode, one expanding-ring flood, a
+// graft installation, a join), attach numeric attributes, and close it
+// when the episode resolves. Spans carry sim-time start/end and a parent
+// id, so a chaos soak decomposes into waterfalls:
+//
+//   outage(node 6)
+//   ├── repair #1      detection → response adopted
+//   │   ├── ring ttl=1
+//   │   └── ring ttl=2
+//   └── graft          response adopted → first payload
+//
+// The collector is append-only and purely observational: opening or
+// closing a span never schedules simulator work or consumes randomness,
+// so telemetry cannot perturb a seeded run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace smrp::obs {
+
+using SpanId = std::uint64_t;
+inline constexpr SpanId kNoSpan = 0;
+
+enum class SpanStatus : unsigned char {
+  kOpen,        ///< still in flight
+  kOk,          ///< episode resolved
+  kFailed,      ///< episode gave up (ring budget exhausted, crash wiped it)
+  kSuperseded,  ///< replaced by a newer episode before resolving
+  kUnclosed,    ///< still open when the run ended (closed by close_open)
+};
+
+[[nodiscard]] std::string_view span_status_name(SpanStatus status);
+
+struct Span {
+  SpanId id = kNoSpan;
+  SpanId parent = kNoSpan;
+  std::string kind;        ///< e.g. "outage", "repair", "ring", "graft"
+  std::int64_t node = -1;  ///< protocol agent the episode belongs to
+  double start = 0.0;      ///< sim time (ms)
+  double end = -1.0;       ///< sim time (ms); < 0 while open
+  SpanStatus status = SpanStatus::kOpen;
+  /// Numeric attributes in attachment order (e.g. {"ttl", 4}).
+  std::vector<std::pair<std::string, double>> attrs;
+
+  [[nodiscard]] bool open() const noexcept {
+    return status == SpanStatus::kOpen;
+  }
+  /// end - start; meaningless (negative) while open.
+  [[nodiscard]] double duration() const noexcept { return end - start; }
+  [[nodiscard]] const double* attr(std::string_view key) const noexcept;
+};
+
+class SpanCollector {
+ public:
+  /// Open a span; ids are dense and start at 1. `parent` may be kNoSpan.
+  SpanId open(std::string kind, std::int64_t node, double now,
+              SpanId parent = kNoSpan);
+
+  /// Attach (or overwrite) a numeric attribute. No-op on unknown ids.
+  void attr(SpanId id, std::string key, double value);
+
+  /// Close a span. Closing kNoSpan, an unknown id, or an already-closed
+  /// span is a no-op, but the latter is counted in double_closes() so
+  /// tests can assert instrumentation discipline.
+  void close(SpanId id, double now, SpanStatus status = SpanStatus::kOk);
+
+  /// Close every still-open span as kUnclosed (end-of-run flush).
+  void close_open(double now);
+
+  [[nodiscard]] const std::vector<Span>& spans() const noexcept {
+    return spans_;
+  }
+  /// Span by id, nullptr when unknown.
+  [[nodiscard]] const Span* find(SpanId id) const noexcept;
+  [[nodiscard]] std::size_t open_count() const noexcept { return open_; }
+  /// Attempts to close an already-closed span; 0 under correct usage.
+  [[nodiscard]] std::uint64_t double_closes() const noexcept {
+    return double_closes_;
+  }
+  /// Spans of the given kind (any status).
+  [[nodiscard]] std::size_t count(std::string_view kind) const noexcept;
+
+ private:
+  std::vector<Span> spans_;
+  std::size_t open_ = 0;
+  std::uint64_t double_closes_ = 0;
+};
+
+}  // namespace smrp::obs

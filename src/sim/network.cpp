@@ -1,9 +1,54 @@
 #include "sim/network.hpp"
 
 #include <stdexcept>
+#include <string>
 #include <utility>
 
+#include "obs/telemetry.hpp"
+
 namespace smrp::sim {
+
+namespace {
+
+/// Default-constructed instance of each Message alternative, so attach
+/// time can resolve every per-type counter name up front.
+template <std::size_t... Is>
+Message message_prototype(std::size_t index, std::index_sequence<Is...>) {
+  Message out = HelloMsg{};
+  ((index == Is
+        ? (out = std::variant_alternative_t<Is, Message>{}, 0)
+        : 0),
+   ...);
+  return out;
+}
+
+}  // namespace
+
+void SimNetwork::set_telemetry(obs::Telemetry* telemetry) {
+  telemetry_ = telemetry;
+  if (telemetry == nullptr) {
+    msg_counters_ = {};
+    hop_latency_hist_ = nullptr;
+    return;
+  }
+  static constexpr const char* kKindNames[3] = {"tx", "rx", "drop"};
+  for (std::size_t type = 0; type < kMessageTypes; ++type) {
+    const Message prototype = message_prototype(
+        type, std::make_index_sequence<kMessageTypes>{});
+    const std::string suffix(message_name(prototype));
+    for (std::size_t kind = 0; kind < 3; ++kind) {
+      msg_counters_[kind][type] = &telemetry->metrics.counter(
+          "smrp.sim." + std::string(kKindNames[kind]) + "." + suffix);
+    }
+  }
+  hop_latency_hist_ =
+      &telemetry->metrics.histogram("smrp.sim.hop_latency_ms");
+}
+
+void SimNetwork::count_message(TraceKind kind, const Message& message) noexcept {
+  if (telemetry_ == nullptr) return;
+  msg_counters_[static_cast<std::size_t>(kind)][message.index()]->add(1);
+}
 
 SimNetwork::SimNetwork(Simulator& simulator, const net::Graph& graph,
                        NetworkConfig config)
@@ -34,6 +79,7 @@ Time SimNetwork::link_latency(LinkId link) const {
 
 bool SimNetwork::send(NodeId from, NodeId to, Message message) {
   const auto trace = [this, from, to](TraceKind kind, const Message& m) {
+    count_message(kind, m);
     if (tracer_ != nullptr) {
       tracer_->record(
           TraceEvent{simulator_->now(), kind, from, to, message_name(m)});
@@ -54,6 +100,7 @@ bool SimNetwork::send(NodeId from, NodeId to, Message message) {
     return true;
   }
   const LinkId l = *link;
+  if (hop_latency_hist_ != nullptr) hop_latency_hist_->record(link_latency(l));
   simulator_->schedule(
       link_latency(l),
       [this, from, to, l, trace, msg = std::move(message)]() {

@@ -3,7 +3,9 @@
 // nodes (the persistent failures the paper studies).
 #pragma once
 
+#include <array>
 #include <functional>
+#include <variant>
 #include <vector>
 
 #include "net/graph.hpp"
@@ -67,6 +69,13 @@ class SimNetwork {
   /// Attach (or detach with nullptr) an event tracer; not owned.
   void set_tracer(Tracer* tracer) noexcept { tracer_ = tracer; }
 
+  /// Attach (or detach with nullptr) the telemetry bundle; not owned.
+  /// Maintains per-message-type tx/rx/drop counters in the registry
+  /// (`smrp.sim.{tx,rx,drop}.<MESSAGE>` — the registry-side home of the
+  /// counts the Tracer tallies) plus the per-hop latency distribution
+  /// `smrp.sim.hop_latency_ms`. Pure observation.
+  void set_telemetry(obs::Telemetry* telemetry);
+
   [[nodiscard]] std::uint64_t messages_sent() const noexcept { return sent_; }
   [[nodiscard]] std::uint64_t messages_delivered() const noexcept {
     return delivered_;
@@ -76,6 +85,11 @@ class SimNetwork {
   }
 
  private:
+  static constexpr std::size_t kMessageTypes =
+      std::variant_size_v<Message>;
+
+  void count_message(TraceKind kind, const Message& message) noexcept;
+
   Simulator* simulator_;
   const net::Graph* graph_;
   NetworkConfig config_;
@@ -87,6 +101,10 @@ class SimNetwork {
   std::uint64_t sent_ = 0;
   std::uint64_t delivered_ = 0;
   std::uint64_t dropped_ = 0;
+  // Telemetry handles, cached at attach time: [kind][variant index].
+  obs::Telemetry* telemetry_ = nullptr;
+  std::array<std::array<obs::Counter*, kMessageTypes>, 3> msg_counters_{};
+  obs::Histogram* hop_latency_hist_ = nullptr;
 };
 
 }  // namespace smrp::sim

@@ -4,7 +4,22 @@
 #include <utility>
 #include <vector>
 
+#include "obs/telemetry.hpp"
+
 namespace smrp::sim {
+
+void Simulator::set_telemetry(obs::Telemetry* telemetry) {
+  telemetry_ = telemetry;
+  if (telemetry == nullptr) {
+    events_counter_ = nullptr;
+    depth_gauge_ = nullptr;
+    gap_hist_ = nullptr;
+    return;
+  }
+  events_counter_ = &telemetry->metrics.counter("smrp.sim.events");
+  depth_gauge_ = &telemetry->metrics.gauge("smrp.sim.queue_depth");
+  gap_hist_ = &telemetry->metrics.histogram("smrp.sim.event_gap_ms");
+}
 
 EventId Simulator::schedule(Time delay, std::function<void()> action) {
   if (delay < 0.0) throw std::invalid_argument("negative delay");
@@ -57,6 +72,11 @@ bool Simulator::fire_next(Time limit) {
     Entry entry = std::move(const_cast<Entry&>(top));
     queue_.pop();
     pending_ids_.erase(entry.id);
+    if (telemetry_ != nullptr) {
+      gap_hist_->record(entry.when - now_);
+      depth_gauge_->set(static_cast<double>(live_pending_));
+      events_counter_->add(1);
+    }
     now_ = entry.when;
     --live_pending_;
     ++processed_;

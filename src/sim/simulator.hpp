@@ -9,6 +9,13 @@
 #include <queue>
 #include <unordered_set>
 
+namespace smrp::obs {
+class Counter;
+class Gauge;
+class Histogram;
+struct Telemetry;
+}  // namespace smrp::obs
+
 namespace smrp::sim {
 
 /// Simulated time in milliseconds.
@@ -51,6 +58,12 @@ class Simulator {
     return queue_.size();
   }
 
+  /// Attach (or detach with nullptr) the telemetry bundle; not owned.
+  /// Records per-event clock advances (`smrp.sim.event_gap_ms` — the event
+  /// loop's stall distribution), the live/heap queue depths, and the event
+  /// count. Pure observation: attaching never changes a run's outcome.
+  void set_telemetry(obs::Telemetry* telemetry);
+
  private:
   struct Entry {
     Time when;
@@ -71,6 +84,11 @@ class Simulator {
   std::size_t live_pending_ = 0;
   std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue_;
   std::unordered_set<EventId> pending_ids_;
+  // Telemetry handles, cached at attach time (null when detached).
+  obs::Telemetry* telemetry_ = nullptr;
+  obs::Counter* events_counter_ = nullptr;
+  obs::Gauge* depth_gauge_ = nullptr;
+  obs::Histogram* gap_hist_ = nullptr;
 };
 
 }  // namespace smrp::sim

@@ -47,7 +47,12 @@ class Tracer {
   [[nodiscard]] std::uint64_t count(TraceKind kind) const noexcept {
     return counts_[static_cast<std::size_t>(kind)];
   }
-  void clear() noexcept { events_.clear(); }
+  /// Reset the tracer to its initial state: drops the retained window AND
+  /// the lifetime counters, so count() starts from zero again.
+  void clear() noexcept {
+    events_.clear();
+    counts_[0] = counts_[1] = counts_[2] = 0;
+  }
 
   /// Render the retained window, one event per line.
   void print(std::ostream& out) const;

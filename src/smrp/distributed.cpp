@@ -99,6 +99,154 @@ net::ExclusionSet DistributedSession::down_components() const {
   return down;
 }
 
+void DistributedSession::attach_telemetry(obs::Telemetry* telemetry) {
+  telemetry_ = telemetry;
+  node_obs_.assign(agents_.size(), NodeObs{});
+  if (telemetry == nullptr) {
+    c_watchdog_ = c_rings_ = c_fallbacks_ = c_stranded_ = c_routed_joins_ =
+        c_repairs_started_ = c_repairs_completed_ = c_reshapes_ = nullptr;
+    h_outage_ms_ = h_rings_ = h_join_ms_ = nullptr;
+    return;
+  }
+  obs::MetricsRegistry& m = telemetry->metrics;
+  c_watchdog_ = &m.counter("smrp.proto.watchdog_fired");
+  c_rings_ = &m.counter("smrp.proto.repair.rings");
+  c_fallbacks_ = &m.counter("smrp.proto.repair.fallbacks");
+  c_stranded_ = &m.counter("smrp.proto.repair.stranded");
+  c_routed_joins_ = &m.counter("smrp.proto.routed_joins");
+  c_repairs_started_ = &m.counter("smrp.proto.repairs_started");
+  c_repairs_completed_ = &m.counter("smrp.proto.repairs_completed");
+  c_reshapes_ = &m.counter("smrp.proto.reshapes");
+  h_outage_ms_ = &m.histogram("smrp.proto.outage_ms");
+  h_rings_ = &m.histogram(
+      "smrp.proto.repair.rings_per_episode",
+      {1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 8.0, 12.0, 16.0, 24.0, 32.0});
+  h_join_ms_ = &m.histogram("smrp.proto.join_latency_ms");
+}
+
+void DistributedSession::tl_open_outage(net::NodeId n) {
+  if (telemetry_ == nullptr) return;
+  NodeObs& t = node_obs_[static_cast<std::size_t>(n)];
+  if (t.outage != obs::kNoSpan) return;
+  const Time now = simulator_->now();
+  t.outage = telemetry_->spans.open("outage", n, now);
+  // The interruption clock starts at the last payload actually delivered,
+  // not at detection: total = end - service_lost_at then equals the
+  // payload-to-payload gap an external observer of the stream measures.
+  telemetry_->spans.attr(t.outage, "service_lost_at",
+                         t.last_payload >= 0.0 ? t.last_payload : now);
+  telemetry_->spans.attr(t.outage, "silence_ms",
+                         t.last_payload >= 0.0 ? now - t.last_payload : 0.0);
+}
+
+void DistributedSession::tl_on_data(net::NodeId n) {
+  if (telemetry_ == nullptr) return;
+  NodeObs& t = node_obs_[static_cast<std::size_t>(n)];
+  const Time now = simulator_->now();
+  obs::SpanCollector& spans = telemetry_->spans;
+  if (t.ring != obs::kNoSpan) {
+    // Payload raced the ring search: the upstream healed under the repair.
+    spans.close(t.ring, now, obs::SpanStatus::kOk);
+    t.ring = obs::kNoSpan;
+  }
+  if (t.repair != obs::kNoSpan) {
+    spans.attr(t.repair, "rings", t.rings_episode);
+    spans.close(t.repair, now, obs::SpanStatus::kOk);
+    h_rings_->record(t.rings_episode);
+    t.repair = obs::kNoSpan;
+  }
+  if (t.graft != obs::kNoSpan) {
+    spans.close(t.graft, now, obs::SpanStatus::kOk);
+    t.graft = obs::kNoSpan;
+  }
+  if (t.fallback != obs::kNoSpan) {
+    spans.close(t.fallback, now, obs::SpanStatus::kOk);
+    t.fallback = obs::kNoSpan;
+  }
+  if (t.outage != obs::kNoSpan) {
+    const obs::Span* span = spans.find(t.outage);
+    const double* lost_at =
+        span != nullptr ? span->attr("service_lost_at") : nullptr;
+    const double total = now - (lost_at != nullptr ? *lost_at : now);
+    spans.attr(t.outage, "total_ms", total);
+    spans.close(t.outage, now, obs::SpanStatus::kOk);
+    h_outage_ms_->record(total);
+    t.outage = obs::kNoSpan;
+  }
+  if (t.join != obs::kNoSpan) {
+    const obs::Span* span = spans.find(t.join);
+    if (span != nullptr) h_join_ms_->record(now - span->start);
+    spans.close(t.join, now, obs::SpanStatus::kOk);
+    t.join = obs::kNoSpan;
+  }
+  if (t.reshape != obs::kNoSpan) {
+    spans.close(t.reshape, now, obs::SpanStatus::kOk);
+    t.reshape = obs::kNoSpan;
+  }
+  t.rings_episode = 0;
+  t.last_payload = now;
+}
+
+void DistributedSession::tl_on_restart(net::NodeId n, bool was_member) {
+  if (telemetry_ == nullptr) return;
+  NodeObs& t = node_obs_[static_cast<std::size_t>(n)];
+  const Time now = simulator_->now();
+  obs::SpanCollector& spans = telemetry_->spans;
+  // In-flight repair machinery died with the node's RAM.
+  if (t.ring != obs::kNoSpan) {
+    spans.close(t.ring, now, obs::SpanStatus::kFailed);
+    t.ring = obs::kNoSpan;
+  }
+  if (t.repair != obs::kNoSpan) {
+    spans.attr(t.repair, "rings", t.rings_episode);
+    spans.close(t.repair, now, obs::SpanStatus::kFailed);
+    h_rings_->record(t.rings_episode);
+    t.repair = obs::kNoSpan;
+  }
+  if (t.graft != obs::kNoSpan) {
+    spans.close(t.graft, now, obs::SpanStatus::kFailed);
+    t.graft = obs::kNoSpan;
+  }
+  if (t.fallback != obs::kNoSpan) {
+    spans.close(t.fallback, now, obs::SpanStatus::kFailed);
+    t.fallback = obs::kNoSpan;
+  }
+  if (t.reshape != obs::kNoSpan) {
+    spans.close(t.reshape, now, obs::SpanStatus::kSuperseded);
+    t.reshape = obs::kNoSpan;
+  }
+  t.rings_episode = 0;
+  if (was_member) {
+    // A member's outage persists across the crash (it is the SAME loss of
+    // service as far as the application is concerned) — keep it open, or
+    // open it now if the crash itself is what cut the service.
+    if (t.last_payload >= 0.0) tl_open_outage(n);
+  } else if (t.outage != obs::kNoSpan) {
+    // A pure relay restarts with no state and no duty to recover.
+    spans.close(t.outage, now, obs::SpanStatus::kSuperseded);
+    t.outage = obs::kNoSpan;
+  }
+}
+
+void DistributedSession::tl_on_prune(net::NodeId n) {
+  if (telemetry_ == nullptr) return;
+  NodeObs& t = node_obs_[static_cast<std::size_t>(n)];
+  const Time now = simulator_->now();
+  obs::SpanCollector& spans = telemetry_->spans;
+  // Off the tree by choice: open episodes are moot, not failed.
+  if (t.repair != obs::kNoSpan) {
+    spans.attr(t.repair, "rings", t.rings_episode);
+    h_rings_->record(t.rings_episode);
+  }
+  for (obs::SpanId* id : {&t.ring, &t.repair, &t.graft, &t.fallback, &t.join,
+                          &t.reshape, &t.outage}) {
+    if (*id == obs::kNoSpan) continue;
+    spans.close(*id, now, obs::SpanStatus::kSuperseded);
+    *id = obs::kNoSpan;
+  }
+  t.rings_episode = 0;
+}
+
 void DistributedSession::start() {
   if (started_) throw std::logic_error("session already started");
   started_ = true;
@@ -131,6 +279,13 @@ void DistributedSession::join(net::NodeId member) {
   AgentState& s = agent(member);
   if (s.is_member) return;
   s.is_member = true;
+  if (telemetry_ != nullptr) {
+    NodeObs& t = node_obs_[static_cast<std::size_t>(member)];
+    if (t.join == obs::kNoSpan) {
+      // Closed by the first payload consumed as a member.
+      t.join = telemetry_->spans.open("join", member, simulator_->now());
+    }
+  }
   if (s.on_tree) return;  // relay upgrading in place
   initiate_join(member);
 }
@@ -181,6 +336,7 @@ void DistributedSession::initiate_join(net::NodeId member) {
 void DistributedSession::restart_agent(net::NodeId n) {
   AgentState& s = agent(n);
   const bool was_member = s.is_member;
+  tl_on_restart(n, was_member);
   s = AgentState{};
   s.is_member = was_member;
   if (n == source_) {
@@ -205,6 +361,7 @@ void DistributedSession::send_join_along(net::NodeId member,
 void DistributedSession::send_routed_join(net::NodeId from_member) {
   const net::NodeId hop = routing_->next_hop(from_member, source_);
   if (hop == net::kNoNode) return;  // retried by maintenance
+  if (telemetry_ != nullptr) c_routed_joins_->add(1);
   agent(from_member).parent = hop;
   sim::JoinReqMsg msg;
   msg.member = from_member;
@@ -216,6 +373,18 @@ void DistributedSession::leave(net::NodeId member) {
   AgentState& s = agent(member);
   if (!s.is_member) return;
   s.is_member = false;
+  if (telemetry_ != nullptr) {
+    const Time now = simulator_->now();
+    NodeObs& t = node_obs_[static_cast<std::size_t>(member)];
+    if (t.join != obs::kNoSpan) {
+      // Left before the first payload arrived: the join is moot.
+      telemetry_->spans.close(t.join, now, obs::SpanStatus::kSuperseded);
+      t.join = obs::kNoSpan;
+    }
+    // Leaves are instantaneous at the member; the span records the event.
+    telemetry_->spans.close(telemetry_->spans.open("leave", member, now), now,
+                            obs::SpanStatus::kOk);
+  }
   prune_self_if_useless(member);
 }
 
@@ -223,6 +392,7 @@ void DistributedSession::prune_self_if_useless(net::NodeId n) {
   AgentState& s = agent(n);
   if (n == source_ || !s.on_tree) return;
   if (s.is_member || !s.children.empty()) return;
+  tl_on_prune(n);
   const net::NodeId up = s.parent;
   s.on_tree = false;
   s.parent = net::kNoNode;
@@ -363,11 +533,26 @@ bool DistributedSession::attempt_reshape(net::NodeId n) {
   }
   s.shr_baseline = -1;  // re-anchor once the new SHR propagates
   ++reshapes_performed_;
+  if (telemetry_ != nullptr) {
+    c_reshapes_->add(1);
+    const Time now = simulator_->now();
+    NodeObs& t = node_obs_[static_cast<std::size_t>(n)];
+    if (t.reshape != obs::kNoSpan) {
+      telemetry_->spans.close(t.reshape, now, obs::SpanStatus::kSuperseded);
+    }
+    // Closed by the first payload over the new branch.
+    t.reshape = telemetry_->spans.open("reshape", n, now);
+    telemetry_->spans.attr(t.reshape, "old_parent",
+                           static_cast<double>(old_parent));
+    telemetry_->spans.attr(t.reshape, "new_parent",
+                           static_cast<double>(s.parent));
+  }
   return true;
 }
 
 void DistributedSession::react_to_dead_upstream(net::NodeId n) {
   AgentState& s = agent(n);
+  tl_open_outage(n);  // detection instant; idempotent while already open
   if (config_.mode == SessionConfig::Mode::kSmrp) {
     if (config_.hardened && s.stranded) {
       // Partition give-up: stop flooding repair rings into a dead
@@ -410,6 +595,7 @@ void DistributedSession::data_watchdog(net::NodeId n) {
   // local detour fast relative to routed re-joins gated on IGP
   // reconvergence. Re-armed by the next real payload.
   if (now <= s.repair_grace || s.repairing || s.stranded) return;
+  if (telemetry_ != nullptr) c_watchdog_->add(1);
   react_to_dead_upstream(n);
 }
 
@@ -424,6 +610,30 @@ void DistributedSession::start_repair(net::NodeId n) {
   if (!config_.hardened) s.repair_ttl = 1;
   s.repair_ring = 0;
   ++repairs_started_;
+  if (telemetry_ != nullptr) {
+    c_repairs_started_->add(1);
+    tl_open_outage(n);
+    const Time now = simulator_->now();
+    obs::SpanCollector& spans = telemetry_->spans;
+    NodeObs& t = node_obs_[static_cast<std::size_t>(n)];
+    // A graft/fallback leg that never restored service is what brought us
+    // back here: it failed.
+    if (t.graft != obs::kNoSpan) {
+      spans.close(t.graft, now, obs::SpanStatus::kFailed);
+      t.graft = obs::kNoSpan;
+    }
+    if (t.fallback != obs::kNoSpan) {
+      spans.close(t.fallback, now, obs::SpanStatus::kFailed);
+      t.fallback = obs::kNoSpan;
+    }
+    if (t.repair != obs::kNoSpan) {  // defensive; episodes close on exit
+      spans.close(t.repair, now, obs::SpanStatus::kSuperseded);
+    }
+    t.rings_episode = 0;
+    // Span count == repairs_started(): opened nowhere else.
+    t.repair = spans.open("repair", n, now, t.outage);
+    spans.attr(t.repair, "ttl_start", s.repair_ttl);
+  }
   fire_repair_ring(n);
 }
 
@@ -432,6 +642,24 @@ void DistributedSession::fire_repair_ring(net::NodeId n) {
   if (!s.repairing) return;
   if (s.repair_ttl > config_.max_repair_ttl) {
     s.repairing = false;
+    NodeObs* t = nullptr;
+    if (telemetry_ != nullptr) {
+      t = &node_obs_[static_cast<std::size_t>(n)];
+      const Time now = simulator_->now();
+      obs::SpanCollector& spans = telemetry_->spans;
+      if (t->ring != obs::kNoSpan) {
+        spans.close(t->ring, now, obs::SpanStatus::kFailed);
+        t->ring = obs::kNoSpan;
+      }
+      if (t->repair != obs::kNoSpan) {
+        // Ring budget exhausted without an adoptable response.
+        spans.attr(t->repair, "rings", t->rings_episode);
+        spans.close(t->repair, now, obs::SpanStatus::kFailed);
+        h_rings_->record(t->rings_episode);
+        t->repair = obs::kNoSpan;
+        t->rings_episode = 0;
+      }
+    }
     if (!config_.hardened) return;  // legacy: give up; maintenance retries
     // Repair deadline hit: no on-tree node with live service inside the
     // ring budget, so the detour — if one exists at all — is not local.
@@ -439,11 +667,22 @@ void DistributedSession::fire_repair_ring(net::NodeId n) {
     // the source sits in another partition: go stranded and let
     // maintenance rejoin once routing heals.
     if (routing_->has_route(n, source_)) {
+      if (t != nullptr) {
+        c_fallbacks_->add(1);
+        t->fallback = telemetry_->spans.open("fallback", n,
+                                             simulator_->now(), t->outage);
+      }
       send_routed_join(n);
       // Give the routed join one detection window to deliver data before
       // maintenance opens another repair episode.
       s.repair_grace = simulator_->now() + config_.upstream_timeout;
     } else {
+      if (t != nullptr) {
+        c_stranded_->add(1);
+        if (t->outage != obs::kNoSpan) {
+          telemetry_->spans.attr(t->outage, "stranded", 1.0);
+        }
+      }
       s.stranded = true;
     }
     return;
@@ -454,6 +693,20 @@ void DistributedSession::fire_repair_ring(net::NodeId n) {
   query.ttl = s.repair_ttl;
   query.visited = {n};
   s.repair_nonce = query.nonce;
+  if (telemetry_ != nullptr) {
+    const Time now = simulator_->now();
+    obs::SpanCollector& spans = telemetry_->spans;
+    NodeObs& t = node_obs_[static_cast<std::size_t>(n)];
+    if (t.ring != obs::kNoSpan) {
+      // The previous ring's pacing ran out unanswered.
+      spans.close(t.ring, now, obs::SpanStatus::kFailed);
+    }
+    t.ring = spans.open("ring", n, now, t.repair);
+    spans.attr(t.ring, "ttl", s.repair_ttl);
+    spans.attr(t.ring, "ring", s.repair_ring);
+    c_rings_->add(1);
+    ++t.rings_episode;
+  }
   network_->broadcast(n, query);
   s.repair_ttl *= 2;
   Time pacing = config_.repair_retry;
@@ -467,6 +720,10 @@ void DistributedSession::fire_repair_ring(net::NodeId n) {
     pacing *= 1.0 + config_.repair_jitter * (2.0 * jitter_rng_.uniform() - 1.0);
   }
   ++s.repair_ring;
+  if (telemetry_ != nullptr) {
+    telemetry_->spans.attr(node_obs_[static_cast<std::size_t>(n)].ring,
+                           "pacing_ms", pacing);
+  }
   simulator_->schedule(pacing, [this, n] { fire_repair_ring(n); });
 }
 
@@ -606,7 +863,9 @@ void DistributedSession::on_data(net::NodeId at, net::NodeId from,
     // Service is back (e.g. upstream healed itself): stop repairing.
     s.repairing = false;
     ++repairs_completed_;
+    if (telemetry_ != nullptr) c_repairs_completed_->add(1);
   }
+  tl_on_data(at);
   for (const auto& [child, info] : s.children) {
     if (child != from) network_->send(at, child, msg);
   }
@@ -671,6 +930,34 @@ void DistributedSession::on_repair_resp(net::NodeId at,
   if (!s.repairing || msg.nonce != s.repair_nonce) return;
   s.repairing = false;
   ++repairs_completed_;
+  if (telemetry_ != nullptr) {
+    c_repairs_completed_->add(1);
+    const Time now = simulator_->now();
+    obs::SpanCollector& spans = telemetry_->spans;
+    NodeObs& t = node_obs_[static_cast<std::size_t>(at)];
+    if (t.ring != obs::kNoSpan) {
+      spans.attr(t.ring, "answered", 1.0);
+      spans.close(t.ring, now, obs::SpanStatus::kOk);
+      t.ring = obs::kNoSpan;
+    }
+    if (t.repair != obs::kNoSpan) {
+      spans.attr(t.repair, "rings", t.rings_episode);
+      spans.attr(t.repair, "responder",
+                 static_cast<double>(msg.responder));
+      spans.attr(t.repair, "graft_hops",
+                 static_cast<double>(msg.path.size() - 1));
+      spans.close(t.repair, now, obs::SpanStatus::kOk);
+      h_rings_->record(t.rings_episode);
+      t.repair = obs::kNoSpan;
+      t.rings_episode = 0;
+    }
+    if (t.graft != obs::kNoSpan) {  // a prior graft never delivered
+      spans.close(t.graft, now, obs::SpanStatus::kSuperseded);
+    }
+    // Adoption → first payload through the new branch.
+    t.graft = spans.open("graft", at, now, t.outage);
+    spans.attr(t.graft, "responder", static_cast<double>(msg.responder));
+  }
   // Install the graft at → … → responder. JoinReq along the path wires
   // the interior and registers us at the responder.
   send_join_along(at, msg.path);

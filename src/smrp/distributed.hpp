@@ -24,6 +24,7 @@
 #include "multicast/tree.hpp"
 #include "net/rng.hpp"
 #include "net/shortest_path.hpp"
+#include "obs/telemetry.hpp"
 #include "routing/link_state.hpp"
 #include "sim/network.hpp"
 #include "smrp/config.hpp"
@@ -125,6 +126,17 @@ class DistributedSession {
     return reshapes_performed_;
   }
 
+  /// Attach (or detach with nullptr) the telemetry bundle; not owned.
+  /// Opens causal episode spans for every service interruption —
+  ///   outage (per-node loss of payload service)
+  ///     └─ repair (one expanding-ring episode; count == repairs_started())
+  ///         └─ ring (one TTL-limited query flood)
+  ///     └─ graft | fallback (the leg that restored service)
+  /// plus join/leave/reshape spans and the `smrp.proto.*` metrics.
+  /// Telemetry is pure observation: it never touches protocol state, the
+  /// event queue, or any RNG, so runs are bit-identical attached or not.
+  void attach_telemetry(obs::Telemetry* telemetry);
+
  private:
   struct ChildInfo {
     Time last_refresh = 0.0;
@@ -168,8 +180,39 @@ class DistributedSession {
     int ticks_since_reshape_check = 0;
   };
 
+  /// Telemetry-side shadow state, deliberately OUTSIDE AgentState: a
+  /// crash-restart wipes the agent's soft state, but the observer must
+  /// keep its open spans (the outage spans the crash caused) and the
+  /// pre-crash payload clock so interruption totals match what an
+  /// external gap measurement over the payload stream would report.
+  struct NodeObs {
+    obs::SpanId outage = obs::kNoSpan;
+    obs::SpanId repair = obs::kNoSpan;
+    obs::SpanId ring = obs::kNoSpan;
+    obs::SpanId graft = obs::kNoSpan;
+    obs::SpanId fallback = obs::kNoSpan;
+    obs::SpanId join = obs::kNoSpan;
+    obs::SpanId reshape = obs::kNoSpan;
+    double last_payload = -1.0;  ///< survives crashes, unlike last_data
+    int rings_episode = 0;
+  };
+
   [[nodiscard]] AgentState& agent(net::NodeId n);
   [[nodiscard]] const AgentState& agent(net::NodeId n) const;
+
+  // -- Telemetry hooks (all no-ops when telemetry_ == nullptr) ---------------
+
+  /// Open the per-node outage span if none is open; stamps
+  /// `service_lost_at` with the last payload time so total interruption
+  /// can be reconstructed payload-to-payload.
+  void tl_open_outage(net::NodeId n);
+  /// Payload accepted at `n`: service is (re)stored, so close every open
+  /// episode span bottom-up and advance the payload clock.
+  void tl_on_data(net::NodeId n);
+  /// Crash-restart at `n`: in-flight repair machinery died with the node.
+  void tl_on_restart(net::NodeId n, bool was_member);
+  /// `n` pruned itself off the tree: open episodes are moot, not failed.
+  void tl_on_prune(net::NodeId n);
 
   /// Members in the subtree rooted here, per current child reports.
   [[nodiscard]] int local_member_count(const AgentState& s) const;
@@ -232,6 +275,20 @@ class DistributedSession {
   int repairs_completed_ = 0;
   int reshapes_performed_ = 0;
   bool started_ = false;
+  // Telemetry handles, cached at attach time (no hot-path map lookups).
+  obs::Telemetry* telemetry_ = nullptr;
+  std::vector<NodeObs> node_obs_;
+  obs::Counter* c_watchdog_ = nullptr;
+  obs::Counter* c_rings_ = nullptr;
+  obs::Counter* c_fallbacks_ = nullptr;
+  obs::Counter* c_stranded_ = nullptr;
+  obs::Counter* c_routed_joins_ = nullptr;
+  obs::Counter* c_repairs_started_ = nullptr;
+  obs::Counter* c_repairs_completed_ = nullptr;
+  obs::Counter* c_reshapes_ = nullptr;
+  obs::Histogram* h_outage_ms_ = nullptr;
+  obs::Histogram* h_rings_ = nullptr;
+  obs::Histogram* h_join_ms_ = nullptr;
 };
 
 }  // namespace smrp::proto

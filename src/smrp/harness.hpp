@@ -39,6 +39,16 @@ class SimulationHarness {
     session_->start();
   }
 
+  /// Attach (or detach with nullptr) one telemetry bundle to every layer:
+  /// simulator event-loop metrics, network per-message counters, and the
+  /// session's episode spans. Attach before start() for complete traces;
+  /// attaching never changes simulation outcomes.
+  void attach_telemetry(obs::Telemetry* telemetry) {
+    simulator_->set_telemetry(telemetry);
+    network_->set_telemetry(telemetry);
+    session_->attach_telemetry(telemetry);
+  }
+
   /// Schedule a persistent link failure at absolute time `when`.
   void fail_link_at(net::LinkId link, sim::Time when) {
     simulator_->schedule_at(when,

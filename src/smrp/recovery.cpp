@@ -159,7 +159,8 @@ RecoveryOutcome global_detour_recovery(const Graph& g,
 SessionRepairReport repair_session(const Graph& g, MulticastTree& tree,
                                    const Failure& failure,
                                    DetourPolicy policy,
-                                   const net::ExclusionSet* already_failed) {
+                                   const net::ExclusionSet* already_failed,
+                                   obs::Telemetry* telemetry) {
   SessionRepairReport report;
   std::vector<NodeId> lost =
       failure.kind == Failure::Kind::kLink
@@ -327,6 +328,23 @@ SessionRepairReport repair_session(const Graph& g, MulticastTree& tree,
     report.total_recovery_distance += best.recovery_distance;
     report.total_recovery_hops += best.recovery_hops;
     report.outcomes.push_back(std::move(best));
+  }
+  if (telemetry != nullptr) {
+    obs::MetricsRegistry& m = telemetry->metrics;
+    m.counter("smrp.recovery.disconnected")
+        .add(static_cast<std::uint64_t>(report.disconnected_members));
+    m.counter("smrp.recovery.repaired")
+        .add(static_cast<std::uint64_t>(report.repaired_members));
+    m.counter("smrp.recovery.unrecoverable")
+        .add(static_cast<std::uint64_t>(report.unrecoverable_members));
+    obs::Histogram& rd_weight = m.histogram("smrp.recovery.rd_weight");
+    obs::Histogram& rd_hops = m.histogram(
+        "smrp.recovery.rd_hops",
+        {1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 8.0, 12.0, 16.0, 24.0, 32.0});
+    for (const RecoveryOutcome& outcome : report.outcomes) {
+      rd_weight.record(outcome.recovery_distance);
+      rd_hops.record(outcome.recovery_hops);
+    }
   }
   return report;
 }

@@ -15,6 +15,7 @@
 
 #include "multicast/tree.hpp"
 #include "net/shortest_path.hpp"
+#include "obs/telemetry.hpp"
 
 namespace smrp::proto {
 
@@ -112,9 +113,14 @@ struct SessionRepairReport {
 /// off) are dropped from the session and counted.
 /// `already_failed` carries earlier persistent failures that restoration
 /// paths must also avoid (multi-failure scenarios).
+/// `telemetry`, when given, folds the repair into the registry: one
+/// `smrp.recovery.rd_weight` / `smrp.recovery.rd_hops` sample per detour
+/// actually computed (RD_R as §4.3.1 defines it — new links only; members
+/// that rejoin in place contribute no sample) plus disconnection counters.
 SessionRepairReport repair_session(
     const Graph& g, MulticastTree& tree, const Failure& failure,
     DetourPolicy policy = DetourPolicy::kLocal,
-    const net::ExclusionSet* already_failed = nullptr);
+    const net::ExclusionSet* already_failed = nullptr,
+    obs::Telemetry* telemetry = nullptr);
 
 }  // namespace smrp::proto

@@ -1,0 +1,199 @@
+// MetricsRegistry and instrument semantics: exact Welford moments, the
+// shared percentile definition, histogram merging (the property campaign
+// aggregation relies on), and registry handle stability.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+#include "obs/metrics.hpp"
+
+namespace smrp::obs {
+namespace {
+
+TEST(Counter, AccumulatesAndMerges) {
+  Counter a;
+  EXPECT_EQ(a.value(), 0u);
+  a.add();
+  a.add(41);
+  EXPECT_EQ(a.value(), 42u);
+  Counter b;
+  b.add(8);
+  a.merge(b);
+  EXPECT_EQ(a.value(), 50u);
+}
+
+TEST(Gauge, TracksLastValueAndPeak) {
+  Gauge g;
+  g.set(3.0);
+  g.set(9.0);
+  g.set(5.0);
+  EXPECT_DOUBLE_EQ(g.value(), 5.0);
+  EXPECT_DOUBLE_EQ(g.max(), 9.0);
+}
+
+TEST(Gauge, MergeKeepsOtherRunsLastValueAndJointPeak) {
+  Gauge a;
+  a.set(10.0);
+  Gauge b;
+  b.set(20.0);
+  b.set(4.0);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.value(), 4.0);
+  EXPECT_DOUBLE_EQ(a.max(), 20.0);
+
+  // Merging a never-set gauge is a no-op.
+  Gauge untouched;
+  a.merge(untouched);
+  EXPECT_DOUBLE_EQ(a.value(), 4.0);
+  EXPECT_DOUBLE_EQ(a.max(), 20.0);
+}
+
+TEST(Histogram, EmptyIsZeroed) {
+  const Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+}
+
+TEST(Histogram, MomentsAreExactRegardlessOfBuckets) {
+  // Moments come from Welford accumulation, not bucket midpoints, so even
+  // a one-bucket histogram reports them exactly.
+  Histogram h({1.0});
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) h.record(x);
+  EXPECT_EQ(h.count(), 8u);
+  EXPECT_DOUBLE_EQ(h.sum(), 40.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 5.0);
+  // Sample variance of the classic dataset is 32/7.
+  EXPECT_NEAR(h.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(h.min(), 2.0);
+  EXPECT_DOUBLE_EQ(h.max(), 9.0);
+}
+
+TEST(Histogram, PercentilesInterpolateAndClampToObservedRange) {
+  Histogram h({10.0, 20.0, 30.0, 40.0});
+  for (int i = 0; i < 100; ++i) h.record(5.0 + (i % 4) * 10.0);  // 5,15,25,35
+  const double p50 = h.percentile(0.5);
+  EXPECT_GE(p50, 10.0);
+  EXPECT_LE(p50, 25.0);
+  // Extremes clamp to the observed min/max, never a bucket bound.
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 35.0);
+  // Monotone in q.
+  EXPECT_LE(h.percentile(0.5), h.percentile(0.9));
+  EXPECT_LE(h.percentile(0.9), h.percentile(0.99));
+}
+
+TEST(Histogram, ValuesAboveLastBoundLandInOverflow) {
+  Histogram h({1.0, 2.0});
+  h.record(100.0);
+  ASSERT_EQ(h.bucket_counts().size(), 3u);
+  EXPECT_EQ(h.bucket_counts()[2], 1u);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+  // Percentiles still clamp to the observed max even in overflow.
+  EXPECT_DOUBLE_EQ(h.percentile(0.99), 100.0);
+}
+
+TEST(Histogram, MergeEqualsRecordingTheUnion) {
+  std::mt19937_64 rng(20050628);
+  std::uniform_real_distribution<double> dist(0.0, 50.0);
+  Histogram a({5.0, 10.0, 20.0, 40.0});
+  Histogram b({5.0, 10.0, 20.0, 40.0});
+  Histogram all({5.0, 10.0, 20.0, 40.0});
+  for (int i = 0; i < 500; ++i) {
+    const double x = dist(rng);
+    (i % 2 ? a : b).record(x);
+    all.record(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.stddev(), all.stddev(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+  EXPECT_EQ(a.bucket_counts(), all.bucket_counts());
+  EXPECT_DOUBLE_EQ(a.percentile(0.9), all.percentile(0.9));
+}
+
+TEST(Histogram, MergeWithEmptySidesIsSafe) {
+  Histogram a({1.0, 2.0});
+  Histogram b({1.0, 2.0});
+  b.record(1.5);
+  a.merge(b);  // empty += nonempty
+  EXPECT_EQ(a.count(), 1u);
+  Histogram c({1.0, 2.0});
+  a.merge(c);  // nonempty += empty
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.mean(), 1.5);
+}
+
+TEST(Histogram, MergeRejectsMismatchedBounds) {
+  Histogram a({1.0, 2.0});
+  Histogram b({1.0, 3.0});
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+TEST(MetricsRegistry, HandlesAreStableAndNamed) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("smrp.sim.events");
+  c.add(3);
+  // Creating more instruments must not invalidate the earlier handle.
+  for (int i = 0; i < 64; ++i) {
+    reg.counter("smrp.sim.tx." + std::to_string(i));
+  }
+  c.add(4);
+  EXPECT_EQ(reg.counter("smrp.sim.events").value(), 7u);
+  EXPECT_EQ(&reg.counter("smrp.sim.events"), &c);
+}
+
+TEST(MetricsRegistry, FirstHistogramCallerFixesBounds) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("smrp.proto.repair.rings_per_episode",
+                               {1.0, 2.0, 4.0});
+  EXPECT_EQ(h.bounds().size(), 3u);
+  // A later caller with different bounds gets the existing instrument.
+  Histogram& again =
+      reg.histogram("smrp.proto.repair.rings_per_episode", {99.0});
+  EXPECT_EQ(&again, &h);
+  EXPECT_EQ(again.bounds().size(), 3u);
+  // Empty bounds mean the default latency buckets.
+  EXPECT_EQ(reg.histogram("smrp.proto.outage_ms").bounds(),
+            Histogram::default_latency_bounds());
+}
+
+TEST(MetricsRegistry, MergeFoldsRunsInstrumentByInstrument) {
+  MetricsRegistry a;
+  a.counter("smrp.proto.watchdog_fired").add(2);
+  a.histogram("smrp.bench.gap_ms").record(120.0);
+  MetricsRegistry b;
+  b.counter("smrp.proto.watchdog_fired").add(3);
+  b.counter("smrp.proto.repair.fallbacks").add(1);
+  b.histogram("smrp.bench.gap_ms").record(480.0);
+  b.gauge("smrp.sim.queue_depth").set(17.0);
+
+  a.merge(b);
+  EXPECT_EQ(a.counters().at("smrp.proto.watchdog_fired").value(), 5u);
+  EXPECT_EQ(a.counters().at("smrp.proto.repair.fallbacks").value(), 1u);
+  EXPECT_EQ(a.histograms().at("smrp.bench.gap_ms").count(), 2u);
+  EXPECT_DOUBLE_EQ(a.histograms().at("smrp.bench.gap_ms").mean(), 300.0);
+  EXPECT_DOUBLE_EQ(a.gauges().at("smrp.sim.queue_depth").max(), 17.0);
+}
+
+TEST(MetricsRegistry, IterationOrderIsNameOrder) {
+  MetricsRegistry reg;
+  reg.counter("smrp.z");
+  reg.counter("smrp.a");
+  reg.counter("smrp.m");
+  std::string prev;
+  for (const auto& [name, counter] : reg.counters()) {
+    EXPECT_LT(prev, name);
+    prev = name;
+  }
+}
+
+}  // namespace
+}  // namespace smrp::obs

@@ -1,0 +1,186 @@
+// SpanCollector discipline (the contract the protocol instrumentation and
+// the chaos nesting test lean on) and the JSONL wire format, line by line.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/jsonl.hpp"
+#include "obs/span.hpp"
+#include "obs/telemetry.hpp"
+
+namespace smrp::obs {
+namespace {
+
+TEST(SpanCollector, IdsAreDenseFromOne) {
+  SpanCollector c;
+  EXPECT_EQ(c.open("outage", 6, 100.0), 1u);
+  EXPECT_EQ(c.open("repair", 6, 101.0, 1), 2u);
+  EXPECT_EQ(c.open("ring", 6, 101.0, 2), 3u);
+  EXPECT_EQ(c.spans().size(), 3u);
+  EXPECT_EQ(c.open_count(), 3u);
+}
+
+TEST(SpanCollector, CloseRecordsEndAndStatus) {
+  SpanCollector c;
+  const SpanId id = c.open("ring", 3, 50.0);
+  c.close(id, 75.0, SpanStatus::kFailed);
+  const Span* s = c.find(id);
+  ASSERT_NE(s, nullptr);
+  EXPECT_FALSE(s->open());
+  EXPECT_DOUBLE_EQ(s->end, 75.0);
+  EXPECT_DOUBLE_EQ(s->duration(), 25.0);
+  EXPECT_EQ(s->status, SpanStatus::kFailed);
+  EXPECT_EQ(c.open_count(), 0u);
+}
+
+TEST(SpanCollector, AttrsOverwriteByKeyAndLookUpByName) {
+  SpanCollector c;
+  const SpanId id = c.open("repair", 9, 0.0);
+  c.attr(id, "ttl_start", 1.0);
+  c.attr(id, "rings", 2.0);
+  c.attr(id, "rings", 3.0);  // overwrite, not append
+  const Span* s = c.find(id);
+  ASSERT_NE(s, nullptr);
+  ASSERT_EQ(s->attrs.size(), 2u);
+  const double* rings = s->attr("rings");
+  ASSERT_NE(rings, nullptr);
+  EXPECT_DOUBLE_EQ(*rings, 3.0);
+  EXPECT_EQ(s->attr("no_such_key"), nullptr);
+}
+
+TEST(SpanCollector, DoubleClosesAreCountedNotApplied) {
+  SpanCollector c;
+  const SpanId id = c.open("graft", 4, 10.0);
+  c.close(id, 20.0, SpanStatus::kOk);
+  c.close(id, 30.0, SpanStatus::kFailed);  // must not rewrite the span
+  EXPECT_EQ(c.double_closes(), 1u);
+  const Span* s = c.find(id);
+  ASSERT_NE(s, nullptr);
+  EXPECT_DOUBLE_EQ(s->end, 20.0);
+  EXPECT_EQ(s->status, SpanStatus::kOk);
+}
+
+TEST(SpanCollector, ClosingNoSpanOrUnknownIdIsSilentlyIgnored) {
+  SpanCollector c;
+  c.close(kNoSpan, 5.0);
+  c.close(999, 5.0);
+  EXPECT_EQ(c.double_closes(), 0u);
+  EXPECT_TRUE(c.spans().empty());
+}
+
+TEST(SpanCollector, CloseOpenFlushesEverythingAsUnclosed) {
+  SpanCollector c;
+  const SpanId a = c.open("outage", 1, 0.0);
+  const SpanId b = c.open("repair", 1, 1.0, a);
+  c.close(b, 2.0, SpanStatus::kOk);
+  c.close_open(10.0);
+  EXPECT_EQ(c.open_count(), 0u);
+  EXPECT_EQ(c.find(a)->status, SpanStatus::kUnclosed);
+  EXPECT_DOUBLE_EQ(c.find(a)->end, 10.0);
+  // Already-closed spans are untouched and not counted as double closes.
+  EXPECT_EQ(c.find(b)->status, SpanStatus::kOk);
+  EXPECT_EQ(c.double_closes(), 0u);
+}
+
+TEST(SpanCollector, CountsByKind) {
+  SpanCollector c;
+  c.open("ring", 2, 0.0);
+  c.open("ring", 2, 1.0);
+  c.open("repair", 2, 0.0);
+  EXPECT_EQ(c.count("ring"), 2u);
+  EXPECT_EQ(c.count("repair"), 1u);
+  EXPECT_EQ(c.count("outage"), 0u);
+}
+
+TEST(SpanStatusName, CoversEveryStatus) {
+  EXPECT_EQ(span_status_name(SpanStatus::kOpen), "open");
+  EXPECT_EQ(span_status_name(SpanStatus::kOk), "ok");
+  EXPECT_EQ(span_status_name(SpanStatus::kFailed), "failed");
+  EXPECT_EQ(span_status_name(SpanStatus::kSuperseded), "superseded");
+  EXPECT_EQ(span_status_name(SpanStatus::kUnclosed), "unclosed");
+}
+
+std::vector<std::string> snapshot_lines(const Telemetry& telemetry,
+                                        double now,
+                                        std::string_view label = "run") {
+  std::ostringstream out;
+  JsonlSink sink(out);
+  sink.write_snapshot(telemetry, now, label);
+  std::vector<std::string> lines;
+  std::istringstream in(out.str());
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  return lines;
+}
+
+TEST(JsonlSink, MetaLineLeadsEverySnapshot) {
+  Telemetry t;
+  t.spans.open("outage", 6, 100.0);
+  t.metrics.counter("smrp.sim.events").add(12);
+  const std::vector<std::string> lines = snapshot_lines(t, 250.0, "drill");
+  ASSERT_EQ(lines.size(), 3u);  // meta + 1 span + 1 counter
+  EXPECT_EQ(lines[0],
+            "{\"type\":\"meta\",\"version\":1,\"run\":\"drill\",\"at\":250,"
+            "\"spans\":1,\"open_spans\":1}");
+}
+
+TEST(JsonlSink, SpanLineFlattensAttrsAndSnapshotsOpenEnds) {
+  Telemetry t;
+  const SpanId id = t.spans.open("repair", 6, 100.5);
+  t.spans.attr(id, "ttl_start", 1.0);
+  const std::vector<std::string> lines = snapshot_lines(t, 200.0);
+  ASSERT_GE(lines.size(), 2u);
+  // An open span is exported with the snapshot time as its end so every
+  // line has a well-formed [start, end] interval.
+  EXPECT_EQ(lines[1],
+            "{\"type\":\"span\",\"id\":1,\"parent\":0,\"kind\":\"repair\","
+            "\"node\":6,\"start\":100.5,\"end\":200,\"status\":\"open\","
+            "\"ttl_start\":1}");
+}
+
+TEST(JsonlSink, MetricLinesAreTypedAndNameOrdered) {
+  Telemetry t;
+  t.metrics.counter("smrp.sim.tx.DATA").add(7);
+  t.metrics.gauge("smrp.sim.queue_depth").set(3.0);
+  t.metrics.histogram("smrp.proto.outage_ms").record(125.0);
+  const std::vector<std::string> lines = snapshot_lines(t, 0.0);
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_EQ(lines[1],
+            "{\"type\":\"counter\",\"name\":\"smrp.sim.tx.DATA\",\"value\":7}");
+  EXPECT_EQ(lines[2],
+            "{\"type\":\"gauge\",\"name\":\"smrp.sim.queue_depth\","
+            "\"value\":3,\"max\":3}");
+  EXPECT_EQ(lines[3].rfind("{\"type\":\"hist\",\"name\":\"smrp.proto."
+                           "outage_ms\",\"count\":1,\"sum\":125,",
+                           0),
+            0u)
+      << lines[3];
+}
+
+TEST(JsonlSink, EscapesControlAndQuoteCharacters) {
+  Telemetry t;
+  t.spans.open("odd\"kind\\with\nnewline", 1, 0.0);
+  const std::vector<std::string> lines = snapshot_lines(t, 1.0);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[1].find("\"odd\\\"kind\\\\with\\nnewline\""),
+            std::string::npos)
+      << lines[1];
+}
+
+TEST(JsonlSink, ReExportOfTheSameStateDiffsBitForBit) {
+  Telemetry t;
+  const SpanId outage = t.spans.open("outage", 6, 100.0);
+  const SpanId repair = t.spans.open("repair", 6, 150.0, outage);
+  t.spans.attr(repair, "rings", 2.0);
+  t.spans.close(repair, 460.125, SpanStatus::kOk);
+  t.spans.close(outage, 512.0078125, SpanStatus::kOk);
+  t.metrics.histogram("smrp.proto.outage_ms").record(412.0078125);
+  std::ostringstream a, b;
+  JsonlSink(a).write_snapshot(t, 1000.0, "run");
+  JsonlSink(b).write_snapshot(t, 1000.0, "run");
+  EXPECT_EQ(a.str(), b.str());
+}
+
+}  // namespace
+}  // namespace smrp::obs

@@ -68,6 +68,22 @@ TEST(Trace, BoundedRetention) {
   EXPECT_DOUBLE_EQ(tracer.events().front().at, 7.0);
 }
 
+TEST(Trace, ClearResetsRetainedWindowAndLifetimeCounts) {
+  Tracer tracer;
+  tracer.record(TraceEvent{0, TraceKind::kSend, 0, 1, "DATA"});
+  tracer.record(TraceEvent{1, TraceKind::kDeliver, 0, 1, "DATA"});
+  tracer.record(TraceEvent{2, TraceKind::kDrop, 0, 1, "DATA"});
+  tracer.clear();
+  EXPECT_TRUE(tracer.events().empty());
+  // Regression: clear() used to leave the lifetime counters behind, so
+  // count() reported stale totals for the next measurement window.
+  EXPECT_EQ(tracer.count(TraceKind::kSend), 0u);
+  EXPECT_EQ(tracer.count(TraceKind::kDeliver), 0u);
+  EXPECT_EQ(tracer.count(TraceKind::kDrop), 0u);
+  tracer.record(TraceEvent{3, TraceKind::kSend, 0, 1, "DATA"});
+  EXPECT_EQ(tracer.count(TraceKind::kSend), 1u);
+}
+
 TEST(Trace, CountRetainedFiltersByNameAndKind) {
   Tracer tracer;
   tracer.record(TraceEvent{0, TraceKind::kSend, 0, 1, "DATA"});

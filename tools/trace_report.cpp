@@ -1,0 +1,416 @@
+// Offline renderer for the telemetry JSONL traces the benches and the
+// scenario scripting layer export (DESIGN.md §8): validates every line
+// against the flat schema, reassembles the causal span tree, and prints —
+// per run section — a per-repair-episode latency table (detection →
+// ring search/backoff → graft → total service interruption) plus the
+// registry's counters and distributions.
+//
+//   trace_report <trace.jsonl>
+//
+// Exit codes: 0 ok, 1 malformed trace (line number on stderr), 2 usage.
+// CI runs a seeded chaos soak through this binary, so a schema drift in
+// the exporter fails the build instead of silently corrupting analyses.
+#include <cctype>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "eval/table.hpp"
+
+namespace {
+
+using smrp::eval::Table;
+
+/// One parsed JSONL line: flat string/number fields (the whole schema).
+struct LineObject {
+  std::map<std::string, std::string> strings;
+  std::map<std::string, double> numbers;
+
+  [[nodiscard]] const std::string* str(const std::string& key) const {
+    const auto it = strings.find(key);
+    return it != strings.end() ? &it->second : nullptr;
+  }
+  [[nodiscard]] std::optional<double> num(const std::string& key) const {
+    const auto it = numbers.find(key);
+    if (it == numbers.end()) return std::nullopt;
+    return it->second;
+  }
+};
+
+/// Strict parser for the exporter's subset of JSON: one object per line,
+/// string keys, string-or-number values, no nesting. Returns false with a
+/// diagnostic on anything else — unterminated strings, bad escapes,
+/// malformed numbers, duplicate keys, trailing garbage.
+class LineParser {
+ public:
+  explicit LineParser(const std::string& line) : text_(line) {}
+
+  bool parse(LineObject& out, std::string& error) {
+    skip_space();
+    if (!consume('{')) return fail(error, "expected '{'");
+    skip_space();
+    if (consume('}')) return finish(error);
+    while (true) {
+      std::string key;
+      if (!parse_string(key, error)) return false;
+      skip_space();
+      if (!consume(':')) return fail(error, "expected ':' after key");
+      skip_space();
+      if (out.strings.count(key) != 0 || out.numbers.count(key) != 0) {
+        return fail(error, "duplicate key \"" + key + "\"");
+      }
+      if (peek() == '"') {
+        std::string value;
+        if (!parse_string(value, error)) return false;
+        out.strings.emplace(key, std::move(value));
+      } else {
+        double value = 0.0;
+        if (!parse_number(value, error)) return false;
+        out.numbers.emplace(key, value);
+      }
+      skip_space();
+      if (consume(',')) {
+        skip_space();
+        continue;
+      }
+      if (consume('}')) return finish(error);
+      return fail(error, "expected ',' or '}'");
+    }
+  }
+
+ private:
+  [[nodiscard]] char peek() const {
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+  bool consume(char c) {
+    if (peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+  void skip_space() {
+    while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\t')) {
+      ++pos_;
+    }
+  }
+  bool fail(std::string& error, const std::string& what) const {
+    error = what + " at column " + std::to_string(pos_ + 1);
+    return false;
+  }
+  bool finish(std::string& error) {
+    skip_space();
+    if (pos_ != text_.size()) return fail(error, "trailing characters");
+    return true;
+  }
+
+  bool parse_string(std::string& out, std::string& error) {
+    if (!consume('"')) return fail(error, "expected '\"'");
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'r': out += '\r'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return fail(error, "truncated \\u");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            if (!std::isxdigit(static_cast<unsigned char>(h))) {
+              return fail(error, "bad \\u escape");
+            }
+            code = code * 16 +
+                   static_cast<unsigned>(
+                       h <= '9' ? h - '0' : (h | 0x20) - 'a' + 10);
+          }
+          if (code > 0x7f) return fail(error, "non-ASCII \\u escape");
+          out += static_cast<char>(code);
+          break;
+        }
+        default:
+          return fail(error, std::string("bad escape '\\") + esc + "'");
+      }
+    }
+    return fail(error, "unterminated string");
+  }
+
+  bool parse_number(double& out, std::string& error) {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    if (consume('.')) {
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (pos_ == start) return fail(error, "expected a value");
+    try {
+      std::size_t used = 0;
+      out = std::stod(text_.substr(start, pos_ - start), &used);
+      if (used != pos_ - start) return fail(error, "malformed number");
+    } catch (const std::exception&) {
+      return fail(error, "malformed number");
+    }
+    return true;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+struct SpanRow {
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;
+  std::string kind;
+  std::int64_t node = -1;
+  double start = 0.0;
+  double end = 0.0;
+  std::string status;
+  std::map<std::string, double> attrs;
+
+  [[nodiscard]] double attr(const std::string& key, double fallback) const {
+    const auto it = attrs.find(key);
+    return it != attrs.end() ? it->second : fallback;
+  }
+};
+
+struct HistRow {
+  std::uint64_t count = 0;
+  double sum = 0.0, mean = 0.0, p50 = 0.0, p90 = 0.0, p99 = 0.0, max = 0.0;
+};
+
+/// One `meta`-delimited section of the file (one instrumented run).
+struct RunSection {
+  std::string label;
+  double at = 0.0;
+  std::uint64_t declared_spans = 0;
+  std::vector<SpanRow> spans;
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, HistRow> hists;
+};
+
+[[noreturn]] void malformed(int line, const std::string& what) {
+  std::cerr << "trace_report: line " << line << ": " << what << "\n";
+  std::exit(1);
+}
+
+double require_num(const LineObject& obj, const char* key, int line) {
+  const auto v = obj.num(key);
+  if (!v) malformed(line, std::string("missing numeric field \"") + key + "\"");
+  return *v;
+}
+
+const std::string& require_str(const LineObject& obj, const char* key,
+                               int line) {
+  const std::string* v = obj.str(key);
+  if (v == nullptr) {
+    malformed(line, std::string("missing string field \"") + key + "\"");
+  }
+  return *v;
+}
+
+std::string ms(double v) { return Table::fixed(v, 1); }
+
+void render_run(const RunSection& run) {
+  std::cout << "run \"" << run.label << "\" (snapshot at " << ms(run.at)
+            << " ms): " << run.spans.size() << " spans\n";
+  if (run.declared_spans != run.spans.size()) {
+    malformed(0, "meta declared " + std::to_string(run.declared_spans) +
+                     " spans but section carries " +
+                     std::to_string(run.spans.size()));
+  }
+
+  // Reassemble the causal structure: children grouped under each outage.
+  std::map<std::uint64_t, const SpanRow*> by_id;
+  for (const SpanRow& s : run.spans) by_id[s.id] = &s;
+  std::map<std::uint64_t, std::vector<const SpanRow*>> children;
+  for (const SpanRow& s : run.spans) {
+    if (s.parent == 0) continue;
+    if (by_id.find(s.parent) == by_id.end()) {
+      malformed(0, "span " + std::to_string(s.id) + " references missing parent " +
+                       std::to_string(s.parent));
+    }
+    children[s.parent].push_back(&s);
+  }
+
+  Table episodes({"node", "t0 (ms)", "detect (ms)", "repairs", "rings",
+                  "search (ms)", "graft (ms)", "total (ms)", "status"});
+  int outages = 0;
+  double total_interruption = 0.0;
+  for (const SpanRow& s : run.spans) {
+    if (s.kind != "outage") continue;
+    ++outages;
+    int repairs = 0;
+    int rings = 0;
+    double search_ms = 0.0;
+    double graft_ms = 0.0;
+    for (const SpanRow* child : children[s.id]) {
+      if (child->kind == "repair") {
+        ++repairs;
+        rings += static_cast<int>(child->attr("rings", 0.0));
+        search_ms += child->end - child->start;
+      } else if (child->kind == "graft" || child->kind == "fallback") {
+        graft_ms += child->end - child->start;
+      }
+    }
+    const double lost_at = s.attr("service_lost_at", s.start);
+    const double total = s.attr("total_ms", s.end - lost_at);
+    if (s.status == "ok") total_interruption += total;
+    episodes.add_row({std::to_string(s.node), ms(s.start),
+                      ms(s.attr("silence_ms", s.start - lost_at)),
+                      std::to_string(repairs), std::to_string(rings),
+                      ms(search_ms), ms(graft_ms), ms(total), s.status});
+  }
+  if (outages > 0) {
+    std::cout << "\n  repair episodes (" << outages
+              << " outages, total interruption " << ms(total_interruption)
+              << " ms over closed episodes):\n"
+              << episodes.render();
+  } else {
+    std::cout << "  no outage episodes recorded\n";
+  }
+
+  if (!run.hists.empty()) {
+    Table hists({"histogram", "count", "mean", "p50", "p90", "p99", "max"});
+    for (const auto& [name, h] : run.hists) {
+      hists.add_row({name, std::to_string(h.count), ms(h.mean), ms(h.p50),
+                     ms(h.p90), ms(h.p99), ms(h.max)});
+    }
+    std::cout << "\n  distributions:\n" << hists.render();
+  }
+
+  // Headline counters: protocol + recovery, and sim-layer aggregates.
+  std::uint64_t tx = 0, rx = 0, drop = 0;
+  Table counters({"counter", "value"});
+  bool any_counter = false;
+  for (const auto& [name, value] : run.counters) {
+    if (name.rfind("smrp.sim.tx.", 0) == 0) {
+      tx += value;
+    } else if (name.rfind("smrp.sim.rx.", 0) == 0) {
+      rx += value;
+    } else if (name.rfind("smrp.sim.drop.", 0) == 0) {
+      drop += value;
+    } else if (name.rfind("smrp.proto.", 0) == 0 ||
+               name.rfind("smrp.recovery.", 0) == 0) {
+      counters.add_row({name, std::to_string(value)});
+      any_counter = true;
+    }
+  }
+  if (tx + rx + drop > 0) {
+    counters.add_row({"smrp.sim.{tx,rx,drop}.* (total)",
+                      std::to_string(tx) + "/" + std::to_string(rx) + "/" +
+                          std::to_string(drop)});
+    any_counter = true;
+  }
+  if (any_counter) std::cout << "\n  counters:\n" << counters.render();
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::cerr << "usage: trace_report <trace.jsonl>\n";
+    return 2;
+  }
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::cerr << "trace_report: cannot open " << argv[1] << "\n";
+    return 2;
+  }
+
+  std::vector<RunSection> runs;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) malformed(line_no, "empty line");
+    LineObject obj;
+    std::string error;
+    LineParser parser(line);
+    if (!parser.parse(obj, error)) malformed(line_no, error);
+    const std::string& type = require_str(obj, "type", line_no);
+    if (type == "meta") {
+      const double version = require_num(obj, "version", line_no);
+      if (version != 1.0) {
+        malformed(line_no, "unsupported trace version " + ms(version));
+      }
+      RunSection run;
+      run.label = require_str(obj, "run", line_no);
+      run.at = require_num(obj, "at", line_no);
+      run.declared_spans =
+          static_cast<std::uint64_t>(require_num(obj, "spans", line_no));
+      runs.push_back(std::move(run));
+      continue;
+    }
+    if (runs.empty()) malformed(line_no, "record before any meta line");
+    RunSection& run = runs.back();
+    if (type == "span") {
+      SpanRow span;
+      span.id = static_cast<std::uint64_t>(require_num(obj, "id", line_no));
+      span.parent =
+          static_cast<std::uint64_t>(require_num(obj, "parent", line_no));
+      span.kind = require_str(obj, "kind", line_no);
+      span.node = static_cast<std::int64_t>(require_num(obj, "node", line_no));
+      span.start = require_num(obj, "start", line_no);
+      span.end = require_num(obj, "end", line_no);
+      span.status = require_str(obj, "status", line_no);
+      if (span.id == 0) malformed(line_no, "span id 0 is reserved");
+      if (span.end + 1e-9 < span.start) {
+        malformed(line_no, "span ends before it starts");
+      }
+      for (const auto& [key, value] : obj.numbers) {
+        if (key == "id" || key == "parent" || key == "node" ||
+            key == "start" || key == "end") {
+          continue;
+        }
+        span.attrs.emplace(key, value);
+      }
+      run.spans.push_back(std::move(span));
+    } else if (type == "counter") {
+      run.counters[require_str(obj, "name", line_no)] =
+          static_cast<std::uint64_t>(require_num(obj, "value", line_no));
+    } else if (type == "gauge") {
+      require_str(obj, "name", line_no);  // schema check only
+      require_num(obj, "value", line_no);
+      require_num(obj, "max", line_no);
+    } else if (type == "hist") {
+      HistRow h;
+      h.count = static_cast<std::uint64_t>(require_num(obj, "count", line_no));
+      h.sum = require_num(obj, "sum", line_no);
+      h.mean = require_num(obj, "mean", line_no);
+      h.p50 = require_num(obj, "p50", line_no);
+      h.p90 = require_num(obj, "p90", line_no);
+      h.p99 = require_num(obj, "p99", line_no);
+      h.max = require_num(obj, "max", line_no);
+      run.hists[require_str(obj, "name", line_no)] = h;
+    } else {
+      malformed(line_no, "unknown record type \"" + type + "\"");
+    }
+  }
+  if (runs.empty()) {
+    std::cerr << "trace_report: no runs in " << argv[1] << "\n";
+    return 1;
+  }
+  for (const RunSection& run : runs) render_run(run);
+  return 0;
+}
