@@ -5,18 +5,23 @@
 //      additional gain when local detour runs on the SMRP tree.
 #include <iostream>
 
-#include "bench_common.hpp"
-#include "eval/scenario.hpp"
-#include "eval/table.hpp"
+#include "bench_scenario.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace smrp;
-  bench::banner("ablation-local-on-spf",
-                "Detour policy vs tree shape (N=100, N_G=30, alpha=0.2, "
-                "D_thresh=0.3)",
-                bench::kDefaultSeed);
+  bench::Runner runner(argc, argv, "ablation-local-on-spf",
+                       "Detour policy vs tree shape (N=100, N_G=30, "
+                       "alpha=0.2, D_thresh=0.3)",
+                       /*default_trials=*/100);
+  runner.config().set("node_count", 100);
+  runner.config().set("group_size", 30);
+  runner.config().set("alpha", 0.2);
+  runner.config().set("d_thresh", 0.3);
+  runner.config().set("sweep", "policy_pair={global-local,local-local,"
+                               "global-global}");
 
   struct Row {
+    const char* key;
     const char* label;
     eval::RecoveryPolicy spf_policy;
     eval::RecoveryPolicy smrp_policy;
@@ -24,29 +29,37 @@ int main() {
   // RD_rel below always compares column "SPF tree policy" (as RD_SPF)
   // against "SMRP tree policy" (as RD_SMRP).
   const Row rows[] = {
-      {"global on SPF  vs local on SMRP (paper's comparison)",
+      {"global-local",
+       "global on SPF  vs local on SMRP (paper's comparison)",
        eval::RecoveryPolicy::kGlobalDetour, eval::RecoveryPolicy::kLocalDetour},
-      {"local on SPF   vs local on SMRP (tree-shape benefit only)",
+      {"local-local",
+       "local on SPF   vs local on SMRP (tree-shape benefit only)",
        eval::RecoveryPolicy::kLocalDetour, eval::RecoveryPolicy::kLocalDetour},
-      {"global on SPF  vs global on SMRP (policy removed)",
+      {"global-global",
+       "global on SPF  vs global on SMRP (policy removed)",
        eval::RecoveryPolicy::kGlobalDetour,
        eval::RecoveryPolicy::kGlobalDetour},
   };
 
+  const eval::EngineResult& res =
+      runner.run([&](eval::TrialContext& ctx) {
+        for (const Row& row : rows) {
+          eval::ScenarioParams params;
+          params.smrp.d_thresh = 0.3;
+          params.spf_policy = row.spf_policy;
+          params.smrp_policy = row.smrp_policy;
+          bench::run_sweep_point(ctx, params, row.key);
+        }
+      });
+
   eval::Table table({"comparison", "RD_rel weight", "RD_rel links"});
   for (const Row& row : rows) {
-    eval::ScenarioParams params;
-    params.smrp.d_thresh = 0.3;
-    params.spf_policy = row.spf_policy;
-    params.smrp_policy = row.smrp_policy;
-    const eval::SweepCell cell =
-        eval::run_sweep(params, 10, 10, bench::kDefaultSeed);
+    const std::string prefix = row.key;
+    const eval::Summary rd = res.summary(prefix + "/rd_rel_weight");
+    const eval::Summary rd_hops = res.summary(prefix + "/rd_rel_hops");
     table.add_row(
-        {row.label,
-         eval::Table::percent_with_ci(cell.rd_relative.mean,
-                                      cell.rd_relative.ci95_half),
-         eval::Table::percent_with_ci(cell.rd_relative_hops.mean,
-                                      cell.rd_relative_hops.ci95_half)});
+        {row.label, eval::Table::percent_with_ci(rd.mean, rd.ci95_half),
+         eval::Table::percent_with_ci(rd_hops.mean, rd_hops.ci95_half)});
   }
   std::cout << table.render()
             << "\nexpected: both ingredients contribute; the paper's "

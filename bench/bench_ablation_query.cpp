@@ -5,36 +5,50 @@
 // optimal, thus degrading the protocol performance".
 #include <iostream>
 
-#include "bench_common.hpp"
-#include "eval/scenario.hpp"
-#include "eval/table.hpp"
+#include "bench_scenario.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace smrp;
-  bench::banner("ablation-query",
-                "Full-topology join vs query-scheme join (N=100, N_G=30, "
-                "alpha=0.2, D_thresh=0.3)",
-                bench::kDefaultSeed);
+  bench::Runner runner(argc, argv, "ablation-query",
+                       "Full-topology join vs query-scheme join (N=100, "
+                       "N_G=30, alpha=0.2, D_thresh=0.3)",
+                       /*default_trials=*/100);
+  runner.config().set("node_count", 100);
+  runner.config().set("group_size", 30);
+  runner.config().set("alpha", 0.2);
+  runner.config().set("d_thresh", 0.3);
+  runner.config().set("sweep", "join_mode={full,query}");
+
+  const eval::EngineResult& res =
+      runner.run([&](eval::TrialContext& ctx) {
+        for (const bool query : {false, true}) {
+          eval::ScenarioParams params;
+          params.smrp.d_thresh = 0.3;
+          params.use_query_scheme = query;
+          bench::run_sweep_point(
+              ctx, params, std::string("join=") + (query ? "query" : "full"));
+        }
+      });
 
   eval::Table table({"join mode", "RD_rel weight", "RD_rel links",
                      "Delay_rel", "Cost_rel", "fallback joins"});
   for (const bool query : {false, true}) {
-    eval::ScenarioParams params;
-    params.smrp.d_thresh = 0.3;
-    params.use_query_scheme = query;
-    const eval::SweepCell cell =
-        eval::run_sweep(params, 10, 10, bench::kDefaultSeed);
+    const std::string prefix =
+        std::string("join=") + (query ? "query" : "full");
+    const eval::Summary rd = res.summary(prefix + "/rd_rel_weight");
+    const eval::Summary rd_hops = res.summary(prefix + "/rd_rel_hops");
+    const eval::Summary delay = res.summary(prefix + "/delay_rel");
+    const eval::Summary cost = res.summary(prefix + "/cost_rel");
+    const eval::RunningStats* fallbacks =
+        res.find(prefix + "/fallback_joins");
     table.add_row(
         {query ? "query scheme" : "full topology",
-         eval::Table::percent_with_ci(cell.rd_relative.mean,
-                                      cell.rd_relative.ci95_half),
-         eval::Table::percent_with_ci(cell.rd_relative_hops.mean,
-                                      cell.rd_relative_hops.ci95_half),
-         eval::Table::percent_with_ci(cell.delay_relative.mean,
-                                      cell.delay_relative.ci95_half),
-         eval::Table::percent_with_ci(cell.cost_relative.mean,
-                                      cell.cost_relative.ci95_half),
-         std::to_string(cell.fallback_joins)});
+         eval::Table::percent_with_ci(rd.mean, rd.ci95_half),
+         eval::Table::percent_with_ci(rd_hops.mean, rd_hops.ci95_half),
+         eval::Table::percent_with_ci(delay.mean, delay.ci95_half),
+         eval::Table::percent_with_ci(cost.mean, cost.ci95_half),
+         std::to_string(static_cast<long long>(
+             fallbacks != nullptr ? fallbacks->sum() + 0.5 : 0.0))});
   }
   std::cout << table.render()
             << "\nexpected: the query scheme keeps most of the benefit but "

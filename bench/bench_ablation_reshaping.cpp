@@ -2,39 +2,48 @@
 // (Conditions I & II, §3.2.3) versus the join-time path selection alone.
 #include <iostream>
 
-#include "bench_common.hpp"
-#include "eval/scenario.hpp"
-#include "eval/table.hpp"
+#include "bench_scenario.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace smrp;
-  bench::banner("ablation-reshaping",
-                "SMRP with vs without tree reshaping (N=100, N_G=30, "
-                "alpha=0.2, D_thresh=0.3)",
-                bench::kDefaultSeed);
+  bench::Runner runner(argc, argv, "ablation-reshaping",
+                       "SMRP with vs without tree reshaping (N=100, N_G=30, "
+                       "alpha=0.2, D_thresh=0.3)",
+                       /*default_trials=*/100);
+  runner.config().set("node_count", 100);
+  runner.config().set("group_size", 30);
+  runner.config().set("alpha", 0.2);
+  runner.config().set("d_thresh", 0.3);
+  runner.config().set("sweep", "reshaping={off,on}");
+
+  const eval::EngineResult& res =
+      runner.run([&](eval::TrialContext& ctx) {
+        for (const bool reshaping : {false, true}) {
+          eval::ScenarioParams params;
+          params.smrp.d_thresh = 0.3;
+          params.smrp.enable_reshaping = reshaping;
+          bench::run_sweep_point(
+              ctx, params,
+              std::string("reshaping=") + (reshaping ? "on" : "off"));
+        }
+      });
 
   eval::Table table({"reshaping", "RD_rel weight", "RD_rel links",
                      "Delay_rel", "Cost_rel", "reshapes/scenario"});
   for (const bool reshaping : {false, true}) {
-    eval::ScenarioParams params;
-    params.smrp.d_thresh = 0.3;
-    params.smrp.enable_reshaping = reshaping;
-    const eval::SweepCell cell =
-        eval::run_sweep(params, 10, 10, bench::kDefaultSeed);
+    const std::string prefix =
+        std::string("reshaping=") + (reshaping ? "on" : "off");
+    const eval::Summary rd = res.summary(prefix + "/rd_rel_weight");
+    const eval::Summary rd_hops = res.summary(prefix + "/rd_rel_hops");
+    const eval::Summary delay = res.summary(prefix + "/delay_rel");
+    const eval::Summary cost = res.summary(prefix + "/cost_rel");
     table.add_row(
         {reshaping ? "on" : "off",
-         eval::Table::percent_with_ci(cell.rd_relative.mean,
-                                      cell.rd_relative.ci95_half),
-         eval::Table::percent_with_ci(cell.rd_relative_hops.mean,
-                                      cell.rd_relative_hops.ci95_half),
-         eval::Table::percent_with_ci(cell.delay_relative.mean,
-                                      cell.delay_relative.ci95_half),
-         eval::Table::percent_with_ci(cell.cost_relative.mean,
-                                      cell.cost_relative.ci95_half),
-         eval::Table::fixed(
-             static_cast<double>(cell.reshapes) /
-                 (cell.scenarios > 0 ? cell.scenarios : 1),
-             2)});
+         eval::Table::percent_with_ci(rd.mean, rd.ci95_half),
+         eval::Table::percent_with_ci(rd_hops.mean, rd_hops.ci95_half),
+         eval::Table::percent_with_ci(delay.mean, delay.ci95_half),
+         eval::Table::percent_with_ci(cost.mean, cost.ci95_half),
+         eval::Table::fixed(res.summary(prefix + "/reshapes").mean, 2)});
   }
   std::cout << table.render()
             << "\nreshaping should add a few extra points of RD reduction "

@@ -4,37 +4,53 @@
 // heuristic and re-runs the headline comparison.
 #include <iostream>
 
-#include "bench_common.hpp"
-#include "eval/scenario.hpp"
-#include "eval/table.hpp"
+#include "bench_scenario.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace smrp;
-  bench::banner("ablation-steiner",
-                "SMRP vs SPF baseline and vs cost-minimising (Steiner) "
-                "baseline (N=100, N_G=30, alpha=0.2, D_thresh=0.3)",
-                bench::kDefaultSeed);
+  bench::Runner runner(argc, argv, "ablation-steiner",
+                       "SMRP vs SPF baseline and vs cost-minimising "
+                       "(Steiner) baseline (N=100, N_G=30, alpha=0.2, "
+                       "D_thresh=0.3)",
+                       /*default_trials=*/100);
+  runner.config().set("node_count", 100);
+  runner.config().set("group_size", 30);
+  runner.config().set("alpha", 0.2);
+  runner.config().set("d_thresh", 0.3);
+  runner.config().set("sweep", "baseline={spf,steiner}");
+
+  const auto key = [](eval::BaselineKind kind) {
+    return kind == eval::BaselineKind::kSpf ? "baseline=spf"
+                                            : "baseline=steiner";
+  };
+  const eval::BaselineKind kKinds[] = {eval::BaselineKind::kSpf,
+                                       eval::BaselineKind::kSteiner};
+
+  const eval::EngineResult& res =
+      runner.run([&](eval::TrialContext& ctx) {
+        for (const auto kind : kKinds) {
+          eval::ScenarioParams params;
+          params.smrp.d_thresh = 0.3;
+          params.baseline = kind;
+          bench::run_sweep_point(ctx, params, key(kind));
+        }
+      });
 
   eval::Table table({"baseline", "RD_rel weight", "RD_rel links",
                      "Delay_rel", "Cost_rel"});
-  for (const auto kind :
-       {eval::BaselineKind::kSpf, eval::BaselineKind::kSteiner}) {
-    eval::ScenarioParams params;
-    params.smrp.d_thresh = 0.3;
-    params.baseline = kind;
-    const eval::SweepCell cell =
-        eval::run_sweep(params, 10, 10, bench::kDefaultSeed);
+  for (const auto kind : kKinds) {
+    const std::string prefix = key(kind);
+    const eval::Summary rd = res.summary(prefix + "/rd_rel_weight");
+    const eval::Summary rd_hops = res.summary(prefix + "/rd_rel_hops");
+    const eval::Summary delay = res.summary(prefix + "/delay_rel");
+    const eval::Summary cost = res.summary(prefix + "/cost_rel");
     table.add_row(
         {kind == eval::BaselineKind::kSpf ? "SPF (MOSPF/PIM)"
                                           : "Steiner (Takahashi-Matsuyama)",
-         eval::Table::percent_with_ci(cell.rd_relative.mean,
-                                      cell.rd_relative.ci95_half),
-         eval::Table::percent_with_ci(cell.rd_relative_hops.mean,
-                                      cell.rd_relative_hops.ci95_half),
-         eval::Table::percent_with_ci(cell.delay_relative.mean,
-                                      cell.delay_relative.ci95_half),
-         eval::Table::percent_with_ci(cell.cost_relative.mean,
-                                      cell.cost_relative.ci95_half)});
+         eval::Table::percent_with_ci(rd.mean, rd.ci95_half),
+         eval::Table::percent_with_ci(rd_hops.mean, rd_hops.ci95_half),
+         eval::Table::percent_with_ci(delay.mean, delay.ci95_half),
+         eval::Table::percent_with_ci(cost.mean, cost.ci95_half)});
   }
   std::cout << table.render()
             << "\nexpected (paper's §4.2 claim): SMRP's recovery-distance "

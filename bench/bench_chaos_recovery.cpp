@@ -13,10 +13,10 @@
 // end (after the plan has drained plus a settling margin).
 #include <algorithm>
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "bench_common.hpp"
-#include "eval/stats.hpp"
 #include "eval/table.hpp"
 #include "net/waxman.hpp"
 #include "sim/fault_injection.hpp"
@@ -100,85 +100,87 @@ ChaosResult run_chaos(const net::Graph& g,
 
 int main(int argc, char** argv) {
   using namespace smrp;
-  bench::TelemetryExport trace_out;
-  try {
-    trace_out = bench::TelemetryExport::from_args(argc, argv);
-  } catch (const std::exception& e) {
-    std::cerr << "usage: bench_chaos_recovery [--telemetry <path>]\n"
-              << e.what() << "\n";
-    return 2;
-  }
-  bench::banner("chaos-recovery",
-                "Service interruption under a seeded flap/crash plan, SMRP "
-                "local repair vs PIM over OSPF-lite (DES, N=50, N_G=10, "
-                "6 topologies x 10 faults)",
-                bench::kDefaultSeed);
+  bench::Runner runner(argc, argv, "chaos-recovery",
+                       "Service interruption under a seeded flap/crash plan, "
+                       "SMRP local repair vs PIM over OSPF-lite (DES, N=50, "
+                       "N_G=10, 10 faults per topology)",
+                       /*default_trials=*/6);
+  runner.config().set("node_count", 50);
+  runner.config().set("group_size", 10);
+  runner.config().set("link_flaps", 8);
+  runner.config().set("node_restarts", 1);
+  runner.config().set("loss_bursts", 1);
 
-  net::Rng root(bench::kDefaultSeed);
-  eval::RunningStats smrp_gaps;
-  eval::RunningStats pim_gaps;
-  double smrp_starved = 0.0, pim_starved = 0.0;
-  int smrp_dark = 0, pim_dark = 0;
+  const eval::EngineResult& res =
+      runner.run([&](eval::TrialContext& ctx) {
+        net::Rng rng(ctx.seed);
+        net::WaxmanParams wax;
+        wax.node_count = 50;
+        const net::Graph g = net::waxman_graph(wax, rng);
+        std::vector<net::NodeId> members;
+        while (members.size() < 10) {
+          const auto m = static_cast<net::NodeId>(1 + rng.below(49));
+          if (std::find(members.begin(), members.end(), m) == members.end()) {
+            members.push_back(m);
+          }
+        }
 
-  for (int t = 0; t < 6; ++t) {
-    net::Rng rng = root.fork();
-    net::WaxmanParams wax;
-    wax.node_count = 50;
-    const net::Graph g = net::waxman_graph(wax, rng);
-    std::vector<net::NodeId> members;
-    while (members.size() < 10) {
-      const auto m = static_cast<net::NodeId>(1 + rng.below(49));
-      if (std::find(members.begin(), members.end(), m) == members.end()) {
-        members.push_back(m);
-      }
-    }
+        // The standard drill: 8 link flaps, one node crash/restart, one
+        // loss burst, drawn once per topology — both protocols replay the
+        // exact same plan.
+        sim::FaultPlan::RandomParams params;
+        params.link_flaps = 8;
+        params.node_restarts = 1;
+        params.loss_bursts = 1;
+        params.start = 2'000.0;
+        params.window = 8'000.0;
+        params.protected_nodes = {0};
+        net::Rng plan_rng = rng.fork();
+        const sim::FaultPlan plan =
+            sim::FaultPlan::randomized(g, params, plan_rng);
 
-    // The standard drill: 8 link flaps, one node crash/restart, one loss
-    // burst, drawn once per topology — both protocols replay the exact
-    // same plan.
-    sim::FaultPlan::RandomParams params;
-    params.link_flaps = 8;
-    params.node_restarts = 1;
-    params.loss_bursts = 1;
-    params.start = 2'000.0;
-    params.window = 8'000.0;
-    params.protected_nodes = {0};
-    net::Rng plan_rng = rng.fork();
-    const sim::FaultPlan plan = sim::FaultPlan::randomized(g, params, plan_rng);
+        auto& rec = ctx.recorder;
+        const std::string topo = std::to_string(ctx.trial);
+        obs::Telemetry* smrp_telemetry = rec.telemetry("smrp-topo" + topo);
+        obs::Telemetry* pim_telemetry = rec.telemetry("pim-topo" + topo);
+        const ChaosResult smrp = run_chaos(
+            g, members, proto::SessionConfig::Mode::kSmrp, plan,
+            smrp_telemetry);
+        const ChaosResult pim = run_chaos(
+            g, members, proto::SessionConfig::Mode::kPimSpf, plan,
+            pim_telemetry);
+        const double run_end = plan.quiescent_time() + 15'000.0;
+        rec.close_telemetry(smrp_telemetry, run_end);
+        rec.close_telemetry(pim_telemetry, run_end);
 
-    obs::Telemetry smrp_telemetry;
-    obs::Telemetry pim_telemetry;
-    const ChaosResult smrp =
-        run_chaos(g, members, proto::SessionConfig::Mode::kSmrp, plan,
-                  trace_out.active() ? &smrp_telemetry : nullptr);
-    const ChaosResult pim =
-        run_chaos(g, members, proto::SessionConfig::Mode::kPimSpf, plan,
-                  trace_out.active() ? &pim_telemetry : nullptr);
-    const double run_end = plan.quiescent_time() + 15'000.0;
-    trace_out.add(smrp_telemetry, run_end, "smrp-topo" + std::to_string(t));
-    trace_out.add(pim_telemetry, run_end, "pim-topo" + std::to_string(t));
-    for (const double x : smrp.gaps_ms) smrp_gaps.add(x);
-    for (const double x : pim.gaps_ms) pim_gaps.add(x);
-    smrp_starved += smrp.starved_ms;
-    pim_starved += pim.starved_ms;
-    smrp_dark += smrp.dark_members;
-    pim_dark += pim.dark_members;
-  }
+        for (const double x : smrp.gaps_ms) rec.add("smrp/gap_ms", x);
+        for (const double x : pim.gaps_ms) rec.add("pim/gap_ms", x);
+        rec.add("smrp/starved_ms", smrp.starved_ms);
+        rec.add("pim/starved_ms", pim.starved_ms);
+        rec.add("smrp/dark_members", smrp.dark_members);
+        rec.add("pim/dark_members", pim.dark_members);
+      });
 
   eval::Table table({"protocol", "interruptions", "mean gap (ms)",
                      "max gap (ms)", "starved member-s", "dark at end"});
-  const eval::Summary s = smrp_gaps.summary();
-  const eval::Summary p = pim_gaps.summary();
+  const eval::Summary s = res.summary("smrp/gap_ms");
+  const eval::Summary p = res.summary("pim/gap_ms");
+  const auto sum_of = [&](const char* series) {
+    const eval::RunningStats* st = res.find(series);
+    return st != nullptr ? st->sum() : 0.0;
+  };
   table.add_row({"SMRP local repair", std::to_string(s.count),
                  eval::Table::with_ci(s.mean, s.ci95_half, 1),
                  eval::Table::fixed(s.max, 1),
-                 eval::Table::fixed(smrp_starved / 1000.0, 2),
-                 std::to_string(smrp_dark)});
+                 eval::Table::fixed(sum_of("smrp/starved_ms") / 1000.0, 2),
+                 std::to_string(static_cast<long long>(
+                     sum_of("smrp/dark_members") + 0.5))});
   table.add_row({"PIM over OSPF-lite", std::to_string(p.count),
                  eval::Table::with_ci(p.mean, p.ci95_half, 1),
                  eval::Table::fixed(p.max, 1),
-                 eval::Table::fixed(pim_starved / 1000.0, 2),
-                 std::to_string(pim_dark)});
+                 eval::Table::fixed(sum_of("pim/starved_ms") / 1000.0, 2),
+                 std::to_string(static_cast<long long>(
+                     sum_of("pim/dark_members") + 0.5))});
   std::cout << table.render();
   if (s.count > 0 && p.count > 0 && s.mean > 0.0) {
     std::cout << "\nmean-gap ratio (PIM / SMRP): "

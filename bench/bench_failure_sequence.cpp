@@ -4,52 +4,52 @@
 // identical accumulated damage. The paper's single-failure advantage
 // should compound across the sequence.
 #include <iostream>
+#include <string>
 
 #include "bench_common.hpp"
 #include "eval/failure_sequence.hpp"
-#include "eval/stats.hpp"
 #include "eval/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace smrp;
-  bench::banner("failure-sequence",
-                "Sequences of 6 persistent failures (N=100, N_G=30, "
-                "alpha=0.2, D_thresh=0.3, 25 sequences)",
-                bench::kDefaultSeed);
+  constexpr int kFailures = 6;
+  bench::Runner runner(argc, argv, "failure-sequence",
+                       "Sequences of 6 persistent failures (N=100, N_G=30, "
+                       "alpha=0.2, D_thresh=0.3)",
+                       /*default_trials=*/25);
+  runner.config().set("node_count", 100);
+  runner.config().set("group_size", 30);
+  runner.config().set("alpha", 0.2);
+  runner.config().set("d_thresh", 0.3);
+  runner.config().set("failures", kFailures);
 
-  eval::FailureSequenceParams params;
-  params.scenario.smrp.d_thresh = 0.3;
-  params.failures = 6;
+  const eval::EngineResult& res =
+      runner.run([&](eval::TrialContext& ctx) {
+        eval::FailureSequenceParams params;
+        params.scenario.smrp.d_thresh = 0.3;
+        params.failures = kFailures;
 
-  net::Rng root(bench::kDefaultSeed);
-  std::vector<eval::RunningStats> rd_smrp(
-      static_cast<std::size_t>(params.failures));
-  std::vector<eval::RunningStats> rd_spf(
-      static_cast<std::size_t>(params.failures));
-  eval::RunningStats survivors_smrp;
-  eval::RunningStats survivors_spf;
-  eval::RunningStats total_smrp;
-  eval::RunningStats total_spf;
-
-  for (int run = 0; run < 25; ++run) {
-    net::Rng rng = root.fork();
-    const eval::FailureSequenceResult r =
-        eval::run_failure_sequence(params, rng);
-    for (std::size_t i = 0; i < r.steps.size(); ++i) {
-      rd_smrp[i].add(r.steps[i].rd_smrp);
-      rd_spf[i].add(r.steps[i].rd_spf);
-    }
-    survivors_smrp.add(r.final_members_smrp);
-    survivors_spf.add(r.final_members_spf);
-    total_smrp.add(r.total_rd_smrp);
-    total_spf.add(r.total_rd_spf);
-  }
+        net::Rng rng(ctx.seed);
+        const eval::FailureSequenceResult r =
+            eval::run_failure_sequence(params, rng);
+        auto& rec = ctx.recorder;
+        for (std::size_t i = 0; i < r.steps.size(); ++i) {
+          const std::string step = "step=" + std::to_string(i + 1);
+          rec.add(step + "/rd_smrp", r.steps[i].rd_smrp);
+          rec.add(step + "/rd_spf", r.steps[i].rd_spf);
+        }
+        rec.add("survivors_smrp", r.final_members_smrp);
+        rec.add("survivors_spf", r.final_members_spf);
+        rec.add("total_rd_smrp", r.total_rd_smrp);
+        rec.add("total_rd_spf", r.total_rd_spf);
+      });
 
   eval::Table table({"failure #", "repair RD (SMRP local)",
                      "repair RD (SPF global)", "ratio"});
-  for (int i = 0; i < params.failures; ++i) {
-    const auto s = rd_smrp[static_cast<std::size_t>(i)].summary();
-    const auto b = rd_spf[static_cast<std::size_t>(i)].summary();
+  for (int i = 0; i < kFailures; ++i) {
+    const std::string step = "step=" + std::to_string(i + 1);
+    const eval::Summary s = res.summary(step + "/rd_smrp");
+    const eval::Summary b = res.summary(step + "/rd_spf");
     table.add_row({std::to_string(i + 1),
                    eval::Table::with_ci(s.mean, s.ci95_half, 1),
                    eval::Table::with_ci(b.mean, b.ci95_half, 1),
@@ -57,11 +57,13 @@ int main() {
                               : "-"});
   }
   std::cout << table.render() << "\ncumulative repair distance: SMRP "
-            << eval::Table::fixed(total_smrp.summary().mean, 1) << " vs SPF "
-            << eval::Table::fixed(total_spf.summary().mean, 1)
+            << eval::Table::fixed(res.summary("total_rd_smrp").mean, 1)
+            << " vs SPF "
+            << eval::Table::fixed(res.summary("total_rd_spf").mean, 1)
             << "\nmembers still served after the barrage: SMRP "
-            << eval::Table::fixed(survivors_smrp.summary().mean, 1)
-            << " / SPF " << eval::Table::fixed(survivors_spf.summary().mean, 1)
+            << eval::Table::fixed(res.summary("survivors_smrp").mean, 1)
+            << " / SPF "
+            << eval::Table::fixed(res.summary("survivors_spf").mean, 1)
             << " (of 30)\n\nexpected: the local-detour advantage compounds "
                "across successive failures.\n\n";
   return 0;

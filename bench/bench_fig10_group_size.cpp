@@ -9,44 +9,52 @@
 // baseline recovers more easily too).
 #include <iostream>
 
-#include "bench_common.hpp"
-#include "eval/scenario.hpp"
-#include "eval/table.hpp"
+#include "bench_scenario.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace smrp;
-  bench::banner("fig10", "Effect of group size (N=100, alpha=0.2, "
-                         "D_thresh=0.3)",
-                bench::kDefaultSeed);
-
   const int kGroupSizes[] = {20, 30, 40, 50};
+
+  bench::Runner runner(argc, argv, "fig10",
+                       "Effect of group size (N=100, alpha=0.2, D_thresh=0.3)",
+                       /*default_trials=*/100);
+  runner.config().set("node_count", 100);
+  runner.config().set("alpha", 0.2);
+  runner.config().set("d_thresh", 0.3);
+  runner.config().set("sweep", "group_size={20,30,40,50}");
+
+  const eval::EngineResult& res =
+      runner.run([&](eval::TrialContext& ctx) {
+        for (const int group : kGroupSizes) {
+          eval::ScenarioParams params;
+          params.node_count = 100;
+          params.group_size = group;
+          params.alpha = 0.2;
+          params.smrp.d_thresh = 0.3;
+          bench::run_sweep_point(ctx, params, "ng=" + std::to_string(group));
+        }
+      });
+
   eval::Table table({"N_G", "RD_rel weight (95% CI)", "RD_rel links (95% CI)",
                      "Delay_rel (95% CI)", "Cost_rel (95% CI)", "scenarios",
                      "fallback joins"});
-
   for (const int group : kGroupSizes) {
-    eval::ScenarioParams params;
-    params.node_count = 100;
-    params.group_size = group;
-    params.alpha = 0.2;
-    params.smrp.d_thresh = 0.3;
-
-    const eval::SweepCell cell =
-        eval::run_sweep(params, /*topologies=*/10, /*member_sets=*/10,
-                        bench::kDefaultSeed);
-
+    const std::string prefix = "ng=" + std::to_string(group);
+    const eval::Summary rd = res.summary(prefix + "/rd_rel_weight");
+    const eval::Summary rd_hops = res.summary(prefix + "/rd_rel_hops");
+    const eval::Summary delay = res.summary(prefix + "/delay_rel");
+    const eval::Summary cost = res.summary(prefix + "/cost_rel");
+    const eval::RunningStats* fallbacks =
+        res.find(prefix + "/fallback_joins");
     table.add_row(
         {std::to_string(group),
-         eval::Table::percent_with_ci(cell.rd_relative.mean,
-                                      cell.rd_relative.ci95_half),
-         eval::Table::percent_with_ci(cell.rd_relative_hops.mean,
-                                      cell.rd_relative_hops.ci95_half),
-         eval::Table::percent_with_ci(cell.delay_relative.mean,
-                                      cell.delay_relative.ci95_half),
-         eval::Table::percent_with_ci(cell.cost_relative.mean,
-                                      cell.cost_relative.ci95_half),
-         std::to_string(cell.scenarios),
-         std::to_string(cell.fallback_joins)});
+         eval::Table::percent_with_ci(rd.mean, rd.ci95_half),
+         eval::Table::percent_with_ci(rd_hops.mean, rd_hops.ci95_half),
+         eval::Table::percent_with_ci(delay.mean, delay.ci95_half),
+         eval::Table::percent_with_ci(cost.mean, cost.ci95_half),
+         std::to_string(rd.count),
+         std::to_string(static_cast<long long>(
+             fallbacks != nullptr ? fallbacks->sum() + 0.5 : 0.0))});
   }
   std::cout << table.render()
             << "\npaper: steady ≈20% RD reduction at ≈5% overhead, with a "

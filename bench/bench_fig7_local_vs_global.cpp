@@ -1,89 +1,93 @@
 // Reproduces Figure 7: recovery via local detour vs. global detour.
 //
 // Paper setup (§4.3.1): N=100, N_G=30, α=0.2, D_thresh=0.3; five random
-// topologies, one random member set each; for every member R the worst-case
-// failure (the source's incident link on R's path) is injected, and the
-// scatter compares the recovery distance of the SPF global detour (x) with
-// the SMRP local detour (y). Most points should fall below y=x; the paper
-// reports a mean recovery-path reduction of ≈33%.
-#include <algorithm>
+// topologies, one random member set each (one topology per trial); for
+// every member R the worst-case failure (the source's incident link on
+// R's path) is injected, and the scatter compares the recovery distance
+// of the SPF global detour (x) with the SMRP local detour (y). Most
+// points should fall below y=x; the paper reports a mean recovery-path
+// reduction of ≈33%.
 #include <iostream>
+#include <string>
 
 #include "bench_common.hpp"
 #include "eval/scenario.hpp"
-#include "eval/stats.hpp"
 #include "eval/table.hpp"
-#include "net/waxman.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace smrp;
-  bench::banner("fig7",
-                "Local vs global detour (N=100, N_G=30, alpha=0.2, "
-                "D_thresh=0.3, 5 topologies)",
-                bench::kDefaultSeed);
+  bench::Runner runner(argc, argv, "fig7",
+                       "Local vs global detour (N=100, N_G=30, alpha=0.2, "
+                       "D_thresh=0.3)",
+                       /*default_trials=*/5);
+  runner.config().set("node_count", 100);
+  runner.config().set("group_size", 30);
+  runner.config().set("alpha", 0.2);
+  runner.config().set("d_thresh", 0.3);
 
-  eval::ScenarioParams params;
-  params.node_count = 100;
-  params.group_size = 30;
-  params.alpha = 0.2;
-  params.smrp.d_thresh = 0.3;
+  const eval::EngineResult& res =
+      runner.run([&](eval::TrialContext& ctx) {
+        eval::ScenarioParams params;
+        params.node_count = 100;
+        params.group_size = 30;
+        params.alpha = 0.2;
+        params.smrp.d_thresh = 0.3;
 
-  net::WaxmanParams wax;
-  wax.node_count = params.node_count;
-  wax.alpha = params.alpha;
-  wax.beta = params.beta;
+        net::Rng rng(ctx.seed);
+        const net::Graph g = eval::make_topology(params, rng);
+        const eval::ScenarioResult r =
+            eval::run_scenario_on_graph(g, params, rng);
 
-  net::Rng root(bench::kDefaultSeed);
+        const std::string topo = "topo=" + std::to_string(ctx.trial);
+        auto& rec = ctx.recorder;
+        for (const eval::MemberComparison& m : r.members) {
+          if (!m.valid) continue;
+          rec.add(topo + "/rd_global", m.rd_spf);
+          rec.add(topo + "/rd_local", m.rd_smrp);
+          rec.add(topo + "/reduction", m.rd_relative());
+          rec.add(topo + "/below_diag", m.rd_smrp < m.rd_spf ? 1.0 : 0.0);
+          rec.add("rd_global", m.rd_spf);
+          rec.add("rd_local", m.rd_smrp);
+          rec.add("reduction", m.rd_relative());
+          rec.add("below_diag", m.rd_smrp < m.rd_spf ? 1.0 : 0.0);
+          rec.add("above_diag", m.rd_smrp > m.rd_spf ? 1.0 : 0.0);
+          rec.add("on_diag", m.rd_smrp == m.rd_spf ? 1.0 : 0.0);
+        }
+      });
+
   eval::Table per_topology({"topology", "members", "mean RD global",
                             "mean RD local", "below y=x", "mean reduction"});
-
-  std::vector<double> reductions;
-  int below = 0;
-  int above = 0;
-  int on_diag = 0;
-
-  for (int t = 0; t < 5; ++t) {
-    net::Rng topo_rng = root.fork();
-    const net::Graph g = net::waxman_graph(wax, topo_rng);
-    net::Rng scenario_rng = topo_rng.fork();
-    const eval::ScenarioResult r =
-        eval::run_scenario_on_graph(g, params, scenario_rng);
-
-    eval::RunningStats rd_global;
-    eval::RunningStats rd_local;
-    eval::RunningStats reduction;
-    int topo_below = 0;
-    int valid = 0;
-    for (const eval::MemberComparison& m : r.members) {
-      if (!m.valid) continue;
-      ++valid;
-      rd_global.add(m.rd_spf);
-      rd_local.add(m.rd_smrp);
-      reduction.add(m.rd_relative());
-      reductions.push_back(m.rd_relative());
-      if (m.rd_smrp < m.rd_spf) {
-        ++below;
-        ++topo_below;
-      } else if (m.rd_smrp > m.rd_spf) {
-        ++above;
-      } else {
-        ++on_diag;
-      }
-    }
+  for (int t = 0; t < res.trials; ++t) {
+    const std::string topo = "topo=" + std::to_string(t);
+    const eval::Summary g = res.summary(topo + "/rd_global");
+    const eval::Summary l = res.summary(topo + "/rd_local");
+    const eval::Summary red = res.summary(topo + "/reduction");
+    const eval::RunningStats* topo_below = res.find(topo + "/below_diag");
+    const long long below_count = static_cast<long long>(
+        topo_below != nullptr ? topo_below->sum() + 0.5 : 0.0);
     per_topology.add_row(
-        {std::to_string(t), std::to_string(valid),
-         eval::Table::fixed(rd_global.summary().mean, 1),
-         eval::Table::fixed(rd_local.summary().mean, 1),
-         std::to_string(topo_below) + "/" + std::to_string(valid),
-         eval::Table::percent(reduction.summary().mean)});
+        {std::to_string(t), std::to_string(g.count),
+         eval::Table::fixed(g.mean, 1), eval::Table::fixed(l.mean, 1),
+         std::to_string(below_count) + "/" + std::to_string(g.count),
+         eval::Table::percent(red.mean)});
   }
 
   std::cout << per_topology.render();
-  const eval::Summary overall = eval::summarize(reductions);
-  const int total = below + above + on_diag;
-  std::cout << "\npoints below y=x: " << below << "/" << total << " ("
-            << eval::Table::percent(static_cast<double>(below) / total)
-            << "), above: " << above << ", on the diagonal: " << on_diag
+  const eval::Summary overall = res.summary("reduction");
+  const eval::RunningStats* below = res.find("below_diag");
+  const eval::RunningStats* above = res.find("above_diag");
+  const eval::RunningStats* diag = res.find("on_diag");
+  const auto count_of = [](const eval::RunningStats* s) {
+    return static_cast<long long>(s != nullptr ? s->sum() + 0.5 : 0.0);
+  };
+  const long long total = overall.count;
+  std::cout << "\npoints below y=x: " << count_of(below) << "/" << total
+            << " ("
+            << eval::Table::percent(
+                   total > 0 ? static_cast<double>(count_of(below)) / total
+                             : 0.0)
+            << "), above: " << count_of(above)
+            << ", on the diagonal: " << count_of(diag)
             << "\nmean recovery-path reduction: "
             << eval::Table::percent_with_ci(overall.mean, overall.ci95_half)
             << "\npaper: most points below y=x; mean reduction ≈33%.\n\n";

@@ -2,51 +2,47 @@
 // distance, end-to-end delay, and tree cost.
 //
 // Paper setup (§4.3.2): N=100, N_G=30, α=0.2; D_thresh swept over four
-// values; 10 random topologies × 10 random member sets = 100 scenarios per
-// point; error bars are 95% confidence intervals; worst-case per-member
-// failure (the source's incident link on the member's path).
+// values; 100 scenarios per point (one per trial; the paper draws them as
+// 10 random topologies × 10 random member sets); error bars are 95%
+// confidence intervals; worst-case per-member failure (the source's
+// incident link on the member's path).
 //
 // Paper's reported shape: RD^relative grows roughly linearly with D_thresh
 // and reaches ≈20% at D_thresh=0.3, while the delay and cost penalties
 // grow to ≈5%.
 #include <iostream>
 
-#include "bench_common.hpp"
-#include "eval/scenario.hpp"
-#include "eval/table.hpp"
+#include "bench_scenario.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace smrp;
-  bench::banner("fig8", "Effect of D_thresh (N=100, N_G=30, alpha=0.2)",
-                bench::kDefaultSeed);
-
   const double kThresholds[] = {0.1, 0.2, 0.3, 0.4};
-  eval::Table table({"D_thresh", "RD_rel weight (95% CI)",
-                     "RD_rel links (95% CI)", "Delay_rel (95% CI)",
-                     "Cost_rel (95% CI)", "scenarios", "reshapes"});
 
+  bench::Runner runner(argc, argv, "fig8",
+                       "Effect of D_thresh (N=100, N_G=30, alpha=0.2)",
+                       /*default_trials=*/100);
+  runner.config().set("node_count", 100);
+  runner.config().set("group_size", 30);
+  runner.config().set("alpha", 0.2);
+  runner.config().set("sweep", "d_thresh={0.1,0.2,0.3,0.4}");
+
+  const eval::EngineResult& res =
+      runner.run([&](eval::TrialContext& ctx) {
+        for (const double d_thresh : kThresholds) {
+          eval::ScenarioParams params;
+          params.node_count = 100;
+          params.group_size = 30;
+          params.alpha = 0.2;
+          params.smrp.d_thresh = d_thresh;
+          bench::run_sweep_point(
+              ctx, params, "dthresh=" + eval::Table::fixed(d_thresh, 1));
+        }
+      });
+
+  eval::Table table(bench::sweep_headers("D_thresh"));
   for (const double d_thresh : kThresholds) {
-    eval::ScenarioParams params;
-    params.node_count = 100;
-    params.group_size = 30;
-    params.alpha = 0.2;
-    params.smrp.d_thresh = d_thresh;
-
-    const eval::SweepCell cell =
-        eval::run_sweep(params, /*topologies=*/10, /*member_sets=*/10,
-                        bench::kDefaultSeed);
-
-    table.add_row(
-        {eval::Table::fixed(d_thresh, 1),
-         eval::Table::percent_with_ci(cell.rd_relative.mean,
-                                      cell.rd_relative.ci95_half),
-         eval::Table::percent_with_ci(cell.rd_relative_hops.mean,
-                                      cell.rd_relative_hops.ci95_half),
-         eval::Table::percent_with_ci(cell.delay_relative.mean,
-                                      cell.delay_relative.ci95_half),
-         eval::Table::percent_with_ci(cell.cost_relative.mean,
-                                      cell.cost_relative.ci95_half),
-         std::to_string(cell.scenarios), std::to_string(cell.reshapes)});
+    const std::string label = eval::Table::fixed(d_thresh, 1);
+    table.add_row(bench::sweep_row(res, "dthresh=" + label, label));
   }
   std::cout << table.render()
             << "\npaper: RD_rel grows ~linearly in D_thresh, ≈20% at 0.3;"

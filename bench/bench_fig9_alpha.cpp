@@ -11,43 +11,51 @@
 // degree 10.
 #include <iostream>
 
-#include "bench_common.hpp"
-#include "eval/scenario.hpp"
-#include "eval/table.hpp"
+#include "bench_scenario.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace smrp;
-  bench::banner("fig9", "Effect of alpha / node degree (N=100, N_G=30, "
-                        "D_thresh=0.3)",
-                bench::kDefaultSeed);
-
   const double kAlphas[] = {0.15, 0.2, 0.25, 0.3};
+
+  bench::Runner runner(argc, argv, "fig9",
+                       "Effect of alpha / node degree (N=100, N_G=30, "
+                       "D_thresh=0.3)",
+                       /*default_trials=*/100);
+  runner.config().set("node_count", 100);
+  runner.config().set("group_size", 30);
+  runner.config().set("d_thresh", 0.3);
+  runner.config().set("sweep", "alpha={0.15,0.2,0.25,0.3}");
+
+  const eval::EngineResult& res =
+      runner.run([&](eval::TrialContext& ctx) {
+        for (const double alpha : kAlphas) {
+          eval::ScenarioParams params;
+          params.node_count = 100;
+          params.group_size = 30;
+          params.alpha = alpha;
+          params.smrp.d_thresh = 0.3;
+          bench::run_sweep_point(ctx, params,
+                                 "alpha=" + eval::Table::fixed(alpha, 2));
+        }
+      });
+
   eval::Table table({"alpha", "avg degree", "RD_rel weight (95% CI)",
                      "RD_rel links (95% CI)", "Delay_rel (95% CI)",
                      "Cost_rel (95% CI)", "scenarios"});
-
   for (const double alpha : kAlphas) {
-    eval::ScenarioParams params;
-    params.node_count = 100;
-    params.group_size = 30;
-    params.alpha = alpha;
-    params.smrp.d_thresh = 0.3;
-
-    const eval::SweepCell cell =
-        eval::run_sweep(params, /*topologies=*/10, /*member_sets=*/10,
-                        bench::kDefaultSeed);
-
+    const std::string prefix = "alpha=" + eval::Table::fixed(alpha, 2);
+    const eval::Summary rd = res.summary(prefix + "/rd_rel_weight");
+    const eval::Summary rd_hops = res.summary(prefix + "/rd_rel_hops");
+    const eval::Summary delay = res.summary(prefix + "/delay_rel");
+    const eval::Summary cost = res.summary(prefix + "/cost_rel");
     table.add_row(
-        {eval::Table::fixed(alpha, 2), eval::Table::fixed(cell.avg_degree, 2),
-         eval::Table::percent_with_ci(cell.rd_relative.mean,
-                                      cell.rd_relative.ci95_half),
-         eval::Table::percent_with_ci(cell.rd_relative_hops.mean,
-                                      cell.rd_relative_hops.ci95_half),
-         eval::Table::percent_with_ci(cell.delay_relative.mean,
-                                      cell.delay_relative.ci95_half),
-         eval::Table::percent_with_ci(cell.cost_relative.mean,
-                                      cell.cost_relative.ci95_half),
-         std::to_string(cell.scenarios)});
+        {eval::Table::fixed(alpha, 2),
+         eval::Table::fixed(res.summary(prefix + "/avg_degree").mean, 2),
+         eval::Table::percent_with_ci(rd.mean, rd.ci95_half),
+         eval::Table::percent_with_ci(rd_hops.mean, rd_hops.ci95_half),
+         eval::Table::percent_with_ci(delay.mean, delay.ci95_half),
+         eval::Table::percent_with_ci(cost.mean, cost.ci95_half),
+         std::to_string(rd.count)});
   }
   std::cout << table.render()
             << "\npaper: improvement diminishes slightly as the degree "

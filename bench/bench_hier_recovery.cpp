@@ -6,105 +6,112 @@
 //     disconnected member, repaired network-wide, and
 //   * the 2-level architecture — the owning recovery domain repairs
 //     internally; members of other domains are untouched.
-#include <algorithm>
 #include <iostream>
 
 #include "bench_common.hpp"
-#include "eval/stats.hpp"
 #include "eval/table.hpp"
 #include "hier/hierarchical.hpp"
 #include "net/transit_stub.hpp"
 #include "smrp/recovery.hpp"
 #include "smrp/tree_builder.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace smrp;
-  bench::banner("hier-recovery",
-                "Flat vs hierarchical recovery on transit-stub topologies "
-                "(6 transit nodes x 2 stubs x 5 nodes, 6 seeds)",
-                bench::kDefaultSeed);
+  bench::Runner runner(argc, argv, "hier-recovery",
+                       "Flat vs hierarchical recovery on transit-stub "
+                       "topologies (6 transit nodes x 2 stubs x 5 nodes)",
+                       /*default_trials=*/6);
+  runner.config().set("transit_nodes", 6);
+  runner.config().set("stubs_per_transit", 2);
+  runner.config().set("stub_size", 5);
 
-  net::Rng root(bench::kDefaultSeed);
-  eval::RunningStats flat_rd;
-  eval::RunningStats hier_rd;
-  eval::RunningStats flat_affected;  // members disconnected per failure
-  eval::RunningStats hier_affected;
-  int failures = 0;
-  int flat_spills = 0;  // flat repairs that wandered through foreign stubs
+  const eval::EngineResult& res =
+      runner.run([&](eval::TrialContext& ctx) {
+        net::Rng rng(ctx.seed);
+        net::TransitStubParams params;
+        params.transit_nodes = 6;
+        params.stubs_per_transit = 2;
+        params.stub_size = 5;
+        const net::TransitStubTopology topo =
+            net::generate_transit_stub(params, rng);
 
-  for (int t = 0; t < 6; ++t) {
-    net::Rng rng = root.fork();
-    net::TransitStubParams params;
-    params.transit_nodes = 6;
-    params.stubs_per_transit = 2;
-    params.stub_size = 5;
-    const net::TransitStubTopology topo =
-        net::generate_transit_stub(params, rng);
-
-    const net::NodeId source = 0;  // a transit node
-    // Three receivers per stub domain (skipping each domain's agent).
-    std::vector<net::NodeId> members;
-    for (net::DomainId d = 1; d < topo.domain_count(); ++d) {
-      const auto& nodes = topo.nodes_of_domain[static_cast<std::size_t>(d)];
-      for (std::size_t i = nodes.size() - 3; i < nodes.size(); ++i) {
-        members.push_back(nodes[i]);
-      }
-    }
-
-    proto::SmrpTreeBuilder flat(topo.graph, source);
-    hier::HierarchicalSession hierarchical(topo, source);
-    for (const net::NodeId m : members) {
-      flat.join(m);
-      hierarchical.join(m);
-    }
-
-    for (const net::LinkId link : flat.tree().tree_links()) {
-      ++failures;
-      // Flat repair: every disconnected member runs a local detour over
-      // the whole graph.
-      const auto survivors = flat.tree().surviving_after_link(link);
-      int flat_victims = 0;
-      double flat_distance = 0.0;
-      for (const net::NodeId m : members) {
-        if (survivors[static_cast<std::size_t>(m)]) continue;
-        ++flat_victims;
-        const auto rec =
-            proto::local_detour_recovery(topo.graph, flat.tree(), m, link);
-        if (!rec.recovered) continue;
-        flat_distance += rec.recovery_distance;
-        // Confinement check: does the flat repair path wander through a
-        // stub domain that is neither the victim's nor the transit core?
-        const net::DomainId home =
-            topo.domain_of_node[static_cast<std::size_t>(m)];
-        for (const net::NodeId hop : rec.restoration_path) {
-          const net::DomainId hd =
-              topo.domain_of_node[static_cast<std::size_t>(hop)];
-          if (hd != home && hd != net::kTransitDomain) {
-            ++flat_spills;
-            break;
+        const net::NodeId source = 0;  // a transit node
+        // Three receivers per stub domain (skipping each domain's agent).
+        std::vector<net::NodeId> members;
+        for (net::DomainId d = 1; d < topo.domain_count(); ++d) {
+          const auto& nodes =
+              topo.nodes_of_domain[static_cast<std::size_t>(d)];
+          for (std::size_t i = nodes.size() - 3; i < nodes.size(); ++i) {
+            members.push_back(nodes[i]);
           }
         }
-      }
-      flat_rd.add(flat_distance);
-      flat_affected.add(flat_victims);
 
-      // Hierarchical repair: confined to the owning domain.
-      const hier::HierRecoveryOutcome out = hierarchical.recover(link);
-      hier_rd.add(out.recovery_distance);
-      hier_affected.add(out.disconnected_members);
-    }
-  }
+        proto::SmrpTreeBuilder flat(topo.graph, source);
+        hier::HierarchicalSession hierarchical(topo, source);
+        for (const net::NodeId m : members) {
+          flat.join(m);
+          hierarchical.join(m);
+        }
 
+        auto& rec = ctx.recorder;
+        net::DijkstraWorkspace workspace;
+        for (const net::LinkId link : flat.tree().tree_links()) {
+          rec.add("failures", 1.0);
+          // Flat repair: every disconnected member runs a local detour
+          // over the whole graph.
+          const auto survivors = flat.tree().surviving_after_link(link);
+          int flat_victims = 0;
+          double flat_distance = 0.0;
+          int spills = 0;
+          for (const net::NodeId m : members) {
+            if (survivors[static_cast<std::size_t>(m)]) continue;
+            ++flat_victims;
+            const auto out = proto::local_detour_recovery(
+                topo.graph, flat.tree(), m, proto::Failure::of_link(link),
+                &workspace);
+            if (!out.recovered) continue;
+            flat_distance += out.recovery_distance;
+            // Confinement check: does the flat repair path wander through
+            // a stub domain that is neither the victim's nor the transit
+            // core?
+            const net::DomainId home =
+                topo.domain_of_node[static_cast<std::size_t>(m)];
+            for (const net::NodeId hop : out.restoration_path) {
+              const net::DomainId hd =
+                  topo.domain_of_node[static_cast<std::size_t>(hop)];
+              if (hd != home && hd != net::kTransitDomain) {
+                ++spills;
+                break;
+              }
+            }
+          }
+          rec.add("flat/rd", flat_distance);
+          rec.add("flat/affected", flat_victims);
+          rec.add("flat/spills", spills);
+
+          // Hierarchical repair: confined to the owning domain.
+          const hier::HierRecoveryOutcome out = hierarchical.recover(link);
+          rec.add("hier/rd", out.recovery_distance);
+          rec.add("hier/affected", out.disconnected_members);
+        }
+      });
+
+  const auto count_of = [&](const char* series) {
+    const eval::RunningStats* st = res.find(series);
+    return static_cast<long long>(st != nullptr ? st->sum() + 0.5 : 0.0);
+  };
   eval::Table table({"scheme", "mean RD per failure", "mean members affected",
                      "repairs crossing foreign stubs", "failures"});
-  const auto f = flat_rd.summary();
-  const auto h = hier_rd.summary();
+  const auto f = res.summary("flat/rd");
+  const auto h = res.summary("hier/rd");
+  const long long failures = count_of("failures");
   table.add_row({"flat SMRP", eval::Table::with_ci(f.mean, f.ci95_half, 1),
-                 eval::Table::fixed(flat_affected.summary().mean, 2),
-                 std::to_string(flat_spills), std::to_string(failures)});
+                 eval::Table::fixed(res.summary("flat/affected").mean, 2),
+                 std::to_string(count_of("flat/spills")),
+                 std::to_string(failures)});
   table.add_row({"hierarchical (2-level)",
                  eval::Table::with_ci(h.mean, h.ci95_half, 1),
-                 eval::Table::fixed(hier_affected.summary().mean, 2),
+                 eval::Table::fixed(res.summary("hier/affected").mean, 2),
                  "0 (by construction)", std::to_string(failures)});
   std::cout << table.render()
             << "\nexpected: the hierarchical scheme confines each repair to "

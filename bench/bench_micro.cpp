@@ -33,6 +33,23 @@ void BM_Dijkstra(benchmark::State& state) {
 }
 BENCHMARK(BM_Dijkstra)->Arg(50)->Arg(100)->Arg(200)->Arg(400);
 
+// The same SPF sweep through a reused DijkstraWorkspace: identical result
+// trees (asserted by tests/net/test_shortest_path.cpp), but the dist/
+// parent/hops/settled buffers and the heap storage are allocated once and
+// recycled. The gap between this and BM_Dijkstra is the allocation tax
+// the workspace removes from the per-member search loops.
+void BM_DijkstraWorkspace(benchmark::State& state) {
+  const net::Graph g = make_graph(static_cast<int>(state.range(0)));
+  net::DijkstraWorkspace workspace;
+  net::NodeId src = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(&workspace.run(g, src));
+    src = (src + 1) % g.node_count();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DijkstraWorkspace)->Arg(50)->Arg(100)->Arg(200)->Arg(400);
+
 void BM_SmrpJoin(benchmark::State& state) {
   const net::Graph g = make_graph(static_cast<int>(state.range(0)));
   net::Rng rng(7);
@@ -102,6 +119,24 @@ void BM_LocalDetour(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LocalDetour);
+
+// Recovery search with reused buffers — what scenario.cpp's worst-case
+// sweep and repair_session's per-member searches actually run.
+void BM_LocalDetourWorkspace(benchmark::State& state) {
+  const net::Graph g = make_graph(100);
+  proto::SmrpTreeBuilder builder(g, 0);
+  for (net::NodeId m = 2; m < 60; m += 2) builder.join(m);
+  const net::NodeId victim = 58;
+  const net::LinkId failed =
+      proto::worst_case_failure_link(builder.tree(), victim);
+  net::DijkstraWorkspace workspace;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(proto::local_detour_recovery(
+        g, builder.tree(), victim, proto::Failure::of_link(failed),
+        &workspace));
+  }
+}
+BENCHMARK(BM_LocalDetourWorkspace);
 
 void BM_GlobalDetour(benchmark::State& state) {
   const net::Graph g = make_graph(100);

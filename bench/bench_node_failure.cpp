@@ -5,39 +5,56 @@
 // taking all of its incident links with it.
 #include <iostream>
 
-#include "bench_common.hpp"
-#include "eval/scenario.hpp"
-#include "eval/table.hpp"
+#include "bench_scenario.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace smrp;
-  bench::banner("node-failure",
-                "Worst-case NODE failures (N=100, N_G=30, alpha=0.2): "
-                "SMRP local detour vs SPF global detour",
-                bench::kDefaultSeed);
+  bench::Runner runner(argc, argv, "node-failure",
+                       "Worst-case NODE failures (N=100, N_G=30, alpha=0.2): "
+                       "SMRP local detour vs SPF global detour",
+                       /*default_trials=*/100);
+  runner.config().set("node_count", 100);
+  runner.config().set("group_size", 30);
+  runner.config().set("alpha", 0.2);
+  runner.config().set("sweep",
+                      "d_thresh={0.1,0.3} x failure={link,node}");
+
+  const double kThresholds[] = {0.1, 0.3};
+  const eval::FailureModel kModels[] = {eval::FailureModel::kWorstCaseLink,
+                                        eval::FailureModel::kWorstCaseNode};
+  const auto prefix_of = [](double d_thresh, eval::FailureModel model) {
+    return "dthresh=" + eval::Table::fixed(d_thresh, 1) + ",fail=" +
+           (model == eval::FailureModel::kWorstCaseLink ? "link" : "node");
+  };
+
+  const eval::EngineResult& res =
+      runner.run([&](eval::TrialContext& ctx) {
+        for (const double d_thresh : kThresholds) {
+          for (const auto model : kModels) {
+            eval::ScenarioParams params;
+            params.smrp.d_thresh = d_thresh;
+            params.failure_model = model;
+            bench::run_sweep_point(ctx, params, prefix_of(d_thresh, model));
+          }
+        }
+      });
 
   eval::Table table({"D_thresh", "failure", "RD_rel weight (95% CI)",
                      "RD_rel links (95% CI)", "Delay_rel (95% CI)",
                      "scenarios"});
-  for (const double d_thresh : {0.1, 0.3}) {
-    for (const auto model :
-         {eval::FailureModel::kWorstCaseLink,
-          eval::FailureModel::kWorstCaseNode}) {
-      eval::ScenarioParams params;
-      params.smrp.d_thresh = d_thresh;
-      params.failure_model = model;
-      const eval::SweepCell cell =
-          eval::run_sweep(params, 10, 10, bench::kDefaultSeed);
+  for (const double d_thresh : kThresholds) {
+    for (const auto model : kModels) {
+      const std::string prefix = prefix_of(d_thresh, model);
+      const eval::Summary rd = res.summary(prefix + "/rd_rel_weight");
+      const eval::Summary rd_hops = res.summary(prefix + "/rd_rel_hops");
+      const eval::Summary delay = res.summary(prefix + "/delay_rel");
       table.add_row(
           {eval::Table::fixed(d_thresh, 1),
            model == eval::FailureModel::kWorstCaseLink ? "link" : "node",
-           eval::Table::percent_with_ci(cell.rd_relative.mean,
-                                        cell.rd_relative.ci95_half),
-           eval::Table::percent_with_ci(cell.rd_relative_hops.mean,
-                                        cell.rd_relative_hops.ci95_half),
-           eval::Table::percent_with_ci(cell.delay_relative.mean,
-                                        cell.delay_relative.ci95_half),
-           std::to_string(cell.scenarios)});
+           eval::Table::percent_with_ci(rd.mean, rd.ci95_half),
+           eval::Table::percent_with_ci(rd_hops.mean, rd_hops.ci95_half),
+           eval::Table::percent_with_ci(delay.mean, delay.ci95_half),
+           std::to_string(rd.count)});
     }
   }
   std::cout << table.render()

@@ -7,7 +7,6 @@
 #include <iostream>
 
 #include "bench_common.hpp"
-#include "eval/stats.hpp"
 #include "eval/table.hpp"
 #include "net/waxman.hpp"
 #include "smrp/recovery.hpp"
@@ -15,94 +14,96 @@
 #include "spf/dual_tree_builder.hpp"
 #include "spf/spf_tree_builder.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace smrp;
-  bench::banner("redundant-trees",
-                "SMRP vs preplanned dual trees (Medard-style) vs plain SPF "
-                "(N=100, N_G=30, alpha=0.2, 20 scenarios)",
-                bench::kDefaultSeed);
+  bench::Runner runner(argc, argv, "redundant-trees",
+                       "SMRP vs preplanned dual trees (Medard-style) vs "
+                       "plain SPF (N=100, N_G=30, alpha=0.2)",
+                       /*default_trials=*/20);
+  runner.config().set("node_count", 100);
+  runner.config().set("group_size", 30);
 
-  net::Rng root(bench::kDefaultSeed);
-  eval::RunningStats spf_cost, smrp_cost, dual_cost;
-  eval::RunningStats smrp_rd;
-  eval::RunningStats dual_protected;   // fraction of members protected
-  eval::RunningStats dual_survive;     // fraction surviving worst-case cut
-  eval::RunningStats smrp_delay, dual_delay, spf_delay;
+  const eval::EngineResult& res =
+      runner.run([&](eval::TrialContext& ctx) {
+        net::Rng rng(ctx.seed);
+        net::WaxmanParams wax;
+        wax.node_count = 100;
+        const net::Graph g = net::waxman_graph(wax, rng);
+        const net::NodeId source = 0;
 
-  for (int s = 0; s < 20; ++s) {
-    net::Rng rng = root.fork();
-    net::WaxmanParams wax;
-    wax.node_count = 100;
-    const net::Graph g = net::waxman_graph(wax, rng);
-    const net::NodeId source = 0;
+        baseline::SpfTreeBuilder spf(g, source);
+        baseline::DualTreeBuilder dual(g, source);
+        proto::SmrpTreeBuilder smrp(g, source);
 
-    baseline::SpfTreeBuilder spf(g, source);
-    baseline::DualTreeBuilder dual(g, source);
-    proto::SmrpTreeBuilder smrp(g, source);
+        std::vector<net::NodeId> members;
+        while (members.size() < 30) {
+          const auto m = static_cast<net::NodeId>(1 + rng.below(99));
+          if (std::find(members.begin(), members.end(), m) !=
+              members.end()) {
+            continue;
+          }
+          members.push_back(m);
+          spf.join(m);
+          dual.join(m);
+          smrp.join(m);
+        }
 
-    std::vector<net::NodeId> members;
-    while (members.size() < 30) {
-      const auto m = static_cast<net::NodeId>(1 + rng.below(99));
-      if (std::find(members.begin(), members.end(), m) != members.end()) {
-        continue;
-      }
-      members.push_back(m);
-      spf.join(m);
-      dual.join(m);
-      smrp.join(m);
-    }
+        auto& rec = ctx.recorder;
+        rec.add("spf/cost", spf.tree().total_cost());
+        rec.add("smrp/cost", smrp.tree().total_cost());
+        rec.add("dual/cost", dual.combined_cost());
 
-    spf_cost.add(spf.tree().total_cost());
-    smrp_cost.add(smrp.tree().total_cost());
-    dual_cost.add(dual.combined_cost());
-
-    int protected_count = 0;
-    int survived = 0;
-    double rd_sum = 0.0;
-    int rd_count = 0;
-    for (const net::NodeId m : members) {
-      spf_delay.add(spf.tree().delay_to_source(m));
-      smrp_delay.add(smrp.tree().delay_to_source(m));
-      dual_delay.add(dual.blue().delay_to_source(m));
-      if (dual.is_protected(m)) ++protected_count;
-      // Worst case on each protocol's own working tree.
-      const net::LinkId dual_cut =
-          proto::worst_case_failure_link(dual.blue(), m);
-      if (dual.survives_link(m, dual_cut)) ++survived;
-      const net::LinkId smrp_cut =
-          proto::worst_case_failure_link(smrp.tree(), m);
-      const auto rec =
-          proto::local_detour_recovery(g, smrp.tree(), m, smrp_cut);
-      if (rec.recovered) {
-        rd_sum += rec.recovery_distance;
-        ++rd_count;
-      }
-    }
-    dual_protected.add(static_cast<double>(protected_count) / members.size());
-    dual_survive.add(static_cast<double>(survived) / members.size());
-    if (rd_count > 0) smrp_rd.add(rd_sum / rd_count);
-  }
+        net::DijkstraWorkspace workspace;
+        int protected_count = 0;
+        int survived = 0;
+        double rd_sum = 0.0;
+        int rd_count = 0;
+        for (const net::NodeId m : members) {
+          rec.add("spf/delay", spf.tree().delay_to_source(m));
+          rec.add("smrp/delay", smrp.tree().delay_to_source(m));
+          rec.add("dual/delay", dual.blue().delay_to_source(m));
+          if (dual.is_protected(m)) ++protected_count;
+          // Worst case on each protocol's own working tree.
+          const net::LinkId dual_cut =
+              proto::worst_case_failure_link(dual.blue(), m);
+          if (dual.survives_link(m, dual_cut)) ++survived;
+          const net::LinkId smrp_cut =
+              proto::worst_case_failure_link(smrp.tree(), m);
+          const auto out = proto::local_detour_recovery(
+              g, smrp.tree(), m, proto::Failure::of_link(smrp_cut),
+              &workspace);
+          if (out.recovered) {
+            rd_sum += out.recovery_distance;
+            ++rd_count;
+          }
+        }
+        rec.add("dual/protected",
+                static_cast<double>(protected_count) / members.size());
+        rec.add("dual/survive",
+                static_cast<double>(survived) / members.size());
+        if (rd_count > 0) rec.add("smrp/rd", rd_sum / rd_count);
+      });
 
   eval::Table table({"scheme", "resource cost (rel. SPF)", "mean delay "
                      "(rel. SPF)", "worst-case cut outcome"});
-  const double spf_c = spf_cost.summary().mean;
-  const double spf_d = spf_delay.summary().mean;
+  const double spf_c = res.summary("spf/cost").mean;
+  const double spf_d = res.summary("spf/delay").mean;
   table.add_row({"plain SPF (PIM)", "1.00x", "1.00x",
                  "global detour after reconvergence"});
   table.add_row(
       {"SMRP",
-       eval::Table::fixed(smrp_cost.summary().mean / spf_c, 2) + "x",
-       eval::Table::fixed(smrp_delay.summary().mean / spf_d, 2) + "x",
+       eval::Table::fixed(res.summary("smrp/cost").mean / spf_c, 2) + "x",
+       eval::Table::fixed(res.summary("smrp/delay").mean / spf_d, 2) + "x",
        "local detour, mean RD " +
-           eval::Table::fixed(smrp_rd.summary().mean, 1)});
+           eval::Table::fixed(res.summary("smrp/rd").mean, 1)});
   table.add_row(
       {"dual trees (Medard-style)",
-       eval::Table::fixed(dual_cost.summary().mean / spf_c, 2) + "x",
-       eval::Table::fixed(dual_delay.summary().mean / spf_d, 2) + "x",
+       eval::Table::fixed(res.summary("dual/cost").mean / spf_c, 2) + "x",
+       eval::Table::fixed(res.summary("dual/delay").mean / spf_d, 2) + "x",
        "instant switch; " +
-           eval::Table::percent(dual_survive.summary().mean) +
+           eval::Table::percent(res.summary("dual/survive").mean) +
            " survive (" +
-           eval::Table::percent(dual_protected.summary().mean) +
+           eval::Table::percent(res.summary("dual/protected").mean) +
            " fully protected)"});
   std::cout << table.render()
             << "\nexpected: dual trees buy instant recovery with ~2x "

@@ -5,15 +5,16 @@
 // ICNP 2000) that PIM recovery time is dominated by unicast
 // re-stabilisation, and quantifies how much of it the local detour saves.
 //
-// Setup: Waxman N=60, N_G=12; a session is built and allowed to settle;
-// the worst-case link (the source's incident tree link carrying the most
-// members) is cut; we record, per disconnected member, the time from the
-// cut to the first payload delivered again.
+// Setup: Waxman N=60, N_G=12; one topology per trial; a session is built
+// and allowed to settle; the worst-case link (the source's incident tree
+// link carrying the most members) is cut; we record, per disconnected
+// member, the time from the cut to the first payload delivered again.
+#include <algorithm>
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "bench_common.hpp"
-#include "eval/stats.hpp"
 #include "eval/table.hpp"
 #include "net/waxman.hpp"
 #include "smrp/harness.hpp"
@@ -112,66 +113,65 @@ RunResult run_once(const net::Graph& g, const std::vector<net::NodeId>& members,
 
 int main(int argc, char** argv) {
   using namespace smrp;
-  bench::TelemetryExport trace_out;
-  try {
-    trace_out = bench::TelemetryExport::from_args(argc, argv);
-  } catch (const std::exception& e) {
-    std::cerr << "usage: bench_restoration_time [--telemetry <path>]\n"
-              << e.what() << "\n";
-    return 2;
-  }
-  bench::banner("restoration-time",
-                "Service restoration time, SMRP local repair vs PIM/OSPF "
-                "global detour (DES, N=60, N_G=12, 8 topologies)",
-                bench::kDefaultSeed);
+  bench::Runner runner(argc, argv, "restoration-time",
+                       "Service restoration time, SMRP local repair vs "
+                       "PIM/OSPF global detour (DES, N=60, N_G=12)",
+                       /*default_trials=*/8);
+  runner.config().set("node_count", 60);
+  runner.config().set("group_size", 12);
+  runner.config().set("settle_ms", 3000.0);
+  runner.config().set("horizon_ms", 30000.0);
 
-  net::Rng root(bench::kDefaultSeed);
-  eval::RunningStats smrp_times;
-  eval::RunningStats pim_times;
-  int smrp_unrestored = 0;
-  int pim_unrestored = 0;
+  const eval::EngineResult& res =
+      runner.run([&](eval::TrialContext& ctx) {
+        net::Rng rng(ctx.seed);
+        net::WaxmanParams wax;
+        wax.node_count = 60;
+        const net::Graph g = net::waxman_graph(wax, rng);
+        std::vector<net::NodeId> members;
+        while (members.size() < 12) {
+          const auto m = static_cast<net::NodeId>(1 + rng.below(59));
+          if (std::find(members.begin(), members.end(), m) == members.end()) {
+            members.push_back(m);
+          }
+        }
+        auto& rec = ctx.recorder;
+        const std::string topo = std::to_string(ctx.trial);
+        obs::Telemetry* smrp_telemetry = rec.telemetry("smrp-topo" + topo);
+        obs::Telemetry* pim_telemetry = rec.telemetry("pim-topo" + topo);
+        const RunResult smrp = run_once(
+            g, members, proto::SessionConfig::Mode::kSmrp, smrp_telemetry);
+        const RunResult pim = run_once(
+            g, members, proto::SessionConfig::Mode::kPimSpf, pim_telemetry);
+        rec.close_telemetry(smrp_telemetry, smrp.end_time);
+        rec.close_telemetry(pim_telemetry, pim.end_time);
 
-  for (int t = 0; t < 8; ++t) {
-    net::Rng rng = root.fork();
-    net::WaxmanParams wax;
-    wax.node_count = 60;
-    const net::Graph g = net::waxman_graph(wax, rng);
-    std::vector<net::NodeId> members;
-    while (members.size() < 12) {
-      const auto m = static_cast<net::NodeId>(1 + rng.below(59));
-      if (std::find(members.begin(), members.end(), m) == members.end()) {
-        members.push_back(m);
-      }
-    }
-    obs::Telemetry smrp_telemetry;
-    obs::Telemetry pim_telemetry;
-    const RunResult smrp =
-        run_once(g, members, proto::SessionConfig::Mode::kSmrp,
-                 trace_out.active() ? &smrp_telemetry : nullptr);
-    const RunResult pim =
-        run_once(g, members, proto::SessionConfig::Mode::kPimSpf,
-                 trace_out.active() ? &pim_telemetry : nullptr);
-    trace_out.add(smrp_telemetry, smrp.end_time,
-                  "smrp-topo" + std::to_string(t));
-    trace_out.add(pim_telemetry, pim.end_time, "pim-topo" + std::to_string(t));
-    for (const double x : smrp.restoration_ms) smrp_times.add(x);
-    for (const double x : pim.restoration_ms) pim_times.add(x);
-    smrp_unrestored += smrp.unrestored;
-    pim_unrestored += pim.unrestored;
-  }
+        for (const double x : smrp.restoration_ms) {
+          rec.add("smrp/restoration_ms", x);
+        }
+        for (const double x : pim.restoration_ms) {
+          rec.add("pim/restoration_ms", x);
+        }
+        rec.add("smrp/unrestored", smrp.unrestored);
+        rec.add("pim/unrestored", pim.unrestored);
+      });
 
   eval::Table table({"protocol", "restored members", "mean (ms)",
                      "min (ms)", "max (ms)", "unrestored"});
-  const eval::Summary s = smrp_times.summary();
-  const eval::Summary p = pim_times.summary();
+  const eval::Summary s = res.summary("smrp/restoration_ms");
+  const eval::Summary p = res.summary("pim/restoration_ms");
+  const auto unrestored = [&](const char* series) {
+    const eval::RunningStats* st = res.find(series);
+    return static_cast<long long>(st != nullptr ? st->sum() + 0.5 : 0.0);
+  };
   table.add_row({"SMRP local repair", std::to_string(s.count),
                  eval::Table::with_ci(s.mean, s.ci95_half, 1),
                  eval::Table::fixed(s.min, 1), eval::Table::fixed(s.max, 1),
-                 std::to_string(smrp_unrestored)});
+                 std::to_string(unrestored("smrp/unrestored"))});
   table.add_row({"PIM over OSPF-lite", std::to_string(p.count),
                  eval::Table::with_ci(p.mean, p.ci95_half, 1),
                  eval::Table::fixed(p.min, 1), eval::Table::fixed(p.max, 1),
-                 std::to_string(pim_unrestored)});
+                 std::to_string(unrestored("pim/unrestored"))});
   std::cout << table.render();
   if (s.count > 0 && p.count > 0 && s.mean > 0.0) {
     std::cout << "\nspeedup (mean PIM / mean SMRP): "

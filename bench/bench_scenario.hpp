@@ -1,0 +1,73 @@
+// Trial and reporting helpers shared by the scenario-sweep bench family
+// (figs. 8–10 and the ablations): one engine trial evaluates every sweep
+// point on the same seeded topology + member set, so points differ only
+// by the swept parameter and the error bars compare like with like.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "eval/scenario.hpp"
+#include "eval/table.hpp"
+
+namespace smrp::bench {
+
+/// Record the standard scenario series under `prefix` ("" for benches
+/// with a single sweep point).
+inline void record_scenario(eval::TrialRecorder& rec,
+                            const std::string& prefix,
+                            const eval::ScenarioResult& r) {
+  const std::string p = prefix.empty() ? std::string{} : prefix + "/";
+  rec.add(p + "rd_rel_weight", r.mean_rd_relative());
+  rec.add(p + "rd_rel_hops", r.mean_rd_relative_hops());
+  rec.add(p + "delay_rel", r.mean_delay_relative());
+  rec.add(p + "cost_rel", r.cost_relative());
+  rec.add(p + "avg_degree", r.avg_degree);
+  rec.add(p + "reshapes", r.reshape_count);
+  rec.add(p + "fallback_joins", r.fallback_joins);
+  rec.add(p + "invalid_members",
+          static_cast<double>(r.members.size()) - r.valid_member_count());
+}
+
+/// One sweep-point evaluation inside a trial: regenerate the topology and
+/// member set from the trial seed (the identical stream for every point)
+/// and record the standard series.
+inline eval::ScenarioResult run_sweep_point(eval::TrialContext& ctx,
+                                            const eval::ScenarioParams& params,
+                                            const std::string& prefix) {
+  net::Rng rng(ctx.seed);
+  const net::Graph g = eval::make_topology(params, rng);
+  const eval::ScenarioResult r = eval::run_scenario_on_graph(g, params, rng);
+  record_scenario(ctx.recorder, prefix, r);
+  return r;
+}
+
+/// Headers matching sweep_row(); `point_label` names the swept parameter.
+inline std::vector<std::string> sweep_headers(std::string point_label) {
+  return {std::move(point_label), "RD_rel weight (95% CI)",
+          "RD_rel links (95% CI)", "Delay_rel (95% CI)", "Cost_rel (95% CI)",
+          "scenarios", "reshapes"};
+}
+
+/// The standard table row for one sweep point, from the merged series.
+inline std::vector<std::string> sweep_row(const eval::EngineResult& res,
+                                          const std::string& prefix,
+                                          std::string label) {
+  const std::string p = prefix.empty() ? std::string{} : prefix + "/";
+  const eval::Summary rd = res.summary(p + "rd_rel_weight");
+  const eval::Summary rd_hops = res.summary(p + "rd_rel_hops");
+  const eval::Summary delay = res.summary(p + "delay_rel");
+  const eval::Summary cost = res.summary(p + "cost_rel");
+  const eval::RunningStats* reshapes = res.find(p + "reshapes");
+  return {std::move(label),
+          eval::Table::percent_with_ci(rd.mean, rd.ci95_half),
+          eval::Table::percent_with_ci(rd_hops.mean, rd_hops.ci95_half),
+          eval::Table::percent_with_ci(delay.mean, delay.ci95_half),
+          eval::Table::percent_with_ci(cost.mean, cost.ci95_half),
+          std::to_string(rd.count),
+          std::to_string(static_cast<long long>(
+              reshapes != nullptr ? reshapes->sum() + 0.5 : 0.0))};
+}
+
+}  // namespace smrp::bench

@@ -4,46 +4,59 @@
 // mean degree across models so only the *structure* differs.
 #include <iostream>
 
-#include "bench_common.hpp"
-#include "eval/scenario.hpp"
-#include "eval/table.hpp"
+#include "bench_scenario.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace smrp;
-  bench::banner("topology-models",
-                "SMRP vs SPF across graph families (N=100, N_G=30, "
-                "D_thresh=0.3, matched mean degree ≈7)",
-                bench::kDefaultSeed);
+  bench::Runner runner(argc, argv, "topology-models",
+                       "SMRP vs SPF across graph families (N=100, N_G=30, "
+                       "D_thresh=0.3, matched mean degree ≈7)",
+                       /*default_trials=*/100);
+  runner.config().set("node_count", 100);
+  runner.config().set("group_size", 30);
+  runner.config().set("d_thresh", 0.3);
+  runner.config().set("target_degree", 7.0);
+  runner.config().set("sweep", "model={waxman,erdos-renyi,barabasi-albert}");
 
   struct Row {
+    const char* key;
     const char* label;
     eval::TopologyModel model;
   };
   const Row rows[] = {
-      {"Waxman (paper's model)", eval::TopologyModel::kWaxman},
-      {"Erdos-Renyi G(n,p)", eval::TopologyModel::kErdosRenyi},
-      {"Barabasi-Albert (power law)", eval::TopologyModel::kBarabasiAlbert},
+      {"model=waxman", "Waxman (paper's model)", eval::TopologyModel::kWaxman},
+      {"model=erdos-renyi", "Erdos-Renyi G(n,p)",
+       eval::TopologyModel::kErdosRenyi},
+      {"model=barabasi-albert", "Barabasi-Albert (power law)",
+       eval::TopologyModel::kBarabasiAlbert},
   };
+
+  const eval::EngineResult& res =
+      runner.run([&](eval::TrialContext& ctx) {
+        for (const Row& row : rows) {
+          eval::ScenarioParams params;
+          params.topology = row.model;
+          params.smrp.d_thresh = 0.3;
+          params.target_degree = 7.0;
+          bench::run_sweep_point(ctx, params, row.key);
+        }
+      });
 
   eval::Table table({"model", "avg degree", "RD_rel weight", "RD_rel links",
                      "Delay_rel", "Cost_rel"});
   for (const Row& row : rows) {
-    eval::ScenarioParams params;
-    params.topology = row.model;
-    params.smrp.d_thresh = 0.3;
-    params.target_degree = 7.0;
-    const eval::SweepCell cell =
-        eval::run_sweep(params, 10, 10, bench::kDefaultSeed);
+    const std::string prefix = row.key;
+    const eval::Summary rd = res.summary(prefix + "/rd_rel_weight");
+    const eval::Summary rd_hops = res.summary(prefix + "/rd_rel_hops");
+    const eval::Summary delay = res.summary(prefix + "/delay_rel");
+    const eval::Summary cost = res.summary(prefix + "/cost_rel");
     table.add_row(
-        {row.label, eval::Table::fixed(cell.avg_degree, 2),
-         eval::Table::percent_with_ci(cell.rd_relative.mean,
-                                      cell.rd_relative.ci95_half),
-         eval::Table::percent_with_ci(cell.rd_relative_hops.mean,
-                                      cell.rd_relative_hops.ci95_half),
-         eval::Table::percent_with_ci(cell.delay_relative.mean,
-                                      cell.delay_relative.ci95_half),
-         eval::Table::percent_with_ci(cell.cost_relative.mean,
-                                      cell.cost_relative.ci95_half)});
+        {row.label,
+         eval::Table::fixed(res.summary(prefix + "/avg_degree").mean, 2),
+         eval::Table::percent_with_ci(rd.mean, rd.ci95_half),
+         eval::Table::percent_with_ci(rd_hops.mean, rd_hops.ci95_half),
+         eval::Table::percent_with_ci(delay.mean, delay.ci95_half),
+         eval::Table::percent_with_ci(cost.mean, cost.ci95_half)});
   }
   std::cout << table.render()
             << "\nexpected: the local-detour advantage is structural, not "

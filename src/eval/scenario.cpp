@@ -81,13 +81,15 @@ namespace {
 
 proto::RecoveryOutcome run_policy(RecoveryPolicy policy, const Graph& g,
                                   const mcast::MulticastTree& tree,
-                                  NodeId member,
-                                  const proto::Failure& failure) {
+                                  NodeId member, const proto::Failure& failure,
+                                  net::DijkstraWorkspace& workspace) {
   switch (policy) {
     case RecoveryPolicy::kGlobalDetour:
-      return proto::global_detour_recovery(g, tree, member, failure);
+      return proto::global_detour_recovery(g, tree, member, failure,
+                                           &workspace);
     case RecoveryPolicy::kLocalDetour:
-      return proto::local_detour_recovery(g, tree, member, failure);
+      return proto::local_detour_recovery(g, tree, member, failure,
+                                          &workspace);
   }
   throw std::logic_error("unknown recovery policy");
 }
@@ -182,6 +184,9 @@ ScenarioResult run_scenario_on_graph(const Graph& g, const ScenarioParams& p,
   result.fallback_joins = smrp.fallback_join_count() + query_fallbacks;
   result.reshape_count = smrp.total_reshapes();
 
+  // One set of search buffers for the whole worst-case sweep below (two
+  // detour searches per member).
+  net::DijkstraWorkspace workspace;
   for (const NodeId m : members) {
     MemberComparison cmp;
     cmp.member = m;
@@ -199,9 +204,9 @@ ScenarioResult run_scenario_on_graph(const Graph& g, const ScenarioParams& p,
     }
 
     const proto::RecoveryOutcome spf_rec =
-        run_policy(p.spf_policy, g, spf.tree(), m, *fail_spf);
+        run_policy(p.spf_policy, g, spf.tree(), m, *fail_spf, workspace);
     const proto::RecoveryOutcome smrp_rec =
-        run_policy(p.smrp_policy, g, smrp.tree(), m, *fail_smrp);
+        run_policy(p.smrp_policy, g, smrp.tree(), m, *fail_smrp, workspace);
 
     cmp.valid = spf_rec.recovered && smrp_rec.recovered &&
                 spf_rec.disconnected && smrp_rec.disconnected &&

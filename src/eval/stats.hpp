@@ -40,9 +40,20 @@ class RunningStats {
     return static_cast<int>(hist_.count());
   }
   [[nodiscard]] double mean() const noexcept { return hist_.mean(); }
+  [[nodiscard]] double sum() const noexcept { return hist_.sum(); }
   /// The shared percentile definition, exposed for bench reporting.
   [[nodiscard]] double percentile(double q) const noexcept {
     return hist_.percentile(q);
+  }
+
+  /// Fold another accumulator in via the histogram's exact mergeable
+  /// moments. The parallel experiment engine merges per-trial stats in
+  /// trial order through this, so results are independent of how trials
+  /// were scheduled across threads.
+  void merge(const RunningStats& other) { hist_.merge(other.hist_); }
+
+  [[nodiscard]] const obs::Histogram& histogram() const noexcept {
+    return hist_;
   }
 
  private:

@@ -213,6 +213,11 @@ void MulticastTree::graft(NodeId member, const std::vector<NodeId>& path) {
     if (!graph_->link_between(path[i], path[i + 1])) {
       throw std::invalid_argument("graft path has non-adjacent hop");
     }
+    for (std::size_t j = i + 1; j < path.size(); ++j) {
+      if (path[i] == path[j]) {
+        throw std::invalid_argument("graft path repeats a node");
+      }
+    }
   }
   // Wire up parent pointers from the member toward the merge node.
   for (std::size_t i = 0; i + 1 < path.size(); ++i) {
@@ -294,6 +299,11 @@ void MulticastTree::move_subtree(NodeId node,
   for (std::size_t i = 0; i + 1 < path.size(); ++i) {
     if (!graph_->link_between(path[i], path[i + 1])) {
       throw std::invalid_argument("move path has non-adjacent hop");
+    }
+    for (std::size_t j = i + 1; j < path.size(); ++j) {
+      if (path[i] == path[j]) {
+        throw std::invalid_argument("move path repeats a node");
+      }
     }
   }
 

@@ -1,7 +1,7 @@
 #include "net/shortest_path.hpp"
 
 #include <algorithm>
-#include <queue>
+#include <functional>
 #include <stdexcept>
 
 namespace smrp::net {
@@ -36,30 +36,115 @@ std::vector<LinkId> ShortestPathTree::link_path_from_source(
 
 namespace {
 
-struct QueueEntry {
-  double dist;
-  NodeId node;
-  // Deterministic order: lower distance first, then lower node id, so a
-  // rebuilt binary can replay an experiment bit-for-bit.
-  bool operator>(const QueueEntry& other) const noexcept {
-    if (dist != other.dist) return dist > other.dist;
-    return node > other.node;
+// Deterministic queue order: lower distance first, then lower node id, so
+// a rebuilt binary can replay an experiment bit-for-bit. std::pair's
+// lexicographic ordering on (dist, node) provides exactly that.
+using QueueEntry = std::pair<double, NodeId>;
+
+}  // namespace
+
+void DijkstraWorkspace::run_impl(const Graph& g, NodeId source,
+                                 const ExclusionSet& excluded,
+                                 const std::vector<char>* absorbing,
+                                 ShortestPathTree& tree) {
+  if (!g.valid_node(source)) throw std::out_of_range("bad source node");
+  if (excluded.node_banned(source)) {
+    throw std::invalid_argument("source node is banned");
   }
-};
 
-}  // namespace
+  const auto n = static_cast<std::size_t>(g.node_count());
+  tree.source = source;
+  tree.dist.assign(n, kInfinity);
+  tree.parent.assign(n, kNoNode);
+  tree.parent_link.assign(n, kNoLink);
+  tree.hops.assign(n, -1);
 
-namespace {
+  heap_.clear();
+  settled_.assign(n, 0);
 
-ShortestPathTree dijkstra_impl(const Graph& g, NodeId source,
-                               const ExclusionSet& excluded,
-                               const std::vector<char>* absorbing);
+  const auto heap_greater = std::greater<QueueEntry>{};
+  tree.dist[static_cast<std::size_t>(source)] = 0.0;
+  tree.hops[static_cast<std::size_t>(source)] = 0;
+  heap_.emplace_back(0.0, source);
 
-}  // namespace
+  while (!heap_.empty()) {
+    const QueueEntry top = heap_.front();
+    std::pop_heap(heap_.begin(), heap_.end(), heap_greater);
+    heap_.pop_back();
+    const auto u = static_cast<std::size_t>(top.second);
+    if (settled_[u]) continue;
+    settled_[u] = 1;
+    // Absorbing nodes are valid destinations but never relay further.
+    if (absorbing != nullptr && (*absorbing)[u] != 0) continue;
+
+    for (const Adjacency& adj : g.neighbors(top.second)) {
+      if (excluded.link_banned(adj.link) || excluded.node_banned(adj.neighbor))
+        continue;
+      const auto v = static_cast<std::size_t>(adj.neighbor);
+      if (settled_[v]) continue;
+      const double candidate = tree.dist[u] + g.link(adj.link).weight;
+      // Equal-cost ties prefer fewer hops (an expanding-ring search finds
+      // the closer-by-hops node first), then the lower predecessor id for
+      // determinism. A node with no predecessor yet (only the source, via
+      // zero-weight links) keeps kNoNode explicitly, so the contract does
+      // not lean on the sentinel's numeric value.
+      const int candidate_hops = tree.hops[u] + 1;
+      const bool better =
+          candidate < tree.dist[v] ||
+          (candidate == tree.dist[v] &&
+           (candidate_hops < tree.hops[v] ||
+            (candidate_hops == tree.hops[v] && tree.parent[v] != kNoNode &&
+             top.second < tree.parent[v])));
+      if (better) {
+        tree.dist[v] = candidate;
+        tree.parent[v] = top.second;
+        tree.parent_link[v] = adj.link;
+        tree.hops[v] = tree.hops[u] + 1;
+        heap_.emplace_back(candidate, adj.neighbor);
+        std::push_heap(heap_.begin(), heap_.end(), heap_greater);
+      }
+    }
+  }
+}
+
+const ShortestPathTree& DijkstraWorkspace::run(const Graph& g, NodeId source,
+                                               const ExclusionSet& excluded) {
+  run_into(g, source, excluded, tree_);
+  return tree_;
+}
+
+const ShortestPathTree& DijkstraWorkspace::run_absorbing(
+    const Graph& g, NodeId source, const std::vector<char>& absorbing,
+    const ExclusionSet& excluded) {
+  run_absorbing_into(g, source, absorbing, excluded, tree_);
+  return tree_;
+}
+
+void DijkstraWorkspace::run_into(const Graph& g, NodeId source,
+                                 const ExclusionSet& excluded,
+                                 ShortestPathTree& out) {
+  run_impl(g, source, excluded, nullptr, out);
+}
+
+void DijkstraWorkspace::run_absorbing_into(const Graph& g, NodeId source,
+                                           const std::vector<char>& absorbing,
+                                           const ExclusionSet& excluded,
+                                           ShortestPathTree& out) {
+  if (absorbing.size() != static_cast<std::size_t>(g.node_count())) {
+    throw std::invalid_argument("absorbing flags sized incorrectly");
+  }
+  if (g.valid_node(source) && absorbing[static_cast<std::size_t>(source)]) {
+    throw std::invalid_argument("source must not be absorbing");
+  }
+  run_impl(g, source, excluded, &absorbing, out);
+}
 
 ShortestPathTree dijkstra(const Graph& g, NodeId source,
                           const ExclusionSet& excluded) {
-  return dijkstra_impl(g, source, excluded, nullptr);
+  DijkstraWorkspace workspace;
+  ShortestPathTree out;
+  workspace.run_into(g, source, excluded, out);
+  return out;
 }
 
 ShortestPathTree dijkstra(const Graph& g, NodeId source) {
@@ -69,77 +154,10 @@ ShortestPathTree dijkstra(const Graph& g, NodeId source) {
 ShortestPathTree dijkstra_absorbing(const Graph& g, NodeId source,
                                     const std::vector<char>& absorbing,
                                     const ExclusionSet& excluded) {
-  if (absorbing.size() != static_cast<std::size_t>(g.node_count())) {
-    throw std::invalid_argument("absorbing flags sized incorrectly");
-  }
-  if (g.valid_node(source) && absorbing[static_cast<std::size_t>(source)]) {
-    throw std::invalid_argument("source must not be absorbing");
-  }
-  return dijkstra_impl(g, source, excluded, &absorbing);
+  DijkstraWorkspace workspace;
+  ShortestPathTree out;
+  workspace.run_absorbing_into(g, source, absorbing, excluded, out);
+  return out;
 }
-
-namespace {
-
-ShortestPathTree dijkstra_impl(const Graph& g, NodeId source,
-                               const ExclusionSet& excluded,
-                               const std::vector<char>* absorbing) {
-  if (!g.valid_node(source)) throw std::out_of_range("bad source node");
-  if (excluded.node_banned(source)) {
-    throw std::invalid_argument("source node is banned");
-  }
-
-  const auto n = static_cast<std::size_t>(g.node_count());
-  ShortestPathTree tree;
-  tree.source = source;
-  tree.dist.assign(n, kInfinity);
-  tree.parent.assign(n, kNoNode);
-  tree.parent_link.assign(n, kNoLink);
-  tree.hops.assign(n, -1);
-
-  std::priority_queue<QueueEntry, std::vector<QueueEntry>,
-                      std::greater<QueueEntry>>
-      queue;
-  tree.dist[static_cast<std::size_t>(source)] = 0.0;
-  tree.hops[static_cast<std::size_t>(source)] = 0;
-  queue.push({0.0, source});
-
-  std::vector<char> settled(n, 0);
-  while (!queue.empty()) {
-    const QueueEntry top = queue.top();
-    queue.pop();
-    const auto u = static_cast<std::size_t>(top.node);
-    if (settled[u]) continue;
-    settled[u] = 1;
-    // Absorbing nodes are valid destinations but never relay further.
-    if (absorbing != nullptr && (*absorbing)[u] != 0) continue;
-
-    for (const Adjacency& adj : g.neighbors(top.node)) {
-      if (excluded.link_banned(adj.link) || excluded.node_banned(adj.neighbor))
-        continue;
-      const auto v = static_cast<std::size_t>(adj.neighbor);
-      if (settled[v]) continue;
-      const double candidate = tree.dist[u] + g.link(adj.link).weight;
-      // Equal-cost ties prefer fewer hops (an expanding-ring search finds
-      // the closer-by-hops node first), then the lower predecessor id for
-      // determinism.
-      const int candidate_hops = tree.hops[u] + 1;
-      const bool better =
-          candidate < tree.dist[v] ||
-          (candidate == tree.dist[v] &&
-           (candidate_hops < tree.hops[v] ||
-            (candidate_hops == tree.hops[v] && top.node < tree.parent[v])));
-      if (better) {
-        tree.dist[v] = candidate;
-        tree.parent[v] = top.node;
-        tree.parent_link[v] = adj.link;
-        tree.hops[v] = tree.hops[u] + 1;
-        queue.push({candidate, adj.neighbor});
-      }
-    }
-  }
-  return tree;
-}
-
-}  // namespace
 
 }  // namespace smrp::net

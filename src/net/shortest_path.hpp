@@ -5,6 +5,7 @@
 
 #include <limits>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "net/graph.hpp"
@@ -75,6 +76,41 @@ struct ShortestPathTree {
 
   /// Link sequence along source → … → target (empty if unreachable).
   [[nodiscard]] std::vector<LinkId> link_path_from_source(NodeId target) const;
+};
+
+/// Reusable scratch space for repeated Dijkstra runs. A single run
+/// allocates four result vectors plus the queue and settled flags; hot
+/// paths (candidate enumeration, per-member recovery searches) run
+/// thousands of searches per trial, so they thread one workspace through
+/// and every run after the first reuses the same storage. Results are
+/// bit-for-bit identical to the free functions (a property test enforces
+/// this). Not thread-safe; use one workspace per thread.
+class DijkstraWorkspace {
+ public:
+  /// Run Dijkstra and return the workspace's internal result tree. The
+  /// reference stays valid (and stable) until the next run on this
+  /// workspace; callers that need the result to outlive it use run_into.
+  const ShortestPathTree& run(const Graph& g, NodeId source,
+                              const ExclusionSet& excluded = ExclusionSet{});
+  const ShortestPathTree& run_absorbing(
+      const Graph& g, NodeId source, const std::vector<char>& absorbing,
+      const ExclusionSet& excluded = ExclusionSet{});
+
+  /// Same, but fill a caller-owned tree (reusing its capacity); only the
+  /// queue/settled scratch is shared with the workspace.
+  void run_into(const Graph& g, NodeId source, const ExclusionSet& excluded,
+                ShortestPathTree& out);
+  void run_absorbing_into(const Graph& g, NodeId source,
+                          const std::vector<char>& absorbing,
+                          const ExclusionSet& excluded, ShortestPathTree& out);
+
+ private:
+  void run_impl(const Graph& g, NodeId source, const ExclusionSet& excluded,
+                const std::vector<char>* absorbing, ShortestPathTree& out);
+
+  ShortestPathTree tree_;                        ///< result of run()
+  std::vector<std::pair<double, NodeId>> heap_;  ///< (dist, node) min-heap
+  std::vector<char> settled_;
 };
 
 /// Dijkstra over the whole graph.

@@ -9,7 +9,7 @@ std::vector<JoinCandidate> enumerate_candidates(
     const Graph& g, const MulticastTree& tree, NodeId joiner,
     double spf_delay, const SmrpConfig& config,
     std::optional<NodeId> reshaping_member,
-    const net::ExclusionSet* unusable) {
+    const net::ExclusionSet* unusable, net::DijkstraWorkspace* workspace) {
   std::vector<JoinCandidate> out;
   const double d_thresh = config.d_thresh;
 
@@ -64,11 +64,17 @@ std::vector<JoinCandidate> enumerate_candidates(
     out.push_back(std::move(c));
   };
 
+  // The caller's workspace (when given) carries the search buffers across
+  // enumerations; a local one keeps the two branches below uniform.
+  net::DijkstraWorkspace local_workspace;
+  net::DijkstraWorkspace& ws =
+      workspace != nullptr ? *workspace : local_workspace;
+
   if (config.graft_mode == GraftMode::kAvoidTree) {
     // Every admissible merge node absorbs the search, so each reached one
     // gets the shortest graft that meets the tree only there.
-    const net::ShortestPathTree grafts =
-        net::dijkstra_absorbing(g, joiner, merge_allowed, excluded);
+    const net::ShortestPathTree& grafts =
+        ws.run_absorbing(g, joiner, merge_allowed, excluded);
     for (const NodeId merge : tree.on_tree_nodes()) {
       if (!merge_allowed[static_cast<std::size_t>(merge)]) continue;
       if (!grafts.reachable(merge)) continue;
@@ -78,7 +84,7 @@ std::vector<JoinCandidate> enumerate_candidates(
     // kFirstHit: plain shortest paths from the joiner; an on-tree node is
     // a valid merge only if the joiner's shortest path to it meets the
     // tree there first (otherwise the path would really merge earlier).
-    const net::ShortestPathTree spf = net::dijkstra(g, joiner, excluded);
+    const net::ShortestPathTree& spf = ws.run(g, joiner, excluded);
     for (const NodeId merge : tree.on_tree_nodes()) {
       if (!merge_allowed[static_cast<std::size_t>(merge)]) continue;
       if (!spf.reachable(merge)) continue;
@@ -137,9 +143,11 @@ std::optional<Selection> select_path(std::vector<JoinCandidate> candidates,
 std::optional<Selection> select_join_path(const Graph& g,
                                           const MulticastTree& tree,
                                           NodeId joiner, double spf_delay,
-                                          const SmrpConfig& config) {
+                                          const SmrpConfig& config,
+                                          net::DijkstraWorkspace* workspace) {
   return select_path(
-      enumerate_candidates(g, tree, joiner, spf_delay, config),
+      enumerate_candidates(g, tree, joiner, spf_delay, config, std::nullopt,
+                           nullptr, workspace),
       spf_delay, config);
 }
 

@@ -44,11 +44,14 @@ struct Selection {
 /// grafts and from the merge set, and SHR values are adjusted per §3.2.3.
 /// `unusable` optionally carries failed links/nodes that grafts must
 /// avoid (e.g. from the unicast routing's link-state database).
+/// `workspace`, when provided, supplies the Dijkstra scratch buffers so
+/// repeated enumerations stop reallocating the search state.
 [[nodiscard]] std::vector<JoinCandidate> enumerate_candidates(
     const Graph& g, const MulticastTree& tree, NodeId joiner,
     double spf_delay, const SmrpConfig& config,
     std::optional<NodeId> reshaping_member = std::nullopt,
-    const net::ExclusionSet* unusable = nullptr);
+    const net::ExclusionSet* unusable = nullptr,
+    net::DijkstraWorkspace* workspace = nullptr);
 
 /// Apply the Path Selection Criterion to `candidates`. Returns nullopt when
 /// the candidate list is empty or (with fallback disabled) nothing meets
@@ -60,6 +63,7 @@ struct Selection {
 /// Convenience: enumerate + select for a fresh join of `joiner`.
 [[nodiscard]] std::optional<Selection> select_join_path(
     const Graph& g, const MulticastTree& tree, NodeId joiner,
-    double spf_delay, const SmrpConfig& config);
+    double spf_delay, const SmrpConfig& config,
+    net::DijkstraWorkspace* workspace = nullptr);
 
 }  // namespace smrp::proto

@@ -72,17 +72,21 @@ RecoveryOutcome init_outcome(const MulticastTree& tree, NodeId member,
 
 RecoveryOutcome local_detour_recovery(const Graph& g,
                                       const MulticastTree& tree,
-                                      NodeId member, const Failure& failure) {
+                                      NodeId member, const Failure& failure,
+                                      net::DijkstraWorkspace* workspace) {
   const std::vector<char> survivors = survivors_after(tree, failure);
   RecoveryOutcome out = init_outcome(tree, member, failure, survivors);
   if (!out.disconnected) return out;
 
   const net::ExclusionSet excluded = exclusion_for(g, failure);
+  net::DijkstraWorkspace local_workspace;
+  net::DijkstraWorkspace& ws =
+      workspace != nullptr ? *workspace : local_workspace;
   // Survivors absorb the search: a restoration path never crosses one
   // surviving node on the way to another, so the path it yields is exactly
   // the set of new links brought into the tree.
-  const net::ShortestPathTree search =
-      net::dijkstra_absorbing(g, member, survivors, excluded);
+  const net::ShortestPathTree& search =
+      ws.run_absorbing(g, member, survivors, excluded);
 
   NodeId best = net::kNoNode;
   for (NodeId n = 0; n < g.node_count(); ++n) {
@@ -113,16 +117,20 @@ RecoveryOutcome local_detour_recovery(const Graph& g,
 
 RecoveryOutcome global_detour_recovery(const Graph& g,
                                        const MulticastTree& tree,
-                                       NodeId member, const Failure& failure) {
+                                       NodeId member, const Failure& failure,
+                                       net::DijkstraWorkspace* workspace) {
   const std::vector<char> survivors = survivors_after(tree, failure);
   RecoveryOutcome out = init_outcome(tree, member, failure, survivors);
   if (!out.disconnected) return out;
 
   const net::ExclusionSet excluded = exclusion_for(g, failure);
+  net::DijkstraWorkspace local_workspace;
+  net::DijkstraWorkspace& ws =
+      workspace != nullptr ? *workspace : local_workspace;
   // The reconverged unicast routing gives the member a new shortest path
   // toward the source; a PIM-style join travels along it and grafts at the
   // first router that is already on the surviving tree.
-  const net::ShortestPathTree spf = net::dijkstra(g, member, excluded);
+  const net::ShortestPathTree& spf = ws.run(g, member, excluded);
   if (!spf.reachable(tree.source())) return out;
 
   const std::vector<NodeId> path = spf.path_from_source(tree.source());
@@ -160,7 +168,14 @@ SessionRepairReport repair_session(const Graph& g, MulticastTree& tree,
                                    const Failure& failure,
                                    DetourPolicy policy,
                                    const net::ExclusionSet* already_failed,
-                                   obs::Telemetry* telemetry) {
+                                   obs::Telemetry* telemetry,
+                                   net::DijkstraWorkspace* workspace) {
+  // Per-member searches below share one workspace's queue/settled scratch;
+  // callers repairing many failures in sequence pass theirs in so the
+  // buffers survive across repairs too.
+  net::DijkstraWorkspace local_workspace;
+  net::DijkstraWorkspace& ws =
+      workspace != nullptr ? *workspace : local_workspace;
   SessionRepairReport report;
   std::vector<NodeId> lost =
       failure.kind == Failure::Kind::kLink
@@ -241,7 +256,7 @@ SessionRepairReport repair_session(const Graph& g, MulticastTree& tree,
     c.outcome.failed_node = failure.node;
     c.outcome.disconnected = true;
     if (policy == DetourPolicy::kLocal) {
-      c.search = net::dijkstra_absorbing(g, member, on_tree, excluded);
+      ws.run_absorbing_into(g, member, on_tree, excluded, c.search);
       NodeId best = net::kNoNode;
       for (NodeId n = 0; n < g.node_count(); ++n) {
         if (on_tree[static_cast<std::size_t>(n)] == 0) continue;
@@ -254,7 +269,7 @@ SessionRepairReport repair_session(const Graph& g, MulticastTree& tree,
       }
       if (best != net::kNoNode) adopt_local(c, best);
     } else {
-      c.search = net::dijkstra(g, member, excluded);
+      ws.run_into(g, member, excluded, c.search);
       walk_global(c);
     }
   };

@@ -66,11 +66,11 @@ struct RecoveryOutcome {
                                              NodeId member);
 
 /// SMRP recovery: reconnect to the nearest surviving on-tree node, routing
-/// around the failure.
-[[nodiscard]] RecoveryOutcome local_detour_recovery(const Graph& g,
-                                                    const MulticastTree& tree,
-                                                    NodeId member,
-                                                    const Failure& failure);
+/// around the failure. `workspace`, when given, supplies the search
+/// buffers so per-member sweeps stop reallocating them.
+[[nodiscard]] RecoveryOutcome local_detour_recovery(
+    const Graph& g, const MulticastTree& tree, NodeId member,
+    const Failure& failure, net::DijkstraWorkspace* workspace = nullptr);
 [[nodiscard]] RecoveryOutcome local_detour_recovery(const Graph& g,
                                                     const MulticastTree& tree,
                                                     NodeId member,
@@ -78,10 +78,9 @@ struct RecoveryOutcome {
 
 /// SPF/PIM recovery: follow the post-failure shortest path toward the
 /// source, grafting at the first surviving on-tree node along it.
-[[nodiscard]] RecoveryOutcome global_detour_recovery(const Graph& g,
-                                                     const MulticastTree& tree,
-                                                     NodeId member,
-                                                     const Failure& failure);
+[[nodiscard]] RecoveryOutcome global_detour_recovery(
+    const Graph& g, const MulticastTree& tree, NodeId member,
+    const Failure& failure, net::DijkstraWorkspace* workspace = nullptr);
 [[nodiscard]] RecoveryOutcome global_detour_recovery(const Graph& g,
                                                      const MulticastTree& tree,
                                                      NodeId member,
@@ -121,6 +120,7 @@ SessionRepairReport repair_session(
     const Graph& g, MulticastTree& tree, const Failure& failure,
     DetourPolicy policy = DetourPolicy::kLocal,
     const net::ExclusionSet* already_failed = nullptr,
-    obs::Telemetry* telemetry = nullptr);
+    obs::Telemetry* telemetry = nullptr,
+    net::DijkstraWorkspace* workspace = nullptr);
 
 }  // namespace smrp::proto

@@ -4,6 +4,17 @@
 
 namespace smrp::proto {
 
+bool graft_rewalks_attachment(const MulticastTree& tree, NodeId member,
+                              const std::vector<NodeId>& graft) {
+  if (graft.empty() || graft.front() != member) return false;
+  NodeId cur = member;
+  for (std::size_t i = 1; i < graft.size(); ++i) {
+    if (!tree.on_tree(cur) || tree.parent(cur) != graft[i]) return false;
+    cur = graft[i];
+  }
+  return graft.size() > 1;
+}
+
 SmrpTreeBuilder::SmrpTreeBuilder(const Graph& g, NodeId source,
                                  SmrpConfig config)
     : g_(&g),
@@ -36,7 +47,7 @@ JoinOutcome SmrpTreeBuilder::join(NodeId member) {
   if (spf == net::kInfinity) return outcome;  // unreachable from the source
 
   const std::optional<Selection> selection =
-      select_join_path(*g_, tree_, member, spf, config_);
+      select_join_path(*g_, tree_, member, spf, config_, &workspace_);
   if (!selection) return outcome;
 
   tree_.graft(member, selection->chosen.graft);
@@ -63,6 +74,11 @@ JoinOutcome SmrpTreeBuilder::join_along(NodeId member,
     outcome.total_delay = tree_.delay_to_source(member);
     return outcome;
   }
+  // Externally supplied grafts (query scheme, scripted scenarios) are
+  // unvalidated input: an empty graft or one that never reaches the tree
+  // is a failed join, not UB — mirroring the restoration-path guard in
+  // apply_recovery().
+  if (graft.empty() || !tree_.on_tree(graft.back())) return outcome;
   tree_.graft(member, graft);
   record_baseline(member);
   outcome.joined = true;
@@ -85,8 +101,8 @@ bool SmrpTreeBuilder::try_reshape(NodeId member) {
   if (up == net::kNoNode) return false;
 
   const double spf = spf_delay(member);
-  std::vector<JoinCandidate> candidates =
-      enumerate_candidates(*g_, tree_, member, spf, config_, member);
+  std::vector<JoinCandidate> candidates = enumerate_candidates(
+      *g_, tree_, member, spf, config_, member, nullptr, &workspace_);
 
   // The comparison baseline: the member's current merge point is its
   // upstream node; adjust its SHR exactly as candidate SHRs are adjusted
@@ -108,7 +124,11 @@ bool SmrpTreeBuilder::try_reshape(NodeId member) {
       best->shr < current_shr ||
       (best->shr == current_shr && best->total_delay + 1e-9 < current_delay);
   if (!better) return false;
-  if (best->merge_node == up && best->graft.size() == 2) return false;  // same attachment
+  // A candidate that merely re-walks the current attachment — whether the
+  // single upstream edge or a multi-hop graft retracing the member's
+  // existing relay chain — is a no-op; moving along it would churn
+  // move_subtree without changing the tree.
+  if (graft_rewalks_attachment(tree_, member, best->graft)) return false;
 
   tree_.move_subtree(member, best->graft);
   record_baseline(member);

@@ -26,6 +26,14 @@ struct JoinOutcome {
   int reshapes_triggered = 0;   ///< Condition-I switches caused by this join
 };
 
+/// True iff `graft` (member → … → merge) only re-walks `member`'s current
+/// upstream tree edges, i.e. applying it as a subtree move would rebuild
+/// the attachment unchanged. Reshaping uses this to recognise a no-op
+/// candidate — single- or multi-hop — instead of churning move_subtree.
+[[nodiscard]] bool graft_rewalks_attachment(const MulticastTree& tree,
+                                            NodeId member,
+                                            const std::vector<NodeId>& graft);
+
 class SmrpTreeBuilder {
  public:
   SmrpTreeBuilder(const Graph& g, NodeId source, SmrpConfig config = {});
@@ -35,7 +43,10 @@ class SmrpTreeBuilder {
 
   /// Join along an externally selected graft (member → … → merge node),
   /// e.g. one produced by the §3.3.1 query scheme; runs the same post-join
-  /// bookkeeping and Condition-I reshaping as join().
+  /// bookkeeping and Condition-I reshaping as join(). An empty graft or
+  /// one whose endpoint is not on-tree is rejected (joined = false), the
+  /// same way recovery rejects a restoration path that never reaches the
+  /// tree.
   JoinOutcome join_along(NodeId member, const std::vector<NodeId>& graft);
 
   /// Leave per §3.2.2 (prune upward). SHR values only shrink on departure,
@@ -79,6 +90,8 @@ class SmrpTreeBuilder {
   SmrpConfig config_;
   MulticastTree tree_;
   net::ShortestPathTree spf_from_source_;
+  /// Shared scratch for the per-join / per-reshape candidate searches.
+  net::DijkstraWorkspace workspace_;
   /// SHR(S,R) observed at R's last join/reshape (Condition I reference).
   std::vector<int> shr_baseline_;
   int fallback_joins_ = 0;

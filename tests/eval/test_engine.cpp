@@ -1,0 +1,234 @@
+#include "eval/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <limits>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "net/rng.hpp"
+
+namespace smrp::eval {
+namespace {
+
+// A deterministic workload: every trial derives all samples from its own
+// seed, the way real benches derive topologies and member sets.
+void sample_body(TrialContext& ctx) {
+  net::Rng rng(ctx.seed);
+  for (int i = 0; i < 50; ++i) {
+    ctx.recorder.add("uniform", rng.uniform());
+    ctx.recorder.add("latency", 10.0 + 90.0 * rng.uniform());
+  }
+  ctx.recorder.add("trial_index", static_cast<double>(ctx.trial));
+}
+
+EngineResult run_sampled(int trials, int threads,
+                         std::uint64_t seed = 20050628) {
+  EngineOptions options;
+  options.seed = seed;
+  options.trials = trials;
+  options.threads = threads;
+  return run_trials(options, sample_body);
+}
+
+TEST(TrialSeed, IsDeterministicAndDistinct) {
+  EXPECT_EQ(trial_seed(42, 0), trial_seed(42, 0));
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 256; ++i) seen.insert(trial_seed(42, i));
+  EXPECT_EQ(seen.size(), 256u);
+  // Different bench seeds give different trial streams.
+  EXPECT_NE(trial_seed(42, 0), trial_seed(43, 0));
+}
+
+TEST(RunTrials, SingleTrialRecordsItsSeries) {
+  const EngineResult res = run_sampled(1, 1);
+  EXPECT_EQ(res.trials, 1);
+  EXPECT_EQ(res.threads, 1);
+  ASSERT_NE(res.find("uniform"), nullptr);
+  EXPECT_EQ(res.find("uniform")->count(), 50);
+  EXPECT_EQ(res.summary("latency").count, 50);
+  EXPECT_EQ(res.find("missing"), nullptr);
+  EXPECT_EQ(res.summary("missing").count, 0);
+}
+
+TEST(RunTrials, MergedMomentsAreIdenticalAcrossThreadCounts) {
+  const EngineResult serial = run_sampled(12, 1);
+  for (const int threads : {2, 4}) {
+    const EngineResult parallel = run_sampled(12, threads);
+    EXPECT_EQ(parallel.threads, threads);
+    ASSERT_EQ(parallel.series.size(), serial.series.size());
+    for (const auto& [name, stats] : serial.series) {
+      SCOPED_TRACE(name);
+      const RunningStats* other = parallel.find(name);
+      ASSERT_NE(other, nullptr);
+      // Bit-identical, not just approximately equal: the merge happens
+      // in trial-index order regardless of completion order.
+      const Summary a = stats.summary();
+      const Summary b = other->summary();
+      EXPECT_EQ(b.count, a.count);
+      EXPECT_EQ(b.mean, a.mean);
+      EXPECT_EQ(b.stddev, a.stddev);
+      EXPECT_EQ(b.min, a.min);
+      EXPECT_EQ(b.max, a.max);
+      EXPECT_EQ(other->sum(), stats.sum());
+      EXPECT_EQ(other->percentile(0.9), stats.percentile(0.9));
+    }
+  }
+}
+
+TEST(RunTrials, EveryTrialSeesItsOwnIndexAndSeed) {
+  const EngineResult res = run_sampled(8, 4);
+  // trial_index got one sample per trial: 0..7.
+  const Summary s = res.summary("trial_index");
+  EXPECT_EQ(s.count, 8);
+  EXPECT_DOUBLE_EQ(s.min, 0.0);
+  EXPECT_DOUBLE_EQ(s.max, 7.0);
+  EXPECT_DOUBLE_EQ(s.mean, 3.5);
+}
+
+TEST(RunTrials, ThreadCountIsClampedToTrials) {
+  const EngineResult res = run_sampled(2, 16);
+  EXPECT_EQ(res.threads, 2);
+  EXPECT_EQ(res.trials, 2);
+}
+
+TEST(RunTrials, ExceptionsPropagateAfterDraining) {
+  EngineOptions options;
+  options.trials = 6;
+  options.threads = 3;
+  std::atomic<int> started{0};
+  EXPECT_THROW(run_trials(options,
+                          [&](TrialContext& ctx) {
+                            started.fetch_add(1);
+                            if (ctx.trial == 2) {
+                              throw std::runtime_error("trial blew up");
+                            }
+                          }),
+               std::runtime_error);
+  EXPECT_GE(started.load(), 1);
+}
+
+TEST(RunTrials, TelemetryIsNullUnlessCollected) {
+  EngineOptions options;
+  options.trials = 3;
+  options.threads = 1;
+  const EngineResult off = run_trials(options, [](TrialContext& ctx) {
+    EXPECT_EQ(ctx.recorder.telemetry("t"), nullptr);
+  });
+  EXPECT_TRUE(off.telemetry.empty());
+
+  options.collect_telemetry = true;
+  options.threads = 3;
+  const EngineResult on = run_trials(options, [](TrialContext& ctx) {
+    obs::Telemetry* t =
+        ctx.recorder.telemetry("trial" + std::to_string(ctx.trial));
+    ASSERT_NE(t, nullptr);
+    t->metrics.counter("samples").add(1 + ctx.trial);
+    ctx.recorder.close_telemetry(t, 100.0 * (ctx.trial + 1));
+  });
+  // Snapshots surface in trial order, never completion order.
+  ASSERT_EQ(on.telemetry.size(), 3u);
+  EXPECT_EQ(on.telemetry[0].label, "trial0");
+  EXPECT_EQ(on.telemetry[1].label, "trial1");
+  EXPECT_EQ(on.telemetry[2].label, "trial2");
+  EXPECT_DOUBLE_EQ(on.telemetry[2].now, 300.0);
+  ASSERT_NE(on.telemetry[1].telemetry, nullptr);
+}
+
+TEST(BenchConfigTest, RendersTypedValuesInInsertionOrder) {
+  BenchConfig config;
+  config.set("node_count", 100);
+  config.set("alpha", 0.25);
+  config.set("reshaping", true);
+  config.set("model", "waxman");
+  config.set("big", static_cast<std::int64_t>(1) << 40);
+  const auto& entries = config.entries();
+  ASSERT_EQ(entries.size(), 5u);
+  EXPECT_EQ(entries[0].first, "node_count");
+  EXPECT_EQ(entries[0].second, "100");
+  EXPECT_EQ(entries[1].second, "0.25");
+  EXPECT_EQ(entries[2].second, "true");
+  EXPECT_EQ(entries[3].second, "\"waxman\"");
+  EXPECT_EQ(entries[4].second, "1099511627776");
+}
+
+TEST(BenchConfigTest, SettingAKeyTwiceOverwritesInPlace) {
+  BenchConfig config;
+  config.set("trials", 10);
+  config.set("mode", "a");
+  config.set("trials", 20);
+  ASSERT_EQ(config.entries().size(), 2u);
+  EXPECT_EQ(config.entries()[0].first, "trials");
+  EXPECT_EQ(config.entries()[0].second, "20");
+}
+
+std::string json_without_timing(const EngineResult& res) {
+  BenchConfig config;
+  config.set("node_count", 100);
+  std::ostringstream out;
+  write_bench_json(out, "unit-test", "engine unit test", config, res);
+  std::string text = out.str();
+  // Drop every line mentioning "timing" — the only thread-count- and
+  // wall-clock-dependent part of the report, by contract a single line.
+  std::string kept;
+  std::size_t pos = 0;
+  int dropped = 0;
+  while (pos < text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    const std::string line =
+        text.substr(pos, eol == std::string::npos ? eol : eol - pos + 1);
+    if (line.find("\"timing\"") == std::string::npos) {
+      kept += line;
+    } else {
+      ++dropped;
+    }
+    if (eol == std::string::npos) break;
+    pos = eol + 1;
+  }
+  EXPECT_EQ(dropped, 1);
+  return kept;
+}
+
+TEST(WriteBenchJson, IsByteIdenticalAcrossThreadCountsModuloTiming) {
+  const std::string serial = json_without_timing(run_sampled(10, 1));
+  const std::string parallel = json_without_timing(run_sampled(10, 4));
+  EXPECT_EQ(serial, parallel);
+  // And it actually depends on the data: a different seed changes it.
+  EXPECT_NE(serial, json_without_timing(run_sampled(10, 1, 7)));
+}
+
+TEST(WriteBenchJson, CarriesSchemaConfigAndSeriesKeys) {
+  const EngineResult res = run_sampled(3, 1);
+  BenchConfig config;
+  config.set("node_count", 100);
+  std::ostringstream out;
+  write_bench_json(out, "unit-test", "engine unit test", config, res);
+  const std::string text = out.str();
+  for (const char* needle :
+       {"\"schema\": \"smrp.bench.v1\"", "\"experiment\": \"unit-test\"",
+        "\"config\"", "\"node_count\": 100", "\"seed\": 20050628",
+        "\"trials\": 3", "\"series\"", "\"uniform\"", "\"latency\"",
+        "\"count\"", "\"mean\"", "\"stddev\"", "\"ci95_half\"", "\"p50\"",
+        "\"timing\"", "\"wall_ms\"", "\"trials_per_sec\""}) {
+    EXPECT_NE(text.find(needle), std::string::npos) << needle;
+  }
+}
+
+TEST(WriteBenchJson, NonFiniteValuesRenderAsNull) {
+  EngineOptions options;
+  options.trials = 1;
+  const EngineResult res = run_trials(options, [](TrialContext& ctx) {
+    ctx.recorder.add("inf", std::numeric_limits<double>::infinity());
+  });
+  BenchConfig config;
+  std::ostringstream out;
+  write_bench_json(out, "unit-test", "t", config, res);
+  EXPECT_NE(out.str().find("null"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace smrp::eval

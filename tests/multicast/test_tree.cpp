@@ -106,6 +106,24 @@ TEST(MulticastTree, GraftRejectsBadPaths) {
   EXPECT_THROW(tree.graft(fig.S, {fig.S}), std::invalid_argument);
 }
 
+TEST(MulticastTree, GraftRejectsDegeneratePaths) {
+  const Fig1Topology fig;
+  MulticastTree tree(fig.graph, fig.S);
+  // Empty graft: no UB, no state change — a clean rejection.
+  EXPECT_THROW(tree.graft(fig.C, {}), std::invalid_argument);
+  // Single-node graft for an off-tree member: there is no path at all.
+  EXPECT_THROW(tree.graft(fig.C, {fig.C}), std::invalid_argument);
+  // A duplicate hop would wire a node as its own ancestor.
+  EXPECT_THROW(tree.graft(fig.D, {fig.D, fig.A, fig.D, fig.A, fig.S}),
+               std::invalid_argument);
+  EXPECT_EQ(tree.member_count(), 0);
+  tree.validate();
+  // After all those rejections the tree still accepts a valid graft.
+  tree.graft(fig.C, {fig.C, fig.A, fig.S});
+  tree.validate();
+  EXPECT_EQ(tree.member_count(), 1);
+}
+
 TEST(MulticastTree, RelayBecomesMemberInPlace) {
   const Fig1Topology fig;
   MulticastTree tree(fig.graph, fig.S);

@@ -113,6 +113,108 @@ TEST(DijkstraAbsorbing, AbsorbingSourceThrows) {
   EXPECT_THROW(dijkstra_absorbing(g, 0, absorbing), std::invalid_argument);
 }
 
+// ---- Deterministic equal-cost tie-breaks ----------------------------------
+
+TEST(DijkstraTieBreak, EqualCostPrefersFewerHops) {
+  // Diamond: 0–1–3 and 0–2–3 both cost 2.0; a direct 0–3 link also costs
+  // 2.0 but takes one hop. The tie-break must settle on the direct link.
+  Graph g(4);
+  g.add_link(0, 1, 1.0);
+  g.add_link(1, 3, 1.0);
+  g.add_link(0, 2, 1.0);
+  g.add_link(2, 3, 1.0);
+  g.add_link(0, 3, 2.0);
+  const ShortestPathTree t = dijkstra(g, 0);
+  EXPECT_DOUBLE_EQ(t.dist[3], 2.0);
+  EXPECT_EQ(t.hops[3], 1);
+  EXPECT_EQ(t.parent[3], 0);
+}
+
+TEST(DijkstraTieBreak, EqualCostEqualHopsPrefersLowestPredecessor) {
+  // Equal-weight diamond: two 2-hop, cost-2 paths to node 3 (via 1 and
+  // via 2). The deterministic tie-break picks the lowest predecessor id,
+  // independent of link insertion order, and never disturbs the source's
+  // kNoNode parent sentinel.
+  for (const bool reversed : {false, true}) {
+    Graph g(4);
+    if (reversed) {
+      g.add_link(0, 2, 1.0);
+      g.add_link(2, 3, 1.0);
+      g.add_link(0, 1, 1.0);
+      g.add_link(1, 3, 1.0);
+    } else {
+      g.add_link(0, 1, 1.0);
+      g.add_link(1, 3, 1.0);
+      g.add_link(0, 2, 1.0);
+      g.add_link(2, 3, 1.0);
+    }
+    const ShortestPathTree t = dijkstra(g, 0);
+    EXPECT_DOUBLE_EQ(t.dist[3], 2.0);
+    EXPECT_EQ(t.hops[3], 2);
+    EXPECT_EQ(t.parent[3], 1) << "insertion order reversed=" << reversed;
+    EXPECT_EQ(t.parent[0], kNoNode);
+    EXPECT_EQ(t.hops[0], 0);
+  }
+}
+
+TEST(DijkstraTieBreak, LadderOfDiamondsIsStableEndToEnd) {
+  // Chain three equal-weight diamonds; every stage must resolve to the
+  // lower-id middle node so the full path is reproducible.
+  Graph g(10);
+  NodeId entry = 0;
+  for (int stage = 0; stage < 3; ++stage) {
+    const NodeId lo = static_cast<NodeId>(3 * stage + 1);
+    const NodeId hi = static_cast<NodeId>(3 * stage + 2);
+    const NodeId exit = static_cast<NodeId>(3 * stage + 3);
+    g.add_link(entry, hi, 1.0);
+    g.add_link(hi, exit, 1.0);
+    g.add_link(entry, lo, 1.0);
+    g.add_link(lo, exit, 1.0);
+    entry = exit;
+  }
+  const ShortestPathTree t = dijkstra(g, 0);
+  EXPECT_EQ(t.path_from_source(9), (std::vector<NodeId>{0, 1, 3, 4, 6, 7, 9}));
+}
+
+// ---- DijkstraWorkspace equivalence ----------------------------------------
+
+namespace {
+void expect_same_tree(const ShortestPathTree& a, const ShortestPathTree& b) {
+  ASSERT_EQ(a.source, b.source);
+  ASSERT_EQ(a.dist, b.dist);
+  ASSERT_EQ(a.parent, b.parent);
+  ASSERT_EQ(a.parent_link, b.parent_link);
+  ASSERT_EQ(a.hops, b.hops);
+}
+}  // namespace
+
+TEST(DijkstraWorkspaceTest, MatchesFreshRunWithExclusions) {
+  const testing::Fig1Topology fig;
+  DijkstraWorkspace workspace;
+  expect_same_tree(workspace.run(fig.graph, fig.S), dijkstra(fig.graph, fig.S));
+  ExclusionSet excl(fig.graph);
+  excl.ban_link(fig.AD);
+  expect_same_tree(workspace.run(fig.graph, fig.S, excl),
+                   dijkstra(fig.graph, fig.S, excl));
+  // run_into fills a caller-owned tree with the identical result.
+  ShortestPathTree out;
+  workspace.run_into(fig.graph, fig.S, excl, out);
+  expect_same_tree(out, dijkstra(fig.graph, fig.S, excl));
+}
+
+TEST(DijkstraWorkspaceTest, RejectsBadSourcesLikeFreeFunction) {
+  const Graph g = testing::grid3x3();
+  DijkstraWorkspace workspace;
+  EXPECT_THROW(workspace.run(g, 99), std::out_of_range);
+  ExclusionSet excl(g);
+  excl.ban_node(0);
+  EXPECT_THROW(workspace.run(g, 0, excl), std::invalid_argument);
+  std::vector<char> absorbing(9, 0);
+  absorbing[0] = 1;
+  EXPECT_THROW(workspace.run_absorbing(g, 0, absorbing),
+               std::invalid_argument);
+}
+
 // ---- Property-style sweeps over random graphs -----------------------------
 
 class DijkstraProperty : public ::testing::TestWithParam<std::uint64_t> {};
@@ -178,6 +280,43 @@ TEST_P(DijkstraProperty, AbsorbingDistancesNeverBeatPlain) {
     if (!absorbed.reachable(n)) continue;
     ASSERT_GE(absorbed.dist[static_cast<std::size_t>(n)],
               plain.dist[static_cast<std::size_t>(n)] - 1e-9);
+  }
+}
+
+TEST_P(DijkstraProperty, WorkspaceReuseMatchesFreshRuns) {
+  // One workspace recycled across graphs of different sizes, sources,
+  // exclusions and absorbing sets must reproduce the free functions
+  // exactly — the preallocated buffers may never leak state between runs.
+  Rng rng(GetParam() ^ 0x5eedULL);
+  DijkstraWorkspace workspace;
+  for (const int nodes : {30, 70, 40}) {
+    WaxmanParams params;
+    params.node_count = nodes;
+    const Graph g = waxman_graph(params, rng);
+    for (int round = 0; round < 3; ++round) {
+      const auto source =
+          static_cast<NodeId>(rng.below(static_cast<std::uint64_t>(nodes)));
+      expect_same_tree(workspace.run(g, source), dijkstra(g, source));
+
+      ExclusionSet excl(g);
+      excl.ban_link(static_cast<LinkId>(
+          rng.below(static_cast<std::uint64_t>(g.link_count()))));
+      for (NodeId n = 0; n < g.node_count(); n += 7) {
+        if (n != source) excl.ban_node(n);
+      }
+      expect_same_tree(workspace.run(g, source, excl),
+                       dijkstra(g, source, excl));
+
+      std::vector<char> absorbing(static_cast<std::size_t>(nodes), 0);
+      for (NodeId n = 0; n < g.node_count(); n += 3) {
+        if (n != source) absorbing[static_cast<std::size_t>(n)] = 1;
+      }
+      expect_same_tree(workspace.run_absorbing(g, source, absorbing),
+                       dijkstra_absorbing(g, source, absorbing));
+      ShortestPathTree out;
+      workspace.run_absorbing_into(g, source, absorbing, ExclusionSet{}, out);
+      expect_same_tree(out, dijkstra_absorbing(g, source, absorbing));
+    }
   }
 }
 

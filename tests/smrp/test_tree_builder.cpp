@@ -93,6 +93,57 @@ TEST(SmrpTreeBuilder, JoinAlongExplicitGraft) {
   builder.tree().validate();
 }
 
+TEST(SmrpTreeBuilder, JoinAlongEmptyGraftIsRejected) {
+  const Fig1Topology fig;
+  SmrpTreeBuilder builder(fig.graph, fig.S);
+  const JoinOutcome out = builder.join_along(fig.D, {});
+  EXPECT_FALSE(out.joined);
+  EXPECT_FALSE(builder.tree().is_member(fig.D));
+  EXPECT_EQ(builder.tree().member_count(), 0);
+  builder.tree().validate();
+}
+
+TEST(SmrpTreeBuilder, JoinAlongOffTreeEndpointIsRejected) {
+  const Fig1Topology fig;
+  SmrpTreeBuilder builder(fig.graph, fig.S);
+  // B is reachable but not on the (so far trivial) tree: the graft never
+  // reaches the session and must be refused, not spliced into thin air.
+  const JoinOutcome out = builder.join_along(fig.D, {fig.D, fig.B});
+  EXPECT_FALSE(out.joined);
+  EXPECT_FALSE(builder.tree().is_member(fig.D));
+  builder.tree().validate();
+  // A well-formed graft for the same member still works afterwards.
+  EXPECT_TRUE(builder.join_along(fig.D, {fig.D, fig.B, fig.S}).joined);
+  builder.tree().validate();
+}
+
+TEST(SmrpTreeBuilder, JoinAlongSingletonOffTreeGraftIsRejected) {
+  const Fig1Topology fig;
+  SmrpTreeBuilder builder(fig.graph, fig.S);
+  const JoinOutcome out = builder.join_along(fig.D, {fig.D});
+  EXPECT_FALSE(out.joined);
+  EXPECT_FALSE(builder.tree().is_member(fig.D));
+}
+
+TEST(GraftRewalksAttachment, RecognisesSingleAndMultiHopRewalks) {
+  const Fig1Topology fig;
+  SmrpTreeBuilder builder(fig.graph, fig.S);
+  ASSERT_TRUE(builder.join_along(fig.D, {fig.D, fig.A, fig.S}).joined);
+  const MulticastTree& tree = builder.tree();
+  // D currently attaches via D–A–S.
+  EXPECT_TRUE(graft_rewalks_attachment(tree, fig.D, {fig.D, fig.A}));
+  EXPECT_TRUE(graft_rewalks_attachment(tree, fig.D, {fig.D, fig.A, fig.S}));
+  // A genuinely different attachment is not a re-walk.
+  EXPECT_FALSE(graft_rewalks_attachment(tree, fig.D, {fig.D, fig.B, fig.S}));
+  // Degenerate grafts, or ones that do not start at the member, are not.
+  EXPECT_FALSE(graft_rewalks_attachment(tree, fig.D, {}));
+  EXPECT_FALSE(graft_rewalks_attachment(tree, fig.D, {fig.D}));
+  EXPECT_FALSE(graft_rewalks_attachment(tree, fig.D, {fig.A, fig.S}));
+  // Walking past the root cannot be a re-walk of the upstream chain.
+  EXPECT_FALSE(
+      graft_rewalks_attachment(tree, fig.D, {fig.D, fig.A, fig.S, fig.B}));
+}
+
 // ---- Randomised properties -------------------------------------------------
 
 struct ChurnCase {
