@@ -54,7 +54,7 @@ int main(int argc, char** argv) {
         }
 
         auto& rec = ctx.recorder;
-        net::DijkstraWorkspace workspace;
+        net::RoutingOracle oracle(topo.graph);
         for (const net::LinkId link : flat.tree().tree_links()) {
           rec.add("failures", 1.0);
           // Flat repair: every disconnected member runs a local detour
@@ -68,7 +68,7 @@ int main(int argc, char** argv) {
             ++flat_victims;
             const auto out = proto::local_detour_recovery(
                 topo.graph, flat.tree(), m, proto::Failure::of_link(link),
-                &workspace);
+                &oracle);
             if (!out.recovered) continue;
             flat_distance += out.recovery_distance;
             // Confinement check: does the flat repair path wander through

@@ -53,7 +53,7 @@ int main(int argc, char** argv) {
         rec.add("smrp/cost", smrp.tree().total_cost());
         rec.add("dual/cost", dual.combined_cost());
 
-        net::DijkstraWorkspace workspace;
+        net::RoutingOracle oracle(g);
         int protected_count = 0;
         int survived = 0;
         double rd_sum = 0.0;
@@ -71,7 +71,7 @@ int main(int argc, char** argv) {
               proto::worst_case_failure_link(smrp.tree(), m);
           const auto out = proto::local_detour_recovery(
               g, smrp.tree(), m, proto::Failure::of_link(smrp_cut),
-              &workspace);
+              &oracle);
           if (out.recovered) {
             rd_sum += out.recovery_distance;
             ++rd_count;

@@ -34,8 +34,12 @@ FailureSequenceResult run_failure_sequence(const FailureSequenceParams& p,
   const std::vector<net::NodeId> members =
       pick_members(g, source, p.scenario.group_size, rng);
 
-  proto::SmrpTreeBuilder smrp_builder(g, source, p.scenario.smrp);
-  baseline::SpfTreeBuilder spf_builder(g, source);
+  // One oracle for the whole sequence: each step's exclusion set is the
+  // previous one plus the new victim, so the kGlobal per-member SPFs are
+  // served by incremental repair of the step before's cached trees.
+  net::RoutingOracle oracle(g);
+  proto::SmrpTreeBuilder smrp_builder(g, source, p.scenario.smrp, &oracle);
+  baseline::SpfTreeBuilder spf_builder(g, source, &oracle);
   for (const net::NodeId m : members) {
     smrp_builder.join(m);
     spf_builder.join(m);
@@ -62,10 +66,13 @@ FailureSequenceResult run_failure_sequence(const FailureSequenceParams& p,
     record.failed_link = victim;
 
     const auto failure = proto::Failure::of_link(victim);
-    const proto::SessionRepairReport smrp_report = proto::repair_session(
-        g, smrp_tree, failure, proto::DetourPolicy::kLocal, &dead);
-    const proto::SessionRepairReport spf_report = proto::repair_session(
-        g, spf_tree, failure, proto::DetourPolicy::kGlobal, &dead);
+    const proto::SessionRepairReport smrp_report =
+        proto::repair_session(g, smrp_tree, failure, proto::DetourPolicy::kLocal,
+                              &dead, nullptr, &oracle);
+    const proto::SessionRepairReport spf_report =
+        proto::repair_session(g, spf_tree, failure,
+                              proto::DetourPolicy::kGlobal, &dead, nullptr,
+                              &oracle);
 
     dead.ban_link(victim);
     dead_links.insert(victim);

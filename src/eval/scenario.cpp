@@ -82,14 +82,12 @@ namespace {
 proto::RecoveryOutcome run_policy(RecoveryPolicy policy, const Graph& g,
                                   const mcast::MulticastTree& tree,
                                   NodeId member, const proto::Failure& failure,
-                                  net::DijkstraWorkspace& workspace) {
+                                  net::RoutingOracle& oracle) {
   switch (policy) {
     case RecoveryPolicy::kGlobalDetour:
-      return proto::global_detour_recovery(g, tree, member, failure,
-                                           &workspace);
+      return proto::global_detour_recovery(g, tree, member, failure, &oracle);
     case RecoveryPolicy::kLocalDetour:
-      return proto::local_detour_recovery(g, tree, member, failure,
-                                          &workspace);
+      return proto::local_detour_recovery(g, tree, member, failure, &oracle);
   }
   throw std::logic_error("unknown recovery policy");
 }
@@ -123,7 +121,7 @@ void smrp_join(proto::SmrpTreeBuilder& builder, NodeId member,
   // running the builder in query mode.
   const auto selection = proto::select_join_path_via_query(
       builder.graph(), builder.tree(), member, builder.spf_delay(member),
-      builder.config());
+      builder.config(), &builder.oracle());
   if (!selection) {
     // Fall back to the full-knowledge join so the member is never refused.
     ++fallbacks;
@@ -140,11 +138,13 @@ void smrp_join(proto::SmrpTreeBuilder& builder, NodeId member,
 /// Uniform facade over the available reference protocols.
 class BaselineFacade {
  public:
-  BaselineFacade(BaselineKind kind, const Graph& g, NodeId source) {
+  BaselineFacade(BaselineKind kind, const Graph& g, NodeId source,
+                 net::RoutingOracle* oracle) {
     if (kind == BaselineKind::kSpf) {
-      spf_ = std::make_unique<baseline::SpfTreeBuilder>(g, source);
+      spf_ = std::make_unique<baseline::SpfTreeBuilder>(g, source, oracle);
     } else {
-      steiner_ = std::make_unique<baseline::SteinerTreeBuilder>(g, source);
+      steiner_ =
+          std::make_unique<baseline::SteinerTreeBuilder>(g, source, oracle);
     }
   }
   bool join(NodeId m) { return spf_ ? spf_->join(m) : steiner_->join(m); }
@@ -160,17 +160,26 @@ class BaselineFacade {
 }  // namespace
 
 ScenarioResult run_scenario_on_graph(const Graph& g, const ScenarioParams& p,
-                                     net::Rng& rng) {
+                                     net::Rng& rng,
+                                     net::RoutingOracle* oracle) {
   ScenarioResult result;
   result.avg_degree = g.average_degree();
+
+  // One oracle serves the whole scenario (both protocols + the failure
+  // sweep); sweeps pass a per-topology one in so member sets share it.
+  std::unique_ptr<net::RoutingOracle> owned_oracle;
+  if (oracle == nullptr) {
+    owned_oracle = std::make_unique<net::RoutingOracle>(g);
+    oracle = owned_oracle.get();
+  }
 
   const NodeId source = static_cast<NodeId>(rng.below(
       static_cast<std::uint64_t>(g.node_count())));
   const std::vector<NodeId> members =
       pick_members(g, source, p.group_size, rng);
 
-  BaselineFacade spf(p.baseline, g, source);
-  proto::SmrpTreeBuilder smrp(g, source, p.smrp);
+  BaselineFacade spf(p.baseline, g, source, oracle);
+  proto::SmrpTreeBuilder smrp(g, source, p.smrp, oracle);
   int query_fallbacks = 0;
   for (const NodeId m : members) {
     if (!spf.join(m)) {
@@ -184,9 +193,8 @@ ScenarioResult run_scenario_on_graph(const Graph& g, const ScenarioParams& p,
   result.fallback_joins = smrp.fallback_join_count() + query_fallbacks;
   result.reshape_count = smrp.total_reshapes();
 
-  // One set of search buffers for the whole worst-case sweep below (two
-  // detour searches per member).
-  net::DijkstraWorkspace workspace;
+  // The worst-case sweep below (two detour searches per member) leases
+  // the oracle's pooled buffers; global detours hit its SPF cache.
   for (const NodeId m : members) {
     MemberComparison cmp;
     cmp.member = m;
@@ -204,9 +212,9 @@ ScenarioResult run_scenario_on_graph(const Graph& g, const ScenarioParams& p,
     }
 
     const proto::RecoveryOutcome spf_rec =
-        run_policy(p.spf_policy, g, spf.tree(), m, *fail_spf, workspace);
+        run_policy(p.spf_policy, g, spf.tree(), m, *fail_spf, *oracle);
     const proto::RecoveryOutcome smrp_rec =
-        run_policy(p.smrp_policy, g, smrp.tree(), m, *fail_smrp, workspace);
+        run_policy(p.smrp_policy, g, smrp.tree(), m, *fail_smrp, *oracle);
 
     cmp.valid = spf_rec.recovered && smrp_rec.recovered &&
                 spf_rec.disconnected && smrp_rec.disconnected &&
@@ -265,9 +273,13 @@ SweepCell run_sweep(const ScenarioParams& p, int topologies, int member_sets,
   for (int t = 0; t < topologies; ++t) {
     net::Rng topo_rng = root.fork();
     const Graph g = make_topology(p, topo_rng);
+    // Member sets on the same topology share one oracle: sources and
+    // worst-case failures repeat across sets, so the cache carries over.
+    net::RoutingOracle oracle(g);
     for (int s = 0; s < member_sets; ++s) {
       net::Rng scenario_rng = topo_rng.fork();
-      const ScenarioResult r = run_scenario_on_graph(g, p, scenario_rng);
+      const ScenarioResult r = run_scenario_on_graph(g, p, scenario_rng,
+                                                     &oracle);
       rd_rel.push_back(r.mean_rd_relative());
       rd_rel_hops.push_back(r.mean_rd_relative_hops());
       delay_rel.push_back(r.mean_delay_relative());

@@ -9,6 +9,7 @@
 
 #include "eval/stats.hpp"
 #include "net/rng.hpp"
+#include "net/routing_oracle.hpp"
 #include "net/waxman.hpp"
 #include "smrp/config.hpp"
 #include "smrp/recovery.hpp"
@@ -117,10 +118,13 @@ struct ScenarioResult {
 
 /// Run one scenario on an existing topology: picks source + members from
 /// `rng`, builds both trees (same join order), exercises each member's
-/// worst-case failure under the configured policies.
-[[nodiscard]] ScenarioResult run_scenario_on_graph(const Graph& g,
-                                                   const ScenarioParams& p,
-                                                   net::Rng& rng);
+/// worst-case failure under the configured policies. `oracle`, when
+/// given, serves every SPF in the scenario (it must be bound to `g`);
+/// sweeps reusing one topology across member sets share one oracle so
+/// repeated sources/failures hit its cache.
+[[nodiscard]] ScenarioResult run_scenario_on_graph(
+    const Graph& g, const ScenarioParams& p, net::Rng& rng,
+    net::RoutingOracle* oracle = nullptr);
 
 /// Generate a topology per the params' model.
 [[nodiscard]] Graph make_topology(const ScenarioParams& p, net::Rng& rng);

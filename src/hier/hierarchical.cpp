@@ -181,8 +181,11 @@ HierRecoveryOutcome HierarchicalSession::recover(net::LinkId failed) const {
   out.link_on_tree = true;
   out.recovered = true;
   for (const net::NodeId victim : victims) {
+    // Per-domain detours route through the domain builder's oracle, so
+    // the whole victim sweep shares one workspace pool per domain.
     const proto::RecoveryOutcome rec = proto::local_detour_recovery(
-        view->graph(), tree, victim, *local_link);
+        view->graph(), tree, victim, proto::Failure::of_link(*local_link),
+        &builder->oracle());
     if (!rec.recovered) {
       out.recovered = false;
       continue;

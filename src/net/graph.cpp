@@ -21,6 +21,7 @@ NodeId Graph::add_nodes(int count) {
   if (count <= 0) throw std::invalid_argument("node count must be positive");
   const NodeId first = node_count();
   adjacency_.resize(adjacency_.size() + static_cast<std::size_t>(count));
+  ++topology_version_;
   return first;
 }
 
@@ -36,7 +37,17 @@ LinkId Graph::add_link(NodeId a, NodeId b, double weight) {
   links_.push_back(Link{a, b, weight});
   adjacency_[static_cast<std::size_t>(a)].push_back(Adjacency{b, id});
   adjacency_[static_cast<std::size_t>(b)].push_back(Adjacency{a, id});
+  ++topology_version_;
   return id;
+}
+
+void Graph::set_link_weight(LinkId id, double weight) {
+  if (id < 0 || id >= link_count()) {
+    throw std::out_of_range("link id out of range");
+  }
+  if (!(weight > 0.0)) throw std::invalid_argument("weight must be positive");
+  links_[static_cast<std::size_t>(id)].weight = weight;
+  ++topology_version_;
 }
 
 std::optional<LinkId> Graph::link_between(NodeId u, NodeId v) const {

@@ -63,6 +63,17 @@ class Graph {
   /// valid, weight > 0, and no link between a and b exists yet.
   LinkId add_link(NodeId a, NodeId b, double weight);
 
+  /// Change an existing link's weight (must stay strictly positive).
+  void set_link_weight(LinkId id, double weight);
+
+  /// Monotone counter bumped by every topology mutation (node/link
+  /// insertion, weight change). Consumers that cache anything derived
+  /// from the topology — RoutingOracle above all — compare this against
+  /// the version they computed under and flush when it moved.
+  [[nodiscard]] std::uint64_t topology_version() const noexcept {
+    return topology_version_;
+  }
+
   [[nodiscard]] int node_count() const noexcept {
     return static_cast<int>(adjacency_.size());
   }
@@ -118,6 +129,7 @@ class Graph {
   std::vector<Link> links_;
   std::vector<std::vector<Adjacency>> adjacency_;
   std::vector<Point> positions_;
+  std::uint64_t topology_version_ = 0;
 };
 
 }  // namespace smrp::net

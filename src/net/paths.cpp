@@ -72,9 +72,13 @@ std::vector<Path> yen_k_shortest(const Graph& g, NodeId source, NodeId target,
                                  int k) {
   std::vector<Path> result;
   if (k <= 0) return result;
-  const ShortestPathTree base = dijkstra(g, source);
+  // One workspace serves the base run and every spur search below.
+  DijkstraWorkspace workspace;
+  ShortestPathTree base;
+  workspace.run_into(g, source, ExclusionSet{}, base);
   if (!base.reachable(target)) return result;
   result.push_back(make_path(g, base.path_from_source(target)));
+  ShortestPathTree spur_tree;
 
   std::set<Path, PathOrder> candidates;
   while (static_cast<int>(result.size()) < k) {
@@ -100,7 +104,7 @@ std::vector<Path> yen_k_shortest(const Graph& g, NodeId source, NodeId target,
       // Ban root nodes (except the spur) to keep the path loopless.
       for (std::size_t j = 0; j < i; ++j) excluded.ban_node(root[j]);
 
-      const ShortestPathTree spur_tree = dijkstra(g, spur_node, excluded);
+      workspace.run_into(g, spur_node, excluded, spur_tree);
       if (!spur_tree.reachable(target)) continue;
       Path spur = make_path(g, spur_tree.path_from_source(target));
       Path total = concatenate(g, make_path(g, root), spur);

@@ -1,0 +1,409 @@
+#include "net/routing_oracle.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <stdexcept>
+
+namespace smrp::net {
+
+namespace {
+
+inline void bump(std::uint64_t& stat, obs::Counter* counter) noexcept {
+  ++stat;
+  if (counter != nullptr) counter->add(1);
+}
+
+/// Every banned id of `entry` is banned in `excluded` too. Combined with
+/// an exact size comparison this gives set equality (or equality minus a
+/// known element) without materialising the request's id list.
+bool nodes_subset(const std::vector<NodeId>& ids, const ExclusionSet& excluded) {
+  for (const NodeId id : ids) {
+    if (!excluded.node_banned(id)) return false;
+  }
+  return true;
+}
+
+bool links_subset(const std::vector<LinkId>& ids, const ExclusionSet& excluded) {
+  for (const LinkId id : ids) {
+    if (!excluded.link_banned(id)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void RoutingOracle::WorkspaceLease::release() noexcept {
+  if (oracle_ != nullptr && workspace_ != nullptr) {
+    oracle_->return_workspace(std::move(workspace_));
+  }
+  oracle_ = nullptr;
+}
+
+RoutingOracle::RoutingOracle(const Graph& g) : RoutingOracle(g, Config{}) {}
+
+RoutingOracle::RoutingOracle(const Graph& g, Config config)
+    : g_(&g), config_(config), cached_version_(g.topology_version()) {}
+
+RoutingOracle::TreePtr RoutingOracle::spf(NodeId source) {
+  return spf(source, ExclusionSet{});
+}
+
+RoutingOracle::TreePtr RoutingOracle::spf(NodeId source,
+                                          const ExclusionSet& excluded) {
+  // Same preconditions as dijkstra(); checked before anything is counted
+  // so a throwing lookup leaves the counters consistent.
+  if (!g_->valid_node(source)) throw std::out_of_range("bad source node");
+  if (excluded.node_banned(source)) {
+    throw std::invalid_argument("source node is banned");
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  check_version_locked();
+  bump(stats_.lookups, c_lookups_);
+
+  const std::uint64_t key = cache_key(source, excluded.signature());
+  if (const auto it = entries_.find(key);
+      it != entries_.end() && it->second.source == source &&
+      entry_matches(it->second, excluded)) {
+    it->second.last_used = ++lru_tick_;
+    bump(stats_.cache_hits, c_hit_);
+    return it->second.tree;
+  }
+  bump(stats_.cache_misses, c_miss_);
+
+  // One-extra-ban probe: for each banned component, look for a cached
+  // tree computed under this exclusion minus that one ban and repair it
+  // for the ban. Probe order (nodes ascending, then links ascending) is
+  // fixed for determinism, though any base yields the identical tree.
+  TreePtr tree;
+  if (!excluded.empty()) {
+    for (const NodeId x : excluded.banned_nodes()) {
+      const auto it = entries_.find(
+          cache_key(source, excluded.signature() ^ ExclusionSet::mix_node(x)));
+      if (it == entries_.end() || it->second.source != source) continue;
+      if (!entry_is_base(it->second, excluded, x, kNoLink)) continue;
+      tree = repair_locked(it->second, excluded, x, kNoLink);
+      if (tree != nullptr) break;
+    }
+    if (tree == nullptr) {
+      for (const LinkId l : excluded.banned_links()) {
+        const auto it = entries_.find(cache_key(
+            source, excluded.signature() ^ ExclusionSet::mix_link(l)));
+        if (it == entries_.end() || it->second.source != source) continue;
+        if (!entry_is_base(it->second, excluded, kNoNode, l)) continue;
+        tree = repair_locked(it->second, excluded, kNoNode, l);
+        if (tree != nullptr) break;
+      }
+    }
+  }
+  if (tree != nullptr) {
+    bump(stats_.incremental_repairs, c_incremental_);
+  } else {
+    tree = full_run_locked(source, excluded);
+    bump(stats_.full_runs, c_fallback_);
+  }
+  insert_locked(source, excluded, tree);
+  return tree;
+}
+
+RoutingOracle::WorkspaceLease RoutingOracle::workspace() {
+  std::unique_ptr<DijkstraWorkspace> ws;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!pool_.empty()) {
+      ws = std::move(pool_.back());
+      pool_.pop_back();
+    }
+  }
+  if (ws == nullptr) ws = std::make_unique<DijkstraWorkspace>();
+  return WorkspaceLease(this, std::move(ws));
+}
+
+void RoutingOracle::return_workspace(
+    std::unique_ptr<DijkstraWorkspace> workspace) noexcept {
+  std::lock_guard<std::mutex> lock(mu_);
+  // A small cap keeps the pool from pinning memory after a burst of
+  // concurrent leases; beyond it the workspace is simply dropped.
+  if (pool_.size() < 32) pool_.push_back(std::move(workspace));
+}
+
+void RoutingOracle::attach_telemetry(obs::Telemetry* telemetry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (telemetry == nullptr) {
+    c_lookups_ = c_hit_ = c_miss_ = c_incremental_ = c_fallback_ =
+        c_invalidations_ = nullptr;
+    return;
+  }
+  obs::MetricsRegistry& m = telemetry->metrics;
+  c_lookups_ = &m.counter("smrp.routing.lookups");
+  c_hit_ = &m.counter("smrp.routing.cache_hit");
+  c_miss_ = &m.counter("smrp.routing.cache_miss");
+  c_incremental_ = &m.counter("smrp.routing.cache_incremental");
+  c_fallback_ = &m.counter("smrp.routing.cache_fallback");
+  c_invalidations_ = &m.counter("smrp.routing.invalidations");
+}
+
+RoutingOracle::Stats RoutingOracle::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void RoutingOracle::invalidate() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  cached_version_ = g_->topology_version();
+  bump(stats_.invalidations, c_invalidations_);
+}
+
+std::uint64_t RoutingOracle::cache_key(NodeId source,
+                                       std::uint64_t signature) noexcept {
+  // splitmix64 finalizer over (source, signature); collisions are caught
+  // by entry_matches / entry_is_base, never trusted.
+  std::uint64_t x = signature ^
+                    (static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+                         source)) *
+                     0x9e3779b97f4a7c15ULL);
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+void RoutingOracle::check_version_locked() {
+  const std::uint64_t current = g_->topology_version();
+  if (current == cached_version_) return;
+  entries_.clear();
+  cached_version_ = current;
+  bump(stats_.invalidations, c_invalidations_);
+}
+
+bool RoutingOracle::entry_matches(const Entry& entry,
+                                  const ExclusionSet& excluded) {
+  return static_cast<int>(entry.banned_nodes.size()) ==
+             excluded.banned_node_count() &&
+         static_cast<int>(entry.banned_links.size()) ==
+             excluded.banned_link_count() &&
+         nodes_subset(entry.banned_nodes, excluded) &&
+         links_subset(entry.banned_links, excluded);
+}
+
+bool RoutingOracle::entry_is_base(const Entry& entry,
+                                  const ExclusionSet& excluded,
+                                  NodeId extra_node, LinkId extra_link) {
+  // Subset + exact sizes + "the extra ban is the one element missing"
+  // pins the base set to exactly (request minus the extra ban).
+  const int want_nodes =
+      excluded.banned_node_count() - (extra_node != kNoNode ? 1 : 0);
+  const int want_links =
+      excluded.banned_link_count() - (extra_link != kNoLink ? 1 : 0);
+  if (static_cast<int>(entry.banned_nodes.size()) != want_nodes ||
+      static_cast<int>(entry.banned_links.size()) != want_links) {
+    return false;
+  }
+  if (extra_node != kNoNode &&
+      std::binary_search(entry.banned_nodes.begin(), entry.banned_nodes.end(),
+                         extra_node)) {
+    return false;
+  }
+  if (extra_link != kNoLink &&
+      std::binary_search(entry.banned_links.begin(), entry.banned_links.end(),
+                         extra_link)) {
+    return false;
+  }
+  return nodes_subset(entry.banned_nodes, excluded) &&
+         links_subset(entry.banned_links, excluded);
+}
+
+RoutingOracle::TreePtr RoutingOracle::repair_locked(const Entry& base,
+                                                    const ExclusionSet& excluded,
+                                                    NodeId extra_node,
+                                                    LinkId extra_link) {
+  const ShortestPathTree& b = *base.tree;
+  const auto n = static_cast<std::size_t>(g_->node_count());
+
+  // Root of the invalidated region: the node whose parent edge the ban
+  // severed (link failure) or the banned node itself. A ban that does not
+  // touch the cached tree changes nothing — the base snapshot is shared.
+  NodeId root = kNoNode;
+  if (extra_node != kNoNode) {
+    if (!b.reachable(extra_node)) return base.tree;
+    root = extra_node;
+  } else {
+    const Link& l = g_->link(extra_link);
+    if (b.parent_link[static_cast<std::size_t>(l.a)] == extra_link) {
+      root = l.a;
+    } else if (b.parent_link[static_cast<std::size_t>(l.b)] == extra_link) {
+      root = l.b;
+    } else {
+      return base.tree;
+    }
+  }
+
+  // Affected set = the parent-pointer subtree under `root`. Every other
+  // node provably keeps identical dist/parent/hops: its base path avoids
+  // the banned component, a ban can only lengthen distances, and the
+  // tie-break winner set only shrinks (so the lex-min winner survives).
+  // Memoised parent-chain walk: 0 unknown, 1 affected, 2 unaffected.
+  affected_flag_.assign(n, 0);
+  affected_flag_[static_cast<std::size_t>(root)] = 1;
+  affected_.clear();
+  affected_.push_back(root);
+  walk_.clear();
+  for (NodeId v = 0; v < static_cast<NodeId>(n); ++v) {
+    if (affected_flag_[static_cast<std::size_t>(v)] != 0) continue;
+    walk_.clear();
+    NodeId cur = v;
+    char status = 2;
+    while (true) {
+      const char f = affected_flag_[static_cast<std::size_t>(cur)];
+      if (f != 0) {
+        status = f;
+        break;
+      }
+      const NodeId p = b.parent[static_cast<std::size_t>(cur)];
+      if (p == kNoNode) break;  // the source, or unreachable: unaffected
+      walk_.push_back(cur);
+      cur = p;
+    }
+    for (const NodeId x : walk_) {
+      affected_flag_[static_cast<std::size_t>(x)] = status;
+      if (status == 1) affected_.push_back(x);
+    }
+    if (affected_flag_[static_cast<std::size_t>(v)] == 0) {
+      affected_flag_[static_cast<std::size_t>(v)] = status;  // v had no parent
+    }
+  }
+  if (static_cast<double>(affected_.size()) >
+      config_.incremental_max_fraction * static_cast<double>(n)) {
+    return nullptr;  // region too large: delta costs more than it saves
+  }
+
+  auto fresh = std::make_shared<ShortestPathTree>(b);
+  ShortestPathTree& t = *fresh;
+  for (const NodeId v : affected_) {
+    const auto i = static_cast<std::size_t>(v);
+    t.dist[i] = kInfinity;
+    t.parent[i] = kNoNode;
+    t.parent_link[i] = kNoLink;
+    t.hops[i] = -1;
+  }
+
+  repair_settled_.assign(n, 0);
+  repair_heap_.clear();
+  const auto heap_greater = std::greater<std::pair<double, NodeId>>{};
+  // The exact relaxation rule of DijkstraWorkspace::run_impl — candidate
+  // ordering (dist, hops, predecessor id) — so the repaired region
+  // converges to the identical fixpoint a fresh run would produce.
+  const auto relax = [&](NodeId from, LinkId link, NodeId to) {
+    const auto fu = static_cast<std::size_t>(from);
+    const auto tv = static_cast<std::size_t>(to);
+    const double candidate = t.dist[fu] + g_->link(link).weight;
+    const int candidate_hops = t.hops[fu] + 1;
+    const bool better =
+        candidate < t.dist[tv] ||
+        (candidate == t.dist[tv] &&
+         (candidate_hops < t.hops[tv] ||
+          (candidate_hops == t.hops[tv] && t.parent[tv] != kNoNode &&
+           from < t.parent[tv])));
+    if (better) {
+      t.dist[tv] = candidate;
+      t.parent[tv] = from;
+      t.parent_link[tv] = link;
+      t.hops[tv] = candidate_hops;
+      repair_heap_.emplace_back(candidate, to);
+      std::push_heap(repair_heap_.begin(), repair_heap_.end(), heap_greater);
+    }
+  };
+
+  // Boundary seeding: every unaffected reachable neighbor offers its
+  // final distance into the region. Offers a full run would not have made
+  // (from nodes settling after the target) carry strictly larger
+  // distances and lose the comparison, so the extra offers are harmless.
+  for (const NodeId v : affected_) {
+    if (excluded.node_banned(v)) continue;  // the banned node stays cut off
+    for (const Adjacency& adj : g_->neighbors(v)) {
+      const auto u = static_cast<std::size_t>(adj.neighbor);
+      if (affected_flag_[u] == 1) continue;
+      if (excluded.link_banned(adj.link) ||
+          excluded.node_banned(adj.neighbor)) {
+        continue;
+      }
+      if (t.dist[u] == kInfinity) continue;
+      relax(adj.neighbor, adj.link, v);
+    }
+  }
+
+  // Dijkstra restricted to the affected region.
+  while (!repair_heap_.empty()) {
+    const std::pair<double, NodeId> top = repair_heap_.front();
+    std::pop_heap(repair_heap_.begin(), repair_heap_.end(), heap_greater);
+    repair_heap_.pop_back();
+    const auto u = static_cast<std::size_t>(top.second);
+    if (repair_settled_[u] != 0) continue;
+    repair_settled_[u] = 1;
+    for (const Adjacency& adj : g_->neighbors(top.second)) {
+      const auto v = static_cast<std::size_t>(adj.neighbor);
+      if (affected_flag_[v] != 1 || repair_settled_[v] != 0) continue;
+      if (excluded.link_banned(adj.link) ||
+          excluded.node_banned(adj.neighbor)) {
+        continue;
+      }
+      relax(top.second, adj.link, adj.neighbor);
+    }
+  }
+  return fresh;
+}
+
+RoutingOracle::TreePtr RoutingOracle::full_run_locked(
+    NodeId source, const ExclusionSet& excluded) {
+  auto fresh = std::make_shared<ShortestPathTree>();
+  scratch_.run_into(*g_, source, excluded, *fresh);
+  return fresh;
+}
+
+void RoutingOracle::insert_locked(NodeId source, const ExclusionSet& excluded,
+                                  TreePtr tree) {
+  Entry entry;
+  entry.source = source;
+  entry.signature = excluded.signature();
+  entry.banned_nodes = excluded.banned_nodes();
+  entry.banned_links = excluded.banned_links();
+  entry.tree = std::move(tree);
+  entry.last_used = ++lru_tick_;
+  entries_[cache_key(source, entry.signature)] = std::move(entry);
+
+  while (entries_.size() > config_.max_entries) {
+    auto victim = entries_.begin();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->second.last_used < victim->second.last_used) victim = it;
+    }
+    entries_.erase(victim);
+  }
+}
+
+void DetourSearch::compute(RoutingOracle& oracle, NodeId origin,
+                           const std::vector<char>& targets,
+                           const ExclusionSet& excluded) {
+  const RoutingOracle::WorkspaceLease lease = oracle.workspace();
+  lease->run_absorbing_into(oracle.graph(), origin, targets, excluded,
+                            search_);
+  best_ = kNoNode;
+  const NodeId n = oracle.graph().node_count();
+  for (NodeId x = 0; x < n; ++x) {
+    if (targets[static_cast<std::size_t>(x)] != 0) consider(x);
+  }
+}
+
+void DetourSearch::add_targets(const std::vector<NodeId>& added) {
+  for (const NodeId x : added) consider(x);
+}
+
+void DetourSearch::consider(NodeId target) noexcept {
+  if (!search_.reachable(target)) return;
+  const double d = search_.dist[static_cast<std::size_t>(target)];
+  const bool better =
+      best_ == kNoNode || d < search_.dist[static_cast<std::size_t>(best_)] ||
+      (d == search_.dist[static_cast<std::size_t>(best_)] && target < best_);
+  if (better) best_ = target;
+}
+
+}  // namespace smrp::net

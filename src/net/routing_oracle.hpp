@@ -1,0 +1,238 @@
+// RoutingOracle: the shared, topology-versioned shortest-path service
+// every SPF consumer in this codebase goes through (DESIGN.md §10).
+//
+// The paper's core claim is that restoration speed is bounded by how fast
+// a surviving path can be found after a persistent failure. Before the
+// oracle, thirteen translation units called the free Dijkstra functions
+// and recomputed full single-source SPF from scratch on every join,
+// reshape, query, and repair — even with the topology unchanged between
+// calls. The oracle centralises those searches behind one cache:
+//
+//  * Plain SPF trees are cached per (source, exclusion signature) as
+//    shared immutable snapshots, invalidated wholesale whenever
+//    Graph::topology_version() moves.
+//  * On the dominant recovery workload — one extra banned link or node
+//    on top of an already-cached exclusion — the cached base tree is
+//    repaired incrementally (Ramalingam–Reps-style: only the parent
+//    subtree hanging off the failed component is recomputed), falling
+//    back to a fresh run when the affected region exceeds a size
+//    threshold. Repaired trees are bit-identical to fresh runs (the
+//    deterministic tie-break makes the (dist, hops, parent) fixpoint
+//    independent of relaxation order; a property test asserts equality).
+//  * Tree-state-dependent searches (absorbing candidate enumeration,
+//    detour searches) are not cacheable; the oracle serves them from a
+//    pool of reusable DijkstraWorkspaces instead.
+//
+// All public methods are thread-safe behind one mutex; returned trees are
+// shared_ptr<const> snapshots that stay valid across later invalidation.
+// Cache management is wall-clock free (LRU over a monotone lookup tick),
+// so runs remain bit-for-bit reproducible at any thread count.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "net/graph.hpp"
+#include "net/shortest_path.hpp"
+#include "obs/telemetry.hpp"
+
+namespace smrp::net {
+
+class RoutingOracle {
+ public:
+  struct Config {
+    /// Cached SPF trees kept before LRU eviction.
+    std::size_t max_entries = 256;
+    /// Incremental repair runs only while the invalidated subtree stays
+    /// under this fraction of the node count; larger regions full-rerun
+    /// (the delta bookkeeping would cost more than it saves).
+    double incremental_max_fraction = 0.5;
+  };
+
+  using TreePtr = std::shared_ptr<const ShortestPathTree>;
+
+  /// Counters mirrored to telemetry (smrp.routing.*). Invariants:
+  /// lookups == cache_hits + cache_misses and
+  /// cache_misses == incremental_repairs + full_runs.
+  struct Stats {
+    std::uint64_t lookups = 0;
+    std::uint64_t cache_hits = 0;
+    std::uint64_t cache_misses = 0;
+    std::uint64_t incremental_repairs = 0;  ///< misses served by delta repair
+    std::uint64_t full_runs = 0;            ///< misses served by full Dijkstra
+    std::uint64_t invalidations = 0;        ///< cache flushes on version bumps
+  };
+
+  /// RAII lease of a pooled DijkstraWorkspace for the uncacheable
+  /// (tree-state-dependent) searches; returns the workspace to the pool
+  /// on destruction so its buffers are reused by the next lease.
+  class WorkspaceLease {
+   public:
+    WorkspaceLease(WorkspaceLease&& other) noexcept
+        : oracle_(other.oracle_), workspace_(std::move(other.workspace_)) {
+      other.oracle_ = nullptr;
+    }
+    WorkspaceLease& operator=(WorkspaceLease&& other) noexcept {
+      if (this != &other) {
+        release();
+        oracle_ = other.oracle_;
+        workspace_ = std::move(other.workspace_);
+        other.oracle_ = nullptr;
+      }
+      return *this;
+    }
+    WorkspaceLease(const WorkspaceLease&) = delete;
+    WorkspaceLease& operator=(const WorkspaceLease&) = delete;
+    ~WorkspaceLease() { release(); }
+
+    [[nodiscard]] DijkstraWorkspace& operator*() const noexcept {
+      return *workspace_;
+    }
+    [[nodiscard]] DijkstraWorkspace* operator->() const noexcept {
+      return workspace_.get();
+    }
+    [[nodiscard]] DijkstraWorkspace* get() const noexcept {
+      return workspace_.get();
+    }
+
+   private:
+    friend class RoutingOracle;
+    WorkspaceLease(RoutingOracle* oracle,
+                   std::unique_ptr<DijkstraWorkspace> workspace) noexcept
+        : oracle_(oracle), workspace_(std::move(workspace)) {}
+    void release() noexcept;
+
+    RoutingOracle* oracle_ = nullptr;
+    std::unique_ptr<DijkstraWorkspace> workspace_;
+  };
+
+  explicit RoutingOracle(const Graph& g);
+  RoutingOracle(const Graph& g, Config config);
+
+  /// Shortest-path tree from `source` over the whole graph / avoiding the
+  /// banned components. Served from cache when (source, exclusion
+  /// signature) was seen under the current topology version; repaired
+  /// incrementally when the exclusion is a cached one plus one extra ban.
+  /// Throws like dijkstra() on a bad or banned source.
+  TreePtr spf(NodeId source);
+  TreePtr spf(NodeId source, const ExclusionSet& excluded);
+
+  /// Borrow a workspace from the pool (for absorbing/detour searches).
+  [[nodiscard]] WorkspaceLease workspace();
+
+  /// Attach (or detach with nullptr) telemetry; the cache counters are
+  /// published as smrp.routing.{lookups,cache_hit,cache_miss,
+  /// cache_incremental,cache_fallback,invalidations}. Pure observation —
+  /// results are bit-identical attached or detached.
+  void attach_telemetry(obs::Telemetry* telemetry);
+
+  [[nodiscard]] Stats stats() const;
+
+  [[nodiscard]] const Graph& graph() const noexcept { return *g_; }
+
+  /// Drop every cached tree (the version check does this automatically;
+  /// exposed for tests).
+  void invalidate();
+
+ private:
+  struct Entry {
+    NodeId source = kNoNode;
+    std::uint64_t signature = 0;
+    /// Banned ids (ascending) — exact verification against hash collisions
+    /// and the base set for one-extra-ban incremental repair.
+    std::vector<NodeId> banned_nodes;
+    std::vector<LinkId> banned_links;
+    TreePtr tree;
+    std::uint64_t last_used = 0;  ///< monotone LRU tick (no wall clock)
+  };
+
+  static std::uint64_t cache_key(NodeId source, std::uint64_t signature) noexcept;
+
+  /// Must hold mu_. Flush the cache when the graph version moved.
+  void check_version_locked();
+  /// Must hold mu_. Entry's ban set equals the request's exactly.
+  static bool entry_matches(const Entry& entry, const ExclusionSet& excluded);
+  /// Must hold mu_. Entry's ban set equals the request's minus the one
+  /// extra ban (extra_node or extra_link, the other sentinel).
+  static bool entry_is_base(const Entry& entry, const ExclusionSet& excluded,
+                            NodeId extra_node, LinkId extra_link);
+  /// Must hold mu_. Delta-repair `base` for one extra banned component.
+  /// Returns null when the affected region exceeds the threshold (caller
+  /// falls back to a full run); returns base.tree itself when the ban
+  /// does not touch the cached tree.
+  TreePtr repair_locked(const Entry& base, const ExclusionSet& excluded,
+                        NodeId extra_node, LinkId extra_link);
+  /// Must hold mu_. Full Dijkstra through the pooled scratch space.
+  TreePtr full_run_locked(NodeId source, const ExclusionSet& excluded);
+  /// Must hold mu_. Insert + LRU-evict beyond max_entries.
+  void insert_locked(NodeId source, const ExclusionSet& excluded, TreePtr tree);
+
+  void return_workspace(std::unique_ptr<DijkstraWorkspace> workspace) noexcept;
+
+  const Graph* g_;
+  Config config_;
+
+  mutable std::mutex mu_;
+  std::uint64_t cached_version_ = 0;
+  std::uint64_t lru_tick_ = 0;
+  std::unordered_map<std::uint64_t, Entry> entries_;
+  std::vector<std::unique_ptr<DijkstraWorkspace>> pool_;
+  DijkstraWorkspace scratch_;  ///< for cache-miss full runs (under mu_)
+  // Incremental-repair scratch, reused across repairs (under mu_).
+  std::vector<NodeId> walk_;            ///< parent-chain walk buffer
+  std::vector<NodeId> affected_;
+  std::vector<char> affected_flag_;
+  std::vector<char> repair_settled_;
+  std::vector<std::pair<double, NodeId>> repair_heap_;
+
+  Stats stats_;
+  // Telemetry handles, cached at attach time (registry lookups off the
+  // hot path — the idiom DistributedSession established).
+  obs::Counter* c_lookups_ = nullptr;
+  obs::Counter* c_hit_ = nullptr;
+  obs::Counter* c_miss_ = nullptr;
+  obs::Counter* c_incremental_ = nullptr;
+  obs::Counter* c_fallback_ = nullptr;
+  obs::Counter* c_invalidations_ = nullptr;
+};
+
+/// Incrementally refreshed nearest-target detour search, the shared
+/// mechanism behind repair_session's nearest-first repair loop.
+///
+/// compute() runs one absorbing search from `origin` (targets absorb, so
+/// the path it yields crosses no target before its endpoint — exactly the
+/// new links a restoration graft brings in) and records the nearest
+/// reachable target (ties: lowest id). As the target set grows
+/// monotonically — each applied repair pulls grafted nodes back on-tree —
+/// add_targets() updates the answer against the delta in O(|delta|): the
+/// cached snapshot stays exact because any origin→x path invalidated by
+/// the growth crosses an added node strictly earlier on the path, which
+/// the delta scan also considers.
+class DetourSearch {
+ public:
+  /// Fresh absorbing search; `targets` flags the absorbing set (sized to
+  /// the node count). Uses a workspace leased from `oracle`.
+  void compute(RoutingOracle& oracle, NodeId origin,
+               const std::vector<char>& targets, const ExclusionSet& excluded);
+
+  /// The target set grew by `added` (already flagged by the caller).
+  void add_targets(const std::vector<NodeId>& added);
+
+  [[nodiscard]] bool found() const noexcept { return best_ != kNoNode; }
+  [[nodiscard]] NodeId best_target() const noexcept { return best_; }
+  /// The underlying search snapshot (valid after compute()).
+  [[nodiscard]] const ShortestPathTree& search() const noexcept {
+    return search_;
+  }
+
+ private:
+  void consider(NodeId target) noexcept;
+
+  ShortestPathTree search_;
+  NodeId best_ = kNoNode;
+};
+
+}  // namespace smrp::net

@@ -6,6 +6,24 @@
 
 namespace smrp::net {
 
+std::vector<NodeId> ExclusionSet::banned_nodes() const {
+  std::vector<NodeId> out;
+  out.reserve(static_cast<std::size_t>(banned_nodes_));
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i] != 0) out.push_back(static_cast<NodeId>(i));
+  }
+  return out;
+}
+
+std::vector<LinkId> ExclusionSet::banned_links() const {
+  std::vector<LinkId> out;
+  out.reserve(static_cast<std::size_t>(banned_links_));
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    if (links_[i] != 0) out.push_back(static_cast<LinkId>(i));
+  }
+  return out;
+}
+
 std::vector<NodeId> ShortestPathTree::path_to_source(NodeId target) const {
   std::vector<NodeId> out;
   if (!reachable(target)) return out;

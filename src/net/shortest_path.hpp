@@ -16,6 +16,17 @@ inline constexpr double kInfinity = std::numeric_limits<double>::infinity();
 
 /// Set of banned nodes and links, e.g. failed components or — during SMRP
 /// graft enumeration — the on-tree nodes a candidate must not cross.
+///
+/// A set is sized from its Graph at construction; banning an id the graph
+/// does not have is a hard error (it would mean the set is being used
+/// against a different graph than it was built for — a mismatch the old
+/// silent auto-resize used to mask). The default-constructed set is the
+/// immutable "no exclusions" value.
+///
+/// Alongside the flags the set maintains an order-independent 64-bit
+/// signature of its banned ids (XOR of per-id hashes), so equal ban sets
+/// always hash equal regardless of the ban/allow call sequence that
+/// produced them. RoutingOracle keys its SPF-tree cache on it.
 class ExclusionSet {
  public:
   ExclusionSet() = default;
@@ -23,10 +34,10 @@ class ExclusionSet {
       : nodes_(static_cast<std::size_t>(g.node_count()), 0),
         links_(static_cast<std::size_t>(g.link_count()), 0) {}
 
-  void ban_node(NodeId n) { at(nodes_, n) = 1; }
-  void allow_node(NodeId n) { at(nodes_, n) = 0; }
-  void ban_link(LinkId l) { at(links_, l) = 1; }
-  void allow_link(LinkId l) { at(links_, l) = 0; }
+  void ban_node(NodeId n) { set_flag(nodes_, n, 1, mix_node(n), banned_nodes_); }
+  void allow_node(NodeId n) { set_flag(nodes_, n, 0, mix_node(n), banned_nodes_); }
+  void ban_link(LinkId l) { set_flag(links_, l, 1, mix_link(l), banned_links_); }
+  void allow_link(LinkId l) { set_flag(links_, l, 0, mix_link(l), banned_links_); }
 
   [[nodiscard]] bool node_banned(NodeId n) const {
     return n >= 0 && n < static_cast<NodeId>(nodes_.size()) &&
@@ -37,22 +48,60 @@ class ExclusionSet {
            links_[static_cast<std::size_t>(l)] != 0;
   }
 
+  /// True when nothing is banned.
   [[nodiscard]] bool empty() const noexcept {
-    return nodes_.empty() && links_.empty();
+    return banned_nodes_ == 0 && banned_links_ == 0;
+  }
+
+  [[nodiscard]] int banned_node_count() const noexcept { return banned_nodes_; }
+  [[nodiscard]] int banned_link_count() const noexcept { return banned_links_; }
+
+  /// Order-independent hash of the banned id sets; 0 for an empty set.
+  [[nodiscard]] std::uint64_t signature() const noexcept { return signature_; }
+
+  /// Banned ids in ascending order (an O(capacity) scan — cache-miss
+  /// paths only, never per-relaxation).
+  [[nodiscard]] std::vector<NodeId> banned_nodes() const;
+  [[nodiscard]] std::vector<LinkId> banned_links() const;
+
+  /// The per-id hashes the signature is built from, exposed so a cache
+  /// can derive "this set minus one ban" signatures without copying.
+  [[nodiscard]] static std::uint64_t mix_node(NodeId n) noexcept {
+    return mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(n)));
+  }
+  [[nodiscard]] static std::uint64_t mix_link(LinkId l) noexcept {
+    return mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(l)) |
+               (std::uint64_t{1} << 32));  // tag: link ids hash apart from nodes
   }
 
  private:
-  template <typename Vec, typename Id>
-  static char& at(Vec& v, Id id) {
-    if (id < 0) throw std::out_of_range("negative id");
-    if (static_cast<std::size_t>(id) >= v.size()) {
-      v.resize(static_cast<std::size_t>(id) + 1, 0);
+  /// splitmix64 finalizer — avalanches dense small ids into independent bits.
+  [[nodiscard]] static std::uint64_t mix(std::uint64_t x) noexcept {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  }
+
+  template <typename Id>
+  void set_flag(std::vector<char>& v, Id id, char value, std::uint64_t hash,
+                int& count) {
+    if (id < 0 || static_cast<std::size_t>(id) >= v.size()) {
+      throw std::out_of_range(
+          "ExclusionSet id out of range (set built for a different graph?)");
     }
-    return v[static_cast<std::size_t>(id)];
+    char& slot = v[static_cast<std::size_t>(id)];
+    if (slot == value) return;  // no state change: signature stays put
+    slot = value;
+    signature_ ^= hash;
+    count += value != 0 ? 1 : -1;
   }
 
   std::vector<char> nodes_;
   std::vector<char> links_;
+  std::uint64_t signature_ = 0;
+  int banned_nodes_ = 0;
+  int banned_links_ = 0;
 };
 
 /// Result of one Dijkstra run: per-node distance and predecessor data.

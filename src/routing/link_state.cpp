@@ -15,7 +15,10 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 LinkStateRouting::LinkStateRouting(sim::Simulator& simulator,
                                    sim::SimNetwork& network,
                                    RoutingConfig config)
-    : simulator_(&simulator), network_(&network), config_(config) {
+    : simulator_(&simulator),
+      network_(&network),
+      config_(config),
+      oracle_(std::make_unique<net::RoutingOracle>(network.graph())) {
   agents_.resize(static_cast<std::size_t>(network.graph().node_count()));
 }
 
@@ -219,7 +222,8 @@ bool LinkStateRouting::converged() const {
   }
   for (NodeId src = 0; src < g.node_count(); ++src) {
     if (!network_->node_up(src)) continue;
-    const net::ShortestPathTree truth = net::dijkstra(g, src, excluded);
+    const net::RoutingOracle::TreePtr truth_tree = oracle_->spf(src, excluded);
+    const net::ShortestPathTree& truth = *truth_tree;
     for (NodeId dst = 0; dst < g.node_count(); ++dst) {
       if (dst == src || !network_->node_up(dst)) continue;
       if (!truth.reachable(dst)) continue;

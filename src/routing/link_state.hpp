@@ -7,8 +7,10 @@
 #pragma once
 
 #include <map>
+#include <memory>
 #include <vector>
 
+#include "net/routing_oracle.hpp"
 #include "sim/network.hpp"
 
 namespace smrp::routing {
@@ -81,6 +83,12 @@ class LinkStateRouting {
   sim::Simulator* simulator_;
   sim::SimNetwork* network_;
   RoutingConfig config_;
+  /// Ground-truth SPF service for converged(): every source shares one
+  /// exclusion signature, so repeated convergence checks under the same
+  /// failure state hit the cache. const unique_ptr: usable from const
+  /// methods (lookups mutate only the oracle's own cache, behind its
+  /// mutex), while the oracle itself stays immovable.
+  const std::unique_ptr<net::RoutingOracle> oracle_;
   std::vector<AgentState> agents_;
   Time last_table_change_ = 0.0;
   std::uint64_t floods_ = 0;

@@ -17,6 +17,7 @@ DistributedSession::DistributedSession(sim::Simulator& simulator,
       routing_(&routing),
       source_(source),
       config_(config),
+      oracle_(std::make_unique<net::RoutingOracle>(network.graph())),
       jitter_rng_(config.jitter_seed) {
   if (!network.graph().valid_node(source)) {
     throw std::out_of_range("bad source");
@@ -101,6 +102,7 @@ net::ExclusionSet DistributedSession::down_components() const {
 
 void DistributedSession::attach_telemetry(obs::Telemetry* telemetry) {
   telemetry_ = telemetry;
+  oracle_->attach_telemetry(telemetry);
   node_obs_.assign(agents_.size(), NodeObs{});
   if (telemetry == nullptr) {
     c_watchdog_ = c_rings_ = c_fallbacks_ = c_stranded_ = c_routed_joins_ =
@@ -311,10 +313,8 @@ void DistributedSession::initiate_join(net::NodeId member) {
     send_routed_join(member);  // nothing to compute against a dead source
     return;
   }
-  const net::ShortestPathTree spf =
-      net::dijkstra(network_->graph(), source_, down);
-  const double spf_delay =
-      spf.dist[static_cast<std::size_t>(member)];
+  const net::RoutingOracle::TreePtr spf = oracle_->spf(source_, down);
+  const double spf_delay = spf->dist[static_cast<std::size_t>(member)];
   if (!snapshot || spf_delay == net::kInfinity) {
     // Degenerate fallback: routed join (also used mid-churn).
     s.on_tree = true;
@@ -323,7 +323,7 @@ void DistributedSession::initiate_join(net::NodeId member) {
   }
   const auto selection = select_path(
       enumerate_candidates(network_->graph(), *snapshot, member, spf_delay,
-                           config_.smrp, std::nullopt, &down),
+                           config_.smrp, std::nullopt, &down, oracle_.get()),
       spf_delay, config_.smrp);
   s.on_tree = true;
   if (!selection) {
@@ -494,13 +494,13 @@ bool DistributedSession::attempt_reshape(net::NodeId n) {
   const net::ExclusionSet down = down_components();
   if (down.node_banned(n) || down.node_banned(source_)) return false;
 
-  const net::ShortestPathTree spf =
-      net::dijkstra(network_->graph(), source_, down);
-  const double spf_delay = spf.dist[static_cast<std::size_t>(n)];
+  const net::RoutingOracle::TreePtr spf = oracle_->spf(source_, down);
+  const double spf_delay = spf->dist[static_cast<std::size_t>(n)];
   if (spf_delay == net::kInfinity) return false;
 
-  const std::vector<JoinCandidate> candidates = enumerate_candidates(
-      network_->graph(), *snapshot, n, spf_delay, config_.smrp, n, &down);
+  const std::vector<JoinCandidate> candidates =
+      enumerate_candidates(network_->graph(), *snapshot, n, spf_delay,
+                           config_.smrp, n, &down, oracle_.get());
   const int current_shr = snapshot->shr_excluding_subtree(up, n);
   const double current_delay = snapshot->delay_to_source(n);
 

@@ -17,12 +17,14 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
 #include <vector>
 
 #include "multicast/tree.hpp"
 #include "net/rng.hpp"
+#include "net/routing_oracle.hpp"
 #include "net/shortest_path.hpp"
 #include "obs/telemetry.hpp"
 #include "routing/link_state.hpp"
@@ -267,6 +269,11 @@ class DistributedSession {
   routing::LinkStateRouting* routing_;
   net::NodeId source_;
   SessionConfig config_;
+  /// Shared SPF service for routed-join fallbacks and reshape decisions.
+  /// Down components are expressed as ExclusionSets, so the same cached
+  /// tree serves every agent seeing the same failure state. unique_ptr:
+  /// the oracle holds a mutex and is immovable.
+  const std::unique_ptr<net::RoutingOracle> oracle_;
   net::Rng jitter_rng_;
   std::vector<AgentState> agents_;
   std::uint64_t data_seq_ = 0;

@@ -1,6 +1,7 @@
 #include "smrp/path_selection.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <stdexcept>
 
 namespace smrp::proto {
@@ -9,7 +10,15 @@ std::vector<JoinCandidate> enumerate_candidates(
     const Graph& g, const MulticastTree& tree, NodeId joiner,
     double spf_delay, const SmrpConfig& config,
     std::optional<NodeId> reshaping_member,
-    const net::ExclusionSet* unusable, net::DijkstraWorkspace* workspace) {
+    const net::ExclusionSet* unusable, net::RoutingOracle* oracle) {
+  // Callers without a shared oracle get a throwaway one; both graft
+  // modes below then go through its workspace pool / SPF cache.
+  std::unique_ptr<net::RoutingOracle> owned_oracle;
+  if (oracle == nullptr) {
+    owned_oracle = std::make_unique<net::RoutingOracle>(g);
+    oracle = owned_oracle.get();
+  }
+
   std::vector<JoinCandidate> out;
   const double d_thresh = config.d_thresh;
 
@@ -64,17 +73,16 @@ std::vector<JoinCandidate> enumerate_candidates(
     out.push_back(std::move(c));
   };
 
-  // The caller's workspace (when given) carries the search buffers across
-  // enumerations; a local one keeps the two branches below uniform.
-  net::DijkstraWorkspace local_workspace;
-  net::DijkstraWorkspace& ws =
-      workspace != nullptr ? *workspace : local_workspace;
-
   if (config.graft_mode == GraftMode::kAvoidTree) {
     // Every admissible merge node absorbs the search, so each reached one
-    // gets the shortest graft that meets the tree only there.
-    const net::ShortestPathTree& grafts =
-        ws.run_absorbing(g, joiner, merge_allowed, excluded);
+    // gets the shortest graft that meets the tree only there. The search
+    // depends on the tree state (the absorbing flags), so it is never
+    // cached — the oracle only contributes its pooled workspace.
+    net::ShortestPathTree grafts;
+    {
+      const net::RoutingOracle::WorkspaceLease lease = oracle->workspace();
+      lease->run_absorbing_into(g, joiner, merge_allowed, excluded, grafts);
+    }
     for (const NodeId merge : tree.on_tree_nodes()) {
       if (!merge_allowed[static_cast<std::size_t>(merge)]) continue;
       if (!grafts.reachable(merge)) continue;
@@ -84,7 +92,9 @@ std::vector<JoinCandidate> enumerate_candidates(
     // kFirstHit: plain shortest paths from the joiner; an on-tree node is
     // a valid merge only if the joiner's shortest path to it meets the
     // tree there first (otherwise the path would really merge earlier).
-    const net::ShortestPathTree& spf = ws.run(g, joiner, excluded);
+    // Tree-independent, so the oracle caches it by (joiner, exclusions).
+    const net::RoutingOracle::TreePtr cached = oracle->spf(joiner, excluded);
+    const net::ShortestPathTree& spf = *cached;
     for (const NodeId merge : tree.on_tree_nodes()) {
       if (!merge_allowed[static_cast<std::size_t>(merge)]) continue;
       if (!spf.reachable(merge)) continue;
@@ -144,10 +154,10 @@ std::optional<Selection> select_join_path(const Graph& g,
                                           const MulticastTree& tree,
                                           NodeId joiner, double spf_delay,
                                           const SmrpConfig& config,
-                                          net::DijkstraWorkspace* workspace) {
+                                          net::RoutingOracle* oracle) {
   return select_path(
       enumerate_candidates(g, tree, joiner, spf_delay, config, std::nullopt,
-                           nullptr, workspace),
+                           nullptr, oracle),
       spf_delay, config);
 }
 

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "multicast/tree.hpp"
+#include "net/routing_oracle.hpp"
 #include "net/shortest_path.hpp"
 #include "smrp/config.hpp"
 
@@ -44,14 +45,15 @@ struct Selection {
 /// grafts and from the merge set, and SHR values are adjusted per §3.2.3.
 /// `unusable` optionally carries failed links/nodes that grafts must
 /// avoid (e.g. from the unicast routing's link-state database).
-/// `workspace`, when provided, supplies the Dijkstra scratch buffers so
-/// repeated enumerations stop reallocating the search state.
+/// `oracle`, when provided, serves the searches: first-hit enumerations
+/// hit its SPF-tree cache, absorbing enumerations lease its pooled
+/// workspaces; without one a local workspace runs everything fresh.
 [[nodiscard]] std::vector<JoinCandidate> enumerate_candidates(
     const Graph& g, const MulticastTree& tree, NodeId joiner,
     double spf_delay, const SmrpConfig& config,
     std::optional<NodeId> reshaping_member = std::nullopt,
     const net::ExclusionSet* unusable = nullptr,
-    net::DijkstraWorkspace* workspace = nullptr);
+    net::RoutingOracle* oracle = nullptr);
 
 /// Apply the Path Selection Criterion to `candidates`. Returns nullopt when
 /// the candidate list is empty or (with fallback disabled) nothing meets
@@ -64,6 +66,6 @@ struct Selection {
 [[nodiscard]] std::optional<Selection> select_join_path(
     const Graph& g, const MulticastTree& tree, NodeId joiner,
     double spf_delay, const SmrpConfig& config,
-    net::DijkstraWorkspace* workspace = nullptr);
+    net::RoutingOracle* oracle = nullptr);
 
 }  // namespace smrp::proto

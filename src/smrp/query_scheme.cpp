@@ -1,6 +1,7 @@
 #include "smrp/query_scheme.hpp"
 
 #include <algorithm>
+#include <memory>
 
 #include "net/paths.hpp"
 
@@ -8,7 +9,15 @@ namespace smrp::proto {
 
 std::vector<JoinCandidate> enumerate_query_candidates(
     const Graph& g, const MulticastTree& tree, NodeId joiner,
-    double spf_delay, double d_thresh) {
+    double spf_delay, double d_thresh, net::RoutingOracle* oracle) {
+  // Callers without a shared oracle get a throwaway one: the relay trees
+  // below are still cached across this call's neighbor loop.
+  std::unique_ptr<net::RoutingOracle> owned_oracle;
+  if (oracle == nullptr) {
+    owned_oracle = std::make_unique<net::RoutingOracle>(g);
+    oracle = owned_oracle.get();
+  }
+
   std::vector<JoinCandidate> out;
   if (tree.on_tree(joiner)) {
     JoinCandidate self;
@@ -29,8 +38,11 @@ std::vector<JoinCandidate> enumerate_query_candidates(
 
     if (!tree.on_tree(relay)) {
       // The relay forwards the query along its own shortest path to the
-      // source until the first on-tree node answers.
-      const net::ShortestPathTree relay_spf = net::dijkstra(g, relay);
+      // source until the first on-tree node answers. Relays are shared
+      // between neighboring joiners and across joins, so the cached tree
+      // pays for itself quickly.
+      const net::RoutingOracle::TreePtr cached = oracle->spf(relay);
+      const net::ShortestPathTree& relay_spf = *cached;
       if (!relay_spf.reachable(tree.source())) continue;
       const std::vector<NodeId> to_source =
           relay_spf.path_from_source(tree.source());  // relay → … → source
@@ -73,9 +85,11 @@ std::optional<Selection> select_join_path_via_query(const Graph& g,
                                                     const MulticastTree& tree,
                                                     NodeId joiner,
                                                     double spf_delay,
-                                                    const SmrpConfig& config) {
+                                                    const SmrpConfig& config,
+                                                    net::RoutingOracle* oracle) {
   return select_path(
-      enumerate_query_candidates(g, tree, joiner, spf_delay, config.d_thresh),
+      enumerate_query_candidates(g, tree, joiner, spf_delay, config.d_thresh,
+                                 oracle),
       spf_delay, config);
 }
 

@@ -16,13 +16,17 @@
 namespace smrp::proto {
 
 /// Candidates discoverable through one round of neighbor-relayed queries.
+/// `oracle`, when given, serves the per-relay SPF trees from the shared
+/// cache (one entry per relay, reused across joins and between members
+/// sharing relays) instead of a fresh Dijkstra per relay per query.
 [[nodiscard]] std::vector<JoinCandidate> enumerate_query_candidates(
     const Graph& g, const MulticastTree& tree, NodeId joiner,
-    double spf_delay, double d_thresh);
+    double spf_delay, double d_thresh, net::RoutingOracle* oracle = nullptr);
 
 /// Join selection restricted to query-discovered candidates.
 [[nodiscard]] std::optional<Selection> select_join_path_via_query(
     const Graph& g, const MulticastTree& tree, NodeId joiner,
-    double spf_delay, const SmrpConfig& config);
+    double spf_delay, const SmrpConfig& config,
+    net::RoutingOracle* oracle = nullptr);
 
 }  // namespace smrp::proto

@@ -1,5 +1,6 @@
 #include "smrp/recovery.hpp"
 
+#include <memory>
 #include <stdexcept>
 
 namespace smrp::proto {
@@ -43,6 +44,16 @@ net::ExclusionSet exclusion_for(const net::Graph& g, const Failure& failure) {
   return excluded;
 }
 
+/// Callers without a shared oracle get a throwaway one: results are
+/// bit-identical either way, the shared one just reuses buffers/caches.
+net::RoutingOracle* ensure_oracle(const net::Graph& g,
+                                  net::RoutingOracle* oracle,
+                                  std::unique_ptr<net::RoutingOracle>& owned) {
+  if (oracle != nullptr) return oracle;
+  owned = std::make_unique<net::RoutingOracle>(g);
+  return owned.get();
+}
+
 RecoveryOutcome init_outcome(const MulticastTree& tree, NodeId member,
                              const Failure& failure,
                              const std::vector<char>& survivors) {
@@ -73,33 +84,23 @@ RecoveryOutcome init_outcome(const MulticastTree& tree, NodeId member,
 RecoveryOutcome local_detour_recovery(const Graph& g,
                                       const MulticastTree& tree,
                                       NodeId member, const Failure& failure,
-                                      net::DijkstraWorkspace* workspace) {
+                                      net::RoutingOracle* oracle) {
   const std::vector<char> survivors = survivors_after(tree, failure);
   RecoveryOutcome out = init_outcome(tree, member, failure, survivors);
   if (!out.disconnected) return out;
 
   const net::ExclusionSet excluded = exclusion_for(g, failure);
-  net::DijkstraWorkspace local_workspace;
-  net::DijkstraWorkspace& ws =
-      workspace != nullptr ? *workspace : local_workspace;
+  std::unique_ptr<net::RoutingOracle> owned;
+  oracle = ensure_oracle(g, oracle, owned);
   // Survivors absorb the search: a restoration path never crosses one
   // surviving node on the way to another, so the path it yields is exactly
   // the set of new links brought into the tree.
-  const net::ShortestPathTree& search =
-      ws.run_absorbing(g, member, survivors, excluded);
+  net::DetourSearch detour;
+  detour.compute(*oracle, member, survivors, excluded);
+  if (!detour.found()) return out;  // recovered stays false
 
-  NodeId best = net::kNoNode;
-  for (NodeId n = 0; n < g.node_count(); ++n) {
-    if (survivors[static_cast<std::size_t>(n)] == 0) continue;
-    if (!search.reachable(n)) continue;
-    if (best == net::kNoNode ||
-        search.dist[static_cast<std::size_t>(n)] <
-            search.dist[static_cast<std::size_t>(best)]) {
-      best = n;
-    }
-  }
-  if (best == net::kNoNode) return out;  // recovered stays false
-
+  const NodeId best = detour.best_target();
+  const net::ShortestPathTree& search = detour.search();
   out.recovered = true;
   out.reattach_node = best;
   out.restoration_path = search.path_from_source(best);  // member → … → best
@@ -118,19 +119,20 @@ RecoveryOutcome local_detour_recovery(const Graph& g,
 RecoveryOutcome global_detour_recovery(const Graph& g,
                                        const MulticastTree& tree,
                                        NodeId member, const Failure& failure,
-                                       net::DijkstraWorkspace* workspace) {
+                                       net::RoutingOracle* oracle) {
   const std::vector<char> survivors = survivors_after(tree, failure);
   RecoveryOutcome out = init_outcome(tree, member, failure, survivors);
   if (!out.disconnected) return out;
 
   const net::ExclusionSet excluded = exclusion_for(g, failure);
-  net::DijkstraWorkspace local_workspace;
-  net::DijkstraWorkspace& ws =
-      workspace != nullptr ? *workspace : local_workspace;
+  std::unique_ptr<net::RoutingOracle> owned;
+  oracle = ensure_oracle(g, oracle, owned);
   // The reconverged unicast routing gives the member a new shortest path
   // toward the source; a PIM-style join travels along it and grafts at the
-  // first router that is already on the surviving tree.
-  const net::ShortestPathTree& spf = ws.run(g, member, excluded);
+  // first router that is already on the surviving tree. Cacheable — the
+  // search depends on the topology and failure only, not the tree.
+  const net::RoutingOracle::TreePtr spf_tree = oracle->spf(member, excluded);
+  const net::ShortestPathTree& spf = *spf_tree;
   if (!spf.reachable(tree.source())) return out;
 
   const std::vector<NodeId> path = spf.path_from_source(tree.source());
@@ -169,13 +171,13 @@ SessionRepairReport repair_session(const Graph& g, MulticastTree& tree,
                                    DetourPolicy policy,
                                    const net::ExclusionSet* already_failed,
                                    obs::Telemetry* telemetry,
-                                   net::DijkstraWorkspace* workspace) {
-  // Per-member searches below share one workspace's queue/settled scratch;
-  // callers repairing many failures in sequence pass theirs in so the
-  // buffers survive across repairs too.
-  net::DijkstraWorkspace local_workspace;
-  net::DijkstraWorkspace& ws =
-      workspace != nullptr ? *workspace : local_workspace;
+                                   net::RoutingOracle* oracle) {
+  // Per-member searches below go through the oracle; callers repairing
+  // many failures in sequence pass theirs in so the workspace pool and
+  // the SPF cache survive across repairs (each new failure is then one
+  // extra ban over a cached exclusion — the incremental-repair case).
+  std::unique_ptr<net::RoutingOracle> owned;
+  oracle = ensure_oracle(g, oracle, owned);
   SessionRepairReport report;
   std::vector<NodeId> lost =
       failure.kind == Failure::Kind::kLink
@@ -199,27 +201,30 @@ SessionRepairReport repair_session(const Graph& g, MulticastTree& tree,
   }
 
   // One search per lost member for the whole repair, not one per member
-  // per round (the old O(lost² · Dijkstra) pattern). kLocal caches the
-  // absorbing search snapshot: when a repair grafts new nodes, a cached
-  // member only improves via one of those nodes — any path invalidated by
-  // the graft has a grafted node strictly earlier on it, which the delta
-  // scan considers — so updating against the delta is exact. kGlobal's
-  // SPF ignores the tree entirely: compute once, re-walk the cached path
-  // against the current on-tree flags each round.
+  // per round (the old O(lost² · Dijkstra) pattern). kLocal holds a
+  // DetourSearch — the shared incremental nearest-target mechanism: when
+  // a repair grafts new nodes, a cached member only improves via one of
+  // those nodes (any path invalidated by the graft has a grafted node
+  // strictly earlier on it, which the delta scan considers), so updating
+  // against the delta is exact. kGlobal's SPF ignores the tree entirely:
+  // one cached oracle tree, re-walked against the current on-tree flags
+  // each round.
   struct Candidate {
     bool computed = false;
-    net::ShortestPathTree search;
+    net::DetourSearch detour;          ///< kLocal: absorbing search + best
+    net::RoutingOracle::TreePtr spf;   ///< kGlobal: cached post-failure SPF
     RecoveryOutcome outcome;
   };
   std::vector<Candidate> cache(lost.size());
 
   const auto adopt_local = [&](Candidate& c, NodeId reattach) {
+    const net::ShortestPathTree& search = c.detour.search();
     c.outcome.recovered = true;
     c.outcome.reattach_node = reattach;
-    c.outcome.restoration_path = c.search.path_from_source(reattach);
+    c.outcome.restoration_path = search.path_from_source(reattach);
     c.outcome.recovery_distance =
-        c.search.dist[static_cast<std::size_t>(reattach)];
-    c.outcome.recovery_hops = c.search.hops[static_cast<std::size_t>(reattach)];
+        search.dist[static_cast<std::size_t>(reattach)];
+    c.outcome.recovery_hops = search.hops[static_cast<std::size_t>(reattach)];
     c.outcome.new_delay =
         c.outcome.recovery_distance + tree.delay_to_source(reattach);
   };
@@ -227,8 +232,8 @@ SessionRepairReport repair_session(const Graph& g, MulticastTree& tree,
   const auto walk_global = [&](Candidate& c) {
     c.outcome.recovered = false;
     c.outcome.restoration_path.clear();
-    if (!c.search.reachable(tree.source())) return;
-    const std::vector<NodeId> path = c.search.path_from_source(tree.source());
+    if (!c.spf->reachable(tree.source())) return;
+    const std::vector<NodeId> path = c.spf->path_from_source(tree.source());
     double distance = 0.0;
     int hops = 0;
     for (std::size_t i = 0; i + 1 < path.size(); ++i) {
@@ -256,20 +261,10 @@ SessionRepairReport repair_session(const Graph& g, MulticastTree& tree,
     c.outcome.failed_node = failure.node;
     c.outcome.disconnected = true;
     if (policy == DetourPolicy::kLocal) {
-      ws.run_absorbing_into(g, member, on_tree, excluded, c.search);
-      NodeId best = net::kNoNode;
-      for (NodeId n = 0; n < g.node_count(); ++n) {
-        if (on_tree[static_cast<std::size_t>(n)] == 0) continue;
-        if (!c.search.reachable(n)) continue;
-        if (best == net::kNoNode ||
-            c.search.dist[static_cast<std::size_t>(n)] <
-                c.search.dist[static_cast<std::size_t>(best)]) {
-          best = n;
-        }
-      }
-      if (best != net::kNoNode) adopt_local(c, best);
+      c.detour.compute(*oracle, member, on_tree, excluded);
+      if (c.detour.found()) adopt_local(c, c.detour.best_target());
     } else {
-      ws.run_into(g, member, excluded, c.search);
+      c.spf = oracle->spf(member, excluded);
       walk_global(c);
     }
   };
@@ -279,13 +274,11 @@ SessionRepairReport repair_session(const Graph& g, MulticastTree& tree,
       walk_global(c);
       return;
     }
-    for (const NodeId x : delta) {
-      if (!c.search.reachable(x)) continue;
-      const double d = c.search.dist[static_cast<std::size_t>(x)];
-      const bool better =
-          !c.outcome.recovered || d < c.outcome.recovery_distance ||
-          (d == c.outcome.recovery_distance && x < c.outcome.reattach_node);
-      if (better) adopt_local(c, x);
+    c.detour.add_targets(delta);
+    if (c.detour.found() &&
+        (!c.outcome.recovered ||
+         c.detour.best_target() != c.outcome.reattach_node)) {
+      adopt_local(c, c.detour.best_target());
     }
   };
 

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "multicast/tree.hpp"
+#include "net/routing_oracle.hpp"
 #include "net/shortest_path.hpp"
 #include "obs/telemetry.hpp"
 
@@ -66,21 +67,23 @@ struct RecoveryOutcome {
                                              NodeId member);
 
 /// SMRP recovery: reconnect to the nearest surviving on-tree node, routing
-/// around the failure. `workspace`, when given, supplies the search
-/// buffers so per-member sweeps stop reallocating them.
+/// around the failure. `oracle`, when given, serves the search from its
+/// workspace pool; repeated sweeps stop reallocating the search buffers.
 [[nodiscard]] RecoveryOutcome local_detour_recovery(
     const Graph& g, const MulticastTree& tree, NodeId member,
-    const Failure& failure, net::DijkstraWorkspace* workspace = nullptr);
+    const Failure& failure, net::RoutingOracle* oracle = nullptr);
 [[nodiscard]] RecoveryOutcome local_detour_recovery(const Graph& g,
                                                     const MulticastTree& tree,
                                                     NodeId member,
                                                     LinkId failed_link);
 
 /// SPF/PIM recovery: follow the post-failure shortest path toward the
-/// source, grafting at the first surviving on-tree node along it.
+/// source, grafting at the first surviving on-tree node along it. The
+/// member's post-failure SPF is cacheable, so `oracle` serves it from the
+/// shared cache (incrementally repaired on the failure's one extra ban).
 [[nodiscard]] RecoveryOutcome global_detour_recovery(
     const Graph& g, const MulticastTree& tree, NodeId member,
-    const Failure& failure, net::DijkstraWorkspace* workspace = nullptr);
+    const Failure& failure, net::RoutingOracle* oracle = nullptr);
 [[nodiscard]] RecoveryOutcome global_detour_recovery(const Graph& g,
                                                      const MulticastTree& tree,
                                                      NodeId member,
@@ -116,11 +119,15 @@ struct SessionRepairReport {
 /// `smrp.recovery.rd_weight` / `smrp.recovery.rd_hops` sample per detour
 /// actually computed (RD_R as §4.3.1 defines it — new links only; members
 /// that rejoin in place contribute no sample) plus disconnection counters.
+/// `oracle`, when given, serves every search in the repair: the kGlobal
+/// per-member SPFs hit the shared cache (incrementally repaired when this
+/// failure is one extra ban over a cached exclusion) and the kLocal
+/// detour searches lease pooled workspaces.
 SessionRepairReport repair_session(
     const Graph& g, MulticastTree& tree, const Failure& failure,
     DetourPolicy policy = DetourPolicy::kLocal,
     const net::ExclusionSet* already_failed = nullptr,
     obs::Telemetry* telemetry = nullptr,
-    net::DijkstraWorkspace* workspace = nullptr);
+    net::RoutingOracle* oracle = nullptr);
 
 }  // namespace smrp::proto

@@ -16,16 +16,20 @@ bool graft_rewalks_attachment(const MulticastTree& tree, NodeId member,
 }
 
 SmrpTreeBuilder::SmrpTreeBuilder(const Graph& g, NodeId source,
-                                 SmrpConfig config)
+                                 SmrpConfig config, net::RoutingOracle* oracle)
     : g_(&g),
       config_(config),
       tree_(g, source),
-      spf_from_source_(net::dijkstra(g, source)),
+      owned_oracle_(oracle == nullptr
+                        ? std::make_unique<net::RoutingOracle>(g)
+                        : nullptr),
+      oracle_(oracle != nullptr ? oracle : owned_oracle_.get()),
+      spf_from_source_(oracle_->spf(source)),
       shr_baseline_(static_cast<std::size_t>(g.node_count()), -1) {}
 
 double SmrpTreeBuilder::spf_delay(NodeId n) const {
   if (!g_->valid_node(n)) throw std::out_of_range("bad node");
-  return spf_from_source_.dist[static_cast<std::size_t>(n)];
+  return spf_from_source_->dist[static_cast<std::size_t>(n)];
 }
 
 void SmrpTreeBuilder::record_baseline(NodeId member) {
@@ -47,7 +51,7 @@ JoinOutcome SmrpTreeBuilder::join(NodeId member) {
   if (spf == net::kInfinity) return outcome;  // unreachable from the source
 
   const std::optional<Selection> selection =
-      select_join_path(*g_, tree_, member, spf, config_, &workspace_);
+      select_join_path(*g_, tree_, member, spf, config_, oracle_);
   if (!selection) return outcome;
 
   tree_.graft(member, selection->chosen.graft);
@@ -102,7 +106,7 @@ bool SmrpTreeBuilder::try_reshape(NodeId member) {
 
   const double spf = spf_delay(member);
   std::vector<JoinCandidate> candidates = enumerate_candidates(
-      *g_, tree_, member, spf, config_, member, nullptr, &workspace_);
+      *g_, tree_, member, spf, config_, member, nullptr, oracle_);
 
   // The comparison baseline: the member's current merge point is its
   // upstream node; adjust its SHR exactly as candidate SHRs are adjusted

@@ -7,10 +7,12 @@
 // two agree on the trees they build.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "multicast/tree.hpp"
+#include "net/routing_oracle.hpp"
 #include "net/shortest_path.hpp"
 #include "smrp/config.hpp"
 #include "smrp/path_selection.hpp"
@@ -36,7 +38,11 @@ struct JoinOutcome {
 
 class SmrpTreeBuilder {
  public:
-  SmrpTreeBuilder(const Graph& g, NodeId source, SmrpConfig config = {});
+  /// `oracle`, when given, serves every SPF this builder (and downstream
+  /// recovery acting on its tree) needs; it must outlive the builder and
+  /// be bound to `g`. Without one the builder owns a private oracle.
+  SmrpTreeBuilder(const Graph& g, NodeId source, SmrpConfig config = {},
+                  net::RoutingOracle* oracle = nullptr);
 
   /// Join per the Path Selection Criterion, then run Condition-I reshaping.
   JoinOutcome join(NodeId member);
@@ -67,6 +73,10 @@ class SmrpTreeBuilder {
   [[nodiscard]] const Graph& graph() const noexcept { return *g_; }
   [[nodiscard]] const SmrpConfig& config() const noexcept { return config_; }
 
+  /// The routing oracle this builder's searches go through (shared or
+  /// owned). Non-const: lookups mutate the cache.
+  [[nodiscard]] net::RoutingOracle& oracle() const noexcept { return *oracle_; }
+
   /// D_SPF(S, n): the underlying unicast shortest-path delay.
   [[nodiscard]] double spf_delay(NodeId n) const;
 
@@ -89,9 +99,11 @@ class SmrpTreeBuilder {
   const Graph* g_;
   SmrpConfig config_;
   MulticastTree tree_;
-  net::ShortestPathTree spf_from_source_;
-  /// Shared scratch for the per-join / per-reshape candidate searches.
-  net::DijkstraWorkspace workspace_;
+  /// Owned fallback when no shared oracle was injected. unique_ptr (not
+  /// value): RoutingOracle holds a mutex and is immovable.
+  std::unique_ptr<net::RoutingOracle> owned_oracle_;
+  net::RoutingOracle* oracle_;
+  net::RoutingOracle::TreePtr spf_from_source_;
   /// SHR(S,R) observed at R's last join/reshape (Condition I reference).
   std::vector<int> shr_baseline_;
   int fallback_joins_ = 0;

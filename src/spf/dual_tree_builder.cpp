@@ -6,11 +6,15 @@
 
 namespace smrp::baseline {
 
-DualTreeBuilder::DualTreeBuilder(const Graph& g, NodeId source)
+DualTreeBuilder::DualTreeBuilder(const Graph& g, NodeId source,
+                                 net::RoutingOracle* oracle)
     : g_(&g),
       blue_(g, source),
       red_(g, source),
-      spf_from_source_(net::dijkstra(g, source)),
+      owned_oracle_(oracle == nullptr ? std::make_unique<net::RoutingOracle>(g)
+                                      : nullptr),
+      oracle_(oracle != nullptr ? oracle : owned_oracle_.get()),
+      spf_from_source_(oracle_->spf(source)),
       protected_(static_cast<std::size_t>(g.node_count()), 0) {}
 
 bool DualTreeBuilder::join(NodeId member) {
@@ -18,7 +22,7 @@ bool DualTreeBuilder::join(NodeId member) {
     throw std::invalid_argument("the source cannot join its own session");
   }
   if (blue_.is_member(member)) return true;
-  if (!spf_from_source_.reachable(member)) return false;
+  if (!spf_from_source_->reachable(member)) return false;
 
   // Blue: plain SPF join (PIM semantics along the source-rooted SPF tree).
   if (blue_.on_tree(member)) {
@@ -26,7 +30,7 @@ bool DualTreeBuilder::join(NodeId member) {
   } else {
     std::vector<NodeId> graft;
     for (NodeId cur = member;;
-         cur = spf_from_source_.parent[static_cast<std::size_t>(cur)]) {
+         cur = spf_from_source_->parent[static_cast<std::size_t>(cur)]) {
       graft.push_back(cur);
       if (blue_.on_tree(cur)) break;
     }
@@ -47,9 +51,9 @@ bool DualTreeBuilder::join(NodeId member) {
       excluded.ban_link(*link);
     }
   }
-  net::ShortestPathTree red_search = net::dijkstra(*g_, member, excluded);
-  if (!red_search.reachable(blue_.source())) {
-    red_search = net::dijkstra(*g_, member);
+  net::RoutingOracle::TreePtr red_search = oracle_->spf(member, excluded);
+  if (!red_search->reachable(blue_.source())) {
+    red_search = oracle_->spf(member);
   }
 
   if (!red_.is_member(member)) {
@@ -57,7 +61,7 @@ bool DualTreeBuilder::join(NodeId member) {
       red_.graft(member, {member});
     } else {
       const std::vector<NodeId> to_source =
-          red_search.path_from_source(blue_.source());
+          red_search->path_from_source(blue_.source());
       std::vector<NodeId> graft;
       for (const NodeId hop : to_source) {
         graft.push_back(hop);

@@ -13,7 +13,10 @@
 // Members whose red path cannot be made disjoint are reported unprotected.
 #pragma once
 
+#include <memory>
+
 #include "multicast/tree.hpp"
+#include "net/routing_oracle.hpp"
 #include "net/shortest_path.hpp"
 
 namespace smrp::baseline {
@@ -25,7 +28,11 @@ using net::NodeId;
 
 class DualTreeBuilder {
  public:
-  DualTreeBuilder(const Graph& g, NodeId source);
+  /// `oracle`, when given, serves the blue source tree and every red
+  /// disjoint-path search from the shared cache (red exclusions repeat
+  /// whenever members share blue paths); must outlive the builder.
+  DualTreeBuilder(const Graph& g, NodeId source,
+                  net::RoutingOracle* oracle = nullptr);
 
   /// Join both trees. Returns false only if the member is unreachable.
   bool join(NodeId member);
@@ -51,7 +58,9 @@ class DualTreeBuilder {
   const Graph* g_;
   MulticastTree blue_;
   MulticastTree red_;
-  net::ShortestPathTree spf_from_source_;
+  std::unique_ptr<net::RoutingOracle> owned_oracle_;
+  net::RoutingOracle* oracle_;
+  net::RoutingOracle::TreePtr spf_from_source_;
   std::vector<char> protected_;
 };
 

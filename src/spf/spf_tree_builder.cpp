@@ -5,12 +5,18 @@
 
 namespace smrp::baseline {
 
-SpfTreeBuilder::SpfTreeBuilder(const Graph& g, NodeId source)
-    : g_(&g), tree_(g, source), spf_from_source_(net::dijkstra(g, source)) {}
+SpfTreeBuilder::SpfTreeBuilder(const Graph& g, NodeId source,
+                               net::RoutingOracle* oracle)
+    : g_(&g),
+      tree_(g, source),
+      owned_oracle_(oracle == nullptr ? std::make_unique<net::RoutingOracle>(g)
+                                      : nullptr),
+      spf_from_source_(
+          (oracle != nullptr ? oracle : owned_oracle_.get())->spf(source)) {}
 
 double SpfTreeBuilder::spf_delay(NodeId n) const {
   if (!g_->valid_node(n)) throw std::out_of_range("bad node");
-  return spf_from_source_.dist[static_cast<std::size_t>(n)];
+  return spf_from_source_->dist[static_cast<std::size_t>(n)];
 }
 
 bool SpfTreeBuilder::join(NodeId member) {
@@ -18,7 +24,7 @@ bool SpfTreeBuilder::join(NodeId member) {
     throw std::invalid_argument("the source cannot join its own session");
   }
   if (tree_.is_member(member)) return true;
-  if (!spf_from_source_.reachable(member)) return false;
+  if (!spf_from_source_->reachable(member)) return false;
 
   if (tree_.on_tree(member)) {
     tree_.graft(member, {member});
@@ -28,7 +34,7 @@ bool SpfTreeBuilder::join(NodeId member) {
   // stops at the first on-tree router.
   std::vector<NodeId> graft;
   for (NodeId cur = member;;
-       cur = spf_from_source_.parent[static_cast<std::size_t>(cur)]) {
+       cur = spf_from_source_->parent[static_cast<std::size_t>(cur)]) {
     graft.push_back(cur);
     if (tree_.on_tree(cur)) break;
   }

@@ -5,7 +5,10 @@
 // that is already on the tree (RFC 2362 semantics).
 #pragma once
 
+#include <memory>
+
 #include "multicast/tree.hpp"
+#include "net/routing_oracle.hpp"
 #include "net/shortest_path.hpp"
 
 namespace smrp::baseline {
@@ -16,7 +19,11 @@ using net::NodeId;
 
 class SpfTreeBuilder {
  public:
-  SpfTreeBuilder(const Graph& g, NodeId source);
+  /// `oracle`, when given, shares the source SPF tree with every other
+  /// consumer instead of running a private Dijkstra; must outlive the
+  /// builder and be bound to `g`.
+  SpfTreeBuilder(const Graph& g, NodeId source,
+                 net::RoutingOracle* oracle = nullptr);
 
   /// Join along the member's shortest path toward the source. Returns
   /// false only if the member is unreachable.
@@ -33,10 +40,12 @@ class SpfTreeBuilder {
  private:
   const Graph* g_;
   MulticastTree tree_;
+  std::unique_ptr<net::RoutingOracle> owned_oracle_;
   // One consistent SPF tree rooted at the source: all joins follow it, so
   // the union of member paths is loop-free by construction (as with a
-  // converged link-state unicast routing underlay).
-  net::ShortestPathTree spf_from_source_;
+  // converged link-state unicast routing underlay). A shared snapshot
+  // from the oracle's cache.
+  net::RoutingOracle::TreePtr spf_from_source_;
 };
 
 }  // namespace smrp::baseline

@@ -4,8 +4,13 @@
 
 namespace smrp::baseline {
 
-SteinerTreeBuilder::SteinerTreeBuilder(const Graph& g, NodeId source)
-    : g_(&g), tree_(g, source) {}
+SteinerTreeBuilder::SteinerTreeBuilder(const Graph& g, NodeId source,
+                                       net::RoutingOracle* oracle)
+    : g_(&g),
+      tree_(g, source),
+      owned_oracle_(oracle == nullptr ? std::make_unique<net::RoutingOracle>(g)
+                                      : nullptr),
+      oracle_(oracle != nullptr ? oracle : owned_oracle_.get()) {}
 
 bool SteinerTreeBuilder::join(NodeId member) {
   if (member == tree_.source()) {
@@ -17,24 +22,29 @@ bool SteinerTreeBuilder::join(NodeId member) {
     return true;
   }
   // Nearest point of the current tree (Takahashi–Matsuyama step): run an
-  // absorbing search so the graft touches the tree exactly once.
-  std::vector<char> absorbing(static_cast<std::size_t>(g_->node_count()), 0);
+  // absorbing search so the graft touches the tree exactly once. The
+  // search depends on the tree state, so it leases a pooled workspace
+  // (never the cache) and reuses this builder's flag/result buffers.
+  absorbing_.assign(static_cast<std::size_t>(g_->node_count()), 0);
   for (const NodeId n : tree_.on_tree_nodes()) {
-    absorbing[static_cast<std::size_t>(n)] = 1;
+    absorbing_[static_cast<std::size_t>(n)] = 1;
   }
-  const net::ShortestPathTree search =
-      net::dijkstra_absorbing(*g_, member, absorbing);
+  {
+    const net::RoutingOracle::WorkspaceLease lease = oracle_->workspace();
+    lease->run_absorbing_into(*g_, member, absorbing_, net::ExclusionSet{},
+                              search_);
+  }
   NodeId best = net::kNoNode;
   for (const NodeId n : tree_.on_tree_nodes()) {
-    if (!search.reachable(n)) continue;
+    if (!search_.reachable(n)) continue;
     if (best == net::kNoNode ||
-        search.dist[static_cast<std::size_t>(n)] <
-            search.dist[static_cast<std::size_t>(best)]) {
+        search_.dist[static_cast<std::size_t>(n)] <
+            search_.dist[static_cast<std::size_t>(best)]) {
       best = n;
     }
   }
   if (best == net::kNoNode) return false;
-  tree_.graft(member, search.path_from_source(best));
+  tree_.graft(member, search_.path_from_source(best));
   return true;
 }
 

@@ -6,7 +6,10 @@
 // checks that claim on this implementation.
 #pragma once
 
+#include <memory>
+
 #include "multicast/tree.hpp"
+#include "net/routing_oracle.hpp"
 #include "net/shortest_path.hpp"
 
 namespace smrp::baseline {
@@ -17,7 +20,11 @@ using net::NodeId;
 
 class SteinerTreeBuilder {
  public:
-  SteinerTreeBuilder(const Graph& g, NodeId source);
+  /// `oracle`, when given, leases the per-join absorbing searches from
+  /// its workspace pool (they depend on the tree state, so they are
+  /// pooled rather than cached); must outlive the builder.
+  SteinerTreeBuilder(const Graph& g, NodeId source,
+                     net::RoutingOracle* oracle = nullptr);
 
   /// Graft along the member's shortest path to the nearest on-tree node.
   /// Returns false only if the member cannot reach the tree.
@@ -31,6 +38,11 @@ class SteinerTreeBuilder {
  private:
   const Graph* g_;
   MulticastTree tree_;
+  std::unique_ptr<net::RoutingOracle> owned_oracle_;
+  net::RoutingOracle* oracle_;
+  // Per-join search state, reused so joins stop allocating SPF buffers.
+  std::vector<char> absorbing_;
+  net::ShortestPathTree search_;
 };
 
 }  // namespace smrp::baseline

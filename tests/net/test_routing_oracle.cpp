@@ -1,0 +1,421 @@
+// RoutingOracle: caching/versioning semantics, counter invariants, and the
+// load-bearing property that every cached or incrementally repaired tree is
+// bit-identical to a fresh Dijkstra run.
+#include "net/routing_oracle.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "net/random_graphs.hpp"
+#include "net/rng.hpp"
+#include "net/shortest_path.hpp"
+#include "net/transit_stub.hpp"
+#include "net/waxman.hpp"
+#include "testing_topologies.hpp"
+
+namespace smrp::net {
+namespace {
+
+using testing::Fig1Topology;
+
+void expect_identical(const ShortestPathTree& a, const ShortestPathTree& b) {
+  EXPECT_EQ(a.source, b.source);
+  EXPECT_EQ(a.dist, b.dist);
+  EXPECT_EQ(a.parent, b.parent);
+  EXPECT_EQ(a.parent_link, b.parent_link);
+  EXPECT_EQ(a.hops, b.hops);
+}
+
+void expect_counter_invariants(const RoutingOracle::Stats& s) {
+  EXPECT_EQ(s.lookups, s.cache_hits + s.cache_misses);
+  EXPECT_EQ(s.cache_misses, s.incremental_repairs + s.full_runs);
+}
+
+TEST(RoutingOracle, PlainSpfMatchesFreeDijkstra) {
+  Fig1Topology fig;
+  RoutingOracle oracle(fig.graph);
+  for (NodeId s = 0; s < fig.graph.node_count(); ++s) {
+    expect_identical(*oracle.spf(s), dijkstra(fig.graph, s));
+  }
+  expect_counter_invariants(oracle.stats());
+}
+
+TEST(RoutingOracle, RepeatLookupIsACacheHit) {
+  Fig1Topology fig;
+  RoutingOracle oracle(fig.graph);
+  const RoutingOracle::TreePtr first = oracle.spf(Fig1Topology::S);
+  const RoutingOracle::TreePtr second = oracle.spf(Fig1Topology::S);
+  EXPECT_EQ(first.get(), second.get());  // same immutable snapshot
+  const auto s = oracle.stats();
+  EXPECT_EQ(s.lookups, 2u);
+  EXPECT_EQ(s.cache_hits, 1u);
+  EXPECT_EQ(s.cache_misses, 1u);
+  EXPECT_EQ(s.full_runs, 1u);
+  expect_counter_invariants(s);
+}
+
+TEST(RoutingOracle, ExclusionLookupsKeyOnTheBanSet) {
+  Fig1Topology fig;
+  RoutingOracle oracle(fig.graph);
+  ExclusionSet banned(fig.graph);
+  banned.ban_link(fig.AD);
+  const RoutingOracle::TreePtr constrained =
+      oracle.spf(Fig1Topology::S, banned);
+  expect_identical(*constrained, dijkstra(fig.graph, Fig1Topology::S, banned));
+
+  // An equal ban set built in a different order hits the same entry.
+  ExclusionSet same(fig.graph);
+  same.ban_link(fig.CD);
+  same.ban_link(fig.AD);
+  same.allow_link(fig.CD);
+  const auto before = oracle.stats();
+  const RoutingOracle::TreePtr again = oracle.spf(Fig1Topology::S, same);
+  EXPECT_EQ(constrained.get(), again.get());
+  EXPECT_EQ(oracle.stats().cache_hits, before.cache_hits + 1);
+}
+
+TEST(RoutingOracle, OneExtraBanRepairsIncrementally) {
+  Fig1Topology fig;
+  RoutingOracle oracle(fig.graph);
+  (void)oracle.spf(Fig1Topology::S);  // prime the base tree
+
+  ExclusionSet failed(fig.graph);
+  failed.ban_link(fig.AD);  // on the SPF tree: D hangs off A
+  const RoutingOracle::TreePtr repaired = oracle.spf(Fig1Topology::S, failed);
+  expect_identical(*repaired, dijkstra(fig.graph, Fig1Topology::S, failed));
+
+  const auto s = oracle.stats();
+  EXPECT_EQ(s.incremental_repairs, 1u);
+  EXPECT_EQ(s.full_runs, 1u);
+  expect_counter_invariants(s);
+}
+
+TEST(RoutingOracle, NodeBanRepairsIncrementally) {
+  Fig1Topology fig;
+  // Banning A affects 3 of 5 nodes; raise the delta threshold so the
+  // repair path (not the size fallback) is what gets exercised.
+  RoutingOracle::Config config;
+  config.incremental_max_fraction = 1.0;
+  RoutingOracle oracle(fig.graph, config);
+  (void)oracle.spf(Fig1Topology::S);
+
+  ExclusionSet failed(fig.graph);
+  failed.ban_node(Fig1Topology::A);  // cuts both C and D off the base tree
+  const RoutingOracle::TreePtr repaired = oracle.spf(Fig1Topology::S, failed);
+  expect_identical(*repaired, dijkstra(fig.graph, Fig1Topology::S, failed));
+  EXPECT_EQ(oracle.stats().incremental_repairs, 1u);
+}
+
+TEST(RoutingOracle, OffTreeBanReusesTheBaseSnapshot) {
+  Fig1Topology fig;
+  RoutingOracle oracle(fig.graph);
+  const RoutingOracle::TreePtr base = oracle.spf(Fig1Topology::S);
+
+  ExclusionSet failed(fig.graph);
+  failed.ban_link(fig.CD);  // CD carries no SPF traffic from S
+  const RoutingOracle::TreePtr repaired = oracle.spf(Fig1Topology::S, failed);
+  EXPECT_EQ(base.get(), repaired.get());  // the ban cannot change the tree
+  EXPECT_EQ(oracle.stats().incremental_repairs, 1u);
+}
+
+TEST(RoutingOracle, ChainOfFailuresStaysIncremental) {
+  // The failure_sequence workload: each step bans one more link on top of
+  // the previous step's exclusion set. Every step after the first should
+  // find its predecessor as a base.
+  net::Rng rng(7);
+  WaxmanParams wax;
+  wax.node_count = 60;
+  const Graph g = waxman_graph(wax, rng);
+  RoutingOracle oracle(g);
+  (void)oracle.spf(0);
+
+  ExclusionSet dead(g);
+  std::uint64_t expected_incremental = 0;
+  for (LinkId victim = 0; victim < 10; ++victim) {
+    dead.ban_link(victim);
+    const RoutingOracle::TreePtr t = oracle.spf(0, dead);
+    expect_identical(*t, dijkstra(g, 0, dead));
+    ++expected_incremental;
+  }
+  const auto s = oracle.stats();
+  // All ten steps had their predecessor cached; a step only fails to be
+  // incremental if its delta region crossed the size threshold.
+  EXPECT_GE(s.incremental_repairs + s.full_runs, expected_incremental);
+  EXPECT_GE(s.incremental_repairs, 1u);
+  expect_counter_invariants(s);
+}
+
+TEST(RoutingOracle, TopologyChangeInvalidatesTheCache) {
+  Fig1Topology fig;
+  RoutingOracle oracle(fig.graph);
+  const RoutingOracle::TreePtr before = oracle.spf(Fig1Topology::S);
+  EXPECT_DOUBLE_EQ(before->dist[Fig1Topology::D], 2.0);  // S–A–D
+
+  fig.graph.set_link_weight(fig.AD, 10.0);
+  const RoutingOracle::TreePtr after = oracle.spf(Fig1Topology::S);
+  EXPECT_NE(before.get(), after.get());
+  expect_identical(*after, dijkstra(fig.graph, Fig1Topology::S));
+  EXPECT_DOUBLE_EQ(after->dist[Fig1Topology::D], 3.0);  // S–B–D now wins
+
+  // The old snapshot is still intact (callers may hold it across bumps).
+  EXPECT_DOUBLE_EQ(before->dist[Fig1Topology::D], 2.0);
+  const auto s = oracle.stats();
+  EXPECT_EQ(s.invalidations, 1u);
+  EXPECT_EQ(s.cache_misses, 2u);
+}
+
+TEST(RoutingOracle, ManualInvalidateFlushes) {
+  Fig1Topology fig;
+  RoutingOracle oracle(fig.graph);
+  (void)oracle.spf(Fig1Topology::S);
+  oracle.invalidate();
+  (void)oracle.spf(Fig1Topology::S);
+  const auto s = oracle.stats();
+  EXPECT_EQ(s.invalidations, 1u);
+  EXPECT_EQ(s.cache_hits, 0u);
+  EXPECT_EQ(s.cache_misses, 2u);
+}
+
+TEST(RoutingOracle, EvictionKeepsResultsCorrect) {
+  net::Rng rng(11);
+  WaxmanParams wax;
+  wax.node_count = 40;
+  const Graph g = waxman_graph(wax, rng);
+  RoutingOracle::Config config;
+  config.max_entries = 2;
+  RoutingOracle oracle(g, config);
+  // Cycle through more sources than the cache holds, twice.
+  for (int round = 0; round < 2; ++round) {
+    for (NodeId s = 0; s < 6; ++s) {
+      expect_identical(*oracle.spf(s), dijkstra(g, s));
+    }
+  }
+  expect_counter_invariants(oracle.stats());
+}
+
+TEST(RoutingOracle, BadSourcesThrowWithoutTouchingCounters) {
+  Fig1Topology fig;
+  RoutingOracle oracle(fig.graph);
+  EXPECT_THROW((void)oracle.spf(99), std::out_of_range);
+  ExclusionSet banned(fig.graph);
+  banned.ban_node(Fig1Topology::S);
+  EXPECT_THROW((void)oracle.spf(Fig1Topology::S, banned),
+               std::invalid_argument);
+  EXPECT_EQ(oracle.stats().lookups, 0u);
+}
+
+TEST(RoutingOracle, TelemetryMirrorsTheCounters) {
+  Fig1Topology fig;
+  RoutingOracle oracle(fig.graph);
+  obs::Telemetry telemetry;
+  oracle.attach_telemetry(&telemetry);
+  (void)oracle.spf(Fig1Topology::S);
+  (void)oracle.spf(Fig1Topology::S);
+  ExclusionSet failed(fig.graph);
+  failed.ban_link(fig.AD);
+  (void)oracle.spf(Fig1Topology::S, failed);
+
+  auto& m = telemetry.metrics;
+  EXPECT_EQ(m.counter("smrp.routing.lookups").value(), 3u);
+  EXPECT_EQ(m.counter("smrp.routing.cache_hit").value(), 1u);
+  EXPECT_EQ(m.counter("smrp.routing.cache_miss").value(), 2u);
+  EXPECT_EQ(m.counter("smrp.routing.cache_incremental").value(), 1u);
+  EXPECT_EQ(m.counter("smrp.routing.cache_fallback").value(), 1u);
+  EXPECT_EQ(m.counter("smrp.routing.cache_hit").value() +
+                m.counter("smrp.routing.cache_miss").value(),
+            m.counter("smrp.routing.lookups").value());
+}
+
+TEST(RoutingOracle, WorkspaceLeasesMatchFreeFunctions) {
+  Fig1Topology fig;
+  RoutingOracle oracle(fig.graph);
+  std::vector<char> absorbing(
+      static_cast<std::size_t>(fig.graph.node_count()), 0);
+  absorbing[Fig1Topology::C] = 1;
+  {
+    RoutingOracle::WorkspaceLease lease = oracle.workspace();
+    const ShortestPathTree& got =
+        lease->run_absorbing(fig.graph, Fig1Topology::D, absorbing);
+    expect_identical(got,
+                     dijkstra_absorbing(fig.graph, Fig1Topology::D, absorbing));
+  }
+  // Returned to the pool; a second lease works fine.
+  RoutingOracle::WorkspaceLease again = oracle.workspace();
+  expect_identical(again->run(fig.graph, Fig1Topology::B),
+                   dijkstra(fig.graph, Fig1Topology::B));
+}
+
+TEST(DetourSearch, MatchesFreshScanAndDeltaUpdates) {
+  net::Rng rng(23);
+  WaxmanParams wax;
+  wax.node_count = 50;
+  const Graph g = waxman_graph(wax, rng);
+  RoutingOracle oracle(g);
+
+  std::vector<char> targets(static_cast<std::size_t>(g.node_count()), 0);
+  for (NodeId t : {NodeId{3}, NodeId{17}, NodeId{29}}) targets[t] = 1;
+  const NodeId origin = 40;
+
+  DetourSearch search;
+  search.compute(oracle, origin, targets, ExclusionSet{});
+
+  auto fresh_best = [&]() {
+    const ShortestPathTree fresh = dijkstra_absorbing(g, origin, targets);
+    NodeId best = kNoNode;
+    for (NodeId t = 0; t < g.node_count(); ++t) {
+      if (!targets[static_cast<std::size_t>(t)] || !fresh.reachable(t)) {
+        continue;
+      }
+      if (best == kNoNode ||
+          fresh.dist[static_cast<std::size_t>(t)] <
+              fresh.dist[static_cast<std::size_t>(best)]) {
+        best = t;
+      }
+    }
+    return best;
+  };
+  ASSERT_TRUE(search.found());
+  EXPECT_EQ(search.best_target(), fresh_best());
+
+  // Grow the target set and check the O(|delta|) refresh against the
+  // fresh answer over the same (grown) set.
+  const std::vector<NodeId> delta = {NodeId{8}, NodeId{44}};
+  for (NodeId t : delta) targets[static_cast<std::size_t>(t)] = 1;
+  search.add_targets(delta);
+  ASSERT_TRUE(search.found());
+  EXPECT_EQ(search.best_target(), fresh_best());
+}
+
+TEST(RoutingOracle, ConcurrentLookupsKeepInvariants) {
+  net::Rng rng(5);
+  WaxmanParams wax;
+  wax.node_count = 80;
+  const Graph g = waxman_graph(wax, rng);
+  RoutingOracle oracle(g);
+
+  constexpr int kThreads = 4;
+  constexpr int kIters = 200;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&g, &oracle, t] {
+      for (int i = 0; i < kIters; ++i) {
+        const NodeId source = static_cast<NodeId>((t * 13 + i) % g.node_count());
+        if (i % 3 == 0) {
+          ExclusionSet banned(g);
+          banned.ban_link(static_cast<LinkId>(i % g.link_count()));
+          (void)oracle.spf(source, banned);
+        } else {
+          (void)oracle.spf(source);
+        }
+        if (i % 7 == 0) {
+          RoutingOracle::WorkspaceLease lease = oracle.workspace();
+          (void)lease->run(g, source);
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  const auto s = oracle.stats();
+  EXPECT_EQ(s.lookups, static_cast<std::uint64_t>(kThreads) * kIters);
+  expect_counter_invariants(s);
+  // Spot-check correctness after the hammering.
+  expect_identical(*oracle.spf(0), dijkstra(g, 0));
+}
+
+// ---------------------------------------------------------------------------
+// Randomized oracle-vs-fresh equivalence property (the ISSUE's satellite):
+// a long random mix of plain lookups, exclusion lookups, incremental
+// chains, and topology mutations must stay bit-identical to free Dijkstra.
+// ---------------------------------------------------------------------------
+
+void run_equivalence_property(Graph& g, std::uint64_t seed, int steps) {
+  net::Rng rng(seed);
+  RoutingOracle oracle(g);
+  ExclusionSet chain(g);  // grows like a persistent-failure sequence
+
+  for (int step = 0; step < steps; ++step) {
+    const NodeId source =
+        static_cast<NodeId>(rng.below(static_cast<std::uint64_t>(
+            g.node_count())));
+    switch (rng.below(6)) {
+      case 0: {  // plain lookup
+        expect_identical(*oracle.spf(source), dijkstra(g, source));
+        break;
+      }
+      case 1: {  // fresh random exclusion (join/reshape style)
+        ExclusionSet banned(g);
+        for (int b = 0; b < 3; ++b) {
+          banned.ban_link(static_cast<LinkId>(rng.below(
+              static_cast<std::uint64_t>(g.link_count()))));
+        }
+        if (!banned.node_banned(source)) {
+          expect_identical(*oracle.spf(source, banned),
+                           dijkstra(g, source, banned));
+        }
+        break;
+      }
+      case 2: {  // extend the persistent-failure chain by one link
+        chain.ban_link(static_cast<LinkId>(rng.below(
+            static_cast<std::uint64_t>(g.link_count()))));
+        if (!chain.node_banned(source)) {
+          expect_identical(*oracle.spf(source, chain),
+                           dijkstra(g, source, chain));
+        }
+        break;
+      }
+      case 3: {  // node failure on top of a cached base
+        ExclusionSet banned(g);
+        const NodeId victim =
+            static_cast<NodeId>(rng.below(static_cast<std::uint64_t>(
+                g.node_count())));
+        banned.ban_node(victim);
+        if (victim != source) {
+          (void)oracle.spf(source);  // make sure the base exists
+          expect_identical(*oracle.spf(source, banned),
+                           dijkstra(g, source, banned));
+        }
+        break;
+      }
+      case 4: {  // repeat lookup — exercises the hit path
+        expect_identical(*oracle.spf(source), dijkstra(g, source));
+        expect_identical(*oracle.spf(source), dijkstra(g, source));
+        break;
+      }
+      case 5: {  // topology mutation: reweigh a random link
+        const LinkId l = static_cast<LinkId>(rng.below(
+            static_cast<std::uint64_t>(g.link_count())));
+        g.set_link_weight(l, 0.5 + 0.001 * static_cast<double>(rng.below(1000)));
+        chain = ExclusionSet(g);  // old chain semantics died with the weights
+        expect_identical(*oracle.spf(source), dijkstra(g, source));
+        break;
+      }
+    }
+  }
+  expect_counter_invariants(oracle.stats());
+  EXPECT_GT(oracle.stats().cache_hits, 0u);
+}
+
+TEST(RoutingOracleProperty, EquivalentToFreshDijkstraOnWaxman) {
+  net::Rng rng(101);
+  WaxmanParams wax;
+  wax.node_count = 70;
+  Graph g = waxman_graph(wax, rng);
+  run_equivalence_property(g, 2026, 160);
+}
+
+TEST(RoutingOracleProperty, EquivalentToFreshDijkstraOnTransitStub) {
+  net::Rng rng(303);
+  TransitStubParams params;
+  params.transit_nodes = 6;
+  params.stubs_per_transit = 2;
+  params.stub_size = 5;
+  TransitStubTopology topo = generate_transit_stub(params, rng);
+  run_equivalence_property(topo.graph, 404, 160);
+}
+
+}  // namespace
+}  // namespace smrp::net

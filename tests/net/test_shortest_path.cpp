@@ -87,6 +87,77 @@ TEST(Dijkstra, InvalidSourceThrows) {
   EXPECT_THROW(dijkstra(g, 99), std::out_of_range);
 }
 
+// ---- ExclusionSet sizing and signature ------------------------------------
+
+TEST(ExclusionSet, OutOfRangeIdsAreHardErrors) {
+  const Graph g = testing::grid3x3();
+  ExclusionSet excl(g);
+  // Ids beyond the graph the set was built for must throw, not silently
+  // resize (the old auto-resize masked graph/set mismatches).
+  EXPECT_THROW(excl.ban_node(static_cast<NodeId>(g.node_count())),
+               std::out_of_range);
+  EXPECT_THROW(excl.ban_node(-1), std::out_of_range);
+  EXPECT_THROW(excl.ban_link(static_cast<LinkId>(g.link_count())),
+               std::out_of_range);
+  EXPECT_THROW(excl.allow_link(-1), std::out_of_range);
+  // Probes stay tolerant: asking about a foreign id is just "not banned".
+  EXPECT_FALSE(excl.node_banned(99));
+  EXPECT_FALSE(excl.link_banned(99));
+}
+
+TEST(ExclusionSet, DefaultConstructedSetRejectsAllBans) {
+  ExclusionSet excl;
+  EXPECT_TRUE(excl.empty());
+  EXPECT_THROW(excl.ban_node(0), std::out_of_range);
+  EXPECT_THROW(excl.ban_link(0), std::out_of_range);
+}
+
+TEST(ExclusionSet, SignatureIsOrderIndependent) {
+  const Graph g = testing::grid3x3();
+  ExclusionSet a(g);
+  a.ban_node(2);
+  a.ban_link(0);
+  a.ban_link(3);
+  ExclusionSet b(g);
+  b.ban_link(3);
+  b.ban_node(2);
+  b.ban_link(0);
+  EXPECT_EQ(a.signature(), b.signature());
+  EXPECT_NE(a.signature(), 0u);
+
+  // Ban/allow round-trips restore the signature exactly.
+  const std::uint64_t before = a.signature();
+  a.ban_node(5);
+  EXPECT_NE(a.signature(), before);
+  a.allow_node(5);
+  EXPECT_EQ(a.signature(), before);
+  // Re-banning an already banned id is a no-op, not a signature flip.
+  a.ban_node(2);
+  EXPECT_EQ(a.signature(), before);
+}
+
+TEST(ExclusionSet, NodeAndLinkIdsHashApart) {
+  const Graph g = testing::grid3x3();
+  ExclusionSet node_ban(g);
+  node_ban.ban_node(1);
+  ExclusionSet link_ban(g);
+  link_ban.ban_link(1);
+  EXPECT_NE(node_ban.signature(), link_ban.signature());
+}
+
+TEST(ExclusionSet, BannedIdListsAreSortedAscending) {
+  const Graph g = testing::grid3x3();
+  ExclusionSet excl(g);
+  excl.ban_node(7);
+  excl.ban_node(2);
+  excl.ban_link(5);
+  excl.ban_link(1);
+  EXPECT_EQ(excl.banned_nodes(), (std::vector<NodeId>{2, 7}));
+  EXPECT_EQ(excl.banned_links(), (std::vector<LinkId>{1, 5}));
+  EXPECT_EQ(excl.banned_node_count(), 2);
+  EXPECT_EQ(excl.banned_link_count(), 2);
+}
+
 TEST(DijkstraAbsorbing, AbsorbingNodesDoNotRelay) {
   // 0 –1– 1 –1– 2, plus a long direct 0–2 of weight 10: with 1 absorbing,
   // node 2 must be reached via the direct link.

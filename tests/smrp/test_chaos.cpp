@@ -143,6 +143,47 @@ TEST(ChaosSoak, HardenedSurvivesAcrossSeeds) {
   }
 }
 
+TEST(ChaosSoak, OracleCountersBalanceThroughTheSoak) {
+  // Same drill as the hardened soak, but with telemetry attached: the
+  // session's RoutingOracle must publish balanced cache counters (every
+  // lookup is exactly one hit or one miss, every miss exactly one
+  // incremental repair or one full run) no matter what the fault plan
+  // does to the topology underneath it.
+  const net::Graph g = soak_ring(12);
+  SessionConfig config;
+  config.max_repair_ttl = 4;
+  SimulationHarness h(g, 0, config);
+  obs::Telemetry telemetry;
+  h.attach_telemetry(&telemetry);
+
+  sim::FaultPlan::RandomParams params;
+  params.link_flaps = 47;
+  params.node_restarts = 2;
+  params.loss_bursts = 1;
+  params.start = 2'000.0;
+  params.window = 20'000.0;
+  params.protected_nodes = {net::NodeId{0}};
+  net::Rng rng(kSoakSeed);
+  sim::ChaosController chaos(h.simulator(), h.network(),
+                             sim::FaultPlan::randomized(g, params, rng));
+  h.start();
+  for (const net::NodeId m : {3, 6, 9}) h.session().join(m);
+  chaos.arm();
+  h.simulator().run_until(chaos.quiescent_time() + 5'000.0);
+
+  auto& m = telemetry.metrics;
+  const std::uint64_t lookups = m.counter("smrp.routing.lookups").value();
+  const std::uint64_t hits = m.counter("smrp.routing.cache_hit").value();
+  const std::uint64_t misses = m.counter("smrp.routing.cache_miss").value();
+  const std::uint64_t incremental =
+      m.counter("smrp.routing.cache_incremental").value();
+  const std::uint64_t fallback =
+      m.counter("smrp.routing.cache_fallback").value();
+  EXPECT_GT(lookups, 0u);  // the soak actually routed through the oracle
+  EXPECT_EQ(lookups, hits + misses);
+  EXPECT_EQ(misses, incremental + fallback);
+}
+
 TEST(ChaosSoak, NonceStateStaysBoundedThroughTheSoak) {
   const net::Graph g = testing::grid3x3();
   SessionConfig config;

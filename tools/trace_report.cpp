@@ -322,6 +322,33 @@ void render_run(const RunSection& run) {
     any_counter = true;
   }
   if (any_counter) std::cout << "\n  counters:\n" << counters.render();
+
+  // Routing-oracle summary: one line turning the smrp.routing.* counters
+  // into the hit rate the cache design is judged by.
+  const auto routing = [&run](const char* name) -> std::uint64_t {
+    const auto it = run.counters.find(std::string("smrp.routing.") + name);
+    return it != run.counters.end() ? it->second : 0;
+  };
+  const std::uint64_t lookups = routing("lookups");
+  if (lookups > 0) {
+    const std::uint64_t hits = routing("cache_hit");
+    const std::uint64_t misses = routing("cache_miss");
+    if (hits + misses != lookups) {
+      malformed(0, "routing cache counters do not balance: " +
+                       std::to_string(hits) + " hits + " +
+                       std::to_string(misses) + " misses != " +
+                       std::to_string(lookups) + " lookups");
+    }
+    std::cout << "\n  routing cache: " << lookups << " lookups, "
+              << Table::fixed(100.0 * static_cast<double>(hits) /
+                                  static_cast<double>(lookups),
+                              1)
+              << "% hit rate (" << hits << " hits, " << misses
+              << " misses: " << routing("cache_incremental")
+              << " incremental, " << routing("cache_fallback")
+              << " full runs), " << routing("invalidations")
+              << " invalidations\n";
+  }
   std::cout << "\n";
 }
 
