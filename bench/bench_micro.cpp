@@ -5,7 +5,9 @@
 
 #include "eval/scenario.hpp"
 #include "net/waxman.hpp"
+#include "sim/reference_simulator.hpp"
 #include "sim/simulator.hpp"
+#include "sim_core_workloads.hpp"
 #include "smrp/path_selection.hpp"
 #include "smrp/recovery.hpp"
 #include "smrp/tree_builder.hpp"
@@ -241,6 +243,63 @@ void BM_EventQueue(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_EventQueue);
+
+// Event-core workloads shared with bench_sim_core (sim_core_workloads.hpp),
+// run against both the timing-wheel Simulator and the retained pre-wheel
+// ReferenceSimulator so the speedup is visible side by side. The arg is
+// the event count per iteration; 1<<20 is the acceptance-scale churn.
+
+template <typename Sim>
+void event_churn_bench(benchmark::State& state) {
+  const int events = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bench::event_churn<Sim>(events));
+  }
+  state.SetItemsProcessed(state.iterations() * events);
+}
+
+void BM_EventChurn(benchmark::State& state) {
+  event_churn_bench<sim::Simulator>(state);
+}
+BENCHMARK(BM_EventChurn)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_EventChurnReference(benchmark::State& state) {
+  event_churn_bench<sim::ReferenceSimulator>(state);
+}
+BENCHMARK(BM_EventChurnReference)->Arg(1 << 16)->Arg(1 << 20);
+
+template <typename Sim>
+void cancel_storm_bench(benchmark::State& state) {
+  const int rounds = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bench::timer_cancel_storm<Sim>(rounds));
+  }
+  // 512 sessions re-armed per round.
+  state.SetItemsProcessed(state.iterations() * rounds * 512);
+}
+
+void BM_TimerCancelStorm(benchmark::State& state) {
+  cancel_storm_bench<sim::Simulator>(state);
+}
+BENCHMARK(BM_TimerCancelStorm)->Arg(256)->Arg(2048);
+
+void BM_TimerCancelStormReference(benchmark::State& state) {
+  cancel_storm_bench<sim::ReferenceSimulator>(state);
+}
+BENCHMARK(BM_TimerCancelStormReference)->Arg(256)->Arg(2048);
+
+void BM_MessageFlood(benchmark::State& state) {
+  const net::Graph g = bench::flood_graph();
+  const int rounds = static_cast<int>(state.range(0));
+  std::uint64_t delivered = 0;
+  for (auto _ : state) {
+    delivered = bench::message_flood(g, rounds);
+    benchmark::DoNotOptimize(delivered);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(delivered));
+}
+BENCHMARK(BM_MessageFlood)->Arg(64)->Arg(512);
 
 void BM_FullScenario(benchmark::State& state) {
   eval::ScenarioParams params;

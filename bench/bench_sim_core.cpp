@@ -1,0 +1,125 @@
+// Event-core performance baseline: the timing-wheel Simulator versus the
+// retained pre-wheel core (priority_queue + std::function,
+// src/sim/reference_simulator.hpp), on the workloads the DES actually
+// runs — mixed schedule/cancel/fire churn, soft-state cancel storms, and
+// hop-by-hop message dispatch (sim_core_workloads.hpp, shared with
+// bench_micro so the two binaries time identical work).
+//
+// Both cores run in the same process and trial, so the *speedup ratio*
+// is machine-independent even though the absolute events/sec are not.
+// CI's bench-smoke regression gate therefore compares the measured
+// churn/speedup against the ratio stored in the committed
+// BENCH_sim_core.json baseline (tolerance 0.7x), never wall-clock.
+//
+// Acceptance (ISSUE): churn/speedup mean >= 3x at ~1e6-event churn.
+#include <chrono>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "eval/table.hpp"
+#include "sim/reference_simulator.hpp"
+#include "sim/simulator.hpp"
+#include "sim_core_workloads.hpp"
+
+namespace {
+
+using namespace smrp;
+
+constexpr int kChurnEvents = 1 << 20;  // acceptance-scale churn
+constexpr int kStormRounds = 1024;     // * 512 sessions = ~0.5M events
+constexpr int kFloodRounds = 384;
+
+template <typename Fn>
+double seconds(Fn&& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace smrp;
+  bench::Runner runner(argc, argv, "sim_core",
+                       "Event-core throughput: timing wheel + pooled "
+                       "events vs reference heap + std::function",
+                       /*default_trials=*/5);
+  runner.config().set("churn_events", kChurnEvents);
+  runner.config().set("storm_rounds", kStormRounds);
+  runner.config().set("storm_sessions", 512);
+  runner.config().set("flood_nodes", 64);
+  runner.config().set("flood_rounds", kFloodRounds);
+
+  const net::Graph flood_graph = bench::flood_graph();
+
+  const eval::EngineResult& res = runner.run([&](eval::TrialContext& ctx) {
+    auto& rec = ctx.recorder;
+    // Interleave the cores inside each trial so frequency drift hits
+    // both sides of every ratio equally.
+    std::uint64_t wheel_sum = 0;
+    std::uint64_t ref_sum = 0;
+    const double churn_wheel = seconds(
+        [&] { wheel_sum = bench::event_churn<sim::Simulator>(kChurnEvents); });
+    const double churn_ref = seconds([&] {
+      ref_sum = bench::event_churn<sim::ReferenceSimulator>(kChurnEvents);
+    });
+    // Identical deterministic workload => identical fired counts; a
+    // divergence would invalidate the comparison, so surface it hard.
+    if (wheel_sum != ref_sum) {
+      throw std::logic_error("event_churn diverged between cores");
+    }
+    rec.add("churn/wheel_meps", kChurnEvents / churn_wheel / 1e6);
+    rec.add("churn/reference_meps", kChurnEvents / churn_ref / 1e6);
+    rec.add("churn/speedup", churn_ref / churn_wheel);
+
+    const double storm_events = kStormRounds * 512.0;
+    const double storm_wheel = seconds([&] {
+      wheel_sum = bench::timer_cancel_storm<sim::Simulator>(kStormRounds);
+    });
+    const double storm_ref = seconds([&] {
+      ref_sum =
+          bench::timer_cancel_storm<sim::ReferenceSimulator>(kStormRounds);
+    });
+    if (wheel_sum != ref_sum) {
+      throw std::logic_error("timer_cancel_storm diverged between cores");
+    }
+    rec.add("cancel/wheel_meps", storm_events / storm_wheel / 1e6);
+    rec.add("cancel/reference_meps", storm_events / storm_ref / 1e6);
+    rec.add("cancel/speedup", storm_ref / storm_wheel);
+
+    std::uint64_t delivered = 0;
+    const double flood = seconds(
+        [&] { delivered = bench::message_flood(flood_graph, kFloodRounds); });
+    rec.add("flood/wheel_mmps",
+            static_cast<double>(delivered) / flood / 1e6);
+    rec.add("flood/delivered", static_cast<double>(delivered));
+  });
+
+  eval::Table table({"workload", "wheel (M/s)", "reference (M/s)",
+                     "speedup"});
+  const auto row = [&](const char* name, const char* prefix) {
+    const eval::Summary w =
+        res.summary(std::string(prefix) + "/wheel_meps");
+    const eval::Summary r =
+        res.summary(std::string(prefix) + "/reference_meps");
+    const eval::Summary s = res.summary(std::string(prefix) + "/speedup");
+    table.add_row({name, eval::Table::with_ci(w.mean, w.ci95_half, 1),
+                   eval::Table::with_ci(r.mean, r.ci95_half, 1),
+                   eval::Table::with_ci(s.mean, s.ci95_half, 2)});
+  };
+  row("event churn (1M, 25% cancel)", "churn");
+  row("cancel storm (512 sessions)", "cancel");
+  const eval::Summary flood = res.summary("flood/wheel_mmps");
+  table.add_row({"message flood (64-node Waxman)",
+                 eval::Table::with_ci(flood.mean, flood.ci95_half, 1), "-",
+                 "-"});
+  std::cout << table.render();
+
+  const eval::Summary churn = res.summary("churn/speedup");
+  std::cout << "\nchurn speedup (wheel vs reference heap, mean): "
+            << eval::Table::fixed(churn.mean, 2)
+            << "x  (acceptance floor: 3x; CI regression gate: >= 0.7x of "
+               "the committed baseline ratio)\n\n";
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Shared event-core workloads for bench_micro (google-benchmark) and
+// bench_sim_core (bench::Runner + the committed BENCH_sim_core.json
+// baseline). Both binaries must time the *same* work so the numbers are
+// comparable, hence one header.
+//
+// Each timer carries a 32-byte protocol-shaped payload (owner pointer,
+// session, sequence, deadline) — the realistic capture size for refresh/
+// retry/delivery closures. It fits the wheel core's 64B SBO but overflows
+// std::function's ~16B inline buffer, so the reference simulator pays the
+// per-event allocation the rewrite was built to remove. Capture-free
+// `[]{}` timers would hide exactly that cost.
+//
+// The workloads are templated over the simulator type so the identical
+// code drives sim::Simulator (timing wheel) and sim::ReferenceSimulator
+// (the retained pre-wheel priority_queue + std::function core).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "net/rng.hpp"
+#include "net/waxman.hpp"
+#include "sim/network.hpp"
+
+namespace smrp::bench {
+
+/// What a protocol timer closure really captures: who to notify plus
+/// session/sequence/deadline bookkeeping. 32 bytes.
+struct TimerPayload {
+  std::uint64_t* counter;
+  std::uint64_t session;
+  std::uint64_t seq;
+  double deadline;
+};
+
+/// Mixed schedule/cancel/fire churn: timers spread over ~0.5 s, 25% of
+/// them cancelled while live (a 256-deep ring of victims), the clock
+/// advanced every 64 schedules so firing interleaves with scheduling and
+/// steady-state pending sits in the low thousands. Returns fired count
+/// (also an optimisation sink).
+template <typename Sim>
+std::uint64_t event_churn(int total_events) {
+  Sim s;
+  std::uint64_t fired = 0;
+  std::array<std::uint64_t, 256> ring{};  // recent EventIds, cancel victims
+  std::uint32_t x = 0x9E3779B9u;          // xorshift32 delay stream
+  for (int i = 0; i < total_events; ++i) {
+    x ^= x << 13;
+    x ^= x >> 17;
+    x ^= x << 5;
+    const double delay = static_cast<double>(x & 2047) * 0.25;  // 0..512 ms
+    const TimerPayload p{&fired, static_cast<std::uint64_t>(i & 255),
+                         static_cast<std::uint64_t>(i), delay};
+    const std::uint64_t id = s.schedule(delay, [p] { ++*p.counter; });
+    std::uint64_t& slot = ring[static_cast<std::size_t>(i) & 255];
+    if ((i & 3) == 0 && slot != 0) s.cancel(slot);
+    slot = id;
+    if ((i & 63) == 63) s.run_until(s.now() + 8.0);
+  }
+  s.run_all();
+  return fired + s.processed();
+}
+
+/// Soft-state refresh storm: every session re-arms its 500 ms timeout
+/// each round, cancelling the previous one long before it can fire — the
+/// retry-timer pattern under chaos, where almost every scheduled event
+/// dies by cancel. Total events = rounds * sessions.
+template <typename Sim>
+std::uint64_t timer_cancel_storm(int rounds, int sessions = 512) {
+  Sim s;
+  std::uint64_t expired = 0;
+  std::vector<std::uint64_t> timer(static_cast<std::size_t>(sessions), 0);
+  for (int r = 0; r < rounds; ++r) {
+    for (int k = 0; k < sessions; ++k) {
+      auto& id = timer[static_cast<std::size_t>(k)];
+      if (id != 0) s.cancel(id);
+      const TimerPayload p{&expired, static_cast<std::uint64_t>(k),
+                           static_cast<std::uint64_t>(r), 500.0};
+      id = s.schedule(500.0 + static_cast<double>(k & 7),
+                      [p] { ++*p.counter; });
+    }
+    s.run_until(s.now() + 1.0);
+  }
+  s.run_all();
+  return s.processed() + expired;
+}
+
+inline net::Graph flood_graph(int nodes = 64, std::uint64_t seed = 42) {
+  net::Rng rng(seed);
+  net::WaxmanParams params;
+  params.node_count = nodes;
+  return net::waxman_graph(params, rng);
+}
+
+/// Hop-by-hop dispatch flood on a prebuilt topology: every round, every
+/// node broadcasts a DataMsg to its neighbors and each neighbor unicasts
+/// an ack back, then the round drains. Returns messages delivered (the
+/// per-message work being measured). Sim/network construction is inside
+/// the call but amortises to nothing against rounds * ~4 msgs/node.
+inline std::uint64_t message_flood(const net::Graph& graph, int rounds) {
+  sim::Simulator simulator;
+  sim::SimNetwork network(simulator, graph);
+  for (sim::NodeId n = 0; n < graph.node_count(); ++n) {
+    network.set_handler(
+        n, [&network, n](sim::NodeId from, const sim::Message& m) {
+          if (const auto* data = std::get_if<sim::DataMsg>(&m);
+              data != nullptr && data->seq != 0) {
+            network.send(n, from, sim::DataMsg{0});  // ack, not re-acked
+          }
+        });
+  }
+  for (int r = 0; r < rounds; ++r) {
+    for (sim::NodeId n = 0; n < graph.node_count(); ++n) {
+      network.broadcast(n, sim::DataMsg{static_cast<std::uint64_t>(r + 1)});
+    }
+    simulator.run_all();
+  }
+  return network.messages_delivered();
+}
+
+}  // namespace smrp::bench

@@ -1,0 +1,107 @@
+// Small-buffer-optimized move-only callable for the event core. Every
+// protocol timer capture in the tree ([this], [this, n], the network's
+// pooled-envelope hops) fits the inline buffer, so scheduling an event
+// performs no heap allocation. Oversized or over-aligned captures fall
+// back to a heap box (counted by the simulator's pool stats) instead of
+// failing to compile, so the scheduler API stays unconditional.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace smrp::sim {
+
+/// Move-only `void()` callable with `Capacity` bytes of inline storage.
+template <std::size_t Capacity>
+class InplaceFunction {
+ public:
+  InplaceFunction() noexcept = default;
+
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<
+                !std::is_same_v<D, InplaceFunction> &&
+                std::is_invocable_r_v<void, D&>>>
+  InplaceFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    constexpr bool kInline = sizeof(D) <= Capacity &&
+                             alignof(D) <= alignof(std::max_align_t) &&
+                             std::is_nothrow_move_constructible_v<D>;
+    if constexpr (kInline) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+      invoke_ = [](void* s) { (*static_cast<D*>(s))(); };
+      manage_ = [](void* dst, void* src) {
+        if (src != nullptr) {  // relocate src -> dst
+          ::new (dst) D(std::move(*static_cast<D*>(src)));
+          static_cast<D*>(src)->~D();
+        } else {
+          static_cast<D*>(dst)->~D();
+        }
+      };
+    } else {
+      ::new (static_cast<void*>(storage_))
+          D*(new D(std::forward<F>(f)));
+      invoke_ = [](void* s) { (**static_cast<D**>(s))(); };
+      manage_ = [](void* dst, void* src) {
+        if (src != nullptr) {
+          ::new (dst) D*(*static_cast<D**>(src));
+        } else {
+          delete *static_cast<D**>(dst);
+        }
+      };
+      heap_ = true;
+    }
+  }
+
+  InplaceFunction(InplaceFunction&& other) noexcept { steal(other); }
+
+  InplaceFunction& operator=(InplaceFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      steal(other);
+    }
+    return *this;
+  }
+
+  InplaceFunction(const InplaceFunction&) = delete;
+  InplaceFunction& operator=(const InplaceFunction&) = delete;
+
+  ~InplaceFunction() { reset(); }
+
+  void operator()() { invoke_(storage_); }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return invoke_ != nullptr;
+  }
+
+  /// True when the callable overflowed the inline buffer (the slow path
+  /// the allocation-counting tests pin to zero on protocol workloads).
+  [[nodiscard]] bool uses_heap() const noexcept { return heap_; }
+
+  void reset() noexcept {
+    if (manage_ != nullptr) manage_(storage_, nullptr);
+    invoke_ = nullptr;
+    manage_ = nullptr;
+    heap_ = false;
+  }
+
+ private:
+  void steal(InplaceFunction& other) noexcept {
+    if (other.manage_ != nullptr) other.manage_(storage_, other.storage_);
+    invoke_ = other.invoke_;
+    manage_ = other.manage_;
+    heap_ = other.heap_;
+    other.invoke_ = nullptr;
+    other.manage_ = nullptr;
+    other.heap_ = false;
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[Capacity];
+  void (*invoke_)(void*) = nullptr;
+  /// Relocates storage (src != nullptr) or destroys it (src == nullptr).
+  void (*manage_)(void* dst, void* src) = nullptr;
+  bool heap_ = false;
+};
+
+}  // namespace smrp::sim

@@ -1,9 +1,17 @@
 // Simulated network data plane: hop-by-hop delivery between adjacent
 // nodes with per-link propagation delay and up/down state for links and
 // nodes (the persistent failures the paper studies).
+//
+// In-flight messages ride pooled envelopes: a send moves its Message into
+// a recycled slab slot and the scheduled delivery closure carries only the
+// slot index (plus to/link), so the dispatch path performs no per-hop heap
+// allocation and a broadcast shares one refcounted envelope across every
+// admitted neighbor instead of copying the payload per hop.
 #pragma once
 
 #include <array>
+#include <cstdint>
+#include <deque>
 #include <functional>
 #include <variant>
 #include <vector>
@@ -48,6 +56,10 @@ class SimNetwork {
   bool send(NodeId from, NodeId to, Message message);
 
   /// Broadcast to every neighbor of `from`. Returns messages admitted.
+  /// All admitted copies share one pooled envelope (receivers see the
+  /// same payload by const reference). A down sender emits nothing and
+  /// counts a single batch drop — not one per neighbor, which used to
+  /// skew the `smrp.sim.drop.*` counters under node failure.
   int broadcast(NodeId from, const Message& message);
 
   void set_link_up(LinkId link, bool up);
@@ -72,8 +84,9 @@ class SimNetwork {
   /// Attach (or detach with nullptr) the telemetry bundle; not owned.
   /// Maintains per-message-type tx/rx/drop counters in the registry
   /// (`smrp.sim.{tx,rx,drop}.<MESSAGE>` — the registry-side home of the
-  /// counts the Tracer tallies) plus the per-hop latency distribution
-  /// `smrp.sim.hop_latency_ms`. Pure observation.
+  /// counts the Tracer tallies), the per-hop latency distribution
+  /// `smrp.sim.hop_latency_ms`, and the envelope-pool gauges
+  /// `smrp.sim.pool_envelopes{,_free}`. Pure observation.
   void set_telemetry(obs::Telemetry* telemetry);
 
   [[nodiscard]] std::uint64_t messages_sent() const noexcept { return sent_; }
@@ -84,11 +97,41 @@ class SimNetwork {
     return dropped_;
   }
 
+  /// Envelope-pool occupancy (capacity grows to the peak in-flight count
+  /// and is then recycled forever; the steady state allocates nothing).
+  struct PoolStats {
+    std::size_t envelopes = 0;  ///< slab capacity (peak in-flight messages)
+    std::size_t free = 0;       ///< slots on the freelist right now
+  };
+  [[nodiscard]] PoolStats pool_stats() const noexcept {
+    return PoolStats{envelopes_.size(), free_envelopes_};
+  }
+
  private:
   static constexpr std::size_t kMessageTypes =
       std::variant_size_v<Message>;
+  static constexpr std::uint32_t kNoEnvelope = 0xffffffffu;
 
+  /// One in-flight payload, shared by every delivery scheduled for it.
+  /// Slots live in a deque (stable addresses across pool growth, so a
+  /// handler's `const Message&` survives reentrant sends) and are
+  /// recycled through a freelist; reassigning the same Message
+  /// alternative into a recycled slot reuses its vector capacity.
+  struct Envelope {
+    Message message = HelloMsg{};
+    NodeId from = net::kNoNode;
+    std::uint32_t refs = 0;
+    std::uint32_t next_free = kNoEnvelope;
+  };
+
+  std::uint32_t acquire_envelope();
+  void release_envelope(std::uint32_t index);
+  /// Record tx bookkeeping and schedule the hop (envelope ref already
+  /// counted by the caller).
+  void deliver_later(std::uint32_t envelope, NodeId to, LinkId link);
+  void deliver(std::uint32_t envelope, NodeId to, LinkId link);
   void count_message(TraceKind kind, const Message& message) noexcept;
+  void trace(TraceKind kind, NodeId from, NodeId to, const Message& message);
 
   Simulator* simulator_;
   const net::Graph* graph_;
@@ -101,10 +144,15 @@ class SimNetwork {
   std::uint64_t sent_ = 0;
   std::uint64_t delivered_ = 0;
   std::uint64_t dropped_ = 0;
+  std::deque<Envelope> envelopes_;
+  std::uint32_t free_envelope_head_ = kNoEnvelope;
+  std::size_t free_envelopes_ = 0;
   // Telemetry handles, cached at attach time: [kind][variant index].
   obs::Telemetry* telemetry_ = nullptr;
   std::array<std::array<obs::Counter*, kMessageTypes>, 3> msg_counters_{};
   obs::Histogram* hop_latency_hist_ = nullptr;
+  obs::Gauge* pool_envelopes_gauge_ = nullptr;
+  obs::Gauge* pool_free_gauge_ = nullptr;
 };
 
 }  // namespace smrp::sim

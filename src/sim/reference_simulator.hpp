@@ -1,0 +1,129 @@
+// The pre-timing-wheel event core, kept verbatim as the differential
+// oracle: a binary heap of (time, id, std::function) entries with a
+// pending-id set for cancellation. tests/sim/test_simulator_differential
+// drives this and the production wheel through identical scripts and
+// asserts bit-identical firing order; bench_micro and bench_sim_core
+// measure the wheel's speedup against it. Not used on any production
+// path — include it only from tests and benches.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+#include <unordered_set>
+#include <vector>
+
+namespace smrp::sim {
+
+/// Simulated time in milliseconds (mirrors Simulator's contract).
+class ReferenceSimulator {
+ public:
+  using Time = double;
+  using EventId = std::uint64_t;
+
+  [[nodiscard]] Time now() const noexcept { return now_; }
+
+  EventId schedule(Time delay, std::function<void()> action) {
+    if (std::isnan(delay) || delay < 0.0) {
+      throw std::invalid_argument("negative delay");
+    }
+    return schedule_at(now_ + delay, std::move(action));
+  }
+
+  EventId schedule_at(Time when, std::function<void()> action) {
+    if (!std::isfinite(when) || when < now_) {
+      throw std::invalid_argument("cannot schedule in the past");
+    }
+    if (!action) throw std::invalid_argument("empty action");
+    const EventId id = next_id_++;
+    queue_.push(Entry{when, id, std::move(action)});
+    pending_ids_.insert(id);
+    ++live_pending_;
+    return id;
+  }
+
+  void cancel(EventId id) {
+    const auto it = pending_ids_.find(id);
+    if (it == pending_ids_.end()) return;  // fired, cancelled, or unknown
+    pending_ids_.erase(it);
+    --live_pending_;
+    if (queue_.size() > 64 && queue_.size() > 2 * live_pending_) compact();
+  }
+
+  std::size_t run_until(Time until) {
+    std::size_t fired = 0;
+    while (fire_next(until)) ++fired;
+    if (now_ < until) now_ = until;
+    return fired;
+  }
+
+  std::size_t run_all(std::size_t max_events = 10'000'000) {
+    std::size_t fired = 0;
+    while (fired < max_events &&
+           fire_next(std::numeric_limits<Time>::infinity())) {
+      ++fired;
+    }
+    return fired;
+  }
+
+  [[nodiscard]] bool idle() const noexcept { return live_pending_ == 0; }
+  [[nodiscard]] std::size_t processed() const noexcept { return processed_; }
+  [[nodiscard]] std::size_t pending() const noexcept { return live_pending_; }
+  [[nodiscard]] std::size_t queue_depth() const noexcept {
+    return queue_.size();
+  }
+
+ private:
+  struct Entry {
+    Time when;
+    EventId id;
+    std::function<void()> action;
+    bool operator>(const Entry& other) const noexcept {
+      if (when != other.when) return when > other.when;
+      return id > other.id;  // FIFO among simultaneous events
+    }
+  };
+
+  void compact() {
+    std::vector<Entry> live;
+    live.reserve(live_pending_);
+    while (!queue_.empty()) {
+      Entry entry = std::move(const_cast<Entry&>(queue_.top()));
+      queue_.pop();
+      if (pending_ids_.count(entry.id) > 0) live.push_back(std::move(entry));
+    }
+    queue_ = decltype(queue_)(std::greater<Entry>{}, std::move(live));
+  }
+
+  bool fire_next(Time limit) {
+    while (!queue_.empty()) {
+      const Entry& top = queue_.top();
+      if (top.when > limit) return false;
+      if (pending_ids_.find(top.id) == pending_ids_.end()) {
+        queue_.pop();  // cancelled: skip without advancing the clock
+        continue;
+      }
+      Entry entry = std::move(const_cast<Entry&>(top));
+      queue_.pop();
+      pending_ids_.erase(entry.id);
+      now_ = entry.when;
+      --live_pending_;
+      ++processed_;
+      entry.action();
+      return true;
+    }
+    return false;
+  }
+
+  Time now_ = 0.0;
+  EventId next_id_ = 1;
+  std::size_t processed_ = 0;
+  std::size_t live_pending_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue_;
+  std::unordered_set<EventId> pending_ids_;
+};
+
+}  // namespace smrp::sim

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/telemetry.hpp"
 #include "testing_topologies.hpp"
 
 namespace smrp::sim {
@@ -110,6 +111,74 @@ TEST(SimNetwork, BroadcastReachesAllNeighbors) {
     EXPECT_EQ(f.inbox[static_cast<std::size_t>(n)].size(), 1u);
   }
   EXPECT_TRUE(f.inbox[0].empty());
+}
+
+TEST(SimNetwork, DownSenderBroadcastCountsOneBatchDrop) {
+  // Regression: a down sender's broadcast used to run the whole neighbor
+  // loop and count one drop per neighbor, skewing the drop counters under
+  // node failure. It now short-circuits to a single batch drop.
+  Fixture f;
+  obs::Telemetry telemetry;
+  f.network.set_telemetry(&telemetry);
+  f.network.set_node_up(4, false);
+  EXPECT_EQ(f.network.broadcast(4, HelloMsg{}), 0);
+  f.simulator.run_all();
+  EXPECT_EQ(f.network.messages_sent(), 0u);
+  EXPECT_EQ(f.network.messages_dropped(), 1u);
+  EXPECT_EQ(telemetry.metrics.counter("smrp.sim.drop.HELLO").value(), 1u);
+  EXPECT_EQ(telemetry.metrics.counter("smrp.sim.tx.HELLO").value(), 0u);
+  for (const NodeId n : {1, 3, 5, 7}) {
+    EXPECT_TRUE(f.inbox[static_cast<std::size_t>(n)].empty());
+  }
+}
+
+TEST(SimNetwork, BroadcastSharesOneEnvelopeAcrossNeighbors) {
+  Fixture f;
+  EXPECT_EQ(f.network.broadcast(4, DataMsg{9}), 4);
+  // One pooled envelope carries the whole fan-out.
+  EXPECT_EQ(f.network.pool_stats().envelopes, 1u);
+  EXPECT_EQ(f.network.pool_stats().free, 0u);
+  f.simulator.run_all();
+  for (const NodeId n : {1, 3, 5, 7}) {
+    ASSERT_EQ(f.inbox[static_cast<std::size_t>(n)].size(), 1u);
+    EXPECT_EQ(std::get<DataMsg>(
+                  f.inbox[static_cast<std::size_t>(n)][0].message).seq,
+              9u);
+  }
+  // All references released: the slot is back on the freelist.
+  EXPECT_EQ(f.network.pool_stats().free, 1u);
+}
+
+TEST(SimNetwork, EnvelopePoolRecyclesAcrossSends) {
+  Fixture f;
+  for (int i = 0; i < 100; ++i) {
+    f.network.send(0, 1, DataMsg{static_cast<std::uint64_t>(i)});
+    f.simulator.run_all();
+  }
+  // Sequential sends reuse one slot; the slab never grows past the peak
+  // number of simultaneously in-flight messages.
+  EXPECT_EQ(f.network.pool_stats().envelopes, 1u);
+  ASSERT_EQ(f.inbox[1].size(), 100u);
+  EXPECT_EQ(std::get<DataMsg>(f.inbox[1].back().message).seq, 99u);
+}
+
+TEST(SimNetwork, InFlightEnvelopeSurvivesReentrantSends) {
+  // A handler that sends while holding the delivered payload by const
+  // reference must not have it invalidated by pool growth.
+  Fixture f;
+  std::vector<std::uint64_t> forwarded;
+  f.network.set_handler(1, [&](NodeId, const Message& m) {
+    const auto& data = std::get<DataMsg>(m);
+    for (int burst = 0; burst < 8; ++burst) {
+      f.network.send(1, 2, DataMsg{data.seq + 100});  // grows the pool
+    }
+    forwarded.push_back(std::get<DataMsg>(m).seq);  // reread after growth
+  });
+  f.network.send(0, 1, DataMsg{7});
+  f.simulator.run_all();
+  ASSERT_EQ(forwarded, (std::vector<std::uint64_t>{7}));
+  ASSERT_EQ(f.inbox[2].size(), 8u);
+  EXPECT_EQ(std::get<DataMsg>(f.inbox[2][0].message).seq, 107u);
 }
 
 TEST(SimNetwork, StatsAreConsistent) {

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <functional>
+#include <limits>
 #include <vector>
 
 namespace smrp::sim {
@@ -102,6 +105,110 @@ TEST(Simulator, RejectsPastAndNegative) {
   EXPECT_THROW(s.schedule(-1.0, [] {}), std::invalid_argument);
   EXPECT_THROW(s.schedule_at(1.0, [] {}), std::invalid_argument);
   EXPECT_THROW(s.schedule(1.0, {}), std::invalid_argument);
+}
+
+TEST(Simulator, RejectsNonFiniteTimes) {
+  // Regression: NaN delays passed the old `delay < 0` check and corrupted
+  // the queue ordering silently (NaN compares false against everything);
+  // infinities park events the clock can never reach. Both must throw.
+  Simulator s;
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(s.schedule(nan, [] {}), std::invalid_argument);
+  EXPECT_THROW(s.schedule(inf, [] {}), std::invalid_argument);
+  EXPECT_THROW(s.schedule_at(nan, [] {}), std::invalid_argument);
+  EXPECT_THROW(s.schedule_at(inf, [] {}), std::invalid_argument);
+  EXPECT_THROW(s.schedule_at(-inf, [] {}), std::invalid_argument);
+  EXPECT_EQ(s.pending(), 0u);
+  // The simulator is untouched by the rejected calls.
+  bool fired = false;
+  s.schedule(1.0, [&] { fired = true; });
+  s.run_all();
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, StaleIdAfterSlotReuseIsNoOp) {
+  // EventIds are generation-tagged slot handles: once an event fires, its
+  // slot is recycled and a later event may occupy it. Cancelling with the
+  // old id must not touch the new tenant.
+  Simulator s;
+  const EventId old_id = s.schedule(1.0, [] {});
+  s.run_all();
+  bool fired = false;
+  const EventId new_id = s.schedule(1.0, [&] { fired = true; });
+  EXPECT_NE(old_id, new_id);  // same slot, different generation
+  s.cancel(old_id);           // stale: must be a no-op
+  EXPECT_EQ(s.pending(), 1u);
+  s.run_all();
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, PoolRecyclesSlotsInsteadOfGrowing) {
+  // The slab only grows to the peak number of simultaneously pending
+  // events; a long run of sequential timers keeps reusing one slot.
+  Simulator s;
+  for (int i = 0; i < 1000; ++i) {
+    s.schedule(1.0, [] {});
+    s.run_all();
+  }
+  const auto stats = s.pool_stats();
+  EXPECT_LE(stats.slots, 4u);
+  EXPECT_EQ(stats.heap_actions, 0u) << "protocol-sized captures must stay SBO";
+}
+
+TEST(Simulator, OversizedCapturesFallBackToHeapButStillFire) {
+  Simulator s;
+  std::array<char, 200> big{};
+  big[0] = 42;
+  char seen = 0;
+  s.schedule(1.0, [big, &seen] { seen = big[0]; });
+  s.run_all();
+  EXPECT_EQ(seen, 42);
+  EXPECT_EQ(s.pool_stats().heap_actions, 1u);
+}
+
+TEST(Simulator, WheelRolloverPreservesOrderAcrossHorizon) {
+  // Events far beyond the near-wheel horizon (~1 s) start in the overflow
+  // heap and must cascade back into the wheel in exact (time, insertion)
+  // order, including ties dead on bucket boundaries.
+  Simulator s;
+  std::vector<int> order;
+  s.schedule(5000.0, [&] { order.push_back(4); });   // far heap
+  s.schedule(1024.0, [&] { order.push_back(2); });   // horizon boundary
+  s.schedule(1024.0, [&] { order.push_back(3); });   // FIFO tie at boundary
+  s.schedule(0.25, [&] { order.push_back(0); });     // first bucket
+  s.schedule(1023.75, [&] { order.push_back(1); });  // last near bucket
+  s.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_DOUBLE_EQ(s.now(), 5000.0);
+}
+
+TEST(Simulator, CancelDuringFireOfSimultaneousEvent) {
+  // Cancel-during-fire reentrancy: an event firing at time T cancels a
+  // sibling scheduled at the same T (already sitting in the ready run).
+  Simulator s;
+  bool sibling_fired = false;
+  EventId sibling = kNoEvent;
+  s.schedule(5.0, [&] { s.cancel(sibling); });
+  sibling = s.schedule(5.0, [&] { sibling_fired = true; });
+  s.run_all();
+  EXPECT_FALSE(sibling_fired);
+  EXPECT_EQ(s.processed(), 1u);
+  EXPECT_TRUE(s.idle());
+}
+
+TEST(Simulator, ActionMaySchedulePastEventsAtNow) {
+  // A handler may schedule at exactly now() (delay 0) and the event fires
+  // within the same drain, after every already-pending same-time event.
+  Simulator s;
+  std::vector<int> order;
+  s.schedule(5.0, [&] {
+    order.push_back(0);
+    s.schedule(0.0, [&] { order.push_back(2); });
+  });
+  s.schedule(5.0, [&] { order.push_back(1); });
+  s.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
 }
 
 TEST(Simulator, RunAllHonoursEventCap) {
