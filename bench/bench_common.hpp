@@ -68,7 +68,7 @@ class TelemetryExport {
   [[nodiscard]] bool active() const noexcept { return sink_ != nullptr; }
 
   /// Append one run's snapshot section. Closes still-open spans as
-  /// kUnclosed first (the run is over; anything open is a finding).
+  /// kTruncated first (the run is over; anything open is a finding).
   void add(obs::Telemetry& telemetry, double now, std::string_view run_label) {
     if (sink_ == nullptr) return;
     telemetry.finish(now);

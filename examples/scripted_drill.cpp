@@ -49,7 +49,12 @@ int main(int argc, char** argv) {
     std::cout << "\nend of run: " << report.members_at_end << " member(s), "
               << report.starved_members_at_end << " starved, "
               << report.repairs_completed << " repair(s) completed\n";
-    return report.starved_members_at_end == 0 ? 0 : 1;
+    if (report.expect_violations >= 0) {
+      std::cout << "\n" << report.expect_table;
+    }
+    const bool ok =
+        report.starved_members_at_end == 0 && report.expect_violations <= 0;
+    return ok ? 0 : 1;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 2;

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <stdexcept>
 
 #include "net/random_graphs.hpp"
 #include "net/waxman.hpp"
+#include "obs/expect/checker.hpp"
 #include "obs/jsonl.hpp"
 #include "sim/fault_injection.hpp"
 #include "smrp/harness.hpp"
@@ -143,6 +145,13 @@ ScenarioScript ScenarioScript::parse(std::istream& in) {
           fail(line, "loss probabilities must be in [0, 1]");
         }
         event.kind = ScriptEvent::Kind::kLossBurst;
+      } else if (action == "srlg-cut") {
+        if (!(tokens >> event.srlg)) {
+          fail(line, "srlg-cut needs a group name");
+        }
+        tokens >> event.hold;  // optional heal time; 0 = permanent
+        if (event.hold < 0) fail(line, "srlg-cut heal time must be >= 0");
+        event.kind = ScriptEvent::Kind::kSrlgCut;
       } else if (action == "audit") {
         event.kind = ScriptEvent::Kind::kAudit;
       } else if (action == "report") {
@@ -157,6 +166,32 @@ ScenarioScript ScenarioScript::parse(std::istream& in) {
       if (!(tokens >> script.trace_path_)) {
         fail(line, "trace-out needs a file path");
       }
+    } else if (command == "expect") {
+      if (!(tokens >> script.expect_rules_)) {
+        fail(line, "expect needs `core` or a rule-file path");
+      }
+    } else if (command == "srlg") {
+      std::string name;
+      if (!(tokens >> name)) fail(line, "srlg needs a group name");
+      if (script.srlgs_.count(name) != 0) {
+        fail(line, "duplicate srlg group: " + name);
+      }
+      auto& group = script.srlgs_[name];
+      std::string pair;
+      while (tokens >> pair) {
+        const auto dash = pair.find('-');
+        if (dash == std::string::npos || dash == 0 ||
+            dash + 1 >= pair.size()) {
+          fail(line, "srlg links are endpoint pairs like 0-5, got: " + pair);
+        }
+        try {
+          group.emplace_back(std::stoll(pair.substr(0, dash)),
+                             std::stoll(pair.substr(dash + 1)));
+        } catch (const std::exception&) {
+          fail(line, "bad srlg endpoint in " + pair);
+        }
+      }
+      if (group.empty()) fail(line, "srlg needs at least one link");
     } else if (command == "run") {
       if (!(tokens >> script.run_until_)) fail(line, "run needs a duration");
       saw_run = true;
@@ -170,6 +205,10 @@ ScenarioScript ScenarioScript::parse(std::istream& in) {
   for (const ScriptEvent& e : script.events_) {
     if (e.at > script.run_until_) {
       throw std::invalid_argument("scenario: event after the run horizon");
+    }
+    if (e.kind == ScriptEvent::Kind::kSrlgCut &&
+        script.srlgs_.count(e.srlg) == 0) {
+      throw std::invalid_argument("scenario: undefined srlg group: " + e.srlg);
     }
   }
   std::stable_sort(
@@ -218,12 +257,20 @@ ScenarioScript::RunReport ScenarioScript::execute() const {
   // Telemetry is pure observation (attached runs are bit-identical to
   // detached ones), so attach whenever any directive wants to read it.
   const bool want_telemetry =
-      !trace_path_.empty() ||
+      !trace_path_.empty() || !expect_rules_.empty() ||
       std::any_of(events_.begin(), events_.end(), [](const ScriptEvent& e) {
         return e.kind == ScriptEvent::Kind::kStats;
       });
   obs::Telemetry telemetry;
   if (want_telemetry) harness.attach_telemetry(&telemetry);
+  // Online expectations (DESIGN.md §12): the checker taps the span/event
+  // stream for the whole run, so attach before the clock moves.
+  std::unique_ptr<obs::expect::ExpectationChecker> expect_checker;
+  if (!expect_rules_.empty()) {
+    expect_checker = std::make_unique<obs::expect::ExpectationChecker>(
+        obs::expect::RuleSet::load(expect_rules_));
+    expect_checker->attach(telemetry);
+  }
   harness.start();
 
   RunReport report;
@@ -261,6 +308,20 @@ ScenarioScript::RunReport ScenarioScript::execute() const {
       case ScriptEvent::Kind::kLossBurst:
         plan.loss_burst(e.at, e.hold, e.loss, e.base_loss);
         break;
+      case ScriptEvent::Kind::kSrlgCut: {
+        std::vector<net::LinkId> group;
+        for (const auto& [a, b] : srlgs_.at(e.srlg)) {
+          const auto link = graph.link_between(a, b);
+          if (!link) {
+            throw std::invalid_argument(
+                "scenario: srlg " + e.srlg + " has no link " +
+                std::to_string(a) + "-" + std::to_string(b));
+          }
+          group.push_back(*link);
+        }
+        plan.srlg_cut(e.at, group, e.hold);
+        break;
+      }
       default:
         break;
     }
@@ -313,6 +374,13 @@ ScenarioScript::RunReport ScenarioScript::execute() const {
       case ScriptEvent::Kind::kLossBurst:
         log(e.at, "loss-burst " + std::to_string(e.loss) + " for " +
                       std::to_string(e.hold) + "ms");
+        break;
+      case ScriptEvent::Kind::kSrlgCut:
+        log(e.at, "srlg-cut " + e.srlg + " (" +
+                      std::to_string(srlgs_.at(e.srlg).size()) + " links" +
+                      (e.hold > 0 ? ", heal " + std::to_string(e.hold) + "ms"
+                                  : ", permanent") +
+                      ")");
         break;
       case ScriptEvent::Kind::kAudit: {
         const proto::InvariantReport audit = checker.audit();
@@ -370,9 +438,27 @@ ScenarioScript::RunReport ScenarioScript::execute() const {
     }
   }
   harness.simulator().run_until(run_until_);
-  if (!trace_path_.empty()) {
+  if (want_telemetry) {
+    // Flush still-open spans as `truncated` — through the expect tap too,
+    // so rules flag episodes the end of the run cut off.
     telemetry.finish(run_until_);
+  }
+  if (!trace_path_.empty()) {
     obs::write_jsonl_file(telemetry, run_until_, trace_path_, "scenario");
+  }
+  if (expect_checker != nullptr) {
+    const obs::expect::ExpectReport expect = expect_checker->report();
+    report.expect_violations = static_cast<int>(expect.total_violations());
+    report.expect_table = expect.render();
+    for (const obs::expect::RuleOutcome& rule : expect.rules) {
+      if (rule.ok()) continue;
+      log(run_until_, "expect: VIOLATION " + rule.name + " (" +
+                          std::to_string(rule.violations) + "x, first " +
+                          rule.first->to_string() + ")");
+    }
+    log(run_until_,
+        "expect: " + std::to_string(expect.rules.size()) + " rules, " +
+            std::to_string(expect.total_violations()) + " violations");
   }
 
   report.members_at_end = static_cast<int>(members.size());

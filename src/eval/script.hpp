@@ -26,12 +26,21 @@
 //   trace-out drill.jsonl           # stream the telemetry snapshot at end
 //   at 4000 stats                   # log headline registry counters
 //
+// Protocol expectations (DESIGN.md §12) and shared-risk link groups:
+//
+//   expect core                     # or a rule-file path; checked online
+//   srlg conduit 0-5 1-5 2-6        # name a link group by endpoints
+//   at 3000 srlg-cut conduit 800    # fail it atomically, heal 800ms later
+//                                   # (omit the hold for a permanent cut)
+//
 // `topology` also accepts `erdos n=.. degree=.. seed=..` and
 // `ba n=.. m=.. seed=..`. Times are simulated milliseconds.
 #pragma once
 
 #include <iosfwd>
+#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "net/graph.hpp"
@@ -54,14 +63,16 @@ struct ScriptEvent {
     kLossBurst,     ///< loss probability `loss` for `hold` ms
     kAudit,         ///< run the invariant checker, log the outcome
     kStats,         ///< log headline telemetry counters at this instant
+    kSrlgCut,       ///< fail a named link group atomically
   };
   sim::Time at = 0.0;
   Kind kind = Kind::kReport;
   net::NodeId a = net::kNoNode;  ///< member / node / link endpoint
   net::NodeId b = net::kNoNode;  ///< second link endpoint
-  sim::Time hold = 0.0;          ///< flap hold / downtime / burst duration
+  sim::Time hold = 0.0;          ///< flap hold / downtime / burst / heal time
   double loss = 0.0;             ///< kLossBurst probability
   double base_loss = 0.0;        ///< kLossBurst level restored afterwards
+  std::string srlg;              ///< kSrlgCut group name
 };
 
 /// Parsed, validated scenario.
@@ -77,6 +88,9 @@ class ScenarioScript {
     int starved_members_at_end = 0;  ///< members without fresh data
     int repairs_completed = 0;
     int invariant_violations = 0;  ///< total across `audit` directives
+    /// `expect` directive results; -1 when the scenario has no `expect`.
+    int expect_violations = -1;
+    std::string expect_table;  ///< rendered per-rule table (empty w/o expect)
   };
 
   /// Build the stack and execute every directive. Deterministic.
@@ -90,6 +104,10 @@ class ScenarioScript {
   /// JSONL telemetry destination (`trace-out`); empty when not requested.
   [[nodiscard]] const std::string& trace_path() const noexcept {
     return trace_path_;
+  }
+  /// `expect` rule source ("core" or a file path); empty when absent.
+  [[nodiscard]] const std::string& expect_rules() const noexcept {
+    return expect_rules_;
   }
 
  private:
@@ -107,6 +125,10 @@ class ScenarioScript {
   net::NodeId source_ = 0;
   sim::Time run_until_ = 5000.0;
   std::string trace_path_;
+  std::string expect_rules_;
+  /// Named link groups (`srlg`), endpoint pairs resolved at execute().
+  std::map<std::string, std::vector<std::pair<net::NodeId, net::NodeId>>>
+      srlgs_;
   std::vector<ScriptEvent> events_;
 };
 

@@ -1,0 +1,33 @@
+#include "obs/events.hpp"
+
+#include <utility>
+
+namespace smrp::obs {
+
+const double* Event::attr(std::string_view key) const noexcept {
+  for (const auto& [k, v] : attrs) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+void EventLog::record(std::string kind, std::int64_t node, double t,
+                      std::vector<std::pair<std::string, double>> attrs) {
+  Event event;
+  event.kind = std::move(kind);
+  event.node = node;
+  event.t = t;
+  event.attrs = std::move(attrs);
+  events_.push_back(std::move(event));
+  if (observer_ != nullptr) observer_->on_event(events_.back());
+}
+
+std::size_t EventLog::count(std::string_view kind) const noexcept {
+  std::size_t n = 0;
+  for (const Event& event : events_) {
+    if (event.kind == kind) ++n;
+  }
+  return n;
+}
+
+}  // namespace smrp::obs

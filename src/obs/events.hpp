@@ -1,0 +1,61 @@
+// Point-in-time protocol events, the instantaneous counterpart of the
+// episode spans: a payload forwarded by a node, a payload delivered to a
+// member, a crash-restart observed. Events carry a kind, the node they
+// happened at, the sim time, and flat numeric attributes — exactly the
+// vocabulary the expectations checker's per-message rules ("no data is
+// forwarded off-tree", "no nonce is delivered twice") need, and nothing
+// protocol state could feed back on.
+//
+// Like spans, the log is append-only and purely observational; recording
+// never schedules simulator work or consumes randomness. Emission order
+// is preserved both in memory and in the JSONL export, so an online tap
+// and an offline replay see the same stream.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace smrp::obs {
+
+struct Event {
+  std::string kind;        ///< e.g. "forward", "deliver", "restart"
+  std::int64_t node = -1;  ///< protocol agent the event happened at
+  double t = 0.0;          ///< sim time (ms)
+  /// Numeric attributes in attachment order (e.g. {"seq", 41}).
+  std::vector<std::pair<std::string, double>> attrs;
+
+  [[nodiscard]] const double* attr(std::string_view key) const noexcept;
+};
+
+/// Online tap into the event stream, notified once per recorded event in
+/// emission order.
+class EventObserver {
+ public:
+  virtual ~EventObserver() = default;
+  virtual void on_event(const Event& event) = 0;
+};
+
+class EventLog {
+ public:
+  /// Append one event; notifies the observer after the event is stored.
+  void record(std::string kind, std::int64_t node, double t,
+              std::vector<std::pair<std::string, double>> attrs = {});
+
+  /// Attach (or detach with nullptr) the tap; not owned.
+  void set_observer(EventObserver* observer) noexcept { observer_ = observer; }
+
+  [[nodiscard]] const std::vector<Event>& events() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+  /// Events of the given kind.
+  [[nodiscard]] std::size_t count(std::string_view kind) const noexcept;
+
+ private:
+  std::vector<Event> events_;
+  EventObserver* observer_ = nullptr;
+};
+
+}  // namespace smrp::obs

@@ -1,0 +1,274 @@
+#include "obs/expect/checker.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+namespace smrp::obs::expect {
+
+namespace {
+
+std::string format_number(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%g", value);
+  return buffer;
+}
+
+bool contains(const std::vector<std::string>& haystack,
+              std::string_view needle) {
+  for (const std::string& s : haystack) {
+    if (s == needle) return true;
+  }
+  return false;
+}
+
+/// First-violation ordering: earliest (time, id) wins, so the pick does
+/// not depend on whether spans arrived in close order (online) or id
+/// order (offline replay).
+bool earlier(const Violation& a, const Violation& b) {
+  if (a.at != b.at) return a.at < b.at;
+  return a.ref < b.ref;
+}
+
+void merge_violation(RuleOutcome& outcome, Violation violation) {
+  ++outcome.violations;
+  if (!outcome.first || earlier(violation, *outcome.first)) {
+    outcome.first = std::move(violation);
+  }
+}
+
+std::string pad_right(std::string text, std::size_t width) {
+  if (text.size() < width) text.append(width - text.size(), ' ');
+  return text;
+}
+
+std::string pad_left(const std::string& text, std::size_t width) {
+  if (text.size() >= width) return text;
+  return std::string(width - text.size(), ' ') + text;
+}
+
+}  // namespace
+
+std::string Violation::to_string() const {
+  return "t=" + format_number(at) + " " + (is_event ? "event " : "span ") +
+         std::to_string(ref) + " node " + std::to_string(node) + ": " + detail;
+}
+
+std::uint64_t ExpectReport::total_violations() const noexcept {
+  std::uint64_t n = 0;
+  for (const RuleOutcome& outcome : rules) n += outcome.violations;
+  return n;
+}
+
+std::string ExpectReport::render() const {
+  std::size_t name_width = 4;
+  for (const RuleOutcome& outcome : rules) {
+    name_width = std::max(name_width, outcome.name.size());
+  }
+  std::string out = "expect: " + std::to_string(rules.size()) + " rules, " +
+                    std::to_string(total_violations()) + " violations\n";
+  out += "  " + pad_right("rule", name_width) + pad_left("checked", 9) +
+         pad_left("violations", 12) + "  first violation\n";
+  for (const RuleOutcome& outcome : rules) {
+    out += "  " + pad_right(outcome.name, name_width) +
+           pad_left(std::to_string(outcome.checked), 9) +
+           pad_left(std::to_string(outcome.violations), 12) + "  " +
+           (outcome.first ? outcome.first->to_string() : "-") + "\n";
+  }
+  return out;
+}
+
+ExpectationChecker::ExpectationChecker(RuleSet rules)
+    : rules_(std::move(rules)), state_(rules_.rules().size()) {}
+
+void ExpectationChecker::attach(Telemetry& telemetry) {
+  telemetry.spans.set_observer(this);
+  telemetry.events.set_observer(this);
+}
+
+void ExpectationChecker::detach(Telemetry& telemetry) {
+  telemetry.spans.set_observer(nullptr);
+  telemetry.events.set_observer(nullptr);
+}
+
+void ExpectationChecker::record_violation(std::size_t index,
+                                          Violation violation) {
+  RuleState& state = state_[index];
+  ++state.violations;
+  if (!state.first || earlier(violation, *state.first)) {
+    state.first = std::move(violation);
+  }
+}
+
+void ExpectationChecker::on_span_closed(const Span& span) {
+  const std::vector<Rule>& rules = rules_.rules();
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    const Rule& rule = rules[i];
+    RuleState& state = state_[i];
+    switch (rule.check) {
+      case Check::kStatus: {
+        if (span.kind != rule.subject) break;
+        ++state.checked;
+        const std::string_view status = span_status_name(span.status);
+        if (!contains(rule.allowed, status)) {
+          record_violation(i, {span.end, span.id, false, span.node,
+                               "status=" + std::string(status)});
+        }
+        break;
+      }
+      case Check::kAttrLe: {
+        if (span.kind != rule.subject) break;
+        ++state.checked;
+        const double* value = span.attr(rule.attr);
+        if (value == nullptr) {
+          record_violation(i, {span.end, span.id, false, span.node,
+                               "missing attr " + rule.attr});
+          break;
+        }
+        double cap = rule.cap_value;
+        if (!rule.cap_attr.empty()) {
+          const double* cap_value = span.attr(rule.cap_attr);
+          if (cap_value == nullptr) {
+            record_violation(i, {span.end, span.id, false, span.node,
+                                 "missing cap attr " + rule.cap_attr});
+            break;
+          }
+          cap = *cap_value;
+        }
+        if (*value > cap) {
+          record_violation(
+              i, {span.end, span.id, false, span.node,
+                  rule.attr + "=" + format_number(*value) + " exceeds " +
+                      (rule.cap_attr.empty() ? "cap" : rule.cap_attr) + "=" +
+                      format_number(cap)});
+        }
+        break;
+      }
+      case Check::kChild: {
+        // Order-independent: count children and remember subjects as they
+        // close; the ≥min judgement happens in report(), so a child that
+        // closes after its parent (or replays earlier in file order)
+        // still counts.
+        if (span.parent != kNoSpan && contains(rule.child_kinds, span.kind)) {
+          ++state.child_counts[span.parent];
+        }
+        if (span.kind == rule.subject) {
+          state.parents[span.id] =
+              ParentSeen{span.end, span.node, span.status == SpanStatus::kOk};
+        }
+        break;
+      }
+      case Check::kFlag:
+      case Check::kMonotone:
+      case Check::kFollows:
+        break;  // event rules
+    }
+  }
+}
+
+void ExpectationChecker::on_event(const Event& event) {
+  ++event_index_;
+  const std::vector<Rule>& rules = rules_.rules();
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    const Rule& rule = rules[i];
+    RuleState& state = state_[i];
+    switch (rule.check) {
+      case Check::kFlag: {
+        if (event.kind != rule.subject) break;
+        ++state.checked;
+        const double* value = event.attr(rule.attr);
+        if (value == nullptr) {
+          record_violation(i, {event.t, event_index_, true, event.node,
+                               "missing attr " + rule.attr});
+        } else if (*value == 0.0) {
+          record_violation(i, {event.t, event_index_, true, event.node,
+                               rule.attr + "=0"});
+        }
+        break;
+      }
+      case Check::kMonotone: {
+        if (event.kind != rule.subject) break;
+        ++state.checked;
+        const double* value = event.attr(rule.attr);
+        if (value == nullptr) {
+          record_violation(i, {event.t, event_index_, true, event.node,
+                               "missing attr " + rule.attr});
+          break;
+        }
+        const auto it = state.last_value.find(event.node);
+        if (it != state.last_value.end() && *value <= it->second) {
+          record_violation(
+              i, {event.t, event_index_, true, event.node,
+                  rule.attr + "=" + format_number(*value) +
+                      " does not exceed previous " + format_number(it->second)});
+          it->second = std::max(it->second, *value);
+        } else {
+          state.last_value[event.node] = *value;
+        }
+        break;
+      }
+      case Check::kFollows: {
+        if (event.kind == rule.follow_kind) state.pending.erase(event.node);
+        if (event.kind != rule.subject) break;
+        if (!rule.gate_attr.empty()) {
+          const double* gate = event.attr(rule.gate_attr);
+          if (gate == nullptr || *gate == 0.0) break;  // not this rule's event
+        }
+        ++state.checked;
+        // A newer subject at the same node subsumes the older obligation:
+        // the follow event discharges both.
+        state.pending[event.node] = PendingFollow{event.t, event_index_};
+        break;
+      }
+      case Check::kStatus:
+      case Check::kAttrLe:
+      case Check::kChild:
+        break;  // span rules
+    }
+  }
+}
+
+ExpectReport ExpectationChecker::report() const {
+  ExpectReport report;
+  const std::vector<Rule>& rules = rules_.rules();
+  report.rules.reserve(rules.size());
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    const Rule& rule = rules[i];
+    const RuleState& state = state_[i];
+    RuleOutcome outcome;
+    outcome.name = rule.name;
+    outcome.describe = rule.describe();
+    outcome.checked = state.checked;
+    outcome.violations = state.violations;
+    outcome.first = state.first;
+    if (rule.check == Check::kChild) {
+      // End-of-stream judgement: every ok-closed subject must have
+      // accumulated enough matching children by now.
+      for (const auto& [id, parent] : state.parents) {
+        if (!parent.ok) continue;
+        ++outcome.checked;
+        const auto counted = state.child_counts.find(id);
+        const int have = counted != state.child_counts.end() ? counted->second
+                                                             : 0;
+        if (have < rule.min_children) {
+          merge_violation(outcome,
+                          {parent.end, id, false, parent.node,
+                           "has " + std::to_string(have) +
+                               " matching children, needs " +
+                               std::to_string(rule.min_children)});
+        }
+      }
+    } else if (rule.check == Check::kFollows) {
+      // Subjects still waiting at end-of-stream never got their follow.
+      for (const auto& [node, pending] : state.pending) {
+        merge_violation(outcome, {pending.at, pending.ref, true, node,
+                                  "no " + rule.follow_kind +
+                                      " before end of run"});
+      }
+    }
+    report.rules.push_back(std::move(outcome));
+  }
+  return report;
+}
+
+}  // namespace smrp::obs::expect

@@ -1,0 +1,109 @@
+// Incremental expectations evaluator: implements the SpanObserver /
+// EventObserver taps, so rules are checked inside the simulation as
+// episodes close and events fire — no post-hoc file pass. The same
+// feeding surface replays recorded JSONL (obs/expect/offline.hpp), and
+// every judgement is order-independent across the two (first violations
+// are picked by (time, id), not arrival order), so an online run and the
+// offline replay of its own export produce byte-identical reports.
+//
+// Memory is bounded by the protocol, not the trace: per-span rules keep
+// nothing across spans, per-event rules keep one value per node, and the
+// child rule keeps one counter per subject episode.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/expect/rules.hpp"
+#include "obs/telemetry.hpp"
+
+namespace smrp::obs::expect {
+
+struct Violation {
+  double at = 0.0;        ///< sim time of the violating span end / event
+  std::uint64_t ref = 0;  ///< span id, or 1-based event stream index
+  bool is_event = false;  ///< ref is an event index, not a span id
+  std::int64_t node = -1;
+  std::string detail;
+
+  /// "t=<at> span <ref> node <node>: <detail>" (or "event <ref>").
+  [[nodiscard]] std::string to_string() const;
+};
+
+struct RuleOutcome {
+  std::string name;
+  std::string describe;
+  std::uint64_t checked = 0;     ///< spans/events the rule applied to
+  std::uint64_t violations = 0;  ///< how many of them failed it
+  std::optional<Violation> first;
+
+  [[nodiscard]] bool ok() const noexcept { return violations == 0; }
+};
+
+struct ExpectReport {
+  std::vector<RuleOutcome> rules;  ///< declaration order
+
+  [[nodiscard]] std::uint64_t total_violations() const noexcept;
+  [[nodiscard]] bool ok() const noexcept { return total_violations() == 0; }
+  /// Deterministic per-rule pass/violation table (byte-identical for the
+  /// same stream, online or offline).
+  [[nodiscard]] std::string render() const;
+};
+
+class ExpectationChecker final : public SpanObserver, public EventObserver {
+ public:
+  explicit ExpectationChecker(RuleSet rules);
+
+  /// Wire this checker into a live telemetry bundle (replaces any prior
+  /// observers). Attach before the run starts: spans closed earlier were
+  /// never seen. Telemetry::finish() flushes still-open spans through the
+  /// tap as `truncated`, so call it before report().
+  void attach(Telemetry& telemetry);
+  void detach(Telemetry& telemetry);
+
+  // Feeding surface — called by the taps online, by the JSONL replay
+  // offline.
+  void on_span_closed(const Span& span) override;
+  void on_event(const Event& event) override;
+
+  /// Evaluate end-of-stream rules (child counts, unanswered follows) and
+  /// return the per-rule table. Does not consume state: feeding more and
+  /// calling report() again is allowed.
+  [[nodiscard]] ExpectReport report() const;
+
+  [[nodiscard]] const RuleSet& rules() const noexcept { return rules_; }
+
+ private:
+  struct ParentSeen {
+    double end = 0.0;
+    std::int64_t node = -1;
+    bool ok = false;  ///< closed kOk (the child rule only binds these)
+  };
+  struct PendingFollow {
+    double at = 0.0;
+    std::uint64_t ref = 0;  ///< event index of the waiting subject
+  };
+  struct RuleState {
+    std::uint64_t checked = 0;
+    std::uint64_t violations = 0;
+    std::optional<Violation> first;
+    // kChild: every closed subject span, plus matching-child counts.
+    std::map<SpanId, ParentSeen> parents;
+    std::map<SpanId, int> child_counts;
+    // kMonotone: last value per node.
+    std::map<std::int64_t, double> last_value;
+    // kFollows: subjects still waiting for their follow event, per node.
+    std::map<std::int64_t, PendingFollow> pending;
+  };
+
+  void record_violation(std::size_t index, Violation violation);
+
+  RuleSet rules_;
+  std::vector<RuleState> state_;
+  std::uint64_t event_index_ = 0;  ///< 1-based stream position
+};
+
+}  // namespace smrp::obs::expect

@@ -1,0 +1,122 @@
+// Declarative protocol expectations over the trace stream (Pip-style,
+// NSDI '06): a RuleSet declares what the recorded spans and events MUST
+// look like when the protocol behaves, and the checker (obs/expect/
+// checker.hpp) validates a run against it — online through a Telemetry
+// tap or offline over recorded JSONL. Six predicate shapes cover the
+// classic multicast-tree bug catalog:
+//
+//   status   <span-kind> <allowed,...>   every closed span of this kind
+//                                        ends in an allowed status
+//                                        (truncated ⇒ cut off mid-episode)
+//   child    <span-kind> <min> <kinds,…> every ok-closed span of this kind
+//                                        has ≥ min children drawn from the
+//                                        listed kinds
+//   attr-le  <span-kind> <attr> <cap>    attr ≤ cap on every closed span;
+//                                        cap is a number or another attr
+//   flag     <event-kind> <attr>         the attr is present and non-zero
+//                                        on every event of this kind
+//   monotone <event-kind> <attr>         per node, the attr strictly
+//                                        increases across events of this
+//                                        kind (⇒ no duplicate delivery)
+//   follows  <event-kind> <follow-kind> [if <attr>]
+//                                        every event of the first kind
+//                                        (gated on attr ≠ 0 when given) is
+//                                        followed, at the same node, by an
+//                                        event of the second kind before
+//                                        the run ends
+//
+// Rules come from the C++ builder API below or from a line-oriented rule
+// file (`rule <name> <check> <args…>`, '#' comments); RuleSet::smrp_core()
+// is the in-tree SMRP conformance ruleset, whose file form round-trips
+// through the parser (asserted in tests).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace smrp::obs::expect {
+
+enum class Check : unsigned char {
+  kStatus,
+  kChild,
+  kAttrLe,
+  kFlag,
+  kMonotone,
+  kFollows,
+};
+
+struct Rule {
+  Check check = Check::kStatus;
+  std::string name;     ///< unique handle, shown in the report table
+  std::string subject;  ///< span kind (status/child/attr-le) or event kind
+  // kStatus
+  std::vector<std::string> allowed;  ///< permitted status names
+  // kChild
+  std::vector<std::string> child_kinds;
+  int min_children = 1;
+  // kAttrLe / kFlag / kMonotone: the attribute under test
+  std::string attr;
+  // kAttrLe cap: `cap_attr` when non-empty, else the literal `cap_value`
+  std::string cap_attr;
+  double cap_value = 0.0;
+  // kFollows
+  std::string follow_kind;  ///< event kind that must follow the subject
+  std::string gate_attr;    ///< only subject events with this attr != 0
+
+  /// One-line human rendering, identical to the rule-file syntax.
+  [[nodiscard]] std::string describe() const;
+};
+
+class RuleSet {
+ public:
+  // -- Builder API ----------------------------------------------------------
+
+  RuleSet& require_status(std::string name, std::string span_kind,
+                          std::vector<std::string> allowed);
+  RuleSet& require_child(std::string name, std::string span_kind,
+                         int min_children, std::vector<std::string> kinds);
+  RuleSet& require_attr_le(std::string name, std::string span_kind,
+                           std::string attr, std::string cap_attr);
+  RuleSet& require_attr_le(std::string name, std::string span_kind,
+                           std::string attr, double cap_value);
+  RuleSet& require_flag(std::string name, std::string event_kind,
+                        std::string attr);
+  RuleSet& require_monotone(std::string name, std::string event_kind,
+                            std::string attr);
+  RuleSet& require_follows(std::string name, std::string event_kind,
+                           std::string follow_kind,
+                           std::string gate_attr = {});
+
+  // -- Rule files -----------------------------------------------------------
+
+  /// Parse the line-oriented rule format; throws std::invalid_argument
+  /// with a line number on syntax errors or duplicate rule names.
+  static RuleSet parse(std::istream& in);
+  static RuleSet parse_text(std::string_view text);
+  /// Load from a file; "core" resolves to the in-tree SMRP ruleset.
+  static RuleSet load(const std::string& path_or_core);
+
+  /// The shipped SMRP conformance ruleset (DESIGN.md §12).
+  static RuleSet smrp_core();
+  /// smrp_core() in rule-file form; parse_text(smrp_core_text()) is
+  /// equivalent to smrp_core() (asserted in tests).
+  static std::string_view smrp_core_text();
+
+  /// Rule-file rendering of this set (parse round-trip).
+  [[nodiscard]] std::string to_text() const;
+
+  [[nodiscard]] const std::vector<Rule>& rules() const noexcept {
+    return rules_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return rules_.empty(); }
+
+ private:
+  Rule& add(Check check, std::string name, std::string subject);
+
+  std::vector<Rule> rules_;
+};
+
+}  // namespace smrp::obs::expect

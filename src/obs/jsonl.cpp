@@ -106,10 +106,15 @@ void JsonlSink::write_snapshot(const Telemetry& telemetry, double now,
       .field("run", run_label)
       .field("at", now)
       .field("spans", static_cast<std::uint64_t>(spans.spans().size()))
-      .field("open_spans", static_cast<std::uint64_t>(spans.open_count()));
+      .field("open_spans", static_cast<std::uint64_t>(spans.open_count()))
+      .field("events",
+             static_cast<std::uint64_t>(telemetry.events.size()));
   meta.emit(*out_);
 
   for (const Span& span : spans.spans()) {
+    // A span still open at export time was cut off by the end of the run:
+    // record that explicitly (same status Telemetry::finish would assign)
+    // instead of pretending the episode is healthy and in flight.
     Line line("span");
     line.field("id", span.id)
         .field("parent", span.parent)
@@ -117,8 +122,19 @@ void JsonlSink::write_snapshot(const Telemetry& telemetry, double now,
         .field("node", static_cast<double>(span.node))
         .field("start", span.start)
         .field("end", span.open() ? now : span.end)
-        .field("status", span_status_name(span.status));
+        .field("status", span.open()
+                             ? span_status_name(SpanStatus::kTruncated)
+                             : span_status_name(span.status));
     for (const auto& [key, value] : span.attrs) line.field(key, value);
+    line.emit(*out_);
+  }
+
+  for (const Event& event : telemetry.events.events()) {
+    Line line("event");
+    line.field("kind", event.kind)
+        .field("node", static_cast<double>(event.node))
+        .field("t", event.t);
+    for (const auto& [key, value] : event.attrs) line.field(key, value);
     line.emit(*out_);
   }
 

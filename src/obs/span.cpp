@@ -14,10 +14,18 @@ std::string_view span_status_name(SpanStatus status) {
       return "failed";
     case SpanStatus::kSuperseded:
       return "superseded";
-    case SpanStatus::kUnclosed:
-      return "unclosed";
+    case SpanStatus::kTruncated:
+      return "truncated";
   }
   return "?";
+}
+
+SpanStatus span_status_from_name(std::string_view name) {
+  if (name == "ok") return SpanStatus::kOk;
+  if (name == "failed") return SpanStatus::kFailed;
+  if (name == "superseded") return SpanStatus::kSuperseded;
+  if (name == "truncated") return SpanStatus::kTruncated;
+  return SpanStatus::kOpen;
 }
 
 const double* Span::attr(std::string_view key) const noexcept {
@@ -62,14 +70,16 @@ void SpanCollector::close(SpanId id, double now, SpanStatus status) {
   span.end = now;
   span.status = status == SpanStatus::kOpen ? SpanStatus::kOk : status;
   --open_;
+  if (observer_ != nullptr) observer_->on_span_closed(span);
 }
 
 void SpanCollector::close_open(double now) {
   for (Span& span : spans_) {
     if (!span.open()) continue;
     span.end = now;
-    span.status = SpanStatus::kUnclosed;
+    span.status = SpanStatus::kTruncated;
     --open_;
+    if (observer_ != nullptr) observer_->on_span_closed(span);
   }
 }
 

@@ -30,10 +30,12 @@ enum class SpanStatus : unsigned char {
   kOk,          ///< episode resolved
   kFailed,      ///< episode gave up (ring budget exhausted, crash wiped it)
   kSuperseded,  ///< replaced by a newer episode before resolving
-  kUnclosed,    ///< still open when the run ended (closed by close_open)
+  kTruncated,   ///< still open when the run ended (closed by close_open)
 };
 
 [[nodiscard]] std::string_view span_status_name(SpanStatus status);
+/// Inverse of span_status_name; kOpen on an unknown name.
+[[nodiscard]] SpanStatus span_status_from_name(std::string_view name);
 
 struct Span {
   SpanId id = kNoSpan;
@@ -54,6 +56,16 @@ struct Span {
   [[nodiscard]] const double* attr(std::string_view key) const noexcept;
 };
 
+/// Online tap into the span stream: notified once per span, at close time,
+/// when every attribute is final (instrumentation attaches attrs before
+/// closing). The expectations checker (obs/expect) evaluates rules here
+/// without a post-hoc file pass.
+class SpanObserver {
+ public:
+  virtual ~SpanObserver() = default;
+  virtual void on_span_closed(const Span& span) = 0;
+};
+
 class SpanCollector {
  public:
   /// Open a span; ids are dense and start at 1. `parent` may be kNoSpan.
@@ -68,8 +80,13 @@ class SpanCollector {
   /// tests can assert instrumentation discipline.
   void close(SpanId id, double now, SpanStatus status = SpanStatus::kOk);
 
-  /// Close every still-open span as kUnclosed (end-of-run flush).
+  /// Close every still-open span as kTruncated (end-of-run flush): the run
+  /// ended mid-episode, which exporters record explicitly and the
+  /// expectations checker can flag.
   void close_open(double now);
+
+  /// Attach (or detach with nullptr) a close-time tap; not owned.
+  void set_observer(SpanObserver* observer) noexcept { observer_ = observer; }
 
   [[nodiscard]] const std::vector<Span>& spans() const noexcept {
     return spans_;
@@ -88,6 +105,7 @@ class SpanCollector {
   std::vector<Span> spans_;
   std::size_t open_ = 0;
   std::uint64_t double_closes_ = 0;
+  SpanObserver* observer_ = nullptr;
 };
 
 }  // namespace smrp::obs

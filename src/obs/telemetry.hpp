@@ -1,11 +1,12 @@
 // The telemetry bundle every instrumented layer accepts: one metrics
-// registry plus one span collector. A layer holds a `Telemetry*` that may
-// be null (telemetry detached — the default); all instrumentation is
-// behind that null check, and nothing here feeds back into simulation
-// state, so attached vs. detached runs are bit-identical (asserted by
-// tests/obs/test_telemetry.cpp).
+// registry, one span collector, one event log. A layer holds a
+// `Telemetry*` that may be null (telemetry detached — the default); all
+// instrumentation is behind that null check, and nothing here feeds back
+// into simulation state, so attached vs. detached runs are bit-identical
+// (asserted by tests/obs/test_telemetry.cpp).
 #pragma once
 
+#include "obs/events.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 
@@ -14,9 +15,10 @@ namespace smrp::obs {
 struct Telemetry {
   MetricsRegistry metrics;
   SpanCollector spans;
+  EventLog events;
 
   /// End-of-run flush: close anything still open so every exported span
-  /// has an end time (status kUnclosed marks the ones the run cut off).
+  /// has an end time (status kTruncated marks the ones the run cut off).
   void finish(double now) { spans.close_open(now); }
 };
 

@@ -60,19 +60,25 @@ FaultPlan& FaultPlan::loss_burst(Time at, Time duration, double probability,
               net::kNoNode, base_probability});
 }
 
-FaultPlan& FaultPlan::partition(Time at, const std::vector<net::LinkId>& cut,
-                                Time heal_after) {
-  if (cut.empty()) throw std::invalid_argument("empty partition cut");
+FaultPlan& FaultPlan::srlg_cut(Time at, const std::vector<net::LinkId>& group,
+                               Time heal_after) {
+  if (group.empty()) throw std::invalid_argument("empty link group");
   ++faults_;
-  for (const net::LinkId l : cut) {
+  for (const net::LinkId l : group) {
     add({at, FaultAction::Kind::kLinkDown, l, net::kNoNode, 0.0});
   }
   if (heal_after > 0.0) {
-    for (const net::LinkId l : cut) {
+    for (const net::LinkId l : group) {
       add({at + heal_after, FaultAction::Kind::kLinkUp, l, net::kNoNode, 0.0});
     }
   }
   return *this;
+}
+
+FaultPlan& FaultPlan::partition(Time at, const std::vector<net::LinkId>& cut,
+                                Time heal_after) {
+  if (cut.empty()) throw std::invalid_argument("empty partition cut");
+  return srlg_cut(at, cut, heal_after);
 }
 
 Time FaultPlan::quiescent_time() const noexcept {

@@ -60,8 +60,18 @@ class FaultPlan {
   FaultPlan& loss_burst(Time at, Time duration, double probability,
                         double base_probability = 0.0);
 
+  /// Shared-risk link group failure: every link in `group` fails
+  /// atomically at `at` — one fault, no intermediate state another event
+  /// can observe — and heals together after `heal_after` ms
+  /// (`heal_after` <= 0 means permanent). Models fiber-conduit / line-card
+  /// faults where several logical links share one physical risk.
+  FaultPlan& srlg_cut(Time at, const std::vector<net::LinkId>& group,
+                      Time heal_after = 0.0);
+
   /// k-cut partition: every link in `cut` goes down at `at`; all heal
   /// together after `heal_after` ms (`heal_after` <= 0 means permanent).
+  /// The special case of srlg_cut where the group is a node-set boundary
+  /// (see boundary_links).
   FaultPlan& partition(Time at, const std::vector<net::LinkId>& cut,
                        Time heal_after);
 

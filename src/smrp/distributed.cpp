@@ -165,6 +165,10 @@ void DistributedSession::tl_on_data(net::NodeId n) {
     spans.close(t.fallback, now, obs::SpanStatus::kOk);
     t.fallback = obs::kNoSpan;
   }
+  if (t.rejoin != obs::kNoSpan) {
+    spans.close(t.rejoin, now, obs::SpanStatus::kOk);
+    t.rejoin = obs::kNoSpan;
+  }
   if (t.outage != obs::kNoSpan) {
     const obs::Span* span = spans.find(t.outage);
     const double* lost_at =
@@ -213,6 +217,10 @@ void DistributedSession::tl_on_restart(net::NodeId n, bool was_member) {
     spans.close(t.fallback, now, obs::SpanStatus::kFailed);
     t.fallback = obs::kNoSpan;
   }
+  if (t.rejoin != obs::kNoSpan) {
+    spans.close(t.rejoin, now, obs::SpanStatus::kFailed);
+    t.rejoin = obs::kNoSpan;
+  }
   if (t.reshape != obs::kNoSpan) {
     spans.close(t.reshape, now, obs::SpanStatus::kSuperseded);
     t.reshape = obs::kNoSpan;
@@ -240,13 +248,47 @@ void DistributedSession::tl_on_prune(net::NodeId n) {
     spans.attr(t.repair, "rings", t.rings_episode);
     h_rings_->record(t.rings_episode);
   }
-  for (obs::SpanId* id : {&t.ring, &t.repair, &t.graft, &t.fallback, &t.join,
-                          &t.reshape, &t.outage}) {
+  for (obs::SpanId* id : {&t.ring, &t.repair, &t.graft, &t.fallback, &t.rejoin,
+                          &t.join, &t.reshape, &t.outage}) {
     if (*id == obs::kNoSpan) continue;
     spans.close(*id, now, obs::SpanStatus::kSuperseded);
     *id = obs::kNoSpan;
   }
   t.rings_episode = 0;
+}
+
+void DistributedSession::tl_open_rejoin(net::NodeId n) {
+  if (telemetry_ == nullptr) return;
+  NodeObs& t = node_obs_[static_cast<std::size_t>(n)];
+  // Only a leg of an ongoing outage: a fresh member's first join has its
+  // own join span, and there is no outage to hang a rejoin under.
+  if (t.outage == obs::kNoSpan) return;
+  if (t.rejoin != obs::kNoSpan) return;  // one routed attempt at a time
+  t.rejoin = telemetry_->spans.open("rejoin", n, simulator_->now(), t.outage);
+}
+
+void DistributedSession::tl_event_forward(net::NodeId n, std::uint64_t seq,
+                                          bool on_tree, bool from_parent) {
+  if (telemetry_ == nullptr) return;
+  NodeObs& t = node_obs_[static_cast<std::size_t>(n)];
+  // Observational tree-membership epoch: bumped when the forwarding
+  // node's parent changed since its last forward.
+  const net::NodeId parent = agent(n).parent;
+  if (parent != t.last_parent) {
+    t.last_parent = parent;
+    ++t.epoch;
+  }
+  telemetry_->events.record("forward", n, simulator_->now(),
+                            {{"seq", static_cast<double>(seq)},
+                             {"on_tree", on_tree ? 1.0 : 0.0},
+                             {"from_parent", from_parent ? 1.0 : 0.0},
+                             {"epoch", static_cast<double>(t.epoch)}});
+}
+
+void DistributedSession::tl_event_deliver(net::NodeId n, std::uint64_t seq) {
+  if (telemetry_ == nullptr) return;
+  telemetry_->events.record("deliver", n, simulator_->now(),
+                            {{"seq", static_cast<double>(seq)}});
 }
 
 void DistributedSession::start() {
@@ -268,9 +310,12 @@ void DistributedSession::pump_data() {
   data.seq = ++data_seq_;
   s.last_data = simulator_->now();
   s.last_seq = data.seq;
+  bool forwarded = false;
   for (const auto& [child, info] : s.children) {
     network_->send(source_, child, data);
+    forwarded = true;
   }
+  if (forwarded) tl_event_forward(source_, data.seq, true, true);
   simulator_->schedule(config_.data_interval, [this] { pump_data(); });
 }
 
@@ -295,6 +340,9 @@ void DistributedSession::join(net::NodeId member) {
 void DistributedSession::initiate_join(net::NodeId member) {
   AgentState& s = agent(member);
   s.stranded = false;
+  // A (re)join issued while the member's service is down is the rejoin
+  // leg of that outage (crash-restart, post-partition); no-op otherwise.
+  tl_open_rejoin(member);
 
   if (config_.mode == SessionConfig::Mode::kPimSpf) {
     s.on_tree = true;
@@ -337,6 +385,10 @@ void DistributedSession::restart_agent(net::NodeId n) {
   AgentState& s = agent(n);
   const bool was_member = s.is_member;
   tl_on_restart(n, was_member);
+  if (telemetry_ != nullptr) {
+    telemetry_->events.record("restart", n, simulator_->now(),
+                              {{"member", was_member ? 1.0 : 0.0}});
+  }
   s = AgentState{};
   s.is_member = was_member;
   if (n == source_) {
@@ -560,12 +612,14 @@ void DistributedSession::react_to_dead_upstream(net::NodeId n) {
       // source (the heal signal).
       if (routing_->has_route(n, source_)) {
         s.stranded = false;
+        tl_open_rejoin(n);
         send_routed_join(n);
       }
     } else {
       start_repair(n);
     }
   } else if (s.is_member || !s.children.empty()) {
+    tl_open_rejoin(n);
     send_routed_join(n);  // PIM: keep re-joining toward the source
   }
 }
@@ -629,6 +683,12 @@ void DistributedSession::start_repair(net::NodeId n) {
     if (t.repair != obs::kNoSpan) {  // defensive; episodes close on exit
       spans.close(t.repair, now, obs::SpanStatus::kSuperseded);
     }
+    if (t.rejoin != obs::kNoSpan) {
+      // The local repair takes over from a routed attempt that never
+      // delivered.
+      spans.close(t.rejoin, now, obs::SpanStatus::kSuperseded);
+      t.rejoin = obs::kNoSpan;
+    }
     t.rings_episode = 0;
     // Span count == repairs_started(): opened nowhere else.
     t.repair = spans.open("repair", n, now, t.outage);
@@ -640,7 +700,8 @@ void DistributedSession::start_repair(net::NodeId n) {
 void DistributedSession::fire_repair_ring(net::NodeId n) {
   AgentState& s = agent(n);
   if (!s.repairing) return;
-  if (s.repair_ttl > config_.max_repair_ttl) {
+  if (!config_.mutations.ignore_ring_budget &&
+      s.repair_ttl > config_.max_repair_ttl) {
     s.repairing = false;
     NodeObs* t = nullptr;
     if (telemetry_ != nullptr) {
@@ -703,12 +764,15 @@ void DistributedSession::fire_repair_ring(net::NodeId n) {
     }
     t.ring = spans.open("ring", n, now, t.repair);
     spans.attr(t.ring, "ttl", s.repair_ttl);
+    spans.attr(t.ring, "ttl_cap", config_.max_repair_ttl);
     spans.attr(t.ring, "ring", s.repair_ring);
     c_rings_->add(1);
     ++t.rings_episode;
   }
   network_->broadcast(n, query);
-  s.repair_ttl *= 2;
+  // Clamp far above any real budget: only the ignore_ring_budget mutation
+  // can reach it, and it must widen forever without overflowing.
+  s.repair_ttl = s.repair_ttl >= (1 << 20) ? (1 << 20) : s.repair_ttl * 2;
   Time pacing = config_.repair_retry;
   if (config_.hardened) {
     // Exponential backoff gives ring k time proportional to its radius
@@ -846,8 +910,24 @@ void DistributedSession::on_shr_update(net::NodeId at, net::NodeId from,
 void DistributedSession::on_data(net::NodeId at, net::NodeId from,
                                  const sim::DataMsg& msg) {
   AgentState& s = agent(at);
-  if (!s.on_tree || s.parent != from) return;  // not my upstream
-  if (msg.seq <= s.last_seq) return;           // duplicate suppression
+  if (!s.on_tree || s.parent != from) {  // not my upstream
+    if (!config_.mutations.forward_off_tree) return;
+    // MUTATION (tests only): accept anyway and flood to every neighbor.
+    // Per-seq dedup keeps the flood finite; the forward event it emits
+    // carries on_tree/from_parent ground truth, so the forward-* rules in
+    // the core ruleset must catch this.
+    if (msg.seq <= s.last_seq) return;
+    s.last_seq = msg.seq;
+    bool flooded = false;
+    for (const net::Adjacency& adj : network_->graph().neighbors(at)) {
+      if (adj.neighbor == from) continue;
+      network_->send(at, adj.neighbor, msg);
+      flooded = true;
+    }
+    if (flooded) tl_event_forward(at, msg.seq, s.on_tree, false);
+    return;
+  }
+  if (msg.seq <= s.last_seq) return;  // duplicate suppression
   s.last_seq = msg.seq;
   s.last_data = simulator_->now();
   s.last_upstream = simulator_->now();
@@ -866,9 +946,17 @@ void DistributedSession::on_data(net::NodeId at, net::NodeId from,
     if (telemetry_ != nullptr) c_repairs_completed_->add(1);
   }
   tl_on_data(at);
+  if (s.is_member) tl_event_deliver(at, msg.seq);
+  bool forwarded = false;
   for (const auto& [child, info] : s.children) {
-    if (child != from) network_->send(at, child, msg);
+    if (child != from) {
+      network_->send(at, child, msg);
+      forwarded = true;
+    }
   }
+  // Ground truth at send time: the guard above admitted only on-tree,
+  // from-parent payloads, which is exactly what the forward-* rules check.
+  if (forwarded) tl_event_forward(at, msg.seq, s.on_tree, true);
 }
 
 void DistributedSession::on_repair_query(net::NodeId at, net::NodeId from,

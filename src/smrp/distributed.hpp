@@ -68,6 +68,17 @@ struct SessionConfig {
   /// smrp.enable_reshaping.
   int reshape_every_ticks = 10;
   enum class Mode { kSmrp, kPimSpf } mode = Mode::kSmrp;
+  /// Test-only protocol mutations for the expectations gate: each one
+  /// breaks exactly one safety property the core ruleset (obs/expect)
+  /// must catch under chaos. Never enable outside tests.
+  struct Mutations {
+    /// Drop the on-tree/from-parent acceptance guard: any node that hears
+    /// a payload floods it to all its neighbors (dedup by seq only).
+    bool forward_off_tree = false;
+    /// Ignore max_repair_ttl: the expanding-ring search keeps widening
+    /// forever instead of failing over to the routed join.
+    bool ignore_ring_budget = false;
+  } mutations;
 };
 
 /// One multicast session: hosts the per-node protocol agents.
@@ -139,7 +150,6 @@ class DistributedSession {
   /// event queue, or any RNG, so runs are bit-identical attached or not.
   void attach_telemetry(obs::Telemetry* telemetry);
 
- private:
   struct ChildInfo {
     Time last_refresh = 0.0;
     int subtree_members = 0;
@@ -182,6 +192,15 @@ class DistributedSession {
     int ticks_since_reshape_check = 0;
   };
 
+  /// Test-only backdoor: direct mutable access to a node's raw protocol
+  /// state so the invariant checker's negative suite can craft each
+  /// violation it claims to detect (tests/smrp/test_invariants.cpp).
+  /// Never called by the protocol.
+  [[nodiscard]] AgentState& agent_state_for_tests(net::NodeId n) {
+    return agent(n);
+  }
+
+ private:
   /// Telemetry-side shadow state, deliberately OUTSIDE AgentState: a
   /// crash-restart wipes the agent's soft state, but the observer must
   /// keep its open spans (the outage spans the crash caused) and the
@@ -195,8 +214,17 @@ class DistributedSession {
     obs::SpanId fallback = obs::kNoSpan;
     obs::SpanId join = obs::kNoSpan;
     obs::SpanId reshape = obs::kNoSpan;
+    /// Rejoin leg of an outage: a crash-restart / stranded / PIM routed
+    /// re-join issued while the node's service is down.
+    obs::SpanId rejoin = obs::kNoSpan;
     double last_payload = -1.0;  ///< survives crashes, unlike last_data
     int rings_episode = 0;
+    /// Observational tree-membership epoch: bumped whenever the node's
+    /// parent is seen to differ from the last forward; stamped on forward
+    /// events so a trace consumer can correlate forwards with tree
+    /// generations.
+    std::uint64_t epoch = 0;
+    net::NodeId last_parent = net::kNoNode;
   };
 
   [[nodiscard]] AgentState& agent(net::NodeId n);
@@ -215,6 +243,16 @@ class DistributedSession {
   void tl_on_restart(net::NodeId n, bool was_member);
   /// `n` pruned itself off the tree: open episodes are moot, not failed.
   void tl_on_prune(net::NodeId n);
+  /// A routed (re)join issued while `n`'s service is down: open the
+  /// rejoin leg under the outage span (idempotent while one is open).
+  void tl_open_rejoin(net::NodeId n);
+  /// Record a `forward` event: `n` sent payload `seq` to `to`. `on_tree`
+  /// and `from_parent` are ground truth at send time; the checker's
+  /// forward-* rules require both.
+  void tl_event_forward(net::NodeId n, std::uint64_t seq, bool on_tree,
+                        bool from_parent);
+  /// Record a `deliver` event: member `n` accepted payload `seq`.
+  void tl_event_deliver(net::NodeId n, std::uint64_t seq);
 
   /// Members in the subtree rooted here, per current child reports.
   [[nodiscard]] int local_member_count(const AgentState& s) const;

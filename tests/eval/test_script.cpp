@@ -192,6 +192,107 @@ TEST(ScenarioScript, ChaosDirectiveValidation) {
   EXPECT_THROW((void)script.execute(), std::invalid_argument);
 }
 
+TEST(ScenarioScript, ExpectAndSrlgDirectivesParse) {
+  const ScenarioScript script = ScenarioScript::parse_string(R"(
+topology waxman n=40 alpha=0.25 seed=7
+source 0
+expect core
+srlg conduit 0-5 0-9
+at 0    join 5
+at 1500 srlg-cut conduit 800
+at 3000 srlg-cut conduit
+run 5000
+)");
+  EXPECT_EQ(script.expect_rules(), "core");
+  ASSERT_EQ(script.events().size(), 3u);
+  EXPECT_EQ(script.events()[1].kind, ScriptEvent::Kind::kSrlgCut);
+  EXPECT_EQ(script.events()[1].srlg, "conduit");
+  EXPECT_DOUBLE_EQ(script.events()[1].hold, 800.0);
+  EXPECT_DOUBLE_EQ(script.events()[2].hold, 0.0);  // permanent
+}
+
+TEST(ScenarioScript, SrlgDirectiveValidation) {
+  // Undefined group referenced by srlg-cut.
+  EXPECT_THROW(ScenarioScript::parse_string(
+                   "topology waxman n=30 seed=7\nat 10 srlg-cut ghost\n"
+                   "run 100\n"),
+               std::invalid_argument);
+  // Bad endpoint-pair syntax.
+  EXPECT_THROW(ScenarioScript::parse_string(
+                   "topology waxman n=30 seed=7\nsrlg c 0:5\nrun 100\n"),
+               std::invalid_argument);
+  // Duplicate group name.
+  EXPECT_THROW(ScenarioScript::parse_string(
+                   "topology waxman n=30 seed=7\nsrlg c 0-5\nsrlg c 0-9\n"
+                   "run 100\n"),
+               std::invalid_argument);
+  // Empty group.
+  EXPECT_THROW(ScenarioScript::parse_string(
+                   "topology waxman n=30 seed=7\nsrlg c\nrun 100\n"),
+               std::invalid_argument);
+  // Negative heal time.
+  EXPECT_THROW(ScenarioScript::parse_string(
+                   "topology waxman n=30 seed=7\nsrlg c 0-5\n"
+                   "at 10 srlg-cut c -5\nrun 100\n"),
+               std::invalid_argument);
+}
+
+TEST(ScenarioScript, SrlgCutExecutesAndHeals) {
+  // Cut a source-side risk group at once (the link the example scenarios
+  // flap); the protocol must keep everyone served after the group heals.
+  const auto report = ScenarioScript::parse_string(R"(
+topology waxman n=60 alpha=0.2 beta=0.3 seed=2005
+mode smrp
+source 0
+srlg conduit 0-22
+at 0    join 12
+at 0    join 25
+at 2000 srlg-cut conduit 1000
+at 7000 report
+run 8000
+)").execute();
+  EXPECT_EQ(report.members_at_end, 2);
+  EXPECT_EQ(report.starved_members_at_end, 0);
+  bool logged = false;
+  for (const std::string& line : report.log) {
+    if (line.find("srlg-cut conduit (1 links, heal") != std::string::npos) {
+      logged = true;
+    }
+  }
+  EXPECT_TRUE(logged);
+}
+
+TEST(ScenarioScript, ExpectDirectiveChecksTheCoreRulesetOnline) {
+  const auto report = ScenarioScript::parse_string(R"(
+topology waxman n=40 alpha=0.25 seed=7
+mode smrp
+source 0
+expect core
+at 0    join 5
+at 0    join 9
+at 2000 crash-node 9 500
+at 6000 report
+run 7000
+)").execute();
+  EXPECT_EQ(report.starved_members_at_end, 0);
+  EXPECT_EQ(report.expect_violations, 0) << report.expect_table;
+  EXPECT_NE(report.expect_table.find("expect: 9 rules"), std::string::npos);
+  bool summarized = false;
+  for (const std::string& line : report.log) {
+    if (line.find("expect: 9 rules, 0 violations") != std::string::npos) {
+      summarized = true;
+    }
+  }
+  EXPECT_TRUE(summarized);
+}
+
+TEST(ScenarioScript, ScenariosWithoutExpectReportNoTable) {
+  const auto report =
+      ScenarioScript::parse_string(kBasicScenario).execute();
+  EXPECT_EQ(report.expect_violations, -1);
+  EXPECT_TRUE(report.expect_table.empty());
+}
+
 TEST(ScenarioScript, PimModeRuns) {
   const auto report = ScenarioScript::parse_string(R"(
 topology waxman n=40 seed=5

@@ -1,0 +1,114 @@
+// Rule layer of the expectations engine: the builder API validates its
+// arguments, the line-oriented rule format parses with line-numbered
+// errors, and the shipped SMRP core ruleset round-trips between its file
+// form and the builder form (so the two entry points can never drift).
+#include "obs/expect/rules.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+namespace smrp::obs::expect {
+namespace {
+
+TEST(ExpectRules, DescribeRendersRuleFileSyntax) {
+  RuleSet set;
+  set.require_status("a", "outage", {"ok", "superseded"})
+      .require_child("b", "outage", 2, {"repair", "graft"})
+      .require_attr_le("c", "ring", "ttl", "ttl_cap")
+      .require_attr_le("d", "ring", "ttl", 4.0)
+      .require_flag("e", "forward", "on_tree")
+      .require_monotone("f", "deliver", "seq")
+      .require_follows("g", "restart", "deliver", "member")
+      .require_follows("h", "restart", "deliver");
+  ASSERT_EQ(set.rules().size(), 8u);
+  EXPECT_EQ(set.rules()[0].describe(), "status outage ok,superseded");
+  EXPECT_EQ(set.rules()[1].describe(), "child outage 2 repair,graft");
+  EXPECT_EQ(set.rules()[2].describe(), "attr-le ring ttl ttl_cap");
+  EXPECT_EQ(set.rules()[3].describe(), "attr-le ring ttl 4");
+  EXPECT_EQ(set.rules()[4].describe(), "flag forward on_tree");
+  EXPECT_EQ(set.rules()[5].describe(), "monotone deliver seq");
+  EXPECT_EQ(set.rules()[6].describe(), "follows restart deliver if member");
+  EXPECT_EQ(set.rules()[7].describe(), "follows restart deliver");
+}
+
+TEST(ExpectRules, BuilderValidatesArguments) {
+  RuleSet set;
+  EXPECT_THROW(set.require_status("", "outage", {"ok"}), std::invalid_argument);
+  EXPECT_THROW(set.require_status("a", "", {"ok"}), std::invalid_argument);
+  EXPECT_THROW(set.require_status("a", "outage", {}), std::invalid_argument);
+  EXPECT_THROW(set.require_child("a", "outage", 0, {"repair"}),
+               std::invalid_argument);
+  EXPECT_THROW(set.require_child("a", "outage", 1, {}), std::invalid_argument);
+  EXPECT_THROW(set.require_attr_le("a", "ring", "", "cap"),
+               std::invalid_argument);
+  EXPECT_THROW(set.require_attr_le("a", "ring", "ttl", std::string{}),
+               std::invalid_argument);
+  EXPECT_THROW(set.require_flag("a", "forward", ""), std::invalid_argument);
+  EXPECT_THROW(set.require_monotone("a", "deliver", ""),
+               std::invalid_argument);
+  EXPECT_THROW(set.require_follows("a", "restart", ""), std::invalid_argument);
+  set.require_status("dup", "outage", {"ok"});
+  EXPECT_THROW(set.require_flag("dup", "forward", "on_tree"),
+               std::invalid_argument);
+}
+
+TEST(ExpectRules, ParserAcceptsCommentsAndBlankLines) {
+  const RuleSet set = RuleSet::parse_text(
+      "# header comment\n"
+      "\n"
+      "rule a status outage ok,superseded   # trailing comment\n"
+      "rule b attr-le ring ttl 4\n");
+  ASSERT_EQ(set.rules().size(), 2u);
+  EXPECT_EQ(set.rules()[0].name, "a");
+  EXPECT_EQ(set.rules()[0].allowed.size(), 2u);
+  EXPECT_EQ(set.rules()[1].check, Check::kAttrLe);
+  EXPECT_TRUE(set.rules()[1].cap_attr.empty());
+  EXPECT_DOUBLE_EQ(set.rules()[1].cap_value, 4.0);
+}
+
+TEST(ExpectRules, AttrLeCapMayNameAnotherAttribute) {
+  const RuleSet set = RuleSet::parse_text("rule a attr-le ring ttl ttl_cap\n");
+  ASSERT_EQ(set.rules().size(), 1u);
+  EXPECT_EQ(set.rules()[0].cap_attr, "ttl_cap");
+}
+
+TEST(ExpectRules, ParserReportsLineNumbers) {
+  const auto expect_error_on_line = [](const std::string& text, int line) {
+    try {
+      (void)RuleSet::parse_text(text);
+      FAIL() << "expected parse error for: " << text;
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what())
+                    .find("line " + std::to_string(line)),
+                std::string::npos)
+          << e.what();
+    }
+  };
+  expect_error_on_line("# fine\nnonsense a b\n", 2);
+  expect_error_on_line("rule a bogus-check outage ok\n", 1);
+  expect_error_on_line("rule a status outage ok extra-token\n", 1);
+  expect_error_on_line("rule a follows restart deliver when member\n", 1);
+  expect_error_on_line("rule a status outage ok\nrule a flag forward x\n", 2);
+  expect_error_on_line("rule a child outage 0 repair\n", 1);
+}
+
+TEST(ExpectRules, CoreRoundTripsThroughTheParser) {
+  const RuleSet core = RuleSet::smrp_core();
+  EXPECT_EQ(core.rules().size(), 9u);
+  // File form -> parser -> file form is a fixed point.
+  const RuleSet reparsed = RuleSet::parse_text(core.to_text());
+  EXPECT_EQ(reparsed.to_text(), core.to_text());
+  // And the shipped text is exactly the parsed set.
+  EXPECT_EQ(RuleSet::parse_text(RuleSet::smrp_core_text()).to_text(),
+            core.to_text());
+}
+
+TEST(ExpectRules, LoadResolvesCoreAndRejectsMissingFiles) {
+  EXPECT_EQ(RuleSet::load("core").to_text(), RuleSet::smrp_core().to_text());
+  EXPECT_THROW(RuleSet::load("/no/such/rules.expect"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace smrp::obs::expect

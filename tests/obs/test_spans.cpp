@@ -70,14 +70,14 @@ TEST(SpanCollector, ClosingNoSpanOrUnknownIdIsSilentlyIgnored) {
   EXPECT_TRUE(c.spans().empty());
 }
 
-TEST(SpanCollector, CloseOpenFlushesEverythingAsUnclosed) {
+TEST(SpanCollector, CloseOpenFlushesEverythingAsTruncated) {
   SpanCollector c;
   const SpanId a = c.open("outage", 1, 0.0);
   const SpanId b = c.open("repair", 1, 1.0, a);
   c.close(b, 2.0, SpanStatus::kOk);
   c.close_open(10.0);
   EXPECT_EQ(c.open_count(), 0u);
-  EXPECT_EQ(c.find(a)->status, SpanStatus::kUnclosed);
+  EXPECT_EQ(c.find(a)->status, SpanStatus::kTruncated);
   EXPECT_DOUBLE_EQ(c.find(a)->end, 10.0);
   // Already-closed spans are untouched and not counted as double closes.
   EXPECT_EQ(c.find(b)->status, SpanStatus::kOk);
@@ -99,7 +99,7 @@ TEST(SpanStatusName, CoversEveryStatus) {
   EXPECT_EQ(span_status_name(SpanStatus::kOk), "ok");
   EXPECT_EQ(span_status_name(SpanStatus::kFailed), "failed");
   EXPECT_EQ(span_status_name(SpanStatus::kSuperseded), "superseded");
-  EXPECT_EQ(span_status_name(SpanStatus::kUnclosed), "unclosed");
+  EXPECT_EQ(span_status_name(SpanStatus::kTruncated), "truncated");
 }
 
 std::vector<std::string> snapshot_lines(const Telemetry& telemetry,
@@ -122,7 +122,7 @@ TEST(JsonlSink, MetaLineLeadsEverySnapshot) {
   ASSERT_EQ(lines.size(), 3u);  // meta + 1 span + 1 counter
   EXPECT_EQ(lines[0],
             "{\"type\":\"meta\",\"version\":1,\"run\":\"drill\",\"at\":250,"
-            "\"spans\":1,\"open_spans\":1}");
+            "\"spans\":1,\"open_spans\":1,\"events\":0}");
 }
 
 TEST(JsonlSink, SpanLineFlattensAttrsAndSnapshotsOpenEnds) {
@@ -131,11 +131,12 @@ TEST(JsonlSink, SpanLineFlattensAttrsAndSnapshotsOpenEnds) {
   t.spans.attr(id, "ttl_start", 1.0);
   const std::vector<std::string> lines = snapshot_lines(t, 200.0);
   ASSERT_GE(lines.size(), 2u);
-  // An open span is exported with the snapshot time as its end so every
-  // line has a well-formed [start, end] interval.
+  // An open span is exported with the snapshot time as its end and the
+  // `truncated` status — the same judgement Telemetry::finish applies —
+  // so every line has a well-formed, judgeable [start, end] interval.
   EXPECT_EQ(lines[1],
             "{\"type\":\"span\",\"id\":1,\"parent\":0,\"kind\":\"repair\","
-            "\"node\":6,\"start\":100.5,\"end\":200,\"status\":\"open\","
+            "\"node\":6,\"start\":100.5,\"end\":200,\"status\":\"truncated\","
             "\"ttl_start\":1}");
 }
 

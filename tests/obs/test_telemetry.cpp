@@ -130,7 +130,7 @@ TEST(TelemetrySoak, EveryRepairSpanClosesExactlyOnceAndNestsInItsOutage) {
     // episode: adopted (ok), exhausted or crash-wiped (failed), or mooted
     // by a prune/restart (superseded).
     if (span.kind == "repair") {
-      EXPECT_NE(span.status, obs::SpanStatus::kUnclosed)
+      EXPECT_NE(span.status, obs::SpanStatus::kTruncated)
           << "repair span " << span.id << " only closed by the flush";
       EXPECT_NE(span.attr("rings"), nullptr)
           << "repair span " << span.id << " closed without its ring count";
@@ -143,12 +143,12 @@ TEST(TelemetrySoak, EveryRepairSpanClosesExactlyOnceAndNestsInItsOutage) {
         << span.kind << " span " << span.id << " starts before its parent";
     EXPECT_GE(parent->end, span.end)
         << span.kind << " span " << span.id << " outlives its parent";
-    // The taxonomy is fixed: rings hang off repairs; repairs, grafts and
-    // fallbacks hang off outages.
+    // The taxonomy is fixed: rings hang off repairs; repairs, grafts,
+    // fallbacks and rejoin legs hang off outages.
     if (span.kind == "ring") {
       EXPECT_EQ(parent->kind, "repair");
     } else if (span.kind == "repair" || span.kind == "graft" ||
-               span.kind == "fallback") {
+               span.kind == "fallback" || span.kind == "rejoin") {
       EXPECT_EQ(parent->kind, "outage");
     }
   }

@@ -44,6 +44,62 @@ TEST(FaultPlanTest, RejectsBadArguments) {
   EXPECT_THROW(plan.partition(0.0, {}, 10.0), std::invalid_argument);
 }
 
+TEST(FaultPlanTest, SrlgCutFailsTheGroupAtomicallyAndHeals) {
+  // A shared-risk link group is ONE fault: every link in the group goes
+  // down at the same instant (one conduit cut takes all its fibers) and,
+  // with a heal time, comes back together.
+  FaultPlan plan;
+  plan.srlg_cut(2'000.0, {1, 4, 7}, 300.0);
+  EXPECT_EQ(plan.fault_count(), 1);
+  EXPECT_EQ(plan.actions().size(), 6u);
+  for (const FaultAction& a : plan.actions()) {
+    if (a.kind == FaultAction::Kind::kLinkDown) {
+      EXPECT_DOUBLE_EQ(a.at, 2'000.0);
+    } else {
+      ASSERT_EQ(a.kind, FaultAction::Kind::kLinkUp);
+      EXPECT_DOUBLE_EQ(a.at, 2'300.0);
+    }
+  }
+  EXPECT_DOUBLE_EQ(plan.quiescent_time(), 2'300.0);
+}
+
+TEST(FaultPlanTest, SrlgCutWithoutHealIsPermanent) {
+  FaultPlan plan;
+  plan.srlg_cut(500.0, {0, 2});
+  EXPECT_EQ(plan.fault_count(), 1);
+  EXPECT_EQ(plan.actions().size(), 2u);
+  for (const FaultAction& a : plan.actions()) {
+    EXPECT_EQ(a.kind, FaultAction::Kind::kLinkDown);
+  }
+}
+
+TEST(FaultPlanTest, SrlgCutRejectsEmptyGroup) {
+  FaultPlan plan;
+  EXPECT_THROW(plan.srlg_cut(0.0, {}), std::invalid_argument);
+}
+
+TEST(ChaosControllerTest, SrlgCutDropsAndRestoresTheWholeGroup) {
+  const Fig1Topology topo;
+  Simulator simulator;
+  SimNetwork network(simulator, topo.graph);
+
+  FaultPlan plan;
+  plan.srlg_cut(100.0, {topo.AD, topo.BD, topo.CD}, 200.0);
+  ChaosController chaos(simulator, network, plan);
+  chaos.arm();
+
+  simulator.run_until(150.0);
+  EXPECT_FALSE(network.link_up(topo.AD));
+  EXPECT_FALSE(network.link_up(topo.BD));
+  EXPECT_FALSE(network.link_up(topo.CD));
+
+  simulator.run_until(350.0);
+  EXPECT_TRUE(network.link_up(topo.AD));
+  EXPECT_TRUE(network.link_up(topo.BD));
+  EXPECT_TRUE(network.link_up(topo.CD));
+  EXPECT_TRUE(chaos.quiescent());
+}
+
 TEST(FaultPlanTest, PartitionHealsEveryCutLink) {
   FaultPlan plan;
   plan.partition(1'000.0, {0, 1, 2}, 500.0);

@@ -6,10 +6,19 @@
 // registry's counters and distributions.
 //
 //   trace_report <trace.jsonl>
+//   trace_report --expect <rules|core> [--runs <glob>] <trace.jsonl>
 //
-// Exit codes: 0 ok, 1 malformed trace (line number on stderr), 2 usage.
-// CI runs a seeded chaos soak through this binary, so a schema drift in
-// the exporter fails the build instead of silently corrupting analyses.
+// The second form replays the trace through the protocol-expectations
+// checker (DESIGN.md §12) instead of rendering the episode report: it
+// prints a per-rule pass/violation table per run section and exits 1 on
+// any violation. `--runs` filters sections by their meta "run" label
+// (shell-style glob) — e.g. scope the SMRP core ruleset to the smrp
+// halves of an A/B bench trace.
+//
+// Exit codes: 0 ok, 1 malformed trace (line number on stderr) or expect
+// violations, 2 usage. CI runs a seeded chaos soak through this binary,
+// so a schema drift in the exporter fails the build instead of silently
+// corrupting analyses.
 #include <cctype>
 #include <cmath>
 #include <cstdint>
@@ -22,6 +31,7 @@
 #include <vector>
 
 #include "eval/table.hpp"
+#include "obs/expect/offline.hpp"
 
 namespace {
 
@@ -203,6 +213,9 @@ struct RunSection {
   std::string label;
   double at = 0.0;
   std::uint64_t declared_spans = 0;
+  /// Declared event count; absent in traces from before the event stream.
+  std::optional<std::uint64_t> declared_events;
+  std::uint64_t events = 0;
   std::vector<SpanRow> spans;
   std::map<std::string, std::uint64_t> counters;
   std::map<std::string, HistRow> hists;
@@ -237,6 +250,11 @@ void render_run(const RunSection& run) {
     malformed(0, "meta declared " + std::to_string(run.declared_spans) +
                      " spans but section carries " +
                      std::to_string(run.spans.size()));
+  }
+  if (run.declared_events && *run.declared_events != run.events) {
+    malformed(0, "meta declared " + std::to_string(*run.declared_events) +
+                     " events but section carries " +
+                     std::to_string(run.events));
   }
 
   // Reassemble the causal structure: children grouped under each outage.
@@ -355,13 +373,34 @@ void render_run(const RunSection& run) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc != 2) {
-    std::cerr << "usage: trace_report <trace.jsonl>\n";
+  const auto usage = [] {
+    std::cerr << "usage: trace_report [--expect <rules|core>] "
+                 "[--runs <glob>] <trace.jsonl>\n";
     return 2;
+  };
+  std::string expect_rules;
+  std::string runs_filter;
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--expect") {
+      if (++i >= argc) return usage();
+      expect_rules = argv[i];
+    } else if (arg == "--runs") {
+      if (++i >= argc) return usage();
+      runs_filter = argv[i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      return usage();
+    }
   }
-  std::ifstream in(argv[1]);
+  if (path.empty()) return usage();
+  std::ifstream in(path);
   if (!in) {
-    std::cerr << "trace_report: cannot open " << argv[1] << "\n";
+    std::cerr << "trace_report: cannot open " << path << "\n";
     return 2;
   }
 
@@ -386,6 +425,9 @@ int main(int argc, char** argv) {
       run.at = require_num(obj, "at", line_no);
       run.declared_spans =
           static_cast<std::uint64_t>(require_num(obj, "spans", line_no));
+      if (const auto events = obj.num("events")) {
+        run.declared_events = static_cast<std::uint64_t>(*events);
+      }
       runs.push_back(std::move(run));
       continue;
     }
@@ -413,6 +455,11 @@ int main(int argc, char** argv) {
         span.attrs.emplace(key, value);
       }
       run.spans.push_back(std::move(span));
+    } else if (type == "event") {
+      require_str(obj, "kind", line_no);
+      require_num(obj, "node", line_no);
+      require_num(obj, "t", line_no);
+      ++run.events;
     } else if (type == "counter") {
       run.counters[require_str(obj, "name", line_no)] =
           static_cast<std::uint64_t>(require_num(obj, "value", line_no));
@@ -435,9 +482,41 @@ int main(int argc, char** argv) {
     }
   }
   if (runs.empty()) {
-    std::cerr << "trace_report: no runs in " << argv[1] << "\n";
+    std::cerr << "trace_report: no runs in " << path << "\n";
     return 1;
   }
+  for (const RunSection& run : runs) {
+    if (run.declared_events && *run.declared_events != run.events) {
+      malformed(0, "meta declared " + std::to_string(*run.declared_events) +
+                       " events but section \"" + run.label + "\" carries " +
+                       std::to_string(run.events));
+    }
+  }
+
+  if (!expect_rules.empty()) {
+    // Expectation mode: the strict schema pass above already validated the
+    // file; now replay it through the same checker the simulation taps
+    // online and render the per-rule tables.
+    try {
+      const smrp::obs::expect::RuleSet rules =
+          smrp::obs::expect::RuleSet::load(expect_rules);
+      const smrp::obs::expect::OfflineResult result =
+          smrp::obs::expect::check_file(path, rules, runs_filter);
+      if (result.runs.empty()) {
+        std::cerr << "trace_report: no run sections match \"" << runs_filter
+                  << "\"\n";
+        return 1;
+      }
+      for (const smrp::obs::expect::RunExpectation& r : result.runs) {
+        std::cout << "run \"" << r.run << "\"\n" << r.report.render() << "\n";
+      }
+      return result.ok() ? 0 : 1;
+    } catch (const std::exception& e) {
+      std::cerr << "trace_report: " << e.what() << "\n";
+      return 2;
+    }
+  }
+
   for (const RunSection& run : runs) render_run(run);
   return 0;
 }
