@@ -11,8 +11,15 @@
 // payloads at a member that is itself up. We report episode count, mean
 // and max gap, total starved member-time, and members still dark at the
 // end (after the plan has drained plus a settling margin).
+//
+// The SMRP variants additionally report the in-protocol convergence view
+// (DESIGN.md §13): how many restored outages the source confirmed from
+// protocol messages alone and how far its honest clock lagged the oracle
+// (skew). A third variant enables SessionConfig::adaptive_triggers, the
+// A/B for detection-driven fallback/reshape against the fixed timers.
 #include <algorithm>
 #include <iostream>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -36,12 +43,13 @@ ChaosResult run_chaos(const net::Graph& g,
                       const std::vector<net::NodeId>& members,
                       proto::SessionConfig::Mode mode,
                       const sim::FaultPlan& plan,
-                      obs::Telemetry* telemetry) {
+                      obs::Telemetry* telemetry, bool adaptive = false) {
   // Same timer asymmetry as bench_restoration_time: data-driven multicast
   // detection is fast, the unicast IGP keeps conservative hello/dead
   // timers and an SPF hold-down.
   proto::SessionConfig config;
   config.mode = mode;
+  config.adaptive_triggers = adaptive;
   config.data_interval = 25.0;
   config.refresh_interval = 50.0;
   config.upstream_timeout = 100.0;
@@ -96,6 +104,34 @@ ChaosResult run_chaos(const net::Graph& g,
   return result;
 }
 
+/// The honest-measurement view of one SMRP run: restored outages, how many
+/// of them the source confirmed in-protocol, and the detection skews.
+struct ConvergenceScan {
+  int restored = 0;
+  int confirmed = 0;
+  std::vector<double> skews_ms;
+};
+
+ConvergenceScan scan_convergence(const obs::Telemetry& telemetry) {
+  ConvergenceScan scan;
+  std::set<obs::SpanId> restored;
+  for (const obs::Span& span : telemetry.spans.spans()) {
+    if (span.kind == "outage" && span.status == obs::SpanStatus::kOk) {
+      restored.insert(span.id);
+    }
+  }
+  scan.restored = static_cast<int>(restored.size());
+  std::set<obs::SpanId> confirmed;
+  for (const obs::Span& span : telemetry.spans.spans()) {
+    if (span.kind != "convergence") continue;
+    if (restored.count(span.parent) != 0) confirmed.insert(span.parent);
+    const double* skew = span.attr("skew_ms");
+    if (skew != nullptr) scan.skews_ms.push_back(*skew);
+  }
+  scan.confirmed = static_cast<int>(confirmed.size());
+  return scan;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -110,6 +146,7 @@ int main(int argc, char** argv) {
   runner.config().set("link_flaps", 8);
   runner.config().set("node_restarts", 1);
   runner.config().set("loss_bursts", 1);
+  runner.config().set("variants", "smrp,smrp_adaptive,pim");
 
   const eval::EngineResult& res =
       runner.run([&](eval::TrialContext& ctx) {
@@ -142,28 +179,68 @@ int main(int argc, char** argv) {
         auto& rec = ctx.recorder;
         const std::string topo = std::to_string(ctx.trial);
         obs::Telemetry* smrp_telemetry = rec.telemetry("smrp-topo" + topo);
+        obs::Telemetry* adaptive_telemetry =
+            rec.telemetry("smrp-adaptive-topo" + topo);
         obs::Telemetry* pim_telemetry = rec.telemetry("pim-topo" + topo);
+        // The convergence scan reads spans, so the SMRP runs carry a local
+        // bundle even without --telemetry: attaching is pure observation
+        // (seeded runs are bit-identical either way).
+        obs::Telemetry smrp_local;
+        obs::Telemetry adaptive_local;
+        obs::Telemetry* smrp_obs =
+            smrp_telemetry != nullptr ? smrp_telemetry : &smrp_local;
+        obs::Telemetry* adaptive_obs = adaptive_telemetry != nullptr
+                                           ? adaptive_telemetry
+                                           : &adaptive_local;
         const ChaosResult smrp = run_chaos(
-            g, members, proto::SessionConfig::Mode::kSmrp, plan,
-            smrp_telemetry);
+            g, members, proto::SessionConfig::Mode::kSmrp, plan, smrp_obs);
+        const ChaosResult adaptive = run_chaos(
+            g, members, proto::SessionConfig::Mode::kSmrp, plan, adaptive_obs,
+            /*adaptive=*/true);
         const ChaosResult pim = run_chaos(
             g, members, proto::SessionConfig::Mode::kPimSpf, plan,
             pim_telemetry);
         const double run_end = plan.quiescent_time() + 15'000.0;
         rec.close_telemetry(smrp_telemetry, run_end);
+        rec.close_telemetry(adaptive_telemetry, run_end);
         rec.close_telemetry(pim_telemetry, run_end);
 
         for (const double x : smrp.gaps_ms) rec.add("smrp/gap_ms", x);
+        for (const double x : adaptive.gaps_ms) {
+          rec.add("smrp_adaptive/gap_ms", x);
+        }
         for (const double x : pim.gaps_ms) rec.add("pim/gap_ms", x);
         rec.add("smrp/starved_ms", smrp.starved_ms);
+        rec.add("smrp_adaptive/starved_ms", adaptive.starved_ms);
         rec.add("pim/starved_ms", pim.starved_ms);
         rec.add("smrp/dark_members", smrp.dark_members);
+        rec.add("smrp_adaptive/dark_members", adaptive.dark_members);
         rec.add("pim/dark_members", pim.dark_members);
+
+        const ConvergenceScan base_conv = scan_convergence(*smrp_obs);
+        const ConvergenceScan adapt_conv = scan_convergence(*adaptive_obs);
+        for (const double x : base_conv.skews_ms) {
+          rec.add("smrp/conv_skew_ms", x);
+        }
+        for (const double x : adapt_conv.skews_ms) {
+          rec.add("smrp_adaptive/conv_skew_ms", x);
+        }
+        if (base_conv.restored > 0) {
+          rec.add("smrp/conv_coverage",
+                  static_cast<double>(base_conv.confirmed) /
+                      static_cast<double>(base_conv.restored));
+        }
+        if (adapt_conv.restored > 0) {
+          rec.add("smrp_adaptive/conv_coverage",
+                  static_cast<double>(adapt_conv.confirmed) /
+                      static_cast<double>(adapt_conv.restored));
+        }
       });
 
   eval::Table table({"protocol", "interruptions", "mean gap (ms)",
                      "max gap (ms)", "starved member-s", "dark at end"});
   const eval::Summary s = res.summary("smrp/gap_ms");
+  const eval::Summary a = res.summary("smrp_adaptive/gap_ms");
   const eval::Summary p = res.summary("pim/gap_ms");
   const auto sum_of = [&](const char* series) {
     const eval::RunningStats* st = res.find(series);
@@ -175,6 +252,13 @@ int main(int argc, char** argv) {
                  eval::Table::fixed(sum_of("smrp/starved_ms") / 1000.0, 2),
                  std::to_string(static_cast<long long>(
                      sum_of("smrp/dark_members") + 0.5))});
+  table.add_row(
+      {"SMRP adaptive triggers", std::to_string(a.count),
+       eval::Table::with_ci(a.mean, a.ci95_half, 1),
+       eval::Table::fixed(a.max, 1),
+       eval::Table::fixed(sum_of("smrp_adaptive/starved_ms") / 1000.0, 2),
+       std::to_string(static_cast<long long>(
+           sum_of("smrp_adaptive/dark_members") + 0.5))});
   table.add_row({"PIM over OSPF-lite", std::to_string(p.count),
                  eval::Table::with_ci(p.mean, p.ci95_half, 1),
                  eval::Table::fixed(p.max, 1),
@@ -185,6 +269,18 @@ int main(int argc, char** argv) {
   if (s.count > 0 && p.count > 0 && s.mean > 0.0) {
     std::cout << "\nmean-gap ratio (PIM / SMRP): "
               << eval::Table::fixed(p.mean / s.mean, 2) << "x\n";
+  }
+  const eval::Summary skew = res.summary("smrp/conv_skew_ms");
+  const eval::Summary coverage = res.summary("smrp/conv_coverage");
+  if (skew.count > 0) {
+    const eval::RunningStats* st = res.find("smrp/conv_skew_ms");
+    std::cout << "\nin-protocol convergence (DESIGN.md §13): "
+              << eval::Table::fixed(100.0 * coverage.mean, 1)
+              << "% of restored outages confirmed by the source, skew "
+                 "median "
+              << eval::Table::fixed(st->percentile(0.50), 1) << " ms, p90 "
+              << eval::Table::fixed(st->percentile(0.90), 1) << " ms, max "
+              << eval::Table::fixed(skew.max, 1) << " ms\n";
   }
   std::cout << "\npaper §1/§3.3: under persistent failures the local detour "
                "repairs before the IGP reconverges, so each fault costs "

@@ -10,6 +10,8 @@
 //                     is byte-identical for any T at a fixed seed
 //   --json PATH       write the machine-readable BENCH_<experiment>.json
 //   --telemetry PATH  JSONL snapshot export (unchanged trace schema)
+//   --sample-period M periodic gauge sampling every M ms of sim time in
+//                     the exported telemetry (requires --telemetry)
 //
 // Flag owners parse their own flags (TelemetryExport::try_parse_flag);
 // the Runner alone rejects what nobody claimed, so adding a flag to one
@@ -187,6 +189,13 @@ class Runner {
             throw std::invalid_argument("--json needs a file path");
           }
           json_path_ = argv[++i];
+        } else if (arg == "--sample-period") {
+          options_.sample_period =
+              static_cast<double>(int_value(argc, argv, i));
+          if (options_.sample_period <= 0.0) {
+            throw std::invalid_argument(
+                "--sample-period needs a positive integer (ms)");
+          }
         } else if (arg == "--help" || arg == "-h") {
           usage(std::cout);
           std::exit(0);
@@ -225,7 +234,9 @@ class Runner {
            "                    results are identical for any T\n"
            "  --json PATH       write machine-readable results (schema "
         << eval::kBenchJsonSchema << ")\n"
-           "  --telemetry PATH  write JSONL trace snapshots\n";
+           "  --telemetry PATH  write JSONL trace snapshots\n"
+           "  --sample-period M sample gauges every M ms of sim time into\n"
+           "                    the telemetry trace (needs --telemetry)\n";
   }
 
   std::string experiment_;

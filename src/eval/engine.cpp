@@ -39,6 +39,7 @@ obs::Telemetry* TrialRecorder::telemetry(std::string label) {
   TelemetrySnapshot& slot = telemetry_.emplace_back();
   slot.label = std::move(label);
   slot.telemetry = std::make_unique<obs::Telemetry>();
+  if (sample_period_ > 0.0) slot.telemetry->enable_sampling(sample_period_);
   return slot.telemetry.get();
 }
 
@@ -57,8 +58,9 @@ void TrialRecorder::close_telemetry(obs::Telemetry* t, double now) {
 
 /// Private bridge into TrialRecorder for the engine itself.
 struct EngineAccess {
-  static void enable_telemetry(TrialRecorder& r) {
+  static void enable_telemetry(TrialRecorder& r, double sample_period) {
     r.collect_telemetry_ = true;
+    r.sample_period_ = sample_period;
   }
   static void fold(EngineResult& out, TrialRecorder& r) {
     for (auto& [name, stats] : r.series_) {
@@ -97,7 +99,9 @@ EngineResult run_trials(const EngineOptions& options,
   std::vector<TrialRecorder> recorders(
       static_cast<std::size_t>(options.trials));
   if (options.collect_telemetry) {
-    for (TrialRecorder& r : recorders) EngineAccess::enable_telemetry(r);
+    for (TrialRecorder& r : recorders) {
+      EngineAccess::enable_telemetry(r, options.sample_period);
+    }
   }
 
   const auto t0 = std::chrono::steady_clock::now();

@@ -79,6 +79,7 @@ class TrialRecorder {
   std::map<std::string, RunningStats, std::less<>> series_;
   std::vector<TelemetrySnapshot> telemetry_;
   bool collect_telemetry_ = false;
+  double sample_period_ = 0.0;  ///< gauge sampling period for new bundles
 };
 
 /// What a trial body receives.
@@ -96,6 +97,9 @@ struct EngineOptions {
   /// the calling thread.
   int threads = 0;
   bool collect_telemetry = false;
+  /// Periodic gauge-sampling period (ms) applied to every telemetry
+  /// bundle a trial creates; 0 (the default) leaves sampling off.
+  double sample_period = 0.0;
 };
 
 struct EngineResult {

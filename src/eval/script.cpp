@@ -170,6 +170,10 @@ ScenarioScript ScenarioScript::parse(std::istream& in) {
       if (!(tokens >> script.expect_rules_)) {
         fail(line, "expect needs `core` or a rule-file path");
       }
+    } else if (command == "sample-every") {
+      if (!(tokens >> script.sample_period_) || script.sample_period_ <= 0) {
+        fail(line, "sample-every needs a positive period (ms)");
+      }
     } else if (command == "srlg") {
       std::string name;
       if (!(tokens >> name)) fail(line, "srlg needs a group name");
@@ -257,11 +261,12 @@ ScenarioScript::RunReport ScenarioScript::execute() const {
   // Telemetry is pure observation (attached runs are bit-identical to
   // detached ones), so attach whenever any directive wants to read it.
   const bool want_telemetry =
-      !trace_path_.empty() || !expect_rules_.empty() ||
+      !trace_path_.empty() || !expect_rules_.empty() || sample_period_ > 0.0 ||
       std::any_of(events_.begin(), events_.end(), [](const ScriptEvent& e) {
         return e.kind == ScriptEvent::Kind::kStats;
       });
   obs::Telemetry telemetry;
+  if (sample_period_ > 0.0) telemetry.enable_sampling(sample_period_);
   if (want_telemetry) harness.attach_telemetry(&telemetry);
   // Online expectations (DESIGN.md §12): the checker taps the span/event
   // stream for the whole run, so attach before the clock moves.

@@ -24,6 +24,7 @@
 // Telemetry directives (DESIGN.md §8):
 //
 //   trace-out drill.jsonl           # stream the telemetry snapshot at end
+//   sample-every 250                # periodic gauge samples in the trace
 //   at 4000 stats                   # log headline registry counters
 //
 // Protocol expectations (DESIGN.md §12) and shared-risk link groups:
@@ -109,6 +110,10 @@ class ScenarioScript {
   [[nodiscard]] const std::string& expect_rules() const noexcept {
     return expect_rules_;
   }
+  /// Gauge-sampling period (`sample-every`); 0 when not requested.
+  [[nodiscard]] double sample_period() const noexcept {
+    return sample_period_;
+  }
 
  private:
   // Topology description (generated lazily at execute()).
@@ -126,6 +131,7 @@ class ScenarioScript {
   sim::Time run_until_ = 5000.0;
   std::string trace_path_;
   std::string expect_rules_;
+  double sample_period_ = 0.0;
   /// Named link groups (`srlg`), endpoint pairs resolved at execute().
   std::map<std::string, std::vector<std::pair<net::NodeId, net::NodeId>>>
       srlgs_;

@@ -13,6 +13,10 @@ const double* Event::attr(std::string_view key) const noexcept {
 
 void EventLog::record(std::string kind, std::int64_t node, double t,
                       std::vector<std::pair<std::string, double>> attrs) {
+  if (sealed_) {
+    ++late_records_;
+    return;
+  }
   Event event;
   event.kind = std::move(kind);
   event.node = node;

@@ -46,6 +46,16 @@ class EventLog {
   /// Attach (or detach with nullptr) the tap; not owned.
   void set_observer(EventObserver* observer) noexcept { observer_ = observer; }
 
+  /// Freeze the log: later record() calls are ignored (and counted in
+  /// late_records()) so emission after the end-of-run flush cannot skew
+  /// the exported stream or re-trigger the online tap.
+  void seal() noexcept { sealed_ = true; }
+  [[nodiscard]] bool sealed() const noexcept { return sealed_; }
+  /// record() calls rejected after seal(); 0 under correct usage.
+  [[nodiscard]] std::uint64_t late_records() const noexcept {
+    return late_records_;
+  }
+
   [[nodiscard]] const std::vector<Event>& events() const noexcept {
     return events_;
   }
@@ -55,6 +65,8 @@ class EventLog {
 
  private:
   std::vector<Event> events_;
+  std::uint64_t late_records_ = 0;
+  bool sealed_ = false;
   EventObserver* observer_ = nullptr;
 };
 

@@ -300,7 +300,16 @@ std::string_view RuleSet::smrp_core_text() {
       "rule no-duplicate-delivery monotone deliver seq\n"
       "# A crashed member must complete its rejoin: payload delivery must\n"
       "# follow every member restart before the run ends.\n"
-      "rule restart-rejoins follows restart deliver if member\n";
+      "rule restart-rejoins follows restart deliver if member\n"
+      "# Every restored outage must be confirmed in-protocol: the source's\n"
+      "# convergence wave (DESIGN.md §13) must declare the tree settled\n"
+      "# after the member came back, closing a convergence span under the\n"
+      "# outage. Superseded outages (pruned/restarted members) are exempt.\n"
+      "rule outage-has-convergence child outage 1 convergence\n"
+      "# In-protocol detection can only lag the omniscient restoration\n"
+      "# clock, never lead it: the oracle outage duration is a lower bound\n"
+      "# on the detected one (skew_ms = detected_ms - total_ms >= 0).\n"
+      "rule convergence-never-early attr-le convergence total_ms detected_ms\n";
 }
 
 RuleSet RuleSet::smrp_core() { return parse_text(smrp_core_text()); }

@@ -108,7 +108,9 @@ void JsonlSink::write_snapshot(const Telemetry& telemetry, double now,
       .field("spans", static_cast<std::uint64_t>(spans.spans().size()))
       .field("open_spans", static_cast<std::uint64_t>(spans.open_count()))
       .field("events",
-             static_cast<std::uint64_t>(telemetry.events.size()));
+             static_cast<std::uint64_t>(telemetry.events.size()))
+      .field("samples",
+             static_cast<std::uint64_t>(telemetry.samples().size()));
   meta.emit(*out_);
 
   for (const Span& span : spans.spans()) {
@@ -135,6 +137,14 @@ void JsonlSink::write_snapshot(const Telemetry& telemetry, double now,
         .field("node", static_cast<double>(event.node))
         .field("t", event.t);
     for (const auto& [key, value] : event.attrs) line.field(key, value);
+    line.emit(*out_);
+  }
+
+  for (const Sample& sample : telemetry.samples()) {
+    Line line("sample");
+    line.field("t", sample.t)
+        .field("name", sample.name)
+        .field("value", sample.value);
     line.emit(*out_);
   }
 

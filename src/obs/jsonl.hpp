@@ -4,6 +4,7 @@
 //   {"type":"meta","version":1,"run":"<label>","at":<ms>,...}
 //   {"type":"span","id":1,"parent":0,"kind":"outage","node":6,...}   × N
 //   {"type":"event","kind":"forward","node":6,"t":2100,"seq":41,...} × N
+//   {"type":"sample","t":500,"name":"smrp.sim.queue_depth","value":3} × N
 //   {"type":"counter","name":"smrp.sim.tx.DATA","value":1234}        × N
 //   {"type":"gauge","name":"smrp.sim.queue_depth",...}               × N
 //   {"type":"hist","name":"smrp.proto.outage_ms","count":9,...}      × N

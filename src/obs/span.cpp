@@ -37,6 +37,10 @@ const double* Span::attr(std::string_view key) const noexcept {
 
 SpanId SpanCollector::open(std::string kind, std::int64_t node, double now,
                            SpanId parent) {
+  if (sealed_) {
+    ++late_opens_;
+    return kNoSpan;
+  }
   Span span;
   span.id = static_cast<SpanId>(spans_.size()) + 1;
   span.parent = parent;

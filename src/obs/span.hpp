@@ -85,6 +85,16 @@ class SpanCollector {
   /// expectations checker can flag.
   void close_open(double now);
 
+  /// Freeze the collector: later open() calls are ignored (and counted in
+  /// late_opens()) so a straggling emitter cannot reopen spans after the
+  /// end-of-run flush and corrupt the truncated-span accounting.
+  void seal() noexcept { sealed_ = true; }
+  [[nodiscard]] bool sealed() const noexcept { return sealed_; }
+  /// open() calls rejected after seal(); 0 under correct usage.
+  [[nodiscard]] std::uint64_t late_opens() const noexcept {
+    return late_opens_;
+  }
+
   /// Attach (or detach with nullptr) a close-time tap; not owned.
   void set_observer(SpanObserver* observer) noexcept { observer_ = observer; }
 
@@ -105,6 +115,8 @@ class SpanCollector {
   std::vector<Span> spans_;
   std::size_t open_ = 0;
   std::uint64_t double_closes_ = 0;
+  std::uint64_t late_opens_ = 0;
+  bool sealed_ = false;
   SpanObserver* observer_ = nullptr;
 };
 

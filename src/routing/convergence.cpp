@@ -1,0 +1,17 @@
+#include "routing/convergence.hpp"
+
+namespace smrp::routing {
+
+double convergence_detection_bound(const ConvergenceConfig& config,
+                                   double refresh_interval, int depth) {
+  if (depth < 1) depth = 1;
+  // Worst case per level: the child just missed its parent's fold, so its
+  // fresh quiet report waits one full refresh interval; stale state at the
+  // parent additionally ages out over report_timeout. The source then
+  // holds the quiet aggregate for `hold` before declaring, and only
+  // declares at its own next maintenance tick (one more interval).
+  return config.report_timeout + depth * refresh_interval + config.hold +
+         refresh_interval;
+}
+
+}  // namespace smrp::routing

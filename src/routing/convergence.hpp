@@ -1,0 +1,141 @@
+// In-protocol convergence detection (DESIGN.md §13): the honest
+// counterpart of the harness's omniscient restoration clock. Real routers
+// cannot watch payload gaps from above — the only convergence signal they
+// can act on is one carried by protocol messages. This module adapts
+// Dijkstra–Scholten-style termination detection to SMRP's soft-state
+// session tree:
+//
+//   - every node maintains a *local quiescence* verdict (no pending SPF,
+//     no recent LSA churn, no in-flight repair/ring/graft activity,
+//     data-plane watchdog fed) and latches the instant it last became
+//     quiet (QuietTracker);
+//   - each on-tree node folds its children's reported quiet-since values
+//     into its own (combine_quiet_since: any non-quiet descendant poisons
+//     the subtree; otherwise the *latest* disturbance wins) and piggybacks
+//     the aggregate on the periodic StateRefresh it already sends its
+//     parent — the detection wave costs zero extra messages;
+//   - the source runs a ConvergenceDetector over the root aggregate and
+//     *detects* convergence once the whole tree has been quiet for a hold
+//     interval, purely from information that arrived in-protocol.
+//
+// Detection necessarily lags ground truth (reports propagate one refresh
+// interval per tree level, and the hold interval adds slack), so
+// `detected_ms >= oracle total_ms` — the never-early invariant the core
+// expectations ruleset enforces. Everything here is pure computation over
+// values the caller feeds in: no simulator events, no randomness, no
+// telemetry — so running the detector never perturbs a seeded run, and
+// attached/detached telemetry stays bit-identical even when adaptive
+// triggers act on the verdict.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+namespace smrp::routing {
+
+/// "Not quiet" sentinel for quiet-since values (valid sim times are
+/// non-negative, so any negative value means the subtree is still active).
+inline constexpr double kNotQuiet = -1.0;
+
+struct ConvergenceConfig {
+  bool enabled = true;  ///< run the detection wave (observation only)
+  /// The root aggregate must stay quiet this long (ms) before the source
+  /// declares convergence. Absorbs one refresh interval of report jitter.
+  double hold = 150.0;
+  /// A child report older than this (ms) no longer vouches for its
+  /// subtree; the child counts as non-quiet until it reports again.
+  double report_timeout = 350.0;
+  /// LSA origination/acceptance within this window (ms) means the local
+  /// control plane is still churning.
+  double lsa_quiet = 100.0;
+};
+
+/// Fold two quiet-since values: a non-quiet side poisons the result;
+/// otherwise the subtree has only been quiet since its *latest* local
+/// disturbance.
+[[nodiscard]] inline double combine_quiet_since(double a, double b) {
+  if (a < 0.0 || b < 0.0) return kNotQuiet;
+  return a > b ? a : b;
+}
+
+/// Latches the instant a node last became (and stayed) quiet. Feed it the
+/// current verdict of the local quiescence predicate each maintenance
+/// tick; it remembers when the current quiet stretch began.
+class QuietTracker {
+ public:
+  /// Update with the predicate's verdict at `now`; returns quiet-since
+  /// (kNotQuiet while disturbed).
+  double update(bool locally_quiet, double now) {
+    if (!locally_quiet) {
+      quiet_since_ = kNotQuiet;
+    } else if (quiet_since_ < 0.0) {
+      quiet_since_ = now;
+    }
+    return quiet_since_;
+  }
+
+  [[nodiscard]] double quiet_since() const noexcept { return quiet_since_; }
+  void reset() noexcept { quiet_since_ = kNotQuiet; }
+
+ private:
+  double quiet_since_ = kNotQuiet;
+};
+
+/// One source-side detection verdict.
+struct Detection {
+  std::uint64_t epoch = 0;   ///< 1-based count of detections so far
+  double at = 0.0;           ///< sim time the source declared convergence
+  double quiet_since = 0.0;  ///< root aggregate quiet-since at declaration
+};
+
+/// Edge-triggered detector the session source runs over the root
+/// aggregate. step() returns a Detection exactly once per convergence
+/// epoch: when the aggregate has been quiet for `hold`, and not again
+/// until the wave is disturbed. A disturbance is visible either as a
+/// non-quiet aggregate or — for churn so brief the subtree re-quiesced
+/// between reports — as the aggregate quiet-since timestamp moving: the
+/// wave carries *when* quiet began, so a jump is retrospective proof the
+/// tree was disturbed even if no report ever said "not quiet".
+class ConvergenceDetector {
+ public:
+  ConvergenceDetector() = default;
+  explicit ConvergenceDetector(ConvergenceConfig config) : config_(config) {}
+
+  std::optional<Detection> step(double aggregate_quiet_since, double now) {
+    if (aggregate_quiet_since < 0.0 ||
+        now - aggregate_quiet_since < config_.hold) {
+      converged_ = false;
+      return std::nullopt;
+    }
+    if (converged_ && aggregate_quiet_since == quiet_since_) {
+      return std::nullopt;  // already declared this epoch
+    }
+    converged_ = true;
+    quiet_since_ = aggregate_quiet_since;
+    ++epoch_;
+    return Detection{epoch_, now, aggregate_quiet_since};
+  }
+
+  /// Whether the source currently considers the tree converged.
+  [[nodiscard]] bool converged() const noexcept { return converged_; }
+  /// Detections declared so far (epochs).
+  [[nodiscard]] std::uint64_t detections() const noexcept { return epoch_; }
+  [[nodiscard]] const ConvergenceConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  ConvergenceConfig config_;
+  std::uint64_t epoch_ = 0;
+  double quiet_since_ = kNotQuiet;  ///< aggregate behind the last epoch
+  bool converged_ = false;
+};
+
+/// Upper bound (ms) on detection lag after the network actually settles:
+/// reports climb one tree level per refresh interval, a silent child must
+/// first age out of report_timeout, and the hold interval caps the tail.
+/// Used by tests and soaks to size the post-quiescence run tail.
+[[nodiscard]] double convergence_detection_bound(
+    const ConvergenceConfig& config, double refresh_interval, int depth);
+
+}  // namespace smrp::routing

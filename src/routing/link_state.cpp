@@ -61,6 +61,7 @@ void LinkStateRouting::start() {
   for (NodeId n = 0; n < g.node_count(); ++n) {
     AgentState& agent = agents_[static_cast<std::size_t>(n)];
     for (const sim::LsaMsg& lsa : initial) agent.lsdb[lsa.origin] = lsa;
+    agent.last_activity = now;
     run_spf(n);
     // Stagger periodic ticks so the fleet does not fire in lockstep.
     const Time phase =
@@ -103,6 +104,7 @@ void LinkStateRouting::originate_lsa(NodeId n) {
   lsa.seq = ++agent.own_seq;
   lsa.adjacencies = alive_adjacencies(n);
   agent.lsdb[n] = lsa;
+  agent.last_activity = simulator_->now();
   schedule_spf(n);
   flood(n, lsa, net::kNoNode);
 }
@@ -135,6 +137,7 @@ bool LinkStateRouting::handle(NodeId at, NodeId from, const Message& message) {
       return true;  // stale or duplicate: do not re-flood
     }
     agent.lsdb[lsa->origin] = *lsa;
+    agent.last_activity = simulator_->now();
     schedule_spf(at);
     flood(at, *lsa, from);
     return true;

@@ -56,6 +56,21 @@ class LinkStateRouting {
     return last_table_change_;
   }
 
+  /// Whether `at` has an SPF run scheduled but not yet executed. Part of
+  /// the convergence-detection quiescence predicate (DESIGN.md §13):
+  /// a node with a pending SPF has not finished reacting to the LSDB.
+  [[nodiscard]] bool spf_pending(NodeId at) const {
+    return agents_[static_cast<std::size_t>(at)].spf_pending;
+  }
+
+  /// Sim time of the last LSA activity `at` saw — its own origination or
+  /// an accepted (non-stale) flood; the pre-converged bootstrap counts.
+  /// < 0 before start(). Recent activity means the control plane around
+  /// `at` is still churning, so `at` cannot claim local quiescence.
+  [[nodiscard]] Time last_lsa_activity(NodeId at) const {
+    return agents_[static_cast<std::size_t>(at)].last_activity;
+  }
+
   /// Oracle check (tests): every up node's next-hop chain to every
   /// reachable destination makes progress over up links only.
   [[nodiscard]] bool converged() const;
@@ -70,6 +85,7 @@ class LinkStateRouting {
     std::uint64_t own_seq = 1;
     std::vector<NodeId> table;  ///< next hop per destination
     bool spf_pending = false;
+    Time last_activity = -1.0;  ///< last LSA originated or accepted here
   };
 
   void tick(NodeId n);

@@ -55,6 +55,10 @@ struct LeaveReqMsg {
 /// the per-interface member counts of §3.2.1.
 struct StateRefreshMsg {
   int subtree_members = 0;  ///< N of the sending child
+  /// Convergence-detection wave (DESIGN.md §13), piggybacked upward: the
+  /// instant since which the sender's whole subtree has been quiet, or
+  /// negative (routing::kNotQuiet) while anything below is still active.
+  double conv_quiet_since = -1.0;
 };
 
 /// Periodic upstream-state message a parent sends each child: carries the
@@ -62,6 +66,9 @@ struct StateRefreshMsg {
 /// Eq. 2, plus implicit tree-liveness (a silent parent is a dead parent).
 struct ShrUpdateMsg {
   int shr_upstream = 0;  ///< SHR(S, parent)
+  /// Convergence-detection verdict propagated downward from the source:
+  /// true while the source considers the tree converged (DESIGN.md §13).
+  bool conv_converged = false;
 };
 
 /// Multicast payload, fanned out source → children → … → members.

@@ -303,6 +303,9 @@ bool Simulator::fire_next(Time limit) {
       events_counter_->add(1);
       pool_slots_gauge_->set(static_cast<double>(slots_.size()));
       pool_free_gauge_->set(static_cast<double>(free_count_));
+      // Gauges above are current as of this event; snapshot them if a
+      // sampling period boundary passed (no-op unless enabled).
+      telemetry_->maybe_sample(top.when);
     }
     now_ = top.when;
     --live_pending_;

@@ -18,7 +18,8 @@ DistributedSession::DistributedSession(sim::Simulator& simulator,
       source_(source),
       config_(config),
       oracle_(std::make_unique<net::RoutingOracle>(network.graph())),
-      jitter_rng_(config.jitter_seed) {
+      jitter_rng_(config.jitter_seed),
+      conv_detector_(config.convergence) {
   if (!network.graph().valid_node(source)) {
     throw std::out_of_range("bad source");
   }
@@ -104,10 +105,13 @@ void DistributedSession::attach_telemetry(obs::Telemetry* telemetry) {
   telemetry_ = telemetry;
   oracle_->attach_telemetry(telemetry);
   node_obs_.assign(agents_.size(), NodeObs{});
+  conv_pending_.clear();
   if (telemetry == nullptr) {
     c_watchdog_ = c_rings_ = c_fallbacks_ = c_stranded_ = c_routed_joins_ =
-        c_repairs_started_ = c_repairs_completed_ = c_reshapes_ = nullptr;
-    h_outage_ms_ = h_rings_ = h_join_ms_ = nullptr;
+        c_repairs_started_ = c_repairs_completed_ = c_reshapes_ =
+            c_conv_detections_ = c_conv_adaptive_fallbacks_ = nullptr;
+    h_outage_ms_ = h_rings_ = h_join_ms_ = h_conv_skew_ = nullptr;
+    g_conv_converged_ = g_conv_quiet_ms_ = nullptr;
     return;
   }
   obs::MetricsRegistry& m = telemetry->metrics;
@@ -124,6 +128,12 @@ void DistributedSession::attach_telemetry(obs::Telemetry* telemetry) {
       "smrp.proto.repair.rings_per_episode",
       {1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 8.0, 12.0, 16.0, 24.0, 32.0});
   h_join_ms_ = &m.histogram("smrp.proto.join_latency_ms");
+  c_conv_detections_ = &m.counter("smrp.convergence.detections");
+  c_conv_adaptive_fallbacks_ =
+      &m.counter("smrp.convergence.adaptive_fallbacks");
+  g_conv_converged_ = &m.gauge("smrp.convergence.converged");
+  g_conv_quiet_ms_ = &m.gauge("smrp.convergence.quiet_ms");
+  h_conv_skew_ = &m.histogram("smrp.convergence.skew_ms");
 }
 
 void DistributedSession::tl_open_outage(net::NodeId n) {
@@ -173,10 +183,18 @@ void DistributedSession::tl_on_data(net::NodeId n) {
     const obs::Span* span = spans.find(t.outage);
     const double* lost_at =
         span != nullptr ? span->attr("service_lost_at") : nullptr;
-    const double total = now - (lost_at != nullptr ? *lost_at : now);
+    // Copy out of the attrs vector before attr() below may reallocate it.
+    const double lost = lost_at != nullptr ? *lost_at : now;
+    const double total = now - lost;
     spans.attr(t.outage, "total_ms", total);
     spans.close(t.outage, now, obs::SpanStatus::kOk);
     h_outage_ms_->record(total);
+    if (config_.convergence.enabled) {
+      // The oracle says the episode is over; the in-protocol end is the
+      // source's next convergence detection, which confirms this entry
+      // with a `convergence` span (skew = how far detection lagged).
+      conv_pending_.push_back(PendingOutage{n, t.outage, lost, now, total});
+    }
     t.outage = obs::kNoSpan;
   }
   if (t.join != obs::kNoSpan) {
@@ -490,10 +508,21 @@ void DistributedSession::maintenance(net::NodeId n) {
 
   if (!s.on_tree) return;
 
+  // Convergence wave (DESIGN.md §13): fold the local quiescence latch
+  // with the children's piggybacked reports; the source runs the
+  // detector over the root aggregate. Pure computation on protocol
+  // state, so it cannot perturb the seeded run.
+  const double conv_agg = config_.convergence.enabled
+                              ? conv_subtree_quiet_since(n, now)
+                              : routing::kNotQuiet;
+  if (n == source_ && config_.convergence.enabled) conv_step(conv_agg, now);
+
   // Parent-facing soft state + liveness.
   if (n != source_ && s.parent != net::kNoNode) {
-    network_->send(n, s.parent,
-                   sim::StateRefreshMsg{local_member_count(s)});
+    sim::StateRefreshMsg refresh;
+    refresh.subtree_members = local_member_count(s);
+    refresh.conv_quiet_since = conv_agg;  // the wave rides the refresh
+    network_->send(n, s.parent, refresh);
     const bool upstream_dead =
         s.last_upstream >= 0.0
             ? now - s.last_upstream > config_.upstream_timeout
@@ -506,10 +535,14 @@ void DistributedSession::maintenance(net::NodeId n) {
     }
   }
 
-  // Child-facing SHR propagation (Eq. 2 downstream push).
+  // Child-facing SHR propagation (Eq. 2 downstream push); the source's
+  // convergence verdict rides along so adaptive reshaping can gate on it.
   const int own_shr = believed_shr(n);
   for (const auto& [child, info] : s.children) {
-    network_->send(n, child, sim::ShrUpdateMsg{own_shr});
+    sim::ShrUpdateMsg update;
+    update.shr_upstream = own_shr;
+    update.conv_converged = s.conv_converged;
+    network_->send(n, child, update);
   }
 
   // Tree reshaping (§3.2.3), members only, while service is healthy.
@@ -519,8 +552,15 @@ void DistributedSession::maintenance(net::NodeId n) {
     if (s.shr_baseline < 0) s.shr_baseline = believed_shr(n);
     const bool condition_one =
         believed_shr(n) - s.shr_baseline >= config_.smrp.reshape_shr_delta;
+    // Adaptive triggers: the periodic (Condition II) reshape waits for
+    // the source's convergence verdict instead of firing blind on the
+    // tick counter — re-optimising a tree that is still being repaired
+    // wastes grafts. The counter keeps accruing, so the reshape fires at
+    // the first converged tick past the threshold.
+    ++s.ticks_since_reshape_check;
     const bool condition_two =
-        ++s.ticks_since_reshape_check >= config_.reshape_every_ticks;
+        s.ticks_since_reshape_check >= config_.reshape_every_ticks &&
+        (!config_.adaptive_triggers || s.conv_converged);
     if (condition_one || condition_two) {
       s.ticks_since_reshape_check = 0;
       if (!attempt_reshape(n)) {
@@ -600,6 +640,83 @@ bool DistributedSession::attempt_reshape(net::NodeId n) {
                            static_cast<double>(s.parent));
   }
   return true;
+}
+
+bool DistributedSession::conv_routing_quiet(net::NodeId n, Time now) const {
+  if (routing_->spf_pending(n)) return false;
+  const Time lsa = routing_->last_lsa_activity(n);
+  return lsa < 0.0 || now - lsa >= config_.convergence.lsa_quiet;
+}
+
+bool DistributedSession::conv_locally_quiet(net::NodeId n, Time now) const {
+  if (!conv_routing_quiet(n, now)) return false;
+  const AgentState& s = agent(n);
+  // Repair machinery idle: an in-flight ring search, a stranded wait, or
+  // a graft still inside its grace window all mean restoration work is
+  // pending here.
+  if (s.repairing || s.stranded) return false;
+  if (now <= s.repair_grace) return false;
+  // Data-plane service: a member off the tree is by definition unserved,
+  // and an on-tree node must have a parent and payloads fresher than the
+  // silence the watchdog would fire on.
+  if (s.is_member && !s.on_tree) return false;
+  if (s.on_tree && n != source_) {
+    if (s.parent == net::kNoNode) return false;
+    if (s.last_data < 0.0 || now - s.last_data > watchdog_window()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+double DistributedSession::conv_subtree_quiet_since(net::NodeId n, Time now) {
+  AgentState& s = agent(n);
+  double agg = s.conv_local.update(conv_locally_quiet(n, now), now);
+  for (const auto& [child, info] : s.children) {
+    if (agg < 0.0) break;  // already poisoned
+    if (info.conv_report_at < 0.0 ||
+        now - info.conv_report_at > config_.convergence.report_timeout) {
+      // A child that never reported or went silent cannot vouch for its
+      // subtree: assume the worst until it speaks again.
+      return routing::kNotQuiet;
+    }
+    agg = routing::combine_quiet_since(agg, info.conv_quiet_since);
+  }
+  return agg;
+}
+
+void DistributedSession::conv_step(double aggregate_quiet_since, Time now) {
+  const std::optional<routing::Detection> detection =
+      conv_detector_.step(aggregate_quiet_since, now);
+  agent(source_).conv_converged = conv_detector_.converged();
+  if (telemetry_ == nullptr) {
+    if (detection) conv_pending_.clear();  // always empty when detached
+    return;
+  }
+  g_conv_converged_->set(conv_detector_.converged() ? 1.0 : 0.0);
+  g_conv_quiet_ms_->set(aggregate_quiet_since >= 0.0
+                            ? now - aggregate_quiet_since
+                            : -1.0);
+  if (!detection) return;
+  c_conv_detections_->add(1);
+  // The first detection at/after an episode's restore instant is the
+  // source's honest announcement that the episode is over: a
+  // `convergence` span covers restore → detection under the outage, so
+  // detected_ms >= total_ms (never-early) holds by construction.
+  for (const PendingOutage& p : conv_pending_) {
+    const double detected_ms = now - p.lost_at;
+    const double skew = detected_ms - p.total_ms;
+    obs::SpanCollector& spans = telemetry_->spans;
+    const obs::SpanId span =
+        spans.open("convergence", p.node, p.restored_at, p.outage);
+    spans.attr(span, "epoch", static_cast<double>(detection->epoch));
+    spans.attr(span, "total_ms", p.total_ms);
+    spans.attr(span, "detected_ms", detected_ms);
+    spans.attr(span, "skew_ms", skew);
+    spans.close(span, now, obs::SpanStatus::kOk);
+    h_conv_skew_->record(skew);
+  }
+  conv_pending_.clear();
 }
 
 void DistributedSession::react_to_dead_upstream(net::NodeId n) {
@@ -697,55 +814,79 @@ void DistributedSession::start_repair(net::NodeId n) {
   fire_repair_ring(n);
 }
 
+void DistributedSession::repair_give_up(net::NodeId n, bool adaptive) {
+  AgentState& s = agent(n);
+  s.repairing = false;
+  const obs::SpanStatus status =
+      adaptive ? obs::SpanStatus::kSuperseded : obs::SpanStatus::kFailed;
+  NodeObs* t = nullptr;
+  if (telemetry_ != nullptr) {
+    t = &node_obs_[static_cast<std::size_t>(n)];
+    const Time now = simulator_->now();
+    obs::SpanCollector& spans = telemetry_->spans;
+    if (t->ring != obs::kNoSpan) {
+      spans.close(t->ring, now, status);
+      t->ring = obs::kNoSpan;
+    }
+    if (t->repair != obs::kNoSpan) {
+      // Ring budget exhausted without an adoptable response — or, on the
+      // adaptive trigger, cut short because the routed detour came alive.
+      spans.attr(t->repair, "rings", t->rings_episode);
+      if (adaptive) spans.attr(t->repair, "adaptive", 1.0);
+      spans.close(t->repair, now, status);
+      h_rings_->record(t->rings_episode);
+      t->repair = obs::kNoSpan;
+      t->rings_episode = 0;
+    }
+  }
+  if (!config_.hardened) return;  // legacy: give up; maintenance retries
+  // Repair deadline hit: no on-tree node with live service inside the
+  // ring budget, so the detour — if one exists at all — is not local.
+  // Fall back to a routed (global) join; if even the IGP has no route,
+  // the source sits in another partition: go stranded and let
+  // maintenance rejoin once routing heals.
+  if (routing_->has_route(n, source_)) {
+    if (t != nullptr) {
+      c_fallbacks_->add(1);
+      if (adaptive) c_conv_adaptive_fallbacks_->add(1);
+      t->fallback = telemetry_->spans.open("fallback", n,
+                                           simulator_->now(), t->outage);
+      if (adaptive) telemetry_->spans.attr(t->fallback, "adaptive", 1.0);
+    }
+    send_routed_join(n);
+    // Give the routed join one detection window to deliver data before
+    // maintenance opens another repair episode.
+    s.repair_grace = simulator_->now() + config_.upstream_timeout;
+  } else {
+    if (t != nullptr) {
+      c_stranded_->add(1);
+      if (t->outage != obs::kNoSpan) {
+        telemetry_->spans.attr(t->outage, "stranded", 1.0);
+      }
+    }
+    s.stranded = true;
+  }
+}
+
 void DistributedSession::fire_repair_ring(net::NodeId n) {
   AgentState& s = agent(n);
   if (!s.repairing) return;
   if (!config_.mutations.ignore_ring_budget &&
       s.repair_ttl > config_.max_repair_ttl) {
-    s.repairing = false;
-    NodeObs* t = nullptr;
-    if (telemetry_ != nullptr) {
-      t = &node_obs_[static_cast<std::size_t>(n)];
-      const Time now = simulator_->now();
-      obs::SpanCollector& spans = telemetry_->spans;
-      if (t->ring != obs::kNoSpan) {
-        spans.close(t->ring, now, obs::SpanStatus::kFailed);
-        t->ring = obs::kNoSpan;
-      }
-      if (t->repair != obs::kNoSpan) {
-        // Ring budget exhausted without an adoptable response.
-        spans.attr(t->repair, "rings", t->rings_episode);
-        spans.close(t->repair, now, obs::SpanStatus::kFailed);
-        h_rings_->record(t->rings_episode);
-        t->repair = obs::kNoSpan;
-        t->rings_episode = 0;
-      }
-    }
-    if (!config_.hardened) return;  // legacy: give up; maintenance retries
-    // Repair deadline hit: no on-tree node with live service inside the
-    // ring budget, so the detour — if one exists at all — is not local.
-    // Fall back to a routed (global) join; if even the IGP has no route,
-    // the source sits in another partition: go stranded and let
-    // maintenance rejoin once routing heals.
-    if (routing_->has_route(n, source_)) {
-      if (t != nullptr) {
-        c_fallbacks_->add(1);
-        t->fallback = telemetry_->spans.open("fallback", n,
-                                             simulator_->now(), t->outage);
-      }
-      send_routed_join(n);
-      // Give the routed join one detection window to deliver data before
-      // maintenance opens another repair episode.
-      s.repair_grace = simulator_->now() + config_.upstream_timeout;
-    } else {
-      if (t != nullptr) {
-        c_stranded_->add(1);
-        if (t->outage != obs::kNoSpan) {
-          telemetry_->spans.attr(t->outage, "stranded", 1.0);
-        }
-      }
-      s.stranded = true;
-    }
+    repair_give_up(n, /*adaptive=*/false);
+    return;
+  }
+  // Adaptive trigger (opt-in): the ring search exists because unicast
+  // routing is too slow to trust mid-failure — but once the local control
+  // plane has quiesced AND re-learned a route to the source, a routed
+  // join is one RTT while the next ring is a wider flood plus backoff.
+  // Abort the escalation and take the global detour now instead of
+  // burning the rest of the budget. Requires one unanswered ring so a
+  // genuinely local detour still wins the race it is built to win.
+  if (config_.adaptive_triggers && config_.hardened && s.repair_ring >= 1 &&
+      conv_routing_quiet(n, simulator_->now()) &&
+      routing_->has_route(n, source_)) {
+    repair_give_up(n, /*adaptive=*/true);
     return;
   }
   sim::RepairQueryMsg query;
@@ -891,12 +1032,17 @@ void DistributedSession::on_refresh(net::NodeId at, net::NodeId from,
     // Refresh from an unknown child re-adopts it (soft state recovers
     // from message loss).
     if (s.on_tree) {
-      s.children[from] = ChildInfo{simulator_->now(), msg.subtree_members};
+      ChildInfo info{simulator_->now(), msg.subtree_members};
+      info.conv_quiet_since = msg.conv_quiet_since;
+      info.conv_report_at = simulator_->now();
+      s.children[from] = info;
     }
     return;
   }
   it->second.last_refresh = simulator_->now();
   it->second.subtree_members = msg.subtree_members;
+  it->second.conv_quiet_since = msg.conv_quiet_since;
+  it->second.conv_report_at = simulator_->now();
 }
 
 void DistributedSession::on_shr_update(net::NodeId at, net::NodeId from,
@@ -904,6 +1050,7 @@ void DistributedSession::on_shr_update(net::NodeId at, net::NodeId from,
   AgentState& s = agent(at);
   if (s.parent != from) return;  // stale upstream
   s.shr_upstream = msg.shr_upstream;
+  s.conv_converged = msg.conv_converged;
   s.last_upstream = simulator_->now();
 }
 

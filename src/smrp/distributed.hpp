@@ -27,6 +27,7 @@
 #include "net/routing_oracle.hpp"
 #include "net/shortest_path.hpp"
 #include "obs/telemetry.hpp"
+#include "routing/convergence.hpp"
 #include "routing/link_state.hpp"
 #include "sim/network.hpp"
 #include "smrp/config.hpp"
@@ -67,6 +68,20 @@ struct SessionConfig {
   /// on SHR growth per SmrpConfig::reshape_shr_delta. Both honour
   /// smrp.enable_reshaping.
   int reshape_every_ticks = 10;
+  /// In-protocol convergence detection (DESIGN.md §13): every on-tree
+  /// node piggybacks a termination-detection wave on the refresh traffic
+  /// it already sends, and the source detects — from protocol messages
+  /// alone — when restoration has completed. Pure observation unless
+  /// adaptive_triggers is set; disabling it only stops the wave fields
+  /// from being computed.
+  routing::ConvergenceConfig convergence;
+  /// Opt-in adaptive triggers driven by the detection machinery instead
+  /// of fixed timers: a repairing node whose local control plane has
+  /// quiesced and re-learned a route to the source aborts the ring
+  /// escalation for an immediate routed fallback, and the periodic
+  /// (Condition II) reshape waits for the source's converged verdict.
+  /// Off by default — the baseline keeps the timer behaviour for A/B.
+  bool adaptive_triggers = false;
   enum class Mode { kSmrp, kPimSpf } mode = Mode::kSmrp;
   /// Test-only protocol mutations for the expectations gate: each one
   /// breaks exactly one safety property the core ruleset (obs/expect)
@@ -139,6 +154,17 @@ class DistributedSession {
     return reshapes_performed_;
   }
 
+  /// Source-side in-protocol convergence verdict (DESIGN.md §13): whether
+  /// the source currently believes the tree has converged, judged purely
+  /// from the piggybacked detection wave.
+  [[nodiscard]] bool convergence_detected() const noexcept {
+    return conv_detector_.converged();
+  }
+  /// Detection epochs declared by the source so far.
+  [[nodiscard]] std::uint64_t convergence_detections() const noexcept {
+    return conv_detector_.detections();
+  }
+
   /// Attach (or detach with nullptr) the telemetry bundle; not owned.
   /// Opens causal episode spans for every service interruption —
   ///   outage (per-node loss of payload service)
@@ -153,6 +179,11 @@ class DistributedSession {
   struct ChildInfo {
     Time last_refresh = 0.0;
     int subtree_members = 0;
+    /// Convergence wave (DESIGN.md §13): the child's reported subtree
+    /// quiet-since and when that report arrived (< 0 before the first —
+    /// an unreported child cannot vouch for its subtree).
+    double conv_quiet_since = routing::kNotQuiet;
+    Time conv_report_at = -1.0;
   };
 
   struct AgentState {
@@ -190,6 +221,11 @@ class DistributedSession {
     // Reshaping state (§3.2.3).
     int shr_baseline = -1;  ///< SHR at last (re)join; Condition I reference
     int ticks_since_reshape_check = 0;
+    // Convergence detection (DESIGN.md §13).
+    routing::QuietTracker conv_local;  ///< local quiescence latch
+    /// Source verdict propagated down via ShrUpdate (set directly by the
+    /// detector at the source itself); gates adaptive reshaping.
+    bool conv_converged = false;
   };
 
   /// Test-only backdoor: direct mutable access to a node's raw protocol
@@ -283,6 +319,27 @@ class DistributedSession {
   [[nodiscard]] Time watchdog_window() const noexcept;
   void start_repair(net::NodeId n);
   void fire_repair_ring(net::NodeId n);
+  /// Shared tail of the ring search: close the repair episode and either
+  /// fall back to a routed join or go stranded. `adaptive` marks the
+  /// convergence-triggered early abort (spans close superseded, not
+  /// failed — the search was cut short, it did not exhaust its budget).
+  void repair_give_up(net::NodeId n, bool adaptive);
+
+  // -- Convergence detection (DESIGN.md §13) ---------------------------------
+
+  /// Local quiescence predicate at `n`: control plane settled (no pending
+  /// SPF, no recent LSA churn), repair machinery idle, graft grace over,
+  /// and — on served paths — the data-plane watchdog fed.
+  [[nodiscard]] bool conv_locally_quiet(net::NodeId n, Time now) const;
+  /// Control-plane half of the predicate, which is also what the adaptive
+  /// fallback needs: unicast routing around `n` has settled.
+  [[nodiscard]] bool conv_routing_quiet(net::NodeId n, Time now) const;
+  /// Fold `n`'s own quiet latch (updated here) with its children's
+  /// piggybacked reports; silent or never-reporting children poison it.
+  [[nodiscard]] double conv_subtree_quiet_since(net::NodeId n, Time now);
+  /// Source-side detector step plus telemetry: on detection, confirm
+  /// every restored outage episode awaiting its honest end.
+  void conv_step(double aggregate_quiet_since, Time now);
   /// Re-run path selection for member `n` against the current distributed
   /// state; switch upstream (make-before-break) when strictly better.
   bool attempt_reshape(net::NodeId n);
@@ -313,6 +370,22 @@ class DistributedSession {
   /// the oracle holds a mutex and is immovable.
   const std::unique_ptr<net::RoutingOracle> oracle_;
   net::Rng jitter_rng_;
+  /// Source-side detector over the root aggregate of the piggybacked
+  /// wave. Runs whether or not telemetry is attached (adaptive triggers
+  /// act on it), but is pure computation on protocol state — no events,
+  /// no randomness — so bit-identity across attach states holds.
+  routing::ConvergenceDetector conv_detector_;
+  /// Restored outage episodes awaiting the source's next detection (the
+  /// episode's honest, in-protocol end). Telemetry-only bookkeeping:
+  /// populated solely while a telemetry bundle is attached.
+  struct PendingOutage {
+    net::NodeId node = net::kNoNode;
+    obs::SpanId outage = obs::kNoSpan;
+    double lost_at = 0.0;     ///< service_lost_at of the outage span
+    double restored_at = 0.0; ///< when the payload gap closed (oracle end)
+    double total_ms = 0.0;    ///< oracle interruption total
+  };
+  std::vector<PendingOutage> conv_pending_;
   std::vector<AgentState> agents_;
   std::uint64_t data_seq_ = 0;
   std::uint64_t nonce_counter_ = 0;
@@ -334,6 +407,11 @@ class DistributedSession {
   obs::Histogram* h_outage_ms_ = nullptr;
   obs::Histogram* h_rings_ = nullptr;
   obs::Histogram* h_join_ms_ = nullptr;
+  obs::Counter* c_conv_detections_ = nullptr;
+  obs::Counter* c_conv_adaptive_fallbacks_ = nullptr;
+  obs::Gauge* g_conv_converged_ = nullptr;
+  obs::Gauge* g_conv_quiet_ms_ = nullptr;
+  obs::Histogram* h_conv_skew_ = nullptr;
 };
 
 }  // namespace smrp::proto

@@ -276,10 +276,10 @@ run 7000
 )").execute();
   EXPECT_EQ(report.starved_members_at_end, 0);
   EXPECT_EQ(report.expect_violations, 0) << report.expect_table;
-  EXPECT_NE(report.expect_table.find("expect: 9 rules"), std::string::npos);
+  EXPECT_NE(report.expect_table.find("expect: 11 rules"), std::string::npos);
   bool summarized = false;
   for (const std::string& line : report.log) {
-    if (line.find("expect: 9 rules, 0 violations") != std::string::npos) {
+    if (line.find("expect: 11 rules, 0 violations") != std::string::npos) {
       summarized = true;
     }
   }

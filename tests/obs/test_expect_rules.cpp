@@ -96,7 +96,7 @@ TEST(ExpectRules, ParserReportsLineNumbers) {
 
 TEST(ExpectRules, CoreRoundTripsThroughTheParser) {
   const RuleSet core = RuleSet::smrp_core();
-  EXPECT_EQ(core.rules().size(), 9u);
+  EXPECT_EQ(core.rules().size(), 11u);
   // File form -> parser -> file form is a fixed point.
   const RuleSet reparsed = RuleSet::parse_text(core.to_text());
   EXPECT_EQ(reparsed.to_text(), core.to_text());

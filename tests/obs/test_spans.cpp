@@ -122,7 +122,7 @@ TEST(JsonlSink, MetaLineLeadsEverySnapshot) {
   ASSERT_EQ(lines.size(), 3u);  // meta + 1 span + 1 counter
   EXPECT_EQ(lines[0],
             "{\"type\":\"meta\",\"version\":1,\"run\":\"drill\",\"at\":250,"
-            "\"spans\":1,\"open_spans\":1,\"events\":0}");
+            "\"spans\":1,\"open_spans\":1,\"events\":0,\"samples\":0}");
 }
 
 TEST(JsonlSink, SpanLineFlattensAttrsAndSnapshotsOpenEnds) {

@@ -1,0 +1,113 @@
+// Unit coverage for the convergence-detection primitives (DESIGN.md §13):
+// the quiet-since fold, the per-node latch, and the source-side detector —
+// including the retrospective re-detection that catches churn so brief the
+// subtree re-quiesced between refresh reports.
+#include <gtest/gtest.h>
+
+#include "routing/convergence.hpp"
+
+namespace smrp::routing {
+namespace {
+
+TEST(CombineQuietSince, NonQuietPoisonsAndLatestDisturbanceWins) {
+  EXPECT_EQ(combine_quiet_since(kNotQuiet, 100.0), kNotQuiet);
+  EXPECT_EQ(combine_quiet_since(100.0, kNotQuiet), kNotQuiet);
+  EXPECT_EQ(combine_quiet_since(kNotQuiet, kNotQuiet), kNotQuiet);
+  // Both quiet: the subtree is only as settled as its latest disturbance.
+  EXPECT_EQ(combine_quiet_since(100.0, 250.0), 250.0);
+  EXPECT_EQ(combine_quiet_since(250.0, 100.0), 250.0);
+  EXPECT_EQ(combine_quiet_since(0.0, 0.0), 0.0);  // t=0 is a valid instant
+}
+
+TEST(QuietTracker, LatchesTheStartOfTheCurrentQuietStretch) {
+  QuietTracker tracker;
+  EXPECT_EQ(tracker.quiet_since(), kNotQuiet);
+  EXPECT_EQ(tracker.update(true, 100.0), 100.0);
+  // Staying quiet keeps the original latch, not the current time.
+  EXPECT_EQ(tracker.update(true, 500.0), 100.0);
+  // A disturbance clears it; re-quiescing latches the new instant.
+  EXPECT_EQ(tracker.update(false, 600.0), kNotQuiet);
+  EXPECT_EQ(tracker.update(true, 700.0), 700.0);
+  tracker.reset();
+  EXPECT_EQ(tracker.quiet_since(), kNotQuiet);
+}
+
+ConvergenceConfig test_config() {
+  ConvergenceConfig config;
+  config.hold = 150.0;
+  return config;
+}
+
+TEST(ConvergenceDetector, DeclaresOncePerEpochAfterTheHold) {
+  ConvergenceDetector detector(test_config());
+  EXPECT_FALSE(detector.converged());
+  // Quiet but not yet held long enough.
+  EXPECT_FALSE(detector.step(1000.0, 1100.0).has_value());
+  EXPECT_FALSE(detector.converged());
+  // Hold satisfied: exactly one detection for this epoch.
+  const auto first = detector.step(1000.0, 1150.0);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->epoch, 1u);
+  EXPECT_EQ(first->at, 1150.0);
+  EXPECT_EQ(first->quiet_since, 1000.0);
+  EXPECT_TRUE(detector.converged());
+  EXPECT_FALSE(detector.step(1000.0, 1200.0).has_value());
+  EXPECT_EQ(detector.detections(), 1u);
+}
+
+TEST(ConvergenceDetector, DisturbanceResetsAndRedetects) {
+  ConvergenceDetector detector(test_config());
+  ASSERT_TRUE(detector.step(1000.0, 1200.0).has_value());
+  // The wave reports activity: converged drops immediately.
+  EXPECT_FALSE(detector.step(kNotQuiet, 1300.0).has_value());
+  EXPECT_FALSE(detector.converged());
+  // Re-quiesced: a second epoch after the hold.
+  EXPECT_FALSE(detector.step(1400.0, 1500.0).has_value());
+  const auto second = detector.step(1400.0, 1550.0);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->epoch, 2u);
+  EXPECT_EQ(detector.detections(), 2u);
+}
+
+TEST(ConvergenceDetector, QuietSinceJumpRedetectsWithoutAVisibleGap) {
+  // Churn so short the subtree re-latched quiet between reports: the
+  // source never sees a non-quiet aggregate, but the quiet-since
+  // timestamp moving is retrospective proof of the disturbance.
+  ConvergenceDetector detector(test_config());
+  ASSERT_TRUE(detector.step(1000.0, 1200.0).has_value());
+  EXPECT_TRUE(detector.converged());
+  // Next report carries a LATER quiet-since (already past the hold).
+  const auto redetect = detector.step(2000.0, 2200.0);
+  ASSERT_TRUE(redetect.has_value());
+  EXPECT_EQ(redetect->epoch, 2u);
+  EXPECT_EQ(redetect->quiet_since, 2000.0);
+  // Same timestamp again: still the same epoch, no duplicate.
+  EXPECT_FALSE(detector.step(2000.0, 2400.0).has_value());
+}
+
+TEST(ConvergenceDetector, JumpWithinHoldWaitsForTheHold) {
+  ConvergenceDetector detector(test_config());
+  ASSERT_TRUE(detector.step(1000.0, 1200.0).has_value());
+  // The jump target has not been quiet for the hold yet: converged drops
+  // (the tree is provably disturbed) and nothing is declared until the
+  // new stretch matures.
+  EXPECT_FALSE(detector.step(2000.0, 2050.0).has_value());
+  EXPECT_FALSE(detector.converged());
+  ASSERT_TRUE(detector.step(2000.0, 2150.0).has_value());
+}
+
+TEST(ConvergenceDetectionBound, GrowsWithDepthAndCoversTheTail) {
+  const ConvergenceConfig config = test_config();
+  const double refresh = 50.0;
+  const double shallow = convergence_detection_bound(config, refresh, 1);
+  const double deep = convergence_detection_bound(config, refresh, 5);
+  EXPECT_GT(deep, shallow);
+  // The bound must at least cover a stale-report timeout plus the hold:
+  // anything shorter could truncate a detection the soak relies on.
+  EXPECT_GE(shallow, config.report_timeout + config.hold);
+  // Depth is clamped to >= 1 so degenerate trees still get a real tail.
+  EXPECT_EQ(convergence_detection_bound(config, refresh, 0), shallow);
+}
+
+}  // namespace
+}  // namespace smrp::routing

@@ -2,10 +2,12 @@
 // scenario scripting layer export (DESIGN.md §8): validates every line
 // against the flat schema, reassembles the causal span tree, and prints —
 // per run section — a per-repair-episode latency table (detection →
-// ring search/backoff → graft → total service interruption) plus the
-// registry's counters and distributions.
+// ring search/backoff → graft → total service interruption, with the
+// in-protocol convergence skew when the trace carries convergence spans)
+// plus the registry's counters and distributions. `--samples` appends a
+// per-gauge envelope table of the sampler's periodic snapshots.
 //
-//   trace_report <trace.jsonl>
+//   trace_report [--samples] <trace.jsonl>
 //   trace_report --expect <rules|core> [--runs <glob>] <trace.jsonl>
 //
 // The second form replays the trace through the protocol-expectations
@@ -19,6 +21,7 @@
 // violations, 2 usage. CI runs a seeded chaos soak through this binary,
 // so a schema drift in the exporter fails the build instead of silently
 // corrupting analyses.
+#include <algorithm>
 #include <cctype>
 #include <cmath>
 #include <cstdint>
@@ -208,6 +211,13 @@ struct HistRow {
   double sum = 0.0, mean = 0.0, p50 = 0.0, p90 = 0.0, p99 = 0.0, max = 0.0;
 };
 
+/// One periodic gauge snapshot row (the sampler's `sample` records).
+struct SampleRow {
+  double t = 0.0;
+  std::string name;
+  double value = 0.0;
+};
+
 /// One `meta`-delimited section of the file (one instrumented run).
 struct RunSection {
   std::string label;
@@ -215,8 +225,11 @@ struct RunSection {
   std::uint64_t declared_spans = 0;
   /// Declared event count; absent in traces from before the event stream.
   std::optional<std::uint64_t> declared_events;
+  /// Declared sample count; absent in traces from before the sampler.
+  std::optional<std::uint64_t> declared_samples;
   std::uint64_t events = 0;
   std::vector<SpanRow> spans;
+  std::vector<SampleRow> samples;
   std::map<std::string, std::uint64_t> counters;
   std::map<std::string, HistRow> hists;
 };
@@ -243,7 +256,7 @@ const std::string& require_str(const LineObject& obj, const char* key,
 
 std::string ms(double v) { return Table::fixed(v, 1); }
 
-void render_run(const RunSection& run) {
+void render_run(const RunSection& run, bool show_samples) {
   std::cout << "run \"" << run.label << "\" (snapshot at " << ms(run.at)
             << " ms): " << run.spans.size() << " spans\n";
   if (run.declared_spans != run.spans.size()) {
@@ -255,6 +268,11 @@ void render_run(const RunSection& run) {
     malformed(0, "meta declared " + std::to_string(*run.declared_events) +
                      " events but section carries " +
                      std::to_string(run.events));
+  }
+  if (run.declared_samples && *run.declared_samples != run.samples.size()) {
+    malformed(0, "meta declared " + std::to_string(*run.declared_samples) +
+                     " samples but section carries " +
+                     std::to_string(run.samples.size()));
   }
 
   // Reassemble the causal structure: children grouped under each outage.
@@ -271,8 +289,12 @@ void render_run(const RunSection& run) {
   }
 
   Table episodes({"node", "t0 (ms)", "detect (ms)", "repairs", "rings",
-                  "search (ms)", "graft (ms)", "total (ms)", "status"});
+                  "search (ms)", "graft (ms)", "total (ms)", "skew (ms)",
+                  "status"});
   int outages = 0;
+  int ok_outages = 0;
+  int confirmed = 0;
+  std::vector<double> skews;
   double total_interruption = 0.0;
   for (const SpanRow& s : run.spans) {
     if (s.kind != "outage") continue;
@@ -281,6 +303,7 @@ void render_run(const RunSection& run) {
     int rings = 0;
     double search_ms = 0.0;
     double graft_ms = 0.0;
+    const SpanRow* convergence = nullptr;
     for (const SpanRow* child : children[s.id]) {
       if (child->kind == "repair") {
         ++repairs;
@@ -288,15 +311,28 @@ void render_run(const RunSection& run) {
         search_ms += child->end - child->start;
       } else if (child->kind == "graft" || child->kind == "fallback") {
         graft_ms += child->end - child->start;
+      } else if (child->kind == "convergence") {
+        convergence = child;
       }
     }
     const double lost_at = s.attr("service_lost_at", s.start);
     const double total = s.attr("total_ms", s.end - lost_at);
-    if (s.status == "ok") total_interruption += total;
+    if (s.status == "ok") {
+      total_interruption += total;
+      ++ok_outages;
+      if (convergence != nullptr) ++confirmed;
+    }
+    std::string skew = "-";
+    if (convergence != nullptr) {
+      const double skew_ms = convergence->attr(
+          "skew_ms", convergence->attr("detected_ms", total) - total);
+      skews.push_back(skew_ms);
+      skew = ms(skew_ms);
+    }
     episodes.add_row({std::to_string(s.node), ms(s.start),
                       ms(s.attr("silence_ms", s.start - lost_at)),
                       std::to_string(repairs), std::to_string(rings),
-                      ms(search_ms), ms(graft_ms), ms(total), s.status});
+                      ms(search_ms), ms(graft_ms), ms(total), skew, s.status});
   }
   if (outages > 0) {
     std::cout << "\n  repair episodes (" << outages
@@ -305,6 +341,17 @@ void render_run(const RunSection& run) {
               << episodes.render();
   } else {
     std::cout << "  no outage episodes recorded\n";
+  }
+
+  // In-protocol convergence coverage (DESIGN.md §13): how many restored
+  // outages the source confirmed from protocol messages alone, and how far
+  // the honest clock lagged the omniscient one.
+  if (ok_outages > 0 && !skews.empty()) {
+    std::sort(skews.begin(), skews.end());
+    const double median = skews[skews.size() / 2];
+    std::cout << "\n  convergence: " << confirmed << "/" << ok_outages
+              << " restored outages confirmed in-protocol, median skew "
+              << ms(median) << " ms (max " << ms(skews.back()) << " ms)\n";
   }
 
   if (!run.hists.empty()) {
@@ -367,6 +414,39 @@ void render_run(const RunSection& run) {
               << " full runs), " << routing("invalidations")
               << " invalidations\n";
   }
+
+  // Periodic gauge samples (opt-in: the raw rows are a time series, so the
+  // default report compresses each gauge to its envelope).
+  if (show_samples && !run.samples.empty()) {
+    struct SampleSummary {
+      std::uint64_t count = 0;
+      double first_t = 0.0, last_t = 0.0;
+      double first = 0.0, last = 0.0, min = 0.0, max = 0.0;
+    };
+    std::map<std::string, SampleSummary> by_name;
+    for (const SampleRow& sample : run.samples) {
+      auto [it, inserted] = by_name.emplace(sample.name, SampleSummary{});
+      SampleSummary& s = it->second;
+      if (inserted) {
+        s.first_t = sample.t;
+        s.first = s.min = s.max = sample.value;
+      }
+      ++s.count;
+      s.last_t = sample.t;
+      s.last = sample.value;
+      s.min = std::min(s.min, sample.value);
+      s.max = std::max(s.max, sample.value);
+    }
+    Table samples({"gauge", "samples", "t0 (ms)", "t1 (ms)", "first", "last",
+                   "min", "max"});
+    for (const auto& [name, s] : by_name) {
+      samples.add_row({name, std::to_string(s.count), ms(s.first_t),
+                       ms(s.last_t), ms(s.first), ms(s.last), ms(s.min),
+                       ms(s.max)});
+    }
+    std::cout << "\n  gauge samples (" << run.samples.size() << " rows):\n"
+              << samples.render();
+  }
   std::cout << "\n";
 }
 
@@ -375,12 +455,13 @@ void render_run(const RunSection& run) {
 int main(int argc, char** argv) {
   const auto usage = [] {
     std::cerr << "usage: trace_report [--expect <rules|core>] "
-                 "[--runs <glob>] <trace.jsonl>\n";
+                 "[--runs <glob>] [--samples] <trace.jsonl>\n";
     return 2;
   };
   std::string expect_rules;
   std::string runs_filter;
   std::string path;
+  bool show_samples = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--expect") {
@@ -389,6 +470,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--runs") {
       if (++i >= argc) return usage();
       runs_filter = argv[i];
+    } else if (arg == "--samples") {
+      show_samples = true;
     } else if (!arg.empty() && arg[0] == '-') {
       return usage();
     } else if (path.empty()) {
@@ -427,6 +510,9 @@ int main(int argc, char** argv) {
           static_cast<std::uint64_t>(require_num(obj, "spans", line_no));
       if (const auto events = obj.num("events")) {
         run.declared_events = static_cast<std::uint64_t>(*events);
+      }
+      if (const auto samples = obj.num("samples")) {
+        run.declared_samples = static_cast<std::uint64_t>(*samples);
       }
       runs.push_back(std::move(run));
       continue;
@@ -467,6 +553,12 @@ int main(int argc, char** argv) {
       require_str(obj, "name", line_no);  // schema check only
       require_num(obj, "value", line_no);
       require_num(obj, "max", line_no);
+    } else if (type == "sample") {
+      SampleRow sample;
+      sample.t = require_num(obj, "t", line_no);
+      sample.name = require_str(obj, "name", line_no);
+      sample.value = require_num(obj, "value", line_no);
+      run.samples.push_back(std::move(sample));
     } else if (type == "hist") {
       HistRow h;
       h.count = static_cast<std::uint64_t>(require_num(obj, "count", line_no));
@@ -517,6 +609,6 @@ int main(int argc, char** argv) {
     }
   }
 
-  for (const RunSection& run : runs) render_run(run);
+  for (const RunSection& run : runs) render_run(run, show_samples);
   return 0;
 }
