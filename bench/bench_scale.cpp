@@ -1,0 +1,199 @@
+// Multi-session scale sweep: how far one topology + one shared
+// RoutingOracle stretch as nodes × sessions × members grow.
+//
+// Each tier generates a transit-stub topology, then drives N concurrent
+// sessions through eval::MultiSessionDriver — Zipf session sizes, Poisson
+// join/leave churn, sources drawn from the transit core so sessions share
+// the oracle's SPF snapshots. The small/medium tiers run the full SMRP
+// path-selection engine; the largest tier (100k nodes × 1,000 sessions,
+// >100k aggregate members under the full profile) uses the SPF baseline
+// engine, whose O(path) joins make session count — not per-join search —
+// the measured variable. EXPERIMENTS.md records the tier rationale.
+//
+// Per tier the bench emits two kinds of series:
+//   <tier>/det_*        bit-deterministic at a fixed seed (members, links,
+//                       joins, oracle hit fraction) — CI regression-gates
+//                       these exactly via bench_diff --series '*/det_*';
+//   <tier>/joins_per_sec, <tier>/wall_s, <tier>/peak_rss_mb
+//                       machine-dependent throughput / footprint. peak_rss
+//                       is the process VmHWM after the tier's sessions are
+//                       built and still resident, so it is monotone across
+//                       tiers (tiers run smallest-first).
+//
+// `--smoke` swaps in reduced tiers for CI; the committed
+// BENCH_scale-smoke.json is regenerated and diffed there, while
+// BENCH_scale.json archives a full-profile run.
+#include <chrono>
+#include <iostream>
+#include <string_view>
+#include <sys/resource.h>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "eval/multi_session.hpp"
+#include "eval/table.hpp"
+#include "net/transit_stub.hpp"
+
+namespace {
+
+using namespace smrp;
+
+/// Process peak RSS in MiB (ru_maxrss is KiB on Linux). Monotone: reads
+/// the high-water mark, not the current footprint.
+double peak_rss_mb() {
+  rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;
+}
+
+struct Tier {
+  const char* name;
+  net::TransitStubParams topo;
+  eval::MultiSessionParams sessions;
+  int source_pool_cap;  ///< transit-core nodes used as session sources
+};
+
+net::TransitStubParams transit_stub(int transit, int stubs_per, int stub) {
+  net::TransitStubParams p;
+  p.transit_nodes = transit;
+  p.stubs_per_transit = stubs_per;
+  p.stub_size = stub;
+  return p;
+}
+
+eval::MultiSessionParams session_load(int sessions, int min_size,
+                                      int max_size, double churn,
+                                      eval::SessionEngine engine) {
+  eval::MultiSessionParams p;
+  p.sessions = sessions;
+  p.min_session_size = min_size;
+  p.max_session_size = max_size;
+  p.churn_events_per_session = churn;
+  p.engine = engine;
+  return p;
+}
+
+/// Full profile: the committed BENCH_scale.json. The last tier is the
+/// acceptance point — 100,000 nodes, 1,000 concurrent sessions, and the
+/// Zipf size range is chosen so aggregate membership lands well above
+/// 100k members.
+std::vector<Tier> full_tiers() {
+  return {
+      {"scale1k", transit_stub(20, 5, 10),
+       session_load(50, 2, 64, 4.0, eval::SessionEngine::kSmrp), 16},
+      {"scale10k", transit_stub(40, 8, 31),
+       session_load(150, 2, 96, 4.0, eval::SessionEngine::kSmrp), 32},
+      {"scale100k", transit_stub(100, 9, 111),
+       session_load(1000, 4, 2000, 2.0, eval::SessionEngine::kSpf), 64},
+  };
+}
+
+/// CI profile: same shape, runner-sized (~100 and ~500 nodes).
+std::vector<Tier> smoke_tiers() {
+  return {
+      {"scale1k", transit_stub(8, 3, 4),
+       session_load(12, 2, 16, 3.0, eval::SessionEngine::kSmrp), 4},
+      {"scale10k", transit_stub(12, 4, 10),
+       session_load(30, 2, 32, 3.0, eval::SessionEngine::kSmrp), 8},
+      {"scale100k", transit_stub(16, 5, 12),
+       session_load(60, 2, 64, 2.0, eval::SessionEngine::kSpf), 8},
+  };
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace smrp;
+
+  // This binary owns --smoke; strip it before the Runner sees argv so the
+  // shared flag surface stays intact.
+  bool smoke = false;
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--smoke") {
+      smoke = true;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+
+  bench::Runner runner(static_cast<int>(args.size()), args.data(),
+                       smoke ? "scale-smoke" : "scale",
+                       "Multi-session capacity: nodes x sessions x members "
+                       "over one shared routing oracle",
+                       /*default_trials=*/1);
+  const std::vector<Tier> tiers = smoke ? smoke_tiers() : full_tiers();
+  for (const Tier& tier : tiers) {
+    const int nodes = tier.topo.transit_nodes +
+                      tier.topo.transit_nodes * tier.topo.stubs_per_transit *
+                          tier.topo.stub_size;
+    runner.config().set(std::string(tier.name) + "_nodes", nodes);
+    runner.config().set(std::string(tier.name) + "_sessions",
+                        tier.sessions.sessions);
+    runner.config().set(std::string(tier.name) + "_max_session_size",
+                        tier.sessions.max_session_size);
+  }
+
+  const eval::EngineResult& res = runner.run([&](eval::TrialContext& ctx) {
+    net::Rng rng(ctx.seed);
+    for (const Tier& tier : tiers) {
+      const std::string prefix = tier.name;
+      const auto t0 = std::chrono::steady_clock::now();
+      const net::TransitStubTopology topo =
+          net::generate_transit_stub(tier.topo, rng);
+
+      // Sources: the first `source_pool_cap` transit-core routers. Every
+      // session shares this pool, which is what makes the oracle's
+      // per-source snapshots communal.
+      std::vector<net::NodeId> pool(
+          topo.nodes_of_domain[net::kTransitDomain].begin(),
+          topo.nodes_of_domain[net::kTransitDomain].begin() +
+              std::min<std::ptrdiff_t>(
+                  tier.source_pool_cap,
+                  static_cast<std::ptrdiff_t>(
+                      topo.nodes_of_domain[net::kTransitDomain].size())));
+
+      eval::MultiSessionDriver driver(topo.graph, tier.sessions);
+      const eval::MultiSessionReport report = driver.run(rng, pool);
+      const auto t1 = std::chrono::steady_clock::now();
+      const double secs = std::chrono::duration<double>(t1 - t0).count();
+
+      const double hit_pct =
+          report.oracle.lookups > 0
+              ? 100.0 * static_cast<double>(report.oracle.cache_hits) /
+                    static_cast<double>(report.oracle.lookups)
+              : 0.0;
+      auto& rec = ctx.recorder;
+      rec.add(prefix + "/det_members",
+              static_cast<double>(report.aggregate_members));
+      rec.add(prefix + "/det_tree_links",
+              static_cast<double>(report.tree_links));
+      rec.add(prefix + "/det_joins", static_cast<double>(report.join_ops));
+      rec.add(prefix + "/det_oracle_hit_pct", hit_pct);
+      rec.add(prefix + "/joins_per_sec",
+              secs > 0.0 ? static_cast<double>(report.join_ops) / secs : 0.0);
+      rec.add(prefix + "/wall_s", secs);
+      rec.add(prefix + "/peak_rss_mb", peak_rss_mb());
+      // Sessions (and their trees) free here — the peak reading above
+      // already captured the fully resident tier.
+    }
+  });
+
+  // Human-readable tier table from the recorded series.
+  eval::Table table({"tier", "members", "tree links", "joins",
+                     "oracle hit %", "joins/s", "wall s", "peak RSS MiB"});
+  for (const Tier& tier : tiers) {
+    const std::string p = tier.name;
+    table.add_row({p, eval::Table::fixed(res.summary(p + "/det_members").mean, 0),
+                   eval::Table::fixed(res.summary(p + "/det_tree_links").mean, 0),
+                   eval::Table::fixed(res.summary(p + "/det_joins").mean, 0),
+                   eval::Table::fixed(
+                       res.summary(p + "/det_oracle_hit_pct").mean, 1),
+                   eval::Table::fixed(res.summary(p + "/joins_per_sec").mean, 0),
+                   eval::Table::fixed(res.summary(p + "/wall_s").mean, 2),
+                   eval::Table::fixed(res.summary(p + "/peak_rss_mb").mean, 1)});
+  }
+  std::cout << "\n" << table.render() << "\n";
+  return 0;
+}

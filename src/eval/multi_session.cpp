@@ -1,0 +1,176 @@
+#include "eval/multi_session.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace smrp::eval {
+
+int sample_zipf(net::Rng& rng, int lo, int hi, double exponent) {
+  if (lo > hi) throw std::invalid_argument("sample_zipf: lo > hi");
+  const int n = hi - lo + 1;
+  double total = 0.0;
+  for (int k = 0; k < n; ++k) {
+    total += std::pow(static_cast<double>(k + 1), -exponent);
+  }
+  double target = rng.uniform() * total;
+  for (int k = 0; k < n; ++k) {
+    target -= std::pow(static_cast<double>(k + 1), -exponent);
+    if (target <= 0.0) return lo + k;
+  }
+  return hi;
+}
+
+int sample_poisson(net::Rng& rng, double mean) {
+  if (mean <= 0.0) return 0;
+  // Knuth's product method: fine for the small means used here (the loop
+  // runs mean+O(√mean) times).
+  const double limit = std::exp(-mean);
+  int k = 0;
+  double product = 1.0;
+  do {
+    ++k;
+    product *= rng.uniform();
+  } while (product > limit);
+  return k - 1;
+}
+
+MultiSessionDriver::MultiSessionDriver(const net::Graph& g,
+                                       MultiSessionParams params)
+    : g_(&g), params_(params), oracle_(g) {
+  if (params_.sessions < 1) {
+    throw std::invalid_argument("MultiSessionParams.sessions must be >= 1");
+  }
+  if (params_.min_session_size < 1 ||
+      params_.max_session_size < params_.min_session_size) {
+    throw std::invalid_argument("bad session size range");
+  }
+  // One inverse-CDF table shared by every size draw.
+  const int n = params_.max_session_size - params_.min_session_size + 1;
+  zipf_cdf_.reserve(static_cast<std::size_t>(n));
+  double total = 0.0;
+  for (int k = 0; k < n; ++k) {
+    total += std::pow(static_cast<double>(k + 1), -params_.zipf_exponent);
+    zipf_cdf_.push_back(total);
+  }
+}
+
+const mcast::MulticastTree& MultiSessionDriver::session_tree(int i) const {
+  const Session& s = sessions_.at(static_cast<std::size_t>(i));
+  return s.smrp ? s.smrp->tree() : s.spf->tree();
+}
+
+bool MultiSessionDriver::try_join(Session& s, net::NodeId member) {
+  const mcast::MulticastTree& tree = s.smrp ? s.smrp->tree() : s.spf->tree();
+  if (member == tree.source() || tree.is_member(member)) return false;
+  bool joined = false;
+  if (s.smrp) {
+    const proto::JoinOutcome out = s.smrp->join(member);
+    joined = out.joined;
+    if (out.used_fallback) ++report_.fallback_joins;
+    report_.reshapes += out.reshapes_triggered;
+  } else {
+    joined = s.spf->join(member);
+  }
+  if (joined) {
+    s.members.push_back(member);
+    ++report_.join_ops;
+  }
+  return joined;
+}
+
+void MultiSessionDriver::leave(Session& s, std::size_t member_index) {
+  const net::NodeId member = s.members[member_index];
+  if (s.smrp) {
+    s.smrp->leave(member);
+  } else {
+    s.spf->leave(member);
+  }
+  s.members.erase(s.members.begin() +
+                  static_cast<std::ptrdiff_t>(member_index));
+  ++report_.leave_ops;
+}
+
+MultiSessionReport MultiSessionDriver::run(
+    net::Rng& rng, const std::vector<net::NodeId>& source_pool) {
+  if (!sessions_.empty()) {
+    throw std::logic_error("MultiSessionDriver::run called twice");
+  }
+  const net::NodeId node_count = g_->node_count();
+  if (node_count < 2) throw std::invalid_argument("graph too small");
+
+  // Resolve the source pool: caller's list, or ids evenly spread.
+  std::vector<net::NodeId> pool = source_pool;
+  if (pool.empty()) {
+    const int want =
+        std::min<int>(std::max(params_.source_pool, 1), node_count);
+    pool.reserve(static_cast<std::size_t>(want));
+    for (int i = 0; i < want; ++i) {
+      pool.push_back(static_cast<net::NodeId>(
+          (static_cast<std::int64_t>(i) * node_count) / want));
+    }
+  }
+
+  report_ = MultiSessionReport{};
+  report_.sessions = params_.sessions;
+  sessions_.resize(static_cast<std::size_t>(params_.sessions));
+
+  // Build phase: instantiate every session at its Zipf size.
+  for (int i = 0; i < params_.sessions; ++i) {
+    Session& s = sessions_[static_cast<std::size_t>(i)];
+    const net::NodeId source = pool[static_cast<std::size_t>(i) % pool.size()];
+    if (params_.engine == SessionEngine::kSmrp) {
+      s.smrp = std::make_unique<proto::SmrpTreeBuilder>(*g_, source,
+                                                        params_.smrp, &oracle_);
+    } else {
+      s.spf = std::make_unique<baseline::SpfTreeBuilder>(*g_, source, &oracle_);
+    }
+    // Zipf size via the shared CDF table.
+    const double target = rng.uniform() * zipf_cdf_.back();
+    int size = params_.min_session_size;
+    for (std::size_t k = 0; k < zipf_cdf_.size(); ++k) {
+      if (zipf_cdf_[k] >= target) {
+        size = params_.min_session_size + static_cast<int>(k);
+        break;
+      }
+    }
+    int joined = 0;
+    // Random distinct members; bounded retries so a tiny graph cannot
+    // stall the build when the session size nears the node count.
+    for (int attempt = 0; joined < size && attempt < 4 * size + 16;
+         ++attempt) {
+      const auto member = static_cast<net::NodeId>(
+          rng.below(static_cast<std::uint64_t>(node_count)));
+      if (try_join(s, member)) ++joined;
+    }
+  }
+
+  // Churn phase: independent Poisson event counts per session.
+  for (Session& s : sessions_) {
+    const int events = sample_poisson(rng, params_.churn_events_per_session);
+    for (int e = 0; e < events; ++e) {
+      ++report_.churn_events;
+      const bool do_join = s.members.empty() || rng.uniform() < 0.5;
+      if (do_join) {
+        const auto member = static_cast<net::NodeId>(
+            rng.below(static_cast<std::uint64_t>(node_count)));
+        try_join(s, member);
+      } else {
+        leave(s, rng.below(s.members.size()));
+      }
+    }
+  }
+
+  // Aggregate the resident state.
+  for (const Session& s : sessions_) {
+    const mcast::MulticastTree& tree =
+        s.smrp ? s.smrp->tree() : s.spf->tree();
+    report_.aggregate_members += tree.member_count();
+    report_.tree_links += static_cast<std::int64_t>(tree.tree_links().size());
+    report_.total_tree_cost += tree.total_cost();
+  }
+  report_.oracle = oracle_.stats();
+  return report_;
+}
+
+}  // namespace smrp::eval

@@ -1,6 +1,8 @@
 #include "multicast/tree.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <limits>
 #include <stdexcept>
 
 namespace smrp::mcast {
@@ -8,42 +10,74 @@ namespace smrp::mcast {
 MulticastTree::MulticastTree(const Graph& graph, NodeId source)
     : graph_(&graph), source_(source) {
   if (!graph.valid_node(source)) throw std::out_of_range("bad source");
-  nodes_.resize(static_cast<std::size_t>(graph.node_count()));
-  NodeState& s = state(source_);
-  s.role = NodeRole::kRelay;  // the source forwards but is not a receiver
+  const auto nodes = static_cast<std::size_t>(graph.node_count());
+  role_.assign(nodes, NodeRole::kOffTree);
+  parent_.assign(nodes, kNoNode);
+  parent_link_.assign(nodes, kNoLink);
+  n_members_.assign(nodes, 0);
+  shr_.assign(nodes, 0);
+  first_child_.assign(nodes, kNoNode);
+  last_child_.assign(nodes, kNoNode);
+  next_sibling_.assign(nodes, kNoNode);
+  role_[static_cast<std::size_t>(source_)] =
+      NodeRole::kRelay;  // the source forwards but is not a receiver
   on_tree_count_ = 1;
 }
 
-MulticastTree::NodeState& MulticastTree::state(NodeId n) {
+void MulticastTree::check_node(NodeId n) const {
   if (!graph_->valid_node(n)) throw std::out_of_range("bad node id");
-  return nodes_[static_cast<std::size_t>(n)];
 }
 
-const MulticastTree::NodeState& MulticastTree::state(NodeId n) const {
-  if (!graph_->valid_node(n)) throw std::out_of_range("bad node id");
-  return nodes_[static_cast<std::size_t>(n)];
+void MulticastTree::append_child(NodeId parent, NodeId child) {
+  const auto p = static_cast<std::size_t>(parent);
+  const auto c = static_cast<std::size_t>(child);
+  next_sibling_[c] = kNoNode;
+  if (first_child_[p] == kNoNode) {
+    first_child_[p] = child;
+  } else {
+    next_sibling_[static_cast<std::size_t>(last_child_[p])] = child;
+  }
+  last_child_[p] = child;
 }
 
-NodeRole MulticastTree::role(NodeId n) const { return state(n).role; }
-
-NodeId MulticastTree::parent(NodeId n) const { return state(n).parent; }
-
-LinkId MulticastTree::parent_link(NodeId n) const {
-  return state(n).parent_link;
+void MulticastTree::unlink_child(NodeId parent, NodeId child) {
+  const auto p = static_cast<std::size_t>(parent);
+  NodeId prev = kNoNode;
+  for (NodeId cur = first_child_[p]; cur != kNoNode;
+       cur = next_sibling_[static_cast<std::size_t>(cur)]) {
+    if (cur == child) {
+      const NodeId next = next_sibling_[static_cast<std::size_t>(child)];
+      if (prev == kNoNode) {
+        first_child_[p] = next;
+      } else {
+        next_sibling_[static_cast<std::size_t>(prev)] = next;
+      }
+      if (last_child_[p] == child) last_child_[p] = prev;
+      next_sibling_[static_cast<std::size_t>(child)] = kNoNode;
+      return;
+    }
+    prev = cur;
+  }
 }
 
-const std::vector<NodeId>& MulticastTree::children(NodeId n) const {
-  return state(n).children;
+void MulticastTree::clear_node(NodeId n) {
+  const auto i = static_cast<std::size_t>(n);
+  role_[i] = NodeRole::kOffTree;
+  parent_[i] = kNoNode;
+  parent_link_[i] = kNoLink;
+  n_members_[i] = 0;
+  shr_[i] = 0;
+  first_child_[i] = kNoNode;
+  last_child_[i] = kNoNode;
+  next_sibling_[i] = kNoNode;
 }
-
-int MulticastTree::subtree_members(NodeId n) const { return state(n).n_members; }
 
 int MulticastTree::shr(NodeId n) const {
-  const NodeState& s = state(n);
-  if (s.role == NodeRole::kOffTree) {
+  check_node(n);
+  if (role_[static_cast<std::size_t>(n)] == NodeRole::kOffTree) {
     throw std::invalid_argument("SHR queried for off-tree node");
   }
-  return s.shr;
+  return shr_[static_cast<std::size_t>(n)];
 }
 
 std::vector<NodeId> MulticastTree::members() const {
@@ -67,7 +101,8 @@ std::vector<NodeId> MulticastTree::on_tree_nodes() const {
 std::vector<NodeId> MulticastTree::path_to_source(NodeId n) const {
   std::vector<NodeId> out;
   if (!on_tree(n)) return out;
-  for (NodeId cur = n; cur != kNoNode; cur = state(cur).parent) {
+  for (NodeId cur = n; cur != kNoNode;
+       cur = parent_[static_cast<std::size_t>(cur)]) {
     out.push_back(cur);
   }
   return out;
@@ -76,8 +111,9 @@ std::vector<NodeId> MulticastTree::path_to_source(NodeId n) const {
 double MulticastTree::delay_to_source(NodeId n) const {
   if (!on_tree(n)) throw std::invalid_argument("off-tree node has no delay");
   double total = 0.0;
-  for (NodeId cur = n; cur != source_; cur = state(cur).parent) {
-    total += graph_->link(state(cur).parent_link).weight;
+  for (NodeId cur = n; cur != source_;
+       cur = parent_[static_cast<std::size_t>(cur)]) {
+    total += graph_->link(parent_link_[static_cast<std::size_t>(cur)]).weight;
   }
   return total;
 }
@@ -85,13 +121,17 @@ double MulticastTree::delay_to_source(NodeId n) const {
 int MulticastTree::hops_to_source(NodeId n) const {
   if (!on_tree(n)) throw std::invalid_argument("off-tree node has no path");
   int hops = 0;
-  for (NodeId cur = n; cur != source_; cur = state(cur).parent) ++hops;
+  for (NodeId cur = n; cur != source_;
+       cur = parent_[static_cast<std::size_t>(cur)]) {
+    ++hops;
+  }
   return hops;
 }
 
 bool MulticastTree::is_ancestor_or_self(NodeId ancestor, NodeId n) const {
   if (!on_tree(n) || !on_tree(ancestor)) return false;
-  for (NodeId cur = n; cur != kNoNode; cur = state(cur).parent) {
+  for (NodeId cur = n; cur != kNoNode;
+       cur = parent_[static_cast<std::size_t>(cur)]) {
     if (cur == ancestor) return true;
   }
   return false;
@@ -103,21 +143,29 @@ int MulticastTree::shr_excluding_subtree(NodeId merge_candidate,
     throw std::invalid_argument("merge candidate must be on-tree");
   }
   const int moving = subtree_members(member);
-  int total = 0;
-  for (NodeId cur = merge_candidate; cur != source_; cur = state(cur).parent) {
-    int contribution = state(cur).n_members;
+  // Same path-sum bound as recompute_shr: accumulate wide, fail loudly
+  // rather than wrap on degenerate deep chains.
+  std::int64_t total = 0;
+  for (NodeId cur = merge_candidate; cur != source_;
+       cur = parent_[static_cast<std::size_t>(cur)]) {
+    int contribution = n_members_[static_cast<std::size_t>(cur)];
     // Nodes that currently serve `member`'s subtree would lose its members
     // once the subtree moves away; discount them (§3.2.3 adjustment).
     if (is_ancestor_or_self(cur, member)) contribution -= moving;
     total += contribution;
   }
-  return total;
+  if (total > std::numeric_limits<int>::max()) {
+    throw std::overflow_error("SHR exceeds int range");
+  }
+  return static_cast<int>(total);
 }
 
 std::vector<LinkId> MulticastTree::tree_links() const {
   std::vector<LinkId> out;
   for (NodeId n = 0; n < graph_->node_count(); ++n) {
-    if (on_tree(n) && n != source_) out.push_back(state(n).parent_link);
+    if (on_tree(n) && n != source_) {
+      out.push_back(parent_link_[static_cast<std::size_t>(n)]);
+    }
   }
   return out;
 }
@@ -136,8 +184,10 @@ std::vector<char> MulticastTree::surviving_after_link(LinkId failed_link) const 
   while (!stack.empty()) {
     const NodeId n = stack.back();
     stack.pop_back();
-    for (const NodeId child : state(n).children) {
-      if (state(child).parent_link == failed_link) continue;
+    for (const NodeId child : children(n)) {
+      if (parent_link_[static_cast<std::size_t>(child)] == failed_link) {
+        continue;
+      }
       alive[static_cast<std::size_t>(child)] = 1;
       stack.push_back(child);
     }
@@ -153,7 +203,7 @@ std::vector<char> MulticastTree::surviving_after_node(NodeId failed_node) const 
   while (!stack.empty()) {
     const NodeId n = stack.back();
     stack.pop_back();
-    for (const NodeId child : state(n).children) {
+    for (const NodeId child : children(n)) {
       if (child == failed_node) continue;
       alive[static_cast<std::size_t>(child)] = 1;
       stack.push_back(child);
@@ -163,20 +213,30 @@ std::vector<char> MulticastTree::surviving_after_node(NodeId failed_node) const 
 }
 
 void MulticastTree::add_member_count_upward(NodeId from, int delta) {
-  for (NodeId cur = from; cur != kNoNode; cur = state(cur).parent) {
-    state(cur).n_members += delta;
+  for (NodeId cur = from; cur != kNoNode;
+       cur = parent_[static_cast<std::size_t>(cur)]) {
+    n_members_[static_cast<std::size_t>(cur)] += delta;
   }
 }
 
 void MulticastTree::recompute_shr() {
-  // Top-down pass: SHR(S,S)=0; SHR(S,R)=SHR(S,R_u)+N_R (Eq. 2).
-  state(source_).shr = 0;
+  // Top-down pass: SHR(S,S)=0; SHR(S,R)=SHR(S,R_u)+N_R (Eq. 2). SHR is
+  // bounded by depth × members, which can pass 2^31 on a degenerate
+  // deep-chain session at 100k-node scale — accumulate wide and refuse to
+  // store a wrapped value (int keeps the on-wire/protocol width).
+  shr_[static_cast<std::size_t>(source_)] = 0;
   std::vector<NodeId> stack{source_};
   while (!stack.empty()) {
     const NodeId n = stack.back();
     stack.pop_back();
-    for (const NodeId child : state(n).children) {
-      state(child).shr = state(n).shr + state(child).n_members;
+    for (const NodeId child : children(n)) {
+      const std::int64_t wide =
+          static_cast<std::int64_t>(shr_[static_cast<std::size_t>(n)]) +
+          n_members_[static_cast<std::size_t>(child)];
+      if (wide > std::numeric_limits<int>::max()) {
+        throw std::overflow_error("SHR exceeds int range");
+      }
+      shr_[static_cast<std::size_t>(child)] = static_cast<int>(wide);
       stack.push_back(child);
     }
   }
@@ -193,12 +253,14 @@ void MulticastTree::graft(NodeId member, const std::vector<NodeId>& path) {
   if (path.size() == 1) {
     // Member is already an on-tree node (relay or the source); it simply
     // becomes a receiver as well.
-    NodeState& s = state(member);
+    check_node(member);
     if (member == source_) {
       throw std::invalid_argument("source cannot join as a member");
     }
-    if (s.role == NodeRole::kMember) return;  // idempotent
-    s.role = NodeRole::kMember;
+    if (role_[static_cast<std::size_t>(member)] == NodeRole::kMember) {
+      return;  // idempotent
+    }
+    role_[static_cast<std::size_t>(member)] = NodeRole::kMember;
     ++member_count_;
     add_member_count_upward(member, +1);
     recompute_shr();
@@ -221,12 +283,12 @@ void MulticastTree::graft(NodeId member, const std::vector<NodeId>& path) {
   }
   // Wire up parent pointers from the member toward the merge node.
   for (std::size_t i = 0; i + 1 < path.size(); ++i) {
-    NodeState& s = state(path[i]);
-    s.role = (path[i] == member) ? NodeRole::kMember : NodeRole::kRelay;
-    s.parent = path[i + 1];
-    s.parent_link = *graph_->link_between(path[i], path[i + 1]);
-    s.n_members = 1;  // exactly the new member below (or at) this node
-    state(path[i + 1]).children.push_back(path[i]);
+    const auto node = static_cast<std::size_t>(path[i]);
+    role_[node] = (path[i] == member) ? NodeRole::kMember : NodeRole::kRelay;
+    parent_[node] = path[i + 1];
+    parent_link_[node] = *graph_->link_between(path[i], path[i + 1]);
+    n_members_[node] = 1;  // exactly the new member below (or at) this node
+    append_child(path[i + 1], path[i]);
     ++on_tree_count_;
   }
   ++member_count_;
@@ -235,13 +297,11 @@ void MulticastTree::graft(NodeId member, const std::vector<NodeId>& path) {
 }
 
 void MulticastTree::detach_from_parent(NodeId n) {
-  NodeState& s = state(n);
-  if (s.parent == kNoNode) return;
-  auto& siblings = state(s.parent).children;
-  siblings.erase(std::remove(siblings.begin(), siblings.end(), n),
-                 siblings.end());
-  s.parent = kNoNode;
-  s.parent_link = kNoLink;
+  const auto i = static_cast<std::size_t>(n);
+  if (parent_[i] == kNoNode) return;
+  unlink_child(parent_[i], n);
+  parent_[i] = kNoNode;
+  parent_link_[i] = kNoLink;
 }
 
 void MulticastTree::prune_upward_from(NodeId n) {
@@ -249,27 +309,26 @@ void MulticastTree::prune_upward_from(NodeId n) {
   // children, walking upward until a still-useful node (or the source).
   NodeId cur = n;
   while (cur != source_ && cur != kNoNode) {
-    NodeState& s = state(cur);
-    if (s.n_members > 0 || !s.children.empty() ||
-        s.role == NodeRole::kMember) {
+    const auto i = static_cast<std::size_t>(cur);
+    if (n_members_[i] > 0 || first_child_[i] != kNoNode ||
+        role_[i] == NodeRole::kMember) {
       break;
     }
-    const NodeId up = s.parent;
+    const NodeId up = parent_[i];
     detach_from_parent(cur);
-    s.role = NodeRole::kOffTree;
-    s.n_members = 0;
-    s.shr = 0;
+    clear_node(cur);
     --on_tree_count_;
     cur = up;
   }
 }
 
 void MulticastTree::leave(NodeId member) {
-  NodeState& s = state(member);
-  if (s.role != NodeRole::kMember) {
+  check_node(member);
+  const auto i = static_cast<std::size_t>(member);
+  if (role_[i] != NodeRole::kMember) {
     throw std::invalid_argument("leave() by a non-member");
   }
-  s.role = NodeRole::kRelay;
+  role_[i] = NodeRole::kRelay;
   --member_count_;
   add_member_count_upward(member, -1);
   prune_upward_from(member);
@@ -307,29 +366,30 @@ void MulticastTree::move_subtree(NodeId node,
     }
   }
 
-  const int moving_members = state(node).n_members;
+  const int moving_members = n_members_[static_cast<std::size_t>(node)];
 
   // 1. Detach from the old upstream and retire its contribution. Pruning
   //    of the old chain is deferred until the new path is in place (§3.2.3
   //    sets up the new path before releasing the old one) — otherwise an
   //    old-chain ancestor that is also the new merge node could be pruned
   //    out from under the re-attachment.
-  const NodeId old_parent = state(node).parent;
+  const NodeId old_parent = parent_[static_cast<std::size_t>(node)];
   add_member_count_upward(node, -moving_members);
-  state(node).n_members = moving_members;  // restore own count
+  n_members_[static_cast<std::size_t>(node)] =
+      moving_members;  // restore own count
   detach_from_parent(node);
 
   // 2. Re-attach along the new path.
   for (std::size_t i = 0; i + 1 < path.size(); ++i) {
-    NodeState& s = state(path[i]);
+    const auto cur = static_cast<std::size_t>(path[i]);
     if (i > 0) {
-      s.role = NodeRole::kRelay;
+      role_[cur] = NodeRole::kRelay;
       ++on_tree_count_;
     }
-    s.parent = path[i + 1];
-    s.parent_link = *graph_->link_between(path[i], path[i + 1]);
-    if (i > 0) s.n_members = moving_members;
-    state(path[i + 1]).children.push_back(path[i]);
+    parent_[cur] = path[i + 1];
+    parent_link_[cur] = *graph_->link_between(path[i], path[i + 1]);
+    if (i > 0) n_members_[cur] = moving_members;
+    append_child(path[i + 1], path[i]);
   }
   add_member_count_upward(merge, +moving_members);
 
@@ -344,15 +404,17 @@ std::vector<NodeId> MulticastTree::sever(LinkId failed_link) {
   // the failed one.
   NodeId downstream = kNoNode;
   for (NodeId n = 0; n < graph_->node_count(); ++n) {
-    if (on_tree(n) && state(n).parent_link == failed_link) {
+    if (on_tree(n) &&
+        parent_link_[static_cast<std::size_t>(n)] == failed_link) {
       downstream = n;
       break;
     }
   }
   if (downstream == kNoNode) return lost_members;
 
-  const NodeId upstream = state(downstream).parent;
-  const int dropped_members = state(downstream).n_members;
+  const NodeId upstream = parent_[static_cast<std::size_t>(downstream)];
+  const int dropped_members =
+      n_members_[static_cast<std::size_t>(downstream)];
 
   // Collect and clear the disconnected component (subtree of `downstream`).
   std::vector<NodeId> stack{downstream};
@@ -360,13 +422,12 @@ std::vector<NodeId> MulticastTree::sever(LinkId failed_link) {
   while (!stack.empty()) {
     const NodeId n = stack.back();
     stack.pop_back();
-    NodeState& s = state(n);
-    if (s.role == NodeRole::kMember) {
+    if (role_[static_cast<std::size_t>(n)] == NodeRole::kMember) {
       lost_members.push_back(n);
       --member_count_;
     }
-    for (const NodeId child : s.children) stack.push_back(child);
-    s = NodeState{};  // off-tree, no parent, no children
+    for (const NodeId child : children(n)) stack.push_back(child);
+    clear_node(n);  // off-tree, no parent, no children
     --on_tree_count_;
   }
 
@@ -385,21 +446,21 @@ std::vector<NodeId> MulticastTree::sever_node(NodeId failed_node) {
   std::vector<NodeId> lost_members;
   if (!on_tree(failed_node)) return lost_members;
 
-  const NodeId upstream = state(failed_node).parent;
-  const int dropped_members = state(failed_node).n_members;
+  const NodeId upstream = parent_[static_cast<std::size_t>(failed_node)];
+  const int dropped_members =
+      n_members_[static_cast<std::size_t>(failed_node)];
 
   std::vector<NodeId> stack{failed_node};
   detach_from_parent(failed_node);
   while (!stack.empty()) {
     const NodeId n = stack.back();
     stack.pop_back();
-    NodeState& s = state(n);
-    if (s.role == NodeRole::kMember) {
+    if (role_[static_cast<std::size_t>(n)] == NodeRole::kMember) {
       if (n != failed_node) lost_members.push_back(n);
       --member_count_;
     }
-    for (const NodeId child : s.children) stack.push_back(child);
-    s = NodeState{};
+    for (const NodeId child : children(n)) stack.push_back(child);
+    clear_node(n);
     --on_tree_count_;
   }
 
@@ -418,18 +479,21 @@ void MulticastTree::validate() const {
   int members_seen = 0;
   int on_tree_seen = 0;
 
-  // Reachability from the source via children links.
+  // Reachability from the source via children links, plus structural
+  // soundness of the intrusive sibling encoding.
   std::vector<char> reached(static_cast<std::size_t>(n_nodes), 0);
   std::vector<NodeId> stack{source_};
   reached[static_cast<std::size_t>(source_)] = 1;
   while (!stack.empty()) {
     const NodeId n = stack.back();
     stack.pop_back();
-    for (const NodeId child : state(n).children) {
-      if (state(child).parent != n) {
+    NodeId last_seen = kNoNode;
+    for (const NodeId child : children(n)) {
+      last_seen = child;
+      if (parent_[static_cast<std::size_t>(child)] != n) {
         throw std::logic_error("child/parent pointer mismatch");
       }
-      const LinkId link = state(child).parent_link;
+      const LinkId link = parent_link_[static_cast<std::size_t>(child)];
       const auto expect = graph_->link_between(child, n);
       if (!expect || *expect != link) {
         throw std::logic_error("parent_link does not match the graph");
@@ -440,30 +504,36 @@ void MulticastTree::validate() const {
       reached[static_cast<std::size_t>(child)] = 1;
       stack.push_back(child);
     }
+    if (last_child_[static_cast<std::size_t>(n)] != last_seen) {
+      throw std::logic_error("last_child out of sync with sibling chain");
+    }
   }
 
   // Per-node recomputation of N_R from scratch.
   std::vector<int> derived_members(static_cast<std::size_t>(n_nodes), 0);
   // Post-order accumulation: iterate nodes, push each member/leaf count up.
   for (NodeId n = 0; n < n_nodes; ++n) {
-    const NodeState& s = state(n);
-    if (s.role == NodeRole::kOffTree) {
-      if (s.parent != kNoNode || !s.children.empty() || s.n_members != 0) {
+    const auto i = static_cast<std::size_t>(n);
+    if (role_[i] == NodeRole::kOffTree) {
+      if (parent_[i] != kNoNode || first_child_[i] != kNoNode ||
+          n_members_[i] != 0) {
         throw std::logic_error("off-tree node carries tree state");
       }
       continue;
     }
     ++on_tree_seen;
-    if (!reached[static_cast<std::size_t>(n)]) {
+    if (!reached[i]) {
       throw std::logic_error("on-tree node unreachable from source");
     }
-    if (s.role == NodeRole::kMember) {
+    if (role_[i] == NodeRole::kMember) {
       ++members_seen;
-      for (NodeId cur = n; cur != kNoNode; cur = state(cur).parent) {
+      for (NodeId cur = n; cur != kNoNode;
+           cur = parent_[static_cast<std::size_t>(cur)]) {
         ++derived_members[static_cast<std::size_t>(cur)];
       }
     }
-    if (n != source_ && s.role == NodeRole::kRelay && s.children.empty()) {
+    if (n != source_ && role_[i] == NodeRole::kRelay &&
+        first_child_[i] == kNoNode) {
       throw std::logic_error("useless leaf relay was not pruned");
     }
   }
@@ -474,17 +544,18 @@ void MulticastTree::validate() const {
     throw std::logic_error("on_tree_count_ out of sync");
   }
   for (NodeId n = 0; n < n_nodes; ++n) {
-    const NodeState& s = state(n);
-    if (s.role == NodeRole::kOffTree) continue;
-    if (s.n_members != derived_members[static_cast<std::size_t>(n)]) {
+    const auto i = static_cast<std::size_t>(n);
+    if (role_[i] == NodeRole::kOffTree) continue;
+    if (n_members_[i] != derived_members[i]) {
       throw std::logic_error("N_R out of sync with membership");
     }
     // SHR via Eq. 1 directly: sum of N over path nodes except the source.
     int direct = 0;
-    for (NodeId cur = n; cur != source_; cur = state(cur).parent) {
+    for (NodeId cur = n; cur != source_;
+         cur = parent_[static_cast<std::size_t>(cur)]) {
       direct += derived_members[static_cast<std::size_t>(cur)];
     }
-    if (s.shr != direct) {
+    if (shr_[i] != direct) {
       throw std::logic_error("SHR out of sync with Eq. 1");
     }
   }

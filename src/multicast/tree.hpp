@@ -8,8 +8,18 @@
 // Because N_{L(R,R_u)} = N_R (all members below R use the link to R's
 // upstream), Eq. 2 is equivalent to the link-sum definition of Eq. 1; the
 // test suite checks that equivalence as an invariant.
+//
+// Storage is struct-of-arrays (DESIGN.md §14): one flat array per field
+// instead of one NodeState struct per node, with the child lists encoded
+// intrusively as first-child/next-sibling chains inside two more arrays.
+// A session costs eight flat allocations total — no per-node child
+// vectors — which is what lets thousands of concurrent sessions share one
+// topology without a per-session allocation storm. Child iteration order
+// is append order (and detachment preserves it), exactly the order the
+// legacy per-node vectors produced; the differential suite pins that.
 #pragma once
 
+#include <iterator>
 #include <vector>
 
 #include "net/graph.hpp"
@@ -36,6 +46,73 @@ enum class NodeRole : unsigned char {
 /// principles and throws on any mismatch, which the property tests exploit.
 class MulticastTree {
  public:
+  /// Lightweight forward range over one node's children (no allocation):
+  /// walks the intrusive next-sibling chain in append order.
+  class ChildRange {
+   public:
+    class iterator {
+     public:
+      using iterator_category = std::forward_iterator_tag;
+      using value_type = NodeId;
+      using difference_type = std::ptrdiff_t;
+      using pointer = const NodeId*;
+      using reference = NodeId;
+
+      iterator() = default;
+      iterator(const std::vector<NodeId>* next_sibling, NodeId at) noexcept
+          : next_sibling_(next_sibling), at_(at) {}
+
+      [[nodiscard]] NodeId operator*() const noexcept { return at_; }
+      iterator& operator++() noexcept {
+        at_ = (*next_sibling_)[static_cast<std::size_t>(at_)];
+        return *this;
+      }
+      iterator operator++(int) noexcept {
+        iterator old = *this;
+        ++*this;
+        return old;
+      }
+      [[nodiscard]] bool operator==(const iterator& o) const noexcept {
+        return at_ == o.at_;
+      }
+      [[nodiscard]] bool operator!=(const iterator& o) const noexcept {
+        return at_ != o.at_;
+      }
+
+     private:
+      const std::vector<NodeId>* next_sibling_ = nullptr;
+      NodeId at_ = kNoNode;
+    };
+
+    ChildRange(const std::vector<NodeId>* next_sibling, NodeId first) noexcept
+        : next_sibling_(next_sibling), first_(first) {}
+
+    [[nodiscard]] iterator begin() const noexcept {
+      return {next_sibling_, first_};
+    }
+    [[nodiscard]] iterator end() const noexcept {
+      return {next_sibling_, kNoNode};
+    }
+    [[nodiscard]] bool empty() const noexcept { return first_ == kNoNode; }
+    /// O(children) chain walk.
+    [[nodiscard]] std::size_t size() const noexcept {
+      std::size_t n = 0;
+      for (const NodeId child : *this) {
+        (void)child;
+        ++n;
+      }
+      return n;
+    }
+    /// Materialized copy, for call sites that need random access.
+    [[nodiscard]] std::vector<NodeId> to_vector() const {
+      return {begin(), end()};
+    }
+
+   private:
+    const std::vector<NodeId>* next_sibling_;
+    NodeId first_;
+  };
+
   MulticastTree(const Graph& graph, NodeId source);
 
   [[nodiscard]] NodeId source() const noexcept { return source_; }
@@ -49,16 +126,31 @@ class MulticastTree {
   [[nodiscard]] bool is_member(NodeId n) const {
     return role(n) == NodeRole::kMember;
   }
-  [[nodiscard]] NodeRole role(NodeId n) const;
+  [[nodiscard]] NodeRole role(NodeId n) const {
+    check_node(n);
+    return role_[static_cast<std::size_t>(n)];
+  }
 
   /// Upstream (toward-source) neighbor; kNoNode for the source / off-tree.
-  [[nodiscard]] NodeId parent(NodeId n) const;
-  [[nodiscard]] LinkId parent_link(NodeId n) const;
-  [[nodiscard]] const std::vector<NodeId>& children(NodeId n) const;
+  [[nodiscard]] NodeId parent(NodeId n) const {
+    check_node(n);
+    return parent_[static_cast<std::size_t>(n)];
+  }
+  [[nodiscard]] LinkId parent_link(NodeId n) const {
+    check_node(n);
+    return parent_link_[static_cast<std::size_t>(n)];
+  }
+  [[nodiscard]] ChildRange children(NodeId n) const {
+    check_node(n);
+    return {&next_sibling_, first_child_[static_cast<std::size_t>(n)]};
+  }
 
   /// N_R: members in the subtree rooted at `n` (counting `n` itself if it
   /// is a member). 0 for off-tree nodes.
-  [[nodiscard]] int subtree_members(NodeId n) const;
+  [[nodiscard]] int subtree_members(NodeId n) const {
+    check_node(n);
+    return n_members_[static_cast<std::size_t>(n)];
+  }
 
   /// SHR(S,R) per Eq. 2. 0 for the source; throws for off-tree nodes.
   [[nodiscard]] int shr(NodeId n) const;
@@ -136,17 +228,15 @@ class MulticastTree {
   void validate() const;
 
  private:
-  struct NodeState {
-    NodeRole role = NodeRole::kOffTree;
-    NodeId parent = kNoNode;
-    LinkId parent_link = kNoLink;
-    int n_members = 0;  ///< N_R
-    int shr = 0;        ///< SHR(S,R)
-    std::vector<NodeId> children;
-  };
+  void check_node(NodeId n) const;
 
-  [[nodiscard]] NodeState& state(NodeId n);
-  [[nodiscard]] const NodeState& state(NodeId n) const;
+  /// Append `child` at the tail of `parent`'s intrusive child list —
+  /// the same position legacy push_back gave it.
+  void append_child(NodeId parent, NodeId child);
+  /// Unlink `child` from `parent`'s list, preserving sibling order.
+  void unlink_child(NodeId parent, NodeId child);
+  /// Reset every per-node field of `n` to the off-tree default.
+  void clear_node(NodeId n);
 
   void add_member_count_upward(NodeId from, int delta);
   void prune_upward_from(NodeId n);
@@ -157,7 +247,16 @@ class MulticastTree {
   NodeId source_;
   int member_count_ = 0;
   int on_tree_count_ = 0;
-  std::vector<NodeState> nodes_;
+
+  // Struct-of-arrays node state, all sized to graph_->node_count().
+  std::vector<NodeRole> role_;
+  std::vector<NodeId> parent_;
+  std::vector<LinkId> parent_link_;
+  std::vector<int> n_members_;  ///< N_R
+  std::vector<int> shr_;        ///< SHR(S,R)
+  std::vector<NodeId> first_child_;
+  std::vector<NodeId> last_child_;   ///< O(1) append at the tail
+  std::vector<NodeId> next_sibling_;
 };
 
 }  // namespace smrp::mcast

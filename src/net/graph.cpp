@@ -1,8 +1,11 @@
 #include "net/graph.hpp"
 
 #include <cmath>
+#include <cstdint>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
 
 namespace smrp::net {
 
@@ -14,14 +17,95 @@ double euclidean(const Point& p, const Point& q) noexcept {
 
 Graph::Graph(int node_count) {
   if (node_count < 0) throw std::invalid_argument("negative node count");
-  adjacency_.resize(static_cast<std::size_t>(node_count));
+  node_count_ = node_count;
+  degree_.resize(static_cast<std::size_t>(node_count), 0);
+}
+
+void Graph::copy_from(const Graph& other) {
+  // Copy under the source's CSR lock so a concurrent lazy rebuild in
+  // another reader cannot tear the arrays mid-copy.
+  std::lock_guard<std::mutex> lock(other.csr_mutex_);
+  links_ = other.links_;
+  node_count_ = other.node_count_;
+  degree_ = other.degree_;
+  link_index_ = other.link_index_;
+  positions_ = other.positions_;
+  topology_version_ = other.topology_version_;
+  dup_check_ops_ = other.dup_check_ops_;
+  offsets_ = other.offsets_;
+  packed_ = other.packed_;
+  csr_valid_.store(other.csr_valid_.load(std::memory_order_acquire),
+                   std::memory_order_release);
+}
+
+void Graph::move_from(Graph&& other) noexcept {
+  links_ = std::move(other.links_);
+  node_count_ = other.node_count_;
+  degree_ = std::move(other.degree_);
+  link_index_ = std::move(other.link_index_);
+  positions_ = std::move(other.positions_);
+  topology_version_ = other.topology_version_;
+  dup_check_ops_ = other.dup_check_ops_;
+  offsets_ = std::move(other.offsets_);
+  packed_ = std::move(other.packed_);
+  csr_valid_.store(other.csr_valid_.load(std::memory_order_acquire),
+                   std::memory_order_release);
+}
+
+Graph::Graph(const Graph& other) { copy_from(other); }
+
+Graph::Graph(Graph&& other) noexcept { move_from(std::move(other)); }
+
+Graph& Graph::operator=(const Graph& other) {
+  if (this != &other) copy_from(other);
+  return *this;
+}
+
+Graph& Graph::operator=(Graph&& other) noexcept {
+  if (this != &other) move_from(std::move(other));
+  return *this;
+}
+
+Graph Graph::from_links(int node_count, std::span<const Link> links) {
+  Graph g(node_count);
+  g.links_.reserve(links.size());
+  g.link_index_.reserve(links.size());
+  for (const Link& l : links) {
+    if (!g.valid_node(l.a) || !g.valid_node(l.b)) {
+      throw std::out_of_range("link endpoint out of range");
+    }
+    if (l.a == l.b) throw std::invalid_argument("self-loop rejected");
+    if (!(l.weight > 0.0)) {
+      throw std::invalid_argument("weight must be positive");
+    }
+    const LinkId id = g.link_count();
+    ++g.dup_check_ops_;
+    if (!g.link_index_.emplace(endpoint_key(l.a, l.b), id).second) {
+      throw std::invalid_argument("parallel link rejected");
+    }
+    g.links_.push_back(l);
+    ++g.degree_[static_cast<std::size_t>(l.a)];
+    ++g.degree_[static_cast<std::size_t>(l.b)];
+  }
+  // Same observable state as the incremental path: Graph(n) starts at
+  // version 0 and every add_link bumps once.
+  g.topology_version_ = links.size();
+  g.rebuild_csr();
+  return g;
 }
 
 NodeId Graph::add_nodes(int count) {
   if (count <= 0) throw std::invalid_argument("node count must be positive");
   const NodeId first = node_count();
-  adjacency_.resize(adjacency_.size() + static_cast<std::size_t>(count));
+  // NodeId is 32-bit; a runaway generator must fail loudly, not wrap.
+  if (static_cast<std::int64_t>(node_count_) + count >
+      std::numeric_limits<NodeId>::max()) {
+    throw std::overflow_error("node count exceeds NodeId range");
+  }
+  node_count_ += count;
+  degree_.resize(static_cast<std::size_t>(node_count_), 0);
   ++topology_version_;
+  mark_csr_stale();
   return first;
 }
 
@@ -31,13 +115,17 @@ LinkId Graph::add_link(NodeId a, NodeId b, double weight) {
   }
   if (a == b) throw std::invalid_argument("self-loop rejected");
   if (!(weight > 0.0)) throw std::invalid_argument("weight must be positive");
-  if (link_between(a, b)) throw std::invalid_argument("parallel link rejected");
 
   const LinkId id = link_count();
+  ++dup_check_ops_;
+  if (!link_index_.emplace(endpoint_key(a, b), id).second) {
+    throw std::invalid_argument("parallel link rejected");
+  }
   links_.push_back(Link{a, b, weight});
-  adjacency_[static_cast<std::size_t>(a)].push_back(Adjacency{b, id});
-  adjacency_[static_cast<std::size_t>(b)].push_back(Adjacency{a, id});
+  ++degree_[static_cast<std::size_t>(a)];
+  ++degree_[static_cast<std::size_t>(b)];
   ++topology_version_;
+  mark_csr_stale();
   return id;
 }
 
@@ -48,17 +136,37 @@ void Graph::set_link_weight(LinkId id, double weight) {
   if (!(weight > 0.0)) throw std::invalid_argument("weight must be positive");
   links_[static_cast<std::size_t>(id)].weight = weight;
   ++topology_version_;
+  // Adjacency structure is unchanged: the CSR stays valid.
+}
+
+void Graph::rebuild_csr() const {
+  std::lock_guard<std::mutex> lock(csr_mutex_);
+  if (csr_valid_.load(std::memory_order_relaxed)) return;
+
+  const auto nodes = static_cast<std::size_t>(node_count_);
+  offsets_.assign(nodes + 1, 0);
+  for (std::size_t n = 0; n < nodes; ++n) {
+    offsets_[n + 1] =
+        offsets_[n] + static_cast<std::size_t>(degree_[n]);
+  }
+  packed_.resize(2 * links_.size());
+
+  // Filling in link-id order reproduces the legacy per-node push_back
+  // order exactly — the differential suite depends on it.
+  std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (LinkId id = 0; id < link_count(); ++id) {
+    const Link& l = links_[static_cast<std::size_t>(id)];
+    packed_[cursor[static_cast<std::size_t>(l.a)]++] = Adjacency{l.b, id};
+    packed_[cursor[static_cast<std::size_t>(l.b)]++] = Adjacency{l.a, id};
+  }
+  csr_valid_.store(true, std::memory_order_release);
 }
 
 std::optional<LinkId> Graph::link_between(NodeId u, NodeId v) const {
-  if (!valid_node(u) || !valid_node(v)) return std::nullopt;
-  // Scan the smaller adjacency list.
-  const NodeId base = degree(u) <= degree(v) ? u : v;
-  const NodeId target = base == u ? v : u;
-  for (const Adjacency& adj : neighbors(base)) {
-    if (adj.neighbor == target) return adj.link;
-  }
-  return std::nullopt;
+  if (!valid_node(u) || !valid_node(v) || u == v) return std::nullopt;
+  const auto it = link_index_.find(endpoint_key(u, v));
+  if (it == link_index_.end()) return std::nullopt;
+  return it->second;
 }
 
 double Graph::average_degree() const noexcept {
@@ -66,8 +174,14 @@ double Graph::average_degree() const noexcept {
   return 2.0 * link_count() / node_count();
 }
 
-bool Graph::reachable_count_from(NodeId start, LinkId banned_link) const {
-  if (node_count() == 0) return true;
+int Graph::reachable_count_from(NodeId start, LinkId banned_link) const {
+  if (!valid_node(start)) {
+    throw std::out_of_range("reachable_count_from: invalid start node");
+  }
+  if (banned_link != kNoLink &&
+      (banned_link < 0 || banned_link >= link_count())) {
+    throw std::invalid_argument("reachable_count_from: bad banned link id");
+  }
   std::vector<char> seen(static_cast<std::size_t>(node_count()), 0);
   std::vector<NodeId> stack{start};
   seen[static_cast<std::size_t>(start)] = 1;
@@ -84,13 +198,46 @@ bool Graph::reachable_count_from(NodeId start, LinkId banned_link) const {
       }
     }
   }
-  return reached == node_count();
+  return reached;
 }
 
-bool Graph::connected() const { return reachable_count_from(0, kNoLink); }
+int Graph::component_count(LinkId banned_link) const {
+  if (banned_link != kNoLink &&
+      (banned_link < 0 || banned_link >= link_count())) {
+    throw std::invalid_argument("component_count: bad banned link id");
+  }
+  const auto nodes = static_cast<std::size_t>(node_count());
+  std::vector<char> seen(nodes, 0);
+  std::vector<NodeId> stack;
+  int components = 0;
+  for (NodeId root = 0; root < node_count(); ++root) {
+    if (seen[static_cast<std::size_t>(root)]) continue;
+    ++components;
+    seen[static_cast<std::size_t>(root)] = 1;
+    stack.push_back(root);
+    while (!stack.empty()) {
+      const NodeId n = stack.back();
+      stack.pop_back();
+      for (const Adjacency& adj : neighbors(n)) {
+        if (adj.link == banned_link) continue;
+        if (!seen[static_cast<std::size_t>(adj.neighbor)]) {
+          seen[static_cast<std::size_t>(adj.neighbor)] = 1;
+          stack.push_back(adj.neighbor);
+        }
+      }
+    }
+  }
+  return components;
+}
+
+bool Graph::connected() const {
+  return node_count() == 0 || component_count(kNoLink) == 1;
+}
 
 bool Graph::connected_without(LinkId failed_link) const {
-  return reachable_count_from(0, failed_link);
+  if (node_count() == 0) return true;
+  if (failed_link == kNoLink) return connected();
+  return component_count(failed_link) == 1;
 }
 
 void Graph::set_positions(std::vector<Point> positions) {

@@ -4,13 +4,29 @@
 // positive weight which this codebase interprets both as propagation delay
 // (the paper's Figure 1 annotates links with delays) and as link cost for
 // the tree-cost metric, matching the paper's SPF-on-delay evaluation.
+//
+// Storage is CSR (compressed sparse row): one packed Adjacency array plus
+// per-node offsets, rebuilt lazily after a mutation batch (DESIGN.md §14).
+// Mutators only append to the link list and bump per-node degrees; the
+// first neighbor read after a mutation performs one O(V + E) counting-sort
+// rebuild, so bulk construction is linear instead of the old per-node
+// vector-of-vectors' allocation storm. Neighbor order within a node is the
+// link-insertion order — exactly what the legacy per-node push_back layout
+// produced — so every CSR traversal is bit-identical to the old layout.
+//
+// Duplicate-link detection is a hash of the (min, max) endpoint pair, so
+// add_link is O(1) amortized instead of a linear adjacency scan (the old
+// behaviour made hub-heavy construction O(Σ deg²)).
 #pragma once
 
+#include <atomic>
 #include <cassert>
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace smrp::net {
@@ -51,10 +67,27 @@ struct Point {
 
 /// Undirected weighted multigraph-free graph. Self-loops and parallel links
 /// are rejected; weights must be strictly positive.
+///
+/// Thread-safety: mutation is single-threaded; concurrent reads are safe,
+/// including the first read after a mutation batch (the lazy CSR rebuild
+/// is guarded by a mutex and published with release/acquire ordering).
+/// Spans returned by neighbors() stay valid until the next mutation.
 class Graph {
  public:
   Graph() = default;
   explicit Graph(int node_count);
+
+  Graph(const Graph& other);
+  Graph(Graph&& other) noexcept;
+  Graph& operator=(const Graph& other);
+  Graph& operator=(Graph&& other) noexcept;
+
+  /// Bulk construction: `node_count` nodes plus all of `links` in one
+  /// pass, with the same validation as add_link (and the same resulting
+  /// state, topology_version() included), but building the CSR arrays
+  /// directly — no lazy-rebuild debt, one O(V + E) pass.
+  [[nodiscard]] static Graph from_links(int node_count,
+                                        std::span<const Link> links);
 
   /// Append `count` fresh isolated nodes; returns the id of the first one.
   NodeId add_nodes(int count);
@@ -74,9 +107,7 @@ class Graph {
     return topology_version_;
   }
 
-  [[nodiscard]] int node_count() const noexcept {
-    return static_cast<int>(adjacency_.size());
-  }
+  [[nodiscard]] int node_count() const noexcept { return node_count_; }
   [[nodiscard]] int link_count() const noexcept {
     return static_cast<int>(links_.size());
   }
@@ -90,14 +121,19 @@ class Graph {
 
   [[nodiscard]] std::span<const Adjacency> neighbors(NodeId n) const {
     assert(valid_node(n));
-    return adjacency_[static_cast<std::size_t>(n)];
+    if (!csr_valid_.load(std::memory_order_acquire)) rebuild_csr();
+    const std::size_t begin = offsets_[static_cast<std::size_t>(n)];
+    const std::size_t end = offsets_[static_cast<std::size_t>(n) + 1];
+    return {packed_.data() + begin, end - begin};
   }
 
+  /// O(1): degrees are maintained incrementally, never via the CSR.
   [[nodiscard]] int degree(NodeId n) const {
-    return static_cast<int>(neighbors(n).size());
+    assert(valid_node(n));
+    return degree_[static_cast<std::size_t>(n)];
   }
 
-  /// Link between u and v if one exists.
+  /// Link between u and v if one exists. O(1) via the endpoint hash.
   [[nodiscard]] std::optional<LinkId> link_between(NodeId u, NodeId v) const;
 
   [[nodiscard]] bool valid_node(NodeId n) const noexcept {
@@ -106,6 +142,18 @@ class Graph {
 
   /// Mean node degree, 2·|E|/|V| (reported under the α axis in Fig. 9).
   [[nodiscard]] double average_degree() const noexcept;
+
+  /// Number of nodes reachable from `start` (including `start` itself),
+  /// optionally treating `banned_link` as failed. Throws std::out_of_range
+  /// for an invalid start, std::invalid_argument for a bad link id
+  /// (kNoLink means "no ban").
+  [[nodiscard]] int reachable_count_from(NodeId start,
+                                         LinkId banned_link = kNoLink) const;
+
+  /// Connected components remaining after `banned_link` is removed
+  /// (kNoLink = none). 0 for the empty graph. The shared component
+  /// machinery behind connected() / connected_without().
+  [[nodiscard]] int component_count(LinkId banned_link = kNoLink) const;
 
   /// True iff every node can reach every other node.
   [[nodiscard]] bool connected() const;
@@ -119,17 +167,45 @@ class Graph {
   }
   void set_positions(std::vector<Point> positions);
 
+  /// Total hash probes spent on add_link duplicate checks so far — the
+  /// operation count the complexity regression test pins (one probe per
+  /// insertion; the legacy adjacency scan spent O(deg) comparisons each).
+  [[nodiscard]] std::uint64_t duplicate_check_ops() const noexcept {
+    return dup_check_ops_;
+  }
+
   /// Human-readable dump, for examples and debugging.
   [[nodiscard]] std::string to_string() const;
 
  private:
-  [[nodiscard]] bool reachable_count_from(NodeId start,
-                                          LinkId banned_link) const;
+  /// Packed (min, max) endpoint key for the duplicate-link hash.
+  [[nodiscard]] static std::uint64_t endpoint_key(NodeId u, NodeId v) noexcept {
+    const auto lo = static_cast<std::uint32_t>(u < v ? u : v);
+    const auto hi = static_cast<std::uint32_t>(u < v ? v : u);
+    return (static_cast<std::uint64_t>(lo) << 32) | hi;
+  }
+
+  void rebuild_csr() const;
+  void mark_csr_stale() noexcept {
+    csr_valid_.store(false, std::memory_order_relaxed);
+  }
+  void copy_from(const Graph& other);
+  void move_from(Graph&& other) noexcept;
 
   std::vector<Link> links_;
-  std::vector<std::vector<Adjacency>> adjacency_;
+  int node_count_ = 0;
+  std::vector<int> degree_;  ///< per-node degree, maintained on add_link
+  /// (min, max) endpoint pair -> link id; duplicate check + link_between.
+  std::unordered_map<std::uint64_t, LinkId> link_index_;
   std::vector<Point> positions_;
   std::uint64_t topology_version_ = 0;
+  std::uint64_t dup_check_ops_ = 0;
+
+  // CSR arrays, rebuilt lazily on first read after a mutation batch.
+  mutable std::vector<std::size_t> offsets_;  ///< node_count_ + 1 entries
+  mutable std::vector<Adjacency> packed_;     ///< 2 · link_count entries
+  mutable std::atomic<bool> csr_valid_{false};
+  mutable std::mutex csr_mutex_;
 };
 
 }  // namespace smrp::net

@@ -99,22 +99,26 @@ Graph barabasi_albert_graph(const BarabasiAlbertParams& p, Rng& rng) {
     }
   }
 
+  std::vector<NodeId> attached_to;
   for (NodeId newcomer = seed_size; newcomer < p.node_count; ++newcomer) {
-    int attached = 0;
+    attached_to.clear();
     int guard = 0;
-    while (attached < p.edges_per_node && guard++ < 1000) {
+    while (static_cast<int>(attached_to.size()) < p.edges_per_node &&
+           guard++ < 1000) {
       const NodeId target = endpoint_pool[static_cast<std::size_t>(
           rng.below(endpoint_pool.size()))];
       if (target == newcomer || g.link_between(newcomer, target)) continue;
       g.add_link(newcomer, target,
                  draw_weight(p.min_weight, p.max_weight, rng));
-      ++attached;
+      attached_to.push_back(target);
     }
     // Register the new endpoints only after all of this newcomer's
-    // attachments, so it cannot preferentially attach to itself.
-    for (const Adjacency& adj : g.neighbors(newcomer)) {
+    // attachments, so it cannot preferentially attach to itself. Tracked
+    // locally: reading g.neighbors() mid-construction would force a CSR
+    // rebuild per newcomer.
+    for (const NodeId target : attached_to) {
       endpoint_pool.push_back(newcomer);
-      endpoint_pool.push_back(adj.neighbor);
+      endpoint_pool.push_back(target);
     }
   }
   return g;

@@ -1,6 +1,8 @@
 #include "net/transit_stub.hpp"
 
 #include <cmath>
+#include <cstdint>
+#include <limits>
 #include <stdexcept>
 
 namespace smrp::net {
@@ -30,6 +32,17 @@ TransitStubTopology generate_transit_stub(const TransitStubParams& p,
   if (p.stubs_per_transit < 0 || p.stub_size < 1) {
     throw std::invalid_argument("bad stub shape");
   }
+  // Size check FIRST, before any generation work: transit × stubs ×
+  // stub_size are each int, and a profile past the NodeId range must
+  // throw up front — not wrap, and not after minutes of core generation.
+  const std::int64_t stub_count_wide =
+      static_cast<std::int64_t>(p.transit_nodes) * p.stubs_per_transit;
+  const std::int64_t total_nodes_wide =
+      p.transit_nodes + stub_count_wide * p.stub_size;
+  if (total_nodes_wide > std::numeric_limits<NodeId>::max()) {
+    throw std::overflow_error(
+        "transit-stub profile exceeds the NodeId range");
+  }
 
   TransitStubTopology topo;
 
@@ -42,8 +55,8 @@ TransitStubTopology generate_transit_stub(const TransitStubParams& p,
   core_params.weight_mode = p.weight_mode;
   Graph core = waxman_graph(core_params, rng);
 
-  const int stub_count = p.transit_nodes * p.stubs_per_transit;
-  const int total_nodes = p.transit_nodes + stub_count * p.stub_size;
+  const int stub_count = static_cast<int>(stub_count_wide);
+  const int total_nodes = static_cast<int>(total_nodes_wide);
   topo.graph = Graph(total_nodes);
   std::vector<Point> positions;
   positions.reserve(static_cast<std::size_t>(total_nodes));

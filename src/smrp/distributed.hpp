@@ -16,7 +16,6 @@
 
 #include <cstdint>
 #include <deque>
-#include <map>
 #include <memory>
 #include <optional>
 #include <set>
@@ -31,6 +30,7 @@
 #include "routing/link_state.hpp"
 #include "sim/network.hpp"
 #include "smrp/config.hpp"
+#include "smrp/flat_map.hpp"
 
 namespace smrp::proto {
 
@@ -190,7 +190,10 @@ class DistributedSession {
     bool is_member = false;
     bool on_tree = false;
     net::NodeId parent = net::kNoNode;
-    std::map<net::NodeId, ChildInfo> children;
+    /// Child table, ascending by node id (iteration order is part of the
+    /// determinism contract). Flat storage: one vector per agent instead
+    /// of one red-black node per child — see flat_map.hpp.
+    FlatMap<net::NodeId, ChildInfo> children;
     int shr_upstream = 0;       ///< SHR(S, parent) learned from ShrUpdate
     Time last_upstream = -1.0;  ///< last ShrUpdate from the parent
     Time last_data = -1.0;      ///< last payload forwarded/consumed here

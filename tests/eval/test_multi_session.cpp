@@ -1,0 +1,145 @@
+// Multi-session scale driver: determinism, workload-model sanity, and the
+// load-bearing claim that sessions sharing a source pool actually share
+// the oracle's SPF snapshots (cache hits across sessions).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "eval/multi_session.hpp"
+#include "net/transit_stub.hpp"
+#include "net/waxman.hpp"
+
+namespace smrp::eval {
+namespace {
+
+net::Graph small_waxman(std::uint64_t seed) {
+  net::Rng rng(seed);
+  net::WaxmanParams wax;
+  wax.node_count = 80;
+  return net::waxman_graph(wax, rng);
+}
+
+MultiSessionParams small_params(SessionEngine engine) {
+  MultiSessionParams p;
+  p.sessions = 12;
+  p.source_pool = 4;
+  p.min_session_size = 2;
+  p.max_session_size = 16;
+  p.churn_events_per_session = 3.0;
+  p.engine = engine;
+  return p;
+}
+
+TEST(MultiSessionDriver, BuildsLiveSessionsUnderBothEngines) {
+  const net::Graph g = small_waxman(42);
+  for (const SessionEngine engine :
+       {SessionEngine::kSmrp, SessionEngine::kSpf}) {
+    MultiSessionDriver driver(g, small_params(engine));
+    net::Rng rng(7);
+    const MultiSessionReport r = driver.run(rng);
+    EXPECT_EQ(r.sessions, 12);
+    EXPECT_EQ(driver.session_count(), 12);
+    EXPECT_GT(r.aggregate_members, 0);
+    EXPECT_GE(r.join_ops, r.aggregate_members);  // churn leaves shrink
+    std::int64_t members = 0;
+    for (int i = 0; i < driver.session_count(); ++i) {
+      ASSERT_NO_THROW(driver.session_tree(i).validate()) << "session " << i;
+      members += driver.session_tree(i).member_count();
+    }
+    EXPECT_EQ(members, r.aggregate_members);
+  }
+}
+
+TEST(MultiSessionDriver, SameSeedSameReport) {
+  const net::Graph g = small_waxman(43);
+  for (const SessionEngine engine :
+       {SessionEngine::kSmrp, SessionEngine::kSpf}) {
+    MultiSessionReport a, b;
+    {
+      MultiSessionDriver driver(g, small_params(engine));
+      net::Rng rng(99);
+      a = driver.run(rng);
+    }
+    {
+      MultiSessionDriver driver(g, small_params(engine));
+      net::Rng rng(99);
+      b = driver.run(rng);
+    }
+    EXPECT_EQ(a.aggregate_members, b.aggregate_members);
+    EXPECT_EQ(a.join_ops, b.join_ops);
+    EXPECT_EQ(a.leave_ops, b.leave_ops);
+    EXPECT_EQ(a.churn_events, b.churn_events);
+    EXPECT_EQ(a.tree_links, b.tree_links);
+    EXPECT_DOUBLE_EQ(a.total_tree_cost, b.total_tree_cost);
+    EXPECT_EQ(a.oracle.lookups, b.oracle.lookups);
+    EXPECT_EQ(a.oracle.cache_hits, b.oracle.cache_hits);
+  }
+}
+
+TEST(MultiSessionDriver, SharedSourcePoolSharesOracleSnapshots) {
+  // 12 SPF-engine sessions over 4 sources: the source SPF tree is
+  // computed at most once per source, every later session is a hit.
+  const net::Graph g = small_waxman(44);
+  MultiSessionDriver driver(g, small_params(SessionEngine::kSpf));
+  net::Rng rng(5);
+  const MultiSessionReport r = driver.run(rng);
+  EXPECT_LE(r.oracle.full_runs, 4u);
+  EXPECT_GT(r.oracle.cache_hits, 0u);
+  EXPECT_EQ(r.oracle.lookups, r.oracle.cache_hits + r.oracle.cache_misses);
+}
+
+TEST(MultiSessionDriver, HonoursExplicitSourcePool) {
+  net::Rng topo_rng(11);
+  net::TransitStubParams params;  // small default transit-stub
+  const net::TransitStubTopology topo =
+      net::generate_transit_stub(params, topo_rng);
+  MultiSessionParams p = small_params(SessionEngine::kSpf);
+  p.sessions = 6;
+  MultiSessionDriver driver(topo.graph, p);
+  net::Rng rng(3);
+  // Entry 0 is the (gateway-less) transit core; stub gateways start at 1.
+  const std::vector<net::NodeId> pool = {topo.gateway_of_domain[1],
+                                         topo.gateway_of_domain[2]};
+  const MultiSessionReport r = driver.run(rng, pool);
+  for (int i = 0; i < driver.session_count(); ++i) {
+    const net::NodeId s = driver.session_tree(i).source();
+    EXPECT_TRUE(s == pool[0] || s == pool[1]) << "session " << i;
+  }
+  EXPECT_GT(r.aggregate_members, 0);
+}
+
+TEST(MultiSessionDriver, RunTwiceThrows) {
+  const net::Graph g = small_waxman(45);
+  MultiSessionDriver driver(g, small_params(SessionEngine::kSpf));
+  net::Rng rng(1);
+  driver.run(rng);
+  EXPECT_THROW(driver.run(rng), std::logic_error);
+}
+
+TEST(MultiSessionSampling, ZipfStaysInRangeAndSkewsSmall) {
+  net::Rng rng(123);
+  int small = 0;
+  constexpr int kDraws = 4000;
+  for (int i = 0; i < kDraws; ++i) {
+    const int v = sample_zipf(rng, 2, 64, 1.0);
+    ASSERT_GE(v, 2);
+    ASSERT_LE(v, 64);
+    if (v <= 8) ++small;
+  }
+  // With s = 1 over [2,64] the first seven values carry well over half
+  // the mass; use a loose bound so the test is not a distribution fit.
+  EXPECT_GT(small, kDraws / 2);
+}
+
+TEST(MultiSessionSampling, PoissonMatchesMeanRoughly) {
+  net::Rng rng(321);
+  constexpr int kDraws = 8000;
+  std::int64_t total = 0;
+  for (int i = 0; i < kDraws; ++i) total += sample_poisson(rng, 4.0);
+  const double mean = static_cast<double>(total) / kDraws;
+  EXPECT_NEAR(mean, 4.0, 0.2);
+  EXPECT_EQ(sample_poisson(rng, 0.0), 0);
+}
+
+}  // namespace
+}  // namespace smrp::eval

@@ -1,0 +1,179 @@
+// Differential property suite for the struct-of-arrays MulticastTree
+// (DESIGN.md §14): the production tree and the retired per-node-struct
+// implementation (reference_tree.hpp) are driven through identical
+// operation sequences and must agree on every observable after every
+// mutation — roles, parents, child *order* (message send order in the
+// distributed engine depends on it), N_R, SHR, sever results. Child-order
+// agreement is the load-bearing claim: it is what makes the SoA refactor
+// invisible to the byte-determinism gates on telemetry digests.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "multicast/reference_tree.hpp"
+#include "multicast/tree.hpp"
+#include "net/rng.hpp"
+#include "net/shortest_path.hpp"
+#include "net/waxman.hpp"
+
+namespace smrp::mcast {
+namespace {
+
+using testing::ReferenceTree;
+
+void expect_identical(const net::Graph& g, const MulticastTree& soa,
+                      const ReferenceTree& ref, int step) {
+  ASSERT_EQ(soa.member_count(), ref.member_count()) << "step " << step;
+  ASSERT_EQ(soa.on_tree_count(), ref.on_tree_count()) << "step " << step;
+  for (net::NodeId n = 0; n < g.node_count(); ++n) {
+    ASSERT_EQ(soa.role(n), ref.role(n)) << "node " << n << " step " << step;
+    ASSERT_EQ(soa.parent(n), ref.parent(n)) << "node " << n << " step " << step;
+    ASSERT_EQ(soa.parent_link(n), ref.parent_link(n))
+        << "node " << n << " step " << step;
+    ASSERT_EQ(soa.subtree_members(n), ref.subtree_members(n))
+        << "node " << n << " step " << step;
+    // The order of the child walk must match the legacy vectors exactly.
+    ASSERT_EQ(soa.children(n).to_vector(), ref.children(n))
+        << "node " << n << " step " << step;
+    if (ref.on_tree(n)) {
+      ASSERT_EQ(soa.shr(n), ref.shr(n)) << "node " << n << " step " << step;
+    }
+  }
+  ASSERT_EQ(soa.members(), ref.members()) << "step " << step;
+  ASSERT_EQ(soa.tree_links(), ref.tree_links()) << "step " << step;
+}
+
+/// SPF-path graft onto whatever part of the tree the path first touches.
+/// Both trees see the exact same path vector.
+std::vector<net::NodeId> graft_path(const net::ShortestPathTree& spf,
+                                    const ReferenceTree& ref,
+                                    net::NodeId member) {
+  std::vector<net::NodeId> path;
+  for (net::NodeId cur = member;;
+       cur = spf.parent[static_cast<std::size_t>(cur)]) {
+    path.push_back(cur);
+    if (ref.on_tree(cur)) break;
+  }
+  return path;
+}
+
+class TreeDifferential : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TreeDifferential, SoaMatchesLegacyUnderChurnAndFailures) {
+  net::Rng rng(GetParam());
+  net::WaxmanParams wax;
+  wax.node_count = 60;
+  const net::Graph g = net::waxman_graph(wax, rng);
+  const net::NodeId source = 0;
+  const net::ShortestPathTree spf = net::dijkstra(g, source);
+
+  MulticastTree soa(g, source);
+  ReferenceTree ref(g, source);
+  std::vector<net::NodeId> joined;
+
+  for (int step = 0; step < 400; ++step) {
+    const double dice = rng.uniform();
+    if (dice < 0.45 || joined.empty()) {
+      // Join.
+      const auto member =
+          static_cast<net::NodeId>(1 + rng.below(g.node_count() - 1));
+      if (ref.is_member(member)) continue;
+      const std::vector<net::NodeId> path =
+          ref.on_tree(member) ? std::vector<net::NodeId>{member}
+                              : graft_path(spf, ref, member);
+      soa.graft(member, path);
+      ref.graft(member, path);
+      joined.push_back(member);
+    } else if (dice < 0.65) {
+      // Leave.
+      const std::size_t idx = rng.below(joined.size());
+      soa.leave(joined[idx]);
+      ref.leave(joined[idx]);
+      joined.erase(joined.begin() + static_cast<std::ptrdiff_t>(idx));
+    } else if (dice < 0.80) {
+      // Reshape: move a random on-tree node to a random adjacent on-tree
+      // node outside its own subtree (the one-hop move every reshaping
+      // step in the protocol reduces to).
+      const auto on_tree = soa.on_tree_nodes();
+      const net::NodeId n =
+          on_tree[rng.below(on_tree.size())];
+      if (n == source) continue;
+      net::NodeId merge = net::kNoNode;
+      for (const auto [nbr, link] : g.neighbors(n)) {
+        (void)link;
+        if (ref.on_tree(nbr) && !ref.is_ancestor_or_self(n, nbr) &&
+            nbr != ref.parent(n)) {
+          merge = nbr;
+          break;
+        }
+      }
+      if (merge == net::kNoNode) continue;
+      // Cross-check the §3.2.3 SHR adjustment on the candidate first.
+      if (ref.is_member(n)) {
+        ASSERT_EQ(soa.shr_excluding_subtree(merge, n),
+                  ref.shr_excluding_subtree(merge, n))
+            << "step " << step;
+      }
+      soa.move_subtree(n, {n, merge});
+      ref.move_subtree(n, {n, merge});
+    } else if (dice < 0.92) {
+      // Link failure on a random tree link.
+      const auto links = ref.tree_links();
+      if (links.empty()) continue;
+      const net::LinkId dead = links[rng.below(links.size())];
+      ASSERT_EQ(soa.surviving_after_link(dead), ref.surviving_after_link(dead))
+          << "step " << step;
+      const auto lost_soa = soa.sever(dead);
+      const auto lost_ref = ref.sever(dead);
+      ASSERT_EQ(lost_soa, lost_ref) << "step " << step;
+      for (const net::NodeId m : lost_soa) {
+        joined.erase(std::remove(joined.begin(), joined.end(), m),
+                     joined.end());
+      }
+    } else {
+      // Node failure on a random non-source on-tree node.
+      const auto on_tree = soa.on_tree_nodes();
+      const net::NodeId dead = on_tree[rng.below(on_tree.size())];
+      if (dead == source) continue;
+      const auto lost_soa = soa.sever_node(dead);
+      const auto lost_ref = ref.sever_node(dead);
+      ASSERT_EQ(lost_soa, lost_ref) << "step " << step;
+      joined.erase(std::remove(joined.begin(), joined.end(), dead),
+                   joined.end());
+      for (const net::NodeId m : lost_soa) {
+        joined.erase(std::remove(joined.begin(), joined.end(), m),
+                     joined.end());
+      }
+    }
+    ASSERT_NO_FATAL_FAILURE(expect_identical(g, soa, ref, step));
+    ASSERT_NO_THROW(soa.validate()) << "step " << step;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TreeDifferential,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+TEST(TreeDifferentialEdge, SourceNodeFailureClearsBothIdentically) {
+  net::Rng rng(7);
+  net::WaxmanParams wax;
+  wax.node_count = 30;
+  const net::Graph g = net::waxman_graph(wax, rng);
+  const net::ShortestPathTree spf = net::dijkstra(g, 0);
+  MulticastTree soa(g, 0);
+  ReferenceTree ref(g, 0);
+  for (net::NodeId m = 1; m < 10; ++m) {
+    if (ref.is_member(m)) continue;
+    const auto path = ref.on_tree(m) ? std::vector<net::NodeId>{m}
+                                     : graft_path(spf, ref, m);
+    soa.graft(m, path);
+    ref.graft(m, path);
+  }
+  ASSERT_EQ(soa.sever_node(0), ref.sever_node(0));
+  EXPECT_EQ(soa.on_tree_count(), 0);
+  EXPECT_EQ(ref.on_tree_count(), 0);
+  EXPECT_EQ(soa.member_count(), ref.member_count());
+}
+
+}  // namespace
+}  // namespace smrp::mcast

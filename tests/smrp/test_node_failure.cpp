@@ -108,13 +108,13 @@ TEST(NodeFailureEdge, SourcesOnlyChildDies) {
   // at 3) first, then C assisted by D's fresh branch (C–D at 2).
   const Fig1Topology fig;
   mcast::MulticastTree tree = fig1_tree(fig);
-  ASSERT_EQ(tree.children(fig.S), (std::vector<net::NodeId>{fig.A}));
+  ASSERT_EQ(tree.children(fig.S).to_vector(), (std::vector<net::NodeId>{fig.A}));
   const SessionRepairReport report = repair_session(
       fig.graph, tree, Failure::of_node(fig.A), DetourPolicy::kLocal);
   EXPECT_EQ(report.disconnected_members, 2);
   EXPECT_EQ(report.repaired_members, 2);
   tree.validate();
-  EXPECT_EQ(tree.children(fig.S), (std::vector<net::NodeId>{fig.B}));
+  EXPECT_EQ(tree.children(fig.S).to_vector(), (std::vector<net::NodeId>{fig.B}));
   ASSERT_EQ(report.outcomes.size(), 2u);
   EXPECT_EQ(report.outcomes[0].member, fig.D);
   EXPECT_DOUBLE_EQ(report.outcomes[0].recovery_distance, 3.0);
