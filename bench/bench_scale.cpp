@@ -2,29 +2,42 @@
 // RoutingOracle stretch as nodes × sessions × members grow.
 //
 // Each tier generates a transit-stub topology, then drives N concurrent
-// sessions through eval::MultiSessionDriver — Zipf session sizes, Poisson
-// join/leave churn, sources drawn from the transit core so sessions share
-// the oracle's SPF snapshots. The small/medium tiers run the full SMRP
-// path-selection engine; the largest tier (100k nodes × 1,000 sessions,
-// >100k aggregate members under the full profile) uses the SPF baseline
+// sessions through eval::MultiSessionDriver::run_seeded — Zipf session
+// sizes, Poisson join/leave churn, sources drawn from the transit core so
+// sessions share the oracle's SPF snapshots, and session i's entire
+// random stream derived from trial_seed(tier seed, i) so the deterministic
+// aggregates are byte-identical for any --shards value. The small/medium
+// tiers run the full SMRP path-selection engine; the large tiers (100k
+// nodes, and the million-member scale1m point) use the SPF baseline
 // engine, whose O(path) joins make session count — not per-join search —
 // the measured variable. EXPERIMENTS.md records the tier rationale.
 //
-// Per tier the bench emits two kinds of series:
-//   <tier>/det_*        bit-deterministic at a fixed seed (members, links,
-//                       joins, oracle hit fraction) — CI regression-gates
-//                       these exactly via bench_diff --series '*/det_*';
-//   <tier>/joins_per_sec, <tier>/wall_s, <tier>/peak_rss_mb
-//                       machine-dependent throughput / footprint. peak_rss
-//                       is the process VmHWM after the tier's sessions are
-//                       built and still resident, so it is monotone across
-//                       tiers (tiers run smallest-first).
+// Per tier the bench emits three kinds of series:
+//   <tier>/det_*        bit-deterministic at a fixed seed for ANY shard
+//                       count (members, links, joins) — CI regression-
+//                       gates these exactly via bench_diff --series
+//                       '*/det_*', including a shards=1 vs shards=4 diff;
+//   <tier>/oracle_hit_pct
+//                       deterministic per (seed, shards) but NOT across
+//                       shard counts: per-shard oracles partition the
+//                       snapshot cache, so the hit split moves with K;
+//   <tier>/joins_per_sec, <tier>/wall_s, <tier>/peak_rss_mb,
+//   <tier>/shard_gain   machine-dependent throughput / footprint.
+//                       shard_gain (only with --shards > 1) is the
+//                       sequential wall over the sharded wall for the
+//                       same tier — the within-trial parallel payoff.
+//                       peak_rss is the process VmHWM after the tier's
+//                       sessions are built and still resident, so it is
+//                       monotone across tiers (tiers run smallest-first);
+//                       where getrusage cannot report it the series is
+//                       omitted with a warning instead of recording 0.
 //
 // `--smoke` swaps in reduced tiers for CI; the committed
 // BENCH_scale-smoke.json is regenerated and diffed there, while
 // BENCH_scale.json archives a full-profile run.
 #include <chrono>
 #include <iostream>
+#include <optional>
 #include <string_view>
 #include <sys/resource.h>
 #include <vector>
@@ -38,11 +51,16 @@ namespace {
 
 using namespace smrp;
 
-/// Process peak RSS in MiB (ru_maxrss is KiB on Linux). Monotone: reads
+/// Process peak RSS in MiB (ru_maxrss is KiB on Linux), or nullopt when
+/// the platform reports nothing usable (some kernels/sandboxes leave
+/// ru_maxrss at 0, and a recorded 0 would read as "tier fit in zero
+/// memory" in the committed baselines). Monotone when available: reads
 /// the high-water mark, not the current footprint.
-double peak_rss_mb() {
+std::optional<double> peak_rss_mb() {
   rusage usage{};
-  getrusage(RUSAGE_SELF, &usage);
+  if (getrusage(RUSAGE_SELF, &usage) != 0 || usage.ru_maxrss <= 0) {
+    return std::nullopt;
+  }
   return static_cast<double>(usage.ru_maxrss) / 1024.0;
 }
 
@@ -63,20 +81,23 @@ net::TransitStubParams transit_stub(int transit, int stubs_per, int stub) {
 
 eval::MultiSessionParams session_load(int sessions, int min_size,
                                       int max_size, double churn,
-                                      eval::SessionEngine engine) {
+                                      eval::SessionEngine engine,
+                                      double zipf_exponent = 1.0) {
   eval::MultiSessionParams p;
   p.sessions = sessions;
   p.min_session_size = min_size;
   p.max_session_size = max_size;
   p.churn_events_per_session = churn;
   p.engine = engine;
+  p.zipf_exponent = zipf_exponent;
   return p;
 }
 
-/// Full profile: the committed BENCH_scale.json. The last tier is the
-/// acceptance point — 100,000 nodes, 1,000 concurrent sessions, and the
-/// Zipf size range is chosen so aggregate membership lands well above
-/// 100k members.
+/// Full profile: the committed BENCH_scale.json. scale100k is the PR 8
+/// acceptance point (100,000 nodes × 1,000 sessions); scale1m is the
+/// million-member aggregate tier — same 100k-node topology, 2,200
+/// sessions with a flatter Zipf over [16, 3000] so Σ members lands past
+/// 1e6 (mean size ≈ 500).
 std::vector<Tier> full_tiers() {
   return {
       {"scale1k", transit_stub(20, 5, 10),
@@ -85,6 +106,8 @@ std::vector<Tier> full_tiers() {
        session_load(150, 2, 96, 4.0, eval::SessionEngine::kSmrp), 32},
       {"scale100k", transit_stub(100, 9, 111),
        session_load(1000, 4, 2000, 2.0, eval::SessionEngine::kSpf), 64},
+      {"scale1m", transit_stub(100, 9, 111),
+       session_load(2200, 16, 3000, 1.0, eval::SessionEngine::kSpf, 0.8), 64},
   };
 }
 
@@ -97,6 +120,8 @@ std::vector<Tier> smoke_tiers() {
        session_load(30, 2, 32, 3.0, eval::SessionEngine::kSmrp), 8},
       {"scale100k", transit_stub(16, 5, 12),
        session_load(60, 2, 64, 2.0, eval::SessionEngine::kSpf), 8},
+      {"scale1m", transit_stub(16, 5, 12),
+       session_load(90, 4, 96, 1.0, eval::SessionEngine::kSpf, 0.8), 8},
   };
 }
 
@@ -124,6 +149,7 @@ int main(int argc, char** argv) {
                        "over one shared routing oracle",
                        /*default_trials=*/1);
   const std::vector<Tier> tiers = smoke ? smoke_tiers() : full_tiers();
+  runner.config().set("shards", runner.options().shards);
   for (const Tier& tier : tiers) {
     const int nodes = tier.topo.transit_nodes +
                       tier.topo.transit_nodes * tier.topo.stubs_per_transit *
@@ -135,11 +161,16 @@ int main(int argc, char** argv) {
                         tier.sessions.max_session_size);
   }
 
+  bool warned_rss = false;
   const eval::EngineResult& res = runner.run([&](eval::TrialContext& ctx) {
     net::Rng rng(ctx.seed);
+    int tier_index = 0;
     for (const Tier& tier : tiers) {
       const std::string prefix = tier.name;
-      const auto t0 = std::chrono::steady_clock::now();
+      // One session-stream seed per tier, independent of the topology
+      // stream so adding tiers never perturbs earlier ones.
+      const std::uint64_t tier_seed =
+          eval::trial_seed(ctx.seed, 1000 + tier_index++);
       const net::TransitStubTopology topo =
           net::generate_transit_stub(tier.topo, rng);
 
@@ -154,8 +185,27 @@ int main(int argc, char** argv) {
                   static_cast<std::ptrdiff_t>(
                       topo.nodes_of_domain[net::kTransitDomain].size())));
 
-      eval::MultiSessionDriver driver(topo.graph, tier.sessions);
-      const eval::MultiSessionReport report = driver.run(rng, pool);
+      // The sequential reference for shard_gain: same tier, same seed,
+      // one shard. Only run when sharding is on — it doubles tier cost.
+      double seq_secs = 0.0;
+      if (ctx.shards > 1) {
+        eval::MultiSessionParams seq_params = tier.sessions;
+        seq_params.shards = 1;
+        eval::MultiSessionDriver seq_driver(topo.graph, seq_params);
+        const auto s0 = std::chrono::steady_clock::now();
+        const eval::MultiSessionReport seq_report =
+            seq_driver.run_seeded(tier_seed, pool);
+        const auto s1 = std::chrono::steady_clock::now();
+        seq_secs = std::chrono::duration<double>(s1 - s0).count();
+        static_cast<void>(seq_report);
+      }
+
+      eval::MultiSessionParams params = tier.sessions;
+      params.shards = ctx.shards;
+      eval::MultiSessionDriver driver(topo.graph, params);
+      const auto t0 = std::chrono::steady_clock::now();
+      const eval::MultiSessionReport report =
+          driver.run_seeded(tier_seed, pool);
       const auto t1 = std::chrono::steady_clock::now();
       const double secs = std::chrono::duration<double>(t1 - t0).count();
 
@@ -170,11 +220,20 @@ int main(int argc, char** argv) {
       rec.add(prefix + "/det_tree_links",
               static_cast<double>(report.tree_links));
       rec.add(prefix + "/det_joins", static_cast<double>(report.join_ops));
-      rec.add(prefix + "/det_oracle_hit_pct", hit_pct);
+      rec.add(prefix + "/oracle_hit_pct", hit_pct);
       rec.add(prefix + "/joins_per_sec",
               secs > 0.0 ? static_cast<double>(report.join_ops) / secs : 0.0);
       rec.add(prefix + "/wall_s", secs);
-      rec.add(prefix + "/peak_rss_mb", peak_rss_mb());
+      if (ctx.shards > 1 && secs > 0.0) {
+        rec.add(prefix + "/shard_gain", seq_secs / secs);
+      }
+      if (const std::optional<double> rss = peak_rss_mb()) {
+        rec.add(prefix + "/peak_rss_mb", *rss);
+      } else if (!warned_rss) {
+        warned_rss = true;
+        std::cerr << "[bench_scale] warning: getrusage reports no peak RSS "
+                     "on this platform; omitting peak_rss_mb series\n";
+      }
       // Sessions (and their trees) free here — the peak reading above
       // already captured the fully resident tier.
     }
@@ -182,17 +241,21 @@ int main(int argc, char** argv) {
 
   // Human-readable tier table from the recorded series.
   eval::Table table({"tier", "members", "tree links", "joins",
-                     "oracle hit %", "joins/s", "wall s", "peak RSS MiB"});
+                     "oracle hit %", "joins/s", "wall s", "gain",
+                     "peak RSS MiB"});
   for (const Tier& tier : tiers) {
     const std::string p = tier.name;
+    const eval::Summary rss = res.summary(p + "/peak_rss_mb");
+    const eval::Summary gain = res.summary(p + "/shard_gain");
     table.add_row({p, eval::Table::fixed(res.summary(p + "/det_members").mean, 0),
                    eval::Table::fixed(res.summary(p + "/det_tree_links").mean, 0),
                    eval::Table::fixed(res.summary(p + "/det_joins").mean, 0),
                    eval::Table::fixed(
-                       res.summary(p + "/det_oracle_hit_pct").mean, 1),
+                       res.summary(p + "/oracle_hit_pct").mean, 1),
                    eval::Table::fixed(res.summary(p + "/joins_per_sec").mean, 0),
                    eval::Table::fixed(res.summary(p + "/wall_s").mean, 2),
-                   eval::Table::fixed(res.summary(p + "/peak_rss_mb").mean, 1)});
+                   gain.count > 0 ? eval::Table::fixed(gain.mean, 2) : "-",
+                   rss.count > 0 ? eval::Table::fixed(rss.mean, 1) : "n/a"});
   }
   std::cout << "\n" << table.render() << "\n";
   return 0;

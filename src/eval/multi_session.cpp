@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <thread>
+
+#include "eval/engine.hpp"
 
 namespace smrp::eval {
 
@@ -60,26 +63,28 @@ const mcast::MulticastTree& MultiSessionDriver::session_tree(int i) const {
   return s.smrp ? s.smrp->tree() : s.spf->tree();
 }
 
-bool MultiSessionDriver::try_join(Session& s, net::NodeId member) {
+bool MultiSessionDriver::try_join(Session& s, net::NodeId member,
+                                  MultiSessionReport& report) {
   const mcast::MulticastTree& tree = s.smrp ? s.smrp->tree() : s.spf->tree();
   if (member == tree.source() || tree.is_member(member)) return false;
   bool joined = false;
   if (s.smrp) {
     const proto::JoinOutcome out = s.smrp->join(member);
     joined = out.joined;
-    if (out.used_fallback) ++report_.fallback_joins;
-    report_.reshapes += out.reshapes_triggered;
+    if (out.used_fallback) ++report.fallback_joins;
+    report.reshapes += out.reshapes_triggered;
   } else {
     joined = s.spf->join(member);
   }
   if (joined) {
     s.members.push_back(member);
-    ++report_.join_ops;
+    ++report.join_ops;
   }
   return joined;
 }
 
-void MultiSessionDriver::leave(Session& s, std::size_t member_index) {
+void MultiSessionDriver::leave(Session& s, std::size_t member_index,
+                               MultiSessionReport& report) {
   const net::NodeId member = s.members[member_index];
   if (s.smrp) {
     s.smrp->leave(member);
@@ -88,7 +93,138 @@ void MultiSessionDriver::leave(Session& s, std::size_t member_index) {
   }
   s.members.erase(s.members.begin() +
                   static_cast<std::ptrdiff_t>(member_index));
-  ++report_.leave_ops;
+  ++report.leave_ops;
+}
+
+std::vector<net::NodeId> MultiSessionDriver::resolve_pool(
+    const std::vector<net::NodeId>& source_pool) const {
+  if (!source_pool.empty()) return source_pool;
+  const net::NodeId node_count = g_->node_count();
+  const int want = std::min<int>(std::max(params_.source_pool, 1), node_count);
+  std::vector<net::NodeId> pool;
+  pool.reserve(static_cast<std::size_t>(want));
+  for (int i = 0; i < want; ++i) {
+    pool.push_back(static_cast<net::NodeId>(
+        (static_cast<std::int64_t>(i) * node_count) / want));
+  }
+  return pool;
+}
+
+void MultiSessionDriver::build_and_churn(Session& s, net::NodeId source,
+                                         net::Rng& rng,
+                                         net::RoutingOracle* oracle,
+                                         MultiSessionReport& report) {
+  const net::NodeId node_count = g_->node_count();
+  if (params_.engine == SessionEngine::kSmrp) {
+    s.smrp = std::make_unique<proto::SmrpTreeBuilder>(*g_, source,
+                                                      params_.smrp, oracle);
+  } else {
+    s.spf = std::make_unique<baseline::SpfTreeBuilder>(*g_, source, oracle);
+  }
+  // Zipf size via the shared CDF table.
+  const double target = rng.uniform() * zipf_cdf_.back();
+  int size = params_.min_session_size;
+  for (std::size_t k = 0; k < zipf_cdf_.size(); ++k) {
+    if (zipf_cdf_[k] >= target) {
+      size = params_.min_session_size + static_cast<int>(k);
+      break;
+    }
+  }
+  int joined = 0;
+  // Random distinct members; bounded retries so a tiny graph cannot
+  // stall the build when the session size nears the node count.
+  for (int attempt = 0; joined < size && attempt < 4 * size + 16; ++attempt) {
+    const auto member = static_cast<net::NodeId>(
+        rng.below(static_cast<std::uint64_t>(node_count)));
+    if (try_join(s, member, report)) ++joined;
+  }
+  // Churn straight after the build, all off this session's own stream.
+  const int events = sample_poisson(rng, params_.churn_events_per_session);
+  for (int e = 0; e < events; ++e) {
+    ++report.churn_events;
+    const bool do_join = s.members.empty() || rng.uniform() < 0.5;
+    if (do_join) {
+      const auto member = static_cast<net::NodeId>(
+          rng.below(static_cast<std::uint64_t>(node_count)));
+      static_cast<void>(try_join(s, member, report));
+    } else {
+      leave(s, rng.below(s.members.size()), report);
+    }
+  }
+}
+
+MultiSessionReport MultiSessionDriver::finalize(
+    std::vector<MultiSessionReport> partials) {
+  report_ = MultiSessionReport{};
+  report_.sessions = params_.sessions;
+  for (const MultiSessionReport& p : partials) {
+    report_.join_ops += p.join_ops;
+    report_.leave_ops += p.leave_ops;
+    report_.churn_events += p.churn_events;
+    report_.reshapes += p.reshapes;
+    report_.fallback_joins += p.fallback_joins;
+  }
+  for (const Session& s : sessions_) {
+    const mcast::MulticastTree& tree =
+        s.smrp ? s.smrp->tree() : s.spf->tree();
+    report_.aggregate_members += tree.member_count();
+    report_.tree_links += static_cast<std::int64_t>(tree.tree_links().size());
+    report_.total_tree_cost += tree.total_cost();
+  }
+  for (const auto& oracle : shard_oracles_) {
+    const net::RoutingOracle::Stats s = oracle->stats();
+    report_.oracle.lookups += s.lookups;
+    report_.oracle.cache_hits += s.cache_hits;
+    report_.oracle.cache_misses += s.cache_misses;
+    report_.oracle.incremental_repairs += s.incremental_repairs;
+    report_.oracle.full_runs += s.full_runs;
+    report_.oracle.invalidations += s.invalidations;
+  }
+  return report_;
+}
+
+MultiSessionReport MultiSessionDriver::run_seeded(
+    std::uint64_t seed, const std::vector<net::NodeId>& source_pool) {
+  if (!sessions_.empty()) {
+    throw std::logic_error("MultiSessionDriver::run called twice");
+  }
+  if (g_->node_count() < 2) throw std::invalid_argument("graph too small");
+  const std::vector<net::NodeId> pool = resolve_pool(source_pool);
+
+  const int shards = std::clamp(params_.shards, 1, params_.sessions);
+  sessions_.resize(static_cast<std::size_t>(params_.sessions));
+  shard_oracles_.clear();
+  shard_oracles_.reserve(static_cast<std::size_t>(shards));
+  for (int w = 0; w < shards; ++w) {
+    shard_oracles_.push_back(std::make_unique<net::RoutingOracle>(*g_));
+  }
+
+  std::vector<MultiSessionReport> partials(
+      static_cast<std::size_t>(shards));
+  auto worker = [&](int w) {
+    net::RoutingOracle* oracle = shard_oracles_[static_cast<std::size_t>(w)]
+                                     .get();
+    MultiSessionReport& local = partials[static_cast<std::size_t>(w)];
+    // Round-robin deal: session i belongs to worker i % shards, and its
+    // entire random stream is trial_seed(seed, i) — ownership, worker
+    // count, and completion order leave no trace in the outcome.
+    for (int i = w; i < params_.sessions; i += shards) {
+      net::Rng rng(trial_seed(seed, i));
+      build_and_churn(sessions_[static_cast<std::size_t>(i)],
+                      pool[static_cast<std::size_t>(i) % pool.size()], rng,
+                      oracle, local);
+    }
+  };
+
+  if (shards == 1) {
+    worker(0);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(shards));
+    for (int w = 0; w < shards; ++w) threads.emplace_back(worker, w);
+    for (std::thread& t : threads) t.join();
+  }
+  return finalize(std::move(partials));
 }
 
 MultiSessionReport MultiSessionDriver::run(
@@ -98,18 +234,7 @@ MultiSessionReport MultiSessionDriver::run(
   }
   const net::NodeId node_count = g_->node_count();
   if (node_count < 2) throw std::invalid_argument("graph too small");
-
-  // Resolve the source pool: caller's list, or ids evenly spread.
-  std::vector<net::NodeId> pool = source_pool;
-  if (pool.empty()) {
-    const int want =
-        std::min<int>(std::max(params_.source_pool, 1), node_count);
-    pool.reserve(static_cast<std::size_t>(want));
-    for (int i = 0; i < want; ++i) {
-      pool.push_back(static_cast<net::NodeId>(
-          (static_cast<std::int64_t>(i) * node_count) / want));
-    }
-  }
+  const std::vector<net::NodeId> pool = resolve_pool(source_pool);
 
   report_ = MultiSessionReport{};
   report_.sessions = params_.sessions;
@@ -141,7 +266,7 @@ MultiSessionReport MultiSessionDriver::run(
          ++attempt) {
       const auto member = static_cast<net::NodeId>(
           rng.below(static_cast<std::uint64_t>(node_count)));
-      if (try_join(s, member)) ++joined;
+      if (try_join(s, member, report_)) ++joined;
     }
   }
 
@@ -154,9 +279,9 @@ MultiSessionReport MultiSessionDriver::run(
       if (do_join) {
         const auto member = static_cast<net::NodeId>(
             rng.below(static_cast<std::uint64_t>(node_count)));
-        try_join(s, member);
+        static_cast<void>(try_join(s, member, report_));
       } else {
-        leave(s, rng.below(s.members.size()));
+        leave(s, rng.below(s.members.size()), report_);
       }
     }
   }

@@ -57,6 +57,13 @@ struct MultiSessionParams {
   double churn_events_per_session = 4.0;
   SessionEngine engine = SessionEngine::kSmrp;
   proto::SmrpConfig smrp{};
+  /// Shard workers for run_seeded() (DESIGN.md §15): sessions are dealt
+  /// round-robin to this many workers, each with its own RoutingOracle.
+  /// Session outcomes derive only from per-session RNG streams and the
+  /// (deterministic) oracle answers, so every aggregate except the
+  /// oracle cache-hit rate is byte-identical for any value. Clamped to
+  /// [1, sessions]; ignored by the legacy single-stream run().
+  int shards = 1;
 };
 
 /// Everything the scale bench reports, all derived deterministically from
@@ -98,6 +105,16 @@ class MultiSessionDriver {
   MultiSessionReport run(net::Rng& rng,
                          const std::vector<net::NodeId>& source_pool = {});
 
+  /// Sharded counterpart of run(): session i draws every random decision
+  /// from its own stream (trial_seed(seed, i)), sessions are dealt
+  /// round-robin to params.shards workers, and each worker routes through
+  /// a private RoutingOracle. All deterministic aggregates (members,
+  /// joins, links, costs) are byte-identical for any shard count — only
+  /// the oracle cache-hit split varies, because the snapshot caches are
+  /// partitioned. One driver runs exactly once (run() or run_seeded()).
+  MultiSessionReport run_seeded(std::uint64_t seed,
+                                const std::vector<net::NodeId>& source_pool = {});
+
   [[nodiscard]] net::RoutingOracle& oracle() noexcept { return oracle_; }
   [[nodiscard]] const MultiSessionParams& params() const noexcept {
     return params_;
@@ -116,12 +133,27 @@ class MultiSessionDriver {
     std::vector<net::NodeId> members;  ///< join order, for leave sampling
   };
 
-  [[nodiscard]] bool try_join(Session& s, net::NodeId member);
-  void leave(Session& s, std::size_t member_index);
+  [[nodiscard]] bool try_join(Session& s, net::NodeId member,
+                              MultiSessionReport& report);
+  void leave(Session& s, std::size_t member_index,
+             MultiSessionReport& report);
+  /// Resolve the effective source pool (caller list or evenly spread ids).
+  [[nodiscard]] std::vector<net::NodeId> resolve_pool(
+      const std::vector<net::NodeId>& source_pool) const;
+  /// Instantiate one session (engine + Zipf-sized build) and churn it,
+  /// recording into `report` only — the sharded workers' unit of work.
+  void build_and_churn(Session& s, net::NodeId source, net::Rng& rng,
+                       net::RoutingOracle* oracle, MultiSessionReport& report);
+  /// Fold the per-shard partial reports and the resident session state
+  /// into report_ (deterministic order: shard index, then session index).
+  MultiSessionReport finalize(std::vector<MultiSessionReport> partials);
 
   const net::Graph* g_;
   MultiSessionParams params_;
   net::RoutingOracle oracle_;
+  /// run_seeded's per-shard oracles; sessions hold pointers into these,
+  /// so they live as long as the driver.
+  std::vector<std::unique_ptr<net::RoutingOracle>> shard_oracles_;
   std::vector<Session> sessions_;
   std::vector<double> zipf_cdf_;  ///< cumulative, built once per driver
   MultiSessionReport report_;

@@ -1,0 +1,17 @@
+#include "hier/shard_map.hpp"
+
+#include <stdexcept>
+
+namespace smrp::hier {
+
+sim::ShardPlan make_shard_plan(const net::TransitStubTopology& topology,
+                               int shards) {
+  if (static_cast<net::NodeId>(topology.domain_of_node.size()) !=
+      topology.graph.node_count()) {
+    throw std::invalid_argument(
+        "topology domain map does not cover the graph");
+  }
+  return sim::build_shard_plan(topology.domain_of_node, shards);
+}
+
+}  // namespace smrp::hier

@@ -1,0 +1,28 @@
+// Transit-stub partition → DES shard plan (DESIGN.md §15). The domain
+// structure the hierarchical recovery architecture already maintains is
+// exactly the locality the sharded simulator needs: stub domains talk to
+// the rest of the world only through their gateway's access link, so a
+// shard = a set of whole domains has all its fast-path traffic on-shard
+// and the conservative lookahead is the cheapest inter-domain link.
+//
+// The builder lives in hier (not sim) because sim must stay free of
+// topology-generation dependencies; the plan type itself is sim's.
+#pragma once
+
+#include "net/transit_stub.hpp"
+#include "sim/sharded.hpp"
+
+namespace smrp::hier {
+
+/// Map the topology's domains onto at most `shards` shards: the transit
+/// core (domain 0, plus anything the generator left domainless) pins to
+/// shard 0 — the control shard, which therefore owns every cross-domain
+/// link endpoint on the transit side — and stub domains are packed
+/// longest-first onto the least-loaded shard. The effective shard count
+/// is clamped to the number of populated domains; shards <= 1 yields the
+/// trivial single-shard plan. Deterministic for a given (topology,
+/// shards) pair.
+[[nodiscard]] sim::ShardPlan make_shard_plan(
+    const net::TransitStubTopology& topology, int shards);
+
+}  // namespace smrp::hier

@@ -1,0 +1,554 @@
+#include "sim/sharded.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/telemetry.hpp"
+
+namespace smrp::sim {
+
+// ---------------------------------------------------------------------------
+// Plan builder
+
+ShardPlan build_shard_plan(const std::vector<int>& group_of_node, int shards) {
+  ShardPlan plan;
+  plan.shard_of.assign(group_of_node.size(), 0);
+  if (group_of_node.empty() || shards <= 1) return plan;
+
+  int max_group = 0;
+  for (const int g : group_of_node) {
+    if (g < 0) throw std::invalid_argument("negative group id");
+    max_group = std::max(max_group, g);
+  }
+  std::vector<std::int64_t> group_size(
+      static_cast<std::size_t>(max_group) + 1, 0);
+  for (const int g : group_of_node) ++group_size[static_cast<std::size_t>(g)];
+
+  // Empty groups own nothing and must not dilute the clamp (a topology
+  // with gaps in its domain numbering still shards by what exists).
+  int populated = 0;
+  for (const std::int64_t size : group_size) populated += size > 0 ? 1 : 0;
+  plan.shards = std::min(shards, std::max(populated, 1));
+  if (plan.shards <= 1) {
+    plan.shards = 1;
+    return plan;
+  }
+
+  // Group 0 (the transit core in the hier wiring) is pinned to shard 0 —
+  // the control shard — and pre-loads it; every other populated group is
+  // placed longest-first on the least-loaded shard. Ties break toward the
+  // lower group id / lower shard index, so the plan is deterministic.
+  std::vector<int> order;
+  for (int g = 1; g <= max_group; ++g) {
+    if (group_size[static_cast<std::size_t>(g)] > 0) order.push_back(g);
+  }
+  std::sort(order.begin(), order.end(), [&](int lhs, int rhs) {
+    const std::int64_t ls = group_size[static_cast<std::size_t>(lhs)];
+    const std::int64_t rs = group_size[static_cast<std::size_t>(rhs)];
+    if (ls != rs) return ls > rs;
+    return lhs < rhs;
+  });
+  std::vector<std::int64_t> load(static_cast<std::size_t>(plan.shards), 0);
+  load[0] = group_size[0];
+  std::vector<int> shard_of_group(static_cast<std::size_t>(max_group) + 1, 0);
+  for (const int g : order) {
+    const auto best = std::min_element(load.begin(), load.end());
+    shard_of_group[static_cast<std::size_t>(g)] =
+        static_cast<int>(best - load.begin());
+    *best += group_size[static_cast<std::size_t>(g)];
+  }
+  for (std::size_t n = 0; n < group_of_node.size(); ++n) {
+    plan.shard_of[n] =
+        shard_of_group[static_cast<std::size_t>(group_of_node[n])];
+  }
+  return plan;
+}
+
+// ---------------------------------------------------------------------------
+// ShardedSimulator
+
+namespace {
+
+/// Min-heap order on (when, seq) for the global-action queue.
+struct GlobalLater {
+  bool operator()(const auto& a, const auto& b) const noexcept {
+    if (a.when != b.when) return a.when > b.when;
+    return a.seq > b.seq;
+  }
+};
+
+}  // namespace
+
+ShardedSimulator::ShardedSimulator(int shards, Time lookahead)
+    : lookahead_(lookahead) {
+  if (shards < 1) throw std::invalid_argument("shard count must be >= 1");
+  shards_.reserve(static_cast<std::size_t>(shards));
+  for (int s = 0; s < shards; ++s) {
+    shards_.push_back(std::make_unique<Simulator>());
+  }
+  window_fired_.assign(static_cast<std::size_t>(shards), 0);
+  set_lookahead(lookahead);
+}
+
+ShardedSimulator::~ShardedSimulator() { stop_pool(); }
+
+void ShardedSimulator::set_lookahead(Time lookahead) {
+  if (std::isnan(lookahead) ||
+      (shard_count() > 1 && !(lookahead > 0.0))) {
+    throw std::invalid_argument("lookahead must be > 0 with multiple shards");
+  }
+  lookahead_ = lookahead;
+}
+
+void ShardedSimulator::set_threads(int threads) {
+  threads = std::clamp(threads, 1, shard_count());
+  if (threads == threads_) return;
+  stop_pool();
+  threads_ = threads;
+  if (threads_ <= 1) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_pool_ = false;
+    running_workers_ = 0;
+  }
+  pool_.reserve(static_cast<std::size_t>(threads_));
+  for (int i = 0; i < threads_; ++i) {
+    pool_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+void ShardedSimulator::stop_pool() {
+  if (pool_.empty()) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_pool_ = true;
+  }
+  cv_work_.notify_all();
+  for (std::thread& t : pool_) t.join();
+  pool_.clear();
+}
+
+void ShardedSimulator::worker_loop() {
+  std::uint64_t seen_round = 0;
+  for (;;) {
+    Time bound;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_work_.wait(lock,
+                    [&] { return stop_pool_ || round_ != seen_round; });
+      if (stop_pool_) return;
+      seen_round = round_;
+      bound = round_bound_;
+    }
+    const int k = shard_count();
+    for (;;) {
+      const int s = next_shard_.fetch_add(1, std::memory_order_relaxed);
+      if (s >= k) break;
+      window_fired_[static_cast<std::size_t>(s)] =
+          shards_[static_cast<std::size_t>(s)]->run_before(bound);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--running_workers_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+void ShardedSimulator::run_window(Time bound) {
+  if (pool_.empty()) {
+    for (int s = 0; s < shard_count(); ++s) {
+      window_fired_[static_cast<std::size_t>(s)] =
+          shards_[static_cast<std::size_t>(s)]->run_before(bound);
+    }
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    round_bound_ = bound;
+    next_shard_.store(0, std::memory_order_relaxed);
+    running_workers_ = static_cast<int>(pool_.size());
+    ++round_;
+  }
+  cv_work_.notify_all();
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_done_.wait(lock, [&] { return running_workers_ == 0; });
+}
+
+EventId ShardedSimulator::schedule(Time delay, EventAction action) {
+  if (shard_count() == 1) {
+    return shards_[0]->schedule(delay, std::move(action));
+  }
+  if (std::isnan(delay) || delay < 0.0) {
+    throw std::invalid_argument("event delay must be a number >= 0");
+  }
+  return schedule_at(facade_now_ + delay, std::move(action));
+}
+
+EventId ShardedSimulator::schedule_at(Time when, EventAction action) {
+  if (shard_count() > 1 && !(when >= facade_now_)) {
+    throw std::invalid_argument(
+        "event time must be finite and not in the past");
+  }
+  return shards_[0]->schedule_at(when, std::move(action));
+}
+
+void ShardedSimulator::cancel(EventId id) { shards_[0]->cancel(id); }
+
+void ShardedSimulator::schedule_global(Time when,
+                                       std::function<void()> action) {
+  if (!action) throw std::invalid_argument("empty action");
+  if (!std::isfinite(when) || when < now()) {
+    throw std::invalid_argument(
+        "global action time must be finite and not in the past");
+  }
+  if (shard_count() == 1) {
+    shards_[0]->schedule_at(when, [fn = std::move(action)] { fn(); });
+    return;
+  }
+  globals_.push_back(GlobalAction{when, next_global_seq_++, std::move(action)});
+  std::push_heap(globals_.begin(), globals_.end(), GlobalLater{});
+}
+
+std::size_t ShardedSimulator::run_windows(Time target,
+                                          std::size_t max_events) {
+  std::size_t fired_total = 0;
+  while (fired_total < max_events) {
+    // Drain any cross-shard traffic queued outside a window (pre-run
+    // facade sends, global actions) so it participates in the horizon.
+    if (barrier_hook_) barrier_hook_(window_start_);
+
+    Time horizon = std::numeric_limits<Time>::infinity();
+    for (const auto& shard : shards_) {
+      horizon = std::min(horizon, shard->next_event_when());
+    }
+    if (!globals_.empty()) horizon = std::min(horizon, globals_.front().when);
+    if (horizon == std::numeric_limits<Time>::infinity() || horizon > target) {
+      break;
+    }
+    facade_now_ = std::max(facade_now_, horizon);
+
+    // Global actions due at the window start run first, single-threaded,
+    // with every shard settled strictly before `horizon`; then loop so
+    // whatever they scheduled or reconfigured reshapes the horizon.
+    if (!globals_.empty() && globals_.front().when <= horizon) {
+      while (!globals_.empty() && globals_.front().when <= horizon) {
+        std::pop_heap(globals_.begin(), globals_.end(), GlobalLater{});
+        GlobalAction g = std::move(globals_.back());
+        globals_.pop_back();
+        g.fn();
+      }
+      continue;
+    }
+
+    // Window [horizon, bound): every cross-shard arrival produced inside
+    // is ≥ horizon + lookahead ≥ bound, so the shards are independent.
+    // nextafter keeps run_until's inclusive contract: events exactly at
+    // `target` fire, events beyond it wait. A pending global action also
+    // clamps the window — it must observe the world as of its own time,
+    // ahead of any same-or-later event (its `when` is > horizon here, so
+    // progress is preserved).
+    Time bound =
+        std::min(horizon + lookahead_,
+                 std::nextafter(target, std::numeric_limits<Time>::infinity()));
+    if (!globals_.empty()) bound = std::min(bound, globals_.front().when);
+    run_window(bound);
+    ++windows_;
+    if (windows_counter_ != nullptr) windows_counter_->add(1);
+    for (int s = 0; s < shard_count(); ++s) {
+      const std::size_t fired = window_fired_[static_cast<std::size_t>(s)];
+      fired_total += fired;
+      if (fired == 0) {
+        ++stalls_;
+        if (stalls_counter_ != nullptr) stalls_counter_->add(1);
+      }
+    }
+    window_start_ = std::max(window_start_, bound);
+  }
+  return fired_total;
+}
+
+std::size_t ShardedSimulator::run_until(Time until) {
+  if (shard_count() == 1) return shards_[0]->run_until(until);
+  const std::size_t fired =
+      run_windows(until, std::numeric_limits<std::size_t>::max());
+  facade_now_ = std::max(facade_now_, until);
+  return fired;
+}
+
+std::size_t ShardedSimulator::run_all(std::size_t max_events) {
+  if (shard_count() == 1) return shards_[0]->run_all(max_events);
+  // The runaway backstop is checked at window granularity, so slightly
+  // more than max_events may fire (the tail window completes).
+  const std::size_t fired =
+      run_windows(std::numeric_limits<Time>::infinity(), max_events);
+  for (const auto& shard : shards_) {
+    facade_now_ = std::max(facade_now_, shard->now());
+  }
+  return fired;
+}
+
+bool ShardedSimulator::idle() const noexcept {
+  if (!globals_.empty()) return false;
+  for (const auto& shard : shards_) {
+    if (!shard->idle()) return false;
+  }
+  return true;
+}
+
+std::size_t ShardedSimulator::processed() const noexcept {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard->processed();
+  return total;
+}
+
+std::size_t ShardedSimulator::pending() const noexcept {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard->pending();
+  return total;
+}
+
+Simulator::PoolStats ShardedSimulator::pool_stats() const noexcept {
+  Simulator::PoolStats total;
+  for (const auto& shard : shards_) {
+    const Simulator::PoolStats s = shard->pool_stats();
+    total.slots += s.slots;
+    total.free_slots += s.free_slots;
+    total.heap_actions += s.heap_actions;
+  }
+  return total;
+}
+
+void ShardedSimulator::set_telemetry(obs::Telemetry* telemetry) {
+  telemetry_ = telemetry;
+  if (shard_count() == 1) {
+    shards_[0]->set_telemetry(telemetry);
+    return;
+  }
+  for (const auto& shard : shards_) shard->set_telemetry(nullptr);
+  shard_telemetry_.clear();
+  windows_counter_ = nullptr;
+  stalls_counter_ = nullptr;
+  if (telemetry == nullptr) return;
+  windows_counter_ = &telemetry->metrics.counter("smrp.sim.shard_windows");
+  stalls_counter_ = &telemetry->metrics.counter("smrp.sim.shard_stalls");
+  shard_telemetry_.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    auto bundle = std::make_unique<obs::Telemetry>();
+    if (telemetry->sampling_enabled()) {
+      bundle->enable_sampling(telemetry->sample_period());
+    }
+    shard->set_telemetry(bundle.get());
+    shard_telemetry_.push_back(std::move(bundle));
+  }
+}
+
+obs::Telemetry* ShardedSimulator::shard_telemetry(int s) noexcept {
+  if (shard_count() == 1 ||
+      static_cast<std::size_t>(s) >= shard_telemetry_.size()) {
+    return nullptr;
+  }
+  return shard_telemetry_[static_cast<std::size_t>(s)].get();
+}
+
+void ShardedSimulator::merge_telemetry() {
+  if (shard_count() == 1 || telemetry_ == nullptr ||
+      shard_telemetry_.empty()) {
+    return;
+  }
+  // Detach first: the bundles die with this merge, and the shards cache
+  // instrument handles into them.
+  for (const auto& shard : shards_) shard->set_telemetry(nullptr);
+  for (int s = 0; s < shard_count(); ++s) {
+    telemetry_->absorb_shard(*shard_telemetry_[static_cast<std::size_t>(s)],
+                             s);
+  }
+  shard_telemetry_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// ShardedSimNetwork
+
+ShardedSimNetwork::ShardedSimNetwork(const net::Graph& graph, ShardPlan plan,
+                                     NetworkConfig config)
+    : plan_(std::move(plan)), graph_(&graph), sim_(plan_.shards) {
+  const auto nodes = static_cast<std::size_t>(graph.node_count());
+  if (plan_.shard_of.empty()) plan_.shard_of.assign(nodes, 0);
+  if (plan_.shard_of.size() != nodes) {
+    throw std::invalid_argument("shard plan does not cover the graph");
+  }
+  for (const int s : plan_.shard_of) {
+    if (s < 0 || s >= plan_.shards) {
+      throw std::invalid_argument("shard plan entry out of range");
+    }
+  }
+  const int k = plan_.shards;
+  net_.reserve(static_cast<std::size_t>(k));
+  for (int s = 0; s < k; ++s) {
+    NetworkConfig shard_config = config;
+    // Independent per-shard loss streams (shard 0 keeps the caller's seed,
+    // so one shard is byte-identical to the sequential network).
+    shard_config.loss_seed =
+        config.loss_seed +
+        0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(s);
+    net_.push_back(
+        std::make_unique<SimNetwork>(sim_.shard(s), graph, shard_config));
+    if (k > 1) net_.back()->set_cross_shard(this, s);
+  }
+  if (k > 1) {
+    queues_.resize(static_cast<std::size_t>(k) * static_cast<std::size_t>(k));
+    Time lookahead = std::numeric_limits<Time>::infinity();
+    for (net::LinkId l = 0; l < graph.link_count(); ++l) {
+      const net::Link& link = graph.link(l);
+      if (shard_of(link.a) != shard_of(link.b)) {
+        lookahead = std::min(lookahead, net_[0]->link_latency(l));
+      }
+    }
+    sim_.set_lookahead(lookahead);
+    sim_.set_barrier_hook([this](Time window_end) { drain(window_end); });
+  }
+}
+
+void ShardedSimNetwork::set_handler(NodeId node, SimNetwork::Handler handler) {
+  if (!graph_->valid_node(node)) throw std::out_of_range("bad node");
+  net_[static_cast<std::size_t>(shard_of(node))]->set_handler(
+      node, std::move(handler));
+}
+
+bool ShardedSimNetwork::send(NodeId from, NodeId to, Message message) {
+  if (!graph_->valid_node(from)) throw std::out_of_range("bad node");
+  return net_[static_cast<std::size_t>(shard_of(from))]->send(
+      from, to, std::move(message));
+}
+
+int ShardedSimNetwork::broadcast(NodeId from, const Message& message) {
+  if (!graph_->valid_node(from)) throw std::out_of_range("bad node");
+  return net_[static_cast<std::size_t>(shard_of(from))]->broadcast(from,
+                                                                   message);
+}
+
+void ShardedSimNetwork::set_link_up(LinkId link, bool up) {
+  for (const auto& net : net_) net->set_link_up(link, up);
+}
+
+bool ShardedSimNetwork::link_up(LinkId link) const {
+  return net_[0]->link_up(link);
+}
+
+void ShardedSimNetwork::set_node_up(NodeId node, bool up) {
+  for (const auto& net : net_) net->set_node_up(node, up);
+}
+
+bool ShardedSimNetwork::node_up(NodeId node) const {
+  return net_[0]->node_up(node);
+}
+
+void ShardedSimNetwork::set_loss_probability(double p) {
+  for (const auto& net : net_) net->set_loss_probability(p);
+}
+
+Time ShardedSimNetwork::link_latency(LinkId link) const {
+  return net_[0]->link_latency(link);
+}
+
+std::uint64_t ShardedSimNetwork::messages_sent() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& net : net_) total += net->messages_sent();
+  return total;
+}
+
+std::uint64_t ShardedSimNetwork::messages_delivered() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& net : net_) total += net->messages_delivered();
+  return total;
+}
+
+std::uint64_t ShardedSimNetwork::messages_dropped() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& net : net_) total += net->messages_dropped();
+  return total;
+}
+
+SimNetwork::PoolStats ShardedSimNetwork::pool_stats() const noexcept {
+  SimNetwork::PoolStats total;
+  for (const auto& net : net_) {
+    const SimNetwork::PoolStats s = net->pool_stats();
+    total.envelopes += s.envelopes;
+    total.free += s.free;
+  }
+  return total;
+}
+
+void ShardedSimNetwork::set_telemetry(obs::Telemetry* telemetry) {
+  if (shard_count() == 1) {
+    sim_.set_telemetry(telemetry);
+    net_[0]->set_telemetry(telemetry);
+    return;
+  }
+  sim_.set_telemetry(telemetry);
+  cross_counter_ = nullptr;
+  for (int s = 0; s < shard_count(); ++s) {
+    net_[static_cast<std::size_t>(s)]->set_telemetry(sim_.shard_telemetry(s));
+  }
+  if (telemetry != nullptr) {
+    cross_counter_ = &telemetry->metrics.counter("smrp.sim.shard_cross_msgs");
+  }
+}
+
+void ShardedSimNetwork::merge_telemetry() {
+  if (shard_count() > 1) {
+    // The shard bundles die inside sim_.merge_telemetry(); detach the
+    // networks' cached handles first.
+    for (const auto& net : net_) net->set_telemetry(nullptr);
+  }
+  sim_.merge_telemetry();
+}
+
+void ShardedSimNetwork::enqueue(int src_shard, NodeId from, NodeId to,
+                                LinkId link, Time when,
+                                const Message& message) {
+  auto& queue = queues_[static_cast<std::size_t>(src_shard) *
+                            static_cast<std::size_t>(plan_.shards) +
+                        static_cast<std::size_t>(shard_of(to))];
+  queue.push_back(
+      CrossMsg{when, src_shard, queue.size(), from, to, link, message});
+}
+
+void ShardedSimNetwork::drain(Time /*window_end*/) {
+  const int k = plan_.shards;
+  for (int dst = 0; dst < k; ++dst) {
+    drain_buf_.clear();
+    for (int src = 0; src < k; ++src) {
+      auto& queue = queues_[static_cast<std::size_t>(src) *
+                                static_cast<std::size_t>(k) +
+                            static_cast<std::size_t>(dst)];
+      for (CrossMsg& msg : queue) drain_buf_.push_back(std::move(msg));
+      queue.clear();
+    }
+    if (drain_buf_.empty()) continue;
+    // The determinism rule: arrivals are admitted to the destination
+    // wheel in (when, src_shard, seq) order, so the sequence numbers they
+    // draw — and every FIFO tie-break downstream — are independent of
+    // which worker thread ran which shard.
+    std::sort(drain_buf_.begin(), drain_buf_.end(),
+              [](const CrossMsg& a, const CrossMsg& b) {
+                if (a.when != b.when) return a.when < b.when;
+                if (a.src_shard != b.src_shard) {
+                  return a.src_shard < b.src_shard;
+                }
+                return a.seq < b.seq;
+              });
+    for (const CrossMsg& msg : drain_buf_) {
+      net_[static_cast<std::size_t>(dst)]->deliver_at(
+          msg.from, msg.to, msg.link, msg.when, msg.message);
+    }
+    cross_messages_ += drain_buf_.size();
+    if (cross_counter_ != nullptr) {
+      cross_counter_->add(drain_buf_.size());
+    }
+  }
+}
+
+}  // namespace smrp::sim

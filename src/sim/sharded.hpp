@@ -1,0 +1,285 @@
+// Sharded conservative parallel DES (DESIGN.md §15): N per-shard timing
+// wheels advancing in lockstep barrier windows of width equal to the
+// lookahead — the minimum latency of any link that crosses a shard
+// boundary. Within a window [W, W + L) every shard fires its own events
+// independently (no shared state, one thread per shard at most); any send
+// whose destination another shard owns is queued on a per-(src, dst) pair
+// queue with its precomputed arrival time, which conservativeness
+// guarantees is ≥ W + L, i.e. beyond the window every shard is currently
+// draining. At the barrier the coordinator drains the queues
+// single-threaded in (when, src_shard, seq) order and schedules the
+// arrivals on the owning shards, so the whole run is bit-deterministic
+// for a fixed shard count — regardless of worker-thread count — and a
+// 1-shard facade degrades to the exact sequential wheel (pure
+// delegation, byte-identical including telemetry).
+//
+// The shard unit is the transit-stub domain (hier::make_shard_plan maps
+// domains onto shards, pinning the transit core to shard 0); the plan
+// type lives here so sim stays free of hier dependencies.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace smrp::sim {
+
+/// Node → shard ownership map. Shard indices are dense in [0, shards).
+struct ShardPlan {
+  int shards = 1;
+  /// Owning shard per node id; empty means "everything on shard 0".
+  std::vector<int> shard_of;
+};
+
+/// Generic plan builder: nodes are grouped (group = transit-stub domain in
+/// the hier wiring; group 0 is pinned to shard 0, which also makes it the
+/// control shard), the effective shard count is clamped to the number of
+/// groups, and the remaining groups are assigned longest-processing-time
+/// greedily — sorted by (size desc, id asc), each to the least-loaded
+/// shard — so the assignment is deterministic and balanced. Throws
+/// std::invalid_argument on a negative group id.
+[[nodiscard]] ShardPlan build_shard_plan(const std::vector<int>& group_of_node,
+                                         int shards);
+
+/// K timing wheels plus the barrier-window coordinator. With one shard
+/// every call is pure delegation to the underlying Simulator — the
+/// sequential wheel's behaviour, byte for byte. With K > 1 the facade
+/// clock advances window by window; schedule()/cancel() address the
+/// control shard (shard 0), node-scoped work goes through shard(s)
+/// directly (ShardedSimNetwork routes by ownership).
+class ShardedSimulator {
+ public:
+  /// `lookahead` is the barrier-window width; +inf (the default) means
+  /// "no cross-shard coupling" and lets a window run to the target time.
+  /// Must be > 0 when shards > 1.
+  explicit ShardedSimulator(
+      int shards, Time lookahead = std::numeric_limits<Time>::infinity());
+  ~ShardedSimulator();
+
+  ShardedSimulator(const ShardedSimulator&) = delete;
+  ShardedSimulator& operator=(const ShardedSimulator&) = delete;
+
+  [[nodiscard]] int shard_count() const noexcept {
+    return static_cast<int>(shards_.size());
+  }
+  [[nodiscard]] Simulator& shard(int s) { return *shards_[s]; }
+  [[nodiscard]] const Simulator& shard(int s) const { return *shards_[s]; }
+
+  [[nodiscard]] Time lookahead() const noexcept { return lookahead_; }
+  void set_lookahead(Time lookahead);
+
+  /// Worker threads used per window, clamped to [1, shard_count()]. 1 (or
+  /// one shard) runs windows inline on the caller; more spin up a
+  /// persistent pool. Call between runs only. Any value yields identical
+  /// results — threads only change who executes a shard's window.
+  void set_threads(int threads);
+  [[nodiscard]] int threads() const noexcept { return threads_; }
+
+  // -- Simulator-compatible facade ------------------------------------
+  [[nodiscard]] Time now() const noexcept {
+    return shard_count() == 1 ? shards_[0]->now() : facade_now_;
+  }
+  EventId schedule(Time delay, EventAction action);
+  EventId schedule_at(Time when, EventAction action);
+  void cancel(EventId id);
+  std::size_t run_until(Time until);
+  std::size_t run_all(std::size_t max_events = 10'000'000);
+  [[nodiscard]] bool idle() const noexcept;
+  [[nodiscard]] std::size_t processed() const noexcept;
+  [[nodiscard]] std::size_t pending() const noexcept;
+
+  /// Summed event-pool occupancy across shards (the sharded counterpart
+  /// of Simulator::pool_stats(); the alloc-hook test asserts the sum
+  /// invariant against the per-shard stats).
+  [[nodiscard]] Simulator::PoolStats pool_stats() const noexcept;
+
+  /// Run `action` at the first window barrier at or after `when`, with
+  /// every shard settled strictly before the barrier time —
+  /// single-threaded, so it may safely touch any shard (fault injection,
+  /// measurements). Barriers are derived from event times only, so the
+  /// execution point is deterministic. With one shard this is an ordinary
+  /// shard-0 event at `when`. Actions queued at the same time run in
+  /// submission order.
+  void schedule_global(Time when, std::function<void()> action);
+
+  /// Coordinator hook run single-threaded after every window join, before
+  /// the next window launches (ShardedSimNetwork drains its cross-shard
+  /// queues here). The argument is the window end = next window start.
+  void set_barrier_hook(std::function<void(Time)> hook) {
+    barrier_hook_ = std::move(hook);
+  }
+
+  /// Barrier windows executed and idle shard-windows (a shard that had no
+  /// event to fire inside a window) — the parallel efficiency story.
+  /// Always 0 with one shard (no windows, pure delegation).
+  [[nodiscard]] std::uint64_t windows() const noexcept { return windows_; }
+  [[nodiscard]] std::uint64_t stalls() const noexcept { return stalls_; }
+
+  /// With one shard: attach `telemetry` straight to the underlying wheel
+  /// (byte-identical to the sequential simulator). With K > 1: register
+  /// the facade counters (`smrp.sim.shard_windows`, `.shard_stalls`) on
+  /// `telemetry` and give every shard a private bundle (sampling armed to
+  /// match) so worker threads never share a registry; merge_telemetry()
+  /// folds the shard bundles back into `telemetry` after the run.
+  void set_telemetry(obs::Telemetry* telemetry);
+
+  /// Per-shard bundle (K > 1 after set_telemetry; null otherwise). The
+  /// network layer attaches each shard's SimNetwork to this same bundle.
+  [[nodiscard]] obs::Telemetry* shard_telemetry(int s) noexcept;
+
+  /// Fold every shard bundle into the facade telemetry: counters and
+  /// histograms summed under their own names, gauges renamed
+  /// `<name>.shard<k>`, samples appended in (t, name) order. Idempotent
+  /// per run (the bundles are drained); no-op with one shard.
+  void merge_telemetry();
+
+ private:
+  struct GlobalAction {
+    Time when;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+
+  std::size_t run_windows(Time target, std::size_t max_events);
+  void run_window(Time bound);
+  void worker_loop();
+  void stop_pool();
+
+  std::vector<std::unique_ptr<Simulator>> shards_;
+  Time lookahead_;
+  Time window_start_ = 0.0;
+  Time facade_now_ = 0.0;
+  std::uint64_t windows_ = 0;
+  std::uint64_t stalls_ = 0;
+  std::vector<GlobalAction> globals_;  ///< min-heap on (when, seq)
+  std::uint64_t next_global_seq_ = 1;
+  std::function<void(Time)> barrier_hook_;
+  std::vector<std::size_t> window_fired_;
+
+  // Worker pool (threads_ > 1 and K > 1 only): coordinator publishes a
+  // round under mu_, workers claim shard indices from an atomic counter,
+  // the last one out signals done. All shard state crosses threads via
+  // the mutex, so the scheme is race-free by construction (TSan-checked).
+  int threads_ = 1;
+  std::vector<std::thread> pool_;
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  std::uint64_t round_ = 0;
+  Time round_bound_ = 0.0;
+  std::atomic<int> next_shard_{0};
+  int running_workers_ = 0;
+  bool stop_pool_ = false;
+
+  obs::Telemetry* telemetry_ = nullptr;
+  std::vector<std::unique_ptr<obs::Telemetry>> shard_telemetry_;
+  obs::Counter* windows_counter_ = nullptr;
+  obs::Counter* stalls_counter_ = nullptr;
+};
+
+/// The sharded data plane: one SimNetwork per shard over the shared
+/// graph, wired to a ShardedSimulator it owns. Sends whose destination
+/// lives on another shard ride the per-(src, dst) pair queues (written
+/// only by the source shard's worker inside a window, drained only by
+/// the coordinator at the barrier — SPSC without locks); everything else
+/// is the plain SimNetwork fast path. Failure state (link/node up,
+/// loss probability) is replicated to every shard so in-flight checks
+/// agree; mutate it before the run or from a schedule_global action.
+///
+/// Transient loss draws come from per-shard RNG streams: a fixed shard
+/// count reproduces bit-identically across runs and thread counts, but
+/// the loss *pattern* differs from the sequential wheel's single stream
+/// (differential tests against shards=1 therefore run lossless).
+class ShardedSimNetwork final : public CrossShardRouter {
+ public:
+  ShardedSimNetwork(const net::Graph& graph, ShardPlan plan,
+                    NetworkConfig config = {});
+
+  [[nodiscard]] ShardedSimulator& sim() noexcept { return sim_; }
+  [[nodiscard]] const net::Graph& graph() const noexcept { return *graph_; }
+  [[nodiscard]] int shard_count() const noexcept {
+    return sim_.shard_count();
+  }
+  [[nodiscard]] int shard_of(NodeId node) const {
+    return plan_.shard_of[static_cast<std::size_t>(node)];
+  }
+  [[nodiscard]] SimNetwork& network(int s) { return *net_[s]; }
+  [[nodiscard]] Simulator& simulator(int s) { return sim_.shard(s); }
+  /// The wheel that owns `node` — schedule node-scoped timers here.
+  [[nodiscard]] Simulator& simulator_of(NodeId node) {
+    return sim_.shard(shard_of(node));
+  }
+
+  /// Minimum latency over links whose endpoints live on different shards
+  /// (+inf with one shard / no crossing links) — the window width.
+  [[nodiscard]] Time lookahead() const noexcept { return sim_.lookahead(); }
+
+  // -- SimNetwork-compatible facade, routed by ownership ---------------
+  void set_handler(NodeId node, SimNetwork::Handler handler);
+  bool send(NodeId from, NodeId to, Message message);
+  int broadcast(NodeId from, const Message& message);
+  void set_link_up(LinkId link, bool up);
+  [[nodiscard]] bool link_up(LinkId link) const;
+  void set_node_up(NodeId node, bool up);
+  [[nodiscard]] bool node_up(NodeId node) const;
+  void set_loss_probability(double p);
+  [[nodiscard]] Time link_latency(LinkId link) const;
+
+  [[nodiscard]] std::uint64_t messages_sent() const noexcept;
+  [[nodiscard]] std::uint64_t messages_delivered() const noexcept;
+  [[nodiscard]] std::uint64_t messages_dropped() const noexcept;
+  /// Messages that crossed a shard boundary (0 with one shard).
+  [[nodiscard]] std::uint64_t cross_messages() const noexcept {
+    return cross_messages_;
+  }
+
+  /// Summed envelope-pool occupancy across shard networks.
+  [[nodiscard]] SimNetwork::PoolStats pool_stats() const noexcept;
+
+  /// One shard: attach to the single network + wheel (byte-identical to
+  /// the sequential pair). K > 1: facade counters (including
+  /// `smrp.sim.shard_cross_msgs`) on `telemetry`, per-shard bundles on
+  /// the shard networks; call merge_telemetry() after the run.
+  void set_telemetry(obs::Telemetry* telemetry);
+  void merge_telemetry();
+
+  // CrossShardRouter (called by shard networks; not for external use).
+  [[nodiscard]] bool is_remote(int src_shard, NodeId to) const noexcept override {
+    return plan_.shard_of[static_cast<std::size_t>(to)] != src_shard;
+  }
+  void enqueue(int src_shard, NodeId from, NodeId to, LinkId link, Time when,
+               const Message& message) override;
+
+ private:
+  struct CrossMsg {
+    Time when;
+    int src_shard;
+    std::uint64_t seq;  ///< enqueue order within the (src, dst) pair
+    NodeId from;
+    NodeId to;
+    LinkId link;
+    Message message;
+  };
+
+  void drain(Time window_end);
+
+  ShardPlan plan_;
+  const net::Graph* graph_;
+  ShardedSimulator sim_;
+  std::vector<std::unique_ptr<SimNetwork>> net_;
+  std::vector<std::vector<CrossMsg>> queues_;  ///< [src * K + dst]
+  std::vector<CrossMsg> drain_buf_;
+  std::uint64_t cross_messages_ = 0;
+  obs::Counter* cross_counter_ = nullptr;
+};
+
+}  // namespace smrp::sim

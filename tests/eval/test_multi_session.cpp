@@ -131,6 +131,51 @@ TEST(MultiSessionSampling, ZipfStaysInRangeAndSkewsSmall) {
   EXPECT_GT(small, kDraws / 2);
 }
 
+TEST(MultiSessionDriver, RunSeededIsShardInvariant) {
+  // The DESIGN.md §15 contract bench_scale's det_* gate rides on: every
+  // deterministic aggregate is byte-identical for any shard count,
+  // because session i's whole random stream is trial_seed(seed, i) and
+  // the per-shard oracles answer identically to a shared one. Only the
+  // cache-hit split may move (partitioned snapshot caches).
+  const net::Graph g = small_waxman(44);
+  for (const SessionEngine engine :
+       {SessionEngine::kSmrp, SessionEngine::kSpf}) {
+    MultiSessionReport base;
+    {
+      MultiSessionDriver driver(g, small_params(engine));
+      base = driver.run_seeded(0xD5ULL);
+    }
+    EXPECT_GT(base.aggregate_members, 0);
+    for (const int shards : {2, 3, 8}) {
+      MultiSessionParams p = small_params(engine);
+      p.shards = shards;
+      MultiSessionDriver driver(g, p);
+      const MultiSessionReport r = driver.run_seeded(0xD5ULL);
+      EXPECT_EQ(r.aggregate_members, base.aggregate_members) << shards;
+      EXPECT_EQ(r.join_ops, base.join_ops) << shards;
+      EXPECT_EQ(r.leave_ops, base.leave_ops) << shards;
+      EXPECT_EQ(r.churn_events, base.churn_events) << shards;
+      EXPECT_EQ(r.tree_links, base.tree_links) << shards;
+      EXPECT_EQ(r.reshapes, base.reshapes) << shards;
+      EXPECT_EQ(r.fallback_joins, base.fallback_joins) << shards;
+      EXPECT_EQ(r.total_tree_cost, base.total_tree_cost) << shards;
+      EXPECT_EQ(r.oracle.lookups, base.oracle.lookups) << shards;
+      for (int i = 0; i < driver.session_count(); ++i) {
+        ASSERT_NO_THROW(driver.session_tree(i).validate()) << "session " << i;
+      }
+    }
+  }
+}
+
+TEST(MultiSessionDriver, RunSeededRunsOncePerDriver) {
+  const net::Graph g = small_waxman(45);
+  MultiSessionDriver driver(g, small_params(SessionEngine::kSpf));
+  driver.run_seeded(1);
+  EXPECT_THROW(driver.run_seeded(1), std::logic_error);
+  net::Rng rng(1);
+  EXPECT_THROW(driver.run(rng), std::logic_error);
+}
+
 TEST(MultiSessionSampling, PoissonMatchesMeanRoughly) {
   net::Rng rng(321);
   constexpr int kDraws = 8000;

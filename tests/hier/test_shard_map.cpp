@@ -1,0 +1,202 @@
+// Shard-plan edge cases (DESIGN.md §15): the generic LPT builder in
+// sim::build_shard_plan and the transit-stub wiring in
+// hier::make_shard_plan. The hard cases a real topology rarely shows —
+// single-domain graphs, a node whose every link crosses domains, empty
+// stub domains — must degrade to sane plans, not corrupt ones.
+#include "hier/shard_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "net/rng.hpp"
+#include "net/transit_stub.hpp"
+#include "sim/network.hpp"
+#include "sim/sharded.hpp"
+
+namespace smrp::hier {
+namespace {
+
+using sim::ShardPlan;
+using sim::build_shard_plan;
+
+net::TransitStubTopology make_topology(std::uint64_t seed = 7) {
+  net::Rng rng(seed);
+  net::TransitStubParams p;
+  p.transit_nodes = 4;
+  p.stubs_per_transit = 2;
+  p.stub_size = 4;
+  return net::generate_transit_stub(p, rng);
+}
+
+std::vector<int> shard_loads(const ShardPlan& plan) {
+  std::vector<int> load(static_cast<std::size_t>(plan.shards), 0);
+  for (const int s : plan.shard_of) ++load[static_cast<std::size_t>(s)];
+  return load;
+}
+
+TEST(BuildShardPlan, TrivialInputsCollapseToOneShard) {
+  EXPECT_EQ(build_shard_plan({}, 4).shards, 1);
+  EXPECT_TRUE(build_shard_plan({}, 4).shard_of.empty());
+
+  const ShardPlan one = build_shard_plan({0, 1, 2, 1}, 1);
+  EXPECT_EQ(one.shards, 1);
+  EXPECT_EQ(one.shard_of, std::vector<int>({0, 0, 0, 0}));
+
+  const ShardPlan zero = build_shard_plan({0, 1}, 0);
+  EXPECT_EQ(zero.shards, 1);
+}
+
+TEST(BuildShardPlan, NegativeGroupThrows) {
+  EXPECT_THROW(build_shard_plan({0, -1, 2}, 2), std::invalid_argument);
+}
+
+TEST(BuildShardPlan, SingleGroupTopologyClampsToOneShard) {
+  // Every node in group 0: asking for 8 shards must not create 7 empty
+  // wheels (windows over empty shards are pure overhead).
+  const ShardPlan plan = build_shard_plan(std::vector<int>(16, 0), 8);
+  EXPECT_EQ(plan.shards, 1);
+  EXPECT_TRUE(std::all_of(plan.shard_of.begin(), plan.shard_of.end(),
+                          [](int s) { return s == 0; }));
+}
+
+TEST(BuildShardPlan, ClampsToPopulatedGroupsSkippingGaps) {
+  // Groups 0, 3, 7 populated; 1, 2, 4, 5, 6 are empty gaps (the shape an
+  // empty stub domain produces). Plan must use exactly 3 shards.
+  const std::vector<int> groups = {0, 0, 3, 3, 3, 7, 7};
+  const ShardPlan plan = build_shard_plan(groups, 16);
+  EXPECT_EQ(plan.shards, 3);
+  // Group 0 pinned to shard 0 (the control shard).
+  EXPECT_EQ(plan.shard_of[0], 0);
+  EXPECT_EQ(plan.shard_of[1], 0);
+  // Same group, same shard; distinct groups on distinct shards here
+  // (3 groups, 3 shards).
+  EXPECT_EQ(plan.shard_of[2], plan.shard_of[3]);
+  EXPECT_EQ(plan.shard_of[3], plan.shard_of[4]);
+  EXPECT_EQ(plan.shard_of[5], plan.shard_of[6]);
+  EXPECT_NE(plan.shard_of[2], 0);
+  EXPECT_NE(plan.shard_of[5], 0);
+  EXPECT_NE(plan.shard_of[2], plan.shard_of[5]);
+}
+
+TEST(BuildShardPlan, LptBalancesLoadDeterministically) {
+  // Group 0 size 2 (pinned), then sizes 6, 5, 4, 3 over 2 shards:
+  // LPT puts 6 on the emptier shard, then 5, 4, 3 greedily. Loads end
+  // within one group of each other and two identical calls agree exactly.
+  std::vector<int> groups(2, 0);
+  groups.insert(groups.end(), 6, 1);
+  groups.insert(groups.end(), 5, 2);
+  groups.insert(groups.end(), 4, 3);
+  groups.insert(groups.end(), 3, 4);
+  const ShardPlan a = build_shard_plan(groups, 2);
+  const ShardPlan b = build_shard_plan(groups, 2);
+  EXPECT_EQ(a.shard_of, b.shard_of);
+  ASSERT_EQ(a.shards, 2);
+  const auto load = shard_loads(a);
+  EXPECT_EQ(load[0] + load[1], static_cast<int>(groups.size()));
+  EXPECT_LE(std::abs(load[0] - load[1]), 4);
+  // Groups never split across shards.
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    for (std::size_t j = i + 1; j < groups.size(); ++j) {
+      if (groups[i] == groups[j]) {
+        EXPECT_EQ(a.shard_of[i], a.shard_of[j]);
+      }
+    }
+  }
+}
+
+TEST(MakeShardPlan, TransitCorePinsToControlShard) {
+  const auto topo = make_topology();
+  const ShardPlan plan = make_shard_plan(topo, 4);
+  EXPECT_EQ(plan.shards, 4);
+  ASSERT_EQ(plan.shard_of.size(),
+            static_cast<std::size_t>(topo.graph.node_count()));
+  for (const net::NodeId n : topo.nodes_of_domain[net::kTransitDomain]) {
+    EXPECT_EQ(plan.shard_of[static_cast<std::size_t>(n)], 0)
+        << "transit node " << n << " left the control shard";
+  }
+  // Every stub domain lands whole on one shard.
+  for (net::DomainId d = 1; d < topo.domain_count(); ++d) {
+    const auto& nodes = topo.nodes_of_domain[static_cast<std::size_t>(d)];
+    for (const net::NodeId n : nodes) {
+      EXPECT_EQ(plan.shard_of[static_cast<std::size_t>(n)],
+                plan.shard_of[static_cast<std::size_t>(nodes.front())]);
+    }
+  }
+}
+
+TEST(MakeShardPlan, MismatchedDomainMapThrows) {
+  auto topo = make_topology();
+  topo.domain_of_node.pop_back();
+  EXPECT_THROW(make_shard_plan(topo, 2), std::invalid_argument);
+}
+
+TEST(MakeShardPlan, EmptyStubDomainsAreSkipped) {
+  // Fabricate a topology whose domain list has an empty entry (a stub
+  // whose nodes were all reassigned): the plan clamps to populated
+  // domains and stays dense.
+  net::TransitStubTopology topo;
+  topo.graph = net::Graph(5);
+  topo.graph.add_link(0, 1, 1.0);
+  topo.graph.add_link(0, 3, 1.0);
+  topo.graph.add_link(1, 2, 1.0);
+  topo.graph.add_link(3, 4, 1.0);
+  topo.domain_of_node = {0, 1, 1, 3, 3};  // domain 2 exists but is empty
+  topo.gateway_of_domain = {net::kNoNode, 0, net::kNoNode, 0};
+  topo.nodes_of_domain = {{0}, {1, 2}, {}, {3, 4}};
+
+  const ShardPlan plan = make_shard_plan(topo, 8);
+  EXPECT_EQ(plan.shards, 3);  // transit + two populated stubs
+  for (const int s : plan.shard_of) {
+    EXPECT_GE(s, 0);
+    EXPECT_LT(s, plan.shards);
+  }
+}
+
+TEST(MakeShardPlan, PureBoundaryNodeStillDelivers) {
+  // A star: the hub is a transit node whose every link crosses a shard
+  // boundary (no intra-shard neighbor at all). Relaying through it must
+  // work — each hop is a cross-shard enqueue both ways.
+  net::TransitStubTopology topo;
+  topo.graph = net::Graph(4);
+  topo.graph.add_link(0, 1, 2.0);
+  topo.graph.add_link(0, 2, 2.0);
+  topo.graph.add_link(0, 3, 2.0);
+  topo.domain_of_node = {0, 1, 2, 3};
+  topo.gateway_of_domain = {net::kNoNode, 0, 0, 0};
+  topo.nodes_of_domain = {{0}, {1}, {2}, {3}};
+
+  const ShardPlan plan = make_shard_plan(topo, 4);
+  ASSERT_EQ(plan.shards, 4);
+  sim::ShardedSimNetwork net(topo.graph, plan);
+  ASSERT_GT(net.lookahead(), 0.0);
+
+  int hub_got = 0;
+  int leaves_got = 0;
+  net.set_handler(0, [&](net::NodeId from, const sim::Message& m) {
+    if (!std::holds_alternative<sim::DataMsg>(m)) return;
+    ++hub_got;
+    // Bounce to the next leaf round-robin.
+    const net::NodeId next = 1 + (from % 3);
+    if (hub_got <= 9) net.send(0, next, sim::DataMsg{std::get<sim::DataMsg>(m).seq + 1});
+  });
+  for (net::NodeId leaf = 1; leaf <= 3; ++leaf) {
+    net.set_handler(leaf, [&, leaf](net::NodeId, const sim::Message& m) {
+      if (!std::holds_alternative<sim::DataMsg>(m)) return;
+      ++leaves_got;
+      net.send(leaf, 0, m);
+    });
+  }
+  ASSERT_TRUE(net.send(1, 0, sim::DataMsg{1}));
+  net.sim().run_all();
+
+  EXPECT_EQ(hub_got, 10);
+  EXPECT_EQ(leaves_got, 9);
+  EXPECT_EQ(net.messages_sent(), net.messages_delivered());
+  EXPECT_EQ(net.cross_messages(), net.messages_sent());
+}
+
+}  // namespace
+}  // namespace smrp::hier
