@@ -3,7 +3,11 @@
 // searches, and the event core.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <thread>
+
 #include "eval/scenario.hpp"
+#include "net/transit_stub.hpp"
 #include "net/waxman.hpp"
 #include "sim/reference_simulator.hpp"
 #include "sim/simulator.hpp"
@@ -217,6 +221,195 @@ void BM_OracleJoinSweep(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 20);
 }
 BENCHMARK(BM_OracleJoinSweep)->Arg(100)->Arg(200);
+
+// ---------------------------------------------------------------------------
+// Shared-oracle hammers (DESIGN.md §16): K threads against ONE lock-striped
+// RoutingOracle on a transit-stub topology — the run_seeded worker shape.
+// BM_SharedOracleHammer is the hit path (prewarmed transit-core snapshots;
+// measures striped-lookup throughput as K grows). BM_SharedOracleMissSweep
+// is the dedup'd-miss case: every thread walks the same failure chain, so
+// concurrent misses on one key are memoized and the whole run computes each
+// key once (the `computed` counter vs `keys`). BM_PrivateOracle* are the
+// pre-§16 comparison — one oracle per thread, so each thread recomputes
+// every key and `computed` scales with K.
+
+net::TransitStubTopology hammer_topology() {
+  net::Rng rng(42);
+  net::TransitStubParams p;
+  p.transit_nodes = 12;
+  p.stubs_per_transit = 4;
+  p.stub_size = 8;  // 396 nodes: big enough to dwarf lock costs
+  return net::generate_transit_stub(p, rng);
+}
+
+net::RoutingOracle::Config hammer_config() {
+  net::RoutingOracle::Config config;
+  config.max_entries = 4096;  // no eviction: the sweep measures dedup
+  return config;
+}
+
+// google-benchmark only synchronizes threads at the state-loop boundary;
+// code before the loop races with thread 0's setup, so the hammers
+// publish their shared fixtures through this flag.
+std::atomic<bool> hammer_ready{false};
+
+void hammer_wait_ready(const benchmark::State& state) {
+  if (state.thread_index() != 0) {
+    while (!hammer_ready.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+  }
+}
+
+void BM_SharedOracleHammer(benchmark::State& state) {
+  static net::TransitStubTopology* topo = nullptr;
+  static net::RoutingOracle* oracle = nullptr;
+  if (state.thread_index() == 0) {
+    topo = new net::TransitStubTopology(hammer_topology());
+    oracle = new net::RoutingOracle(topo->graph, hammer_config());
+    for (const net::NodeId s : topo->nodes_of_domain[net::kTransitDomain]) {
+      oracle->spf(s);  // prewarm: the loop measures pure hits
+    }
+    hammer_ready.store(true, std::memory_order_release);
+  }
+  hammer_wait_ready(state);
+  const std::vector<net::NodeId>& sources =
+      topo->nodes_of_domain[net::kTransitDomain];
+  std::size_t i = static_cast<std::size_t>(state.thread_index());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(oracle->spf(sources[i % sources.size()]));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) {
+    const auto s = oracle->stats();
+    state.counters["hit_pct"] =
+        100.0 * static_cast<double>(s.cache_hits) /
+        static_cast<double>(s.lookups);
+    hammer_ready.store(false);
+    delete oracle;
+    delete topo;
+    oracle = nullptr;
+    topo = nullptr;
+  }
+}
+BENCHMARK(BM_SharedOracleHammer)
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime();
+
+void BM_SharedOracleMissSweep(benchmark::State& state) {
+  static net::TransitStubTopology* topo = nullptr;
+  static net::RoutingOracle* oracle = nullptr;
+  static std::vector<net::ExclusionSet>* chain = nullptr;
+  if (state.thread_index() == 0) {
+    topo = new net::TransitStubTopology(hammer_topology());
+    oracle = new net::RoutingOracle(topo->graph, hammer_config());
+    chain = new std::vector<net::ExclusionSet>(
+        failure_chain(topo->graph, 0, 200));
+  }
+  std::size_t i = 0;  // every thread walks the SAME key sequence
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(oracle->spf(0, (*chain)[i % chain->size()]));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) {
+    const auto s = oracle->stats();
+    // `computed` stays ~= keys at any K: concurrent misses dedup.
+    state.counters["computed"] = static_cast<double>(s.cache_misses);
+    state.counters["keys"] = static_cast<double>(chain->size());
+    delete chain;
+    delete oracle;
+    delete topo;
+    chain = nullptr;
+    oracle = nullptr;
+    topo = nullptr;
+  }
+}
+BENCHMARK(BM_SharedOracleMissSweep)
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime();
+
+void BM_PrivateOracleHammer(benchmark::State& state) {
+  static net::TransitStubTopology* topo = nullptr;
+  if (state.thread_index() == 0) {
+    topo = new net::TransitStubTopology(hammer_topology());
+    hammer_ready.store(true, std::memory_order_release);
+  }
+  hammer_wait_ready(state);
+  // Pre-§16 shape: each thread owns an oracle, so every thread pays its
+  // own prewarm (untimed here) and holds its own snapshot copies.
+  net::RoutingOracle oracle(topo->graph, hammer_config());
+  const std::vector<net::NodeId>& sources =
+      topo->nodes_of_domain[net::kTransitDomain];
+  for (const net::NodeId s : sources) oracle.spf(s);
+  std::size_t i = static_cast<std::size_t>(state.thread_index());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(oracle.spf(sources[i % sources.size()]));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) {
+    hammer_ready.store(false);
+    delete topo;
+    topo = nullptr;
+  }
+}
+BENCHMARK(BM_PrivateOracleHammer)
+    ->Threads(1)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime();
+
+void BM_PrivateOracleMissSweep(benchmark::State& state) {
+  static net::TransitStubTopology* topo = nullptr;
+  static std::vector<net::ExclusionSet>* chain = nullptr;
+  static std::atomic<std::uint64_t> computed{0};
+  static std::atomic<int> reported{0};
+  if (state.thread_index() == 0) {
+    topo = new net::TransitStubTopology(hammer_topology());
+    chain = new std::vector<net::ExclusionSet>(
+        failure_chain(topo->graph, 0, 200));
+    computed.store(0);
+    reported.store(0);
+    hammer_ready.store(true, std::memory_order_release);
+  }
+  hammer_wait_ready(state);
+  net::RoutingOracle oracle(topo->graph, hammer_config());
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(oracle.spf(0, (*chain)[i % chain->size()]));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+  computed.fetch_add(oracle.stats().cache_misses);
+  reported.fetch_add(1);
+  if (state.thread_index() == 0) {
+    // Post-loop code is not barrier-synchronized across benchmark
+    // threads; wait until every thread has folded its private count in.
+    while (reported.load() < state.threads()) std::this_thread::yield();
+    // K private caches recompute the chain K times over: the number the
+    // shared sweep's dedup removes.
+    state.counters["computed"] = static_cast<double>(computed.load());
+    state.counters["keys"] = static_cast<double>(chain->size());
+    hammer_ready.store(false);
+    delete chain;
+    delete topo;
+    chain = nullptr;
+    topo = nullptr;
+  }
+}
+BENCHMARK(BM_PrivateOracleMissSweep)
+    ->Threads(1)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime();
 
 void BM_GlobalDetour(benchmark::State& state) {
   const net::Graph g = make_graph(100);

@@ -97,10 +97,12 @@ struct EngineOptions {
   /// pool never outnumbers the trials, and `threads == 1` runs inline on
   /// the calling thread.
   int threads = 0;
-  /// Within-trial shard count handed to trial bodies (DESIGN.md §15):
-  /// bodies that build a ShardedSimulator / sharded MultiSessionDriver
-  /// read it off their TrialContext. Purely advisory plumbing — the
-  /// engine itself neither spawns nor limits shard workers.
+  /// Within-trial shard count handed to trial bodies (DESIGN.md §15,
+  /// §16): bodies that build a ShardedSimulator / sharded
+  /// MultiSessionDriver read it off their TrialContext (the driver's
+  /// workers all share one lock-striped RoutingOracle, so this scales
+  /// threads, not caches). Purely advisory plumbing — the engine itself
+  /// neither spawns nor limits shard workers.
   int shards = 1;
   bool collect_telemetry = false;
   /// Periodic gauge-sampling period (ms) applied to every telemetry

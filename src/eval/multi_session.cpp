@@ -171,15 +171,7 @@ MultiSessionReport MultiSessionDriver::finalize(
     report_.tree_links += static_cast<std::int64_t>(tree.tree_links().size());
     report_.total_tree_cost += tree.total_cost();
   }
-  for (const auto& oracle : shard_oracles_) {
-    const net::RoutingOracle::Stats s = oracle->stats();
-    report_.oracle.lookups += s.lookups;
-    report_.oracle.cache_hits += s.cache_hits;
-    report_.oracle.cache_misses += s.cache_misses;
-    report_.oracle.incremental_repairs += s.incremental_repairs;
-    report_.oracle.full_runs += s.full_runs;
-    report_.oracle.invalidations += s.invalidations;
-  }
+  report_.oracle += oracle_.stats();
   return report_;
 }
 
@@ -193,26 +185,22 @@ MultiSessionReport MultiSessionDriver::run_seeded(
 
   const int shards = std::clamp(params_.shards, 1, params_.sessions);
   sessions_.resize(static_cast<std::size_t>(params_.sessions));
-  shard_oracles_.clear();
-  shard_oracles_.reserve(static_cast<std::size_t>(shards));
-  for (int w = 0; w < shards; ++w) {
-    shard_oracles_.push_back(std::make_unique<net::RoutingOracle>(*g_));
-  }
 
   std::vector<MultiSessionReport> partials(
       static_cast<std::size_t>(shards));
   auto worker = [&](int w) {
-    net::RoutingOracle* oracle = shard_oracles_[static_cast<std::size_t>(w)]
-                                     .get();
     MultiSessionReport& local = partials[static_cast<std::size_t>(w)];
     // Round-robin deal: session i belongs to worker i % shards, and its
     // entire random stream is trial_seed(seed, i) — ownership, worker
-    // count, and completion order leave no trace in the outcome.
+    // count, and completion order leave no trace in the outcome. Every
+    // worker routes through the driver's one lock-striped oracle, so an
+    // SPF snapshot is computed once run-wide no matter which worker
+    // needs it first (DESIGN.md §16).
     for (int i = w; i < params_.sessions; i += shards) {
       net::Rng rng(trial_seed(seed, i));
       build_and_churn(sessions_[static_cast<std::size_t>(i)],
                       pool[static_cast<std::size_t>(i) % pool.size()], rng,
-                      oracle, local);
+                      &oracle_, local);
     }
   };
 

@@ -57,12 +57,14 @@ struct MultiSessionParams {
   double churn_events_per_session = 4.0;
   SessionEngine engine = SessionEngine::kSmrp;
   proto::SmrpConfig smrp{};
-  /// Shard workers for run_seeded() (DESIGN.md §15): sessions are dealt
-  /// round-robin to this many workers, each with its own RoutingOracle.
-  /// Session outcomes derive only from per-session RNG streams and the
-  /// (deterministic) oracle answers, so every aggregate except the
-  /// oracle cache-hit rate is byte-identical for any value. Clamped to
-  /// [1, sessions]; ignored by the legacy single-stream run().
+  /// Shard workers for run_seeded() (DESIGN.md §15, §16): sessions are
+  /// dealt round-robin to this many workers, all routing through the
+  /// driver's ONE lock-striped RoutingOracle. Session outcomes derive
+  /// only from per-session RNG streams and the (deterministic) oracle
+  /// answers, so every aggregate — including total oracle lookups — is
+  /// byte-identical for any value; only the cache hit/miss split moves
+  /// (a snapshot one worker computes is a hit for every other). Clamped
+  /// to [1, sessions]; ignored by the legacy single-stream run().
   int shards = 1;
 };
 
@@ -107,11 +109,13 @@ class MultiSessionDriver {
 
   /// Sharded counterpart of run(): session i draws every random decision
   /// from its own stream (trial_seed(seed, i)), sessions are dealt
-  /// round-robin to params.shards workers, and each worker routes through
-  /// a private RoutingOracle. All deterministic aggregates (members,
-  /// joins, links, costs) are byte-identical for any shard count — only
-  /// the oracle cache-hit split varies, because the snapshot caches are
-  /// partitioned. One driver runs exactly once (run() or run_seeded()).
+  /// round-robin to params.shards workers, and ALL workers route through
+  /// the driver's shared lock-striped oracle — identical (source,
+  /// exclusion) snapshots are computed once run-wide, not once per
+  /// worker. All deterministic aggregates (members, joins, links, costs,
+  /// oracle lookups) are byte-identical for any shard count — only the
+  /// hit/miss split varies with scheduling. One driver runs exactly once
+  /// (run() or run_seeded()).
   MultiSessionReport run_seeded(std::uint64_t seed,
                                 const std::vector<net::NodeId>& source_pool = {});
 
@@ -144,16 +148,14 @@ class MultiSessionDriver {
   /// recording into `report` only — the sharded workers' unit of work.
   void build_and_churn(Session& s, net::NodeId source, net::Rng& rng,
                        net::RoutingOracle* oracle, MultiSessionReport& report);
-  /// Fold the per-shard partial reports and the resident session state
-  /// into report_ (deterministic order: shard index, then session index).
+  /// Fold the per-shard partial reports, the resident session state, and
+  /// the shared oracle's counters into report_ (deterministic order:
+  /// shard index, then session index).
   MultiSessionReport finalize(std::vector<MultiSessionReport> partials);
 
   const net::Graph* g_;
   MultiSessionParams params_;
-  net::RoutingOracle oracle_;
-  /// run_seeded's per-shard oracles; sessions hold pointers into these,
-  /// so they live as long as the driver.
-  std::vector<std::unique_ptr<net::RoutingOracle>> shard_oracles_;
+  net::RoutingOracle oracle_;  ///< shared by run() and every run_seeded worker
   std::vector<Session> sessions_;
   std::vector<double> zipf_cdf_;  ///< cumulative, built once per driver
   MultiSessionReport report_;

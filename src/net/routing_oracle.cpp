@@ -3,15 +3,11 @@
 #include <algorithm>
 #include <functional>
 #include <stdexcept>
+#include <utility>
 
 namespace smrp::net {
 
 namespace {
-
-inline void bump(std::uint64_t& stat, obs::Counter* counter) noexcept {
-  ++stat;
-  if (counter != nullptr) counter->add(1);
-}
 
 /// Every banned id of `entry` is banned in `excluded` too. Combined with
 /// an exact size comparison this gives set equality (or equality minus a
@@ -30,6 +26,12 @@ bool links_subset(const std::vector<LinkId>& ids, const ExclusionSet& excluded) 
   return true;
 }
 
+std::size_t round_up_pow2(std::size_t x) {
+  std::size_t p = 1;
+  while (p < x) p <<= 1;
+  return p;
+}
+
 }  // namespace
 
 void RoutingOracle::WorkspaceLease::release() noexcept {
@@ -42,7 +44,35 @@ void RoutingOracle::WorkspaceLease::release() noexcept {
 RoutingOracle::RoutingOracle(const Graph& g) : RoutingOracle(g, Config{}) {}
 
 RoutingOracle::RoutingOracle(const Graph& g, Config config)
-    : g_(&g), config_(config), cached_version_(g.topology_version()) {}
+    : g_(&g),
+      config_(config),
+      recycler_(std::make_shared<TreeRecycler>()) {
+  const std::size_t stripes =
+      round_up_pow2(std::clamp<std::size_t>(config_.stripes, 1, 256));
+  stripe_mask_ = stripes - 1;
+  // The entry cap is approximate under striping: each stripe evicts
+  // independently at its share of max_entries, with a floor of 8 so an
+  // uneven key hash cannot thrash a popular stripe while others sit
+  // empty. (Worst-case resident entries is stripes * floor, reached only
+  // when every stripe is saturated.)
+  stripe_capacity_ =
+      std::max<std::size_t>(8, (config_.max_entries + stripes - 1) / stripes);
+  stripes_ = std::vector<Stripe>(stripes);
+  const std::uint64_t version = g.topology_version();
+  seen_version_.store(version, std::memory_order_relaxed);
+  for (Stripe& stripe : stripes_) stripe.seen_version = version;
+}
+
+void RoutingOracle::bump(std::atomic<std::uint64_t>& stat,
+                         obs::Counter* counter) {
+  stat.fetch_add(1, std::memory_order_relaxed);
+  if (counter != nullptr) {
+    // obs::Counter is not thread-safe; serialize the mirror. Detached
+    // telemetry (every concurrent bench/driver path) never takes this.
+    std::lock_guard<std::mutex> lock(telemetry_mu_);
+    counter->add(1);
+  }
+}
 
 RoutingOracle::TreePtr RoutingOracle::spf(NodeId source) {
   return spf(source, ExclusionSet{});
@@ -57,62 +87,147 @@ RoutingOracle::TreePtr RoutingOracle::spf(NodeId source,
     throw std::invalid_argument("source node is banned");
   }
 
-  std::lock_guard<std::mutex> lock(mu_);
-  check_version_locked();
-  bump(stats_.lookups, c_lookups_);
-
+  const auto [version, flush] = current_epoch();
   const std::uint64_t key = cache_key(source, excluded.signature());
-  if (const auto it = entries_.find(key);
-      it != entries_.end() && it->second.source == source &&
-      entry_matches(it->second, excluded)) {
-    it->second.last_used = ++lru_tick_;
-    bump(stats_.cache_hits, c_hit_);
-    return it->second.tree;
-  }
-  bump(stats_.cache_misses, c_miss_);
+  Stripe& home = stripe_of(key);
+  bump(n_lookups_, c_lookups_);
 
-  // One-extra-ban probe: for each banned component, look for a cached
-  // tree computed under this exclusion minus that one ban and repair it
-  // for the ban. Probe order (nodes ascending, then links ascending) is
-  // fixed for determinism, though any base yields the identical tree.
-  TreePtr tree;
-  if (!excluded.empty()) {
-    for (const NodeId x : excluded.banned_nodes()) {
-      const auto it = entries_.find(
-          cache_key(source, excluded.signature() ^ ExclusionSet::mix_node(x)));
-      if (it == entries_.end() || it->second.source != source) continue;
-      if (!entry_is_base(it->second, excluded, x, kNoLink)) continue;
-      tree = repair_locked(it->second, excluded, x, kNoLink);
-      if (tree != nullptr) break;
-    }
-    if (tree == nullptr) {
-      for (const LinkId l : excluded.banned_links()) {
-        const auto it = entries_.find(cache_key(
-            source, excluded.signature() ^ ExclusionSet::mix_link(l)));
-        if (it == entries_.end() || it->second.source != source) continue;
-        if (!entry_is_base(it->second, excluded, kNoNode, l)) continue;
-        tree = repair_locked(it->second, excluded, kNoNode, l);
-        if (tree != nullptr) break;
+  for (;;) {
+    std::shared_ptr<Cell> wait_cell;
+    std::shared_ptr<Cell> my_cell;
+    {
+      std::lock_guard<std::mutex> lock(home.mu);
+      refresh_stripe_locked(home, version, flush);
+      const auto it = home.entries.find(key);
+      if (it != home.entries.end() && it->second.source == source &&
+          entry_matches(it->second, excluded)) {
+        it->second.last_used = ++home.lru_tick;
+        if (it->second.tree != nullptr) {
+          bump(n_hits_, c_hit_);
+          return it->second.tree;
+        }
+        wait_cell = it->second.cell;  // in flight: wait outside the lock
+      } else {
+        // Miss: register the in-flight cell so concurrent lookups of the
+        // same key wait for this computation instead of duplicating it.
+        my_cell = std::make_shared<Cell>();
+        Entry entry;
+        entry.source = source;
+        entry.signature = excluded.signature();
+        entry.banned_nodes = excluded.banned_nodes();
+        entry.banned_links = excluded.banned_links();
+        entry.cell = my_cell;
+        entry.last_used = ++home.lru_tick;
+        home.entries[key] = std::move(entry);
       }
     }
+
+    if (wait_cell != nullptr) {
+      std::unique_lock<std::mutex> cell_lock(wait_cell->mu);
+      wait_cell->cv.wait(cell_lock, [&wait_cell] {
+        return wait_cell->tree != nullptr || wait_cell->failed;
+      });
+      if (wait_cell->failed) continue;  // winner threw; retry the lookup
+      // Served the winner's snapshot without running Dijkstra: a hit.
+      bump(n_hits_, c_hit_);
+      return wait_cell->tree;
+    }
+
+    // This thread won the key: compute outside every stripe lock.
+    bump(n_misses_, c_miss_);
+    TreePtr tree;
+    bool incremental = false;
+    try {
+      std::unique_ptr<ComputeScratch> scratch = acquire_scratch();
+      if (!excluded.empty()) {
+        NodeId extra_node = kNoNode;
+        LinkId extra_link = kNoLink;
+        const TreePtr base =
+            find_base(source, excluded, version, flush, extra_node, extra_link);
+        if (base != nullptr) {
+          tree = repair(base, excluded, extra_node, extra_link, *scratch);
+        }
+      }
+      if (tree != nullptr) {
+        incremental = true;
+      } else {
+        tree = full_run(source, excluded, *scratch);
+      }
+      release_scratch(std::move(scratch));
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> cell_lock(my_cell->mu);
+        my_cell->failed = true;
+      }
+      my_cell->cv.notify_all();
+      std::lock_guard<std::mutex> lock(home.mu);
+      const auto it = home.entries.find(key);
+      if (it != home.entries.end() && it->second.cell == my_cell) {
+        home.entries.erase(it);
+      }
+      throw;
+    }
+    bump(incremental ? n_incremental_ : n_full_,
+         incremental ? c_incremental_ : c_fallback_);
+
+    // Publish to waiters first (they only need the bytes), then to the
+    // stripe (which may meanwhile have been flushed or evicted — then the
+    // snapshot is simply not cached, never wrong).
+    {
+      std::lock_guard<std::mutex> cell_lock(my_cell->mu);
+      my_cell->tree = tree;
+    }
+    my_cell->cv.notify_all();
+
+    std::int64_t count_delta = 0;
+    std::int64_t bytes_delta = 0;
+    {
+      std::lock_guard<std::mutex> lock(home.mu);
+      const auto it = home.entries.find(key);
+      if (it != home.entries.end() && it->second.cell == my_cell) {
+        it->second.tree = tree;
+        it->second.last_used = ++home.lru_tick;
+        count_delta = 1;
+        bytes_delta = static_cast<std::int64_t>(tree_bytes(*tree));
+        // LRU-evict ready entries beyond the stripe's share of
+        // max_entries; in-flight entries are never evicted (their
+        // winner still holds the cell).
+        std::size_t ready = 0;
+        for (const auto& [k, e] : home.entries) {
+          if (e.tree != nullptr) ++ready;
+        }
+        while (ready > stripe_capacity_) {
+          auto victim = home.entries.end();
+          for (auto jt = home.entries.begin(); jt != home.entries.end();
+               ++jt) {
+            if (jt->second.tree == nullptr) continue;
+            if (victim == home.entries.end() ||
+                jt->second.last_used < victim->second.last_used) {
+              victim = jt;
+            }
+          }
+          if (victim == home.entries.end()) break;
+          --count_delta;
+          bytes_delta -= static_cast<std::int64_t>(tree_bytes(*victim->second.tree));
+          home.entries.erase(victim);
+          --ready;
+        }
+      }
+    }
+    if (count_delta != 0 || bytes_delta != 0) {
+      snapshots_changed(count_delta, bytes_delta);
+    }
+    return tree;
   }
-  if (tree != nullptr) {
-    bump(stats_.incremental_repairs, c_incremental_);
-  } else {
-    tree = full_run_locked(source, excluded);
-    bump(stats_.full_runs, c_fallback_);
-  }
-  insert_locked(source, excluded, tree);
-  return tree;
 }
 
 RoutingOracle::WorkspaceLease RoutingOracle::workspace() {
   std::unique_ptr<DijkstraWorkspace> ws;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (!pool_.empty()) {
-      ws = std::move(pool_.back());
-      pool_.pop_back();
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    if (!workspace_pool_.empty()) {
+      ws = std::move(workspace_pool_.back());
+      workspace_pool_.pop_back();
     }
   }
   if (ws == nullptr) ws = std::make_unique<DijkstraWorkspace>();
@@ -121,17 +236,62 @@ RoutingOracle::WorkspaceLease RoutingOracle::workspace() {
 
 void RoutingOracle::return_workspace(
     std::unique_ptr<DijkstraWorkspace> workspace) noexcept {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(pool_mu_);
   // A small cap keeps the pool from pinning memory after a burst of
   // concurrent leases; beyond it the workspace is simply dropped.
-  if (pool_.size() < 32) pool_.push_back(std::move(workspace));
+  if (workspace_pool_.size() < 32) {
+    workspace_pool_.push_back(std::move(workspace));
+  }
+}
+
+std::unique_ptr<RoutingOracle::ComputeScratch> RoutingOracle::acquire_scratch() {
+  {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    if (!scratch_pool_.empty()) {
+      std::unique_ptr<ComputeScratch> scratch = std::move(scratch_pool_.back());
+      scratch_pool_.pop_back();
+      return scratch;
+    }
+  }
+  return std::make_unique<ComputeScratch>();
+}
+
+void RoutingOracle::release_scratch(
+    std::unique_ptr<ComputeScratch> scratch) noexcept {
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  if (scratch_pool_.size() < 32) scratch_pool_.push_back(std::move(scratch));
+}
+
+std::shared_ptr<ShortestPathTree> RoutingOracle::acquire_tree() {
+  std::unique_ptr<ShortestPathTree> buffer;
+  {
+    std::lock_guard<std::mutex> lock(recycler_->mu);
+    if (!recycler_->free_list.empty()) {
+      buffer = std::move(recycler_->free_list.back());
+      recycler_->free_list.pop_back();
+    }
+  }
+  if (buffer == nullptr) buffer = std::make_unique<ShortestPathTree>();
+  // The deleter shares ownership of the recycler (not the oracle), so
+  // snapshots handed to callers outlive the oracle safely; released
+  // buffers keep their vector capacity for the next snapshot.
+  const std::shared_ptr<TreeRecycler> recycler = recycler_;
+  return std::shared_ptr<ShortestPathTree>(
+      buffer.release(), [recycler](ShortestPathTree* t) {
+        std::unique_ptr<ShortestPathTree> owned(t);
+        std::lock_guard<std::mutex> lock(recycler->mu);
+        if (recycler->free_list.size() < 32) {
+          recycler->free_list.push_back(std::move(owned));
+        }
+      });
 }
 
 void RoutingOracle::attach_telemetry(obs::Telemetry* telemetry) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(telemetry_mu_);
   if (telemetry == nullptr) {
     c_lookups_ = c_hit_ = c_miss_ = c_incremental_ = c_fallback_ =
         c_invalidations_ = nullptr;
+    g_snapshot_count_ = g_snapshot_bytes_ = nullptr;
     return;
   }
   obs::MetricsRegistry& m = telemetry->metrics;
@@ -141,18 +301,28 @@ void RoutingOracle::attach_telemetry(obs::Telemetry* telemetry) {
   c_incremental_ = &m.counter("smrp.routing.cache_incremental");
   c_fallback_ = &m.counter("smrp.routing.cache_fallback");
   c_invalidations_ = &m.counter("smrp.routing.invalidations");
+  g_snapshot_count_ = &m.gauge("smrp.routing.snapshot_count");
+  g_snapshot_bytes_ = &m.gauge("smrp.routing.snapshot_bytes");
+  g_snapshot_count_->set(
+      static_cast<double>(snapshot_count_.load(std::memory_order_relaxed)));
+  g_snapshot_bytes_->set(
+      static_cast<double>(snapshot_bytes_.load(std::memory_order_relaxed)));
 }
 
 RoutingOracle::Stats RoutingOracle::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  Stats s;
+  s.lookups = n_lookups_.load(std::memory_order_relaxed);
+  s.cache_hits = n_hits_.load(std::memory_order_relaxed);
+  s.cache_misses = n_misses_.load(std::memory_order_relaxed);
+  s.incremental_repairs = n_incremental_.load(std::memory_order_relaxed);
+  s.full_runs = n_full_.load(std::memory_order_relaxed);
+  s.invalidations = n_invalidations_.load(std::memory_order_relaxed);
+  return s;
 }
 
 void RoutingOracle::invalidate() {
-  std::lock_guard<std::mutex> lock(mu_);
-  entries_.clear();
-  cached_version_ = g_->topology_version();
-  bump(stats_.invalidations, c_invalidations_);
+  flush_gen_.fetch_add(1, std::memory_order_acq_rel);
+  bump(n_invalidations_, c_invalidations_);
 }
 
 std::uint64_t RoutingOracle::cache_key(NodeId source,
@@ -168,12 +338,38 @@ std::uint64_t RoutingOracle::cache_key(NodeId source,
   return x ^ (x >> 31);
 }
 
-void RoutingOracle::check_version_locked() {
-  const std::uint64_t current = g_->topology_version();
-  if (current == cached_version_) return;
-  entries_.clear();
-  cached_version_ = current;
-  bump(stats_.invalidations, c_invalidations_);
+std::pair<std::uint64_t, std::uint64_t> RoutingOracle::current_epoch() {
+  const std::uint64_t version = g_->topology_version();
+  std::uint64_t seen = seen_version_.load(std::memory_order_acquire);
+  // Exactly one thread wins the transition and accounts the
+  // invalidation; stripes drop their stale entries independently, on
+  // their next probe, by comparing against `version` directly.
+  while (seen != version) {
+    if (seen_version_.compare_exchange_weak(seen, version,
+                                            std::memory_order_acq_rel)) {
+      bump(n_invalidations_, c_invalidations_);
+      break;
+    }
+  }
+  return {version, flush_gen_.load(std::memory_order_acquire)};
+}
+
+void RoutingOracle::refresh_stripe_locked(Stripe& stripe,
+                                          std::uint64_t version,
+                                          std::uint64_t flush) {
+  if (stripe.seen_version == version && stripe.seen_flush == flush) return;
+  std::int64_t dropped = 0;
+  std::int64_t bytes = 0;
+  for (const auto& [key, entry] : stripe.entries) {
+    if (entry.tree != nullptr) {
+      ++dropped;
+      bytes += static_cast<std::int64_t>(tree_bytes(*entry.tree));
+    }
+  }
+  stripe.entries.clear();
+  stripe.seen_version = version;
+  stripe.seen_flush = flush;
+  if (dropped != 0) snapshots_changed(-dropped, -bytes);
 }
 
 bool RoutingOracle::entry_matches(const Entry& entry,
@@ -213,19 +409,67 @@ bool RoutingOracle::entry_is_base(const Entry& entry,
          links_subset(entry.banned_links, excluded);
 }
 
-RoutingOracle::TreePtr RoutingOracle::repair_locked(const Entry& base,
-                                                    const ExclusionSet& excluded,
-                                                    NodeId extra_node,
-                                                    LinkId extra_link) {
-  const ShortestPathTree& b = *base.tree;
+RoutingOracle::TreePtr RoutingOracle::find_base(
+    NodeId source, const ExclusionSet& excluded, std::uint64_t version,
+    std::uint64_t flush, NodeId& extra_node, LinkId& extra_link) {
+  // One-extra-ban probe: for each banned component, look for a cached
+  // (ready) tree computed under this exclusion minus that one ban. Probe
+  // order (nodes ascending, then links ascending) is fixed for
+  // determinism, though any base yields the identical repaired tree.
+  // Takes one stripe lock at a time; in-flight bases are skipped rather
+  // than waited on (the full run is cheaper than a convoy).
+  for (const NodeId x : excluded.banned_nodes()) {
+    const std::uint64_t key =
+        cache_key(source, excluded.signature() ^ ExclusionSet::mix_node(x));
+    Stripe& stripe = stripe_of(key);
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    refresh_stripe_locked(stripe, version, flush);
+    const auto it = stripe.entries.find(key);
+    if (it == stripe.entries.end() || it->second.source != source ||
+        it->second.tree == nullptr) {
+      continue;
+    }
+    if (!entry_is_base(it->second, excluded, x, kNoLink)) continue;
+    it->second.last_used = ++stripe.lru_tick;
+    extra_node = x;
+    extra_link = kNoLink;
+    return it->second.tree;
+  }
+  for (const LinkId l : excluded.banned_links()) {
+    const std::uint64_t key =
+        cache_key(source, excluded.signature() ^ ExclusionSet::mix_link(l));
+    Stripe& stripe = stripe_of(key);
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    refresh_stripe_locked(stripe, version, flush);
+    const auto it = stripe.entries.find(key);
+    if (it == stripe.entries.end() || it->second.source != source ||
+        it->second.tree == nullptr) {
+      continue;
+    }
+    if (!entry_is_base(it->second, excluded, kNoNode, l)) continue;
+    it->second.last_used = ++stripe.lru_tick;
+    extra_node = kNoNode;
+    extra_link = l;
+    return it->second.tree;
+  }
+  return nullptr;
+}
+
+RoutingOracle::TreePtr RoutingOracle::repair(const TreePtr& base,
+                                             const ExclusionSet& excluded,
+                                             NodeId extra_node,
+                                             LinkId extra_link,
+                                             ComputeScratch& cs) {
+  const ShortestPathTree& b = *base;
   const auto n = static_cast<std::size_t>(g_->node_count());
 
   // Root of the invalidated region: the node whose parent edge the ban
   // severed (link failure) or the banned node itself. A ban that does not
-  // touch the cached tree changes nothing — the base snapshot is shared.
+  // touch the cached tree changes nothing — the base snapshot is shared
+  // (by ownership, so it survives eviction of the base entry).
   NodeId root = kNoNode;
   if (extra_node != kNoNode) {
-    if (!b.reachable(extra_node)) return base.tree;
+    if (!b.reachable(extra_node)) return base;
     root = extra_node;
   } else {
     const Link& l = g_->link(extra_link);
@@ -234,7 +478,7 @@ RoutingOracle::TreePtr RoutingOracle::repair_locked(const Entry& base,
     } else if (b.parent_link[static_cast<std::size_t>(l.b)] == extra_link) {
       root = l.b;
     } else {
-      return base.tree;
+      return base;
     }
   }
 
@@ -243,43 +487,43 @@ RoutingOracle::TreePtr RoutingOracle::repair_locked(const Entry& base,
   // the banned component, a ban can only lengthen distances, and the
   // tie-break winner set only shrinks (so the lex-min winner survives).
   // Memoised parent-chain walk: 0 unknown, 1 affected, 2 unaffected.
-  affected_flag_.assign(n, 0);
-  affected_flag_[static_cast<std::size_t>(root)] = 1;
-  affected_.clear();
-  affected_.push_back(root);
-  walk_.clear();
+  cs.affected_flag.assign(n, 0);
+  cs.affected_flag[static_cast<std::size_t>(root)] = 1;
+  cs.affected.clear();
+  cs.affected.push_back(root);
   for (NodeId v = 0; v < static_cast<NodeId>(n); ++v) {
-    if (affected_flag_[static_cast<std::size_t>(v)] != 0) continue;
-    walk_.clear();
+    if (cs.affected_flag[static_cast<std::size_t>(v)] != 0) continue;
+    cs.walk.clear();
     NodeId cur = v;
     char status = 2;
     while (true) {
-      const char f = affected_flag_[static_cast<std::size_t>(cur)];
+      const char f = cs.affected_flag[static_cast<std::size_t>(cur)];
       if (f != 0) {
         status = f;
         break;
       }
       const NodeId p = b.parent[static_cast<std::size_t>(cur)];
       if (p == kNoNode) break;  // the source, or unreachable: unaffected
-      walk_.push_back(cur);
+      cs.walk.push_back(cur);
       cur = p;
     }
-    for (const NodeId x : walk_) {
-      affected_flag_[static_cast<std::size_t>(x)] = status;
-      if (status == 1) affected_.push_back(x);
+    for (const NodeId x : cs.walk) {
+      cs.affected_flag[static_cast<std::size_t>(x)] = status;
+      if (status == 1) cs.affected.push_back(x);
     }
-    if (affected_flag_[static_cast<std::size_t>(v)] == 0) {
-      affected_flag_[static_cast<std::size_t>(v)] = status;  // v had no parent
+    if (cs.affected_flag[static_cast<std::size_t>(v)] == 0) {
+      cs.affected_flag[static_cast<std::size_t>(v)] = status;  // v had no parent
     }
   }
-  if (static_cast<double>(affected_.size()) >
+  if (static_cast<double>(cs.affected.size()) >
       config_.incremental_max_fraction * static_cast<double>(n)) {
     return nullptr;  // region too large: delta costs more than it saves
   }
 
-  auto fresh = std::make_shared<ShortestPathTree>(b);
+  std::shared_ptr<ShortestPathTree> fresh = acquire_tree();
+  *fresh = b;  // vector assignment reuses the recycled buffer's capacity
   ShortestPathTree& t = *fresh;
-  for (const NodeId v : affected_) {
+  for (const NodeId v : cs.affected) {
     const auto i = static_cast<std::size_t>(v);
     t.dist[i] = kInfinity;
     t.parent[i] = kNoNode;
@@ -287,8 +531,8 @@ RoutingOracle::TreePtr RoutingOracle::repair_locked(const Entry& base,
     t.hops[i] = -1;
   }
 
-  repair_settled_.assign(n, 0);
-  repair_heap_.clear();
+  cs.settled.assign(n, 0);
+  cs.heap.clear();
   const auto heap_greater = std::greater<std::pair<double, NodeId>>{};
   // The exact relaxation rule of DijkstraWorkspace::run_impl — candidate
   // ordering (dist, hops, predecessor id) — so the repaired region
@@ -309,8 +553,8 @@ RoutingOracle::TreePtr RoutingOracle::repair_locked(const Entry& base,
       t.parent[tv] = from;
       t.parent_link[tv] = link;
       t.hops[tv] = candidate_hops;
-      repair_heap_.emplace_back(candidate, to);
-      std::push_heap(repair_heap_.begin(), repair_heap_.end(), heap_greater);
+      cs.heap.emplace_back(candidate, to);
+      std::push_heap(cs.heap.begin(), cs.heap.end(), heap_greater);
     }
   };
 
@@ -318,11 +562,11 @@ RoutingOracle::TreePtr RoutingOracle::repair_locked(const Entry& base,
   // final distance into the region. Offers a full run would not have made
   // (from nodes settling after the target) carry strictly larger
   // distances and lose the comparison, so the extra offers are harmless.
-  for (const NodeId v : affected_) {
+  for (const NodeId v : cs.affected) {
     if (excluded.node_banned(v)) continue;  // the banned node stays cut off
     for (const Adjacency& adj : g_->neighbors(v)) {
       const auto u = static_cast<std::size_t>(adj.neighbor);
-      if (affected_flag_[u] == 1) continue;
+      if (cs.affected_flag[u] == 1) continue;
       if (excluded.link_banned(adj.link) ||
           excluded.node_banned(adj.neighbor)) {
         continue;
@@ -333,16 +577,16 @@ RoutingOracle::TreePtr RoutingOracle::repair_locked(const Entry& base,
   }
 
   // Dijkstra restricted to the affected region.
-  while (!repair_heap_.empty()) {
-    const std::pair<double, NodeId> top = repair_heap_.front();
-    std::pop_heap(repair_heap_.begin(), repair_heap_.end(), heap_greater);
-    repair_heap_.pop_back();
+  while (!cs.heap.empty()) {
+    const std::pair<double, NodeId> top = cs.heap.front();
+    std::pop_heap(cs.heap.begin(), cs.heap.end(), heap_greater);
+    cs.heap.pop_back();
     const auto u = static_cast<std::size_t>(top.second);
-    if (repair_settled_[u] != 0) continue;
-    repair_settled_[u] = 1;
+    if (cs.settled[u] != 0) continue;
+    cs.settled[u] = 1;
     for (const Adjacency& adj : g_->neighbors(top.second)) {
       const auto v = static_cast<std::size_t>(adj.neighbor);
-      if (affected_flag_[v] != 1 || repair_settled_[v] != 0) continue;
+      if (cs.affected_flag[v] != 1 || cs.settled[v] != 0) continue;
       if (excluded.link_banned(adj.link) ||
           excluded.node_banned(adj.neighbor)) {
         continue;
@@ -353,30 +597,41 @@ RoutingOracle::TreePtr RoutingOracle::repair_locked(const Entry& base,
   return fresh;
 }
 
-RoutingOracle::TreePtr RoutingOracle::full_run_locked(
-    NodeId source, const ExclusionSet& excluded) {
-  auto fresh = std::make_shared<ShortestPathTree>();
-  scratch_.run_into(*g_, source, excluded, *fresh);
+RoutingOracle::TreePtr RoutingOracle::full_run(NodeId source,
+                                               const ExclusionSet& excluded,
+                                               ComputeScratch& cs) {
+  std::shared_ptr<ShortestPathTree> fresh = acquire_tree();
+  cs.ws.run_into(*g_, source, excluded, *fresh);
   return fresh;
 }
 
-void RoutingOracle::insert_locked(NodeId source, const ExclusionSet& excluded,
-                                  TreePtr tree) {
-  Entry entry;
-  entry.source = source;
-  entry.signature = excluded.signature();
-  entry.banned_nodes = excluded.banned_nodes();
-  entry.banned_links = excluded.banned_links();
-  entry.tree = std::move(tree);
-  entry.last_used = ++lru_tick_;
-  entries_[cache_key(source, entry.signature)] = std::move(entry);
+std::uint64_t RoutingOracle::tree_bytes(const ShortestPathTree& t)
+    const noexcept {
+  // Approximate resident footprint of one snapshot: the four per-node
+  // arrays (dist + parent + parent_link + hops).
+  return static_cast<std::uint64_t>(t.dist.size()) *
+         (sizeof(double) + sizeof(NodeId) + sizeof(LinkId) +
+          sizeof(std::int32_t));
+}
 
-  while (entries_.size() > config_.max_entries) {
-    auto victim = entries_.begin();
-    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
-      if (it->second.last_used < victim->second.last_used) victim = it;
+void RoutingOracle::snapshots_changed(std::int64_t count_delta,
+                                      std::int64_t bytes_delta) {
+  const std::uint64_t count =
+      snapshot_count_.fetch_add(static_cast<std::uint64_t>(count_delta),
+                                std::memory_order_relaxed) +
+      static_cast<std::uint64_t>(count_delta);
+  const std::uint64_t bytes =
+      snapshot_bytes_.fetch_add(static_cast<std::uint64_t>(bytes_delta),
+                                std::memory_order_relaxed) +
+      static_cast<std::uint64_t>(bytes_delta);
+  if (g_snapshot_count_ != nullptr || g_snapshot_bytes_ != nullptr) {
+    std::lock_guard<std::mutex> lock(telemetry_mu_);
+    if (g_snapshot_count_ != nullptr) {
+      g_snapshot_count_->set(static_cast<double>(count));
     }
-    entries_.erase(victim);
+    if (g_snapshot_bytes_ != nullptr) {
+      g_snapshot_bytes_->set(static_cast<double>(bytes));
+    }
   }
 }
 

@@ -1,5 +1,5 @@
 // RoutingOracle: the shared, topology-versioned shortest-path service
-// every SPF consumer in this codebase goes through (DESIGN.md §10).
+// every SPF consumer in this codebase goes through (DESIGN.md §10, §16).
 //
 // The paper's core claim is that restoration speed is bounded by how fast
 // a surviving path can be found after a persistent failure. Before the
@@ -23,16 +23,37 @@
 //    detour searches) are not cacheable; the oracle serves them from a
 //    pool of reusable DijkstraWorkspaces instead.
 //
-// All public methods are thread-safe behind one mutex; returned trees are
-// shared_ptr<const> snapshots that stay valid across later invalidation.
-// Cache management is wall-clock free (LRU over a monotone lookup tick),
-// so runs remain bit-for-bit reproducible at any thread count.
+// Concurrency (DESIGN.md §16): ONE oracle is meant to be shared by every
+// worker thread that routes over the same topology. The snapshot map is
+// lock-striped — Config::stripes independent mutexes, striped by the
+// splitmix64 cache key of (source, exclusion signature) — so hits are a
+// read-mostly probe of one stripe. Concurrent misses on the same key
+// compute ONCE: the first thread installs an in-flight cell and computes
+// outside any stripe lock; later arrivals wait on that cell and share the
+// winner's snapshot (counted as hits — the computation they were spared).
+// Because a snapshot is a pure deterministic function of its key, sharing
+// the cache across threads cannot change any result byte — only wall
+// time, memory, and the hit/full-run split move with the thread count.
+// All computation scratch (full runs, incremental repairs) is pooled, so
+// concurrent misses on different keys proceed in parallel. Returned trees
+// are shared_ptr<const> snapshots that stay valid across invalidation;
+// retired snapshot buffers are recycled through a pool that outlives the
+// oracle, so churning caches do not churn the allocator.
+//
+// Cache management is wall-clock free (LRU over a monotone per-stripe
+// tick), so runs remain bit-for-bit reproducible at any thread count.
+// attach_telemetry must be called before the oracle is shared across
+// threads (the usual attach-then-run discipline); the mirrored counter
+// bumps themselves are serialized internally and TSan-clean.
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "net/graph.hpp"
@@ -44,19 +65,30 @@ namespace smrp::net {
 class RoutingOracle {
  public:
   struct Config {
-    /// Cached SPF trees kept before LRU eviction.
+    /// Cached SPF trees kept before LRU eviction. Approximate under
+    /// striping: the budget splits evenly across the stripes, each of
+    /// which evicts independently (with a small per-stripe floor so an
+    /// uneven key hash cannot thrash one stripe while others sit empty).
     std::size_t max_entries = 256;
     /// Incremental repair runs only while the invalidated subtree stays
     /// under this fraction of the node count; larger regions full-rerun
     /// (the delta bookkeeping would cost more than it saves).
     double incremental_max_fraction = 0.5;
+    /// Lock stripes over the snapshot map (rounded up to a power of
+    /// two, clamped to [1, 256]). 64 keeps same-stripe collisions rare
+    /// at any realistic worker count while staying cheap to construct.
+    std::size_t stripes = 64;
   };
 
   using TreePtr = std::shared_ptr<const ShortestPathTree>;
 
   /// Counters mirrored to telemetry (smrp.routing.*). Invariants:
   /// lookups == cache_hits + cache_misses and
-  /// cache_misses == incremental_repairs + full_runs.
+  /// cache_misses == incremental_repairs + full_runs. A lookup that
+  /// waits on another thread's in-flight computation of the same key
+  /// counts as a hit (it was served a shared snapshot, not a Dijkstra
+  /// run), so full_runs never exceeds the number of distinct keys
+  /// computed — the dedup guarantee the scale bench reports.
   struct Stats {
     std::uint64_t lookups = 0;
     std::uint64_t cache_hits = 0;
@@ -64,6 +96,19 @@ class RoutingOracle {
     std::uint64_t incremental_repairs = 0;  ///< misses served by delta repair
     std::uint64_t full_runs = 0;            ///< misses served by full Dijkstra
     std::uint64_t invalidations = 0;        ///< cache flushes on version bumps
+
+    /// Fold another oracle's (or run's) counters into this one — the one
+    /// summation every stats consumer shares (multi-oracle benches, the
+    /// eval drivers, telemetry folds).
+    Stats& operator+=(const Stats& other) noexcept {
+      lookups += other.lookups;
+      cache_hits += other.cache_hits;
+      cache_misses += other.cache_misses;
+      incremental_repairs += other.incremental_repairs;
+      full_runs += other.full_runs;
+      invalidations += other.invalidations;
+      return *this;
+    }
   };
 
   /// RAII lease of a pooled DijkstraWorkspace for the uncacheable
@@ -115,8 +160,10 @@ class RoutingOracle {
   /// Shortest-path tree from `source` over the whole graph / avoiding the
   /// banned components. Served from cache when (source, exclusion
   /// signature) was seen under the current topology version; repaired
-  /// incrementally when the exclusion is a cached one plus one extra ban.
-  /// Throws like dijkstra() on a bad or banned source.
+  /// incrementally when the exclusion is a cached one plus one extra ban;
+  /// concurrent misses on the same key are memoized (one computation,
+  /// every caller shares the snapshot). Throws like dijkstra() on a bad
+  /// or banned source. Safe to call from any number of threads.
   TreePtr spf(NodeId source);
   TreePtr spf(NodeId source, const ExclusionSet& excluded);
 
@@ -125,19 +172,44 @@ class RoutingOracle {
 
   /// Attach (or detach with nullptr) telemetry; the cache counters are
   /// published as smrp.routing.{lookups,cache_hit,cache_miss,
-  /// cache_incremental,cache_fallback,invalidations}. Pure observation —
-  /// results are bit-identical attached or detached.
+  /// cache_incremental,cache_fallback,invalidations} and the resident
+  /// snapshot footprint as the smrp.routing.{snapshot_count,
+  /// snapshot_bytes} gauges. Pure observation — results are bit-identical
+  /// attached or detached. Call before sharing the oracle across threads.
   void attach_telemetry(obs::Telemetry* telemetry);
 
   [[nodiscard]] Stats stats() const;
 
+  /// Ready snapshots currently cached, and their approximate resident
+  /// bytes (per-node storage of every cached tree; shared base trees
+  /// cached under several keys count once per entry).
+  [[nodiscard]] std::uint64_t snapshot_count() const noexcept {
+    return snapshot_count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t snapshot_bytes() const noexcept {
+    return snapshot_bytes_.load(std::memory_order_relaxed);
+  }
+
   [[nodiscard]] const Graph& graph() const noexcept { return *g_; }
 
   /// Drop every cached tree (the version check does this automatically;
-  /// exposed for tests).
+  /// exposed for tests). Lazy: each stripe discards its entries on its
+  /// next probe, so invalidation never stalls concurrent readers.
   void invalidate();
 
  private:
+  /// Rendezvous for concurrent misses on one key: the winner computes
+  /// the snapshot outside all stripe locks and publishes it here; losers
+  /// wait on the cell instead of duplicating the Dijkstra run. The cell
+  /// is self-contained (own mutex), so a stripe flush mid-computation
+  /// strands no waiter — they still receive the winner's tree.
+  struct Cell {
+    std::mutex mu;
+    std::condition_variable cv;
+    TreePtr tree;        ///< set exactly once, under mu
+    bool failed = false; ///< winner threw; waiters retry the lookup
+  };
+
   struct Entry {
     NodeId source = kNoNode;
     std::uint64_t signature = 0;
@@ -145,58 +217,133 @@ class RoutingOracle {
     /// and the base set for one-extra-ban incremental repair.
     std::vector<NodeId> banned_nodes;
     std::vector<LinkId> banned_links;
-    TreePtr tree;
+    TreePtr tree;  ///< null while the cell's computation is in flight
+    std::shared_ptr<Cell> cell;
     std::uint64_t last_used = 0;  ///< monotone LRU tick (no wall clock)
+  };
+
+  /// One lock stripe of the snapshot map. seen_version / seen_flush lag
+  /// the oracle-wide values until the stripe is next probed; a stale
+  /// stripe drops its entries before serving anything.
+  struct Stripe {
+    std::mutex mu;
+    std::unordered_map<std::uint64_t, Entry> entries;
+    std::uint64_t seen_version = 0;
+    std::uint64_t seen_flush = 0;
+    std::uint64_t lru_tick = 0;
+  };
+
+  /// Scratch for one cache-miss computation (full run or incremental
+  /// repair), leased from a pool so misses on different keys compute
+  /// concurrently without allocating.
+  struct ComputeScratch {
+    DijkstraWorkspace ws;
+    std::vector<NodeId> walk;  ///< parent-chain walk buffer
+    std::vector<NodeId> affected;
+    std::vector<char> affected_flag;
+    std::vector<char> settled;
+    std::vector<std::pair<double, NodeId>> heap;
+  };
+
+  /// Retired-snapshot buffer pool. Shared (not owned) by every snapshot's
+  /// deleter, so snapshots handed to callers stay destructible after the
+  /// oracle itself is gone; the pool caps its free list so a burst of
+  /// evictions cannot pin memory.
+  struct TreeRecycler {
+    std::mutex mu;
+    std::vector<std::unique_ptr<ShortestPathTree>> free_list;
   };
 
   static std::uint64_t cache_key(NodeId source, std::uint64_t signature) noexcept;
 
-  /// Must hold mu_. Flush the cache when the graph version moved.
-  void check_version_locked();
-  /// Must hold mu_. Entry's ban set equals the request's exactly.
+  [[nodiscard]] Stripe& stripe_of(std::uint64_t key) noexcept {
+    return stripes_[static_cast<std::size_t>(key) & stripe_mask_];
+  }
+  /// Must hold stripe.mu. Drop the stripe's entries when the topology
+  /// version or flush generation moved since it was last probed.
+  void refresh_stripe_locked(Stripe& stripe, std::uint64_t version,
+                             std::uint64_t flush);
+  /// Detect a topology-version move oracle-wide (bumps `invalidations`
+  /// exactly once per transition) and return (version, flush) to probe
+  /// stripes with.
+  std::pair<std::uint64_t, std::uint64_t> current_epoch();
+  /// Entry's ban set equals the request's exactly.
   static bool entry_matches(const Entry& entry, const ExclusionSet& excluded);
-  /// Must hold mu_. Entry's ban set equals the request's minus the one
-  /// extra ban (extra_node or extra_link, the other sentinel).
+  /// Entry's ban set equals the request's minus the one extra ban
+  /// (extra_node or extra_link, the other sentinel).
   static bool entry_is_base(const Entry& entry, const ExclusionSet& excluded,
                             NodeId extra_node, LinkId extra_link);
-  /// Must hold mu_. Delta-repair `base` for one extra banned component.
-  /// Returns null when the affected region exceeds the threshold (caller
-  /// falls back to a full run); returns base.tree itself when the ban
-  /// does not touch the cached tree.
-  TreePtr repair_locked(const Entry& base, const ExclusionSet& excluded,
-                        NodeId extra_node, LinkId extra_link);
-  /// Must hold mu_. Full Dijkstra through the pooled scratch space.
-  TreePtr full_run_locked(NodeId source, const ExclusionSet& excluded);
-  /// Must hold mu_. Insert + LRU-evict beyond max_entries.
-  void insert_locked(NodeId source, const ExclusionSet& excluded, TreePtr tree);
+  /// Probe every one-extra-ban base key across the stripes; returns the
+  /// base snapshot (and which ban is the extra one) or null. Takes one
+  /// stripe lock at a time — never nests them.
+  TreePtr find_base(NodeId source, const ExclusionSet& excluded,
+                    std::uint64_t version, std::uint64_t flush,
+                    NodeId& extra_node, LinkId& extra_link);
+  /// Delta-repair `base` for one extra banned component, using leased
+  /// scratch only (no oracle locks). Returns null when the affected
+  /// region exceeds the threshold (caller falls back to a full run);
+  /// returns `base` itself (shared ownership) when the ban does not
+  /// touch the cached tree.
+  TreePtr repair(const TreePtr& base, const ExclusionSet& excluded,
+                 NodeId extra_node, LinkId extra_link, ComputeScratch& scratch);
+  /// Full Dijkstra into a recycled snapshot buffer (no oracle locks).
+  TreePtr full_run(NodeId source, const ExclusionSet& excluded,
+                   ComputeScratch& scratch);
+
+  /// A writable snapshot slot: a recycled buffer when one is pooled, a
+  /// fresh allocation otherwise. The returned shared_ptr's deleter hands
+  /// the buffer back to recycler_ (capacity intact) on release.
+  std::shared_ptr<ShortestPathTree> acquire_tree();
+
+  std::unique_ptr<ComputeScratch> acquire_scratch();
+  void release_scratch(std::unique_ptr<ComputeScratch> scratch) noexcept;
 
   void return_workspace(std::unique_ptr<DijkstraWorkspace> workspace) noexcept;
 
+  /// Approximate resident bytes of one cached snapshot.
+  [[nodiscard]] std::uint64_t tree_bytes(const ShortestPathTree& t)
+      const noexcept;
+  /// Account one published/evicted snapshot and mirror the gauges.
+  void snapshots_changed(std::int64_t count_delta, std::int64_t bytes_delta);
+
+  void bump(std::atomic<std::uint64_t>& stat, obs::Counter* counter);
+
   const Graph* g_;
   Config config_;
+  std::size_t stripe_mask_ = 0;
+  std::size_t stripe_capacity_ = 0;  ///< max ready entries per stripe
 
-  mutable std::mutex mu_;
-  std::uint64_t cached_version_ = 0;
-  std::uint64_t lru_tick_ = 0;
-  std::unordered_map<std::uint64_t, Entry> entries_;
-  std::vector<std::unique_ptr<DijkstraWorkspace>> pool_;
-  DijkstraWorkspace scratch_;  ///< for cache-miss full runs (under mu_)
-  // Incremental-repair scratch, reused across repairs (under mu_).
-  std::vector<NodeId> walk_;            ///< parent-chain walk buffer
-  std::vector<NodeId> affected_;
-  std::vector<char> affected_flag_;
-  std::vector<char> repair_settled_;
-  std::vector<std::pair<double, NodeId>> repair_heap_;
+  std::vector<Stripe> stripes_;
+  std::atomic<std::uint64_t> seen_version_{0};  ///< last observed topology
+  std::atomic<std::uint64_t> flush_gen_{0};     ///< manual invalidate() epoch
 
-  Stats stats_;
+  std::mutex pool_mu_;
+  std::vector<std::unique_ptr<DijkstraWorkspace>> workspace_pool_;
+  std::vector<std::unique_ptr<ComputeScratch>> scratch_pool_;
+  std::shared_ptr<TreeRecycler> recycler_;
+
+  // Stats: relaxed atomics — hot-path increments never contend a lock.
+  std::atomic<std::uint64_t> n_lookups_{0};
+  std::atomic<std::uint64_t> n_hits_{0};
+  std::atomic<std::uint64_t> n_misses_{0};
+  std::atomic<std::uint64_t> n_incremental_{0};
+  std::atomic<std::uint64_t> n_full_{0};
+  std::atomic<std::uint64_t> n_invalidations_{0};
+  std::atomic<std::uint64_t> snapshot_count_{0};
+  std::atomic<std::uint64_t> snapshot_bytes_{0};
+
   // Telemetry handles, cached at attach time (registry lookups off the
-  // hot path — the idiom DistributedSession established).
+  // hot path). obs instruments are not thread-safe, so mirrored bumps
+  // serialize on telemetry_mu_ — only taken when telemetry is attached.
+  std::mutex telemetry_mu_;
   obs::Counter* c_lookups_ = nullptr;
   obs::Counter* c_hit_ = nullptr;
   obs::Counter* c_miss_ = nullptr;
   obs::Counter* c_incremental_ = nullptr;
   obs::Counter* c_fallback_ = nullptr;
   obs::Counter* c_invalidations_ = nullptr;
+  obs::Gauge* g_snapshot_count_ = nullptr;
+  obs::Gauge* g_snapshot_bytes_ = nullptr;
 };
 
 /// Incrementally refreshed nearest-target detour search, the shared

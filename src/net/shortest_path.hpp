@@ -110,7 +110,7 @@ struct ShortestPathTree {
   std::vector<double> dist;         ///< kInfinity if unreachable
   std::vector<NodeId> parent;       ///< predecessor toward the source
   std::vector<LinkId> parent_link;  ///< link to the predecessor
-  std::vector<int> hops;            ///< hop count from the source
+  std::vector<std::int32_t> hops;   ///< hop count from the source
 
   [[nodiscard]] bool reachable(NodeId n) const {
     return n >= 0 && static_cast<std::size_t>(n) < dist.size() &&

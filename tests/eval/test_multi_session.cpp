@@ -132,11 +132,13 @@ TEST(MultiSessionSampling, ZipfStaysInRangeAndSkewsSmall) {
 }
 
 TEST(MultiSessionDriver, RunSeededIsShardInvariant) {
-  // The DESIGN.md §15 contract bench_scale's det_* gate rides on: every
-  // deterministic aggregate is byte-identical for any shard count,
+  // The DESIGN.md §15/§16 contract bench_scale's det_* gate rides on:
+  // every deterministic aggregate is byte-identical for any shard count,
   // because session i's whole random stream is trial_seed(seed, i) and
-  // the per-shard oracles answer identically to a shared one. Only the
-  // cache-hit split may move (partitioned snapshot caches).
+  // the ONE shared lock-striped oracle answers every lookup with a pure
+  // function of its key. Total lookups are deterministic too; only the
+  // hit/miss split may move with worker scheduling (a key one worker
+  // computes first is a hit for everyone else).
   const net::Graph g = small_waxman(44);
   for (const SessionEngine engine :
        {SessionEngine::kSmrp, SessionEngine::kSpf}) {
@@ -160,6 +162,16 @@ TEST(MultiSessionDriver, RunSeededIsShardInvariant) {
       EXPECT_EQ(r.fallback_joins, base.fallback_joins) << shards;
       EXPECT_EQ(r.total_tree_cost, base.total_tree_cost) << shards;
       EXPECT_EQ(r.oracle.lookups, base.oracle.lookups) << shards;
+      // Shared-cache counter invariants hold exactly under contention,
+      // and the dedup guarantee keeps misses within the single-shard
+      // count (sharing can only convert misses into hits, never the
+      // other way around).
+      EXPECT_EQ(r.oracle.lookups, r.oracle.cache_hits + r.oracle.cache_misses)
+          << shards;
+      EXPECT_EQ(r.oracle.cache_misses,
+                r.oracle.incremental_repairs + r.oracle.full_runs)
+          << shards;
+      EXPECT_LE(r.oracle.cache_misses, base.oracle.cache_misses) << shards;
       for (int i = 0; i < driver.session_count(); ++i) {
         ASSERT_NO_THROW(driver.session_tree(i).validate()) << "session " << i;
       }

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <thread>
 #include <vector>
 
@@ -324,6 +325,123 @@ TEST(RoutingOracle, ConcurrentLookupsKeepInvariants) {
   expect_counter_invariants(s);
   // Spot-check correctness after the hammering.
   expect_identical(*oracle.spf(0), dijkstra(g, 0));
+}
+
+TEST(RoutingOracle, SameKeyStampedeComputesOnce) {
+  // DESIGN.md §16's memoized-miss protocol: N threads racing on one cold
+  // key must produce exactly ONE Dijkstra run. The stripe lock serializes
+  // the probe/install, so the first thread is the only miss; every other
+  // thread either waits on the in-flight cell or reads the ready entry —
+  // a hit either way. The counters below are exact, not statistical.
+  net::Rng rng(17);
+  WaxmanParams wax;
+  wax.node_count = 120;  // big enough that the run outlasts the arrivals
+  const Graph g = waxman_graph(wax, rng);
+  RoutingOracle oracle(g);
+
+  constexpr int kThreads = 16;
+  std::atomic<int> ready{0};
+  std::atomic<bool> go{false};
+  std::vector<RoutingOracle::TreePtr> results(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      ready.fetch_add(1);
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      results[static_cast<std::size_t>(t)] = oracle.spf(0);
+    });
+  }
+  while (ready.load() < kThreads) {
+  }
+  go.store(true, std::memory_order_release);
+  for (std::thread& th : threads) th.join();
+
+  const auto s = oracle.stats();
+  EXPECT_EQ(s.lookups, static_cast<std::uint64_t>(kThreads));
+  EXPECT_EQ(s.cache_misses, 1u);
+  EXPECT_EQ(s.full_runs, 1u);
+  EXPECT_EQ(s.cache_hits, static_cast<std::uint64_t>(kThreads) - 1);
+  // Everyone shares the single computed snapshot.
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(results[0].get(), results[static_cast<std::size_t>(t)].get());
+  }
+  expect_identical(*results[0], dijkstra(g, 0));
+}
+
+TEST(RoutingOracle, ConcurrentMissesNeverExceedDistinctKeys) {
+  // The dedup guarantee at hammer scale: K threads sweeping the same key
+  // set (sources and one-link exclusions) produce at most one computation
+  // per distinct key, concurrency notwithstanding. max_entries is sized
+  // past the key count so eviction cannot manufacture extra misses.
+  net::Rng rng(29);
+  WaxmanParams wax;
+  wax.node_count = 60;
+  const Graph g = waxman_graph(wax, rng);
+  RoutingOracle::Config config;
+  config.max_entries = 4096;
+  RoutingOracle oracle(g, config);
+
+  constexpr int kThreads = 8;
+  constexpr int kSources = 10;
+  constexpr int kBans = 10;
+  constexpr int kRounds = 30;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&g, &oracle] {
+      for (int round = 0; round < kRounds; ++round) {
+        for (NodeId source = 0; source < kSources; ++source) {
+          (void)oracle.spf(source);
+          ExclusionSet banned(g);
+          banned.ban_link(static_cast<LinkId>(source % kBans));
+          (void)oracle.spf(source, banned);
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  const auto s = oracle.stats();
+  constexpr std::uint64_t kDistinctKeys = 2 * kSources;
+  EXPECT_EQ(s.lookups,
+            static_cast<std::uint64_t>(kThreads) * kRounds * kDistinctKeys);
+  EXPECT_EQ(s.lookups, s.cache_hits + s.cache_misses);  // exact, not approx
+  EXPECT_LE(s.cache_misses, kDistinctKeys);
+  EXPECT_LE(s.full_runs, kDistinctKeys);
+  expect_counter_invariants(s);
+}
+
+TEST(RoutingOracle, SnapshotGaugesTrackResidentTrees) {
+  Fig1Topology fig;
+  RoutingOracle oracle(fig.graph);
+  obs::Telemetry telemetry;
+  oracle.attach_telemetry(&telemetry);
+  EXPECT_EQ(oracle.snapshot_count(), 0u);
+  EXPECT_EQ(oracle.snapshot_bytes(), 0u);
+
+  (void)oracle.spf(Fig1Topology::S);
+  (void)oracle.spf(Fig1Topology::A);
+  (void)oracle.spf(Fig1Topology::S);  // hit: no new snapshot
+  EXPECT_EQ(oracle.snapshot_count(), 2u);
+  EXPECT_GT(oracle.snapshot_bytes(), 0u);
+  // One run's footprint is count-proportional: per-node arrays only.
+  EXPECT_EQ(oracle.snapshot_bytes() % oracle.snapshot_count(), 0u);
+  auto& m = telemetry.metrics;
+  EXPECT_EQ(m.gauge("smrp.routing.snapshot_count").value(),
+            static_cast<double>(oracle.snapshot_count()));
+  EXPECT_EQ(m.gauge("smrp.routing.snapshot_bytes").value(),
+            static_cast<double>(oracle.snapshot_bytes()));
+
+  // Invalidation is lazy: re-probing the flushed key drops the stale
+  // entries of that stripe and installs the recomputed snapshot.
+  oracle.invalidate();
+  (void)oracle.spf(Fig1Topology::S);
+  EXPECT_GE(oracle.snapshot_count(), 1u);
+  EXPECT_LE(oracle.snapshot_count(), 2u);
+  EXPECT_EQ(m.gauge("smrp.routing.snapshot_count").value(),
+            static_cast<double>(oracle.snapshot_count()));
 }
 
 // ---------------------------------------------------------------------------

@@ -231,6 +231,7 @@ struct RunSection {
   std::vector<SpanRow> spans;
   std::vector<SampleRow> samples;
   std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;  ///< final value per gauge
   std::map<std::string, HistRow> hists;
 };
 
@@ -412,7 +413,23 @@ void render_run(const RunSection& run, bool show_samples) {
               << " misses: " << routing("cache_incremental")
               << " incremental, " << routing("cache_fallback")
               << " full runs), " << routing("invalidations")
-              << " invalidations\n";
+              << " invalidations";
+    // Resident snapshot footprint, when the run carries the gauges.
+    const auto count_it = run.gauges.find("smrp.routing.snapshot_count");
+    const auto bytes_it = run.gauges.find("smrp.routing.snapshot_bytes");
+    if (count_it != run.gauges.end() || bytes_it != run.gauges.end()) {
+      std::cout << "; "
+                << (count_it != run.gauges.end()
+                        ? static_cast<std::uint64_t>(count_it->second)
+                        : 0)
+                << " snapshots resident";
+      if (bytes_it != run.gauges.end()) {
+        std::cout << " (~"
+                  << Table::fixed(bytes_it->second / (1024.0 * 1024.0), 1)
+                  << " MiB)";
+      }
+    }
+    std::cout << "\n";
   }
 
   // Periodic gauge samples (opt-in: the raw rows are a time series, so the
@@ -550,9 +567,9 @@ int main(int argc, char** argv) {
       run.counters[require_str(obj, "name", line_no)] =
           static_cast<std::uint64_t>(require_num(obj, "value", line_no));
     } else if (type == "gauge") {
-      require_str(obj, "name", line_no);  // schema check only
-      require_num(obj, "value", line_no);
-      require_num(obj, "max", line_no);
+      require_num(obj, "max", line_no);  // schema check
+      run.gauges[require_str(obj, "name", line_no)] =
+          require_num(obj, "value", line_no);
     } else if (type == "sample") {
       SampleRow sample;
       sample.t = require_num(obj, "t", line_no);
